@@ -1,0 +1,60 @@
+// Reproduces paper Figure 4: "The Spectrum for Big Operational Data in IoT"
+// — the (number of data sources) x (sampling frequency) plane classified by
+// offered data points per second. The paper draws the big-operational-data
+// region above 100 K dp/s (below that, "traditional relational databases"
+// suffice) and places the case studies (WAMS, AMI, vehicles) on it.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace odh::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  PrintHeader("The big operational data spectrum",
+              "Figure 4 (sources x frequency -> dp/s regime)",
+              "Cells show offered dp/s; '.' < 100K (relational DB is "
+              "enough), 'o' 100K-1M (ODH), 'O' > 1M (ODH, upper bound).");
+
+  const double frequencies[] = {1.0 / (24 * 3600), 1.0 / 900, 1.0 / 60,
+                                1.0, 25, 50, 100, 500};
+  const char* freq_labels[] = {"1/day", "1/15min", "1/min", "1 Hz",
+                               "25 Hz", "50 Hz",  "100 Hz", "500 Hz"};
+  const double source_counts[] = {1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 5e7};
+  const char* source_labels[] = {"100",  "1K",  "10K", "100K",
+                                 "1M",   "10M", "50M"};
+
+  std::printf("\n%-10s", "sources\\f");
+  for (const char* f : freq_labels) std::printf("%10s", f);
+  std::printf("\n");
+  for (size_t s = 0; s < std::size(source_counts); ++s) {
+    std::printf("%-10s", source_labels[s]);
+    for (size_t f = 0; f < std::size(frequencies); ++f) {
+      double dps = source_counts[s] * frequencies[f];
+      char mark = dps < 1e5 ? '.' : (dps < 1e6 ? 'o' : 'O');
+      std::printf("   %c %s", mark,
+                  TablePrinter::FormatCount(dps).c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nPaper case studies on this spectrum:\n"
+      "  WAMS (Table 2):      2000-5000 sources @ 25-50 Hz  -> 50K-250K dp/s\n"
+      "  AMI (4.2):           35M meters @ 1/15min          -> ~39K rec/s "
+      "(many tags -> >100K dp/s)\n"
+      "  Vehicles (Table 3):  100K-300K @ 1/10s             -> 2.2M-5.6M dp/s\n"
+      "  IoT-X TD datasets:   1K-5K sources @ 20-100 Hz     -> 20K-500K dp/s\n"
+      "  IoT-X LD datasets:   1M-10M sources @ 1/23min      -> 0.7K-7.2K "
+      "rec/s x 17 tags\n"
+      "\nBelow 100K dp/s (marked '.') the paper considers relational\n"
+      "databases sufficient; ODH's benchmarked upper bound was 1-1.5M dp/s\n"
+      "per server (marked 'O' region).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace odh::bench
+
+int main(int argc, char** argv) { return odh::bench::Run(argc, argv); }

@@ -1,0 +1,107 @@
+// Reproduces paper Figure 6: insert throughput (a) and CPU rate (b) for the
+// 10 LD(i) datasets (sparse low-frequency weather sensors), candidates
+// ODH / RDB / MySQL.
+//
+// Scaling: sensor unit 20000 (paper: 1,000,000), 60 s of simulated data
+// per dataset (the paper's 60x-sped-up streams truncated to two hours).
+// Expected shape: ODH sustains the offered rate everywhere via MG batching;
+// the relational candidates' throughput is higher than on TD (bigger
+// records, paper §5.3) but still falls behind ODH and below the offered
+// line at large i.
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "benchfw/ld_generator.h"
+#include "common/logging.h"
+
+namespace odh::bench {
+namespace {
+
+using benchfw::IngestMetrics;
+using benchfw::IngestRunOptions;
+using benchfw::LdConfig;
+using benchfw::LdGenerator;
+using benchfw::OdhTarget;
+using benchfw::RelationalTarget;
+
+IngestMetrics RunOne(const LdConfig& config, benchfw::IngestTarget* target,
+                     double wall_limit) {
+  LdGenerator stream(config);
+  ODH_CHECK_OK(target->Setup(stream.info()));
+  IngestRunOptions options;
+  options.simulated_cores = 8;
+  options.wall_time_limit_seconds = wall_limit;
+  options.window_seconds = 5.0;
+  auto metrics = benchfw::RunIngest(&stream, target, options);
+  ODH_CHECK_OK(metrics.status());
+  return *metrics;
+}
+
+/// Average non-NULL tag values per record (the dp multiplier: the paper
+/// counts data points, not records).
+double DpPerRecord(const LdConfig& config) {
+  LdGenerator gen(config);
+  core::OperationalRecord record;
+  int64_t present = 0, records = 0;
+  while (records < 200 && gen.Next(&record)) {
+    for (double v : record.tags) {
+      if (!std::isnan(v)) ++present;
+    }
+    ++records;
+  }
+  return records > 0 ? static_cast<double>(present) / records : 0;
+}
+
+int Run(int argc, char** argv) {
+  double scale = ScaleFromArgs(argc, argv);
+  PrintHeader(
+      "IoT-X WS1: LD insert throughput and CPU rate",
+      "Figure 6 (a: throughput, b: CPU rate) over LD(i), i=1..10",
+      "Sensor unit scaled to 20000 (paper: 1,000,000); 60 s of simulated "
+      "data; dp/s counts non-NULL tag values per record.");
+
+  const int64_t sensor_unit = static_cast<int64_t>(20000 * scale);
+  TablePrinter table({"Dataset", "# Sensors", "Offered dp/s", "ODH dp/s",
+                      "ODH CPU", "ODH RT?", "RDB dp/s", "RDB CPU", "RDB RT?",
+                      "MySQL dp/s", "MySQL CPU", "MySQL RT?"});
+  for (int i = 1; i <= 10; ++i) {
+    LdConfig config = LdConfig::Of(i, sensor_unit, /*duration_seconds=*/60);
+    double dp_mult = DpPerRecord(config);
+
+    OdhTarget odh;
+    IngestMetrics m_odh = RunOne(config, &odh, /*wall_limit=*/0);
+    RelationalTarget rdb(relational::EngineProfile::Rdb(), 1000);
+    IngestMetrics m_rdb = RunOne(config, &rdb, /*wall_limit=*/3);
+    RelationalTarget mysql(relational::EngineProfile::MySql(), 1000);
+    IngestMetrics m_mysql = RunOne(config, &mysql, /*wall_limit=*/3);
+
+    auto rt = [](const IngestMetrics& m) {
+      return m.RealTimeFeasible() ? std::string("yes") : std::string("NO");
+    };
+    table.AddRow(
+        {"LD(" + std::to_string(i) + ")",
+         TablePrinter::FormatCount(static_cast<double>(config.num_sensors)),
+         TablePrinter::FormatCount(m_odh.offered_points_per_second * dp_mult),
+         TablePrinter::FormatCount(m_odh.Throughput() * dp_mult),
+         Fmt("%.2f%%", m_odh.AvgCpuLoad() * 100), rt(m_odh),
+         TablePrinter::FormatCount(m_rdb.Throughput() * dp_mult),
+         Fmt("%.2f%%", m_rdb.AvgCpuLoad() * 100), rt(m_rdb),
+         TablePrinter::FormatCount(m_mysql.Throughput() * dp_mult),
+         Fmt("%.2f%%", m_mysql.AvgCpuLoad() * 100), rt(m_mysql)});
+  }
+  table.Print("Figure 6 — LD(i) insert throughput & CPU (8 cores sim.)");
+  std::printf(
+      "\nExpected shape: ODH ahead of the relational candidates, but by a\n"
+      "smaller factor than on TD (larger records amortize the per-record\n"
+      "B-tree cost -- the paper's \"RDB performed surprisingly well on\n"
+      "LD\"). At this 1/50 scale the offered rates stay below every\n"
+      "candidate's ceiling, so RT stays 'yes'; at paper scale the offered\n"
+      "line crosses the relational ceilings first.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace odh::bench
+
+int main(int argc, char** argv) { return odh::bench::Run(argc, argv); }

@@ -1,0 +1,75 @@
+// Reproduces paper Figure 7: "The number of tags vs data throughput for
+// LD(10)" — write throughput (data points per second) of ODH and RDB as the
+// observation record width varies from 1 to 15 tags.
+//
+// Scaling: 5000 dense sensors (paper: 10M sparse). Expected shape: RDB's
+// dp/s collapses for narrow records (per-record B-tree maintenance
+// dominates, so dp/s ~ tags * records/s) while ODH stays high and flat —
+// "the smaller the record, the larger the write performance gap".
+
+#include "bench/bench_util.h"
+#include "benchfw/ld_generator.h"
+#include "common/logging.h"
+
+namespace odh::bench {
+namespace {
+
+using benchfw::IngestMetrics;
+using benchfw::IngestRunOptions;
+using benchfw::LdConfig;
+using benchfw::LdGenerator;
+using benchfw::OdhTarget;
+using benchfw::RelationalTarget;
+
+IngestMetrics RunOne(const LdConfig& config, benchfw::IngestTarget* target) {
+  LdGenerator stream(config);
+  ODH_CHECK_OK(target->Setup(stream.info()));
+  IngestRunOptions options;
+  options.simulated_cores = 8;
+  options.wall_time_limit_seconds = 2.0;
+  auto metrics = benchfw::RunIngest(&stream, target, options);
+  ODH_CHECK_OK(metrics.status());
+  return *metrics;
+}
+
+int Run(int argc, char** argv) {
+  double scale = ScaleFromArgs(argc, argv);
+  PrintHeader("IoT-X: record width vs write throughput",
+              "Figure 7 (number of tags vs data throughput, LD(10))",
+              "5000 dense sensors (scaled from 10M); dp/s = tags x "
+              "records/s.");
+
+  const int64_t sensors = static_cast<int64_t>(5000 * scale);
+  TablePrinter table({"# Tags", "ODH dp/s", "RDB dp/s", "ODH/RDB"});
+  for (int tags : {1, 2, 4, 6, 8, 10, 12, 15}) {
+    LdConfig config;
+    config.num_sensors = sensors;
+    config.mean_interval = 23 * kMicrosPerSecond;
+    config.duration_seconds = 240;
+    config.num_tags = tags;
+    config.dense = true;
+    config.seed = 77;
+
+    OdhTarget odh;
+    IngestMetrics m_odh = RunOne(config, &odh);
+    RelationalTarget rdb(relational::EngineProfile::Rdb(), 1000);
+    IngestMetrics m_rdb = RunOne(config, &rdb);
+
+    double odh_dp = m_odh.Throughput() * tags;
+    double rdb_dp = m_rdb.Throughput() * tags;
+    table.AddRow({std::to_string(tags), TablePrinter::FormatCount(odh_dp),
+                  TablePrinter::FormatCount(rdb_dp),
+                  Fmt("%.1fx", odh_dp / rdb_dp)});
+  }
+  table.Print("Figure 7 — tags vs data throughput (LD(10) scaled)");
+  std::printf(
+      "\nExpected shape: RDB dp/s shrinks as records narrow (per-record\n"
+      "index cost dominates); ODH stays high even at 1 tag, so the ODH/RDB\n"
+      "gap is largest for the smallest records.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace odh::bench
+
+int main(int argc, char** argv) { return odh::bench::Run(argc, argv); }

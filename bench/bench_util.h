@@ -1,0 +1,41 @@
+#ifndef ODH_BENCH_BENCH_UTIL_H_
+#define ODH_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "benchfw/runner.h"
+#include "common/table_printer.h"
+
+namespace odh::bench {
+
+/// Scale factor shared by all paper-reproduction benches. 1.0 = the default
+/// laptop-scale configuration documented per bench; pass a float argv[1] to
+/// grow/shrink every dataset proportionally.
+inline double ScaleFromArgs(int argc, char** argv) {
+  if (argc > 1) {
+    double s = std::strtod(argv[1], nullptr);
+    if (s > 0) return s;
+  }
+  return 1.0;
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref,
+                        const char* note) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("%s\n", note);
+  std::printf("================================================================\n");
+}
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace odh::bench
+
+#endif  // ODH_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,115 @@
+// Connected-vehicles scenario (paper §4.3): a telematics platform where a
+// vehicle fleet reports CAN-bus signals every 10 seconds. Demonstrates the
+// key selling point of §4.3 — existing SQL applications keep working after
+// the scale-up migration to ODH: the same fleet-management queries run
+// against the virtual table, joined with a relational fleet registry.
+//
+//   build/examples/connected_vehicles [num_vehicles]   (default 5000)
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "core/odh.h"
+
+using namespace odh;        // NOLINT: example brevity.
+using namespace odh::core;  // NOLINT
+
+int main(int argc, char** argv) {
+  const int64_t num_vehicles = argc > 1 ? std::atoll(argv[1]) : 5000;
+  const int ticks = 30;  // Five minutes at 10-second intervals.
+  std::printf("Connected vehicles: %lld vehicles, %d reports each "
+              "(paper: up to 300K vehicles per server)\n\n",
+              static_cast<long long>(num_vehicles), ticks);
+
+  OdhSystem odh;
+  int type = odh.DefineSchemaType(
+                    "telemetry",
+                    {"speed_kmh", "rpm", "fuel_pct", "engine_temp",
+                     "battery_v", "odometer_km"})
+                 .value();
+  for (SourceId id = 1; id <= num_vehicles; ++id) {
+    ODH_CHECK_OK(odh.RegisterSource(id, type, 10 * kMicrosPerSecond,
+                                    /*regular=*/true));
+  }
+
+  // The fleet registry is ordinary relational data — unchanged by the
+  // migration.
+  ODH_CHECK_OK(odh.engine()
+                   ->Execute("CREATE TABLE fleet (vehicle_id BIGINT, "
+                             "model VARCHAR, depot VARCHAR)")
+                   .status());
+  ODH_CHECK_OK(odh.engine()
+                   ->Execute("CREATE INDEX fleet_by_id ON fleet "
+                             "(vehicle_id)")
+                   .status());
+  for (SourceId id = 1; id <= num_vehicles; ++id) {
+    char sql[160];
+    snprintf(sql, sizeof(sql),
+             "INSERT INTO fleet VALUES (%lld, 'Model%c', 'Depot%lld')",
+             static_cast<long long>(id), "ABC"[id % 3],
+             static_cast<long long>(id % 10));
+    ODH_CHECK_OK(odh.engine()->Execute(sql).status());
+  }
+
+  Stopwatch timer;
+  for (int tick = 0; tick < ticks; ++tick) {
+    Timestamp ts = tick * 10 * kMicrosPerSecond;
+    for (SourceId id = 1; id <= num_vehicles; ++id) {
+      double phase = 0.1 * tick + 0.01 * id;
+      OperationalRecord record{
+          id, ts,
+          {60 + 40 * std::sin(phase), 1800 + 900 * std::sin(phase * 1.1),
+           90.0 - 0.05 * tick, 88 + 4 * std::sin(phase * 0.3),
+           13.6 + 0.2 * std::sin(phase * 2), 120000.0 + 0.2 * tick}};
+      ODH_CHECK_OK(odh.Ingest(record));
+    }
+  }
+  ODH_CHECK_OK(odh.FlushAll());
+  int64_t points = odh.writer()->stats().points_ingested;
+  std::printf("Ingested %lld telemetry records (%.2fM records/s), "
+              "storage %.1f MB\n\n",
+              static_cast<long long>(points),
+              points / timer.ElapsedSeconds() / 1e6,
+              odh.storage_bytes() / 1048576.0);
+
+  // The pre-migration SQL application keeps working: depot dashboard.
+  auto dashboard = odh.engine()->Execute(
+      "SELECT depot, COUNT(*) AS samples, AVG(speed_kmh) AS avg_speed, "
+      "MAX(engine_temp) AS max_temp "
+      "FROM telemetry_v t, fleet f "
+      "WHERE f.vehicle_id = t.id AND ts > '1970-01-01 00:04:00' "
+      "GROUP BY depot ORDER BY depot LIMIT 5");
+  ODH_CHECK_OK(dashboard.status());
+  std::printf("Depot dashboard (last minute), first 5 depots:\n");
+  for (const auto& row : dashboard->rows) {
+    std::printf("  %-8s samples=%-6s avg_speed=%-8s max_temp=%s\n",
+                row[0].ToString().c_str(), row[1].ToString().c_str(),
+                row[2].ToString().c_str(), row[3].ToString().c_str());
+  }
+
+  // Per-vehicle diagnostics: one vehicle's battery trace.
+  auto trace = odh.engine()->Execute(
+      "SELECT ts, battery_v FROM telemetry_v WHERE id = 77 ORDER BY ts "
+      "LIMIT 5");
+  ODH_CHECK_OK(trace.status());
+  std::printf("\nVehicle 77 battery trace (first 5 samples):\n");
+  for (const auto& row : trace->rows) {
+    std::printf("  %s  %s V\n", row[0].ToString().c_str(),
+                row[1].ToString().c_str());
+  }
+
+  // Fleet-wide anomaly scan on a single tag (tag-oriented decode).
+  Stopwatch scan_timer;
+  auto hot = odh.engine()->Execute(
+      "SELECT COUNT(*) FROM telemetry_v WHERE engine_temp > 91.5");
+  ODH_CHECK_OK(hot.status());
+  std::printf("\nOverheating samples fleet-wide: %s (single-tag scan of %lld "
+              "records in %.0f ms)\n",
+              hot->rows[0][0].ToString().c_str(),
+              static_cast<long long>(points),
+              scan_timer.ElapsedSeconds() * 1000);
+  return 0;
+}

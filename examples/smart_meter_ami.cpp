@@ -1,0 +1,118 @@
+// Smart-meter AMI scenario (paper §4.2): a province-scale Advanced Meter
+// Infrastructure where millions of low-frequency meters report every 15
+// minutes. Demonstrates the Mixed Grouping (MG) ingest path, slice queries
+// for real-time consumption reporting, the MG -> RTS reorganization that
+// serves historical per-meter queries, and the storage saving vs a
+// relational baseline.
+//
+//   build/examples/smart_meter_ami [num_meters]   (default 20000)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "core/odh.h"
+#include "relational/database.h"
+
+using namespace odh;            // NOLINT: example brevity.
+using namespace odh::core;      // NOLINT
+
+int main(int argc, char** argv) {
+  const int64_t num_meters = argc > 1 ? std::atoll(argv[1]) : 20000;
+  const int readings = 8;  // Two hours at 15-minute intervals.
+  std::printf("AMI scenario: %lld meters, %d readings each "
+              "(paper: 35M meters)\n\n",
+              static_cast<long long>(num_meters), readings);
+
+  OdhOptions options;
+  options.mg_group_size = 1024;
+  OdhSystem odh(options);
+  int type = odh.DefineSchemaType("meters", {"kwh", "voltage"}).value();
+  for (SourceId id = 1; id <= num_meters; ++id) {
+    ODH_CHECK_OK(odh.RegisterSource(id, type, 15 * kMicrosPerMinute,
+                                    /*regular=*/true));
+  }
+
+  // Ingest: every 15 minutes all meters report (the national-standard
+  // cadence the paper's Company B had to reach).
+  Stopwatch ingest_timer;
+  for (int reading = 0; reading < readings; ++reading) {
+    Timestamp ts = reading * 15 * kMicrosPerMinute;
+    for (SourceId id = 1; id <= num_meters; ++id) {
+      double kwh = 0.2 * reading + 0.001 * static_cast<double>(id % 97);
+      OperationalRecord record{id, ts, {kwh, 229.5 + (id % 7) * 0.1}};
+      ODH_CHECK_OK(odh.Ingest(record));
+    }
+  }
+  ODH_CHECK_OK(odh.FlushAll());
+  double seconds = ingest_timer.ElapsedSeconds();
+  int64_t points = odh.writer()->stats().points_ingested;
+  std::printf("Ingested %lld meter readings in %.2f s (%.0f records/s)\n",
+              static_cast<long long>(points), seconds, points / seconds);
+  std::printf("MG blobs written: %lld, storage: %.1f MB\n\n",
+              static_cast<long long>(odh.writer()->stats().mg_blobs),
+              odh.storage_bytes() / 1048576.0);
+
+  // Slice query: one reading round across every meter (the paper's
+  // "real-time power consumption reporting"; it took 150-200 s for 35M
+  // meters on the customer's hardware).
+  Stopwatch slice_timer;
+  auto slice = odh.engine()->Execute(
+      "SELECT COUNT(*), SUM(kwh) FROM meters_v "
+      "WHERE ts = '1970-01-01 01:00:00'");
+  ODH_CHECK_OK(slice.status());
+  std::printf("Slice query over all meters at 01:00: count=%s total_kwh=%s "
+              "(%.1f ms)\n",
+              slice->rows[0][0].ToString().c_str(),
+              slice->rows[0][1].ToString().c_str(),
+              slice_timer.ElapsedSeconds() * 1000);
+
+  // Reorganize: MG ingest form -> per-meter RTS series for history.
+  auto report = odh.Reorganize(type, kMaxTimestamp).value();
+  std::printf("Reorganized %lld points into %lld RTS blobs\n",
+              static_cast<long long>(report.points_moved),
+              static_cast<long long>(report.rts_blobs_written));
+
+  // Historical query on one meter (billing-style read).
+  const long long sample_meter = num_meters / 2 + 1;
+  char history_sql[128];
+  snprintf(history_sql, sizeof(history_sql),
+           "SELECT ts, kwh FROM meters_v WHERE id = %lld ORDER BY ts",
+           sample_meter);
+  auto history = odh.engine()->Execute(history_sql);
+  ODH_CHECK_OK(history.status());
+  std::printf("Meter %lld history: %zu readings, first=%s last=%s\n\n",
+              sample_meter,
+              history->rows.size(),
+              history->rows.front()[1].ToString().c_str(),
+              history->rows.back()[1].ToString().c_str());
+
+  // Storage comparison vs a relational baseline with the paper's indexes.
+  relational::Database rdb(relational::EngineProfile::Rdb());
+  auto* table = rdb.CreateTable(
+                       "meters", relational::Schema(
+                                     {{"ts", DataType::kTimestamp},
+                                      {"id", DataType::kInt64},
+                                      {"kwh", DataType::kDouble},
+                                      {"voltage", DataType::kDouble}}))
+                    .value();
+  ODH_CHECK_OK(table->AddIndex({"by_ts", {0}}));
+  ODH_CHECK_OK(table->AddIndex({"by_id", {1}}));
+  for (int reading = 0; reading < readings; ++reading) {
+    Timestamp ts = reading * 15 * kMicrosPerMinute;
+    for (SourceId id = 1; id <= num_meters; ++id) {
+      double kwh = 0.2 * reading + 0.001 * static_cast<double>(id % 97);
+      table->Insert({Datum::Time(ts), Datum::Int64(id), Datum::Double(kwh),
+                     Datum::Double(229.5 + (id % 7) * 0.1)})
+          .value();
+    }
+  }
+  ODH_CHECK_OK(table->Commit());
+  std::printf("Storage: ODH %.1f MB vs relational %.1f MB (%.1fx smaller)\n",
+              odh.storage_bytes() / 1048576.0,
+              rdb.TotalBytesStored() / 1048576.0,
+              static_cast<double>(rdb.TotalBytesStored()) /
+                  static_cast<double>(odh.storage_bytes()));
+  return 0;
+}

@@ -1,0 +1,166 @@
+#include "benchfw/csv.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <set>
+
+namespace odh::benchfw {
+namespace {
+
+/// Splits one CSV line (no quoting: the format never emits commas inside
+/// fields) into string_views over `line`.
+std::vector<std::string_view> SplitLine(const std::string& line) {
+  std::vector<std::string_view> fields;
+  size_t start = 0;
+  while (true) {
+    size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      fields.emplace_back(line.data() + start, line.size() - start);
+      break;
+    }
+    fields.emplace_back(line.data() + start, comma - start);
+    start = comma + 1;
+  }
+  return fields;
+}
+
+bool ReadLine(FILE* file, std::string* line) {
+  line->clear();
+  char buf[4096];
+  while (fgets(buf, sizeof(buf), file) != nullptr) {
+    size_t len = std::strlen(buf);
+    line->append(buf, len);
+    if (!line->empty() && line->back() == '\n') {
+      line->pop_back();
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return true;
+    }
+    // Continuation of a long line; keep reading.
+  }
+  return !line->empty();
+}
+
+}  // namespace
+
+Status WriteCsv(RecordStream* stream, const std::string& path) {
+  FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  const StreamInfo& info = stream->info();
+  std::fputs("id,ts", file);
+  for (const std::string& tag : info.tag_names) {
+    std::fprintf(file, ",%s", tag.c_str());
+  }
+  std::fputc('\n', file);
+
+  core::OperationalRecord record;
+  while (stream->Next(&record)) {
+    std::fprintf(file, "%lld,%lld", static_cast<long long>(record.id),
+                 static_cast<long long>(record.ts));
+    for (double v : record.tags) {
+      if (std::isnan(v)) {
+        std::fputc(',', file);
+      } else {
+        std::fprintf(file, ",%.17g", v);
+      }
+    }
+    std::fputc('\n', file);
+  }
+  if (std::fclose(file) != 0) {
+    return Status::IoError("close failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<CsvRecordStream>> CsvRecordStream::Open(
+    const std::string& path, StreamInfo info_template) {
+  std::unique_ptr<CsvRecordStream> stream(
+      new CsvRecordStream(path, std::move(info_template)));
+  ODH_RETURN_IF_ERROR(stream->OpenFile());
+
+  // Pre-scan: tag names from the header, record count, source set and time
+  // extent for the offered-rate metadata.
+  std::string line;
+  if (!ReadLine(stream->file_, &line)) {
+    return Status::InvalidArgument("empty CSV: " + path);
+  }
+  auto header = SplitLine(line);
+  if (header.size() < 3 || header[0] != "id" || header[1] != "ts") {
+    return Status::InvalidArgument("bad CSV header: " + path);
+  }
+  stream->info_.tag_names.clear();
+  for (size_t i = 2; i < header.size(); ++i) {
+    stream->info_.tag_names.emplace_back(header[i]);
+  }
+  int64_t records = 0;
+  Timestamp min_ts = kMaxTimestamp, max_ts = kMinTimestamp;
+  std::set<SourceId> sources;
+  SourceId min_id = std::numeric_limits<SourceId>::max();
+  while (ReadLine(stream->file_, &line)) {
+    auto fields = SplitLine(line);
+    if (fields.size() != header.size()) {
+      return Status::InvalidArgument("ragged CSV row in " + path);
+    }
+    SourceId id = std::strtoll(std::string(fields[0]).c_str(), nullptr, 10);
+    Timestamp ts = std::strtoll(std::string(fields[1]).c_str(), nullptr, 10);
+    sources.insert(id);
+    min_id = std::min(min_id, id);
+    min_ts = std::min(min_ts, ts);
+    max_ts = std::max(max_ts, ts);
+    ++records;
+  }
+  stream->info_.expected_records = records;
+  stream->info_.num_sources = static_cast<int64_t>(sources.size());
+  stream->info_.first_source_id = sources.empty() ? 1 : min_id;
+  double span_seconds =
+      records > 1 ? static_cast<double>(max_ts - min_ts) / kMicrosPerSecond
+                  : 1.0;
+  if (span_seconds <= 0) span_seconds = 1.0;
+  stream->info_.offered_points_per_second = records / span_seconds;
+  stream->Reset();
+  return stream;
+}
+
+CsvRecordStream::~CsvRecordStream() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status CsvRecordStream::OpenFile() {
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = std::fopen(path_.c_str(), "r");
+  if (file_ == nullptr) return Status::IoError("cannot open: " + path_);
+  return Status::OK();
+}
+
+void CsvRecordStream::Reset() {
+  failed_ = !OpenFile().ok();
+  if (!failed_) {
+    // Skip the header.
+    std::string line;
+    if (!ReadLine(file_, &line)) failed_ = true;
+  }
+}
+
+bool CsvRecordStream::Next(core::OperationalRecord* record) {
+  if (failed_ || file_ == nullptr) return false;
+  if (!ReadLine(file_, &line_buffer_)) return false;
+  auto fields = SplitLine(line_buffer_);
+  if (fields.size() != info_.tag_names.size() + 2) return false;
+  record->id = std::strtoll(std::string(fields[0]).c_str(), nullptr, 10);
+  record->ts = std::strtoll(std::string(fields[1]).c_str(), nullptr, 10);
+  record->tags.resize(info_.tag_names.size());
+  for (size_t t = 0; t < info_.tag_names.size(); ++t) {
+    if (fields[2 + t].empty()) {
+      record->tags[t] = std::numeric_limits<double>::quiet_NaN();
+    } else {
+      record->tags[t] =
+          std::strtod(std::string(fields[2 + t]).c_str(), nullptr);
+    }
+  }
+  return true;
+}
+
+}  // namespace odh::benchfw

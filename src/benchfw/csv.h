@@ -1,0 +1,57 @@
+#ifndef ODH_BENCHFW_CSV_H_
+#define ODH_BENCHFW_CSV_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "benchfw/stream.h"
+#include "common/result.h"
+
+namespace odh::benchfw {
+
+/// CSV interchange for operational record streams. The paper's WS1 data
+/// simulator "read[s] data from standard CSV files and simulate[s]
+/// real-time data insertion"; its LD side used "a data adapter ... to
+/// convert the RDF data into comma-separated value (CSV) files". These
+/// helpers give the reproduction the same file-based pipeline.
+///
+/// Format: header `id,ts,<tag names...>`, then one record per line with
+/// microsecond timestamps and empty fields for missing (NaN) tags.
+
+/// Exports a stream to `path` (consumes the stream from its position).
+Status WriteCsv(RecordStream* stream, const std::string& path);
+
+/// Streams operational records from a CSV file written by WriteCsv (or by
+/// any external tool using the same header convention). The StreamInfo is
+/// reconstructed from `info_template` with tag names taken from the file
+/// header; offered rate and record count are computed on open by a quick
+/// pre-scan.
+class CsvRecordStream : public RecordStream {
+ public:
+  /// Opens and validates the file.
+  static Result<std::unique_ptr<CsvRecordStream>> Open(
+      const std::string& path, StreamInfo info_template);
+
+  ~CsvRecordStream() override;
+
+  const StreamInfo& info() const override { return info_; }
+  bool Next(core::OperationalRecord* record) override;
+  void Reset() override;
+
+ private:
+  CsvRecordStream(std::string path, StreamInfo info)
+      : path_(std::move(path)), info_(std::move(info)) {}
+
+  Status OpenFile();
+
+  std::string path_;
+  StreamInfo info_;
+  FILE* file_ = nullptr;
+  std::string line_buffer_;
+  bool failed_ = false;
+};
+
+}  // namespace odh::benchfw
+
+#endif  // ODH_BENCHFW_CSV_H_

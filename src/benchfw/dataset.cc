@@ -1,0 +1,71 @@
+#include "benchfw/dataset.h"
+
+namespace odh::benchfw {
+
+Status LoadTdRelational(const TdGenerator& generator,
+                        relational::Database* db) {
+  ODH_ASSIGN_OR_RETURN(
+      relational::Table * customer,
+      db->CreateTable("customer",
+                      relational::Schema({{"c_id", DataType::kInt64},
+                                          {"c_l_name", DataType::kString},
+                                          {"c_f_name", DataType::kString},
+                                          {"c_tier", DataType::kInt64},
+                                          {"c_dob", DataType::kTimestamp}})));
+  ODH_RETURN_IF_ERROR(customer->AddIndex({"by_id", {0}}));
+  for (const TdCustomer& c : generator.Customers()) {
+    ODH_RETURN_IF_ERROR(customer
+                            ->Insert({Datum::Int64(c.id),
+                                      Datum::String(c.l_name),
+                                      Datum::String(c.f_name),
+                                      Datum::Int64(c.tier),
+                                      Datum::Time(c.dob)})
+                            .status());
+  }
+  ODH_RETURN_IF_ERROR(customer->Commit());
+
+  ODH_ASSIGN_OR_RETURN(
+      relational::Table * account,
+      db->CreateTable("account",
+                      relational::Schema({{"ca_id", DataType::kInt64},
+                                          {"ca_c_id", DataType::kInt64},
+                                          {"ca_name", DataType::kString},
+                                          {"ca_bal", DataType::kDouble}})));
+  ODH_RETURN_IF_ERROR(account->AddIndex({"by_id", {0}}));
+  ODH_RETURN_IF_ERROR(account->AddIndex({"by_cid", {1}}));
+  ODH_RETURN_IF_ERROR(account->AddIndex({"by_name", {2}}));
+  for (const TdAccount& a : generator.Accounts()) {
+    ODH_RETURN_IF_ERROR(account
+                            ->Insert({Datum::Int64(a.id),
+                                      Datum::Int64(a.customer_id),
+                                      Datum::String(a.name),
+                                      Datum::Double(a.balance)})
+                            .status());
+  }
+  return account->Commit();
+}
+
+Status LoadLdRelational(const LdGenerator& generator,
+                        relational::Database* db) {
+  ODH_ASSIGN_OR_RETURN(
+      relational::Table * sensors,
+      db->CreateTable(
+          "linkedsensor",
+          relational::Schema({{"sensorid", DataType::kInt64},
+                              {"sensorname", DataType::kString},
+                              {"latitude", DataType::kDouble},
+                              {"longitude", DataType::kDouble}})));
+  ODH_RETURN_IF_ERROR(sensors->AddIndex({"by_id", {0}}));
+  ODH_RETURN_IF_ERROR(sensors->AddIndex({"by_name", {1}}));
+  for (const LdSensor& s : generator.Sensors()) {
+    ODH_RETURN_IF_ERROR(sensors
+                            ->Insert({Datum::Int64(s.id),
+                                      Datum::String(s.name),
+                                      Datum::Double(s.latitude),
+                                      Datum::Double(s.longitude)})
+                            .status());
+  }
+  return sensors->Commit();
+}
+
+}  // namespace odh::benchfw

@@ -1,0 +1,21 @@
+#ifndef ODH_BENCHFW_DATASET_H_
+#define ODH_BENCHFW_DATASET_H_
+
+#include "benchfw/ld_generator.h"
+#include "benchfw/td_generator.h"
+#include "relational/database.h"
+
+namespace odh::benchfw {
+
+/// Loads the TD relational side (CUSTOMER, ACCOUNT with the paper's
+/// simplified TPC-E schema) into `db`, with indexes on the join keys.
+Status LoadTdRelational(const TdGenerator& generator,
+                        relational::Database* db);
+
+/// Loads the LD relational side (LINKEDSENSOR) into `db`.
+Status LoadLdRelational(const LdGenerator& generator,
+                        relational::Database* db);
+
+}  // namespace odh::benchfw
+
+#endif  // ODH_BENCHFW_DATASET_H_

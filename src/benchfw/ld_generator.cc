@@ -1,0 +1,113 @@
+#include "benchfw/ld_generator.h"
+
+#include <cmath>
+#include <limits>
+
+namespace odh::benchfw {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+const char* const kAttributeNames[17] = {
+    "winddirection",      "airtemperature",
+    "windspeed",          "windgust",
+    "precipitationacc",   "precipitationsmoothed",
+    "relativehumidity",   "dewpoint",
+    "peakwindspeed",      "peakwinddirection",
+    "visibility",         "pressure",
+    "watertemperature",   "precipitation",
+    "soiltemperature",    "humidityindex",
+    "cloudcover"};
+
+double HashUnit(uint64_t a, uint64_t b) {
+  uint64_t x = a * 0x9e3779b97f4a7c15ULL + b + 0x7f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace
+
+std::vector<std::string> LdGenerator::TagNames(int num_tags) {
+  std::vector<std::string> names;
+  for (int t = 0; t < num_tags; ++t) {
+    names.push_back(t < 17 ? kAttributeNames[t]
+                           : "attr" + std::to_string(t));
+  }
+  return names;
+}
+
+LdGenerator::LdGenerator(LdConfig config) : config_(config) {
+  const double global_hz =
+      static_cast<double>(config_.num_sensors) *
+      static_cast<double>(kMicrosPerSecond) /
+      static_cast<double>(config_.mean_interval);
+  global_interval_us_ = static_cast<double>(kMicrosPerSecond) / global_hz;
+  total_records_ =
+      static_cast<int64_t>(global_hz * config_.duration_seconds);
+
+  info_.name = "LD";
+  info_.tag_names = TagNames(config_.num_tags);
+  info_.num_sources = config_.num_sensors;
+  info_.first_source_id = config_.first_id;
+  info_.sample_interval = config_.mean_interval;
+  info_.regular = false;
+  info_.offered_points_per_second = global_hz;
+  info_.expected_records = total_records_;
+}
+
+void LdGenerator::Reset() { next_record_ = 0; }
+
+bool LdGenerator::SensorMeasures(SourceId id, int tag) const {
+  // Each sensor measures a deterministic subset: 4 core attributes plus a
+  // hash-selected share of the rest (~40%), mirroring the LSD sparsity.
+  if (config_.dense || tag < 4) return true;
+  return HashUnit(config_.seed ^ static_cast<uint64_t>(id), tag) < 0.4;
+}
+
+double LdGenerator::ValueOf(SourceId id, int tag, Timestamp ts) const {
+  // Smooth diurnal-style signal + slow drift; stateless by design so a
+  // million sensors carry no generator state.
+  double base = 10.0 + 20.0 * HashUnit(id, tag);
+  double phase = 6.28 * HashUnit(id, tag + 100);
+  double t_hours = static_cast<double>(ts) / kMicrosPerHour;
+  double diurnal = 5.0 * std::sin(t_hours * 6.28 + phase);
+  double drift = 0.5 * t_hours * (HashUnit(id, tag + 200) - 0.5);
+  return base + diurnal + drift;
+}
+
+bool LdGenerator::Next(core::OperationalRecord* record) {
+  if (next_record_ >= total_records_) return false;
+  const int64_t k = next_record_++;
+  const int64_t sensor_index = k % config_.num_sensors;
+  double jitter = (HashUnit(config_.seed ^ 0xF00D, k) - 0.5) * 0.4 *
+                  global_interval_us_;
+  double t = static_cast<double>(k) * global_interval_us_ + jitter;
+  if (t < 0) t = 0;
+  record->id = info_.first_source_id + sensor_index;
+  record->ts = static_cast<Timestamp>(t);
+  record->tags.assign(config_.num_tags, kNaN);
+  for (int tag = 0; tag < config_.num_tags; ++tag) {
+    if (SensorMeasures(record->id, tag)) {
+      record->tags[tag] = ValueOf(record->id, tag, record->ts);
+    }
+  }
+  return true;
+}
+
+std::vector<LdSensor> LdGenerator::Sensors() const {
+  std::vector<LdSensor> sensors;
+  sensors.reserve(config_.num_sensors);
+  for (int64_t s = 0; s < config_.num_sensors; ++s) {
+    LdSensor sensor;
+    sensor.id = info_.first_source_id + s;
+    sensor.name = "A" + std::to_string(sensor.id);
+    sensor.latitude = 25.0 + 25.0 * HashUnit(config_.seed ^ 2, s);
+    sensor.longitude = -125.0 + 60.0 * HashUnit(config_.seed ^ 3, s);
+    sensors.push_back(std::move(sensor));
+  }
+  return sensors;
+}
+
+}  // namespace odh::benchfw

@@ -1,0 +1,93 @@
+#ifndef ODH_BENCHFW_METRICS_H_
+#define ODH_BENCHFW_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace odh::benchfw {
+
+/// What one ingest workload reports (the columns of the paper's Figures 5/6
+/// and Tables 2/3).
+struct IngestMetrics {
+  int64_t points = 0;
+  double wall_seconds = 0;
+  double cpu_seconds = 0;
+  /// Offered load of the simulated sources (the red dashed line).
+  double offered_points_per_second = 0;
+  /// Simulated core count used to normalize CPU load (paper reports CPU%
+  /// of 8/16/32-core machines).
+  int simulated_cores = 1;
+  uint64_t bytes_written = 0;
+  uint64_t storage_bytes = 0;
+  /// Per-window CPU seconds (for max-load reporting).
+  std::vector<double> window_cpu_seconds;
+  double window_data_seconds = 1.0;
+
+  /// Achieved throughput in data points per second of processing time.
+  double Throughput() const {
+    return wall_seconds > 0 ? static_cast<double>(points) / wall_seconds : 0;
+  }
+
+  /// The paper's CPU load metric: CPU-seconds consumed per second of
+  /// offered data, spread over the simulated cores. (A system keeping up
+  /// in real time on N cores shows load = cpu_per_data_second / N.)
+  double AvgCpuLoad() const {
+    if (points <= 0 || offered_points_per_second <= 0) return 0;
+    double data_seconds =
+        static_cast<double>(points) / offered_points_per_second;
+    if (data_seconds <= 0) return 0;
+    return cpu_seconds / data_seconds / simulated_cores;
+  }
+
+  double MaxCpuLoad() const {
+    double max_window = 0;
+    for (double w : window_cpu_seconds) {
+      if (w > max_window) max_window = w;
+    }
+    if (max_window == 0) return AvgCpuLoad();
+    return max_window / window_data_seconds / simulated_cores;
+  }
+
+  /// True when the system can keep up with the offered load in real time.
+  /// Ingestion in this reproduction is single-threaded, so the comparison
+  /// is against one core's throughput (the paper's red dashed line).
+  bool RealTimeFeasible() const {
+    return Throughput() >= offered_points_per_second;
+  }
+
+  double IoBytesPerSecond() const {
+    if (points <= 0 || offered_points_per_second <= 0) return 0;
+    double data_seconds =
+        static_cast<double>(points) / offered_points_per_second;
+    return data_seconds > 0 ? static_cast<double>(bytes_written) /
+                                  data_seconds
+                            : 0;
+  }
+};
+
+/// What one query workload reports (paper Table 8).
+struct QueryMetrics {
+  int64_t queries = 0;
+  int64_t data_points = 0;
+  double wall_seconds = 0;
+  double cpu_seconds = 0;
+
+  double DataPointsPerSecond() const {
+    return wall_seconds > 0 ? static_cast<double>(data_points) / wall_seconds
+                            : 0;
+  }
+  double QueriesPerSecond() const {
+    return wall_seconds > 0 ? static_cast<double>(queries) / wall_seconds
+                            : 0;
+  }
+  double AvgLatencyMs() const {
+    return queries > 0 ? wall_seconds * 1000.0 / static_cast<double>(queries)
+                       : 0;
+  }
+};
+
+}  // namespace odh::benchfw
+
+#endif  // ODH_BENCHFW_METRICS_H_

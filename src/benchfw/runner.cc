@@ -1,0 +1,73 @@
+#include "benchfw/runner.h"
+
+namespace odh::benchfw {
+
+Result<IngestMetrics> RunIngest(RecordStream* stream, IngestTarget* target,
+                                const IngestRunOptions& options) {
+  IngestMetrics metrics;
+  metrics.offered_points_per_second =
+      stream->info().offered_points_per_second;
+  metrics.simulated_cores = options.simulated_cores;
+  metrics.window_data_seconds = options.window_seconds;
+
+  const Timestamp window_us =
+      static_cast<Timestamp>(options.window_seconds * kMicrosPerSecond);
+  Timestamp window_end = window_us;
+
+  Stopwatch wall;
+  CpuMeter cpu;
+  double window_cpu_start = 0;
+
+  core::OperationalRecord record;
+  while (stream->Next(&record)) {
+    ODH_RETURN_IF_ERROR(target->Write(record));
+    ++metrics.points;
+    if (record.ts >= window_end) {
+      double cpu_now = cpu.ElapsedCpuSeconds();
+      metrics.window_cpu_seconds.push_back(cpu_now - window_cpu_start);
+      window_cpu_start = cpu_now;
+      while (record.ts >= window_end) window_end += window_us;
+    }
+    if (options.wall_time_limit_seconds > 0 && (metrics.points & 1023) == 0 &&
+        wall.ElapsedSeconds() > options.wall_time_limit_seconds) {
+      break;  // The paper force-terminated runs that could not keep up.
+    }
+  }
+  ODH_RETURN_IF_ERROR(target->Finish());
+  metrics.wall_seconds = wall.ElapsedSeconds();
+  metrics.cpu_seconds = cpu.ElapsedCpuSeconds();
+  // Attribute the trailing partial window (and the final flush) to one
+  // last window so MaxCpuLoad covers the whole run.
+  if (metrics.cpu_seconds > window_cpu_start) {
+    metrics.window_cpu_seconds.push_back(metrics.cpu_seconds -
+                                         window_cpu_start);
+  }
+  metrics.bytes_written = target->BytesWritten();
+  metrics.storage_bytes = target->StorageBytes();
+  return metrics;
+}
+
+Result<QueryMetrics> RunQueryWorkload(
+    sql::SqlEngine* engine, const std::vector<std::string>& queries) {
+  return RunQueryWorkload(engine, static_cast<int>(queries.size()),
+                          [&](int i) { return queries[i]; });
+}
+
+Result<QueryMetrics> RunQueryWorkload(
+    sql::SqlEngine* engine, int count,
+    const std::function<std::string(int)>& make_query) {
+  QueryMetrics metrics;
+  Stopwatch wall;
+  CpuMeter cpu;
+  for (int i = 0; i < count; ++i) {
+    ODH_ASSIGN_OR_RETURN(sql::QueryResult result,
+                         engine->Execute(make_query(i)));
+    ++metrics.queries;
+    metrics.data_points += result.DataPointCount();
+  }
+  metrics.wall_seconds = wall.ElapsedSeconds();
+  metrics.cpu_seconds = cpu.ElapsedCpuSeconds();
+  return metrics;
+}
+
+}  // namespace odh::benchfw

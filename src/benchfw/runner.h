@@ -1,0 +1,42 @@
+#ifndef ODH_BENCHFW_RUNNER_H_
+#define ODH_BENCHFW_RUNNER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "benchfw/metrics.h"
+#include "benchfw/target.h"
+#include "sql/engine.h"
+
+namespace odh::benchfw {
+
+struct IngestRunOptions {
+  /// Core count of the machine the paper setting simulates (normalizes the
+  /// CPU-load column).
+  int simulated_cores = 8;
+  /// Window (in simulated data time) for max-CPU-load tracking.
+  double window_seconds = 1.0;
+  /// Abort the run early after this many wall seconds (the paper killed
+  /// relational runs after 4 hours); <= 0 disables.
+  double wall_time_limit_seconds = 0;
+};
+
+/// WS1: drives a stream into a target as fast as possible and reports the
+/// paper's write metrics. The stream is consumed from its current position.
+Result<IngestMetrics> RunIngest(RecordStream* stream, IngestTarget* target,
+                                const IngestRunOptions& options = {});
+
+/// WS2: runs a list of SQL queries and reports throughput in returned data
+/// points per second (the paper's Table 8 metric).
+Result<QueryMetrics> RunQueryWorkload(sql::SqlEngine* engine,
+                                      const std::vector<std::string>& queries);
+
+/// Runs `count` queries produced by `make_query(i)`.
+Result<QueryMetrics> RunQueryWorkload(
+    sql::SqlEngine* engine, int count,
+    const std::function<std::string(int)>& make_query);
+
+}  // namespace odh::benchfw
+
+#endif  // ODH_BENCHFW_RUNNER_H_

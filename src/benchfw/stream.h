@@ -1,0 +1,41 @@
+#ifndef ODH_BENCHFW_STREAM_H_
+#define ODH_BENCHFW_STREAM_H_
+
+#include <string>
+#include <vector>
+
+#include "core/value_blob.h"
+
+namespace odh::benchfw {
+
+/// Static description of an operational record stream (one IoT-X dataset).
+struct StreamInfo {
+  std::string name;
+  std::vector<std::string> tag_names;
+  int64_t num_sources = 0;
+  SourceId first_source_id = 0;
+  /// Expected per-source sampling interval (micros) and regularity.
+  Timestamp sample_interval = 0;
+  bool regular = false;
+  /// Offered load: data points per second of simulated time. One record
+  /// carries `tag_names.size()` potential points but the paper counts a
+  /// record's non-NULL values; generators report their actual rate.
+  double offered_points_per_second = 0;
+  int64_t expected_records = 0;
+};
+
+/// A time-ordered stream of operational records (per-source timestamps are
+/// non-decreasing). Generators are deterministic given their seed.
+class RecordStream {
+ public:
+  virtual ~RecordStream() = default;
+  virtual const StreamInfo& info() const = 0;
+  /// Produces the next record; false at end of stream.
+  virtual bool Next(core::OperationalRecord* record) = 0;
+  /// Restarts the stream from the beginning.
+  virtual void Reset() = 0;
+};
+
+}  // namespace odh::benchfw
+
+#endif  // ODH_BENCHFW_STREAM_H_

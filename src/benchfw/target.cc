@@ -1,0 +1,67 @@
+#include "benchfw/target.h"
+
+#include <cmath>
+
+namespace odh::benchfw {
+
+OdhTarget::OdhTarget(core::OdhOptions options) {
+  odh_ = std::make_unique<core::OdhSystem>(options);
+}
+
+Status OdhTarget::Setup(const StreamInfo& info) {
+  ODH_ASSIGN_OR_RETURN(schema_type_,
+                       odh_->DefineSchemaType(info.name, info.tag_names));
+  for (int64_t s = 0; s < info.num_sources; ++s) {
+    ODH_RETURN_IF_ERROR(odh_->RegisterSource(info.first_source_id + s,
+                                             schema_type_,
+                                             info.sample_interval,
+                                             info.regular));
+  }
+  return odh_->FlushAll();  // Sync registration metadata.
+}
+
+RelationalTarget::RelationalTarget(relational::EngineProfile profile,
+                                   int batch_size)
+    : name_(profile.name), batch_size_(batch_size) {
+  db_ = std::make_unique<relational::Database>(std::move(profile));
+}
+
+Status RelationalTarget::Setup(const StreamInfo& info) {
+  std::vector<relational::Column> columns;
+  columns.push_back({"ts", DataType::kTimestamp});
+  columns.push_back({"id", DataType::kInt64});
+  for (const std::string& tag : info.tag_names) {
+    columns.push_back({tag, DataType::kDouble});
+  }
+  ODH_ASSIGN_OR_RETURN(
+      table_, db_->CreateTable(info.name, relational::Schema(columns)));
+  // The paper creates B-tree indexes on the timestamp and source id.
+  ODH_RETURN_IF_ERROR(table_->AddIndex({"by_ts", {0}}));
+  ODH_RETURN_IF_ERROR(table_->AddIndex({"by_id", {1}}));
+  row_buffer_.resize(2 + info.tag_names.size());
+  return Status::OK();
+}
+
+Status RelationalTarget::Write(const core::OperationalRecord& record) {
+  row_buffer_[0] = Datum::Time(record.ts);
+  row_buffer_[1] = Datum::Int64(record.id);
+  for (size_t t = 0; t < record.tags.size(); ++t) {
+    row_buffer_[2 + t] = std::isnan(record.tags[t])
+                             ? Datum::Null()
+                             : Datum::Double(record.tags[t]);
+  }
+  ODH_RETURN_IF_ERROR(table_->Insert(row_buffer_).status());
+  if (++pending_ >= batch_size_) {
+    ODH_RETURN_IF_ERROR(table_->Commit());
+    pending_ = 0;
+  }
+  return Status::OK();
+}
+
+Status RelationalTarget::Finish() {
+  pending_ = 0;
+  ODH_RETURN_IF_ERROR(table_->Commit());
+  return db_->pool()->FlushAll();
+}
+
+}  // namespace odh::benchfw

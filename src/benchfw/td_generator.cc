@@ -1,0 +1,120 @@
+#include "benchfw/td_generator.h"
+
+#include <cmath>
+
+namespace odh::benchfw {
+namespace {
+
+const char* const kLastNames[] = {"Smith", "Chen",  "Garcia", "Mueller",
+                                  "Ivanov", "Sato", "Okafor", "Silva"};
+const char* const kFirstNames[] = {"Alex", "Bea", "Chris", "Dana",
+                                   "Eli",  "Fay", "Gus",   "Hana"};
+
+/// Stateless pseudo-random double in [0,1) from a hash of (a, b).
+double HashUnit(uint64_t a, uint64_t b) {
+  uint64_t x = a * 0x9e3779b97f4a7c15ULL + b + 0x7f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace
+
+TdGenerator::TdGenerator(TdConfig config)
+    : config_(config), rng_(config.seed) {
+  const double global_hz =
+      static_cast<double>(config_.num_accounts) * config_.per_account_hz;
+  global_interval_us_ = static_cast<double>(kMicrosPerSecond) / global_hz;
+  total_records_ = static_cast<int64_t>(global_hz * config_.duration_seconds);
+
+  info_.name = "TD";
+  info_.tag_names = {"t_trade_price", "t_chrg", "t_comm", "t_tax"};
+  info_.num_sources = config_.num_accounts;
+  info_.first_source_id = 1;
+  info_.sample_interval = static_cast<Timestamp>(
+      kMicrosPerSecond / config_.per_account_hz);
+  info_.regular = false;  // Jittered arrivals: irregular time series.
+  // Every trade record carries 4 non-NULL tag values; the paper's
+  // "data points per second" counts records (one measurement event), so we
+  // report record rate here and let benches scale as needed.
+  info_.offered_points_per_second = global_hz;
+  info_.expected_records = total_records_;
+}
+
+void TdGenerator::Reset() {
+  next_record_ = 0;
+  rng_ = Random(config_.seed);
+}
+
+double TdGenerator::PriceOf(int64_t account, int64_t trade_index) const {
+  // A deterministic mean-reverting walk around a per-account base price:
+  // stateless so millions of accounts need no per-account state.
+  double base = 10.0 + 90.0 * HashUnit(config_.seed, account);
+  double wave =
+      0.05 * base *
+      std::sin(static_cast<double>(trade_index) * 0.05 +
+               6.28 * HashUnit(account, 17));
+  double noise = 0.02 * base * (HashUnit(account, trade_index) - 0.5);
+  return base + wave + noise;
+}
+
+bool TdGenerator::Next(core::OperationalRecord* record) {
+  if (next_record_ >= total_records_) return false;
+  const int64_t k = next_record_++;
+  // Account k % N trades at global step k: per-account interval is exactly
+  // N * global_interval with a +-20% of global-interval jitter, which keeps
+  // per-account timestamps monotonic but irregular.
+  const int64_t account_index = k % config_.num_accounts;
+  double jitter = (HashUnit(config_.seed ^ 0xABCD, k) - 0.5) * 0.4 *
+                  global_interval_us_;
+  double t = static_cast<double>(k) * global_interval_us_ + jitter;
+  if (t < 0) t = 0;
+  record->id = info_.first_source_id + account_index;
+  record->ts = static_cast<Timestamp>(t);
+  const int64_t trade_index = k / config_.num_accounts;
+  double price = PriceOf(record->id, trade_index);
+  record->tags.resize(kNumTags);
+  record->tags[0] = price;
+  record->tags[1] = 0.01 * price;                          // t_chrg
+  record->tags[2] = 0.005 * price;                         // t_comm
+  record->tags[3] = 0.002 * price * (1 + account_index % 3);  // t_tax
+  return true;
+}
+
+std::vector<TdCustomer> TdGenerator::Customers() const {
+  // 5 accounts per customer (paper: "an average of five accounts per
+  // customer").
+  int64_t num_customers = (config_.num_accounts + 4) / 5;
+  std::vector<TdCustomer> customers;
+  customers.reserve(num_customers);
+  for (int64_t c = 0; c < num_customers; ++c) {
+    TdCustomer customer;
+    customer.id = c + 1;
+    customer.l_name = kLastNames[c % std::size(kLastNames)];
+    customer.f_name = kFirstNames[(c / 8) % std::size(kFirstNames)];
+    customer.tier = 1 + c % 3;
+    // DOB spread over 1940-2000.
+    customer.dob = static_cast<Timestamp>(
+        (-30.0 + 60.0 * HashUnit(config_.seed, c)) * 365.25 * 86400.0 *
+        kMicrosPerSecond);
+    customers.push_back(std::move(customer));
+  }
+  return customers;
+}
+
+std::vector<TdAccount> TdGenerator::Accounts() const {
+  std::vector<TdAccount> accounts;
+  accounts.reserve(config_.num_accounts);
+  for (int64_t a = 0; a < config_.num_accounts; ++a) {
+    TdAccount account;
+    account.id = info_.first_source_id + a;
+    account.customer_id = a / 5 + 1;
+    account.name = "ACCT" + std::to_string(account.id);
+    account.balance = 1000.0 + 100000.0 * HashUnit(config_.seed ^ 1, a);
+    accounts.push_back(std::move(account));
+  }
+  return accounts;
+}
+
+}  // namespace odh::benchfw

@@ -1,0 +1,63 @@
+#include "common/coding.h"
+
+namespace odh {
+
+void PutVarint32(std::string* dst, uint32_t v) {
+  unsigned char buf[5];
+  int i = 0;
+  while (v >= 0x80) {
+    buf[i++] = static_cast<unsigned char>(v | 0x80);
+    v >>= 7;
+  }
+  buf[i++] = static_cast<unsigned char>(v);
+  dst->append(reinterpret_cast<char*>(buf), i);
+}
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  unsigned char buf[10];
+  int i = 0;
+  while (v >= 0x80) {
+    buf[i++] = static_cast<unsigned char>(v | 0x80);
+    v >>= 7;
+  }
+  buf[i++] = static_cast<unsigned char>(v);
+  dst->append(reinterpret_cast<char*>(buf), i);
+}
+
+bool GetVarint32(Slice* input, uint32_t* value) {
+  uint64_t v;
+  if (!GetVarint64(input, &v) || v > UINT32_MAX) return false;
+  *value = static_cast<uint32_t>(v);
+  return true;
+}
+
+bool GetVarint64(Slice* input, uint64_t* value) {
+  uint64_t result = 0;
+  for (uint32_t shift = 0; shift <= 63 && !input->empty(); shift += 7) {
+    unsigned char byte = static_cast<unsigned char>((*input)[0]);
+    input->remove_prefix(1);
+    if (byte & 0x80) {
+      result |= (static_cast<uint64_t>(byte & 0x7f) << shift);
+    } else {
+      result |= (static_cast<uint64_t>(byte) << shift);
+      *value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+void PutLengthPrefixed(std::string* dst, const Slice& value) {
+  PutVarint32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+bool GetLengthPrefixed(Slice* input, Slice* result) {
+  uint32_t len;
+  if (!GetVarint32(input, &len) || input->size() < len) return false;
+  *result = Slice(input->data(), len);
+  input->remove_prefix(len);
+  return true;
+}
+
+}  // namespace odh

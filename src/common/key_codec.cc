@@ -1,0 +1,210 @@
+#include "common/key_codec.h"
+
+#include <cstring>
+
+namespace odh {
+namespace {
+
+// Type tags chosen so that NULL < numeric < string under memcmp.
+constexpr uint8_t kNullTag = 0x00;
+constexpr uint8_t kNumericTag = 0x10;
+constexpr uint8_t kStringTag = 0x20;
+
+uint64_t EncodeOrderedInt64(int64_t v) {
+  // Flip the sign bit, then store big-endian.
+  return static_cast<uint64_t>(v) ^ (uint64_t{1} << 63);
+}
+
+void AppendBigEndian64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 7; i >= 0; --i) {
+    buf[i] = static_cast<char>(v & 0xff);
+    v >>= 8;
+  }
+  out->append(buf, 8);
+}
+
+uint64_t ReadBigEndian64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+uint64_t EncodeOrderedDouble(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, 8);
+  if (bits & (uint64_t{1} << 63)) {
+    return ~bits;  // Negative: invert all bits.
+  }
+  return bits | (uint64_t{1} << 63);  // Positive: flip sign bit.
+}
+
+double DecodeOrderedDouble(uint64_t enc) {
+  uint64_t bits;
+  if (enc & (uint64_t{1} << 63)) {
+    bits = enc & ~(uint64_t{1} << 63);
+  } else {
+    bits = ~enc;
+  }
+  double d;
+  std::memcpy(&d, &bits, 8);
+  return d;
+}
+
+}  // namespace
+
+void KeyEncoder::AddInt64(int64_t v) {
+  out_->push_back(static_cast<char>(kNumericTag));
+  AppendBigEndian64(out_, EncodeOrderedInt64(v));
+}
+
+void KeyEncoder::AddDouble(double v) {
+  out_->push_back(static_cast<char>(kNumericTag));
+  AppendBigEndian64(out_, EncodeOrderedDouble(v));
+}
+
+void KeyEncoder::AddString(const Slice& s) {
+  out_->push_back(static_cast<char>(kStringTag));
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\0') {
+      out_->push_back('\0');
+      out_->push_back('\xff');
+    } else {
+      out_->push_back(s[i]);
+    }
+  }
+  out_->push_back('\0');
+  out_->push_back('\0');
+}
+
+void KeyEncoder::AddNull() { out_->push_back(static_cast<char>(kNullTag)); }
+
+void KeyEncoder::AddDatum(const Datum& d) {
+  switch (d.type()) {
+    case DataType::kNull:
+      AddNull();
+      break;
+    case DataType::kBool:
+      AddInt64(d.bool_value() ? 1 : 0);
+      break;
+    case DataType::kInt64:
+      AddInt64(d.int64_value());
+      break;
+    case DataType::kTimestamp:
+      AddInt64(d.timestamp_value());
+      break;
+    case DataType::kDouble:
+      AddDouble(d.double_value());
+      break;
+    case DataType::kString:
+      AddString(d.string_value());
+      break;
+  }
+}
+
+bool KeyDecoder::ReadTag(uint8_t expected, bool* was_null) {
+  if (input_.empty()) return false;
+  uint8_t tag = static_cast<uint8_t>(input_[0]);
+  input_.remove_prefix(1);
+  if (tag == kNullTag) {
+    *was_null = true;
+    return true;
+  }
+  *was_null = false;
+  return tag == expected;
+}
+
+bool KeyDecoder::ReadInt64(int64_t* v) {
+  bool was_null;
+  if (!ReadTag(kNumericTag, &was_null) || was_null) return false;
+  if (input_.size() < 8) return false;
+  *v = static_cast<int64_t>(ReadBigEndian64(input_.data()) ^
+                            (uint64_t{1} << 63));
+  input_.remove_prefix(8);
+  return true;
+}
+
+bool KeyDecoder::ReadDouble(double* v) {
+  bool was_null;
+  if (!ReadTag(kNumericTag, &was_null) || was_null) return false;
+  if (input_.size() < 8) return false;
+  *v = DecodeOrderedDouble(ReadBigEndian64(input_.data()));
+  input_.remove_prefix(8);
+  return true;
+}
+
+bool KeyDecoder::ReadString(std::string* s) {
+  bool was_null;
+  if (!ReadTag(kStringTag, &was_null) || was_null) return false;
+  s->clear();
+  while (input_.size() >= 2) {
+    char c = input_[0];
+    if (c == '\0') {
+      char next = input_[1];
+      input_.remove_prefix(2);
+      if (next == '\0') return true;     // Terminator.
+      if (next == '\xff') {
+        s->push_back('\0');
+        continue;
+      }
+      return false;  // Invalid escape.
+    }
+    s->push_back(c);
+    input_.remove_prefix(1);
+  }
+  return false;  // Unterminated.
+}
+
+bool KeyDecoder::ReadDatum(DataType type, Datum* d) {
+  if (!input_.empty() && static_cast<uint8_t>(input_[0]) == kNullTag) {
+    input_.remove_prefix(1);
+    *d = Datum::Null();
+    return true;
+  }
+  switch (type) {
+    case DataType::kBool: {
+      int64_t v;
+      if (!ReadInt64(&v)) return false;
+      *d = Datum::Bool(v != 0);
+      return true;
+    }
+    case DataType::kInt64: {
+      int64_t v;
+      if (!ReadInt64(&v)) return false;
+      *d = Datum::Int64(v);
+      return true;
+    }
+    case DataType::kTimestamp: {
+      int64_t v;
+      if (!ReadInt64(&v)) return false;
+      *d = Datum::Time(v);
+      return true;
+    }
+    case DataType::kDouble: {
+      double v;
+      if (!ReadDouble(&v)) return false;
+      *d = Datum::Double(v);
+      return true;
+    }
+    case DataType::kString: {
+      std::string s;
+      if (!ReadString(&s)) return false;
+      *d = Datum::String(std::move(s));
+      return true;
+    }
+    case DataType::kNull:
+      return false;
+  }
+  return false;
+}
+
+std::string EncodeKey(const std::vector<Datum>& datums) {
+  std::string out;
+  KeyEncoder enc(&out);
+  for (const Datum& d : datums) enc.AddDatum(d);
+  return out;
+}
+
+}  // namespace odh

@@ -1,0 +1,69 @@
+#ifndef ODH_COMMON_KEY_CODEC_H_
+#define ODH_COMMON_KEY_CODEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/datum.h"
+#include "common/slice.h"
+
+namespace odh {
+
+/// Order-preserving binary key encoding: composite keys built from these
+/// primitives compare with plain memcmp in the same order as the typed
+/// values. Used for all B+tree keys.
+///
+/// Encodings:
+///  - int64/timestamp: big-endian with the sign bit flipped (8 bytes).
+///  - double: IEEE754 bits, sign-flipped when positive / fully inverted when
+///    negative (8 bytes); total order matching numeric order (no NaN
+///    support — callers must not index NaNs).
+///  - string: escaped (0x00 -> 0x00 0xFF) and terminated with 0x00 0x00, so
+///    prefixes order correctly.
+///  - NULL: single 0x00 type tag ordering before all non-NULL values.
+/// Each field is preceded by a 1-byte type tag so heterogenous values order
+/// deterministically (NULL < numeric < string).
+class KeyEncoder {
+ public:
+  explicit KeyEncoder(std::string* out) : out_(out) {}
+
+  void AddInt64(int64_t v);
+  void AddDouble(double v);
+  void AddString(const Slice& s);
+  void AddNull();
+
+  /// Encodes a Datum with its natural encoding (timestamps as int64).
+  void AddDatum(const Datum& d);
+
+ private:
+  std::string* out_;
+};
+
+/// Decodes keys produced by KeyEncoder. Field types must be known by the
+/// caller (the index schema fixes them).
+class KeyDecoder {
+ public:
+  explicit KeyDecoder(Slice input) : input_(input) {}
+
+  bool ReadInt64(int64_t* v);
+  bool ReadDouble(double* v);
+  bool ReadString(std::string* s);
+  /// Reads one field as a Datum of the requested column type. A NULL tag is
+  /// accepted for any type.
+  bool ReadDatum(DataType type, Datum* d);
+
+  bool done() const { return input_.empty(); }
+  Slice remaining() const { return input_; }
+
+ private:
+  bool ReadTag(uint8_t expected, bool* was_null);
+
+  Slice input_;
+};
+
+/// Convenience: encodes `datums` as a composite key.
+std::string EncodeKey(const std::vector<Datum>& datums);
+
+}  // namespace odh
+
+#endif  // ODH_COMMON_KEY_CODEC_H_

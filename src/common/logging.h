@@ -1,0 +1,35 @@
+#ifndef ODH_COMMON_LOGGING_H_
+#define ODH_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace odh {
+
+/// Invariant checks that stay on in release builds. Library code uses these
+/// only for programming errors (broken invariants), never for input errors —
+/// those return Status.
+#define ODH_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "ODH_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define ODH_CHECK_OK(status_expr)                                         \
+  do {                                                                    \
+    const ::odh::Status _odh_st = (status_expr);                          \
+    if (!_odh_st.ok()) {                                                  \
+      std::fprintf(stderr, "ODH_CHECK_OK failed at %s:%d: %s\n",          \
+                   __FILE__, __LINE__, _odh_st.ToString().c_str());       \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define ODH_DCHECK(cond) assert(cond)
+
+}  // namespace odh
+
+#endif  // ODH_COMMON_LOGGING_H_

@@ -1,0 +1,87 @@
+#ifndef ODH_COMMON_RESULT_H_
+#define ODH_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace odh {
+
+/// Result<T> holds either a value of type T or a non-OK Status. It is the
+/// value-returning counterpart of Status (the code base does not use
+/// exceptions).
+///
+/// Usage:
+///   Result<int> r = Parse(s);
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or from an error Status keeps call
+  /// sites readable: `return 42;` / `return Status::NotFound(...)`.
+  Result(T value) : value_(std::move(value)) {}        // NOLINT
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      // An OK status without a value is a programming error.
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Aborts otherwise (never UB).
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!status_.ok()) std::abort();
+  }
+
+  Status status_;  // OK iff value_ is engaged.
+  std::optional<T> value_;
+};
+
+}  // namespace odh
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error
+/// Status from the enclosing function.
+#define ODH_ASSIGN_OR_RETURN(lhs, expr)               \
+  ODH_ASSIGN_OR_RETURN_IMPL_(                         \
+      ODH_RESULT_CONCAT_(_odh_result, __LINE__), lhs, expr)
+#define ODH_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)    \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+#define ODH_RESULT_CONCAT_(a, b) ODH_RESULT_CONCAT_IMPL_(a, b)
+#define ODH_RESULT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // ODH_COMMON_RESULT_H_

@@ -1,0 +1,17 @@
+#include "common/stopwatch.h"
+
+#include <sys/resource.h>
+
+namespace odh {
+
+double CpuMeter::Now() {
+  struct rusage ru;
+  getrusage(RUSAGE_SELF, &ru);
+  auto to_seconds = [](const struct timeval& tv) {
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) * 1e-6;
+  };
+  return to_seconds(ru.ru_utime) + to_seconds(ru.ru_stime);
+}
+
+}  // namespace odh

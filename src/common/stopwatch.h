@@ -1,0 +1,51 @@
+#ifndef ODH_COMMON_STOPWATCH_H_
+#define ODH_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace odh {
+
+/// Wall-clock stopwatch (steady clock).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Process CPU-time meter, used by the benchmark harness to compute the
+/// paper's "CPU load" metric: CPU seconds consumed per second of offered
+/// data, normalized by a simulated core count.
+class CpuMeter {
+ public:
+  CpuMeter() : start_(Now()) {}
+
+  void Restart() { start_ = Now(); }
+
+  /// CPU seconds (user+system) consumed by this process since Restart().
+  double ElapsedCpuSeconds() const { return Now() - start_; }
+
+ private:
+  static double Now();
+
+  double start_;
+};
+
+}  // namespace odh
+
+#endif  // ODH_COMMON_STOPWATCH_H_

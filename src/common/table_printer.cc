@@ -1,0 +1,80 @@
+#include "common/table_printer.h"
+
+#include <cstdio>
+
+namespace odh {
+
+void TablePrinter::Print(const std::string& title) const {
+  if (!title.empty()) std::printf("\n== %s ==\n", title.c_str());
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      if (row[i].size() > widths[i]) widths[i] = row[i].size();
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    std::printf("|");
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string();
+      std::printf(" %-*s |", static_cast<int>(widths[i]), c.c_str());
+    }
+    std::printf("\n");
+  };
+  auto print_sep = [&]() {
+    std::printf("+");
+    for (size_t w : widths) {
+      for (size_t i = 0; i < w + 2; ++i) std::printf("-");
+      std::printf("+");
+    }
+    std::printf("\n");
+  };
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+  std::fflush(stdout);
+}
+
+std::string TablePrinter::FormatCount(double v) {
+  char buf[32];
+  if (v >= 1e9) {
+    snprintf(buf, sizeof(buf), "%.2fG", v / 1e9);
+  } else if (v >= 1e6) {
+    snprintf(buf, sizeof(buf), "%.2fM", v / 1e6);
+  } else if (v >= 1e3) {
+    snprintf(buf, sizeof(buf), "%.1fK", v / 1e3);
+  } else {
+    snprintf(buf, sizeof(buf), "%.0f", v);
+  }
+  return buf;
+}
+
+std::string TablePrinter::FormatBytes(double bytes) {
+  char buf[32];
+  if (bytes >= 1024.0 * 1024 * 1024) {
+    snprintf(buf, sizeof(buf), "%.2f GB", bytes / (1024.0 * 1024 * 1024));
+  } else if (bytes >= 1024.0 * 1024) {
+    snprintf(buf, sizeof(buf), "%.2f MB", bytes / (1024.0 * 1024));
+  } else if (bytes >= 1024.0) {
+    snprintf(buf, sizeof(buf), "%.1f KB", bytes / 1024.0);
+  } else {
+    snprintf(buf, sizeof(buf), "%.0f B", bytes);
+  }
+  return buf;
+}
+
+std::string TablePrinter::FormatPercent(double ratio) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%.1f%%", ratio * 100.0);
+  return buf;
+}
+
+std::string TablePrinter::FormatDouble(double v, int precision) {
+  char buf[48];
+  snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace odh

@@ -1,0 +1,36 @@
+#ifndef ODH_COMMON_TABLE_PRINTER_H_
+#define ODH_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace odh {
+
+/// Renders aligned, plain-text tables. Every benchmark binary uses this to
+/// print rows in the same layout as the paper's tables/figure series.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Writes the table to stdout.
+  void Print(const std::string& title = "") const;
+
+  /// Number formatting helpers shared by benches.
+  static std::string FormatCount(double v);        // 1234567 -> "1.23M"
+  static std::string FormatBytes(double bytes);    // -> "12.3 MB"
+  static std::string FormatPercent(double ratio);  // 0.123 -> "12.3%"
+  static std::string FormatDouble(double v, int precision);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace odh
+
+#endif  // ODH_COMMON_TABLE_PRINTER_H_

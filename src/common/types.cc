@@ -1,0 +1,47 @@
+#include "common/types.h"
+
+#include <cstdio>
+#include <ctime>
+
+namespace odh {
+
+std::string FormatTimestamp(Timestamp ts) {
+  time_t secs = static_cast<time_t>(ts / kMicrosPerSecond);
+  int64_t micros = ts % kMicrosPerSecond;
+  if (micros < 0) {
+    micros += kMicrosPerSecond;
+    --secs;
+  }
+  struct tm tm_buf;
+  gmtime_r(&secs, &tm_buf);
+  char buf[64];
+  size_t n = strftime(buf, sizeof(buf), "%Y-%m-%d %H:%M:%S", &tm_buf);
+  std::string out(buf, n);
+  if (micros != 0) {
+    char frac[16];
+    snprintf(frac, sizeof(frac), ".%06lld", static_cast<long long>(micros));
+    out += frac;
+  }
+  return out;
+}
+
+bool ParseTimestamp(const std::string& text, Timestamp* out) {
+  struct tm tm_buf = {};
+  int year, month, day, hour, minute, second;
+  if (sscanf(text.c_str(), "%d-%d-%d %d:%d:%d", &year, &month, &day, &hour,
+             &minute, &second) != 6) {
+    return false;
+  }
+  tm_buf.tm_year = year - 1900;
+  tm_buf.tm_mon = month - 1;
+  tm_buf.tm_mday = day;
+  tm_buf.tm_hour = hour;
+  tm_buf.tm_min = minute;
+  tm_buf.tm_sec = second;
+  time_t secs = timegm(&tm_buf);
+  if (secs == static_cast<time_t>(-1)) return false;
+  *out = static_cast<Timestamp>(secs) * kMicrosPerSecond;
+  return true;
+}
+
+}  // namespace odh

@@ -1,0 +1,99 @@
+#ifndef ODH_CORE_BITS_H_
+#define ODH_CORE_BITS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+
+namespace odh::core {
+
+/// Appends bits (MSB-first within the stream) to a byte buffer. Used by the
+/// quantization and XOR codecs.
+class BitWriter {
+ public:
+  explicit BitWriter(std::string* out) : out_(out) {}
+
+  /// Writes the low `nbits` bits of `value` (0 <= nbits <= 64).
+  void Write(uint64_t value, int nbits) {
+    for (int i = nbits - 1; i >= 0; --i) {
+      PushBit((value >> i) & 1);
+    }
+  }
+
+  void WriteBit(bool bit) { PushBit(bit ? 1 : 0); }
+
+  /// Pads the final partial byte with zeros.
+  void Finish() {
+    if (fill_ > 0) {
+      out_->push_back(static_cast<char>(current_ << (8 - fill_)));
+      current_ = 0;
+      fill_ = 0;
+    }
+  }
+
+ private:
+  void PushBit(int bit) {
+    current_ = static_cast<uint8_t>((current_ << 1) | bit);
+    if (++fill_ == 8) {
+      out_->push_back(static_cast<char>(current_));
+      current_ = 0;
+      fill_ = 0;
+    }
+  }
+
+  std::string* out_;
+  uint8_t current_ = 0;
+  int fill_ = 0;
+};
+
+/// Reads bits written by BitWriter.
+class BitReader {
+ public:
+  explicit BitReader(Slice input) : input_(input) {}
+
+  /// Reads `nbits` bits; returns false past the end.
+  bool Read(int nbits, uint64_t* value) {
+    uint64_t v = 0;
+    for (int i = 0; i < nbits; ++i) {
+      int bit = NextBit();
+      if (bit < 0) return false;
+      v = (v << 1) | static_cast<uint64_t>(bit);
+    }
+    *value = v;
+    return true;
+  }
+
+  bool ReadBit(bool* bit) {
+    int b = NextBit();
+    if (b < 0) return false;
+    *bit = b != 0;
+    return true;
+  }
+
+ private:
+  int NextBit() {
+    if (pos_ >= input_.size() * 8) return -1;
+    size_t byte = pos_ / 8;
+    int offset = 7 - static_cast<int>(pos_ % 8);
+    ++pos_;
+    return (static_cast<uint8_t>(input_[byte]) >> offset) & 1;
+  }
+
+  Slice input_;
+  size_t pos_ = 0;
+};
+
+/// Number of bits needed to represent `v` (at least 1).
+inline int BitWidth(uint64_t v) {
+  int bits = 1;
+  while (v > 1) {
+    v >>= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace odh::core
+
+#endif  // ODH_CORE_BITS_H_

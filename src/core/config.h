@@ -1,0 +1,115 @@
+#ifndef ODH_CORE_CONFIG_H_
+#define ODH_CORE_CONFIG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "core/compression.h"
+
+namespace odh::core {
+
+/// How a data source samples (paper §2, Table 1). High-frequency sources
+/// get per-source structures (RTS/IRTS); low-frequency sources are grouped
+/// (MG) at ingestion and reorganized into per-source structures for
+/// historical queries.
+enum class SourceClass {
+  kRegularHighFrequency,
+  kIrregularHighFrequency,
+  kRegularLowFrequency,
+  kIrregularLowFrequency,
+};
+
+std::string SourceClassName(SourceClass c);
+
+inline bool IsHighFrequency(SourceClass c) {
+  return c == SourceClass::kRegularHighFrequency ||
+         c == SourceClass::kIrregularHighFrequency;
+}
+inline bool IsRegular(SourceClass c) {
+  return c == SourceClass::kRegularHighFrequency ||
+         c == SourceClass::kRegularLowFrequency;
+}
+
+/// A schema type: the fixed record shape shared by a set of data sources.
+/// The virtual table for it exposes (id BIGINT, timestamp TIMESTAMP,
+/// <tags...> DOUBLE).
+struct SchemaType {
+  std::string name;
+  std::vector<std::string> tag_names;
+  CompressionSpec compression;
+};
+
+/// Registered metadata for one data source.
+struct DataSourceInfo {
+  SourceId id = 0;
+  int schema_type = -1;
+  SourceClass source_class = SourceClass::kIrregularHighFrequency;
+  /// Expected sampling interval (used to verify RTS regularity).
+  Timestamp expected_interval = 0;
+  /// MG group for low-frequency sources.
+  int64_t group = 0;
+};
+
+/// Tunables of the ODH instance.
+struct OdhOptions {
+  /// Batch size b: points packed into one ValueBlob (paper §2).
+  int batch_size = 256;
+  /// Sources per MG group.
+  int mg_group_size = 1024;
+  /// MG time window: an MG blob never spans more than this.
+  Timestamp mg_window = 15 * kMicrosPerMinute;
+  /// Sources classified as high-frequency at or above this rate.
+  double high_frequency_threshold_hz = 1.0;
+  /// When true, the data router resolves metadata through SQL queries on
+  /// the metadata tables (the paper's implementation, whose overhead
+  /// dominates small queries like LQ1); when false it uses direct in-memory
+  /// lookups (the fix the paper proposes for a future Informix version).
+  bool sql_metadata_router = true;
+  /// Per-blob tag min/max zone maps: the paper's §6 future-work indexing
+  /// that lets queries on attribute values skip non-matching ValueBlobs.
+  bool enable_zone_maps = true;
+  /// Buffer-pool pages for the embedded storage engine.
+  size_t pool_pages = 8192;
+};
+
+/// The ODH configuration component (paper §3): owns schema-type and
+/// data-source metadata used by the storage and query components.
+class ConfigComponent {
+ public:
+  explicit ConfigComponent(OdhOptions options) : options_(options) {}
+
+  const OdhOptions& options() const { return options_; }
+
+  Result<int> DefineSchemaType(SchemaType type);
+  Result<const SchemaType*> GetSchemaType(int type_id) const;
+  Result<int> FindSchemaType(const std::string& name) const;
+  int num_schema_types() const { return static_cast<int>(types_.size()); }
+
+  /// Registers a source; derives its class from `sample_interval` and
+  /// `regular`, and assigns an MG group for low-frequency sources.
+  Status RegisterSource(SourceId id, int schema_type,
+                        Timestamp sample_interval, bool regular);
+
+  Result<const DataSourceInfo*> GetSource(SourceId id) const;
+  int64_t num_sources() const { return static_cast<int64_t>(sources_.size()); }
+
+  /// All groups of a schema type (for slice-query fan-out).
+  std::vector<int64_t> GroupsOf(int schema_type) const;
+
+  /// All registered sources of a schema type.
+  std::vector<SourceId> SourcesOf(int schema_type) const;
+
+ private:
+  OdhOptions options_;
+  std::vector<SchemaType> types_;
+  std::map<SourceId, DataSourceInfo> sources_;
+  std::map<int, std::vector<int64_t>> groups_by_type_;
+  std::map<int, int64_t> next_group_slot_;
+};
+
+}  // namespace odh::core
+
+#endif  // ODH_CORE_CONFIG_H_

@@ -1,0 +1,70 @@
+#include "core/cost_model.h"
+
+namespace odh::core {
+
+double OdhCostModel::TimeFraction(const ContainerStats& stats, Timestamp lo,
+                                  Timestamp hi) {
+  if (stats.blob_count == 0) return 0;
+  if (stats.max_ts <= stats.min_ts) return 1.0;
+  double extent = static_cast<double>(stats.max_ts - stats.min_ts);
+  double from = static_cast<double>(std::max(lo, stats.min_ts));
+  double to = static_cast<double>(std::min(hi, stats.max_ts));
+  if (to <= from) return 1.0 / static_cast<double>(stats.blob_count);
+  return std::min(1.0, (to - from) / extent);
+}
+
+OdhCostEstimate OdhCostModel::EstimateHistorical(int schema_type,
+                                                 SourceId id, Timestamp lo,
+                                                 Timestamp hi,
+                                                 double tag_fraction) const {
+  OdhCostEstimate est;
+  double num_sources =
+      std::max<double>(1, static_cast<double>(config_->num_sources()));
+  for (const ContainerStats* stats :
+       {&store_->rts_stats(schema_type), &store_->irts_stats(schema_type)}) {
+    if (stats->blob_count == 0) continue;
+    double frac = TimeFraction(*stats, lo, hi);
+    // Per-source blobs: the (id, begin_ts) index narrows to this source.
+    double blobs = static_cast<double>(stats->blob_count) / num_sources *
+                   frac;
+    est.blobs += blobs;
+    est.bytes += blobs * stats->AvgBlobBytes() * tag_fraction;
+    est.points += blobs * stats->AvgPointsPerBlob();
+  }
+  const ContainerStats& mg = store_->mg_stats(schema_type);
+  if (mg.blob_count > 0) {
+    double num_groups = std::max<double>(
+        1, static_cast<double>(config_->GroupsOf(schema_type).size()));
+    double frac = TimeFraction(mg, lo, hi);
+    // MG blobs of the source's group must be read whole; only the id's
+    // points survive.
+    double blobs =
+        static_cast<double>(mg.blob_count) / num_groups * frac;
+    est.blobs += blobs;
+    est.bytes += blobs * mg.AvgBlobBytes() * tag_fraction;
+    double sources_per_group =
+        num_sources / std::max(1.0, num_groups);
+    est.points += blobs * mg.AvgPointsPerBlob() /
+                  std::max(1.0, sources_per_group);
+  }
+  return est;
+}
+
+OdhCostEstimate OdhCostModel::EstimateSlice(int schema_type, Timestamp lo,
+                                            Timestamp hi,
+                                            double tag_fraction) const {
+  OdhCostEstimate est;
+  for (const ContainerStats* stats :
+       {&store_->rts_stats(schema_type), &store_->irts_stats(schema_type),
+        &store_->mg_stats(schema_type)}) {
+    if (stats->blob_count == 0) continue;
+    double frac = TimeFraction(*stats, lo, hi);
+    double blobs = static_cast<double>(stats->blob_count) * frac;
+    est.blobs += blobs;
+    est.bytes += blobs * stats->AvgBlobBytes() * tag_fraction;
+    est.points += blobs * stats->AvgPointsPerBlob();
+  }
+  return est;
+}
+
+}  // namespace odh::core

@@ -1,0 +1,48 @@
+#ifndef ODH_CORE_COST_MODEL_H_
+#define ODH_CORE_COST_MODEL_H_
+
+#include <algorithm>
+
+#include "core/store.h"
+
+namespace odh::core {
+
+/// Cost estimate for an ODH access path, in the paper's currency: the
+/// expected size in bytes of the ValueBlobs that must be read ("Because the
+/// major performance blocker for queries is I/O ... we approximate the cost
+/// of extracting the requested operational data as the expected size, in
+/// bytes, of the ValueBlobs that need to be accessed", §3).
+struct OdhCostEstimate {
+  double blobs = 0;
+  double bytes = 0;
+  double points = 0;
+};
+
+/// Estimates blob bytes for historical and slice access paths from the
+/// store's container statistics. `tag_fraction` scales the byte cost for
+/// tag-oriented partial decodes (the per-tag directory means only requested
+/// tag sections are read).
+class OdhCostModel {
+ public:
+  OdhCostModel(ConfigComponent* config, OdhStore* store)
+      : config_(config), store_(store) {}
+
+  OdhCostEstimate EstimateHistorical(int schema_type, SourceId id,
+                                     Timestamp lo, Timestamp hi,
+                                     double tag_fraction) const;
+
+  OdhCostEstimate EstimateSlice(int schema_type, Timestamp lo, Timestamp hi,
+                                double tag_fraction) const;
+
+ private:
+  /// Fraction of a container's time extent overlapping [lo, hi].
+  static double TimeFraction(const ContainerStats& stats, Timestamp lo,
+                             Timestamp hi);
+
+  ConfigComponent* config_;
+  OdhStore* store_;
+};
+
+}  // namespace odh::core
+
+#endif  // ODH_CORE_COST_MODEL_H_

@@ -1,0 +1,82 @@
+#include "core/odh.h"
+
+#include "common/logging.h"
+
+namespace odh::core {
+
+OdhSystem::OdhSystem(OdhOptions options) : config_(options) {
+  relational::EngineProfile profile = relational::EngineProfile::Odh();
+  profile.pool_pages = options.pool_pages;
+  db_ = std::make_unique<relational::Database>(profile);
+  engine_ = std::make_unique<sql::SqlEngine>(db_.get());
+  store_ = std::make_unique<OdhStore>(db_.get(), &config_);
+  writer_ = std::make_unique<OdhWriter>(store_.get(), &config_);
+  router_ = std::make_unique<DataRouter>(&config_, engine_.get());
+  ODH_CHECK_OK(router_->CreateMetadataTables());
+  cost_model_ = std::make_unique<OdhCostModel>(&config_, store_.get());
+  reader_ = std::make_unique<OdhReader>(&config_, store_.get(),
+                                        writer_.get(), router_.get());
+  reorganizer_ = std::make_unique<Reorganizer>(&config_, store_.get());
+}
+
+Result<int> OdhSystem::DefineSchemaType(const std::string& name,
+                                        std::vector<std::string> tag_names,
+                                        CompressionSpec compression) {
+  SchemaType type;
+  type.name = name;
+  type.tag_names = std::move(tag_names);
+  type.compression = compression;
+  ODH_ASSIGN_OR_RETURN(int type_id, config_.DefineSchemaType(std::move(type)));
+  ODH_RETURN_IF_ERROR(store_->CreateContainers(type_id));
+  auto virtual_table = std::make_unique<OdhVirtualTable>(
+      name + "_v", type_id, &config_, reader_.get(), cost_model_.get());
+  ODH_RETURN_IF_ERROR(
+      engine_->catalog()->RegisterProvider(virtual_table.get()));
+  virtual_tables_.push_back(std::move(virtual_table));
+  return type_id;
+}
+
+Status OdhSystem::RegisterSource(SourceId id, int schema_type,
+                                 Timestamp sample_interval, bool regular) {
+  ODH_RETURN_IF_ERROR(
+      config_.RegisterSource(id, schema_type, sample_interval, regular));
+  ODH_ASSIGN_OR_RETURN(const DataSourceInfo* info, config_.GetSource(id));
+  return router_->AddSourceMetadata(*info);
+}
+
+Status OdhSystem::Ingest(const OperationalRecord& record) {
+  return writer_->Ingest(record);
+}
+
+Status OdhSystem::FlushAll() {
+  ODH_RETURN_IF_ERROR(writer_->FlushAll());
+  return router_->SyncMetadata();
+}
+
+Result<std::unique_ptr<RecordCursor>> OdhSystem::HistoricalQuery(
+    int schema_type, SourceId id, Timestamp lo, Timestamp hi,
+    const std::vector<int>& wanted_tags) {
+  return reader_->OpenHistorical(schema_type, id, lo, hi, wanted_tags);
+}
+
+Result<std::unique_ptr<RecordCursor>> OdhSystem::SliceQuery(
+    int schema_type, Timestamp lo, Timestamp hi,
+    const std::vector<int>& wanted_tags) {
+  return reader_->OpenSlice(schema_type, lo, hi, wanted_tags);
+}
+
+Result<ReorganizeReport> OdhSystem::Reorganize(int schema_type,
+                                               Timestamp up_to) {
+  // Reorganization works on persisted MG blobs; flush first so buffered
+  // records are included.
+  ODH_RETURN_IF_ERROR(writer_->Flush(schema_type));
+  ODH_ASSIGN_OR_RETURN(ReorganizeReport report,
+                       reorganizer_->Reorganize(schema_type, up_to));
+  // Rebuild the MG container so the space of consumed blobs is reclaimed.
+  if (report.mg_blobs_consumed > 0) {
+    ODH_RETURN_IF_ERROR(store_->CompactMg(schema_type));
+  }
+  return report;
+}
+
+}  // namespace odh::core

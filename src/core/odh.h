@@ -1,0 +1,103 @@
+#ifndef ODH_CORE_ODH_H_
+#define ODH_CORE_ODH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/cost_model.h"
+#include "core/reader.h"
+#include "core/reorganizer.h"
+#include "core/router.h"
+#include "core/store.h"
+#include "core/virtual_table.h"
+#include "core/writer.h"
+#include "sql/engine.h"
+
+namespace odh::core {
+
+/// The Operational Data Historian: one embedded data server hosting the
+/// configuration, storage and query components of the paper plus ordinary
+/// relational tables, all behind one SQL engine.
+///
+/// Typical use:
+///
+///   OdhSystem odh;
+///   int type = odh.DefineSchemaType("environ_data",
+///                                   {"temperature", "wind"}).value();
+///   odh.RegisterSource(/*id=*/1, type, kMicrosPerSecond, true);
+///   odh.Ingest({.id = 1, .ts = t, .tags = {21.5, 3.2}});
+///   odh.FlushAll();
+///   auto rows = odh.engine()->Execute(
+///       "SELECT ts, temperature FROM environ_data_v WHERE id = 1");
+///
+/// Each schema type gets a virtual table named "<name>_v". Relational
+/// tables created through SQL DDL live in the same database and can be
+/// joined with the virtual tables freely (operational/relational fusion).
+class OdhSystem {
+ public:
+  explicit OdhSystem(OdhOptions options = {});
+
+  OdhSystem(const OdhSystem&) = delete;
+  OdhSystem& operator=(const OdhSystem&) = delete;
+
+  /// Defines a schema type with double-valued tags; creates its containers
+  /// and virtual table. Returns the schema-type id.
+  Result<int> DefineSchemaType(const std::string& name,
+                               std::vector<std::string> tag_names,
+                               CompressionSpec compression = {});
+
+  /// Registers a data source. `sample_interval` is its expected sampling
+  /// period; `regular` declares identical sampling intervals (paper §2).
+  Status RegisterSource(SourceId id, int schema_type,
+                        Timestamp sample_interval, bool regular);
+
+  /// Ingests one operational record through the writer API.
+  Status Ingest(const OperationalRecord& record);
+
+  /// Flushes all writer buffers and metadata.
+  Status FlushAll();
+
+  /// Native (SQL-bypassing) query API — the paper's fast path.
+  Result<std::unique_ptr<RecordCursor>> HistoricalQuery(
+      int schema_type, SourceId id, Timestamp lo, Timestamp hi,
+      const std::vector<int>& wanted_tags = {});
+  Result<std::unique_ptr<RecordCursor>> SliceQuery(
+      int schema_type, Timestamp lo, Timestamp hi,
+      const std::vector<int>& wanted_tags = {});
+
+  /// Runs the MG -> RTS/IRTS reorganizer for a schema type.
+  Result<ReorganizeReport> Reorganize(int schema_type, Timestamp up_to);
+
+  /// Component access.
+  sql::SqlEngine* engine() { return engine_.get(); }
+  relational::Database* database() { return db_.get(); }
+  ConfigComponent* config() { return &config_; }
+  OdhStore* store() { return store_.get(); }
+  OdhWriter* writer() { return writer_.get(); }
+  OdhReader* reader() { return reader_.get(); }
+  DataRouter* router() { return router_.get(); }
+  OdhCostModel* cost_model() { return cost_model_.get(); }
+
+  /// Total bytes stored (heap + index + metadata pages).
+  uint64_t storage_bytes() const { return db_->TotalBytesStored(); }
+  const storage::IoStats& io_stats() const { return db_->disk()->stats(); }
+  void ResetIoStats() { db_->disk()->ResetStats(); }
+
+ private:
+  std::unique_ptr<relational::Database> db_;
+  std::unique_ptr<sql::SqlEngine> engine_;
+  ConfigComponent config_;
+  std::unique_ptr<OdhStore> store_;
+  std::unique_ptr<OdhWriter> writer_;
+  std::unique_ptr<DataRouter> router_;
+  std::unique_ptr<OdhCostModel> cost_model_;
+  std::unique_ptr<OdhReader> reader_;
+  std::unique_ptr<Reorganizer> reorganizer_;
+  std::vector<std::unique_ptr<OdhVirtualTable>> virtual_tables_;
+};
+
+}  // namespace odh::core
+
+#endif  // ODH_CORE_ODH_H_

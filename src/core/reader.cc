@@ -1,0 +1,248 @@
+#include "core/reader.h"
+
+#include <cmath>
+#include <deque>
+
+namespace odh::core {
+namespace {
+
+enum class BlobKind { kRts, kIrts, kMg };
+
+struct QueuedBlob {
+  BlobKind kind;
+  BlobRecord record;
+};
+
+}  // namespace
+
+/// Implementation shared by historical and slice scans. Historical scans
+/// queue the (bounded, per-source) blob lists up front; slice scans stream
+/// the per-source containers with a table iterator and use the
+/// (begin_ts, group) index for MG. Decoded records drain from a buffer one
+/// blob at a time.
+class OdhScanCursorImpl : public RecordCursor {
+ public:
+  OdhScanCursorImpl(OdhReader* reader, int schema_type, SourceId id,
+                    Timestamp lo, Timestamp hi, std::vector<int> wanted_tags,
+                    std::vector<TagFilter> tag_filters, int num_tags,
+                    CompressionSpec spec)
+      : reader_(reader),
+        schema_type_(schema_type),
+        id_(id),
+        lo_(lo),
+        hi_(hi),
+        wanted_tags_(std::move(wanted_tags)),
+        tag_filters_(std::move(tag_filters)),
+        num_tags_(num_tags),
+        codec_(spec) {}
+
+  Status InitHistorical(const RouteDecision& route) {
+    if (route.scan_rts) {
+      ODH_ASSIGN_OR_RETURN(auto blobs,
+                           reader_->store_->GetRts(schema_type_, id_, lo_,
+                                                   hi_));
+      for (auto& b : blobs) {
+        queued_.push_back({BlobKind::kRts, std::move(b)});
+      }
+    }
+    if (route.scan_irts) {
+      ODH_ASSIGN_OR_RETURN(auto blobs,
+                           reader_->store_->GetIrts(schema_type_, id_, lo_,
+                                                    hi_));
+      for (auto& b : blobs) {
+        queued_.push_back({BlobKind::kIrts, std::move(b)});
+      }
+    }
+    if (route.scan_mg) {
+      ODH_ASSIGN_OR_RETURN(auto blobs,
+                           reader_->store_->GetMg(schema_type_,
+                                                  route.mg_group, lo_, hi_));
+      for (auto& b : blobs) {
+        queued_.push_back({BlobKind::kMg, std::move(b)});
+      }
+    }
+    return CollectDirty();
+  }
+
+  Status InitSlice(const RouteDecision& route) {
+    if (route.scan_rts) {
+      ODH_ASSIGN_OR_RETURN(relational::Table * table,
+                           reader_->store_->RtsTable(schema_type_));
+      rts_stream_ = std::make_unique<relational::Table::Iterator>(
+          table->NewIterator());
+      ODH_RETURN_IF_ERROR(rts_stream_->SeekToFirst());
+    }
+    if (route.scan_irts) {
+      ODH_ASSIGN_OR_RETURN(relational::Table * table,
+                           reader_->store_->IrtsTable(schema_type_));
+      irts_stream_ = std::make_unique<relational::Table::Iterator>(
+          table->NewIterator());
+      ODH_RETURN_IF_ERROR(irts_stream_->SeekToFirst());
+    }
+    if (route.scan_mg) {
+      ODH_ASSIGN_OR_RETURN(auto blobs,
+                           reader_->store_->GetMg(schema_type_, -1, lo_,
+                                                  hi_));
+      for (auto& b : blobs) {
+        queued_.push_back({BlobKind::kMg, std::move(b)});
+      }
+    }
+    return CollectDirty();
+  }
+
+  Result<bool> Next(OperationalRecord* record) override {
+    while (true) {
+      if (buffer_pos_ < buffer_.size()) {
+        *record = std::move(buffer_[buffer_pos_++]);
+        ++reader_->stats_.records_emitted;
+        return true;
+      }
+      buffer_.clear();
+      buffer_pos_ = 0;
+      // Refill from the next source of blobs.
+      if (!queued_.empty()) {
+        QueuedBlob blob = std::move(queued_.front());
+        queued_.pop_front();
+        ODH_RETURN_IF_ERROR(DecodeBlob(blob));
+        continue;
+      }
+      ODH_ASSIGN_OR_RETURN(bool streamed, RefillFromStreams());
+      if (streamed) continue;
+      if (!dirty_.empty()) {
+        buffer_ = std::move(dirty_);
+        dirty_.clear();
+        continue;
+      }
+      return false;
+    }
+  }
+
+ private:
+  Status CollectDirty() {
+    return reader_->writer_->CollectDirty(schema_type_, id_, lo_, hi_,
+                                          &dirty_);
+  }
+
+  /// Pulls the next overlapping blob from the streaming table scans.
+  Result<bool> RefillFromStreams() {
+    for (auto* stream : {&rts_stream_, &irts_stream_}) {
+      while (*stream != nullptr && (*stream)->Valid()) {
+        ODH_ASSIGN_OR_RETURN(Row row, (*stream)->row());
+        relational::Rid rid = (*stream)->rid();
+        ODH_RETURN_IF_ERROR((*stream)->Next());
+        BlobRecord rec;
+        ODH_RETURN_IF_ERROR(
+            OdhStore::RowToBlobRecord(row, rid, /*is_mg=*/false, &rec));
+        if (rec.end < lo_ || rec.begin > hi_) continue;
+        QueuedBlob blob{stream == &rts_stream_ ? BlobKind::kRts
+                                               : BlobKind::kIrts,
+                        std::move(rec)};
+        ODH_RETURN_IF_ERROR(DecodeBlob(blob));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Zone-map pruning: skip the blob when its per-tag ranges cannot
+  /// satisfy the pushed filters (paper §6 future work).
+  bool Prunable(const BlobRecord& record) const {
+    if (tag_filters_.empty() || record.zone_map.empty()) return false;
+    auto map = ZoneMap::Decode(Slice(record.zone_map));
+    if (!map.ok()) return false;  // Corrupt summaries never prune.
+    return !map->MayMatch(tag_filters_);
+  }
+
+  Status DecodeBlob(const QueuedBlob& blob) {
+    if (Prunable(blob.record)) {
+      ++reader_->stats_.blobs_pruned;
+      return Status::OK();
+    }
+    ++reader_->stats_.blobs_decoded;
+    reader_->stats_.blob_bytes_read +=
+        static_cast<int64_t>(blob.record.blob.size());
+    if (blob.kind == BlobKind::kMg) {
+      std::vector<OperationalRecord> records;
+      ODH_RETURN_IF_ERROR(codec_.DecodeMg(Slice(blob.record.blob),
+                                          blob.record.begin, wanted_tags_,
+                                          num_tags_, &records));
+      for (auto& r : records) {
+        if (r.ts < lo_ || r.ts > hi_) continue;
+        if (id_ >= 0 && r.id != id_) continue;
+        buffer_.push_back(std::move(r));
+      }
+      return Status::OK();
+    }
+    SeriesBatch batch;
+    if (blob.kind == BlobKind::kRts) {
+      ODH_RETURN_IF_ERROR(codec_.DecodeRts(
+          Slice(blob.record.blob), blob.record.id, blob.record.begin,
+          blob.record.interval, wanted_tags_, num_tags_, &batch));
+    } else {
+      ODH_RETURN_IF_ERROR(codec_.DecodeIrts(Slice(blob.record.blob),
+                                            blob.record.id,
+                                            blob.record.begin, wanted_tags_,
+                                            num_tags_, &batch));
+    }
+    const size_t n = batch.num_points();
+    for (size_t i = 0; i < n; ++i) {
+      if (batch.timestamps[i] < lo_ || batch.timestamps[i] > hi_) continue;
+      OperationalRecord r;
+      r.id = batch.id;
+      r.ts = batch.timestamps[i];
+      r.tags.resize(num_tags_);
+      for (int t = 0; t < num_tags_; ++t) r.tags[t] = batch.columns[t][i];
+      buffer_.push_back(std::move(r));
+    }
+    return Status::OK();
+  }
+
+  OdhReader* reader_;
+  int schema_type_;
+  SourceId id_;  // -1 for slice scans.
+  Timestamp lo_, hi_;
+  std::vector<int> wanted_tags_;
+  std::vector<TagFilter> tag_filters_;
+  int num_tags_;
+  ValueBlobCodec codec_;
+
+  std::deque<QueuedBlob> queued_;
+  std::unique_ptr<relational::Table::Iterator> rts_stream_;
+  std::unique_ptr<relational::Table::Iterator> irts_stream_;
+  std::vector<OperationalRecord> buffer_;
+  size_t buffer_pos_ = 0;
+  std::vector<OperationalRecord> dirty_;
+};
+
+Result<std::unique_ptr<RecordCursor>> OdhReader::OpenHistorical(
+    int schema_type, SourceId id, Timestamp lo, Timestamp hi,
+    const std::vector<int>& wanted_tags,
+    std::vector<TagFilter> tag_filters) {
+  ODH_ASSIGN_OR_RETURN(const SchemaType* type,
+                       config_->GetSchemaType(schema_type));
+  ODH_ASSIGN_OR_RETURN(RouteDecision route,
+                       router_->RouteHistorical(schema_type, id));
+  auto cursor = std::make_unique<OdhScanCursorImpl>(
+      this, schema_type, id, lo, hi, wanted_tags, std::move(tag_filters),
+      static_cast<int>(type->tag_names.size()), type->compression);
+  ODH_RETURN_IF_ERROR(cursor->InitHistorical(route));
+  return std::unique_ptr<RecordCursor>(std::move(cursor));
+}
+
+Result<std::unique_ptr<RecordCursor>> OdhReader::OpenSlice(
+    int schema_type, Timestamp lo, Timestamp hi,
+    const std::vector<int>& wanted_tags,
+    std::vector<TagFilter> tag_filters) {
+  ODH_ASSIGN_OR_RETURN(const SchemaType* type,
+                       config_->GetSchemaType(schema_type));
+  ODH_ASSIGN_OR_RETURN(RouteDecision route,
+                       router_->RouteSlice(schema_type));
+  auto cursor = std::make_unique<OdhScanCursorImpl>(
+      this, schema_type, /*id=*/-1, lo, hi, wanted_tags,
+      std::move(tag_filters),
+      static_cast<int>(type->tag_names.size()), type->compression);
+  ODH_RETURN_IF_ERROR(cursor->InitSlice(route));
+  return std::unique_ptr<RecordCursor>(std::move(cursor));
+}
+
+}  // namespace odh::core

@@ -1,0 +1,74 @@
+#ifndef ODH_CORE_READER_H_
+#define ODH_CORE_READER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/router.h"
+#include "core/store.h"
+#include "core/value_blob.h"
+#include "core/writer.h"
+#include "core/zone_map.h"
+
+namespace odh::core {
+
+/// Pull-based stream of decoded operational records. This is the shared
+/// read path: the native query API returns it directly (the paper's
+/// "bypass the SQL interface" fast path), and the VTI adapter wraps it
+/// with Datum row assembly for SQL.
+class RecordCursor {
+ public:
+  virtual ~RecordCursor() = default;
+  /// Produces the next record; false at end of stream. Tags outside the
+  /// requested set are NaN.
+  virtual Result<bool> Next(OperationalRecord* record) = 0;
+};
+
+/// Counters for one scan (exposed so benches can report blob I/O).
+struct ReadStats {
+  int64_t blobs_decoded = 0;
+  int64_t blobs_pruned = 0;  // Skipped entirely via zone maps.
+  int64_t blob_bytes_read = 0;
+  int64_t records_emitted = 0;
+};
+
+/// The ODH read path: routes, fetches blobs with partition elimination,
+/// decodes only the requested tags (tag-oriented access), merges unflushed
+/// writer buffers (dirty-read isolation).
+class OdhReader {
+ public:
+  OdhReader(ConfigComponent* config, OdhStore* store, OdhWriter* writer,
+            DataRouter* router)
+      : config_(config), store_(store), writer_(writer), router_(router) {}
+
+  /// Historical query: all points of `id` in [lo, hi]. `tag_filters`
+  /// (optional) lets the reader prune whole blobs via their zone maps; the
+  /// caller still re-checks row-level predicates.
+  Result<std::unique_ptr<RecordCursor>> OpenHistorical(
+      int schema_type, SourceId id, Timestamp lo, Timestamp hi,
+      const std::vector<int>& wanted_tags,
+      std::vector<TagFilter> tag_filters = {});
+
+  /// Slice query: all points of every source of the type in [lo, hi].
+  Result<std::unique_ptr<RecordCursor>> OpenSlice(
+      int schema_type, Timestamp lo, Timestamp hi,
+      const std::vector<int>& wanted_tags,
+      std::vector<TagFilter> tag_filters = {});
+
+  /// Cumulative stats across all cursors opened from this reader.
+  const ReadStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ReadStats(); }
+
+ private:
+  friend class OdhScanCursorImpl;
+
+  ConfigComponent* config_;
+  OdhStore* store_;
+  OdhWriter* writer_;
+  DataRouter* router_;
+  ReadStats stats_;
+};
+
+}  // namespace odh::core
+
+#endif  // ODH_CORE_READER_H_

@@ -1,0 +1,123 @@
+#include "core/reorganizer.h"
+
+#include "core/zone_map.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+
+namespace odh::core {
+
+Result<ReorganizeReport> Reorganizer::Reorganize(int schema_type,
+                                                 Timestamp up_to) {
+  ReorganizeReport report;
+  ODH_ASSIGN_OR_RETURN(const SchemaType* type,
+                       config_->GetSchemaType(schema_type));
+  ValueBlobCodec codec(type->compression);
+  const int num_tags = static_cast<int>(type->tag_names.size());
+
+  ODH_ASSIGN_OR_RETURN(auto blobs,
+                       store_->GetMg(schema_type, -1, kMinTimestamp, up_to));
+  // Collect per-source series from all eligible MG blobs.
+  std::map<SourceId, SeriesBatch> series;
+  std::vector<relational::Rid> consumed;
+  for (const BlobRecord& blob : blobs) {
+    if (blob.end > up_to) continue;
+    std::vector<OperationalRecord> records;
+    ODH_RETURN_IF_ERROR(codec.DecodeMg(Slice(blob.blob), blob.begin,
+                                       /*wanted_tags=*/{}, num_tags,
+                                       &records));
+    for (const OperationalRecord& r : records) {
+      SeriesBatch& batch = series[r.id];
+      if (batch.columns.empty()) {
+        batch.id = r.id;
+        batch.columns.resize(num_tags);
+      }
+      batch.timestamps.push_back(r.ts);
+      for (int t = 0; t < num_tags; ++t) {
+        batch.columns[t].push_back(r.tags[t]);
+      }
+      ++report.points_moved;
+    }
+    consumed.push_back(blob.rid);
+    ++report.mg_blobs_consumed;
+  }
+
+  // Write per-source batches: regular-within-tolerance series become RTS.
+  for (auto& [id, batch] : series) {
+    // Blobs arrive in begin_ts order, but blobs sharing a begin_ts can
+    // interleave a source's rounds; sort each series by timestamp (stable)
+    // before encoding.
+    const size_t n = batch.timestamps.size();
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return batch.timestamps[a] < batch.timestamps[b];
+    });
+    SeriesBatch sorted;
+    sorted.id = batch.id;
+    sorted.timestamps.reserve(n);
+    sorted.columns.resize(batch.columns.size());
+    for (size_t i = 0; i < n; ++i) {
+      sorted.timestamps.push_back(batch.timestamps[order[i]]);
+    }
+    for (size_t c = 0; c < batch.columns.size(); ++c) {
+      sorted.columns[c].reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        sorted.columns[c].push_back(batch.columns[c][order[i]]);
+      }
+    }
+    batch = std::move(sorted);
+    auto source = config_->GetSource(id);
+    Timestamp interval =
+        source.ok() ? (*source)->expected_interval : Timestamp{0};
+    bool regular = source.ok() && IsRegular((*source)->source_class) &&
+                   n >= 2 && interval > 0;
+    if (regular) {
+      const Timestamp tolerance = std::max<Timestamp>(interval / 100, 1);
+      for (size_t i = 0; i < n && regular; ++i) {
+        Timestamp expected =
+            batch.timestamps[0] + static_cast<Timestamp>(i) * interval;
+        if (std::llabs(batch.timestamps[i] - expected) > tolerance) {
+          regular = false;
+        }
+      }
+    }
+    std::string blob;
+    std::string zone_map;
+    if (config_->options().enable_zone_maps) {
+      ZoneMap map = ZoneMap::FromColumns(batch.columns);
+      map.Widen(type->compression.max_error);
+      zone_map = map.Encode();
+    }
+    if (regular) {
+      Timestamp begin = batch.timestamps[0];
+      for (size_t i = 0; i < n; ++i) {
+        batch.timestamps[i] = begin + static_cast<Timestamp>(i) * interval;
+      }
+      ODH_RETURN_IF_ERROR(codec.EncodeRts(batch, interval, &blob));
+      ODH_RETURN_IF_ERROR(store_->PutRts(schema_type, id, begin,
+                                         batch.timestamps.back(), interval,
+                                         static_cast<int64_t>(n), blob,
+                                         zone_map));
+      ++report.rts_blobs_written;
+    } else {
+      ODH_RETURN_IF_ERROR(codec.EncodeIrts(batch, &blob));
+      ODH_RETURN_IF_ERROR(store_->PutIrts(schema_type, id,
+                                          batch.timestamps.front(),
+                                          batch.timestamps.back(),
+                                          static_cast<int64_t>(n), blob,
+                                          zone_map));
+      ++report.irts_blobs_written;
+    }
+  }
+
+  for (const relational::Rid& rid : consumed) {
+    ODH_RETURN_IF_ERROR(store_->DeleteMg(schema_type, rid));
+  }
+  ODH_RETURN_IF_ERROR(store_->Sync(schema_type));
+  return report;
+}
+
+}  // namespace odh::core

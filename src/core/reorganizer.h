@@ -1,0 +1,37 @@
+#ifndef ODH_CORE_REORGANIZER_H_
+#define ODH_CORE_REORGANIZER_H_
+
+#include "core/store.h"
+#include "core/value_blob.h"
+
+namespace odh::core {
+
+/// Result of one reorganization pass.
+struct ReorganizeReport {
+  int64_t mg_blobs_consumed = 0;
+  int64_t points_moved = 0;
+  int64_t rts_blobs_written = 0;
+  int64_t irts_blobs_written = 0;
+};
+
+/// Converts MG batches into per-source RTS/IRTS batches so historical
+/// queries on low-frequency sources read per-source structures (paper
+/// Table 1: low-frequency historical queries are served by RTS/IRTS).
+/// Typically run in the background; here it is invoked explicitly.
+class Reorganizer {
+ public:
+  Reorganizer(ConfigComponent* config, OdhStore* store)
+      : config_(config), store_(store) {}
+
+  /// Moves all MG data of `schema_type` with end_ts <= `up_to` into
+  /// per-source structures and deletes the consumed MG blobs.
+  Result<ReorganizeReport> Reorganize(int schema_type, Timestamp up_to);
+
+ private:
+  ConfigComponent* config_;
+  OdhStore* store_;
+};
+
+}  // namespace odh::core
+
+#endif  // ODH_CORE_REORGANIZER_H_

@@ -1,0 +1,301 @@
+#include "core/store.h"
+
+#include "common/key_codec.h"
+
+namespace odh::core {
+namespace {
+
+using relational::Column;
+using relational::Schema;
+
+// Column positions in the RTS/IRTS tables.
+constexpr int kSeriesId = 0;
+constexpr int kSeriesBegin = 1;
+constexpr int kSeriesEnd = 2;
+constexpr int kSeriesInterval = 3;
+constexpr int kSeriesCount = 4;
+constexpr int kSeriesBlob = 5;
+constexpr int kSeriesZone = 6;
+
+// Column positions in the MG table.
+constexpr int kMgBegin = 0;
+constexpr int kMgGroup = 1;
+constexpr int kMgEnd = 2;
+constexpr int kMgCount = 3;
+constexpr int kMgBlob = 4;
+constexpr int kMgZone = 5;
+
+Schema SeriesSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"begin_ts", DataType::kTimestamp},
+                 {"end_ts", DataType::kTimestamp},
+                 {"interval", DataType::kInt64},
+                 {"n", DataType::kInt64},
+                 {"blob", DataType::kString},
+                 {"zonemap", DataType::kString}});
+}
+
+Schema MgSchema() {
+  return Schema({{"begin_ts", DataType::kTimestamp},
+                 {"grp", DataType::kInt64},
+                 {"end_ts", DataType::kTimestamp},
+                 {"n", DataType::kInt64},
+                 {"blob", DataType::kString},
+                 {"zonemap", DataType::kString}});
+}
+
+}  // namespace
+
+Status OdhStore::CreateContainers(int schema_type) {
+  ODH_ASSIGN_OR_RETURN(const SchemaType* type,
+                       config_->GetSchemaType(schema_type));
+  if (containers_.count(schema_type) > 0) {
+    return Status::AlreadyExists("containers exist for " + type->name);
+  }
+  Container container;
+  // B-tree indexes on the first two fields of each batch structure
+  // (paper §2: "B-tree indices are created on the first two fields").
+  ODH_ASSIGN_OR_RETURN(
+      container.rts,
+      db_->CreateTable("odh$" + type->name + "$rts", SeriesSchema()));
+  ODH_RETURN_IF_ERROR(
+      container.rts->AddIndex({"pk", {kSeriesId, kSeriesBegin}}));
+  ODH_ASSIGN_OR_RETURN(
+      container.irts,
+      db_->CreateTable("odh$" + type->name + "$irts", SeriesSchema()));
+  ODH_RETURN_IF_ERROR(
+      container.irts->AddIndex({"pk", {kSeriesId, kSeriesBegin}}));
+  ODH_ASSIGN_OR_RETURN(
+      container.mg,
+      db_->CreateTable("odh$" + type->name + "$mg", MgSchema()));
+  ODH_RETURN_IF_ERROR(container.mg->AddIndex({"pk", {kMgBegin, kMgGroup}}));
+  containers_[schema_type] = container;
+  return Status::OK();
+}
+
+Result<OdhStore::Container*> OdhStore::GetContainer(int schema_type) {
+  auto it = containers_.find(schema_type);
+  if (it == containers_.end()) {
+    return Status::NotFound("no containers for schema type " +
+                            std::to_string(schema_type));
+  }
+  return &it->second;
+}
+
+void OdhStore::UpdateStats(ContainerStats* stats, Timestamp begin,
+                           Timestamp end, int64_t n, size_t blob_bytes) {
+  ++stats->blob_count;
+  stats->point_count += n;
+  stats->blob_bytes += static_cast<int64_t>(blob_bytes);
+  if (begin < stats->min_ts) stats->min_ts = begin;
+  if (end > stats->max_ts) stats->max_ts = end;
+  if (end - begin > stats->max_span) stats->max_span = end - begin;
+}
+
+Status OdhStore::PutRts(int schema_type, SourceId id, Timestamp begin,
+                        Timestamp end, Timestamp interval, int64_t n,
+                        const std::string& blob,
+                        const std::string& zone_map) {
+  ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
+  Row row = {Datum::Int64(id),       Datum::Time(begin),
+             Datum::Time(end),       Datum::Int64(interval),
+             Datum::Int64(n),        Datum::String(blob),
+             Datum::String(zone_map)};
+  ODH_RETURN_IF_ERROR(container->rts->Insert(row).status());
+  UpdateStats(&container->rts_stats, begin, end, n, blob.size());
+  return Status::OK();
+}
+
+Status OdhStore::PutIrts(int schema_type, SourceId id, Timestamp begin,
+                         Timestamp end, int64_t n, const std::string& blob,
+                         const std::string& zone_map) {
+  ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
+  Row row = {Datum::Int64(id), Datum::Time(begin), Datum::Time(end),
+             Datum::Int64(0),  Datum::Int64(n),    Datum::String(blob),
+             Datum::String(zone_map)};
+  ODH_RETURN_IF_ERROR(container->irts->Insert(row).status());
+  UpdateStats(&container->irts_stats, begin, end, n, blob.size());
+  return Status::OK();
+}
+
+Status OdhStore::PutMg(int schema_type, int64_t group, Timestamp begin,
+                       Timestamp end, int64_t n, const std::string& blob,
+                       const std::string& zone_map) {
+  ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
+  Row row = {Datum::Time(begin), Datum::Int64(group), Datum::Time(end),
+             Datum::Int64(n), Datum::String(blob),
+             Datum::String(zone_map)};
+  ODH_RETURN_IF_ERROR(container->mg->Insert(row).status());
+  UpdateStats(&container->mg_stats, begin, end, n, blob.size());
+  return Status::OK();
+}
+
+namespace {
+
+Result<std::vector<BlobRecord>> ScanSeries(relational::Table* table,
+                                           const ContainerStats& stats,
+                                           SourceId id, Timestamp lo,
+                                           Timestamp hi) {
+  std::vector<BlobRecord> out;
+  // Partition elimination: only blobs with begin_ts in
+  // [lo - max_span, hi] can overlap [lo, hi].
+  Timestamp scan_lo =
+      lo == kMinTimestamp ? kMinTimestamp : lo - stats.max_span;
+  if (scan_lo > lo) scan_lo = kMinTimestamp;  // Underflow guard.
+  std::string lo_key = EncodeKey({Datum::Int64(id), Datum::Time(scan_lo)});
+  std::string hi_key = EncodeKey({Datum::Int64(id), Datum::Time(hi)});
+  ODH_ASSIGN_OR_RETURN(relational::Table::IndexIterator it,
+                       table->IndexScan(0, lo_key, hi_key));
+  while (it.Valid()) {
+    ODH_ASSIGN_OR_RETURN(Row row, table->Get(it.rid()));
+    BlobRecord rec;
+    rec.id = row[0].int64_value();
+    rec.begin = row[1].timestamp_value();
+    rec.end = row[2].timestamp_value();
+    rec.interval = row[3].int64_value();
+    rec.n = row[4].int64_value();
+    rec.blob = row[5].string_value();
+    rec.zone_map = row[6].string_value();
+    rec.rid = it.rid();
+    if (rec.end >= lo) out.push_back(std::move(rec));
+    ODH_RETURN_IF_ERROR(it.Next());
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<BlobRecord>> OdhStore::GetRts(int schema_type,
+                                                 SourceId id, Timestamp lo,
+                                                 Timestamp hi) {
+  ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
+  return ScanSeries(container->rts, container->rts_stats, id, lo, hi);
+}
+
+Result<std::vector<BlobRecord>> OdhStore::GetIrts(int schema_type,
+                                                  SourceId id, Timestamp lo,
+                                                  Timestamp hi) {
+  ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
+  return ScanSeries(container->irts, container->irts_stats, id, lo, hi);
+}
+
+Result<std::vector<BlobRecord>> OdhStore::GetMg(int schema_type,
+                                                int64_t group, Timestamp lo,
+                                                Timestamp hi) {
+  ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
+  const ContainerStats& stats = container->mg_stats;
+  Timestamp scan_lo =
+      lo == kMinTimestamp ? kMinTimestamp : lo - stats.max_span;
+  if (scan_lo > lo) scan_lo = kMinTimestamp;
+  std::string lo_key = EncodeKey({Datum::Time(scan_lo)});
+  std::string hi_key = EncodeKey({Datum::Time(hi)});
+  ODH_ASSIGN_OR_RETURN(relational::Table::IndexIterator it,
+                       container->mg->IndexScan(0, lo_key, hi_key));
+  std::vector<BlobRecord> out;
+  while (it.Valid()) {
+    ODH_ASSIGN_OR_RETURN(Row row, container->mg->Get(it.rid()));
+    BlobRecord rec;
+    rec.begin = row[0].timestamp_value();
+    rec.group = row[1].int64_value();
+    rec.end = row[2].timestamp_value();
+    rec.n = row[3].int64_value();
+    rec.blob = row[4].string_value();
+    rec.zone_map = row[5].string_value();
+    rec.rid = it.rid();
+    if (rec.end >= lo && (group < 0 || rec.group == group)) {
+      out.push_back(std::move(rec));
+    }
+    ODH_RETURN_IF_ERROR(it.Next());
+  }
+  return out;
+}
+
+Status OdhStore::DeleteMg(int schema_type, const relational::Rid& rid) {
+  ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
+  // Keep the count/byte stats honest for the cost model; the min/max/span
+  // fields stay conservative.
+  auto row = container->mg->Get(rid);
+  if (row.ok()) {
+    ContainerStats& stats = container->mg_stats;
+    --stats.blob_count;
+    stats.point_count -= (*row)[kMgCount].int64_value();
+    stats.blob_bytes -=
+        static_cast<int64_t>((*row)[kMgBlob].string_value().size());
+  }
+  return container->mg->Delete(rid);
+}
+
+Status OdhStore::CompactMg(int schema_type) {
+  ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
+  ODH_ASSIGN_OR_RETURN(const SchemaType* type,
+                       config_->GetSchemaType(schema_type));
+  std::string old_name = container->mg->name();
+  std::string new_name = "odh$" + type->name + "$mg$v" +
+                         std::to_string(++mg_version_);
+  ODH_ASSIGN_OR_RETURN(relational::Table * fresh,
+                       db_->CreateTable(new_name, MgSchema()));
+  ODH_RETURN_IF_ERROR(fresh->AddIndex({"pk", {kMgBegin, kMgGroup}}));
+
+  ContainerStats stats;
+  auto it = container->mg->NewIterator();
+  ODH_RETURN_IF_ERROR(it.SeekToFirst());
+  while (it.Valid()) {
+    ODH_ASSIGN_OR_RETURN(Row row, it.row());
+    ODH_RETURN_IF_ERROR(fresh->Insert(row).status());
+    UpdateStats(&stats, row[kMgBegin].timestamp_value(),
+                row[kMgEnd].timestamp_value(), row[kMgCount].int64_value(),
+                row[kMgBlob].string_value().size());
+    ODH_RETURN_IF_ERROR(it.Next());
+  }
+  ODH_RETURN_IF_ERROR(fresh->Commit());
+  ODH_RETURN_IF_ERROR(db_->DropTable(old_name));
+  container->mg = fresh;
+  container->mg_stats = stats;
+  return Status::OK();
+}
+
+Result<relational::Table*> OdhStore::RtsTable(int schema_type) {
+  ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
+  return container->rts;
+}
+
+Result<relational::Table*> OdhStore::IrtsTable(int schema_type) {
+  ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
+  return container->irts;
+}
+
+Result<relational::Table*> OdhStore::MgTable(int schema_type) {
+  ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
+  return container->mg;
+}
+
+Status OdhStore::RowToBlobRecord(const Row& row, const relational::Rid& rid,
+                                 bool is_mg, BlobRecord* rec) {
+  if (is_mg) {
+    rec->begin = row[kMgBegin].timestamp_value();
+    rec->group = row[kMgGroup].int64_value();
+    rec->end = row[kMgEnd].timestamp_value();
+    rec->n = row[kMgCount].int64_value();
+    rec->blob = row[kMgBlob].string_value();
+    rec->zone_map = row[kMgZone].string_value();
+  } else {
+    rec->id = row[kSeriesId].int64_value();
+    rec->begin = row[kSeriesBegin].timestamp_value();
+    rec->end = row[kSeriesEnd].timestamp_value();
+    rec->interval = row[kSeriesInterval].int64_value();
+    rec->n = row[kSeriesCount].int64_value();
+    rec->blob = row[kSeriesBlob].string_value();
+    rec->zone_map = row[kSeriesZone].string_value();
+  }
+  rec->rid = rid;
+  return Status::OK();
+}
+
+Status OdhStore::Sync(int schema_type) {
+  ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
+  ODH_RETURN_IF_ERROR(container->rts->Commit());
+  ODH_RETURN_IF_ERROR(container->irts->Commit());
+  return container->mg->Commit();
+}
+
+}  // namespace odh::core

@@ -1,0 +1,139 @@
+#ifndef ODH_CORE_STORE_H_
+#define ODH_CORE_STORE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "relational/database.h"
+
+namespace odh::core {
+
+/// Aggregate statistics per container, maintained on every Put. The cost
+/// model (paper §3: "we approximate the cost ... as the expected size, in
+/// bytes, of the ValueBlobs that need to be accessed") reads these.
+struct ContainerStats {
+  int64_t blob_count = 0;
+  int64_t point_count = 0;
+  int64_t blob_bytes = 0;
+  Timestamp min_ts = kMaxTimestamp;
+  Timestamp max_ts = kMinTimestamp;
+  /// Largest (end_ts - begin_ts) of any blob: the partition-elimination
+  /// window widening needed on the lower bound.
+  Timestamp max_span = 0;
+
+  double AvgBlobBytes() const {
+    return blob_count > 0 ? static_cast<double>(blob_bytes) / blob_count : 0;
+  }
+  double AvgPointsPerBlob() const {
+    return blob_count > 0 ? static_cast<double>(point_count) / blob_count : 0;
+  }
+};
+
+/// A fetched batch record.
+struct BlobRecord {
+  SourceId id = 0;        // RTS/IRTS only.
+  int64_t group = 0;      // MG only.
+  Timestamp begin = 0;
+  Timestamp end = 0;
+  Timestamp interval = 0;  // RTS only.
+  int64_t n = 0;
+  std::string blob;
+  std::string zone_map;   // Encoded ZoneMap (may be empty on old rows).
+  relational::Rid rid;
+};
+
+/// The ODH storage component: one container triple (RTS / IRTS / MG
+/// tables) per schema type, stored in the embedded relational engine with
+/// B-tree indexes on the first two fields of each structure — exactly the
+/// paper's Figure 1 layout. Time-range scans do partition elimination via
+/// the (id|begin_ts, begin_ts|group) index plus the max-span widening.
+class OdhStore {
+ public:
+  OdhStore(relational::Database* db, ConfigComponent* config)
+      : db_(db), config_(config) {}
+
+  OdhStore(const OdhStore&) = delete;
+  OdhStore& operator=(const OdhStore&) = delete;
+
+  /// Creates the three internal tables for a schema type.
+  Status CreateContainers(int schema_type);
+
+  Status PutRts(int schema_type, SourceId id, Timestamp begin, Timestamp end,
+                Timestamp interval, int64_t n, const std::string& blob,
+                const std::string& zone_map = {});
+  Status PutIrts(int schema_type, SourceId id, Timestamp begin,
+                 Timestamp end, int64_t n, const std::string& blob,
+                 const std::string& zone_map = {});
+  Status PutMg(int schema_type, int64_t group, Timestamp begin,
+               Timestamp end, int64_t n, const std::string& blob,
+               const std::string& zone_map = {});
+
+  /// Blobs of `id` overlapping [lo, hi], in begin_ts order.
+  Result<std::vector<BlobRecord>> GetRts(int schema_type, SourceId id,
+                                         Timestamp lo, Timestamp hi);
+  Result<std::vector<BlobRecord>> GetIrts(int schema_type, SourceId id,
+                                          Timestamp lo, Timestamp hi);
+
+  /// MG blobs overlapping [lo, hi]; `group` < 0 means all groups.
+  Result<std::vector<BlobRecord>> GetMg(int schema_type, int64_t group,
+                                        Timestamp lo, Timestamp hi);
+
+  /// Removes an MG blob (used by the reorganizer after conversion).
+  Status DeleteMg(int schema_type, const relational::Rid& rid);
+
+  /// Rebuilds the MG container, reclaiming the space of deleted blobs
+  /// (run after reorganization; heap pages are never compacted in place).
+  Status CompactMg(int schema_type);
+
+  const ContainerStats& rts_stats(int schema_type) const {
+    return containers_.at(schema_type).rts_stats;
+  }
+  const ContainerStats& irts_stats(int schema_type) const {
+    return containers_.at(schema_type).irts_stats;
+  }
+  const ContainerStats& mg_stats(int schema_type) const {
+    return containers_.at(schema_type).mg_stats;
+  }
+
+  /// Flushes buffered table writes (ODH ingestion has no transactions; this
+  /// is a page flush, not a commit).
+  Status Sync(int schema_type);
+
+  /// Direct access to the container tables for streaming full scans (slice
+  /// queries over per-source structures have no index to use). Internal to
+  /// the core module.
+  Result<relational::Table*> RtsTable(int schema_type);
+  Result<relational::Table*> IrtsTable(int schema_type);
+  Result<relational::Table*> MgTable(int schema_type);
+
+  /// Decodes a series-container row fetched by a streaming scan.
+  static Status RowToBlobRecord(const Row& row, const relational::Rid& rid,
+                                bool is_mg, BlobRecord* rec);
+
+ private:
+  struct Container {
+    relational::Table* rts = nullptr;
+    relational::Table* irts = nullptr;
+    relational::Table* mg = nullptr;
+    ContainerStats rts_stats;
+    ContainerStats irts_stats;
+    ContainerStats mg_stats;
+  };
+
+  Result<Container*> GetContainer(int schema_type);
+
+  int mg_version_ = 0;  // Suffix for rebuilt MG container tables.
+
+  static void UpdateStats(ContainerStats* stats, Timestamp begin,
+                          Timestamp end, int64_t n, size_t blob_bytes);
+
+  relational::Database* db_;
+  ConfigComponent* config_;
+  std::map<int, Container> containers_;
+};
+
+}  // namespace odh::core
+
+#endif  // ODH_CORE_STORE_H_

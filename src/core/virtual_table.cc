@@ -1,0 +1,164 @@
+#include "core/virtual_table.h"
+
+#include <cmath>
+#include <set>
+
+#include "common/logging.h"
+#include "sql/relational_provider.h"
+
+namespace odh::core {
+namespace {
+
+/// Wraps a RecordCursor, assembling SQL rows and re-checking constraints.
+class VirtualTableCursor : public sql::RowCursor {
+ public:
+  VirtualTableCursor(std::unique_ptr<RecordCursor> cursor,
+                     sql::ScanSpec spec, int num_tags)
+      : cursor_(std::move(cursor)),
+        spec_(std::move(spec)),
+        num_tags_(num_tags) {}
+
+  Result<bool> Next(Row* row) override {
+    OperationalRecord record;
+    while (true) {
+      ODH_ASSIGN_OR_RETURN(bool more, cursor_->Next(&record));
+      if (!more) return false;
+      // Row assembly: this per-value boxing is the VTI overhead.
+      row->clear();
+      row->reserve(2 + num_tags_);
+      row->push_back(Datum::Int64(record.id));
+      row->push_back(Datum::Time(record.ts));
+      for (int t = 0; t < num_tags_; ++t) {
+        if (std::isnan(record.tags[t])) {
+          row->push_back(Datum::Null());
+        } else {
+          row->push_back(Datum::Double(record.tags[t]));
+        }
+      }
+      if (!sql::RowSatisfies(*row, spec_.constraints)) continue;
+      return true;
+    }
+  }
+
+ private:
+  std::unique_ptr<RecordCursor> cursor_;
+  sql::ScanSpec spec_;
+  int num_tags_;
+};
+
+}  // namespace
+
+OdhVirtualTable::OdhVirtualTable(std::string name, int schema_type,
+                                 ConfigComponent* config, OdhReader* reader,
+                                 OdhCostModel* cost_model)
+    : name_(std::move(name)),
+      schema_type_(schema_type),
+      config_(config),
+      reader_(reader),
+      cost_model_(cost_model) {
+  auto type = config_->GetSchemaType(schema_type);
+  ODH_CHECK(type.ok());
+  std::vector<relational::Column> columns;
+  columns.push_back({"id", DataType::kInt64});
+  columns.push_back({"ts", DataType::kTimestamp});
+  for (const std::string& tag : (*type)->tag_names) {
+    columns.push_back({tag, DataType::kDouble});
+  }
+  num_tags_ = static_cast<int>((*type)->tag_names.size());
+  schema_ = relational::Schema(std::move(columns));
+}
+
+OdhVirtualTable::Pushdown OdhVirtualTable::ExtractPushdown(
+    const sql::ScanSpec& spec) const {
+  Pushdown push;
+  std::set<int> tags;
+  for (const sql::ColumnConstraint& c : spec.constraints) {
+    if (c.column == kIdColumn && c.equals.has_value() &&
+        c.equals->is_int64()) {
+      push.id = c.equals->int64_value();
+    } else if (c.column == kTimestampColumn) {
+      if (c.equals.has_value() && c.equals->is_timestamp()) {
+        push.lo = push.hi = c.equals->timestamp_value();
+      } else {
+        if (c.lower.has_value() && c.lower->value.is_timestamp()) {
+          Timestamp v = c.lower->value.timestamp_value();
+          push.lo = c.lower->inclusive ? v : v + 1;
+        }
+        if (c.upper.has_value() && c.upper->value.is_timestamp()) {
+          Timestamp v = c.upper->value.timestamp_value();
+          push.hi = c.upper->inclusive ? v : v - 1;
+        }
+      }
+    } else if (c.column >= 2) {
+      tags.insert(c.column - 2);
+      // Numeric constraints on tags become zone-map filters.
+      TagFilter filter;
+      filter.tag = c.column - 2;
+      bool usable = false;
+      if (c.equals.has_value() && c.equals->is_numeric()) {
+        filter.min = filter.max = c.equals->AsDouble();
+        usable = true;
+      } else {
+        if (c.lower.has_value() && c.lower->value.is_numeric()) {
+          filter.min = c.lower->value.AsDouble();
+          usable = true;
+        }
+        if (c.upper.has_value() && c.upper->value.is_numeric()) {
+          filter.max = c.upper->value.AsDouble();
+          usable = true;
+        }
+      }
+      if (usable) push.tag_filters.push_back(filter);
+    }
+  }
+  if (!spec.projection.empty()) {
+    for (int col : spec.projection) {
+      if (col >= 2) tags.insert(col - 2);
+    }
+    push.wanted_tags.assign(tags.begin(), tags.end());
+    push.tag_fraction =
+        num_tags_ > 0
+            ? static_cast<double>(push.wanted_tags.size()) / num_tags_
+            : 1.0;
+    // Timestamp/id sections are a small constant share of a blob.
+    push.tag_fraction = std::min(1.0, push.tag_fraction + 0.05);
+  }
+  return push;
+}
+
+Result<std::unique_ptr<sql::RowCursor>> OdhVirtualTable::Scan(
+    const sql::ScanSpec& spec) {
+  Pushdown push = ExtractPushdown(spec);
+  std::unique_ptr<RecordCursor> cursor;
+  if (push.id >= 0) {
+    ODH_ASSIGN_OR_RETURN(
+        cursor, reader_->OpenHistorical(schema_type_, push.id, push.lo,
+                                        push.hi, push.wanted_tags,
+                                        push.tag_filters));
+  } else {
+    ODH_ASSIGN_OR_RETURN(
+        cursor, reader_->OpenSlice(schema_type_, push.lo, push.hi,
+                                   push.wanted_tags, push.tag_filters));
+  }
+  return std::unique_ptr<sql::RowCursor>(std::make_unique<VirtualTableCursor>(
+      std::move(cursor), spec, num_tags_));
+}
+
+sql::ScanEstimate OdhVirtualTable::Estimate(const sql::ScanSpec& spec) const {
+  Pushdown push = ExtractPushdown(spec);
+  OdhCostEstimate cost;
+  if (push.id >= 0 || spec.FindColumn(kIdColumn) != nullptr) {
+    // An id equality (possibly a join placeholder) -> historical path.
+    cost = cost_model_->EstimateHistorical(schema_type_, push.id, push.lo,
+                                           push.hi, push.tag_fraction);
+  } else {
+    cost = cost_model_->EstimateSlice(schema_type_, push.lo, push.hi,
+                                      push.tag_fraction);
+  }
+  sql::ScanEstimate est;
+  est.rows = cost.points;
+  est.bytes = cost.bytes;
+  return est;
+}
+
+}  // namespace odh::core

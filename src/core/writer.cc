@@ -1,0 +1,218 @@
+#include "core/writer.h"
+
+#include "core/zone_map.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace odh::core {
+
+Result<const ValueBlobCodec*> OdhWriter::CodecFor(int schema_type) {
+  auto it = codecs_.find(schema_type);
+  if (it == codecs_.end()) {
+    ODH_ASSIGN_OR_RETURN(const SchemaType* type,
+                         config_->GetSchemaType(schema_type));
+    it = codecs_.emplace(schema_type, ValueBlobCodec(type->compression))
+             .first;
+  }
+  return &it->second;
+}
+
+Status OdhWriter::Ingest(const OperationalRecord& record) {
+  ODH_ASSIGN_OR_RETURN(const DataSourceInfo* info,
+                       config_->GetSource(record.id));
+  ODH_ASSIGN_OR_RETURN(const SchemaType* type,
+                       config_->GetSchemaType(info->schema_type));
+  if (record.tags.size() != type->tag_names.size()) {
+    return Status::InvalidArgument("record arity mismatch for type " +
+                                   type->name);
+  }
+  auto [ts_it, first] = last_ts_.try_emplace(record.id, kMinTimestamp);
+  if (!first && record.ts < ts_it->second) {
+    return Status::InvalidArgument(
+        "timestamps must be non-decreasing per source");
+  }
+  ts_it->second = record.ts;
+  ++stats_.points_ingested;
+
+  const int b = config_->options().batch_size;
+  if (IsHighFrequency(info->source_class)) {
+    SourceBuffer& buffer = source_buffers_[record.id];
+    if (buffer.columns.empty()) {
+      buffer.columns.resize(type->tag_names.size());
+    }
+    buffer.timestamps.push_back(record.ts);
+    for (size_t t = 0; t < record.tags.size(); ++t) {
+      buffer.columns[t].push_back(record.tags[t]);
+    }
+    if (static_cast<int>(buffer.size()) >= b) {
+      ODH_RETURN_IF_ERROR(FlushSource(record.id, *info, &buffer));
+    }
+    return Status::OK();
+  }
+
+  // Low-frequency: mixed grouping.
+  GroupBuffer& buffer =
+      group_buffers_[{info->schema_type, info->group}];
+  if (buffer.records.empty()) buffer.window_begin = record.ts;
+  const Timestamp window = config_->options().mg_window;
+  if (record.ts - buffer.window_begin > window &&
+      !buffer.records.empty()) {
+    ODH_RETURN_IF_ERROR(
+        FlushGroup(info->schema_type, info->group, &buffer));
+    buffer.window_begin = record.ts;
+  }
+  buffer.records.push_back(record);
+  if (static_cast<int>(buffer.records.size()) >= b) {
+    ODH_RETURN_IF_ERROR(FlushGroup(info->schema_type, info->group, &buffer));
+  }
+  return Status::OK();
+}
+
+Status OdhWriter::FlushSource(SourceId id, const DataSourceInfo& info,
+                              SourceBuffer* buffer) {
+  if (buffer->timestamps.empty()) return Status::OK();
+  ODH_ASSIGN_OR_RETURN(const ValueBlobCodec* codec,
+                       CodecFor(info.schema_type));
+  SeriesBatch batch;
+  batch.id = id;
+  batch.timestamps = std::move(buffer->timestamps);
+  batch.columns = std::move(buffer->columns);
+  buffer->timestamps.clear();
+  buffer->columns.clear();
+
+  const size_t n = batch.timestamps.size();
+  const Timestamp begin = batch.timestamps.front();
+  const Timestamp end = batch.timestamps.back();
+
+  // Regularity check: a "regular" source whose batch actually is regular
+  // (within 1% jitter) stores as RTS with snapped timestamps; anything else
+  // stores as IRTS (paper Table 1).
+  bool regular = IsRegular(info.source_class) && n >= 2;
+  const Timestamp interval = info.expected_interval;
+  if (regular) {
+    const Timestamp tolerance = std::max<Timestamp>(interval / 100, 1);
+    for (size_t i = 0; i < n; ++i) {
+      Timestamp expected = begin + static_cast<Timestamp>(i) * interval;
+      if (std::llabs(batch.timestamps[i] - expected) > tolerance) {
+        regular = false;
+        break;
+      }
+    }
+  }
+
+  std::string blob;
+  std::string zone_map;
+  if (config_->options().enable_zone_maps) {
+    ZoneMap map = ZoneMap::FromColumns(batch.columns);
+    map.Widen(codec->spec().max_error);  // Conservative under lossy codecs.
+    zone_map = map.Encode();
+  }
+  if (regular) {
+    for (size_t i = 0; i < n; ++i) {
+      batch.timestamps[i] = begin + static_cast<Timestamp>(i) * interval;
+    }
+    ODH_RETURN_IF_ERROR(codec->EncodeRts(batch, interval, &blob));
+    ODH_RETURN_IF_ERROR(store_->PutRts(info.schema_type, id, begin,
+                                       batch.timestamps.back(), interval,
+                                       static_cast<int64_t>(n), blob,
+                                       zone_map));
+    ++stats_.rts_blobs;
+  } else {
+    ODH_RETURN_IF_ERROR(codec->EncodeIrts(batch, &blob));
+    ODH_RETURN_IF_ERROR(store_->PutIrts(info.schema_type, id, begin, end,
+                                        static_cast<int64_t>(n), blob,
+                                        zone_map));
+    ++stats_.irts_blobs;
+  }
+  stats_.blob_bytes += static_cast<int64_t>(blob.size());
+  return Status::OK();
+}
+
+Status OdhWriter::FlushGroup(int schema_type, int64_t group,
+                             GroupBuffer* buffer) {
+  if (buffer->records.empty()) return Status::OK();
+  // MG blobs are encoded losslessly: the paper's lossy codecs apply "when
+  // the values are put into RTS or IRTS batch structures" (Figure 3), i.e.
+  // at ingestion for high-frequency sources and at reorganization for
+  // low-frequency ones. Compressing MG lossily too would double the error.
+  static const ValueBlobCodec lossless{CompressionSpec{}};
+  const ValueBlobCodec* codec = &lossless;
+  std::vector<OperationalRecord> records = std::move(buffer->records);
+  buffer->records.clear();
+  std::stable_sort(records.begin(), records.end(),
+                   [](const OperationalRecord& a, const OperationalRecord& b) {
+                     return a.ts != b.ts ? a.ts < b.ts : a.id < b.id;
+                   });
+  Timestamp begin = records.front().ts;
+  Timestamp end = records.back().ts;
+  std::string blob;
+  ODH_RETURN_IF_ERROR(codec->EncodeMg(records, begin, &blob));
+  std::string zone_map;
+  if (config_->options().enable_zone_maps && !records.empty()) {
+    zone_map = ZoneMap::FromRecords(
+                   records, static_cast<int>(records[0].tags.size()))
+                   .Encode();
+  }
+  ODH_RETURN_IF_ERROR(store_->PutMg(schema_type, group, begin, end,
+                                    static_cast<int64_t>(records.size()),
+                                    blob, zone_map));
+  ++stats_.mg_blobs;
+  stats_.blob_bytes += static_cast<int64_t>(blob.size());
+  return Status::OK();
+}
+
+Status OdhWriter::Flush(int schema_type) {
+  for (auto& [id, buffer] : source_buffers_) {
+    if (buffer.size() == 0) continue;
+    ODH_ASSIGN_OR_RETURN(const DataSourceInfo* info, config_->GetSource(id));
+    if (info->schema_type != schema_type) continue;
+    ODH_RETURN_IF_ERROR(FlushSource(id, *info, &buffer));
+  }
+  for (auto& [key, buffer] : group_buffers_) {
+    if (key.first != schema_type) continue;
+    ODH_RETURN_IF_ERROR(FlushGroup(key.first, key.second, &buffer));
+  }
+  return store_->Sync(schema_type);
+}
+
+Status OdhWriter::FlushAll() {
+  for (int t = 0; t < config_->num_schema_types(); ++t) {
+    ODH_RETURN_IF_ERROR(Flush(t));
+  }
+  return Status::OK();
+}
+
+Status OdhWriter::CollectDirty(int schema_type, SourceId id, Timestamp lo,
+                               Timestamp hi,
+                               std::vector<OperationalRecord>* out) const {
+  for (const auto& [source_id, buffer] : source_buffers_) {
+    if (id >= 0 && source_id != id) continue;
+    if (buffer.size() == 0) continue;
+    auto info = config_->GetSource(source_id);
+    if (!info.ok() || (*info)->schema_type != schema_type) continue;
+    for (size_t i = 0; i < buffer.size(); ++i) {
+      if (buffer.timestamps[i] < lo || buffer.timestamps[i] > hi) continue;
+      OperationalRecord record;
+      record.id = source_id;
+      record.ts = buffer.timestamps[i];
+      record.tags.resize(buffer.columns.size());
+      for (size_t t = 0; t < buffer.columns.size(); ++t) {
+        record.tags[t] = buffer.columns[t][i];
+      }
+      out->push_back(std::move(record));
+    }
+  }
+  for (const auto& [key, buffer] : group_buffers_) {
+    if (key.first != schema_type) continue;
+    for (const OperationalRecord& record : buffer.records) {
+      if (id >= 0 && record.id != id) continue;
+      if (record.ts < lo || record.ts > hi) continue;
+      out->push_back(record);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace odh::core

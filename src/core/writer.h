@@ -1,0 +1,85 @@
+#ifndef ODH_CORE_WRITER_H_
+#define ODH_CORE_WRITER_H_
+
+#include <map>
+#include <vector>
+
+#include "core/store.h"
+#include "core/value_blob.h"
+
+namespace odh::core {
+
+/// Ingestion counters (reported by the benchmark harness).
+struct WriterStats {
+  int64_t points_ingested = 0;
+  int64_t rts_blobs = 0;
+  int64_t irts_blobs = 0;
+  int64_t mg_blobs = 0;
+  int64_t blob_bytes = 0;
+};
+
+/// The ODH writer (paper §3 storage component): buffers incoming
+/// operational records and packs every `b` points into a ValueBlob.
+///
+///  - High-frequency sources buffer per source; a full buffer becomes an
+///    RTS blob when the timestamps are regular (within 1% jitter of the
+///    source's expected interval), else an IRTS blob.
+///  - Low-frequency sources buffer per MG group; a group buffer becomes an
+///    MG blob when it reaches `b` points or its time window closes.
+///
+/// Ingestion is transaction-free (paper: "The insertion process does not
+/// support transactions"). Unflushed buffers are visible to queries through
+/// CollectDirty — the paper's dirty-read isolation level.
+class OdhWriter {
+ public:
+  OdhWriter(OdhStore* store, ConfigComponent* config)
+      : store_(store), config_(config) {}
+
+  OdhWriter(const OdhWriter&) = delete;
+  OdhWriter& operator=(const OdhWriter&) = delete;
+
+  /// Ingests one record. Timestamps per source must be non-decreasing.
+  Status Ingest(const OperationalRecord& record);
+
+  /// Flushes every buffer of a schema type (partial blobs included).
+  Status Flush(int schema_type);
+  Status FlushAll();
+
+  /// Appends buffered-but-unflushed records matching the filters to *out.
+  /// `id` < 0 matches all sources; tags outside `wanted_tags` are still
+  /// included (buffers are row-format; the saving only applies to blobs).
+  Status CollectDirty(int schema_type, SourceId id, Timestamp lo,
+                      Timestamp hi,
+                      std::vector<OperationalRecord>* out) const;
+
+  const WriterStats& stats() const { return stats_; }
+
+ private:
+  struct SourceBuffer {
+    std::vector<Timestamp> timestamps;
+    std::vector<std::vector<double>> columns;  // Tag-major.
+    size_t size() const { return timestamps.size(); }
+  };
+  struct GroupBuffer {
+    std::vector<OperationalRecord> records;
+    Timestamp window_begin = 0;
+  };
+
+  Status FlushSource(SourceId id, const DataSourceInfo& info,
+                     SourceBuffer* buffer);
+  Status FlushGroup(int schema_type, int64_t group, GroupBuffer* buffer);
+
+  Result<const ValueBlobCodec*> CodecFor(int schema_type);
+
+  OdhStore* store_;
+  ConfigComponent* config_;
+  std::map<SourceId, SourceBuffer> source_buffers_;
+  std::map<std::pair<int, int64_t>, GroupBuffer> group_buffers_;
+  std::map<SourceId, Timestamp> last_ts_;
+  std::map<int, ValueBlobCodec> codecs_;
+  WriterStats stats_;
+};
+
+}  // namespace odh::core
+
+#endif  // ODH_CORE_WRITER_H_

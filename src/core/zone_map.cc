@@ -1,0 +1,97 @@
+#include "core/zone_map.h"
+
+#include <cmath>
+
+#include "common/coding.h"
+
+namespace odh::core {
+
+ZoneMap ZoneMap::FromColumns(
+    const std::vector<std::vector<double>>& columns) {
+  ZoneMap map;
+  map.entries_.resize(columns.size());
+  for (size_t t = 0; t < columns.size(); ++t) {
+    Entry& entry = map.entries_[t];
+    for (double v : columns[t]) {
+      if (std::isnan(v)) continue;
+      if (!entry.present || v < entry.min) entry.min = v;
+      if (!entry.present || v > entry.max) entry.max = v;
+      entry.present = true;
+    }
+  }
+  return map;
+}
+
+ZoneMap ZoneMap::FromRecords(const std::vector<OperationalRecord>& records,
+                             int num_tags) {
+  ZoneMap map;
+  map.entries_.resize(num_tags);
+  for (const OperationalRecord& record : records) {
+    for (int t = 0; t < num_tags; ++t) {
+      double v = record.tags[t];
+      if (std::isnan(v)) continue;
+      Entry& entry = map.entries_[t];
+      if (!entry.present || v < entry.min) entry.min = v;
+      if (!entry.present || v > entry.max) entry.max = v;
+      entry.present = true;
+    }
+  }
+  return map;
+}
+
+void ZoneMap::Widen(double margin) {
+  if (margin <= 0) return;
+  for (Entry& entry : entries_) {
+    if (!entry.present) continue;
+    entry.min -= margin;
+    entry.max += margin;
+  }
+}
+
+std::string ZoneMap::Encode() const {
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(entries_.size()));
+  for (const Entry& entry : entries_) {
+    out.push_back(entry.present ? 1 : 0);
+    if (entry.present) {
+      PutDouble(&out, entry.min);
+      PutDouble(&out, entry.max);
+    }
+  }
+  return out;
+}
+
+Result<ZoneMap> ZoneMap::Decode(Slice input) {
+  ZoneMap map;
+  uint32_t n;
+  if (!GetVarint32(&input, &n)) return Status::Corruption("zone map count");
+  map.entries_.resize(n);
+  for (uint32_t t = 0; t < n; ++t) {
+    if (input.empty()) return Status::Corruption("zone map flag");
+    bool present = input[0] != 0;
+    input.remove_prefix(1);
+    map.entries_[t].present = present;
+    if (present) {
+      if (!GetDouble(&input, &map.entries_[t].min) ||
+          !GetDouble(&input, &map.entries_[t].max)) {
+        return Status::Corruption("zone map bounds");
+      }
+    }
+  }
+  return map;
+}
+
+bool ZoneMap::MayMatch(const std::vector<TagFilter>& filters) const {
+  if (entries_.empty()) return true;  // Unknown: stay conservative.
+  for (const TagFilter& filter : filters) {
+    if (filter.tag < 0 || filter.tag >= num_tags()) continue;
+    const Entry& entry = entries_[filter.tag];
+    // A filtered tag with no values in the blob can never satisfy the
+    // predicate (SQL: NULL never matches), so the blob is skippable.
+    if (!entry.present) return false;
+    if (entry.max < filter.min || entry.min > filter.max) return false;
+  }
+  return true;
+}
+
+}  // namespace odh::core

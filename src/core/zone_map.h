@@ -1,0 +1,66 @@
+#ifndef ODH_CORE_ZONE_MAP_H_
+#define ODH_CORE_ZONE_MAP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "core/value_blob.h"
+
+namespace odh::core {
+
+/// A numeric range filter on one tag, pushed down from a SQL predicate
+/// (e.g. `temperature > 50` -> {tag, 50, +inf, false-exclusive-low}).
+struct TagFilter {
+  int tag = -1;
+  double min = -std::numeric_limits<double>::infinity();
+  double max = std::numeric_limits<double>::infinity();
+};
+
+/// Per-blob tag min/max summary — the paper's §6 future-work item "adding
+/// proper indexing to reduce BLOB scanning for queries on attribute
+/// values". Stored as a small column next to each ValueBlob, it lets the
+/// reader skip decoding blobs whose value ranges cannot satisfy a pushed
+/// tag predicate (a zone map / block-range index).
+class ZoneMap {
+ public:
+  /// Builds the summary from tag-major columns (NaN = missing).
+  static ZoneMap FromColumns(const std::vector<std::vector<double>>& columns);
+
+  /// Builds from row-format records (MG path).
+  static ZoneMap FromRecords(const std::vector<OperationalRecord>& records,
+                             int num_tags);
+
+  /// Compact serialization (per tag: presence flag + min/max).
+  std::string Encode() const;
+  static Result<ZoneMap> Decode(Slice input);
+
+  /// Widens every range by `margin` on both sides. Lossy codecs may emit
+  /// decoded values up to their error bound away from the originals the
+  /// map was built from; widening keeps pruning conservative w.r.t.
+  /// predicates evaluated on decoded values.
+  void Widen(double margin);
+
+  /// True when a blob with this summary may contain rows satisfying every
+  /// filter. False means the blob can be skipped entirely. Conservative:
+  /// an empty/unknown zone map always returns true.
+  bool MayMatch(const std::vector<TagFilter>& filters) const;
+
+  int num_tags() const { return static_cast<int>(entries_.size()); }
+  bool has_values(int tag) const { return entries_[tag].present; }
+  double min(int tag) const { return entries_[tag].min; }
+  double max(int tag) const { return entries_[tag].max; }
+
+ private:
+  struct Entry {
+    bool present = false;  // Any non-NaN value for this tag?
+    double min = 0;
+    double max = 0;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace odh::core
+
+#endif  // ODH_CORE_ZONE_MAP_H_

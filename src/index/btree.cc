@@ -1,0 +1,360 @@
+#include "index/btree.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace odh::index {
+namespace {
+
+constexpr uint32_t kMetaMagic = 0x0D4B7EEE;
+constexpr char kLeafType = 1;
+constexpr char kInternalType = 2;
+constexpr storage::PageNo kMetaPage = 0;
+
+// Reserve a little slack so a serialized node always fits its page.
+constexpr size_t kNodeSlack = 16;
+
+}  // namespace
+
+Result<std::unique_ptr<BTree>> BTree::Create(storage::BufferPool* pool,
+                                             const std::string& name) {
+  ODH_ASSIGN_OR_RETURN(storage::FileId file,
+                       pool->disk()->CreateFile(name));
+  std::unique_ptr<BTree> tree(new BTree(pool, file));
+  tree->max_node_bytes_ = pool->disk()->page_size() - kNodeSlack;
+
+  storage::PageNo meta_page;
+  ODH_ASSIGN_OR_RETURN(storage::PageRef meta, pool->NewPage(file, &meta_page));
+  ODH_CHECK(meta_page == kMetaPage);
+  meta.Release();
+
+  Node root;
+  root.leaf = true;
+  ODH_ASSIGN_OR_RETURN(tree->root_, tree->AllocateNode(root));
+  ODH_RETURN_IF_ERROR(tree->WriteMeta());
+  return tree;
+}
+
+Result<std::unique_ptr<BTree>> BTree::Open(storage::BufferPool* pool,
+                                           const std::string& name) {
+  ODH_ASSIGN_OR_RETURN(storage::FileId file, pool->disk()->OpenFile(name));
+  std::unique_ptr<BTree> tree(new BTree(pool, file));
+  tree->max_node_bytes_ = pool->disk()->page_size() - kNodeSlack;
+  ODH_RETURN_IF_ERROR(tree->ReadMeta());
+  return tree;
+}
+
+Status BTree::WriteMeta() {
+  ODH_ASSIGN_OR_RETURN(storage::PageRef page, pool_->FetchPage(file_,
+                                                               kMetaPage));
+  char* p = page.data();
+  EncodeFixed32(p, kMetaMagic);
+  EncodeFixed32(p + 4, root_);
+  EncodeFixed32(p + 8, static_cast<uint32_t>(height_));
+  EncodeFixed64(p + 12, static_cast<uint64_t>(num_entries_));
+  page.MarkDirty();
+  return Status::OK();
+}
+
+Status BTree::ReadMeta() {
+  ODH_ASSIGN_OR_RETURN(storage::PageRef page, pool_->FetchPage(file_,
+                                                               kMetaPage));
+  const char* p = page.data();
+  if (DecodeFixed32(p) != kMetaMagic) {
+    return Status::Corruption("btree meta page magic mismatch");
+  }
+  root_ = DecodeFixed32(p + 4);
+  height_ = static_cast<int>(DecodeFixed32(p + 8));
+  num_entries_ = static_cast<int64_t>(DecodeFixed64(p + 12));
+  return Status::OK();
+}
+
+size_t BTree::SerializedSize(const Node& node) {
+  size_t size = 1 + 5;  // Type byte + worst-case count varint.
+  if (node.leaf) {
+    for (const auto& [k, v] : node.entries) {
+      size += 5 + k.size() + 5 + v.size();
+    }
+    size += 1 + 4;  // has_next + next_leaf.
+  } else {
+    for (const auto& k : node.keys) size += 5 + k.size();
+    size += 4 * node.children.size();
+  }
+  return size;
+}
+
+Status BTree::StoreNode(storage::PageNo page_no, const Node& node) {
+  std::string buf;
+  buf.reserve(pool_->disk()->page_size());
+  buf.push_back(node.leaf ? kLeafType : kInternalType);
+  if (node.leaf) {
+    PutVarint32(&buf, static_cast<uint32_t>(node.entries.size()));
+    for (const auto& [k, v] : node.entries) {
+      PutLengthPrefixed(&buf, k);
+      PutLengthPrefixed(&buf, v);
+    }
+    buf.push_back(node.has_next_leaf ? 1 : 0);
+    PutFixed32(&buf, node.next_leaf);
+  } else {
+    PutVarint32(&buf, static_cast<uint32_t>(node.keys.size()));
+    for (const auto& k : node.keys) PutLengthPrefixed(&buf, k);
+    for (storage::PageNo child : node.children) PutFixed32(&buf, child);
+  }
+  if (buf.size() > pool_->disk()->page_size()) {
+    return Status::Internal("btree node overflows page");
+  }
+  ODH_ASSIGN_OR_RETURN(storage::PageRef page, pool_->FetchPage(file_,
+                                                               page_no));
+  std::memcpy(page.data(), buf.data(), buf.size());
+  page.MarkDirty();
+  return Status::OK();
+}
+
+Status BTree::LoadNode(storage::PageNo page_no, Node* node) {
+  ODH_ASSIGN_OR_RETURN(storage::PageRef page, pool_->FetchPage(file_,
+                                                               page_no));
+  Slice input(page.data(), pool_->disk()->page_size());
+  char type = input[0];
+  input.remove_prefix(1);
+  node->entries.clear();
+  node->keys.clear();
+  node->children.clear();
+  if (type == kLeafType) {
+    node->leaf = true;
+    uint32_t n;
+    if (!GetVarint32(&input, &n)) return Status::Corruption("leaf count");
+    node->entries.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      Slice k, v;
+      if (!GetLengthPrefixed(&input, &k) || !GetLengthPrefixed(&input, &v)) {
+        return Status::Corruption("leaf entry");
+      }
+      node->entries.emplace_back(k.ToString(), v.ToString());
+    }
+    if (input.size() < 5) return Status::Corruption("leaf trailer");
+    node->has_next_leaf = input[0] != 0;
+    input.remove_prefix(1);
+    node->next_leaf = DecodeFixed32(input.data());
+  } else if (type == kInternalType) {
+    node->leaf = false;
+    uint32_t n;
+    if (!GetVarint32(&input, &n)) return Status::Corruption("internal count");
+    node->keys.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      Slice k;
+      if (!GetLengthPrefixed(&input, &k)) {
+        return Status::Corruption("internal key");
+      }
+      node->keys.push_back(k.ToString());
+    }
+    node->children.reserve(n + 1);
+    for (uint32_t i = 0; i < n + 1; ++i) {
+      uint32_t child;
+      if (!GetFixed32(&input, &child)) {
+        return Status::Corruption("internal child");
+      }
+      node->children.push_back(child);
+    }
+  } else {
+    return Status::Corruption("bad node type");
+  }
+  return Status::OK();
+}
+
+Result<storage::PageNo> BTree::AllocateNode(const Node& node) {
+  storage::PageNo page_no;
+  ODH_ASSIGN_OR_RETURN(storage::PageRef page, pool_->NewPage(file_,
+                                                             &page_no));
+  page.Release();
+  ODH_RETURN_IF_ERROR(StoreNode(page_no, node));
+  return page_no;
+}
+
+Status BTree::InsertRec(storage::PageNo page_no, const Slice& key,
+                        const Slice& value, SplitResult* split,
+                        bool* inserted_new) {
+  Node node;
+  ODH_RETURN_IF_ERROR(LoadNode(page_no, &node));
+  split->split = false;
+
+  if (node.leaf) {
+    auto it = std::lower_bound(
+        node.entries.begin(), node.entries.end(), key,
+        [](const auto& entry, const Slice& k) {
+          return Slice(entry.first).compare(k) < 0;
+        });
+    if (it != node.entries.end() && Slice(it->first) == key) {
+      it->second = value.ToString();
+      *inserted_new = false;
+    } else {
+      node.entries.insert(it, {key.ToString(), value.ToString()});
+      *inserted_new = true;
+    }
+  } else {
+    auto it = std::upper_bound(node.keys.begin(), node.keys.end(), key,
+                               [](const Slice& k, const std::string& nk) {
+                                 return k.compare(Slice(nk)) < 0;
+                               });
+    size_t idx = static_cast<size_t>(it - node.keys.begin());
+    SplitResult child_split;
+    ODH_RETURN_IF_ERROR(InsertRec(node.children[idx], key, value,
+                                  &child_split, inserted_new));
+    if (!child_split.split) return Status::OK();
+    node.keys.insert(node.keys.begin() + idx, child_split.separator);
+    node.children.insert(node.children.begin() + idx + 1,
+                         child_split.right_page);
+  }
+
+  if (SerializedSize(node) <= max_node_bytes_) {
+    return StoreNode(page_no, node);
+  }
+
+  // Split: move the upper half to a new right sibling.
+  Node right;
+  right.leaf = node.leaf;
+  if (node.leaf) {
+    size_t mid = node.entries.size() / 2;
+    if (mid == 0) return Status::InvalidArgument("btree entry exceeds page");
+    right.entries.assign(node.entries.begin() + mid, node.entries.end());
+    node.entries.resize(mid);
+    right.has_next_leaf = node.has_next_leaf;
+    right.next_leaf = node.next_leaf;
+    ODH_ASSIGN_OR_RETURN(storage::PageNo right_page, AllocateNode(right));
+    node.has_next_leaf = true;
+    node.next_leaf = right_page;
+    split->split = true;
+    split->separator = right.entries.front().first;
+    split->right_page = right_page;
+  } else {
+    size_t mid = node.keys.size() / 2;
+    if (mid == 0) return Status::InvalidArgument("btree key exceeds page");
+    // keys[mid] moves up as the separator.
+    split->separator = node.keys[mid];
+    right.keys.assign(node.keys.begin() + mid + 1, node.keys.end());
+    right.children.assign(node.children.begin() + mid + 1,
+                          node.children.end());
+    node.keys.resize(mid);
+    node.children.resize(mid + 1);
+    ODH_ASSIGN_OR_RETURN(storage::PageNo right_page, AllocateNode(right));
+    split->split = true;
+    split->right_page = right_page;
+  }
+  return StoreNode(page_no, node);
+}
+
+Status BTree::Insert(const Slice& key, const Slice& value) {
+  if (key.size() + value.size() > max_node_bytes_ / 4) {
+    return Status::InvalidArgument("btree entry too large");
+  }
+  SplitResult split;
+  bool inserted_new = false;
+  ODH_RETURN_IF_ERROR(InsertRec(root_, key, value, &split, &inserted_new));
+  if (split.split) {
+    Node new_root;
+    new_root.leaf = false;
+    new_root.keys.push_back(split.separator);
+    new_root.children.push_back(root_);
+    new_root.children.push_back(split.right_page);
+    ODH_ASSIGN_OR_RETURN(root_, AllocateNode(new_root));
+    ++height_;
+  }
+  if (inserted_new) ++num_entries_;
+  return WriteMeta();
+}
+
+Result<storage::PageNo> BTree::FindLeaf(const Slice& key) {
+  storage::PageNo page_no = root_;
+  Node node;
+  while (true) {
+    ODH_RETURN_IF_ERROR(LoadNode(page_no, &node));
+    if (node.leaf) return page_no;
+    auto it = std::upper_bound(node.keys.begin(), node.keys.end(), key,
+                               [](const Slice& k, const std::string& nk) {
+                                 return k.compare(Slice(nk)) < 0;
+                               });
+    page_no = node.children[static_cast<size_t>(it - node.keys.begin())];
+  }
+}
+
+Result<std::string> BTree::Get(const Slice& key) {
+  ODH_ASSIGN_OR_RETURN(storage::PageNo leaf, FindLeaf(key));
+  Node node;
+  ODH_RETURN_IF_ERROR(LoadNode(leaf, &node));
+  auto it = std::lower_bound(node.entries.begin(), node.entries.end(), key,
+                             [](const auto& entry, const Slice& k) {
+                               return Slice(entry.first).compare(k) < 0;
+                             });
+  if (it == node.entries.end() || Slice(it->first) != key) {
+    return Status::NotFound("key not in btree");
+  }
+  return it->second;
+}
+
+Status BTree::Delete(const Slice& key) {
+  ODH_ASSIGN_OR_RETURN(storage::PageNo leaf, FindLeaf(key));
+  Node node;
+  ODH_RETURN_IF_ERROR(LoadNode(leaf, &node));
+  auto it = std::lower_bound(node.entries.begin(), node.entries.end(), key,
+                             [](const auto& entry, const Slice& k) {
+                               return Slice(entry.first).compare(k) < 0;
+                             });
+  if (it == node.entries.end() || Slice(it->first) != key) {
+    return Status::NotFound("key not in btree");
+  }
+  node.entries.erase(it);
+  ODH_RETURN_IF_ERROR(StoreNode(leaf, node));
+  --num_entries_;
+  return WriteMeta();
+}
+
+Status BTree::Iterator::LoadLeaf(storage::PageNo page) {
+  Node node;
+  ODH_RETURN_IF_ERROR(tree_->LoadNode(page, &node));
+  ODH_CHECK(node.leaf);
+  entries_ = std::move(node.entries);
+  has_next_leaf_ = node.has_next_leaf;
+  next_leaf_ = node.next_leaf;
+  return Status::OK();
+}
+
+Status BTree::Iterator::Seek(const Slice& key) {
+  valid_ = false;
+  ODH_ASSIGN_OR_RETURN(storage::PageNo leaf, tree_->FindLeaf(key));
+  ODH_RETURN_IF_ERROR(LoadLeaf(leaf));
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), key,
+                             [](const auto& entry, const Slice& k) {
+                               return Slice(entry.first).compare(k) < 0;
+                             });
+  pos_ = static_cast<size_t>(it - entries_.begin());
+  while (pos_ >= entries_.size()) {
+    if (!has_next_leaf_) return Status::OK();  // Invalid: past the end.
+    ODH_RETURN_IF_ERROR(LoadLeaf(next_leaf_));
+    pos_ = 0;
+  }
+  valid_ = true;
+  key_ = entries_[pos_].first;
+  value_ = entries_[pos_].second;
+  return Status::OK();
+}
+
+Status BTree::Iterator::SeekToFirst() { return Seek(Slice("", 0)); }
+
+Status BTree::Iterator::Next() {
+  if (!valid_) return Status::FailedPrecondition("iterator not valid");
+  ++pos_;
+  while (pos_ >= entries_.size()) {
+    if (!has_next_leaf_) {
+      valid_ = false;
+      return Status::OK();
+    }
+    ODH_RETURN_IF_ERROR(LoadLeaf(next_leaf_));
+    pos_ = 0;
+  }
+  key_ = entries_[pos_].first;
+  value_ = entries_[pos_].second;
+  return Status::OK();
+}
+
+}  // namespace odh::index

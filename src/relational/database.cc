@@ -1,0 +1,58 @@
+#include "relational/database.h"
+
+#include <cctype>
+
+namespace odh::relational {
+namespace {
+
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace
+
+Database::Database(EngineProfile profile) : profile_(std::move(profile)) {
+  disk_ = std::make_unique<storage::SimDisk>(profile_.page_size);
+  pool_ = std::make_unique<storage::BufferPool>(disk_.get(),
+                                                profile_.pool_pages);
+}
+
+Result<Table*> Database::CreateTable(const std::string& name, Schema schema) {
+  std::string key = Lower(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table exists: " + name);
+  }
+  ODH_ASSIGN_OR_RETURN(
+      std::unique_ptr<Table> table,
+      Table::Create(pool_.get(), key, std::move(schema),
+                    profile_.table_options));
+  Table* raw = table.get();
+  tables_[key] = std::move(table);
+  return raw;
+}
+
+Result<Table*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(Lower(name));
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  return it->second.get();
+}
+
+Status Database::DropTable(const std::string& name) {
+  auto it = tables_.find(Lower(name));
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  ODH_RETURN_IF_ERROR(it->second->DestroyStorage());
+  tables_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Database::ListTables() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace odh::relational

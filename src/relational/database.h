@@ -1,0 +1,86 @@
+#ifndef ODH_RELATIONAL_DATABASE_H_
+#define ODH_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/table.h"
+
+namespace odh::relational {
+
+/// Per-engine tuning. The IoT-X benchmark instantiates one Database per
+/// candidate: the "RDB" profile (commercial relational database) and the
+/// "MySQL" profile differ in per-row overheads; ODH embeds its batch
+/// containers in a Database with the Odh profile (its internal tables have
+/// no per-row transaction metadata, matching the paper's no-transaction
+/// ingestion design).
+struct EngineProfile {
+  std::string name;
+  size_t page_size = 4096;
+  size_t pool_pages = 4096;  // 16 MB at the default page size.
+  TableOptions table_options;
+
+  static EngineProfile Rdb() {
+    EngineProfile p;
+    p.name = "RDB";
+    p.table_options.row_header_bytes = 16;
+    p.table_options.wal_commit_overhead_bytes = 64;
+    return p;
+  }
+
+  static EngineProfile MySql() {
+    EngineProfile p;
+    p.name = "MySQL";
+    p.table_options.row_header_bytes = 21;  // InnoDB-ish: 13B header + 8B PK.
+    p.table_options.wal_commit_overhead_bytes = 96;
+    return p;
+  }
+
+  static EngineProfile Odh() {
+    EngineProfile p;
+    p.name = "ODH";
+    p.table_options.row_header_bytes = 4;
+    p.table_options.wal_commit_overhead_bytes = 0;
+    p.table_options.enable_wal = false;
+    return p;
+  }
+};
+
+/// A single-node database instance: one simulated disk, one buffer pool and
+/// a catalog of tables. This is the stand-in for the Informix data server
+/// (see DESIGN.md).
+class Database {
+ public:
+  explicit Database(EngineProfile profile = EngineProfile::Rdb());
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  const EngineProfile& profile() const { return profile_; }
+
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+  Result<Table*> GetTable(const std::string& name) const;
+
+  /// Drops a table and releases its storage. Any outstanding Table* or
+  /// iterators become invalid.
+  Status DropTable(const std::string& name);
+  std::vector<std::string> ListTables() const;
+
+  storage::SimDisk* disk() { return disk_.get(); }
+  storage::BufferPool* pool() { return pool_.get(); }
+
+  /// Current storage footprint in bytes (heap + index + WAL pages).
+  uint64_t TotalBytesStored() const { return disk_->TotalBytesStored(); }
+
+ private:
+  EngineProfile profile_;
+  std::unique_ptr<storage::SimDisk> disk_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace odh::relational
+
+#endif  // ODH_RELATIONAL_DATABASE_H_

@@ -1,0 +1,123 @@
+#include "relational/row_codec.h"
+
+#include "common/coding.h"
+
+namespace odh::relational {
+
+Status RowCodec::Encode(const Row& row, std::string* out) const {
+  if (!schema_->RowMatches(row)) {
+    return Status::InvalidArgument("row does not match schema " +
+                                   schema_->ToString());
+  }
+  out->append(header_bytes_, '\0');
+  const size_t n = row.size();
+  // Null bitmap.
+  const size_t bitmap_bytes = (n + 7) / 8;
+  size_t bitmap_pos = out->size();
+  out->append(bitmap_bytes, '\0');
+  for (size_t i = 0; i < n; ++i) {
+    if (row[i].is_null()) {
+      (*out)[bitmap_pos + i / 8] |= static_cast<char>(1 << (i % 8));
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const Datum& d = row[i];
+    if (d.is_null()) continue;
+    switch (schema_->column(i).type) {
+      case DataType::kBool:
+        out->push_back(d.bool_value() ? 1 : 0);
+        break;
+      case DataType::kInt64:
+        PutVarintSigned64(out, d.int64_value());
+        break;
+      case DataType::kTimestamp:
+        PutVarintSigned64(out, d.timestamp_value());
+        break;
+      case DataType::kDouble:
+        PutDouble(out, d.AsDouble());
+        break;
+      case DataType::kString:
+        PutLengthPrefixed(out, d.string_value());
+        break;
+      case DataType::kNull:
+        return Status::InvalidArgument("column typed NULL");
+    }
+  }
+  return Status::OK();
+}
+
+Status RowCodec::Decode(Slice input, Row* row) const {
+  std::vector<int> all(schema_->num_columns());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+  return DecodeColumns(input, all, row);
+}
+
+Status RowCodec::DecodeColumns(Slice input, const std::vector<int>& wanted,
+                               Row* row) const {
+  const size_t n = schema_->num_columns();
+  row->assign(n, Datum::Null());
+  const size_t bitmap_bytes = (n + 7) / 8;
+  if (input.size() < header_bytes_ + bitmap_bytes) {
+    return Status::Corruption("row too short");
+  }
+  input.remove_prefix(header_bytes_);
+  const char* bitmap = input.data();
+  input.remove_prefix(bitmap_bytes);
+
+  size_t want_pos = 0;
+  int max_wanted = wanted.empty() ? -1 : wanted.back();
+  for (size_t i = 0; i < n && static_cast<int>(i) <= max_wanted; ++i) {
+    const bool is_null = (bitmap[i / 8] >> (i % 8)) & 1;
+    const bool want = want_pos < wanted.size() &&
+                      wanted[want_pos] == static_cast<int>(i);
+    if (is_null) {
+      if (want) ++want_pos;
+      continue;
+    }
+    switch (schema_->column(i).type) {
+      case DataType::kBool: {
+        if (input.empty()) return Status::Corruption("row bool");
+        char v = input[0];
+        input.remove_prefix(1);
+        if (want) (*row)[i] = Datum::Bool(v != 0);
+        break;
+      }
+      case DataType::kInt64: {
+        int64_t v;
+        if (!GetVarintSigned64(&input, &v)) {
+          return Status::Corruption("row int64");
+        }
+        if (want) (*row)[i] = Datum::Int64(v);
+        break;
+      }
+      case DataType::kTimestamp: {
+        int64_t v;
+        if (!GetVarintSigned64(&input, &v)) {
+          return Status::Corruption("row timestamp");
+        }
+        if (want) (*row)[i] = Datum::Time(v);
+        break;
+      }
+      case DataType::kDouble: {
+        double v;
+        if (!GetDouble(&input, &v)) return Status::Corruption("row double");
+        if (want) (*row)[i] = Datum::Double(v);
+        break;
+      }
+      case DataType::kString: {
+        Slice s;
+        if (!GetLengthPrefixed(&input, &s)) {
+          return Status::Corruption("row string");
+        }
+        if (want) (*row)[i] = Datum::String(s.ToString());
+        break;
+      }
+      case DataType::kNull:
+        return Status::Corruption("column typed NULL");
+    }
+    if (want) ++want_pos;
+  }
+  return Status::OK();
+}
+
+}  // namespace odh::relational

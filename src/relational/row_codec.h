@@ -1,0 +1,45 @@
+#ifndef ODH_RELATIONAL_ROW_CODEC_H_
+#define ODH_RELATIONAL_ROW_CODEC_H_
+
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "relational/schema.h"
+
+namespace odh::relational {
+
+/// Serializes rows for heap storage.
+///
+/// Layout: `header_bytes` of reserved space (models per-row engine metadata
+/// such as transaction ids — the knob that differentiates the RDB and MySQL
+/// baseline profiles), a null bitmap, then the non-NULL values in column
+/// order: bool = 1 byte, int64/timestamp = signed varint, double = 8 bytes,
+/// string = length-prefixed.
+class RowCodec {
+ public:
+  RowCodec(const Schema* schema, uint32_t header_bytes)
+      : schema_(schema), header_bytes_(header_bytes) {}
+
+  /// Appends the encoded row to *out. The row must match the schema.
+  Status Encode(const Row& row, std::string* out) const;
+
+  /// Decodes a full row.
+  Status Decode(Slice input, Row* row) const;
+
+  /// Decodes only the columns listed in `wanted` (sorted ascending); other
+  /// positions of *row are set to NULL. Cheaper than Decode for wide rows.
+  Status DecodeColumns(Slice input, const std::vector<int>& wanted,
+                       Row* row) const;
+
+  const Schema& schema() const { return *schema_; }
+  uint32_t header_bytes() const { return header_bytes_; }
+
+ private:
+  const Schema* schema_;
+  uint32_t header_bytes_;
+};
+
+}  // namespace odh::relational
+
+#endif  // ODH_RELATIONAL_ROW_CODEC_H_

@@ -1,0 +1,49 @@
+#include "relational/schema.h"
+
+#include <cctype>
+
+namespace odh::relational {
+
+bool NameEquals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (NameEquals(columns_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Schema::RowMatches(const Row& row) const {
+  if (row.size() != columns_.size()) return false;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    DataType want = columns_[i].type;
+    DataType got = row[i].type();
+    if (got == want) continue;
+    // Int64 is acceptable where a double is expected (SQL numeric widening).
+    if (want == DataType::kDouble && got == DataType::kInt64) continue;
+    return false;
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name + " " + DataTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace odh::relational

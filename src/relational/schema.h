@@ -1,0 +1,46 @@
+#ifndef ODH_RELATIONAL_SCHEMA_H_
+#define ODH_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/datum.h"
+
+namespace odh::relational {
+
+/// One column of a relational (or virtual) table.
+struct Column {
+  std::string name;
+  DataType type = DataType::kNull;
+};
+
+/// An ordered list of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Case-insensitive lookup; -1 if absent.
+  int FindColumn(const std::string& name) const;
+
+  /// True when `row` has the right arity and each non-NULL datum matches
+  /// the column type.
+  bool RowMatches(const Row& row) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// Case-insensitive ASCII string equality (SQL identifier semantics).
+bool NameEquals(const std::string& a, const std::string& b);
+
+}  // namespace odh::relational
+
+#endif  // ODH_RELATIONAL_SCHEMA_H_

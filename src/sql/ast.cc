@@ -1,0 +1,51 @@
+#include "sql/ast.h"
+
+namespace odh::sql {
+
+std::string BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+std::string AggregateFuncName(AggregateFunc func) {
+  switch (func) {
+    case AggregateFunc::kCount:
+      return "COUNT";
+    case AggregateFunc::kSum:
+      return "SUM";
+    case AggregateFunc::kAvg:
+      return "AVG";
+    case AggregateFunc::kMin:
+      return "MIN";
+    case AggregateFunc::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+}  // namespace odh::sql

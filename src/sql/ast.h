@@ -1,0 +1,225 @@
+#ifndef ODH_SQL_AST_H_
+#define ODH_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/datum.h"
+#include "relational/schema.h"
+
+namespace odh::sql {
+
+/// Expression node kinds.
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kBinary,
+  kBetween,
+  kNot,
+  kIsNull,
+  kAggregate,
+};
+
+enum class BinaryOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kAnd,
+  kOr,
+};
+
+std::string BinaryOpName(BinaryOp op);
+
+enum class AggregateFunc { kCount, kSum, kAvg, kMin, kMax };
+
+std::string AggregateFuncName(AggregateFunc func);
+
+/// Base expression node. Concrete kinds below; RTTI-free dispatch on kind().
+class Expr {
+ public:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+  virtual ~Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  ExprKind kind() const { return kind_; }
+  virtual std::string ToString() const = 0;
+
+ private:
+  ExprKind kind_;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+class LiteralExpr : public Expr {
+ public:
+  explicit LiteralExpr(Datum value)
+      : Expr(ExprKind::kLiteral), value(std::move(value)) {}
+  std::string ToString() const override {
+    return value.is_string() ? "'" + value.ToString() + "'"
+                             : value.ToString();
+  }
+
+  Datum value;
+};
+
+class ColumnRefExpr : public Expr {
+ public:
+  ColumnRefExpr(std::string table, std::string column)
+      : Expr(ExprKind::kColumnRef),
+        table(std::move(table)),
+        column(std::move(column)) {}
+  std::string ToString() const override {
+    return table.empty() ? column : table + "." + column;
+  }
+
+  std::string table;   // Qualifier as written (may be an alias); may be "".
+  std::string column;
+
+  // Filled by the binder: which FROM-table and which of its columns.
+  int table_no = -1;
+  int column_no = -1;
+  DataType type = DataType::kNull;
+};
+
+class BinaryExpr : public Expr {
+ public:
+  BinaryExpr(BinaryOp op, ExprPtr left, ExprPtr right)
+      : Expr(ExprKind::kBinary),
+        op(op),
+        left(std::move(left)),
+        right(std::move(right)) {}
+  std::string ToString() const override {
+    return "(" + left->ToString() + " " + BinaryOpName(op) + " " +
+           right->ToString() + ")";
+  }
+
+  BinaryOp op;
+  ExprPtr left;
+  ExprPtr right;
+};
+
+class BetweenExpr : public Expr {
+ public:
+  BetweenExpr(ExprPtr value, ExprPtr lower, ExprPtr upper)
+      : Expr(ExprKind::kBetween),
+        value(std::move(value)),
+        lower(std::move(lower)),
+        upper(std::move(upper)) {}
+  std::string ToString() const override {
+    return "(" + value->ToString() + " BETWEEN " + lower->ToString() +
+           " AND " + upper->ToString() + ")";
+  }
+
+  ExprPtr value;
+  ExprPtr lower;
+  ExprPtr upper;
+};
+
+class NotExpr : public Expr {
+ public:
+  explicit NotExpr(ExprPtr operand)
+      : Expr(ExprKind::kNot), operand(std::move(operand)) {}
+  std::string ToString() const override {
+    return "(NOT " + operand->ToString() + ")";
+  }
+
+  ExprPtr operand;
+};
+
+class IsNullExpr : public Expr {
+ public:
+  IsNullExpr(ExprPtr operand, bool negated)
+      : Expr(ExprKind::kIsNull), operand(std::move(operand)),
+        negated(negated) {}
+  std::string ToString() const override {
+    return "(" + operand->ToString() + (negated ? " IS NOT NULL" : " IS NULL") +
+           ")";
+  }
+
+  ExprPtr operand;
+  bool negated;
+};
+
+class AggregateExpr : public Expr {
+ public:
+  AggregateExpr(AggregateFunc func, ExprPtr arg, bool star)
+      : Expr(ExprKind::kAggregate),
+        func(func),
+        arg(std::move(arg)),
+        star(star) {}
+  std::string ToString() const override {
+    return AggregateFuncName(func) + "(" + (star ? "*" : arg->ToString()) +
+           ")";
+  }
+
+  AggregateFunc func;
+  ExprPtr arg;  // Null iff star.
+  bool star;
+};
+
+// Statements -----------------------------------------------------------------
+
+struct SelectItem {
+  ExprPtr expr;        // Null iff star.
+  std::string alias;   // Output name; derived from expr when empty.
+  bool star = false;
+  std::string star_table;  // "t.*" qualifier; empty for bare "*".
+};
+
+struct TableRef {
+  std::string name;
+  std::string alias;  // Same as name when no alias given.
+};
+
+struct OrderByItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  std::vector<TableRef> tables;
+  ExprPtr where;  // May be null.
+  std::vector<ExprPtr> group_by;
+  std::vector<OrderByItem> order_by;
+  int64_t limit = -1;  // -1 = no limit.
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;  // Empty = positional.
+  std::vector<std::vector<ExprPtr>> rows;  // Literal expressions.
+};
+
+struct CreateTableStmt {
+  std::string table;
+  std::vector<relational::Column> columns;
+};
+
+struct CreateIndexStmt {
+  std::string index;
+  std::string table;
+  std::vector<std::string> columns;
+};
+
+struct Statement {
+  enum class Kind { kSelect, kInsert, kCreateTable, kCreateIndex };
+  Kind kind;
+  std::unique_ptr<SelectStmt> select;
+  std::unique_ptr<InsertStmt> insert;
+  std::unique_ptr<CreateTableStmt> create_table;
+  std::unique_ptr<CreateIndexStmt> create_index;
+};
+
+}  // namespace odh::sql
+
+#endif  // ODH_SQL_AST_H_

@@ -1,0 +1,300 @@
+#include "sql/binder.h"
+
+#include "common/types.h"
+
+namespace odh::sql {
+namespace {
+
+class Binder {
+ public:
+  Binder(Catalog* catalog, BoundSelect* out) : catalog_(catalog), out_(out) {}
+
+  Status Run(SelectStmt stmt);
+
+ private:
+  Status BindTables(const std::vector<TableRef>& refs);
+  Status BindExpr(Expr* expr, bool allow_aggregates);
+  Status BindColumnRef(ColumnRefExpr* ref);
+
+  /// If `expr` compares a timestamp-typed operand against a string literal,
+  /// parses the literal in place ("YYYY-MM-DD HH:MM:SS" -> Timestamp).
+  Status CoerceTimestampPair(Expr* a, Expr* b);
+  static DataType StaticType(const Expr* expr);
+
+  bool ContainsAggregate(const Expr* expr) const;
+
+  Catalog* catalog_;
+  BoundSelect* out_;
+};
+
+DataType Binder::StaticType(const Expr* expr) {
+  switch (expr->kind()) {
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr*>(expr)->value.type();
+    case ExprKind::kColumnRef:
+      return static_cast<const ColumnRefExpr*>(expr)->type;
+    default:
+      return DataType::kNull;  // Unknown / computed.
+  }
+}
+
+Status Binder::CoerceTimestampPair(Expr* a, Expr* b) {
+  auto try_coerce = [](Expr* ts_side, Expr* lit_side) -> Status {
+    if (StaticType(ts_side) != DataType::kTimestamp) return Status::OK();
+    if (lit_side->kind() != ExprKind::kLiteral) return Status::OK();
+    auto* lit = static_cast<LiteralExpr*>(lit_side);
+    if (!lit->value.is_string()) return Status::OK();
+    Timestamp ts;
+    if (!ParseTimestamp(lit->value.string_value(), &ts)) {
+      return Status::InvalidArgument("cannot parse timestamp literal: '" +
+                                     lit->value.string_value() + "'");
+    }
+    lit->value = Datum::Time(ts);
+    return Status::OK();
+  };
+  ODH_RETURN_IF_ERROR(try_coerce(a, b));
+  return try_coerce(b, a);
+}
+
+Status Binder::BindTables(const std::vector<TableRef>& refs) {
+  if (refs.empty()) return Status::InvalidArgument("FROM list is empty");
+  int offset = 0;
+  for (const TableRef& ref : refs) {
+    ODH_ASSIGN_OR_RETURN(TableProvider* provider,
+                         catalog_->Resolve(ref.name));
+    for (const BoundTable& existing : out_->tables) {
+      if (relational::NameEquals(existing.alias, ref.alias)) {
+        return Status::InvalidArgument("duplicate table alias: " + ref.alias);
+      }
+    }
+    BoundTable bound;
+    bound.provider = provider;
+    bound.alias = ref.alias;
+    bound.slot_offset = offset;
+    offset += static_cast<int>(provider->schema().num_columns());
+    out_->tables.push_back(std::move(bound));
+  }
+  out_->total_slots = offset;
+  return Status::OK();
+}
+
+Status Binder::BindColumnRef(ColumnRefExpr* ref) {
+  int found_table = -1;
+  int found_column = -1;
+  for (size_t t = 0; t < out_->tables.size(); ++t) {
+    const BoundTable& bt = out_->tables[t];
+    if (!ref->table.empty() &&
+        !relational::NameEquals(ref->table, bt.alias)) {
+      continue;
+    }
+    int col = bt.provider->schema().FindColumn(ref->column);
+    if (col < 0) continue;
+    if (found_table >= 0) {
+      return Status::InvalidArgument("ambiguous column: " + ref->ToString());
+    }
+    found_table = static_cast<int>(t);
+    found_column = col;
+  }
+  if (found_table < 0) {
+    return Status::InvalidArgument("unknown column: " + ref->ToString());
+  }
+  ref->table_no = found_table;
+  ref->column_no = found_column;
+  ref->type =
+      out_->tables[found_table].provider->schema().column(found_column).type;
+  return Status::OK();
+}
+
+Status Binder::BindExpr(Expr* expr, bool allow_aggregates) {
+  switch (expr->kind()) {
+    case ExprKind::kLiteral:
+      return Status::OK();
+    case ExprKind::kColumnRef:
+      return BindColumnRef(static_cast<ColumnRefExpr*>(expr));
+    case ExprKind::kBinary: {
+      auto* bin = static_cast<BinaryExpr*>(expr);
+      ODH_RETURN_IF_ERROR(BindExpr(bin->left.get(), allow_aggregates));
+      ODH_RETURN_IF_ERROR(BindExpr(bin->right.get(), allow_aggregates));
+      return CoerceTimestampPair(bin->left.get(), bin->right.get());
+    }
+    case ExprKind::kBetween: {
+      auto* between = static_cast<BetweenExpr*>(expr);
+      ODH_RETURN_IF_ERROR(BindExpr(between->value.get(), allow_aggregates));
+      ODH_RETURN_IF_ERROR(BindExpr(between->lower.get(), allow_aggregates));
+      ODH_RETURN_IF_ERROR(BindExpr(between->upper.get(), allow_aggregates));
+      ODH_RETURN_IF_ERROR(
+          CoerceTimestampPair(between->value.get(), between->lower.get()));
+      return CoerceTimestampPair(between->value.get(), between->upper.get());
+    }
+    case ExprKind::kNot:
+      return BindExpr(static_cast<NotExpr*>(expr)->operand.get(),
+                      allow_aggregates);
+    case ExprKind::kIsNull:
+      return BindExpr(static_cast<IsNullExpr*>(expr)->operand.get(),
+                      allow_aggregates);
+    case ExprKind::kAggregate: {
+      if (!allow_aggregates) {
+        return Status::InvalidArgument(
+            "aggregate not allowed here: " + expr->ToString());
+      }
+      auto* agg = static_cast<AggregateExpr*>(expr);
+      out_->has_aggregates = true;
+      if (agg->arg != nullptr) {
+        // No nested aggregates.
+        return BindExpr(agg->arg.get(), /*allow_aggregates=*/false);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled expr kind");
+}
+
+bool Binder::ContainsAggregate(const Expr* expr) const {
+  switch (expr->kind()) {
+    case ExprKind::kAggregate:
+      return true;
+    case ExprKind::kBinary: {
+      auto* bin = static_cast<const BinaryExpr*>(expr);
+      return ContainsAggregate(bin->left.get()) ||
+             ContainsAggregate(bin->right.get());
+    }
+    case ExprKind::kNot:
+      return ContainsAggregate(
+          static_cast<const NotExpr*>(expr)->operand.get());
+    default:
+      return false;
+  }
+}
+
+Status Binder::Run(SelectStmt stmt) {
+  ODH_RETURN_IF_ERROR(BindTables(stmt.tables));
+
+  // Expand the select list.
+  for (SelectItem& item : stmt.items) {
+    if (item.star) {
+      bool matched = false;
+      for (size_t t = 0; t < out_->tables.size(); ++t) {
+        const BoundTable& bt = out_->tables[t];
+        if (!item.star_table.empty() &&
+            !relational::NameEquals(item.star_table, bt.alias)) {
+          continue;
+        }
+        matched = true;
+        const relational::Schema& schema = bt.provider->schema();
+        for (size_t c = 0; c < schema.num_columns(); ++c) {
+          auto ref = std::make_unique<ColumnRefExpr>(bt.alias,
+                                                     schema.column(c).name);
+          ref->table_no = static_cast<int>(t);
+          ref->column_no = static_cast<int>(c);
+          ref->type = schema.column(c).type;
+          out_->output_names.push_back(schema.column(c).name);
+          out_->output.push_back(std::move(ref));
+        }
+      }
+      if (!matched) {
+        return Status::InvalidArgument("unknown table in star: " +
+                                       item.star_table);
+      }
+      continue;
+    }
+    ODH_RETURN_IF_ERROR(BindExpr(item.expr.get(), /*allow_aggregates=*/true));
+    std::string name = item.alias.empty() ? item.expr->ToString()
+                                          : item.alias;
+    if (item.alias.empty() &&
+        item.expr->kind() == ExprKind::kColumnRef) {
+      name = static_cast<ColumnRefExpr*>(item.expr.get())->column;
+    }
+    out_->output_names.push_back(std::move(name));
+    out_->output.push_back(std::move(item.expr));
+  }
+
+  if (stmt.where != nullptr) {
+    ODH_RETURN_IF_ERROR(BindExpr(stmt.where.get(),
+                                 /*allow_aggregates=*/false));
+    out_->where = std::move(stmt.where);
+  }
+  for (ExprPtr& e : stmt.group_by) {
+    ODH_RETURN_IF_ERROR(BindExpr(e.get(), /*allow_aggregates=*/false));
+    if (e->kind() != ExprKind::kColumnRef) {
+      return Status::InvalidArgument("GROUP BY supports column refs only");
+    }
+    out_->group_by.push_back(std::move(e));
+  }
+  for (OrderByItem& item : stmt.order_by) {
+    BoundSelect::BoundOrderBy bound_item;
+    bound_item.ascending = item.ascending;
+    // An unqualified name may refer to an output alias; also support the
+    // ordinal form (ORDER BY 2).
+    bool resolved = false;
+    if (item.expr->kind() == ExprKind::kColumnRef) {
+      const auto* ref = static_cast<const ColumnRefExpr*>(item.expr.get());
+      if (ref->table.empty()) {
+        for (size_t i = 0; i < out_->output_names.size(); ++i) {
+          if (relational::NameEquals(out_->output_names[i], ref->column)) {
+            bound_item.output_ordinal = static_cast<int>(i);
+            resolved = true;
+            break;
+          }
+        }
+      }
+    } else if (item.expr->kind() == ExprKind::kLiteral) {
+      const auto* lit = static_cast<const LiteralExpr*>(item.expr.get());
+      if (lit->value.is_int64()) {
+        int64_t ordinal = lit->value.int64_value();
+        if (ordinal < 1 ||
+            ordinal > static_cast<int64_t>(out_->output.size())) {
+          return Status::InvalidArgument("ORDER BY ordinal out of range");
+        }
+        bound_item.output_ordinal = static_cast<int>(ordinal - 1);
+        resolved = true;
+      }
+    }
+    if (!resolved) {
+      ODH_RETURN_IF_ERROR(BindExpr(item.expr.get(),
+                                   /*allow_aggregates=*/true));
+      bound_item.expr = std::move(item.expr);
+    }
+    out_->order_by.push_back(std::move(bound_item));
+  }
+  out_->limit = stmt.limit;
+
+  // Validate aggregate queries: non-aggregate output columns must appear in
+  // GROUP BY.
+  if (out_->has_aggregates || !out_->group_by.empty()) {
+    out_->has_aggregates = true;
+    for (const ExprPtr& e : out_->output) {
+      if (ContainsAggregate(e.get())) continue;
+      if (e->kind() != ExprKind::kColumnRef) {
+        return Status::InvalidArgument(
+            "non-aggregate select item must be a grouped column: " +
+            e->ToString());
+      }
+      const auto* ref = static_cast<const ColumnRefExpr*>(e.get());
+      bool grouped = false;
+      for (const ExprPtr& g : out_->group_by) {
+        const auto* gref = static_cast<const ColumnRefExpr*>(g.get());
+        if (gref->table_no == ref->table_no &&
+            gref->column_no == ref->column_no) {
+          grouped = true;
+          break;
+        }
+      }
+      if (!grouped) {
+        return Status::InvalidArgument("column not in GROUP BY: " +
+                                       ref->ToString());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<BoundSelect> Bind(Catalog* catalog, SelectStmt stmt) {
+  BoundSelect bound;
+  Binder binder(catalog, &bound);
+  ODH_RETURN_IF_ERROR(binder.Run(std::move(stmt)));
+  return bound;
+}
+
+}  // namespace odh::sql

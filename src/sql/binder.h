@@ -1,0 +1,54 @@
+#ifndef ODH_SQL_BINDER_H_
+#define ODH_SQL_BINDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "sql/catalog.h"
+
+namespace odh::sql {
+
+/// A FROM-clause table after name resolution. `slot_offset` is where this
+/// table's columns live in the combined row layout used during execution
+/// (tables are laid out in FROM order regardless of join order).
+struct BoundTable {
+  TableProvider* provider = nullptr;
+  std::string alias;
+  int slot_offset = 0;
+};
+
+/// A SELECT statement after binding: stars expanded, every ColumnRefExpr
+/// annotated with (table_no, column_no, type), timestamp string literals
+/// coerced.
+struct BoundSelect {
+  std::vector<BoundTable> tables;
+  std::vector<ExprPtr> output;
+  std::vector<std::string> output_names;
+  ExprPtr where;  // May be null.
+  std::vector<ExprPtr> group_by;
+  /// ORDER BY entry: either an expression over the combined row, or a
+  /// reference to an output column by position (alias / ordinal form).
+  struct BoundOrderBy {
+    ExprPtr expr;            // Null when output_ordinal >= 0.
+    int output_ordinal = -1;
+    bool ascending = true;
+  };
+  std::vector<BoundOrderBy> order_by;
+  int64_t limit = -1;
+  bool has_aggregates = false;
+
+  int total_slots = 0;  // Combined row width.
+
+  int SlotOf(const ColumnRefExpr& ref) const {
+    return tables[ref.table_no].slot_offset + ref.column_no;
+  }
+};
+
+/// Resolves names in `stmt` against `catalog`, consuming the statement.
+Result<BoundSelect> Bind(Catalog* catalog, SelectStmt stmt);
+
+}  // namespace odh::sql
+
+#endif  // ODH_SQL_BINDER_H_

@@ -1,0 +1,51 @@
+#include "sql/catalog.h"
+
+#include <cctype>
+
+namespace odh::sql {
+namespace {
+
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<TableProvider*> Catalog::Resolve(const std::string& name) {
+  std::string key = Lower(name);
+  auto ext = external_.find(key);
+  if (ext != external_.end()) return ext->second;
+  auto cached = wrappers_.find(key);
+  if (cached != wrappers_.end()) return cached->second.get();
+  auto table = db_->GetTable(key);
+  if (!table.ok()) return Status::NotFound("no such table: " + name);
+  auto wrapper = std::make_unique<RelationalTableProvider>(table.value());
+  TableProvider* raw = wrapper.get();
+  wrappers_[key] = std::move(wrapper);
+  return raw;
+}
+
+Status Catalog::RegisterProvider(TableProvider* provider) {
+  std::string key = Lower(provider->name());
+  if (external_.count(key) > 0 || db_->GetTable(key).ok()) {
+    return Status::AlreadyExists("table exists: " + provider->name());
+  }
+  external_[key] = provider;
+  return Status::OK();
+}
+
+Status Catalog::Analyze(const std::string& name) {
+  ODH_ASSIGN_OR_RETURN(TableProvider* provider, Resolve(name));
+  RelationalTableProvider* relational = provider->AsRelational();
+  if (relational == nullptr) {
+    return Status::InvalidArgument(
+        "ANALYZE applies to relational tables only");
+  }
+  return relational->Analyze();
+}
+
+}  // namespace odh::sql

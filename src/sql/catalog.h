@@ -1,0 +1,48 @@
+#ifndef ODH_SQL_CATALOG_H_
+#define ODH_SQL_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "relational/database.h"
+#include "sql/relational_provider.h"
+#include "sql/table_provider.h"
+
+namespace odh::sql {
+
+/// Name resolution for the SQL engine: relational tables of a Database plus
+/// externally registered virtual tables (ODH registers one per schema type,
+/// mirroring the paper's VTI registration).
+class Catalog {
+ public:
+  explicit Catalog(relational::Database* db) : db_(db) {}
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Resolves a table name to a provider. Relational tables get a (cached)
+  /// RelationalTableProvider wrapper on first use.
+  Result<TableProvider*> Resolve(const std::string& name);
+
+  /// Registers an external (virtual) table. Fails on name clash with a
+  /// relational table or another provider.
+  Status RegisterProvider(TableProvider* provider);
+
+  /// Collects statistics for a relational table so the planner can make
+  /// selectivity-aware choices (ANALYZE <table>).
+  Status Analyze(const std::string& name);
+
+  relational::Database* database() { return db_; }
+
+ private:
+  relational::Database* db_;
+  // Wrappers for relational tables, created lazily.
+  std::map<std::string, std::unique_ptr<RelationalTableProvider>> wrappers_;
+  // Externally owned virtual tables.
+  std::map<std::string, TableProvider*> external_;
+};
+
+}  // namespace odh::sql
+
+#endif  // ODH_SQL_CATALOG_H_

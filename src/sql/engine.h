@@ -1,0 +1,62 @@
+#ifndef ODH_SQL_ENGINE_H_
+#define ODH_SQL_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/catalog.h"
+#include "sql/planner.h"
+
+namespace odh::sql {
+
+/// Result of a SELECT (or row counts for DML/DDL).
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  int64_t affected_rows = 0;  // For INSERT.
+  std::string explain;        // Plan text (SELECT only).
+
+  /// The paper's throughput unit: number of non-NULL values returned.
+  int64_t DataPointCount() const {
+    int64_t n = 0;
+    for (const Row& row : rows) {
+      for (const Datum& d : row) {
+        if (!d.is_null()) ++n;
+      }
+    }
+    return n;
+  }
+};
+
+/// The SQL front door: parse -> bind -> plan -> execute. One engine serves
+/// one Database plus any registered virtual tables; this is the unified
+/// access interface the paper's "operational and relational data fusion"
+/// feature describes.
+class SqlEngine {
+ public:
+  explicit SqlEngine(relational::Database* db) : catalog_(db) {}
+
+  SqlEngine(const SqlEngine&) = delete;
+  SqlEngine& operator=(const SqlEngine&) = delete;
+
+  Catalog* catalog() { return &catalog_; }
+
+  /// Runs one statement.
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// Plans a SELECT and returns the plan text without running it.
+  Result<std::string> Explain(const std::string& sql);
+
+ private:
+  Result<QueryResult> ExecuteSelect(SelectStmt stmt);
+  Result<QueryResult> ExecuteInsert(const InsertStmt& stmt);
+  Result<QueryResult> ExecuteCreateTable(const CreateTableStmt& stmt);
+  Result<QueryResult> ExecuteCreateIndex(const CreateIndexStmt& stmt);
+
+  Catalog catalog_;
+};
+
+}  // namespace odh::sql
+
+#endif  // ODH_SQL_ENGINE_H_

@@ -1,0 +1,166 @@
+#include "sql/expr_eval.h"
+
+namespace odh::sql {
+namespace {
+
+/// Three-valued boolean: kFalse/kTrue/kNull encoded as Datum Bool/Null.
+Datum Bool3(bool v) { return Datum::Bool(v); }
+
+}  // namespace
+
+Result<Datum> ExprEvaluator::EvalBinary(
+    const BinaryExpr* expr, const Row& row,
+    const std::map<const Expr*, Datum>* aggs) const {
+  // AND/OR use Kleene logic and can short-circuit.
+  if (expr->op == BinaryOp::kAnd || expr->op == BinaryOp::kOr) {
+    ODH_ASSIGN_OR_RETURN(Datum left, Eval(expr->left.get(), row, aggs));
+    const bool is_and = expr->op == BinaryOp::kAnd;
+    if (!left.is_null() && left.is_bool() &&
+        left.bool_value() != is_and) {
+      return Bool3(!is_and);  // false AND x = false; true OR x = true.
+    }
+    ODH_ASSIGN_OR_RETURN(Datum right, Eval(expr->right.get(), row, aggs));
+    if (!right.is_null() && right.is_bool() &&
+        right.bool_value() != is_and) {
+      return Bool3(!is_and);
+    }
+    if (left.is_null() || right.is_null()) return Datum::Null();
+    if (!left.is_bool() || !right.is_bool()) {
+      return Status::InvalidArgument("AND/OR on non-boolean operands");
+    }
+    return Bool3(is_and ? (left.bool_value() && right.bool_value())
+                        : (left.bool_value() || right.bool_value()));
+  }
+
+  ODH_ASSIGN_OR_RETURN(Datum left, Eval(expr->left.get(), row, aggs));
+  ODH_ASSIGN_OR_RETURN(Datum right, Eval(expr->right.get(), row, aggs));
+  switch (expr->op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      int cmp;
+      bool null_result;
+      if (!left.Compare(right, &cmp, &null_result)) {
+        return Status::InvalidArgument("type mismatch in comparison: " +
+                                       expr->ToString());
+      }
+      if (null_result) return Datum::Null();
+      switch (expr->op) {
+        case BinaryOp::kEq:
+          return Bool3(cmp == 0);
+        case BinaryOp::kNe:
+          return Bool3(cmp != 0);
+        case BinaryOp::kLt:
+          return Bool3(cmp < 0);
+        case BinaryOp::kLe:
+          return Bool3(cmp <= 0);
+        case BinaryOp::kGt:
+          return Bool3(cmp > 0);
+        default:
+          return Bool3(cmp >= 0);
+      }
+    }
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv: {
+      if (left.is_null() || right.is_null()) return Datum::Null();
+      if (!left.is_numeric() || !right.is_numeric()) {
+        return Status::InvalidArgument("arithmetic on non-numeric operands");
+      }
+      // Integer arithmetic stays integral except for division.
+      if (left.is_int64() && right.is_int64() &&
+          expr->op != BinaryOp::kDiv) {
+        int64_t a = left.int64_value(), b = right.int64_value();
+        switch (expr->op) {
+          case BinaryOp::kAdd:
+            return Datum::Int64(a + b);
+          case BinaryOp::kSub:
+            return Datum::Int64(a - b);
+          default:
+            return Datum::Int64(a * b);
+        }
+      }
+      double a = left.AsDouble(), b = right.AsDouble();
+      switch (expr->op) {
+        case BinaryOp::kAdd:
+          return Datum::Double(a + b);
+        case BinaryOp::kSub:
+          return Datum::Double(a - b);
+        case BinaryOp::kMul:
+          return Datum::Double(a * b);
+        default:
+          if (b == 0) return Datum::Null();  // SQL: division by zero -> NULL.
+          return Datum::Double(a / b);
+      }
+    }
+    default:
+      return Status::Internal("unhandled binary op");
+  }
+}
+
+Result<Datum> ExprEvaluator::Eval(
+    const Expr* expr, const Row& row,
+    const std::map<const Expr*, Datum>* aggs) const {
+  switch (expr->kind()) {
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr*>(expr)->value;
+    case ExprKind::kColumnRef: {
+      const auto* ref = static_cast<const ColumnRefExpr*>(expr);
+      int slot = bound_->SlotOf(*ref);
+      if (slot < 0 || slot >= static_cast<int>(row.size())) {
+        return Status::Internal("column slot out of range");
+      }
+      return row[slot];
+    }
+    case ExprKind::kBinary:
+      return EvalBinary(static_cast<const BinaryExpr*>(expr), row, aggs);
+    case ExprKind::kBetween: {
+      const auto* between = static_cast<const BetweenExpr*>(expr);
+      ODH_ASSIGN_OR_RETURN(Datum v, Eval(between->value.get(), row, aggs));
+      ODH_ASSIGN_OR_RETURN(Datum lo, Eval(between->lower.get(), row, aggs));
+      ODH_ASSIGN_OR_RETURN(Datum hi, Eval(between->upper.get(), row, aggs));
+      int cmp_lo, cmp_hi;
+      bool null_lo, null_hi;
+      if (!v.Compare(lo, &cmp_lo, &null_lo) ||
+          !v.Compare(hi, &cmp_hi, &null_hi)) {
+        return Status::InvalidArgument("type mismatch in BETWEEN");
+      }
+      if (null_lo || null_hi) return Datum::Null();
+      return Bool3(cmp_lo >= 0 && cmp_hi <= 0);
+    }
+    case ExprKind::kNot: {
+      const auto* not_expr = static_cast<const NotExpr*>(expr);
+      ODH_ASSIGN_OR_RETURN(Datum v, Eval(not_expr->operand.get(), row, aggs));
+      if (v.is_null()) return Datum::Null();
+      if (!v.is_bool()) {
+        return Status::InvalidArgument("NOT on non-boolean operand");
+      }
+      return Bool3(!v.bool_value());
+    }
+    case ExprKind::kIsNull: {
+      const auto* is_null = static_cast<const IsNullExpr*>(expr);
+      ODH_ASSIGN_OR_RETURN(Datum v, Eval(is_null->operand.get(), row, aggs));
+      return Bool3(is_null->negated ? !v.is_null() : v.is_null());
+    }
+    case ExprKind::kAggregate: {
+      if (aggs != nullptr) {
+        auto it = aggs->find(expr);
+        if (it != aggs->end()) return it->second;
+      }
+      return Status::Internal("aggregate evaluated outside aggregation");
+    }
+  }
+  return Status::Internal("unhandled expr kind");
+}
+
+Result<bool> ExprEvaluator::EvalPredicate(const Expr* expr,
+                                          const Row& row) const {
+  ODH_ASSIGN_OR_RETURN(Datum v, Eval(expr, row));
+  return !v.is_null() && v.is_bool() && v.bool_value();
+}
+
+}  // namespace odh::sql

@@ -1,0 +1,37 @@
+#ifndef ODH_SQL_EXPR_EVAL_H_
+#define ODH_SQL_EXPR_EVAL_H_
+
+#include <map>
+
+#include "common/result.h"
+#include "sql/binder.h"
+
+namespace odh::sql {
+
+/// Tree-walking evaluator over combined rows (see BoundSelect::SlotOf).
+/// SQL three-valued logic: comparisons involving NULL yield NULL; filters
+/// treat NULL as false.
+class ExprEvaluator {
+ public:
+  explicit ExprEvaluator(const BoundSelect* bound) : bound_(bound) {}
+
+  /// Evaluates an expression. AggregateExpr nodes are looked up in
+  /// `agg_values` (supplied by the aggregation operator); evaluating one
+  /// without a binding is an error.
+  Result<Datum> Eval(const Expr* expr, const Row& row,
+                     const std::map<const Expr*, Datum>* agg_values =
+                         nullptr) const;
+
+  /// Evaluates a predicate: non-true (false or NULL) yields false.
+  Result<bool> EvalPredicate(const Expr* expr, const Row& row) const;
+
+ private:
+  Result<Datum> EvalBinary(const BinaryExpr* expr, const Row& row,
+                           const std::map<const Expr*, Datum>* aggs) const;
+
+  const BoundSelect* bound_;
+};
+
+}  // namespace odh::sql
+
+#endif  // ODH_SQL_EXPR_EVAL_H_

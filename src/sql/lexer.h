@@ -1,0 +1,33 @@
+#ifndef ODH_SQL_LEXER_H_
+#define ODH_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace odh::sql {
+
+enum class TokenType {
+  kEof,
+  kIdentifier,   // Unquoted name or keyword (uppercased text in `upper`).
+  kInteger,
+  kFloat,
+  kString,       // 'single quoted'
+  kSymbol,       // One of ( ) , . ; * = < > <= >= <> != + - /
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;   // Raw text (string literals unescaped).
+  std::string upper;  // Uppercased text for keyword matching.
+  size_t pos = 0;     // Byte offset in the input (for error messages).
+};
+
+/// Tokenizes a SQL string. Returns InvalidArgument on malformed input
+/// (unterminated string, stray characters).
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace odh::sql
+
+#endif  // ODH_SQL_LEXER_H_

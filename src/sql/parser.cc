@@ -1,0 +1,460 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "sql/lexer.h"
+
+namespace odh::sql {
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseStatement();
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool IsKeyword(const char* kw) const {
+    return Peek().type == TokenType::kIdentifier && Peek().upper == kw;
+  }
+  bool AcceptKeyword(const char* kw) {
+    if (!IsKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::InvalidArgument(std::string("expected ") + kw +
+                                     " near '" + Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  bool IsSymbol(const char* sym) const {
+    return Peek().type == TokenType::kSymbol && Peek().text == sym;
+  }
+  bool AcceptSymbol(const char* sym) {
+    if (!IsSymbol(sym)) return false;
+    Advance();
+    return true;
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (!AcceptSymbol(sym)) {
+      return Status::InvalidArgument(std::string("expected '") + sym +
+                                     "' near '" + Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::InvalidArgument("expected identifier near '" +
+                                     Peek().text + "'");
+    }
+    return Advance().text;
+  }
+
+  Result<std::unique_ptr<SelectStmt>> ParseSelect();
+  Result<std::unique_ptr<InsertStmt>> ParseInsert();
+  Result<Statement> ParseCreate();
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParsePrimary();
+  Result<DataType> ParseType();
+
+  static bool IsReserved(const std::string& upper);
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+bool Parser::IsReserved(const std::string& upper) {
+  static const char* kReserved[] = {
+      "SELECT", "FROM",  "WHERE",  "GROUP", "ORDER", "BY",      "LIMIT",
+      "AND",    "OR",    "NOT",    "AS",    "ASC",   "DESC",    "BETWEEN",
+      "IS",     "NULL",  "INSERT", "INTO",  "VALUES", "CREATE", "TABLE",
+      "INDEX",  "ON",    "TRUE",   "FALSE", "HAVING"};
+  for (const char* kw : kReserved) {
+    if (upper == kw) return true;
+  }
+  return false;
+}
+
+Result<Statement> Parser::ParseStatement() {
+  Statement stmt;
+  if (IsKeyword("SELECT")) {
+    ODH_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+    stmt.kind = Statement::Kind::kSelect;
+  } else if (IsKeyword("INSERT")) {
+    ODH_ASSIGN_OR_RETURN(stmt.insert, ParseInsert());
+    stmt.kind = Statement::Kind::kInsert;
+  } else if (IsKeyword("CREATE")) {
+    ODH_ASSIGN_OR_RETURN(stmt, ParseCreate());
+  } else {
+    return Status::InvalidArgument("expected SELECT, INSERT or CREATE");
+  }
+  AcceptSymbol(";");
+  if (Peek().type != TokenType::kEof) {
+    return Status::InvalidArgument("trailing input near '" + Peek().text +
+                                   "'");
+  }
+  return stmt;
+}
+
+Result<std::unique_ptr<SelectStmt>> Parser::ParseSelect() {
+  ODH_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+  auto select = std::make_unique<SelectStmt>();
+
+  // Select list.
+  do {
+    SelectItem item;
+    if (AcceptSymbol("*")) {
+      item.star = true;
+    } else if (Peek().type == TokenType::kIdentifier &&
+               !IsReserved(Peek().upper) &&
+               tokens_[pos_ + 1].type == TokenType::kSymbol &&
+               tokens_[pos_ + 1].text == "." &&
+               tokens_[pos_ + 2].type == TokenType::kSymbol &&
+               tokens_[pos_ + 2].text == "*") {
+      item.star = true;
+      item.star_table = Advance().text;
+      Advance();  // '.'
+      Advance();  // '*'
+    } else {
+      ODH_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (AcceptKeyword("AS")) {
+        ODH_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+      } else if (Peek().type == TokenType::kIdentifier &&
+                 !IsReserved(Peek().upper)) {
+        item.alias = Advance().text;
+      }
+    }
+    select->items.push_back(std::move(item));
+  } while (AcceptSymbol(","));
+
+  ODH_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+  do {
+    TableRef ref;
+    ODH_ASSIGN_OR_RETURN(ref.name, ExpectIdentifier());
+    if (AcceptKeyword("AS")) {
+      ODH_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier());
+    } else if (Peek().type == TokenType::kIdentifier &&
+               !IsReserved(Peek().upper)) {
+      ref.alias = Advance().text;
+    } else {
+      ref.alias = ref.name;
+    }
+    select->tables.push_back(std::move(ref));
+  } while (AcceptSymbol(","));
+
+  if (AcceptKeyword("WHERE")) {
+    ODH_ASSIGN_OR_RETURN(select->where, ParseExpr());
+  }
+  if (AcceptKeyword("GROUP")) {
+    ODH_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    do {
+      ODH_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      select->group_by.push_back(std::move(e));
+    } while (AcceptSymbol(","));
+  }
+  if (AcceptKeyword("ORDER")) {
+    ODH_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    do {
+      OrderByItem item;
+      ODH_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (AcceptKeyword("DESC")) {
+        item.ascending = false;
+      } else {
+        AcceptKeyword("ASC");
+      }
+      select->order_by.push_back(std::move(item));
+    } while (AcceptSymbol(","));
+  }
+  if (AcceptKeyword("LIMIT")) {
+    if (Peek().type != TokenType::kInteger) {
+      return Status::InvalidArgument("LIMIT expects an integer");
+    }
+    select->limit = std::strtoll(Advance().text.c_str(), nullptr, 10);
+  }
+  return select;
+}
+
+Result<std::unique_ptr<InsertStmt>> Parser::ParseInsert() {
+  ODH_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+  ODH_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+  auto insert = std::make_unique<InsertStmt>();
+  ODH_ASSIGN_OR_RETURN(insert->table, ExpectIdentifier());
+  if (AcceptSymbol("(")) {
+    do {
+      ODH_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      insert->columns.push_back(std::move(col));
+    } while (AcceptSymbol(","));
+    ODH_RETURN_IF_ERROR(ExpectSymbol(")"));
+  }
+  ODH_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+  do {
+    ODH_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::vector<ExprPtr> row;
+    do {
+      ODH_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      row.push_back(std::move(e));
+    } while (AcceptSymbol(","));
+    ODH_RETURN_IF_ERROR(ExpectSymbol(")"));
+    insert->rows.push_back(std::move(row));
+  } while (AcceptSymbol(","));
+  return insert;
+}
+
+Result<DataType> Parser::ParseType() {
+  ODH_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+  std::string upper;
+  for (char c : name) upper.push_back(static_cast<char>(std::toupper(
+      static_cast<unsigned char>(c))));
+  DataType type;
+  if (upper == "BIGINT" || upper == "INT" || upper == "INTEGER" ||
+      upper == "SMALLINT") {
+    type = DataType::kInt64;
+  } else if (upper == "DOUBLE" || upper == "FLOAT" || upper == "REAL" ||
+             upper == "DECIMAL" || upper == "NUMERIC") {
+    type = DataType::kDouble;
+    AcceptKeyword("PRECISION");
+  } else if (upper == "VARCHAR" || upper == "CHAR" || upper == "TEXT") {
+    type = DataType::kString;
+  } else if (upper == "TIMESTAMP" || upper == "DATETIME") {
+    type = DataType::kTimestamp;
+  } else if (upper == "BOOLEAN" || upper == "BOOL") {
+    type = DataType::kBool;
+  } else {
+    return Status::InvalidArgument("unknown type: " + name);
+  }
+  // Optional length/precision suffix, e.g. VARCHAR(32) or DECIMAL(8,2).
+  if (AcceptSymbol("(")) {
+    while (!IsSymbol(")") && Peek().type != TokenType::kEof) Advance();
+    ODH_RETURN_IF_ERROR(ExpectSymbol(")"));
+  }
+  return type;
+}
+
+Result<Statement> Parser::ParseCreate() {
+  ODH_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+  Statement stmt;
+  if (AcceptKeyword("TABLE")) {
+    stmt.kind = Statement::Kind::kCreateTable;
+    stmt.create_table = std::make_unique<CreateTableStmt>();
+    ODH_ASSIGN_OR_RETURN(stmt.create_table->table, ExpectIdentifier());
+    ODH_RETURN_IF_ERROR(ExpectSymbol("("));
+    do {
+      relational::Column col;
+      ODH_ASSIGN_OR_RETURN(col.name, ExpectIdentifier());
+      ODH_ASSIGN_OR_RETURN(col.type, ParseType());
+      stmt.create_table->columns.push_back(std::move(col));
+    } while (AcceptSymbol(","));
+    ODH_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return stmt;
+  }
+  if (AcceptKeyword("INDEX")) {
+    stmt.kind = Statement::Kind::kCreateIndex;
+    stmt.create_index = std::make_unique<CreateIndexStmt>();
+    ODH_ASSIGN_OR_RETURN(stmt.create_index->index, ExpectIdentifier());
+    ODH_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    ODH_ASSIGN_OR_RETURN(stmt.create_index->table, ExpectIdentifier());
+    ODH_RETURN_IF_ERROR(ExpectSymbol("("));
+    do {
+      ODH_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      stmt.create_index->columns.push_back(std::move(col));
+    } while (AcceptSymbol(","));
+    ODH_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return stmt;
+  }
+  return Status::InvalidArgument("expected TABLE or INDEX after CREATE");
+}
+
+Result<ExprPtr> Parser::ParseOr() {
+  ODH_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+  while (AcceptKeyword("OR")) {
+    ODH_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+    left = std::make_unique<BinaryExpr>(BinaryOp::kOr, std::move(left),
+                                        std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  ODH_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+  while (AcceptKeyword("AND")) {
+    ODH_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+    left = std::make_unique<BinaryExpr>(BinaryOp::kAnd, std::move(left),
+                                        std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (AcceptKeyword("NOT")) {
+    ODH_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+    return ExprPtr(std::make_unique<NotExpr>(std::move(inner)));
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  ODH_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+  if (IsSymbol("=") || IsSymbol("<>") || IsSymbol("<") || IsSymbol("<=") ||
+      IsSymbol(">") || IsSymbol(">=")) {
+    std::string sym = Advance().text;
+    BinaryOp op = sym == "=" ? BinaryOp::kEq
+                  : sym == "<>" ? BinaryOp::kNe
+                  : sym == "<" ? BinaryOp::kLt
+                  : sym == "<=" ? BinaryOp::kLe
+                  : sym == ">" ? BinaryOp::kGt
+                                : BinaryOp::kGe;
+    ODH_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+    return ExprPtr(std::make_unique<BinaryExpr>(op, std::move(left),
+                                                std::move(right)));
+  }
+  if (AcceptKeyword("BETWEEN")) {
+    ODH_ASSIGN_OR_RETURN(ExprPtr lower, ParseAdditive());
+    ODH_RETURN_IF_ERROR(ExpectKeyword("AND"));
+    ODH_ASSIGN_OR_RETURN(ExprPtr upper, ParseAdditive());
+    return ExprPtr(std::make_unique<BetweenExpr>(
+        std::move(left), std::move(lower), std::move(upper)));
+  }
+  if (AcceptKeyword("IS")) {
+    bool negated = AcceptKeyword("NOT");
+    ODH_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+    return ExprPtr(std::make_unique<IsNullExpr>(std::move(left), negated));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  ODH_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+  while (IsSymbol("+") || IsSymbol("-")) {
+    BinaryOp op = Advance().text == "+" ? BinaryOp::kAdd : BinaryOp::kSub;
+    ODH_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+    left = std::make_unique<BinaryExpr>(op, std::move(left),
+                                        std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  ODH_ASSIGN_OR_RETURN(ExprPtr left, ParsePrimary());
+  while (IsSymbol("*") || IsSymbol("/")) {
+    BinaryOp op = Advance().text == "*" ? BinaryOp::kMul : BinaryOp::kDiv;
+    ODH_ASSIGN_OR_RETURN(ExprPtr right, ParsePrimary());
+    left = std::make_unique<BinaryExpr>(op, std::move(left),
+                                        std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& tok = Peek();
+  switch (tok.type) {
+    case TokenType::kInteger: {
+      int64_t v = std::strtoll(Advance().text.c_str(), nullptr, 10);
+      return ExprPtr(std::make_unique<LiteralExpr>(Datum::Int64(v)));
+    }
+    case TokenType::kFloat: {
+      double v = std::strtod(Advance().text.c_str(), nullptr);
+      return ExprPtr(std::make_unique<LiteralExpr>(Datum::Double(v)));
+    }
+    case TokenType::kString: {
+      return ExprPtr(
+          std::make_unique<LiteralExpr>(Datum::String(Advance().text)));
+    }
+    case TokenType::kSymbol: {
+      if (AcceptSymbol("(")) {
+        ODH_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        ODH_RETURN_IF_ERROR(ExpectSymbol(")"));
+        return inner;
+      }
+      if (AcceptSymbol("-")) {
+        ODH_ASSIGN_OR_RETURN(ExprPtr inner, ParsePrimary());
+        // Fold negation of literals; otherwise 0 - expr.
+        if (inner->kind() == ExprKind::kLiteral) {
+          auto* lit = static_cast<LiteralExpr*>(inner.get());
+          if (lit->value.is_int64()) {
+            return ExprPtr(std::make_unique<LiteralExpr>(
+                Datum::Int64(-lit->value.int64_value())));
+          }
+          if (lit->value.is_double()) {
+            return ExprPtr(std::make_unique<LiteralExpr>(
+                Datum::Double(-lit->value.double_value())));
+          }
+        }
+        return ExprPtr(std::make_unique<BinaryExpr>(
+            BinaryOp::kSub,
+            std::make_unique<LiteralExpr>(Datum::Int64(0)),
+            std::move(inner)));
+      }
+      break;
+    }
+    case TokenType::kIdentifier: {
+      if (tok.upper == "NULL") {
+        Advance();
+        return ExprPtr(std::make_unique<LiteralExpr>(Datum::Null()));
+      }
+      if (tok.upper == "TRUE" || tok.upper == "FALSE") {
+        bool v = tok.upper == "TRUE";
+        Advance();
+        return ExprPtr(std::make_unique<LiteralExpr>(Datum::Bool(v)));
+      }
+      // Aggregate functions.
+      static const std::pair<const char*, AggregateFunc> kAggs[] = {
+          {"COUNT", AggregateFunc::kCount},
+          {"SUM", AggregateFunc::kSum},
+          {"AVG", AggregateFunc::kAvg},
+          {"MIN", AggregateFunc::kMin},
+          {"MAX", AggregateFunc::kMax}};
+      for (const auto& [name, func] : kAggs) {
+        if (tok.upper == name && tokens_[pos_ + 1].type == TokenType::kSymbol
+            && tokens_[pos_ + 1].text == "(") {
+          Advance();  // func name
+          Advance();  // (
+          if (AcceptSymbol("*")) {
+            ODH_RETURN_IF_ERROR(ExpectSymbol(")"));
+            if (func != AggregateFunc::kCount) {
+              return Status::InvalidArgument("* only valid in COUNT(*)");
+            }
+            return ExprPtr(
+                std::make_unique<AggregateExpr>(func, nullptr, true));
+          }
+          ODH_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+          ODH_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return ExprPtr(
+              std::make_unique<AggregateExpr>(func, std::move(arg), false));
+        }
+      }
+      if (IsReserved(tok.upper)) break;
+      std::string first = Advance().text;
+      if (AcceptSymbol(".")) {
+        ODH_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        return ExprPtr(std::make_unique<ColumnRefExpr>(first, col));
+      }
+      return ExprPtr(std::make_unique<ColumnRefExpr>("", first));
+    }
+    case TokenType::kEof:
+      break;
+  }
+  return Status::InvalidArgument("unexpected token '" + tok.text +
+                                 "' at position " + std::to_string(tok.pos));
+}
+
+}  // namespace
+
+Result<Statement> Parse(const std::string& sql) {
+  ODH_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace odh::sql

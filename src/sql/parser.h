@@ -1,0 +1,20 @@
+#ifndef ODH_SQL_PARSER_H_
+#define ODH_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace odh::sql {
+
+/// Parses one SQL statement (SELECT / INSERT / CREATE TABLE / CREATE INDEX).
+/// The dialect covers the paper's IoT-X templates: comma joins, AND/OR
+/// conjunctions, comparison operators, BETWEEN, IS NULL, aggregates with
+/// GROUP BY, ORDER BY and LIMIT.
+Result<Statement> Parse(const std::string& sql);
+
+}  // namespace odh::sql
+
+#endif  // ODH_SQL_PARSER_H_

@@ -1,0 +1,364 @@
+#include "sql/planner.h"
+
+#include <algorithm>
+#include <set>
+
+namespace odh::sql {
+namespace {
+
+struct JoinEdge {
+  int table_a, column_a;
+  int table_b, column_b;
+};
+
+/// Collects WHERE conjuncts (flattening AND).
+void SplitConjuncts(const Expr* expr, std::vector<const Expr*>* out) {
+  if (expr->kind() == ExprKind::kBinary) {
+    const auto* bin = static_cast<const BinaryExpr*>(expr);
+    if (bin->op == BinaryOp::kAnd) {
+      SplitConjuncts(bin->left.get(), out);
+      SplitConjuncts(bin->right.get(), out);
+      return;
+    }
+  }
+  out->push_back(expr);
+}
+
+const ColumnRefExpr* AsColumnRef(const Expr* expr) {
+  return expr->kind() == ExprKind::kColumnRef
+             ? static_cast<const ColumnRefExpr*>(expr)
+             : nullptr;
+}
+
+const LiteralExpr* AsLiteral(const Expr* expr) {
+  return expr->kind() == ExprKind::kLiteral
+             ? static_cast<const LiteralExpr*>(expr)
+             : nullptr;
+}
+
+/// Tries to turn a conjunct into a pushable single-table constraint.
+bool ExtractConstraint(const Expr* expr, int* table_no,
+                       ColumnConstraint* constraint) {
+  if (expr->kind() == ExprKind::kBetween) {
+    const auto* between = static_cast<const BetweenExpr*>(expr);
+    const ColumnRefExpr* ref = AsColumnRef(between->value.get());
+    const LiteralExpr* lo = AsLiteral(between->lower.get());
+    const LiteralExpr* hi = AsLiteral(between->upper.get());
+    if (ref == nullptr || lo == nullptr || hi == nullptr) return false;
+    if (lo->value.is_null() || hi->value.is_null()) return false;
+    *table_no = ref->table_no;
+    constraint->column = ref->column_no;
+    constraint->lower = Bound{lo->value, true};
+    constraint->upper = Bound{hi->value, true};
+    return true;
+  }
+  if (expr->kind() != ExprKind::kBinary) return false;
+  const auto* bin = static_cast<const BinaryExpr*>(expr);
+  const ColumnRefExpr* ref = AsColumnRef(bin->left.get());
+  const LiteralExpr* lit = AsLiteral(bin->right.get());
+  BinaryOp op = bin->op;
+  if (ref == nullptr || lit == nullptr) {
+    // Try the mirrored orientation (literal OP column).
+    ref = AsColumnRef(bin->right.get());
+    lit = AsLiteral(bin->left.get());
+    if (ref == nullptr || lit == nullptr) return false;
+    switch (op) {  // Mirror the operator.
+      case BinaryOp::kLt:
+        op = BinaryOp::kGt;
+        break;
+      case BinaryOp::kLe:
+        op = BinaryOp::kGe;
+        break;
+      case BinaryOp::kGt:
+        op = BinaryOp::kLt;
+        break;
+      case BinaryOp::kGe:
+        op = BinaryOp::kLe;
+        break;
+      default:
+        break;
+    }
+  }
+  if (lit->value.is_null()) return false;
+  *table_no = ref->table_no;
+  constraint->column = ref->column_no;
+  switch (op) {
+    case BinaryOp::kEq:
+      constraint->equals = lit->value;
+      return true;
+    case BinaryOp::kLt:
+      constraint->upper = Bound{lit->value, false};
+      return true;
+    case BinaryOp::kLe:
+      constraint->upper = Bound{lit->value, true};
+      return true;
+    case BinaryOp::kGt:
+      constraint->lower = Bound{lit->value, false};
+      return true;
+    case BinaryOp::kGe:
+      constraint->lower = Bound{lit->value, true};
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool ExtractJoinEdge(const Expr* expr, JoinEdge* edge) {
+  if (expr->kind() != ExprKind::kBinary) return false;
+  const auto* bin = static_cast<const BinaryExpr*>(expr);
+  if (bin->op != BinaryOp::kEq) return false;
+  const ColumnRefExpr* a = AsColumnRef(bin->left.get());
+  const ColumnRefExpr* b = AsColumnRef(bin->right.get());
+  if (a == nullptr || b == nullptr || a->table_no == b->table_no) {
+    return false;
+  }
+  edge->table_a = a->table_no;
+  edge->column_a = a->column_no;
+  edge->table_b = b->table_no;
+  edge->column_b = b->column_no;
+  return true;
+}
+
+/// Collects which columns of each table the query touches (projection
+/// pushdown — the lever behind ODH's tag-oriented decode savings).
+void CollectColumns(const Expr* expr, std::vector<std::set<int>>* cols) {
+  switch (expr->kind()) {
+    case ExprKind::kColumnRef: {
+      const auto* ref = static_cast<const ColumnRefExpr*>(expr);
+      (*cols)[ref->table_no].insert(ref->column_no);
+      return;
+    }
+    case ExprKind::kBinary: {
+      const auto* bin = static_cast<const BinaryExpr*>(expr);
+      CollectColumns(bin->left.get(), cols);
+      CollectColumns(bin->right.get(), cols);
+      return;
+    }
+    case ExprKind::kBetween: {
+      const auto* between = static_cast<const BetweenExpr*>(expr);
+      CollectColumns(between->value.get(), cols);
+      CollectColumns(between->lower.get(), cols);
+      CollectColumns(between->upper.get(), cols);
+      return;
+    }
+    case ExprKind::kNot:
+      CollectColumns(static_cast<const NotExpr*>(expr)->operand.get(), cols);
+      return;
+    case ExprKind::kIsNull:
+      CollectColumns(static_cast<const IsNullExpr*>(expr)->operand.get(),
+                     cols);
+      return;
+    case ExprKind::kAggregate: {
+      const auto* agg = static_cast<const AggregateExpr*>(expr);
+      if (agg->arg != nullptr) CollectColumns(agg->arg.get(), cols);
+      return;
+    }
+    case ExprKind::kLiteral:
+      return;
+  }
+}
+
+}  // namespace
+
+Result<PhysicalPlan> PlanSelect(const BoundSelect& bound,
+                                const ExprEvaluator* eval) {
+  const int num_tables = static_cast<int>(bound.tables.size());
+
+  // 1. Classify WHERE conjuncts.
+  std::vector<const Expr*> conjuncts;
+  if (bound.where != nullptr) SplitConjuncts(bound.where.get(), &conjuncts);
+
+  std::vector<ScanSpec> specs(num_tables);
+  std::vector<JoinEdge> edges;
+  std::vector<const Expr*> residual;
+  for (const Expr* conjunct : conjuncts) {
+    int table_no;
+    ColumnConstraint constraint;
+    JoinEdge edge;
+    if (ExtractConstraint(conjunct, &table_no, &constraint)) {
+      // Merge with an existing constraint on the same column so
+      // `lat > a AND lat < b` becomes one range (tighter selectivity and a
+      // single index range for the provider).
+      ColumnConstraint* existing = nullptr;
+      for (ColumnConstraint& c : specs[table_no].constraints) {
+        if (c.column == constraint.column) {
+          existing = &c;
+          break;
+        }
+      }
+      if (existing == nullptr) {
+        specs[table_no].constraints.push_back(std::move(constraint));
+      } else {
+        if (constraint.equals.has_value()) existing->equals = constraint.equals;
+        if (constraint.lower.has_value()) {
+          int cmp;
+          bool null_cmp;
+          if (!existing->lower.has_value() ||
+              (constraint.lower->value.Compare(existing->lower->value, &cmp,
+                                               &null_cmp) &&
+               !null_cmp && cmp >= 0)) {
+            existing->lower = constraint.lower;
+          }
+        }
+        if (constraint.upper.has_value()) {
+          int cmp;
+          bool null_cmp;
+          if (!existing->upper.has_value() ||
+              (constraint.upper->value.Compare(existing->upper->value, &cmp,
+                                               &null_cmp) &&
+               !null_cmp && cmp <= 0)) {
+            existing->upper = constraint.upper;
+          }
+        }
+      }
+    } else if (ExtractJoinEdge(conjunct, &edge)) {
+      edges.push_back(edge);
+    } else {
+      residual.push_back(conjunct);
+    }
+  }
+
+  // 2. Projection pushdown: a table only needs the columns the query
+  // references (anywhere).
+  std::vector<std::set<int>> used(num_tables);
+  for (const ExprPtr& e : bound.output) CollectColumns(e.get(), &used);
+  if (bound.where != nullptr) CollectColumns(bound.where.get(), &used);
+  for (const ExprPtr& e : bound.group_by) CollectColumns(e.get(), &used);
+  for (const auto& item : bound.order_by) {
+    if (item.expr != nullptr) CollectColumns(item.expr.get(), &used);
+  }
+  for (int t = 0; t < num_tables; ++t) {
+    specs[t].projection.assign(used[t].begin(), used[t].end());
+  }
+
+  std::string explain;
+
+  // 3. Join order: greedy smallest-estimate first, preferring connected
+  // tables.
+  std::vector<ScanEstimate> local_est(num_tables);
+  for (int t = 0; t < num_tables; ++t) {
+    local_est[t] = bound.tables[t].provider->Estimate(specs[t]);
+  }
+  std::vector<bool> placed(num_tables, false);
+  auto connected = [&](int t) {
+    for (const JoinEdge& e : edges) {
+      if ((e.table_a == t && placed[e.table_b]) ||
+          (e.table_b == t && placed[e.table_a])) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  int first = 0;
+  for (int t = 1; t < num_tables; ++t) {
+    if (local_est[t].rows < local_est[first].rows) first = t;
+  }
+  placed[first] = true;
+  PlanNodePtr root = std::make_unique<ScanNode>(
+      bound.tables[first].provider, bound.tables[first].alias, specs[first],
+      bound.tables[first].slot_offset, bound.total_slots);
+  double running_rows = std::max(local_est[first].rows, 1.0);
+
+  for (int step = 1; step < num_tables; ++step) {
+    // Pick the next table: smallest estimate among connected ones, falling
+    // back to smallest overall (cross join).
+    int next = -1;
+    bool next_connected = false;
+    for (int t = 0; t < num_tables; ++t) {
+      if (placed[t]) continue;
+      bool conn = connected(t);
+      if (next < 0 || (conn && !next_connected) ||
+          (conn == next_connected &&
+           local_est[t].rows < local_est[next].rows)) {
+        next = t;
+        next_connected = conn;
+      }
+    }
+
+    // Join keys between `next` and placed tables.
+    std::vector<JoinKey> keys;
+    for (const JoinEdge& e : edges) {
+      int other = -1, other_col = -1, next_col = -1;
+      if (e.table_a == next && placed[e.table_b]) {
+        other = e.table_b;
+        other_col = e.column_b;
+        next_col = e.column_a;
+      } else if (e.table_b == next && placed[e.table_a]) {
+        other = e.table_a;
+        other_col = e.column_a;
+        next_col = e.column_b;
+      } else {
+        continue;
+      }
+      JoinKey key;
+      key.outer_slot = bound.tables[other].slot_offset + other_col;
+      key.inner_column = next_col;
+      keys.push_back(key);
+    }
+
+    TableProvider* inner = bound.tables[next].provider;
+    // Cost: index-nested-loop = outer_rows * per-probe bytes; hash join =
+    // one full (constrained) scan of the inner side.
+    double inlj_cost = -1;
+    if (!keys.empty() && inner->SupportsPointLookup(keys[0].inner_column)) {
+      ScanSpec probe_spec = specs[next];
+      for (const JoinKey& k : keys) {
+        ColumnConstraint c;
+        c.column = k.inner_column;
+        c.equals = Datum::Int64(0);  // Placeholder; estimate ignores value.
+        probe_spec.constraints.push_back(std::move(c));
+      }
+      ScanEstimate probe = inner->Estimate(probe_spec);
+      inlj_cost = running_rows * std::max(probe.bytes, 1.0);
+    }
+    double hash_cost = std::max(local_est[next].bytes, 1.0) +
+                       running_rows * 8.0;
+
+    char cost_line[160];
+    if (inlj_cost >= 0 && inlj_cost <= hash_cost) {
+      snprintf(cost_line, sizeof(cost_line),
+               "join %s: INDEX-NESTED-LOOP (inlj=%.0fB <= hash=%.0fB)\n",
+               bound.tables[next].alias.c_str(), inlj_cost, hash_cost);
+      explain += cost_line;
+      root = std::make_unique<IndexJoinNode>(
+          std::move(root), inner, bound.tables[next].alias, specs[next],
+          bound.tables[next].slot_offset, keys);
+      // Each probe yields roughly probe-estimate rows.
+      ScanSpec probe_spec = specs[next];
+      for (const JoinKey& k : keys) {
+        ColumnConstraint c;
+        c.column = k.inner_column;
+        c.equals = Datum::Int64(0);
+        probe_spec.constraints.push_back(std::move(c));
+      }
+      running_rows *= std::max(inner->Estimate(probe_spec).rows, 1.0);
+    } else {
+      snprintf(cost_line, sizeof(cost_line),
+               "join %s: HASH-JOIN (hash=%.0fB < inlj=%s)\n",
+               bound.tables[next].alias.c_str(), hash_cost,
+               inlj_cost < 0 ? "n/a" : std::to_string(inlj_cost).c_str());
+      explain += cost_line;
+      root = std::make_unique<HashJoinNode>(
+          std::move(root), inner, bound.tables[next].alias, specs[next],
+          bound.tables[next].slot_offset, keys, /*left_outer=*/false);
+      double fanout =
+          keys.empty() ? std::max(local_est[next].rows, 1.0) : 1.0;
+      running_rows *= fanout;
+    }
+    placed[next] = true;
+  }
+
+  if (!residual.empty()) {
+    root = std::make_unique<FilterNode>(std::move(root), residual, eval);
+  }
+
+  PhysicalPlan plan;
+  std::string tree;
+  root->Describe(0, &tree);
+  plan.explain = explain + tree;
+  plan.root = std::move(root);
+  return plan;
+}
+
+}  // namespace odh::sql

@@ -1,0 +1,34 @@
+#ifndef ODH_SQL_PLANNER_H_
+#define ODH_SQL_PLANNER_H_
+
+#include <memory>
+#include <string>
+
+#include "sql/binder.h"
+#include "sql/executor.h"
+
+namespace odh::sql {
+
+/// A compiled SELECT: the operator tree plus the planner's decision log
+/// (the EXPLAIN text used by the paper's query-optimizer experiment).
+struct PhysicalPlan {
+  PlanNodePtr root;
+  std::string explain;
+};
+
+/// Builds a physical plan for a bound SELECT.
+///
+/// Planning mirrors the paper's §3 design: single-table predicates are
+/// pushed into provider scans (partition elimination happens inside the ODH
+/// provider), join order is chosen greedily by estimated cardinality, and
+/// each join picks index-nested-loop vs hash join by comparing estimated
+/// bytes accessed — the ValueBlob-byte cost model when the inner side is an
+/// ODH virtual table.
+///
+/// The returned plan borrows `bound` and `eval`; both must outlive it.
+Result<PhysicalPlan> PlanSelect(const BoundSelect& bound,
+                                const ExprEvaluator* eval);
+
+}  // namespace odh::sql
+
+#endif  // ODH_SQL_PLANNER_H_

@@ -1,0 +1,262 @@
+#include "sql/relational_provider.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/key_codec.h"
+
+namespace odh::sql {
+namespace {
+
+/// True when `value` passes a single column constraint (NULLs never match,
+/// as in SQL).
+bool DatumSatisfies(const Datum& value, const ColumnConstraint& c) {
+  if (value.is_null()) return false;
+  int cmp;
+  bool null_result;
+  if (c.equals.has_value()) {
+    if (!value.Compare(*c.equals, &cmp, &null_result) || null_result) {
+      return false;
+    }
+    return cmp == 0;
+  }
+  if (c.lower.has_value()) {
+    if (!value.Compare(c.lower->value, &cmp, &null_result) || null_result) {
+      return false;
+    }
+    if (cmp < 0 || (cmp == 0 && !c.lower->inclusive)) return false;
+  }
+  if (c.upper.has_value()) {
+    if (!value.Compare(c.upper->value, &cmp, &null_result) || null_result) {
+      return false;
+    }
+    if (cmp > 0 || (cmp == 0 && !c.upper->inclusive)) return false;
+  }
+  return true;
+}
+
+/// Index-range cursor: walks rids from a B-tree range, fetches rows and
+/// re-checks all constraints.
+class IndexScanCursor : public RowCursor {
+ public:
+  IndexScanCursor(relational::Table* table,
+                  relational::Table::IndexIterator it, ScanSpec spec)
+      : table_(table), it_(std::move(it)), spec_(std::move(spec)) {}
+
+  Result<bool> Next(Row* row) override {
+    while (it_.Valid()) {
+      relational::Rid rid = it_.rid();
+      ODH_RETURN_IF_ERROR(it_.Next());
+      Row candidate;
+      if (spec_.projection.empty()) {
+        ODH_ASSIGN_OR_RETURN(candidate, table_->Get(rid));
+      } else {
+        ODH_ASSIGN_OR_RETURN(candidate,
+                             table_->GetColumns(rid, fetch_columns_));
+      }
+      if (!RowSatisfies(candidate, spec_.constraints)) continue;
+      *row = std::move(candidate);
+      return true;
+    }
+    return false;
+  }
+
+  /// Columns that must be decoded: the projection plus constraint columns.
+  void InitFetchColumns() {
+    std::set<int> cols(spec_.projection.begin(), spec_.projection.end());
+    for (const auto& c : spec_.constraints) cols.insert(c.column);
+    fetch_columns_.assign(cols.begin(), cols.end());
+  }
+
+ private:
+  relational::Table* table_;
+  relational::Table::IndexIterator it_;
+  ScanSpec spec_;
+  std::vector<int> fetch_columns_;
+};
+
+/// Filtered sequential scan.
+class FullScanCursor : public RowCursor {
+ public:
+  FullScanCursor(relational::Table* table, ScanSpec spec)
+      : it_(table->NewIterator()), spec_(std::move(spec)) {}
+
+  Status Init() { return it_.SeekToFirst(); }
+
+  Result<bool> Next(Row* row) override {
+    while (it_.Valid()) {
+      ODH_ASSIGN_OR_RETURN(Row candidate, it_.row());
+      ODH_RETURN_IF_ERROR(it_.Next());
+      if (!RowSatisfies(candidate, spec_.constraints)) continue;
+      *row = std::move(candidate);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  relational::Table::Iterator it_;
+  ScanSpec spec_;
+};
+
+}  // namespace
+
+bool RowSatisfies(const Row& row,
+                  const std::vector<ColumnConstraint>& constraints) {
+  for (const auto& c : constraints) {
+    if (c.column < 0 || c.column >= static_cast<int>(row.size())) {
+      return false;
+    }
+    if (!DatumSatisfies(row[c.column], c)) return false;
+  }
+  return true;
+}
+
+Result<std::unique_ptr<RowCursor>> RelationalTableProvider::Scan(
+    const ScanSpec& spec) {
+  // Access path: prefer an equality constraint on an indexed leading
+  // column, then a range constraint on one.
+  int best_index = -1;
+  const ColumnConstraint* best_constraint = nullptr;
+  bool best_is_eq = false;
+  for (const auto& c : spec.constraints) {
+    int index_no = table_->FindIndexOnColumn(c.column);
+    if (index_no < 0) continue;
+    bool is_eq = c.equals.has_value();
+    bool is_range = c.lower.has_value() || c.upper.has_value();
+    if (!is_eq && !is_range) continue;
+    if (best_index < 0 || (is_eq && !best_is_eq)) {
+      best_index = index_no;
+      best_constraint = &c;
+      best_is_eq = is_eq;
+    }
+  }
+  if (best_index >= 0) {
+    std::string lower_key, upper_key;
+    if (best_constraint->equals.has_value()) {
+      lower_key = EncodeKey({*best_constraint->equals});
+      upper_key = lower_key;
+    } else {
+      if (best_constraint->lower.has_value()) {
+        lower_key = EncodeKey({best_constraint->lower->value});
+        // Exclusive bounds are widened here and re-filtered per row.
+      }
+      if (best_constraint->upper.has_value()) {
+        upper_key = EncodeKey({best_constraint->upper->value});
+      }
+    }
+    ODH_ASSIGN_OR_RETURN(relational::Table::IndexIterator it,
+                         table_->IndexScan(best_index, lower_key, upper_key));
+    auto cursor = std::make_unique<IndexScanCursor>(table_, std::move(it),
+                                                    spec);
+    cursor->InitFetchColumns();
+    return std::unique_ptr<RowCursor>(std::move(cursor));
+  }
+  auto cursor = std::make_unique<FullScanCursor>(table_, spec);
+  ODH_RETURN_IF_ERROR(cursor->Init());
+  return std::unique_ptr<RowCursor>(std::move(cursor));
+}
+
+Status RelationalTableProvider::Analyze() {
+  const size_t n = table_->schema().num_columns();
+  stats_ = TableStats();
+  stats_.columns.resize(n);
+  std::vector<std::set<std::string>> distinct(n);
+  std::vector<int64_t> nulls(n, 0);
+  auto it = table_->NewIterator();
+  ODH_RETURN_IF_ERROR(it.SeekToFirst());
+  while (it.Valid()) {
+    ODH_ASSIGN_OR_RETURN(Row row, it.row());
+    ++stats_.row_count;
+    for (size_t i = 0; i < n; ++i) {
+      if (row[i].is_null()) {
+        ++nulls[i];
+        continue;
+      }
+      ColumnStats& cs = stats_.columns[i];
+      if (row[i].is_numeric() || row[i].is_timestamp()) {
+        double v = row[i].AsDouble();
+        if (!cs.valid || v < cs.min) cs.min = v;
+        if (!cs.valid || v > cs.max) cs.max = v;
+        cs.valid = true;
+      } else {
+        cs.valid = true;
+      }
+      // Cap the distinct tracker; beyond the cap we extrapolate.
+      if (distinct[i].size() < 10000) {
+        distinct[i].insert(row[i].ToString());
+      }
+    }
+    ODH_RETURN_IF_ERROR(it.Next());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    stats_.columns[i].distinct = static_cast<int64_t>(distinct[i].size());
+    stats_.columns[i].null_fraction =
+        stats_.row_count > 0
+            ? static_cast<double>(nulls[i]) / stats_.row_count
+            : 0;
+  }
+  stats_.valid = true;
+  return Status::OK();
+}
+
+double RelationalTableProvider::Selectivity(
+    const ColumnConstraint& c) const {
+  const ColumnStats* cs = nullptr;
+  if (stats_.valid && c.column >= 0 &&
+      c.column < static_cast<int>(stats_.columns.size()) &&
+      stats_.columns[c.column].valid) {
+    cs = &stats_.columns[c.column];
+  }
+  if (c.equals.has_value()) {
+    if (cs != nullptr && cs->distinct > 0) return 1.0 / cs->distinct;
+    return 0.01;
+  }
+  if (c.lower.has_value() || c.upper.has_value()) {
+    if (cs != nullptr && cs->max > cs->min) {
+      double lo = c.lower.has_value() && c.lower->value.is_numeric()
+                      ? c.lower->value.AsDouble()
+                      : (c.lower.has_value() && c.lower->value.is_timestamp()
+                             ? c.lower->value.AsDouble()
+                             : cs->min);
+      double hi = c.upper.has_value() && c.upper->value.is_numeric()
+                      ? c.upper->value.AsDouble()
+                      : (c.upper.has_value() && c.upper->value.is_timestamp()
+                             ? c.upper->value.AsDouble()
+                             : cs->max);
+      lo = std::max(lo, cs->min);
+      hi = std::min(hi, cs->max);
+      if (hi <= lo) return 1.0 / std::max<int64_t>(stats_.row_count, 1);
+      return (hi - lo) / (cs->max - cs->min);
+    }
+    return 0.1;
+  }
+  return 1.0;
+}
+
+ScanEstimate RelationalTableProvider::Estimate(const ScanSpec& spec) const {
+  ScanEstimate est;
+  double rows = stats_.valid ? static_cast<double>(stats_.row_count)
+                             : static_cast<double>(table_->row_count());
+  double total_bytes = static_cast<double>(table_->ApproxHeapBytes());
+  double avg_row_bytes =
+      table_->row_count() > 0 ? total_bytes / table_->row_count() : 64.0;
+  double selectivity = 1.0;
+  bool indexed_path = false;
+  for (const auto& c : spec.constraints) {
+    double s = Selectivity(c);
+    selectivity *= s;
+    if (table_->FindIndexOnColumn(c.column) >= 0 &&
+        (c.equals.has_value() || c.lower.has_value() ||
+         c.upper.has_value())) {
+      indexed_path = true;
+    }
+  }
+  est.rows = rows * selectivity;
+  est.bytes = indexed_path
+                  ? est.rows * avg_row_bytes + 64.0  // Probe + matching rows.
+                  : std::max(total_bytes, rows * avg_row_bytes);
+  return est;
+}
+
+}  // namespace odh::sql

@@ -1,0 +1,69 @@
+#ifndef ODH_SQL_RELATIONAL_PROVIDER_H_
+#define ODH_SQL_RELATIONAL_PROVIDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/table.h"
+#include "sql/table_provider.h"
+
+namespace odh::sql {
+
+/// Per-column statistics used for selectivity estimation (collected by
+/// Analyze(), an ANALYZE-style full scan).
+struct ColumnStats {
+  bool valid = false;
+  double min = 0;
+  double max = 0;
+  int64_t distinct = 0;     // Approximate.
+  double null_fraction = 0;
+};
+
+struct TableStats {
+  bool valid = false;
+  int64_t row_count = 0;
+  std::vector<ColumnStats> columns;
+};
+
+/// TableProvider over a heap table with secondary indexes. Access path
+/// selection: an equality or range constraint on the leading column of an
+/// index becomes an index range scan; anything else is a filtered full scan.
+class RelationalTableProvider : public TableProvider {
+ public:
+  explicit RelationalTableProvider(relational::Table* table)
+      : table_(table) {}
+
+  const std::string& name() const override { return table_->name(); }
+  const relational::Schema& schema() const override {
+    return table_->schema();
+  }
+
+  Result<std::unique_ptr<RowCursor>> Scan(const ScanSpec& spec) override;
+  ScanEstimate Estimate(const ScanSpec& spec) const override;
+  bool SupportsPointLookup(int column) const override {
+    return table_->FindIndexOnColumn(column) >= 0;
+  }
+  RelationalTableProvider* AsRelational() override { return this; }
+
+  /// Scans the table once to collect per-column min/max/distinct stats.
+  Status Analyze();
+  const TableStats& stats() const { return stats_; }
+
+  relational::Table* table() const { return table_; }
+
+ private:
+  /// Selectivity of one pushed-down constraint under the current stats.
+  double Selectivity(const ColumnConstraint& constraint) const;
+
+  relational::Table* table_;
+  TableStats stats_;
+};
+
+/// Evaluates pushed-down constraints against a row (shared by providers).
+bool RowSatisfies(const Row& row,
+                  const std::vector<ColumnConstraint>& constraints);
+
+}  // namespace odh::sql
+
+#endif  // ODH_SQL_RELATIONAL_PROVIDER_H_

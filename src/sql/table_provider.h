@@ -1,0 +1,88 @@
+#ifndef ODH_SQL_TABLE_PROVIDER_H_
+#define ODH_SQL_TABLE_PROVIDER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/schema.h"
+
+namespace odh::sql {
+
+/// An inclusive/exclusive endpoint for a range constraint.
+struct Bound {
+  Datum value;
+  bool inclusive = true;
+};
+
+/// A conjunction of simple predicates on one column, pushed down to a
+/// provider: `equals` wins over range bounds when set.
+struct ColumnConstraint {
+  int column = -1;
+  std::optional<Datum> equals;
+  std::optional<Bound> lower;
+  std::optional<Bound> upper;
+};
+
+/// What a scan must produce. Providers must apply all constraints exactly.
+/// `projection` (ascending column positions; empty = all) is advisory:
+/// providers return full-width rows but may leave unprojected columns NULL,
+/// which is where ODH's tag-oriented blob decoding saves work.
+struct ScanSpec {
+  std::vector<ColumnConstraint> constraints;
+  std::vector<int> projection;
+
+  const ColumnConstraint* FindColumn(int column) const {
+    for (const auto& c : constraints) {
+      if (c.column == column) return &c;
+    }
+    return nullptr;
+  }
+};
+
+/// Pull-based row stream.
+class RowCursor {
+ public:
+  virtual ~RowCursor() = default;
+  /// Produces the next row into *row; returns false at end of stream.
+  virtual Result<bool> Next(Row* row) = 0;
+};
+
+/// Cost/cardinality estimates a provider reports for a prospective scan.
+/// `bytes` approximates the I/O the paper's cost model charges (expected
+/// size of the ValueBlobs / heap pages that must be accessed).
+struct ScanEstimate {
+  double rows = 0;
+  double bytes = 0;
+};
+
+/// The reproduction's analogue of the Informix Virtual Table Interface:
+/// anything that exposes a relational schema, can scan with pushed-down
+/// constraints, and can estimate scan cost. Plain relational tables and
+/// ODH virtual tables both implement it, which is exactly how the paper
+/// fuses operational and relational data under one SQL engine.
+class TableProvider {
+ public:
+  virtual ~TableProvider() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual const relational::Schema& schema() const = 0;
+
+  virtual Result<std::unique_ptr<RowCursor>> Scan(const ScanSpec& spec) = 0;
+
+  virtual ScanEstimate Estimate(const ScanSpec& spec) const = 0;
+
+  /// True if an eq-constraint on `column` can be served better than a full
+  /// scan (an index exists / the column keys a batch structure). The
+  /// planner uses this to consider index-nested-loop joins.
+  virtual bool SupportsPointLookup(int column) const = 0;
+
+  /// RTTI-free downcast hook; overridden by RelationalTableProvider.
+  virtual class RelationalTableProvider* AsRelational() { return nullptr; }
+};
+
+}  // namespace odh::sql
+
+#endif  // ODH_SQL_TABLE_PROVIDER_H_

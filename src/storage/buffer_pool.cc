@@ -1,0 +1,184 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace odh::storage {
+
+PageRef::PageRef(BufferPool* pool, int32_t frame)
+    : pool_(pool), frame_(frame) {}
+
+PageRef::~PageRef() { Release(); }
+
+PageRef::PageRef(PageRef&& other) noexcept
+    : pool_(other.pool_), frame_(other.frame_) {
+  other.pool_ = nullptr;
+  other.frame_ = -1;
+}
+
+PageRef& PageRef::operator=(PageRef&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    other.pool_ = nullptr;
+    other.frame_ = -1;
+  }
+  return *this;
+}
+
+char* PageRef::data() {
+  ODH_CHECK(valid());
+  return pool_->FrameData(frame_);
+}
+
+const char* PageRef::data() const {
+  ODH_CHECK(valid());
+  return pool_->FrameData(frame_);
+}
+
+FileId PageRef::file() const { return pool_->FrameAt(frame_).file; }
+PageNo PageRef::page_no() const { return pool_->FrameAt(frame_).page; }
+
+void PageRef::MarkDirty() {
+  ODH_CHECK(valid());
+  pool_->SetDirty(frame_);
+}
+
+void PageRef::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    frame_ = -1;
+  }
+}
+
+BufferPool::BufferPool(SimDisk* disk, size_t capacity_pages) : disk_(disk) {
+  ODH_CHECK(capacity_pages > 0);
+  frames_.resize(capacity_pages);
+  free_frames_.reserve(capacity_pages);
+  for (size_t i = 0; i < capacity_pages; ++i) {
+    frames_[i].data = std::make_unique<char[]>(disk_->page_size());
+    free_frames_.push_back(static_cast<int32_t>(capacity_pages - 1 - i));
+  }
+}
+
+BufferPool::~BufferPool() { (void)FlushAll(); }
+
+void BufferPool::Pin(int32_t frame) {
+  Frame& f = frames_[frame];
+  if (f.pins == 0 && f.in_lru) {
+    lru_.erase(f.lru_pos);
+    f.in_lru = false;
+  }
+  ++f.pins;
+}
+
+void BufferPool::Unpin(int32_t frame) {
+  Frame& f = frames_[frame];
+  ODH_CHECK(f.pins > 0);
+  --f.pins;
+  if (f.pins == 0) {
+    lru_.push_front(frame);
+    f.lru_pos = lru_.begin();
+    f.in_lru = true;
+  }
+}
+
+Status BufferPool::WriteBack(int32_t frame) {
+  Frame& f = frames_[frame];
+  if (f.dirty) {
+    ODH_RETURN_IF_ERROR(disk_->WritePage(f.file, f.page, f.data.get()));
+    f.dirty = false;
+  }
+  return Status::OK();
+}
+
+Result<int32_t> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    int32_t frame = free_frames_.back();
+    free_frames_.pop_back();
+    return frame;
+  }
+  if (lru_.empty()) {
+    return Status::ResourceExhausted("buffer pool: all frames pinned");
+  }
+  int32_t victim = lru_.back();
+  lru_.pop_back();
+  Frame& f = frames_[victim];
+  f.in_lru = false;
+  ODH_RETURN_IF_ERROR(WriteBack(victim));
+  page_table_.erase({f.file, f.page});
+  f.in_use = false;
+  return victim;
+}
+
+Result<PageRef> BufferPool::FetchPage(FileId file, PageNo page) {
+  auto it = page_table_.find({file, page});
+  if (it != page_table_.end()) {
+    ++hits_;
+    Pin(it->second);
+    return PageRef(this, it->second);
+  }
+  ++misses_;
+  ODH_ASSIGN_OR_RETURN(int32_t frame, GetVictimFrame());
+  Frame& f = frames_[frame];
+  ODH_RETURN_IF_ERROR(disk_->ReadPage(file, page, f.data.get()));
+  f.file = file;
+  f.page = page;
+  f.in_use = true;
+  f.dirty = false;
+  f.pins = 0;
+  f.in_lru = false;
+  page_table_[{file, page}] = frame;
+  Pin(frame);
+  return PageRef(this, frame);
+}
+
+Result<PageRef> BufferPool::NewPage(FileId file, PageNo* page_no) {
+  ODH_ASSIGN_OR_RETURN(PageNo page, disk_->AllocatePage(file));
+  *page_no = page;
+  ODH_ASSIGN_OR_RETURN(int32_t frame, GetVictimFrame());
+  Frame& f = frames_[frame];
+  std::memset(f.data.get(), 0, disk_->page_size());
+  f.file = file;
+  f.page = page;
+  f.in_use = true;
+  f.dirty = true;
+  f.pins = 0;
+  f.in_lru = false;
+  page_table_[{file, page}] = frame;
+  Pin(frame);
+  return PageRef(this, frame);
+}
+
+Status BufferPool::InvalidateFile(FileId file) {
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    if (!f.in_use || f.file != file) continue;
+    if (f.pins > 0) {
+      return Status::FailedPrecondition("page of dropped file is pinned");
+    }
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    page_table_.erase({f.file, f.page});
+    f.in_use = false;
+    f.dirty = false;
+    free_frames_.push_back(static_cast<int32_t>(i));
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (frames_[i].in_use) {
+      ODH_RETURN_IF_ERROR(WriteBack(static_cast<int32_t>(i)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace odh::storage

@@ -1,0 +1,110 @@
+#ifndef ODH_STORAGE_BUFFER_POOL_H_
+#define ODH_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/sim_disk.h"
+
+namespace odh::storage {
+
+class BufferPool;
+
+/// RAII pin on a buffered page. While alive, the frame cannot be evicted.
+/// Call MarkDirty() after mutating data().
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(BufferPool* pool, int32_t frame);
+  ~PageRef();
+
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  PageRef(PageRef&& other) noexcept;
+  PageRef& operator=(PageRef&& other) noexcept;
+
+  bool valid() const { return pool_ != nullptr; }
+  char* data();
+  const char* data() const;
+  FileId file() const;
+  PageNo page_no() const;
+  void MarkDirty();
+
+  /// Releases the pin early (also done by the destructor).
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  int32_t frame_ = -1;
+};
+
+/// A fixed-capacity LRU page cache over a SimDisk. Mirrors the role of the
+/// Informix buffer pools the paper's AMI case study credits for most of the
+/// machine's memory use. Single-threaded (externally synchronized).
+class BufferPool {
+ public:
+  /// `capacity_pages` frames of disk->page_size() bytes each.
+  BufferPool(SimDisk* disk, size_t capacity_pages);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins (and if needed reads) page `page` of `file`.
+  Result<PageRef> FetchPage(FileId file, PageNo page);
+
+  /// Allocates a new page on disk and returns it pinned (zeroed, dirty).
+  Result<PageRef> NewPage(FileId file, PageNo* page_no);
+
+  /// Writes back all dirty frames.
+  Status FlushAll();
+
+  /// Drops every cached page of `file` without writing back (the file is
+  /// being deleted). Fails if any of its pages is pinned.
+  Status InvalidateFile(FileId file);
+
+  size_t capacity() const { return frames_.size(); }
+  uint64_t hit_count() const { return hits_; }
+  uint64_t miss_count() const { return misses_; }
+  SimDisk* disk() const { return disk_; }
+
+ private:
+  friend class PageRef;
+
+  struct Frame {
+    FileId file = 0;
+    PageNo page = 0;
+    bool in_use = false;
+    bool dirty = false;
+    int pins = 0;
+    std::unique_ptr<char[]> data;
+    std::list<int32_t>::iterator lru_pos;  // Valid iff pins == 0 && in_use.
+    bool in_lru = false;
+  };
+
+  void Pin(int32_t frame);
+  void Unpin(int32_t frame);
+  void SetDirty(int32_t frame) { frames_[frame].dirty = true; }
+  char* FrameData(int32_t frame) { return frames_[frame].data.get(); }
+  const Frame& FrameAt(int32_t frame) const { return frames_[frame]; }
+
+  /// Finds a frame to host a new page, evicting if needed.
+  Result<int32_t> GetVictimFrame();
+  Status WriteBack(int32_t frame);
+
+  SimDisk* disk_;
+  std::vector<Frame> frames_;
+  std::map<std::pair<FileId, PageNo>, int32_t> page_table_;
+  std::list<int32_t> lru_;        // Front = most recent; only unpinned frames.
+  std::vector<int32_t> free_frames_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace odh::storage
+
+#endif  // ODH_STORAGE_BUFFER_POOL_H_

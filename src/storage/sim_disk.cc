@@ -1,0 +1,102 @@
+#include "storage/sim_disk.h"
+
+#include <cstring>
+
+namespace odh::storage {
+
+Result<FileId> SimDisk::CreateFile(const std::string& name) {
+  if (by_name_.count(name) > 0) {
+    return Status::AlreadyExists("file exists: " + name);
+  }
+  auto file = std::make_unique<File>();
+  file->name = name;
+  files_.push_back(std::move(file));
+  FileId id = static_cast<FileId>(files_.size() - 1);
+  by_name_[name] = id;
+  return id;
+}
+
+Result<FileId> SimDisk::OpenFile(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return Status::NotFound("no such file: " + name);
+  return it->second;
+}
+
+Status SimDisk::DeleteFile(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return Status::NotFound("no such file: " + name);
+  File* f = files_[it->second].get();
+  f->pages.clear();
+  f->deleted = true;
+  by_name_.erase(it);
+  return Status::OK();
+}
+
+const SimDisk::File* SimDisk::GetFile(FileId id) const {
+  if (id >= files_.size() || files_[id]->deleted) return nullptr;
+  return files_[id].get();
+}
+
+SimDisk::File* SimDisk::GetFile(FileId id) {
+  if (id >= files_.size() || files_[id]->deleted) return nullptr;
+  return files_[id].get();
+}
+
+Result<PageNo> SimDisk::AllocatePage(FileId file) {
+  File* f = GetFile(file);
+  if (f == nullptr) return Status::NotFound("bad file id");
+  auto page = std::make_unique<char[]>(page_size_);
+  std::memset(page.get(), 0, page_size_);
+  f->pages.push_back(std::move(page));
+  ++stats_.pages_allocated;
+  return static_cast<PageNo>(f->pages.size() - 1);
+}
+
+Status SimDisk::ReadPage(FileId file, PageNo page, char* buf) {
+  File* f = GetFile(file);
+  if (f == nullptr) return Status::NotFound("bad file id");
+  if (page >= f->pages.size()) return Status::OutOfRange("bad page number");
+  std::memcpy(buf, f->pages[page].get(), page_size_);
+  ++stats_.page_reads;
+  stats_.bytes_read += page_size_;
+  return Status::OK();
+}
+
+Status SimDisk::WritePage(FileId file, PageNo page, const char* buf) {
+  File* f = GetFile(file);
+  if (f == nullptr) return Status::NotFound("bad file id");
+  if (page >= f->pages.size()) return Status::OutOfRange("bad page number");
+  std::memcpy(f->pages[page].get(), buf, page_size_);
+  ++stats_.page_writes;
+  stats_.bytes_written += page_size_;
+  return Status::OK();
+}
+
+Result<uint32_t> SimDisk::PageCount(FileId file) const {
+  const File* f = GetFile(file);
+  if (f == nullptr) return Status::NotFound("bad file id");
+  return static_cast<uint32_t>(f->pages.size());
+}
+
+uint64_t SimDisk::TotalBytesStored() const {
+  uint64_t total = 0;
+  for (const auto& f : files_) {
+    if (!f->deleted) total += f->pages.size() * page_size_;
+  }
+  return total;
+}
+
+Result<uint64_t> SimDisk::FileBytes(FileId file) const {
+  const File* f = GetFile(file);
+  if (f == nullptr) return Status::NotFound("bad file id");
+  return static_cast<uint64_t>(f->pages.size()) * page_size_;
+}
+
+std::vector<std::string> SimDisk::ListFiles() const {
+  std::vector<std::string> names;
+  names.reserve(by_name_.size());
+  for (const auto& [name, id] : by_name_) names.push_back(name);
+  return names;
+}
+
+}  // namespace odh::storage

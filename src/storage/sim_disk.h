@@ -1,0 +1,98 @@
+#ifndef ODH_STORAGE_SIM_DISK_H_
+#define ODH_STORAGE_SIM_DISK_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace odh::storage {
+
+using FileId = uint32_t;
+using PageNo = uint32_t;
+
+/// Aggregate I/O counters. The benchmark harness reads these to report the
+/// paper's "Avg IO Throughput (bytes/s)", "Total MB written" and storage
+/// size columns.
+struct IoStats {
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t pages_allocated = 0;
+};
+
+/// An in-memory paged "disk": the substitute for the paper's V7000/XIV SAN
+/// volumes (see DESIGN.md). Pages are fixed-size; every read/write/allocate
+/// is accounted in IoStats so experiments can report I/O volume and storage
+/// footprint deterministically.
+///
+/// Thread-compatible: callers synchronize externally (the reproduction
+/// drives workloads single-threaded and models CPU load analytically).
+class SimDisk {
+ public:
+  static constexpr size_t kDefaultPageSize = 4096;
+
+  explicit SimDisk(size_t page_size = kDefaultPageSize)
+      : page_size_(page_size) {}
+
+  SimDisk(const SimDisk&) = delete;
+  SimDisk& operator=(const SimDisk&) = delete;
+
+  size_t page_size() const { return page_size_; }
+
+  /// Creates an empty file. Fails with AlreadyExists on name reuse.
+  Result<FileId> CreateFile(const std::string& name);
+
+  /// Opens an existing file by name.
+  Result<FileId> OpenFile(const std::string& name) const;
+
+  /// Removes a file and releases its pages (storage size shrinks).
+  Status DeleteFile(const std::string& name);
+
+  /// Appends a zeroed page to the file and returns its page number.
+  Result<PageNo> AllocatePage(FileId file);
+
+  /// Copies a page into `buf` (page_size() bytes).
+  Status ReadPage(FileId file, PageNo page, char* buf);
+
+  /// Copies `buf` (page_size() bytes) into the page.
+  Status WritePage(FileId file, PageNo page, const char* buf);
+
+  /// Number of pages currently allocated to `file`.
+  Result<uint32_t> PageCount(FileId file) const;
+
+  /// Total bytes occupied across all files (the storage-size metric).
+  uint64_t TotalBytesStored() const;
+
+  /// Bytes occupied by one file.
+  Result<uint64_t> FileBytes(FileId file) const;
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IoStats(); }
+
+  std::vector<std::string> ListFiles() const;
+
+ private:
+  struct File {
+    std::string name;
+    std::vector<std::unique_ptr<char[]>> pages;
+    bool deleted = false;
+  };
+
+  const File* GetFile(FileId id) const;
+  File* GetFile(FileId id);
+
+  size_t page_size_;
+  std::vector<std::unique_ptr<File>> files_;
+  std::map<std::string, FileId> by_name_;
+  IoStats stats_;
+};
+
+}  // namespace odh::storage
+
+#endif  // ODH_STORAGE_SIM_DISK_H_

@@ -1,0 +1,136 @@
+#include "benchfw/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "benchfw/runner.h"
+#include "benchfw/ld_generator.h"
+#include "benchfw/td_generator.h"
+#include "common/logging.h"
+
+namespace odh::benchfw {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  CsvTest() {
+    path_ = ::testing::TempDir() + "/odh_csv_test_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".csv";
+  }
+  ~CsvTest() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TdConfig SmallTd() {
+  TdConfig config;
+  config.num_accounts = 10;
+  config.per_account_hz = 20;
+  config.duration_seconds = 2;
+  return config;
+}
+
+TEST_F(CsvTest, RoundTripPreservesEveryRecord) {
+  TdGenerator original(SmallTd());
+  ASSERT_TRUE(WriteCsv(&original, path_).ok());
+
+  auto csv = CsvRecordStream::Open(path_, StreamInfo{});
+  ASSERT_TRUE(csv.ok()) << csv.status().ToString();
+  EXPECT_EQ((*csv)->info().expected_records,
+            original.info().expected_records);
+  EXPECT_EQ((*csv)->info().num_sources, original.info().num_sources);
+  EXPECT_EQ((*csv)->info().tag_names, original.info().tag_names);
+
+  original.Reset();
+  core::OperationalRecord a, b;
+  int64_t count = 0;
+  while (original.Next(&a)) {
+    ASSERT_TRUE((*csv)->Next(&b)) << count;
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.ts, b.ts);
+    ASSERT_EQ(a.tags.size(), b.tags.size());
+    for (size_t t = 0; t < a.tags.size(); ++t) {
+      EXPECT_DOUBLE_EQ(a.tags[t], b.tags[t]);
+    }
+    ++count;
+  }
+  EXPECT_FALSE((*csv)->Next(&b));
+  EXPECT_EQ(count, original.info().expected_records);
+}
+
+TEST_F(CsvTest, MissingTagsRoundTripAsNaN) {
+  LdConfig config;
+  config.num_sensors = 5;
+  config.mean_interval = kMicrosPerSecond;
+  config.duration_seconds = 10;
+  LdGenerator original(config);
+  ASSERT_TRUE(WriteCsv(&original, path_).ok());
+  auto csv = CsvRecordStream::Open(path_, StreamInfo{});
+  ASSERT_TRUE(csv.ok());
+  original.Reset();
+  core::OperationalRecord a, b;
+  bool saw_nan = false;
+  while (original.Next(&a)) {
+    ASSERT_TRUE((*csv)->Next(&b));
+    for (size_t t = 0; t < a.tags.size(); ++t) {
+      EXPECT_EQ(std::isnan(a.tags[t]), std::isnan(b.tags[t]));
+      if (std::isnan(b.tags[t])) saw_nan = true;
+    }
+  }
+  EXPECT_TRUE(saw_nan);
+}
+
+TEST_F(CsvTest, ResetRestartsTheStream) {
+  TdGenerator original(SmallTd());
+  ASSERT_TRUE(WriteCsv(&original, path_).ok());
+  auto csv = CsvRecordStream::Open(path_, StreamInfo{}).value();
+  core::OperationalRecord first, again;
+  ASSERT_TRUE(csv->Next(&first));
+  csv->Reset();
+  ASSERT_TRUE(csv->Next(&again));
+  EXPECT_EQ(first.id, again.id);
+  EXPECT_EQ(first.ts, again.ts);
+}
+
+TEST_F(CsvTest, CsvStreamDrivesIngestLikeTheSimulator) {
+  // The paper's WS1 pipeline: generator -> CSV -> simulator -> system.
+  {
+    TdGenerator original(SmallTd());
+    ASSERT_TRUE(WriteCsv(&original, path_).ok());
+  }
+  StreamInfo info_template;
+  info_template.name = "TD";
+  info_template.sample_interval = 50000;
+  info_template.regular = false;
+  auto csv = CsvRecordStream::Open(path_, info_template).value();
+  OdhTarget target;
+  ODH_CHECK_OK(target.Setup(csv->info()));
+  auto metrics = RunIngest(csv.get(), &target);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->points, 400);  // 10 accounts * 20 Hz * 2 s.
+  auto r = target.odh()->engine()->Execute("SELECT COUNT(*) FROM TD_v");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0], Datum::Int64(400));
+}
+
+TEST_F(CsvTest, OpenRejectsMalformedFiles) {
+  {
+    FILE* f = fopen(path_.c_str(), "w");
+    fputs("not,a,valid,header\n1,2,3,4\n", f);
+    fclose(f);
+  }
+  EXPECT_FALSE(CsvRecordStream::Open(path_, StreamInfo{}).ok());
+  EXPECT_FALSE(CsvRecordStream::Open("/nonexistent/x.csv", StreamInfo{})
+                   .ok());
+  {
+    FILE* f = fopen(path_.c_str(), "w");
+    fputs("id,ts,a\n1,100,2.5\n7,200\n", f);  // Ragged second row.
+    fclose(f);
+  }
+  EXPECT_FALSE(CsvRecordStream::Open(path_, StreamInfo{}).ok());
+}
+
+}  // namespace
+}  // namespace odh::benchfw

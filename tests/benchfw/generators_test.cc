@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "benchfw/ld_generator.h"
+#include "benchfw/td_generator.h"
+
+namespace odh::benchfw {
+namespace {
+
+TEST(TdGeneratorTest, ProducesExpectedVolumeAndShape) {
+  TdConfig config;
+  config.num_accounts = 50;
+  config.per_account_hz = 20;
+  config.duration_seconds = 2;
+  TdGenerator gen(config);
+  EXPECT_EQ(gen.info().expected_records, 2000);  // 50*20*2.
+  EXPECT_DOUBLE_EQ(gen.info().offered_points_per_second, 1000.0);
+
+  core::OperationalRecord record;
+  int64_t count = 0;
+  std::map<SourceId, Timestamp> last_ts;
+  std::map<SourceId, int64_t> per_account;
+  while (gen.Next(&record)) {
+    ASSERT_EQ(record.tags.size(), 4u);
+    for (double v : record.tags) EXPECT_FALSE(std::isnan(v));
+    EXPECT_GT(record.tags[0], 0);  // Price positive.
+    // Per-source timestamps non-decreasing (writer requirement).
+    auto it = last_ts.find(record.id);
+    if (it != last_ts.end()) EXPECT_GE(record.ts, it->second);
+    last_ts[record.id] = record.ts;
+    ++per_account[record.id];
+    ++count;
+  }
+  EXPECT_EQ(count, 2000);
+  EXPECT_EQ(per_account.size(), 50u);
+  for (const auto& [id, n] : per_account) EXPECT_EQ(n, 40) << id;
+}
+
+TEST(TdGeneratorTest, TimestampsAreIrregular) {
+  TdGenerator gen(TdConfig::Of(1, 1, /*account_unit=*/10,
+                               /*duration_seconds=*/2));
+  core::OperationalRecord record;
+  std::vector<Timestamp> ts_of_first;
+  while (gen.Next(&record)) {
+    if (record.id == gen.info().first_source_id) {
+      ts_of_first.push_back(record.ts);
+    }
+  }
+  ASSERT_GT(ts_of_first.size(), 3u);
+  std::set<Timestamp> deltas;
+  for (size_t i = 1; i < ts_of_first.size(); ++i) {
+    deltas.insert(ts_of_first[i] - ts_of_first[i - 1]);
+  }
+  EXPECT_GT(deltas.size(), 1u);  // Jitter means varying intervals.
+}
+
+TEST(TdGeneratorTest, ResetReproducesIdenticalStream) {
+  TdGenerator gen(TdConfig::Of(1, 1, 10, 1));
+  core::OperationalRecord a, b;
+  std::vector<std::pair<SourceId, Timestamp>> first_run;
+  while (gen.Next(&a)) first_run.emplace_back(a.id, a.ts);
+  gen.Reset();
+  size_t i = 0;
+  while (gen.Next(&b)) {
+    ASSERT_LT(i, first_run.size());
+    EXPECT_EQ(first_run[i].first, b.id);
+    EXPECT_EQ(first_run[i].second, b.ts);
+    ++i;
+  }
+  EXPECT_EQ(i, first_run.size());
+}
+
+TEST(TdGeneratorTest, RelationalSideCardinalities) {
+  TdGenerator gen(TdConfig::Of(1, 1, /*account_unit=*/1000, 1));
+  auto customers = gen.Customers();
+  auto accounts = gen.Accounts();
+  EXPECT_EQ(accounts.size(), 1000u);
+  EXPECT_EQ(customers.size(), 200u);  // Paper: 1000 accounts = 200 customers.
+  for (const TdAccount& a : accounts) {
+    EXPECT_GE(a.customer_id, 1);
+    EXPECT_LE(a.customer_id, static_cast<int64_t>(customers.size()));
+  }
+}
+
+TEST(LdGeneratorTest, SparseSchemaAndVolume) {
+  LdConfig config;
+  config.num_sensors = 100;
+  config.mean_interval = 10 * kMicrosPerSecond;
+  config.duration_seconds = 50;
+  LdGenerator gen(config);
+  EXPECT_EQ(gen.info().expected_records, 500);  // 100 sensors / 10s * 50s.
+  EXPECT_EQ(gen.info().tag_names.size(), 17u);
+
+  core::OperationalRecord record;
+  int64_t present = 0, total = 0;
+  std::map<SourceId, Timestamp> last_ts;
+  while (gen.Next(&record)) {
+    ASSERT_EQ(record.tags.size(), 17u);
+    // First 4 attributes always measured.
+    for (int t = 0; t < 4; ++t) EXPECT_FALSE(std::isnan(record.tags[t]));
+    for (double v : record.tags) {
+      ++total;
+      if (!std::isnan(v)) ++present;
+    }
+    auto it = last_ts.find(record.id);
+    if (it != last_ts.end()) EXPECT_GE(record.ts, it->second);
+    last_ts[record.id] = record.ts;
+  }
+  // Sparsity: roughly 4 + 40% of 13 ~ 9 of 17 present.
+  double fraction = static_cast<double>(present) / total;
+  EXPECT_GT(fraction, 0.3);
+  EXPECT_LT(fraction, 0.8);
+}
+
+TEST(LdGeneratorTest, SensorAttributeSubsetIsStable) {
+  LdGenerator gen(LdConfig::Of(1, /*sensor_unit=*/10, 1));
+  for (SourceId id = 1; id <= 10; ++id) {
+    for (int t = 0; t < 17; ++t) {
+      EXPECT_EQ(gen.SensorMeasures(id, t), gen.SensorMeasures(id, t));
+    }
+  }
+}
+
+TEST(LdGeneratorTest, ValuesAreSmoothPerSensor) {
+  // Smoothness is what makes the paper's linear compression effective:
+  // consecutive readings of one sensor differ much less than the range.
+  LdConfig config;
+  config.num_sensors = 1;
+  config.mean_interval = 10 * kMicrosPerSecond;
+  config.duration_seconds = 1000;
+  LdGenerator gen(config);
+  core::OperationalRecord record;
+  std::vector<double> temps;
+  while (gen.Next(&record)) temps.push_back(record.tags[1]);
+  ASSERT_GT(temps.size(), 50u);
+  double min = temps[0], max = temps[0], step_sum = 0;
+  for (size_t i = 1; i < temps.size(); ++i) {
+    min = std::min(min, temps[i]);
+    max = std::max(max, temps[i]);
+    step_sum += std::fabs(temps[i] - temps[i - 1]);
+  }
+  double mean_step = step_sum / (temps.size() - 1);
+  EXPECT_LT(mean_step, (max - min) * 0.2);
+}
+
+TEST(LdGeneratorTest, RelationalSideMatchesSensorCount) {
+  LdGenerator gen(LdConfig::Of(1, 50, 1));
+  auto sensors = gen.Sensors();
+  EXPECT_EQ(sensors.size(), 50u);
+  for (const LdSensor& s : sensors) {
+    EXPECT_GE(s.latitude, 25.0);
+    EXPECT_LE(s.latitude, 50.0);
+    EXPECT_GE(s.longitude, -125.0);
+    EXPECT_LE(s.longitude, -65.0);
+    EXPECT_EQ(s.name, "A" + std::to_string(s.id));
+  }
+}
+
+TEST(LdGeneratorTest, TagCountConfigurable) {
+  LdConfig config;
+  config.num_sensors = 5;
+  config.num_tags = 3;
+  config.duration_seconds = 60;
+  LdGenerator gen(config);
+  core::OperationalRecord record;
+  ASSERT_TRUE(gen.Next(&record));
+  EXPECT_EQ(record.tags.size(), 3u);
+  EXPECT_EQ(gen.info().tag_names.size(), 3u);
+}
+
+}  // namespace
+}  // namespace odh::benchfw

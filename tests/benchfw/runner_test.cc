@@ -1,0 +1,126 @@
+#include "benchfw/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "benchfw/dataset.h"
+#include "common/logging.h"
+
+namespace odh::benchfw {
+namespace {
+
+TdConfig SmallTd() {
+  TdConfig config;
+  config.num_accounts = 20;
+  config.per_account_hz = 20;
+  config.duration_seconds = 2;
+  return config;
+}
+
+TEST(RunnerTest, IngestIntoOdhTargetProcessesWholeStream) {
+  TdGenerator stream(SmallTd());
+  OdhTarget target;
+  ODH_CHECK_OK(target.Setup(stream.info()));
+  IngestMetrics metrics = RunIngest(&stream, &target).value();
+  EXPECT_EQ(metrics.points, stream.info().expected_records);
+  EXPECT_GT(metrics.Throughput(), 0);
+  EXPECT_GT(metrics.storage_bytes, 0u);
+  EXPECT_GT(metrics.AvgCpuLoad(), 0);
+  EXPECT_GE(metrics.MaxCpuLoad(), metrics.AvgCpuLoad() * 0.1);
+  // The data must actually be queryable afterwards.
+  auto r = target.odh()->engine()->Execute("SELECT COUNT(*) FROM TD_v");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0], Datum::Int64(stream.info().expected_records));
+}
+
+TEST(RunnerTest, IngestIntoRelationalTargets) {
+  TdGenerator stream(SmallTd());
+  RelationalTarget rdb(relational::EngineProfile::Rdb(), 1000);
+  ODH_CHECK_OK(rdb.Setup(stream.info()));
+  IngestMetrics metrics = RunIngest(&stream, &rdb).value();
+  EXPECT_EQ(metrics.points, stream.info().expected_records);
+  EXPECT_EQ(rdb.table()->row_count(), stream.info().expected_records);
+  EXPECT_GT(rdb.StorageBytes(), 0u);
+}
+
+TEST(RunnerTest, OdhStoresSmallerAndFasterThanAutocommitRdb) {
+  TdGenerator stream_a(SmallTd());
+  OdhTarget odh;
+  ODH_CHECK_OK(odh.Setup(stream_a.info()));
+  IngestMetrics odh_metrics = RunIngest(&stream_a, &odh).value();
+
+  TdGenerator stream_b(SmallTd());
+  RelationalTarget rdb(relational::EngineProfile::Rdb(), /*batch_size=*/1);
+  ODH_CHECK_OK(rdb.Setup(stream_b.info()));
+  IngestMetrics rdb_metrics = RunIngest(&stream_b, &rdb).value();
+
+  EXPECT_LT(odh_metrics.storage_bytes, rdb_metrics.storage_bytes);
+  EXPECT_GT(odh_metrics.Throughput(), rdb_metrics.Throughput());
+}
+
+TEST(RunnerTest, WallTimeLimitTruncatesRun) {
+  TdConfig config = SmallTd();
+  config.duration_seconds = 3600;  // Would take a while.
+  TdGenerator stream(config);
+  RelationalTarget mysql(relational::EngineProfile::MySql(), 1);
+  ODH_CHECK_OK(mysql.Setup(stream.info()));
+  IngestRunOptions options;
+  options.wall_time_limit_seconds = 0.2;
+  IngestMetrics metrics = RunIngest(&stream, &mysql, options).value();
+  EXPECT_LT(metrics.points, stream.info().expected_records);
+  EXPECT_GT(metrics.points, 0);
+}
+
+TEST(RunnerTest, QueryWorkloadCountsDataPoints) {
+  TdGenerator stream(SmallTd());
+  OdhTarget target;
+  ODH_CHECK_OK(target.Setup(stream.info()));
+  RunIngest(&stream, &target).value();
+  ODH_CHECK_OK(
+      LoadTdRelational(TdGenerator(SmallTd()), target.odh()->database()));
+
+  QueryMetrics metrics =
+      RunQueryWorkload(target.odh()->engine(), 5, [&](int i) {
+        return "SELECT * FROM TD_v WHERE id = " + std::to_string(1 + i);
+      }).value();
+  EXPECT_EQ(metrics.queries, 5);
+  // Each account traded 40 times with 6 non-NULL columns (id, ts, 4 tags).
+  EXPECT_EQ(metrics.data_points, 5 * 40 * 6);
+  EXPECT_GT(metrics.DataPointsPerSecond(), 0);
+}
+
+TEST(RunnerTest, FusedQueryOverLoadedDatasets) {
+  TdGenerator stream(SmallTd());
+  OdhTarget target;
+  ODH_CHECK_OK(target.Setup(stream.info()));
+  RunIngest(&stream, &target).value();
+  ODH_CHECK_OK(
+      LoadTdRelational(TdGenerator(SmallTd()), target.odh()->database()));
+
+  auto r = target.odh()->engine()->Execute(
+      "SELECT ts, t_chrg FROM TD_v t, account a "
+      "WHERE a.ca_id = t.id AND a.ca_name = 'ACCT3'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), 40u);
+}
+
+TEST(RunnerTest, LdDatasetLoads) {
+  LdConfig config;
+  config.num_sensors = 30;
+  config.mean_interval = 5 * kMicrosPerSecond;
+  config.duration_seconds = 30;
+  LdGenerator stream(config);
+  OdhTarget target;
+  ODH_CHECK_OK(target.Setup(stream.info()));
+  IngestMetrics metrics = RunIngest(&stream, &target).value();
+  EXPECT_EQ(metrics.points, stream.info().expected_records);
+  ODH_CHECK_OK(LoadLdRelational(LdGenerator(config),
+                                target.odh()->database()));
+  auto r = target.odh()->engine()->Execute(
+      "SELECT ts, o.id, airtemperature FROM LD_v o, linkedsensor l "
+      "WHERE l.sensorid = o.id AND sensorname = 'A7'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->rows.size(), 0u);
+}
+
+}  // namespace
+}  // namespace odh::benchfw

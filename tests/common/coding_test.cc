@@ -1,0 +1,153 @@
+#include "common/coding.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace odh {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0);
+  PutFixed32(&buf, 12345);
+  PutFixed32(&buf, UINT32_MAX);
+  ASSERT_EQ(buf.size(), 12u);
+  EXPECT_EQ(DecodeFixed32(buf.data()), 0u);
+  EXPECT_EQ(DecodeFixed32(buf.data() + 4), 12345u);
+  EXPECT_EQ(DecodeFixed32(buf.data() + 8), UINT32_MAX);
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string buf;
+  PutFixed64(&buf, UINT64_MAX);
+  PutFixed64(&buf, 1);
+  EXPECT_EQ(DecodeFixed64(buf.data()), UINT64_MAX);
+  EXPECT_EQ(DecodeFixed64(buf.data() + 8), 1u);
+}
+
+TEST(CodingTest, DoubleRoundTrip) {
+  std::string buf;
+  PutDouble(&buf, 3.14159);
+  PutDouble(&buf, -0.0);
+  EXPECT_DOUBLE_EQ(DecodeDouble(buf.data()), 3.14159);
+  EXPECT_DOUBLE_EQ(DecodeDouble(buf.data() + 8), -0.0);
+}
+
+TEST(CodingTest, Varint64Boundaries) {
+  const uint64_t cases[] = {0,
+                            1,
+                            127,
+                            128,
+                            16383,
+                            16384,
+                            (uint64_t{1} << 32) - 1,
+                            uint64_t{1} << 32,
+                            UINT64_MAX};
+  std::string buf;
+  for (uint64_t v : cases) PutVarint64(&buf, v);
+  Slice in(buf);
+  for (uint64_t expected : cases) {
+    uint64_t got;
+    ASSERT_TRUE(GetVarint64(&in, &got));
+    EXPECT_EQ(got, expected);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, Varint32RejectsOverflow) {
+  std::string buf;
+  PutVarint64(&buf, uint64_t{1} << 40);
+  Slice in(buf);
+  uint32_t v;
+  EXPECT_FALSE(GetVarint32(&in, &v));
+}
+
+TEST(CodingTest, VarintTruncatedFails) {
+  std::string buf;
+  PutVarint64(&buf, UINT64_MAX);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    Slice in(buf.data(), cut);
+    uint64_t v;
+    EXPECT_FALSE(GetVarint64(&in, &v)) << "cut=" << cut;
+  }
+}
+
+TEST(CodingTest, ZigZag) {
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+  const int64_t cases[] = {0, 1, -1, 123456789, -123456789, INT64_MAX,
+                           INT64_MIN};
+  for (int64_t v : cases) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v) << v;
+  }
+}
+
+TEST(CodingTest, SignedVarintRoundTrip) {
+  std::string buf;
+  const int64_t cases[] = {0, -5, 5, INT64_MIN, INT64_MAX, -1000000};
+  for (int64_t v : cases) PutVarintSigned64(&buf, v);
+  Slice in(buf);
+  for (int64_t expected : cases) {
+    int64_t got;
+    ASSERT_TRUE(GetVarintSigned64(&in, &got));
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, Slice("hello"));
+  PutLengthPrefixed(&buf, Slice(""));
+  std::string with_nul("a\0b", 3);
+  PutLengthPrefixed(&buf, Slice(with_nul));
+  Slice in(buf);
+  Slice out;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &out));
+  EXPECT_EQ(out.ToString(), "hello");
+  ASSERT_TRUE(GetLengthPrefixed(&in, &out));
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(GetLengthPrefixed(&in, &out));
+  EXPECT_EQ(out.ToString(), with_nul);
+  EXPECT_FALSE(GetLengthPrefixed(&in, &out));
+}
+
+TEST(CodingTest, LengthPrefixedTruncatedBodyFails) {
+  std::string buf;
+  PutVarint32(&buf, 100);
+  buf += "short";
+  Slice in(buf);
+  Slice out;
+  EXPECT_FALSE(GetLengthPrefixed(&in, &out));
+}
+
+// Property sweep: random values round-trip through varints.
+class VarintPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VarintPropertyTest, RandomRoundTrip) {
+  Random rng(static_cast<uint64_t>(GetParam()));
+  std::string buf;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    // Mix magnitudes so all byte lengths are exercised.
+    int shift = static_cast<int>(rng.Uniform(64));
+    uint64_t v = rng.Next() >> shift;
+    values.push_back(v);
+    PutVarint64(&buf, v);
+  }
+  Slice in(buf);
+  for (uint64_t expected : values) {
+    uint64_t got;
+    ASSERT_TRUE(GetVarint64(&in, &got));
+    ASSERT_EQ(got, expected);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VarintPropertyTest,
+                         ::testing::Values(1, 2, 3, 42, 1337));
+
+}  // namespace
+}  // namespace odh

@@ -1,0 +1,183 @@
+#include "common/key_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace odh {
+namespace {
+
+std::string KeyOfInt(int64_t v) {
+  std::string out;
+  KeyEncoder enc(&out);
+  enc.AddInt64(v);
+  return out;
+}
+
+std::string KeyOfDouble(double v) {
+  std::string out;
+  KeyEncoder enc(&out);
+  enc.AddDouble(v);
+  return out;
+}
+
+std::string KeyOfString(const std::string& v) {
+  std::string out;
+  KeyEncoder enc(&out);
+  enc.AddString(v);
+  return out;
+}
+
+TEST(KeyCodecTest, Int64OrderPreserved) {
+  const int64_t values[] = {INT64_MIN, -1000000, -1, 0, 1, 42, 1000000,
+                            INT64_MAX};
+  for (size_t i = 0; i + 1 < std::size(values); ++i) {
+    EXPECT_LT(KeyOfInt(values[i]), KeyOfInt(values[i + 1]))
+        << values[i] << " vs " << values[i + 1];
+  }
+}
+
+TEST(KeyCodecTest, Int64RoundTrip) {
+  const int64_t values[] = {INT64_MIN, -1, 0, 7, INT64_MAX};
+  for (int64_t v : values) {
+    std::string key = KeyOfInt(v);
+    KeyDecoder dec{Slice(key)};
+    int64_t out;
+    ASSERT_TRUE(dec.ReadInt64(&out));
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(dec.done());
+  }
+}
+
+TEST(KeyCodecTest, DoubleOrderPreserved) {
+  const double values[] = {-1e300, -3.5, -1.0, -0.25, 0.0,
+                           0.25,   1.0,  3.5,  1e300};
+  for (size_t i = 0; i + 1 < std::size(values); ++i) {
+    EXPECT_LT(KeyOfDouble(values[i]), KeyOfDouble(values[i + 1]))
+        << values[i] << " vs " << values[i + 1];
+  }
+}
+
+TEST(KeyCodecTest, DoubleRoundTrip) {
+  const double values[] = {-1e300, -1.5, 0.0, 2.25, 1e300};
+  for (double v : values) {
+    std::string key = KeyOfDouble(v);
+    KeyDecoder dec{Slice(key)};
+    double out;
+    ASSERT_TRUE(dec.ReadDouble(&out));
+    EXPECT_DOUBLE_EQ(out, v);
+  }
+}
+
+TEST(KeyCodecTest, StringOrderPreservedIncludingEmbeddedNul) {
+  std::vector<std::string> values = {"", std::string("\0", 1), "a",
+                                     std::string("a\0b", 3), "ab", "b"};
+  for (size_t i = 0; i + 1 < values.size(); ++i) {
+    EXPECT_LT(KeyOfString(values[i]), KeyOfString(values[i + 1])) << i;
+  }
+}
+
+TEST(KeyCodecTest, StringRoundTrip) {
+  const std::string values[] = {"", "hello", std::string("a\0\0b", 4),
+                                std::string(300, 'x')};
+  for (const std::string& v : values) {
+    std::string key = KeyOfString(v);
+    KeyDecoder dec{Slice(key)};
+    std::string out;
+    ASSERT_TRUE(dec.ReadString(&out));
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(KeyCodecTest, NullOrdersBeforeEverything) {
+  std::string null_key;
+  KeyEncoder enc(&null_key);
+  enc.AddNull();
+  EXPECT_LT(null_key, KeyOfInt(INT64_MIN));
+  EXPECT_LT(null_key, KeyOfString(""));
+}
+
+TEST(KeyCodecTest, CompositeKeyOrdersLexicographically) {
+  auto make = [](int64_t id, int64_t ts) {
+    std::string out;
+    KeyEncoder enc(&out);
+    enc.AddInt64(id);
+    enc.AddInt64(ts);
+    return out;
+  };
+  EXPECT_LT(make(1, 100), make(1, 101));
+  EXPECT_LT(make(1, 999999), make(2, 0));
+  EXPECT_LT(make(-5, 0), make(1, -100));
+}
+
+TEST(KeyCodecTest, DatumRoundTripAllTypes) {
+  std::vector<std::pair<Datum, DataType>> cases = {
+      {Datum::Null(), DataType::kInt64},
+      {Datum::Bool(true), DataType::kBool},
+      {Datum::Int64(-42), DataType::kInt64},
+      {Datum::Double(3.5), DataType::kDouble},
+      {Datum::String("abc"), DataType::kString},
+      {Datum::Time(1700000000000000), DataType::kTimestamp},
+  };
+  for (const auto& [d, type] : cases) {
+    std::string key = EncodeKey({d});
+    KeyDecoder dec{Slice(key)};
+    Datum out;
+    ASSERT_TRUE(dec.ReadDatum(type, &out)) << d.ToString();
+    EXPECT_EQ(out, d) << d.ToString();
+  }
+}
+
+class KeyCodecPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KeyCodecPropertyTest, RandomInt64PairsOrderConsistently) {
+  Random rng(static_cast<uint64_t>(GetParam()));
+  for (int i = 0; i < 2000; ++i) {
+    int64_t a = static_cast<int64_t>(rng.Next());
+    int64_t b = static_cast<int64_t>(rng.Next());
+    std::string ka = KeyOfInt(a), kb = KeyOfInt(b);
+    EXPECT_EQ(a < b, ka < kb);
+    EXPECT_EQ(a == b, ka == kb);
+  }
+}
+
+TEST_P(KeyCodecPropertyTest, RandomDoublePairsOrderConsistently) {
+  Random rng(static_cast<uint64_t>(GetParam()));
+  for (int i = 0; i < 2000; ++i) {
+    double a = rng.UniformDouble(-1e6, 1e6);
+    double b = rng.UniformDouble(-1e6, 1e6);
+    EXPECT_EQ(a < b, KeyOfDouble(a) < KeyOfDouble(b));
+  }
+}
+
+TEST_P(KeyCodecPropertyTest, RandomStringsSortIdentically) {
+  Random rng(static_cast<uint64_t>(GetParam()));
+  std::vector<std::string> raw;
+  for (int i = 0; i < 200; ++i) {
+    std::string s;
+    size_t len = rng.Uniform(12);
+    for (size_t j = 0; j < len; ++j) {
+      s.push_back(static_cast<char>(rng.Uniform(4)));  // Dense in {0,1,2,3}.
+    }
+    raw.push_back(s);
+  }
+  std::vector<std::string> encoded;
+  for (const auto& s : raw) encoded.push_back(KeyOfString(s));
+  std::vector<size_t> order_raw(raw.size()), order_enc(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) order_raw[i] = order_enc[i] = i;
+  std::sort(order_raw.begin(), order_raw.end(),
+            [&](size_t a, size_t b) { return raw[a] < raw[b]; });
+  std::sort(order_enc.begin(), order_enc.end(),
+            [&](size_t a, size_t b) { return encoded[a] < encoded[b]; });
+  for (size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_EQ(raw[order_raw[i]], raw[order_enc[i]]) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KeyCodecPropertyTest,
+                         ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace odh

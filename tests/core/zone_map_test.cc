@@ -1,0 +1,183 @@
+#include "core/zone_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "core/odh.h"
+
+namespace odh::core {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TagFilter Filter(int tag, double min, double max) {
+  TagFilter f;
+  f.tag = tag;
+  f.min = min;
+  f.max = max;
+  return f;
+}
+
+TEST(ZoneMapTest, FromColumnsComputesRanges) {
+  ZoneMap map = ZoneMap::FromColumns({{1.0, 5.0, 3.0}, {kNaN, kNaN, kNaN}});
+  ASSERT_EQ(map.num_tags(), 2);
+  EXPECT_TRUE(map.has_values(0));
+  EXPECT_DOUBLE_EQ(map.min(0), 1.0);
+  EXPECT_DOUBLE_EQ(map.max(0), 5.0);
+  EXPECT_FALSE(map.has_values(1));
+}
+
+TEST(ZoneMapTest, FromRecordsMatchesFromColumns) {
+  std::vector<OperationalRecord> records = {{1, 0, {2.0, kNaN}},
+                                            {2, 1, {7.0, -1.0}}};
+  ZoneMap map = ZoneMap::FromRecords(records, 2);
+  EXPECT_DOUBLE_EQ(map.min(0), 2.0);
+  EXPECT_DOUBLE_EQ(map.max(0), 7.0);
+  EXPECT_DOUBLE_EQ(map.min(1), -1.0);
+  EXPECT_DOUBLE_EQ(map.max(1), -1.0);
+}
+
+TEST(ZoneMapTest, EncodeDecodeRoundTrip) {
+  ZoneMap map = ZoneMap::FromColumns({{1.5, 2.5}, {kNaN, kNaN}, {-3.0, 9.0}});
+  auto decoded = ZoneMap::Decode(Slice(map.Encode()));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->num_tags(), 3);
+  EXPECT_DOUBLE_EQ(decoded->min(0), 1.5);
+  EXPECT_DOUBLE_EQ(decoded->max(2), 9.0);
+  EXPECT_FALSE(decoded->has_values(1));
+}
+
+TEST(ZoneMapTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(ZoneMap::Decode(Slice("\xff\xff", 2)).ok());
+}
+
+TEST(ZoneMapTest, MayMatchSemantics) {
+  ZoneMap map = ZoneMap::FromColumns({{10.0, 20.0}, {kNaN, kNaN}});
+  // Overlapping filter matches.
+  EXPECT_TRUE(map.MayMatch({Filter(0, 15, 100)}));
+  // Disjoint above and below.
+  EXPECT_FALSE(map.MayMatch({Filter(0, 21, 100)}));
+  EXPECT_FALSE(map.MayMatch({Filter(0, -100, 9.9)}));
+  // Boundary touch is a (conservative) match.
+  EXPECT_TRUE(map.MayMatch({Filter(0, 20, 25)}));
+  // Filter on an all-missing tag can never match (SQL NULL semantics).
+  EXPECT_FALSE(map.MayMatch({Filter(1, 0, 1)}));
+  // Filter on an out-of-range tag index is ignored.
+  EXPECT_TRUE(map.MayMatch({Filter(9, 0, 1)}));
+  // Conjunction: one failing filter prunes.
+  EXPECT_FALSE(map.MayMatch({Filter(0, 15, 100), Filter(0, 30, 40)}));
+  // No filters -> match.
+  EXPECT_TRUE(map.MayMatch({}));
+}
+
+// End-to-end: tag-predicate queries skip non-matching blobs.
+class ZoneMapSystemTest : public ::testing::Test {
+ protected:
+  ZoneMapSystemTest() {
+    OdhOptions options;
+    options.batch_size = 50;
+    options.sql_metadata_router = false;
+    odh_ = std::make_unique<OdhSystem>(options);
+    type_ = odh_->DefineSchemaType("m", {"temp", "load"}).value();
+    ODH_CHECK_OK(odh_->RegisterSource(1, type_, 1000, true));
+    // 10 blobs of 50 points each; temp ramps 0..499, so exactly one blob
+    // covers temp in [200, 249].
+    for (int i = 0; i < 500; ++i) {
+      ODH_CHECK_OK(odh_->Ingest({1, i * 1000, {1.0 * i, 5.0}}));
+    }
+    ODH_CHECK_OK(odh_->FlushAll());
+  }
+
+  std::unique_ptr<OdhSystem> odh_;
+  int type_;
+};
+
+TEST_F(ZoneMapSystemTest, SqlTagPredicatePrunesBlobs) {
+  odh_->reader()->ResetStats();
+  auto r = odh_->engine()->Execute(
+      "SELECT COUNT(*) FROM m_v WHERE id = 1 AND temp BETWEEN 210 AND 220");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0], Datum::Int64(11));
+  const ReadStats& stats = odh_->reader()->stats();
+  EXPECT_EQ(stats.blobs_decoded, 1);
+  EXPECT_EQ(stats.blobs_pruned, 9);
+}
+
+TEST_F(ZoneMapSystemTest, UnfilteredQueryDecodesAll) {
+  odh_->reader()->ResetStats();
+  auto r = odh_->engine()->Execute("SELECT COUNT(*) FROM m_v WHERE id = 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0], Datum::Int64(500));
+  EXPECT_EQ(odh_->reader()->stats().blobs_pruned, 0);
+  EXPECT_EQ(odh_->reader()->stats().blobs_decoded, 10);
+}
+
+TEST_F(ZoneMapSystemTest, ImpossiblePredicatePrunesEverything) {
+  odh_->reader()->ResetStats();
+  auto r = odh_->engine()->Execute(
+      "SELECT COUNT(*) FROM m_v WHERE id = 1 AND temp > 10000");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0], Datum::Int64(0));
+  EXPECT_EQ(odh_->reader()->stats().blobs_decoded, 0);
+  EXPECT_EQ(odh_->reader()->stats().blobs_pruned, 10);
+}
+
+TEST_F(ZoneMapSystemTest, ResultsIdenticalWithZoneMapsDisabled) {
+  OdhOptions options;
+  options.batch_size = 50;
+  options.sql_metadata_router = false;
+  options.enable_zone_maps = false;
+  OdhSystem plain(options);
+  int type = plain.DefineSchemaType("m", {"temp", "load"}).value();
+  ODH_CHECK_OK(plain.RegisterSource(1, type, 1000, true));
+  for (int i = 0; i < 500; ++i) {
+    ODH_CHECK_OK(plain.Ingest({1, i * 1000, {1.0 * i, 5.0}}));
+  }
+  ODH_CHECK_OK(plain.FlushAll());
+
+  const char* query =
+      "SELECT COUNT(*), SUM(load) FROM m_v WHERE temp BETWEEN 100 AND 150";
+  auto with = odh_->engine()->Execute(query);
+  auto without = plain.engine()->Execute(query);
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(with->rows[0][0], without->rows[0][0]);
+  EXPECT_EQ(with->rows[0][1], without->rows[0][1]);
+  EXPECT_EQ(plain.reader()->stats().blobs_pruned, 0);
+}
+
+TEST_F(ZoneMapSystemTest, LossyCompressionKeepsZoneMapsConservative) {
+  // Zone maps are computed from the ORIGINAL values before lossy encoding;
+  // decoded values deviate by <= e, so a widened filter must still find
+  // every qualifying original value. Here we just verify agreement between
+  // a zone-mapped query and a full scan under lossy compression.
+  OdhOptions options;
+  options.batch_size = 50;
+  options.sql_metadata_router = false;
+  OdhSystem lossy(options);
+  CompressionSpec spec;
+  spec.max_error = 0.5;
+  int type = lossy.DefineSchemaType("m", {"temp"}, spec).value();
+  ODH_CHECK_OK(lossy.RegisterSource(1, type, 1000, true));
+  for (int i = 0; i < 500; ++i) {
+    ODH_CHECK_OK(lossy.Ingest({1, i * 1000, {1.0 * i}}));
+  }
+  ODH_CHECK_OK(lossy.FlushAll());
+  auto filtered = lossy.engine()->Execute(
+      "SELECT COUNT(*) FROM m_v WHERE temp > 100.25 AND temp < 110.25");
+  auto all = lossy.engine()->Execute("SELECT temp FROM m_v");
+  ASSERT_TRUE(filtered.ok());
+  ASSERT_TRUE(all.ok());
+  int64_t expected = 0;
+  for (const Row& row : all->rows) {
+    double v = row[0].double_value();
+    if (v > 100.25 && v < 110.25) ++expected;
+  }
+  EXPECT_EQ(filtered->rows[0][0], Datum::Int64(expected));
+}
+
+}  // namespace
+}  // namespace odh::core

@@ -1,0 +1,207 @@
+#include "index/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/key_codec.h"
+#include "common/random.h"
+
+namespace odh::index {
+namespace {
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  BTreeTest() : disk_(4096), pool_(&disk_, 64) {
+    tree_ = BTree::Create(&pool_, "idx").value();
+  }
+
+  static std::string Key(int64_t v) {
+    std::string out;
+    KeyEncoder enc(&out);
+    enc.AddInt64(v);
+    return out;
+  }
+
+  storage::SimDisk disk_;
+  storage::BufferPool pool_;
+  std::unique_ptr<BTree> tree_;
+};
+
+TEST_F(BTreeTest, EmptyTreeBehaviour) {
+  EXPECT_EQ(tree_->num_entries(), 0);
+  EXPECT_TRUE(tree_->Get(Key(1)).status().IsNotFound());
+  auto it = tree_->NewIterator();
+  ASSERT_TRUE(it.SeekToFirst().ok());
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST_F(BTreeTest, InsertAndGet) {
+  ASSERT_TRUE(tree_->Insert(Key(5), "five").ok());
+  ASSERT_TRUE(tree_->Insert(Key(3), "three").ok());
+  ASSERT_TRUE(tree_->Insert(Key(9), "nine").ok());
+  EXPECT_EQ(tree_->num_entries(), 3);
+  EXPECT_EQ(tree_->Get(Key(3)).value(), "three");
+  EXPECT_EQ(tree_->Get(Key(5)).value(), "five");
+  EXPECT_EQ(tree_->Get(Key(9)).value(), "nine");
+  EXPECT_TRUE(tree_->Get(Key(4)).status().IsNotFound());
+}
+
+TEST_F(BTreeTest, OverwriteDoesNotGrowCount) {
+  ASSERT_TRUE(tree_->Insert(Key(1), "a").ok());
+  ASSERT_TRUE(tree_->Insert(Key(1), "b").ok());
+  EXPECT_EQ(tree_->num_entries(), 1);
+  EXPECT_EQ(tree_->Get(Key(1)).value(), "b");
+}
+
+TEST_F(BTreeTest, Delete) {
+  ASSERT_TRUE(tree_->Insert(Key(1), "a").ok());
+  ASSERT_TRUE(tree_->Insert(Key(2), "b").ok());
+  ASSERT_TRUE(tree_->Delete(Key(1)).ok());
+  EXPECT_EQ(tree_->num_entries(), 1);
+  EXPECT_TRUE(tree_->Get(Key(1)).status().IsNotFound());
+  EXPECT_TRUE(tree_->Delete(Key(1)).IsNotFound());
+  EXPECT_EQ(tree_->Get(Key(2)).value(), "b");
+}
+
+TEST_F(BTreeTest, SplitsProduceMultipleLevels) {
+  for (int64_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(tree_->Insert(Key(i), "v" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(tree_->num_entries(), 2000);
+  EXPECT_GT(tree_->height(), 1);
+  for (int64_t i = 0; i < 2000; ++i) {
+    ASSERT_EQ(tree_->Get(Key(i)).value(), "v" + std::to_string(i)) << i;
+  }
+}
+
+TEST_F(BTreeTest, IteratorFullScanInOrder) {
+  for (int64_t i = 999; i >= 0; --i) {
+    ASSERT_TRUE(tree_->Insert(Key(i), std::to_string(i)).ok());
+  }
+  auto it = tree_->NewIterator();
+  ASSERT_TRUE(it.SeekToFirst().ok());
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(it.Valid()) << i;
+    EXPECT_EQ(it.value().ToString(), std::to_string(i));
+    ASSERT_TRUE(it.Next().ok());
+  }
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST_F(BTreeTest, IteratorSeekRange) {
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree_->Insert(Key(i * 10), std::to_string(i * 10)).ok());
+  }
+  auto it = tree_->NewIterator();
+  // Seek between keys lands on the next larger key.
+  ASSERT_TRUE(it.Seek(Key(45)).ok());
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.value().ToString(), "50");
+  // Seek past the end is invalid.
+  ASSERT_TRUE(it.Seek(Key(10000)).ok());
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST_F(BTreeTest, ReopenPreservesContents) {
+  for (int64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(tree_->Insert(Key(i), std::to_string(i)).ok());
+  }
+  tree_.reset();
+  ASSERT_TRUE(pool_.FlushAll().ok());
+  auto reopened = BTree::Open(&pool_, "idx");
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->num_entries(), 500);
+  EXPECT_EQ((*reopened)->Get(Key(123)).value(), "123");
+}
+
+TEST_F(BTreeTest, RejectsOversizedEntry) {
+  std::string huge(5000, 'x');
+  EXPECT_TRUE(tree_->Insert(Key(1), huge).IsInvalidArgument());
+}
+
+// Property test: a randomized op sequence matches std::map.
+struct PropertyParam {
+  uint64_t seed;
+  int ops;
+  int key_space;
+};
+
+class BTreePropertyTest : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(BTreePropertyTest, MatchesReferenceMap) {
+  const PropertyParam param = GetParam();
+  storage::SimDisk disk(4096);
+  storage::BufferPool pool(&disk, 32);
+  auto tree = BTree::Create(&pool, "t").value();
+  std::map<std::string, std::string> reference;
+  Random rng(param.seed);
+
+  auto make_key = [&](int64_t v) {
+    std::string out;
+    KeyEncoder enc(&out);
+    enc.AddInt64(v);
+    return out;
+  };
+
+  for (int op = 0; op < param.ops; ++op) {
+    int64_t k = static_cast<int64_t>(
+        rng.Uniform(static_cast<uint64_t>(param.key_space)));
+    std::string key = make_key(k);
+    switch (rng.Uniform(4)) {
+      case 0:
+      case 1: {  // Insert (50%).
+        std::string value = "v" + std::to_string(rng.Uniform(1000));
+        ASSERT_TRUE(tree->Insert(key, value).ok());
+        reference[key] = value;
+        break;
+      }
+      case 2: {  // Lookup.
+        auto got = tree->Get(key);
+        auto it = reference.find(key);
+        if (it == reference.end()) {
+          EXPECT_TRUE(got.status().IsNotFound());
+        } else {
+          ASSERT_TRUE(got.ok());
+          EXPECT_EQ(got.value(), it->second);
+        }
+        break;
+      }
+      case 3: {  // Delete.
+        Status s = tree->Delete(key);
+        auto it = reference.find(key);
+        if (it == reference.end()) {
+          EXPECT_TRUE(s.IsNotFound());
+        } else {
+          EXPECT_TRUE(s.ok());
+          reference.erase(it);
+        }
+        break;
+      }
+    }
+  }
+
+  EXPECT_EQ(tree->num_entries(), static_cast<int64_t>(reference.size()));
+  // Full scan must match the reference in order and content.
+  auto it = tree->NewIterator();
+  ASSERT_TRUE(it.SeekToFirst().ok());
+  for (const auto& [key, value] : reference) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key().ToString(), key);
+    EXPECT_EQ(it.value().ToString(), value);
+    ASSERT_TRUE(it.Next().ok());
+  }
+  EXPECT_FALSE(it.Valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomOps, BTreePropertyTest,
+    ::testing::Values(PropertyParam{1, 2000, 100},
+                      PropertyParam{2, 5000, 1000},
+                      PropertyParam{3, 5000, 50},
+                      PropertyParam{4, 8000, 10000},
+                      PropertyParam{5, 3000, 3}));
+
+}  // namespace
+}  // namespace odh::index

@@ -1,0 +1,250 @@
+// End-to-end consistency: the three IoT-X candidates (ODH, RDB, MySQL)
+// ingest identical TD and LD datasets; every WS2 query template must then
+// return the same multiset of rows on all three. This pins the whole stack
+// (generators -> writer -> blobs -> router -> VTI -> SQL) against the
+// independent relational path.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "benchfw/dataset.h"
+#include "benchfw/runner.h"
+#include "common/logging.h"
+
+namespace odh::benchfw {
+namespace {
+
+TdConfig SmallTd() {
+  TdConfig config;
+  config.num_accounts = 25;
+  config.per_account_hz = 20;
+  config.duration_seconds = 4;
+  return config;
+}
+
+LdConfig SmallLd() {
+  LdConfig config;
+  config.num_sensors = 60;
+  config.mean_interval = 5 * kMicrosPerSecond;
+  config.duration_seconds = 60;
+  config.first_id = 1000001;
+  return config;
+}
+
+/// Canonical form of a result set: rows rendered to strings and sorted.
+std::vector<std::string> Canonical(const sql::QueryResult& result) {
+  std::vector<std::string> rows;
+  rows.reserve(result.rows.size());
+  for (const Row& row : result.rows) {
+    std::string s;
+    for (const Datum& d : row) {
+      // Round doubles so lossless-decoded values compare stably.
+      if (d.is_double()) {
+        char buf[32];
+        snprintf(buf, sizeof(buf), "%.9g", d.double_value());
+        s += buf;
+      } else {
+        s += d.ToString();
+      }
+      s += "|";
+    }
+    rows.push_back(std::move(s));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+class IotxConsistencyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    odh_ = new OdhTarget();
+    {
+      TdGenerator stream(SmallTd());
+      ODH_CHECK_OK(odh_->Setup(stream.info()));
+      ODH_CHECK_OK(RunIngest(&stream, odh_).status());
+    }
+    {
+      LdGenerator stream(SmallLd());
+      ODH_CHECK_OK(odh_->Setup(stream.info()));
+      ODH_CHECK_OK(RunIngest(&stream, odh_).status());
+    }
+    ODH_CHECK_OK(
+        LoadTdRelational(TdGenerator(SmallTd()), odh_->odh()->database()));
+    ODH_CHECK_OK(
+        LoadLdRelational(LdGenerator(SmallLd()), odh_->odh()->database()));
+    // Reorganize half of the LD span: queries must see MG + RTS/IRTS data
+    // seamlessly.
+    int ld_type = odh_->odh()->config()->FindSchemaType("LD").value();
+    ODH_CHECK_OK(odh_->odh()
+                     ->Reorganize(ld_type, 30 * kMicrosPerSecond)
+                     .status());
+
+    auto make_relational = [](const relational::EngineProfile& profile) {
+      auto* target = new RelationalTarget(profile, 1000);
+      {
+        TdGenerator stream(SmallTd());
+        ODH_CHECK_OK(target->Setup(stream.info()));
+        ODH_CHECK_OK(RunIngest(&stream, target).status());
+      }
+      ODH_CHECK_OK(
+          LoadTdRelational(TdGenerator(SmallTd()), target->database()));
+      // The LD stream goes into a second table of the same database.
+      {
+        LdGenerator stream(SmallLd());
+        StreamInfo info = stream.info();
+        auto* db = target->database();
+        std::vector<relational::Column> columns = {
+            {"ts", DataType::kTimestamp}, {"id", DataType::kInt64}};
+        for (const std::string& tag : info.tag_names) {
+          columns.push_back({tag, DataType::kDouble});
+        }
+        relational::Table* table =
+            db->CreateTable("LD", relational::Schema(columns)).value();
+        ODH_CHECK_OK(table->AddIndex({"by_ts", {0}}));
+        ODH_CHECK_OK(table->AddIndex({"by_id", {1}}));
+        core::OperationalRecord record;
+        Row row(columns.size());
+        while (stream.Next(&record)) {
+          row[0] = Datum::Time(record.ts);
+          row[1] = Datum::Int64(record.id);
+          for (size_t t = 0; t < record.tags.size(); ++t) {
+            row[2 + t] = std::isnan(record.tags[t])
+                             ? Datum::Null()
+                             : Datum::Double(record.tags[t]);
+          }
+          table->Insert(row).value();
+        }
+        ODH_CHECK_OK(table->Commit());
+      }
+      ODH_CHECK_OK(
+          LoadLdRelational(LdGenerator(SmallLd()), target->database()));
+      return target;
+    };
+    rdb_ = make_relational(relational::EngineProfile::Rdb());
+    mysql_ = make_relational(relational::EngineProfile::MySql());
+    rdb_engine_ = new sql::SqlEngine(rdb_->database());
+    mysql_engine_ = new sql::SqlEngine(mysql_->database());
+  }
+
+  static void TearDownTestSuite() {
+    delete rdb_engine_;
+    delete mysql_engine_;
+    delete odh_;
+    delete rdb_;
+    delete mysql_;
+  }
+
+  /// Runs `sql` (with the operational table name substituted) on all three
+  /// candidates and expects identical canonical results.
+  void ExpectConsistent(const std::string& sql_template,
+                        const std::string& odh_table,
+                        const std::string& rel_table) {
+    auto substitute = [&](const std::string& table) {
+      std::string sql = sql_template;
+      size_t pos = sql.find("$T");
+      ODH_CHECK(pos != std::string::npos);
+      sql.replace(pos, 2, table);
+      return sql;
+    };
+    auto odh_result = odh_->odh()->engine()->Execute(substitute(odh_table));
+    ASSERT_TRUE(odh_result.ok()) << odh_result.status().ToString();
+    auto rdb_result = rdb_engine_->Execute(substitute(rel_table));
+    ASSERT_TRUE(rdb_result.ok()) << rdb_result.status().ToString();
+    auto mysql_result = mysql_engine_->Execute(substitute(rel_table));
+    ASSERT_TRUE(mysql_result.ok()) << mysql_result.status().ToString();
+
+    std::vector<std::string> odh_rows = Canonical(*odh_result);
+    EXPECT_EQ(odh_rows, Canonical(*rdb_result)) << sql_template;
+    EXPECT_EQ(odh_rows, Canonical(*mysql_result)) << sql_template;
+    EXPECT_GT(odh_rows.size(), 0u) << "degenerate test: " << sql_template;
+  }
+
+  static OdhTarget* odh_;
+  static RelationalTarget* rdb_;
+  static RelationalTarget* mysql_;
+  static sql::SqlEngine* rdb_engine_;
+  static sql::SqlEngine* mysql_engine_;
+};
+
+OdhTarget* IotxConsistencyTest::odh_ = nullptr;
+RelationalTarget* IotxConsistencyTest::rdb_ = nullptr;
+RelationalTarget* IotxConsistencyTest::mysql_ = nullptr;
+sql::SqlEngine* IotxConsistencyTest::rdb_engine_ = nullptr;
+sql::SqlEngine* IotxConsistencyTest::mysql_engine_ = nullptr;
+
+TEST_F(IotxConsistencyTest, Tq1Historical) {
+  ExpectConsistent("SELECT id, ts, t_trade_price, t_chrg, t_comm, t_tax "
+                   "FROM $T WHERE id = 7", "TD_v", "TD");
+  ExpectConsistent("SELECT id, ts, t_trade_price, t_chrg, t_comm, t_tax "
+                   "FROM $T WHERE id = 25", "TD_v", "TD");
+}
+
+TEST_F(IotxConsistencyTest, Tq2Slice) {
+  ExpectConsistent(
+      "SELECT id, ts, t_trade_price, t_chrg, t_comm, t_tax FROM $T "
+      "WHERE ts BETWEEN '1970-01-01 00:00:01' AND '1970-01-01 00:00:02'",
+      "TD_v", "TD");
+}
+
+TEST_F(IotxConsistencyTest, Tq3FusedSingleSource) {
+  ExpectConsistent(
+      "SELECT ts, t_chrg FROM $T t, account a WHERE a.ca_id = t.id AND "
+      "a.ca_name = 'ACCT12'",
+      "TD_v", "TD");
+}
+
+TEST_F(IotxConsistencyTest, Tq4FusedMultiSource) {
+  ExpectConsistent(
+      "SELECT ca_name, ts, t_chrg FROM $T t, account a, customer c "
+      "WHERE a.ca_id = t.id AND a.ca_c_id = c.c_id AND c_dob BETWEEN "
+      "'1950-01-01 00:00:00' AND '1990-01-01 00:00:00'",
+      "TD_v", "TD");
+}
+
+TEST_F(IotxConsistencyTest, Lq1Historical) {
+  ExpectConsistent("SELECT id, ts, airtemperature, windspeed, pressure, "
+                   "cloudcover FROM $T WHERE id = 1000031", "LD_v", "LD");
+}
+
+TEST_F(IotxConsistencyTest, Lq2Slice) {
+  ExpectConsistent(
+      "SELECT ts, id, airtemperature FROM $T WHERE ts BETWEEN "
+      "'1970-01-01 00:00:10' AND '1970-01-01 00:00:20'",
+      "LD_v", "LD");
+}
+
+TEST_F(IotxConsistencyTest, Lq3FusedByName) {
+  ExpectConsistent(
+      "SELECT ts, o.id, airtemperature FROM $T o, linkedsensor l "
+      "WHERE l.sensorid = o.id AND sensorname = 'A1000042'",
+      "LD_v", "LD");
+}
+
+TEST_F(IotxConsistencyTest, Lq4FusedByArea) {
+  ExpectConsistent(
+      "SELECT ts, o.id, airtemperature FROM $T o, linkedsensor l "
+      "WHERE l.sensorid = o.id AND latitude > 30.0 AND latitude < 45.0 "
+      "AND longitude > -120.0 AND longitude < -80.0",
+      "LD_v", "LD");
+}
+
+TEST_F(IotxConsistencyTest, AggregatesAgree) {
+  ExpectConsistent(
+      "SELECT id, COUNT(*), AVG(t_trade_price) FROM $T GROUP BY id "
+      "ORDER BY id",
+      "TD_v", "TD");
+  ExpectConsistent("SELECT COUNT(*), MIN(ts), MAX(ts) FROM $T", "LD_v",
+                   "LD");
+}
+
+TEST_F(IotxConsistencyTest, SpansMgAndReorganizedData) {
+  // The LD data is half reorganized (RTS/IRTS) and half still in MG; a
+  // full-range per-sensor count must see both.
+  ExpectConsistent("SELECT COUNT(*) FROM $T WHERE id = 1000011", "LD_v",
+                   "LD");
+}
+
+}  // namespace
+}  // namespace odh::benchfw

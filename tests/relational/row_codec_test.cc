@@ -1,0 +1,138 @@
+#include "relational/row_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace odh::relational {
+namespace {
+
+Schema WideSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"ts", DataType::kTimestamp},
+                 {"flag", DataType::kBool},
+                 {"temp", DataType::kDouble},
+                 {"name", DataType::kString},
+                 {"wind", DataType::kDouble}});
+}
+
+TEST(RowCodecTest, RoundTripFullRow) {
+  Schema schema = WideSchema();
+  RowCodec codec(&schema, 16);
+  Row row = {Datum::Int64(-99),     Datum::Time(1700000000000000),
+             Datum::Bool(true),     Datum::Double(21.5),
+             Datum::String("hello"), Datum::Double(-3.25)};
+  std::string buf;
+  ASSERT_TRUE(codec.Encode(row, &buf).ok());
+  EXPECT_GE(buf.size(), 16u);  // At least the reserved header.
+  Row out;
+  ASSERT_TRUE(codec.Decode(Slice(buf), &out).ok());
+  ASSERT_EQ(out.size(), row.size());
+  for (size_t i = 0; i < row.size(); ++i) EXPECT_EQ(out[i], row[i]) << i;
+}
+
+TEST(RowCodecTest, RoundTripAllNulls) {
+  Schema schema = WideSchema();
+  RowCodec codec(&schema, 4);
+  Row row(6, Datum::Null());
+  std::string buf;
+  ASSERT_TRUE(codec.Encode(row, &buf).ok());
+  Row out;
+  ASSERT_TRUE(codec.Decode(Slice(buf), &out).ok());
+  for (const Datum& d : out) EXPECT_TRUE(d.is_null());
+}
+
+TEST(RowCodecTest, HeaderBytesAffectSize) {
+  Schema schema = WideSchema();
+  RowCodec small(&schema, 4);
+  RowCodec big(&schema, 20);
+  Row row = {Datum::Int64(1), Datum::Time(2),      Datum::Bool(false),
+             Datum::Double(3), Datum::String("x"), Datum::Double(4)};
+  std::string a, b;
+  ASSERT_TRUE(small.Encode(row, &a).ok());
+  ASSERT_TRUE(big.Encode(row, &b).ok());
+  EXPECT_EQ(b.size() - a.size(), 16u);
+}
+
+TEST(RowCodecTest, DecodeColumnsProjects) {
+  Schema schema = WideSchema();
+  RowCodec codec(&schema, 0);
+  Row row = {Datum::Int64(7),  Datum::Time(8),      Datum::Bool(true),
+             Datum::Double(9), Datum::String("yo"), Datum::Double(10)};
+  std::string buf;
+  ASSERT_TRUE(codec.Encode(row, &buf).ok());
+  Row out;
+  ASSERT_TRUE(codec.DecodeColumns(Slice(buf), {0, 4}, &out).ok());
+  EXPECT_EQ(out[0], Datum::Int64(7));
+  EXPECT_TRUE(out[1].is_null());
+  EXPECT_TRUE(out[2].is_null());
+  EXPECT_TRUE(out[3].is_null());
+  EXPECT_EQ(out[4], Datum::String("yo"));
+  EXPECT_TRUE(out[5].is_null());
+}
+
+TEST(RowCodecTest, RejectsMismatchedRow) {
+  Schema schema = WideSchema();
+  RowCodec codec(&schema, 0);
+  std::string buf;
+  Row bad = {Datum::String("nope")};
+  EXPECT_TRUE(codec.Encode(bad, &buf).IsInvalidArgument());
+}
+
+TEST(RowCodecTest, DecodeTruncatedFails) {
+  Schema schema = WideSchema();
+  RowCodec codec(&schema, 0);
+  Row row = {Datum::Int64(7),  Datum::Time(8),       Datum::Bool(true),
+             Datum::Double(9), Datum::String("abc"), Datum::Double(10)};
+  std::string buf;
+  ASSERT_TRUE(codec.Encode(row, &buf).ok());
+  Row out;
+  EXPECT_FALSE(codec.Decode(Slice(buf.data(), buf.size() / 2), &out).ok());
+}
+
+TEST(RowCodecTest, Int64AcceptedForDoubleColumn) {
+  Schema schema({{"v", DataType::kDouble}});
+  RowCodec codec(&schema, 0);
+  std::string buf;
+  ASSERT_TRUE(codec.Encode({Datum::Int64(5)}, &buf).ok());
+  Row out;
+  ASSERT_TRUE(codec.Decode(Slice(buf), &out).ok());
+  EXPECT_DOUBLE_EQ(out[0].double_value(), 5.0);
+}
+
+class RowCodecPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RowCodecPropertyTest, RandomRowsRoundTripWithRandomNulls) {
+  Random rng(static_cast<uint64_t>(GetParam()));
+  Schema schema = WideSchema();
+  RowCodec codec(&schema, 8);
+  for (int trial = 0; trial < 500; ++trial) {
+    Row row(6);
+    row[0] = rng.OneIn(5) ? Datum::Null()
+                          : Datum::Int64(static_cast<int64_t>(rng.Next()));
+    row[1] = rng.OneIn(5) ? Datum::Null()
+                          : Datum::Time(rng.UniformRange(0, int64_t{1} << 50));
+    row[2] = rng.OneIn(5) ? Datum::Null() : Datum::Bool(rng.OneIn(2));
+    row[3] = rng.OneIn(5) ? Datum::Null()
+                          : Datum::Double(rng.UniformDouble(-1e9, 1e9));
+    std::string s;
+    for (uint64_t i = rng.Uniform(20); i > 0; --i) {
+      s.push_back(static_cast<char>('a' + rng.Uniform(26)));
+    }
+    row[4] = rng.OneIn(5) ? Datum::Null() : Datum::String(s);
+    row[5] = rng.OneIn(5) ? Datum::Null()
+                          : Datum::Double(rng.UniformDouble(-10, 10));
+
+    std::string buf;
+    ASSERT_TRUE(codec.Encode(row, &buf).ok());
+    Row out;
+    ASSERT_TRUE(codec.Decode(Slice(buf), &out).ok());
+    for (size_t i = 0; i < 6; ++i) ASSERT_EQ(out[i], row[i]) << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RowCodecPropertyTest,
+                         ::testing::Values(7, 77, 777));
+
+}  // namespace
+}  // namespace odh::relational

@@ -1,0 +1,63 @@
+#include "relational/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace odh::relational {
+namespace {
+
+Schema MakeSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"ts", DataType::kTimestamp},
+                 {"temp", DataType::kDouble},
+                 {"name", DataType::kString}});
+}
+
+TEST(SchemaTest, FindColumnIsCaseInsensitive) {
+  Schema s = MakeSchema();
+  EXPECT_EQ(s.FindColumn("id"), 0);
+  EXPECT_EQ(s.FindColumn("TS"), 1);
+  EXPECT_EQ(s.FindColumn("Temp"), 2);
+  EXPECT_EQ(s.FindColumn("missing"), -1);
+}
+
+TEST(SchemaTest, RowMatchesChecksArityAndTypes) {
+  Schema s = MakeSchema();
+  Row good = {Datum::Int64(1), Datum::Time(2), Datum::Double(3.0),
+              Datum::String("x")};
+  EXPECT_TRUE(s.RowMatches(good));
+
+  Row short_row = {Datum::Int64(1)};
+  EXPECT_FALSE(s.RowMatches(short_row));
+
+  Row bad_type = {Datum::String("1"), Datum::Time(2), Datum::Double(3.0),
+                  Datum::String("x")};
+  EXPECT_FALSE(s.RowMatches(bad_type));
+}
+
+TEST(SchemaTest, NullsMatchAnyColumn) {
+  Schema s = MakeSchema();
+  Row nulls = {Datum::Null(), Datum::Null(), Datum::Null(), Datum::Null()};
+  EXPECT_TRUE(s.RowMatches(nulls));
+}
+
+TEST(SchemaTest, Int64WidensToDouble) {
+  Schema s = MakeSchema();
+  Row widened = {Datum::Int64(1), Datum::Time(2), Datum::Int64(3),
+                 Datum::String("x")};
+  EXPECT_TRUE(s.RowMatches(widened));
+}
+
+TEST(SchemaTest, NameEquals) {
+  EXPECT_TRUE(NameEquals("abc", "ABC"));
+  EXPECT_TRUE(NameEquals("", ""));
+  EXPECT_FALSE(NameEquals("ab", "abc"));
+  EXPECT_FALSE(NameEquals("abd", "abc"));
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  Schema s({{"a", DataType::kInt64}, {"b", DataType::kString}});
+  EXPECT_EQ(s.ToString(), "(a BIGINT, b VARCHAR)");
+}
+
+}  // namespace
+}  // namespace odh::relational

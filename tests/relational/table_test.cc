@@ -1,0 +1,302 @@
+#include "relational/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/key_codec.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "relational/database.h"
+
+namespace odh::relational {
+namespace {
+
+Schema TradeSchema() {
+  return Schema({{"t_dts", DataType::kTimestamp},
+                 {"t_ca_id", DataType::kInt64},
+                 {"t_trade_price", DataType::kDouble},
+                 {"t_chrg", DataType::kDouble}});
+}
+
+Row MakeTrade(Timestamp ts, int64_t account, double price, double chrg) {
+  return {Datum::Time(ts), Datum::Int64(account), Datum::Double(price),
+          Datum::Double(chrg)};
+}
+
+class TableTest : public ::testing::Test {
+ protected:
+  TableTest() : db_(EngineProfile::Rdb()) {
+    table_ = db_.CreateTable("trade", TradeSchema()).value();
+    ODH_CHECK_OK(table_->AddIndex({"by_ts", {0}}));
+    ODH_CHECK_OK(table_->AddIndex({"by_account", {1}}));
+  }
+
+  Database db_;
+  Table* table_;
+};
+
+TEST_F(TableTest, InsertGetRoundTrip) {
+  Rid rid = table_->Insert(MakeTrade(1000, 42, 9.5, 0.1)).value();
+  Row row = table_->Get(rid).value();
+  EXPECT_EQ(row[0], Datum::Time(1000));
+  EXPECT_EQ(row[1], Datum::Int64(42));
+  EXPECT_EQ(row[2], Datum::Double(9.5));
+  EXPECT_EQ(table_->row_count(), 1);
+}
+
+TEST_F(TableTest, RejectsBadRow) {
+  Row bad = {Datum::String("x")};
+  EXPECT_FALSE(table_->Insert(bad).ok());
+}
+
+TEST_F(TableTest, IndexScanByAccount) {
+  for (int i = 0; i < 100; ++i) {
+    table_->Insert(MakeTrade(1000 + i, i % 10, i * 1.0, 0.1)).value();
+  }
+  // Account 3 has 10 trades.
+  std::string lo = EncodeKey({Datum::Int64(3)});
+  std::string hi = EncodeKey({Datum::Int64(3)});
+  auto it = table_->IndexScan(1, lo, hi).value();
+  int count = 0;
+  while (it.Valid()) {
+    Row row = table_->Get(it.rid()).value();
+    EXPECT_EQ(row[1], Datum::Int64(3));
+    ++count;
+    ASSERT_TRUE(it.Next().ok());
+  }
+  EXPECT_EQ(count, 10);
+}
+
+TEST_F(TableTest, IndexRangeScanByTimestamp) {
+  for (int i = 0; i < 50; ++i) {
+    table_->Insert(MakeTrade(i * 100, 7, 1.0, 0.1)).value();
+  }
+  std::string lo = EncodeKey({Datum::Time(1000)});
+  std::string hi = EncodeKey({Datum::Time(2000)});
+  auto it = table_->IndexScan(0, lo, hi).value();
+  std::vector<Timestamp> seen;
+  while (it.Valid()) {
+    Row row = table_->Get(it.rid()).value();
+    seen.push_back(row[0].timestamp_value());
+    ASSERT_TRUE(it.Next().ok());
+  }
+  // Timestamps 1000..2000 step 100, inclusive both ends.
+  ASSERT_EQ(seen.size(), 11u);
+  EXPECT_EQ(seen.front(), 1000);
+  EXPECT_EQ(seen.back(), 2000);
+  for (size_t i = 1; i < seen.size(); ++i) EXPECT_LE(seen[i - 1], seen[i]);
+}
+
+TEST_F(TableTest, IndexScanEmptyRange) {
+  table_->Insert(MakeTrade(100, 1, 1.0, 0.1)).value();
+  std::string lo = EncodeKey({Datum::Time(500)});
+  std::string hi = EncodeKey({Datum::Time(600)});
+  auto it = table_->IndexScan(0, lo, hi).value();
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST_F(TableTest, AddIndexRetroactivelyIndexesRows) {
+  for (int i = 0; i < 20; ++i) {
+    table_->Insert(MakeTrade(i, 5, i * 2.0, 0.1)).value();
+  }
+  ASSERT_TRUE(table_->AddIndex({"by_price", {2}}).ok());
+  std::string lo = EncodeKey({Datum::Double(10.0)});
+  std::string hi = EncodeKey({Datum::Double(20.0)});
+  auto it = table_->IndexScan(2, lo, hi).value();
+  int count = 0;
+  while (it.Valid()) {
+    ++count;
+    ASSERT_TRUE(it.Next().ok());
+  }
+  EXPECT_EQ(count, 6);  // Prices 10,12,14,16,18,20.
+}
+
+TEST_F(TableTest, DuplicateIndexNameRejected) {
+  EXPECT_TRUE(table_->AddIndex({"by_ts", {0}}).code() ==
+              StatusCode::kAlreadyExists);
+}
+
+TEST_F(TableTest, DeleteMaintainsIndexes) {
+  Rid rid = table_->Insert(MakeTrade(100, 9, 1.0, 0.1)).value();
+  table_->Insert(MakeTrade(100, 9, 2.0, 0.1)).value();
+  ASSERT_TRUE(table_->Delete(rid).ok());
+  std::string key = EncodeKey({Datum::Int64(9)});
+  auto it = table_->IndexScan(1, key, key).value();
+  int count = 0;
+  while (it.Valid()) {
+    ++count;
+    ASSERT_TRUE(it.Next().ok());
+  }
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(table_->row_count(), 1);
+}
+
+TEST_F(TableTest, CommitWritesWal) {
+  for (int i = 0; i < 10; ++i) {
+    table_->Insert(MakeTrade(i, 1, 1.0, 0.1)).value();
+  }
+  EXPECT_EQ(table_->wal_bytes_written(), 0u);
+  ASSERT_TRUE(table_->Commit().ok());
+  uint64_t after_one = table_->wal_bytes_written();
+  EXPECT_GT(after_one, 0u);
+  // Empty commit writes nothing.
+  ASSERT_TRUE(table_->Commit().ok());
+  EXPECT_EQ(table_->wal_bytes_written(), after_one);
+}
+
+TEST_F(TableTest, AutocommitWritesMoreWalThanBatched) {
+  Database db_auto(EngineProfile::Rdb());
+  Table* t_auto = db_auto.CreateTable("t", TradeSchema()).value();
+  Database db_batch(EngineProfile::Rdb());
+  Table* t_batch = db_batch.CreateTable("t", TradeSchema()).value();
+  for (int i = 0; i < 100; ++i) {
+    t_auto->Insert(MakeTrade(i, 1, 1.0, 0.1)).value();
+    ODH_CHECK_OK(t_auto->Commit());
+    t_batch->Insert(MakeTrade(i, 1, 1.0, 0.1)).value();
+  }
+  ODH_CHECK_OK(t_batch->Commit());
+  EXPECT_GT(t_auto->wal_bytes_written(), 2 * t_batch->wal_bytes_written());
+}
+
+TEST_F(TableTest, FullScanSeesAllRows) {
+  for (int i = 0; i < 30; ++i) {
+    table_->Insert(MakeTrade(i, i, i * 1.0, 0.0)).value();
+  }
+  auto it = table_->NewIterator();
+  ASSERT_TRUE(it.SeekToFirst().ok());
+  int count = 0;
+  while (it.Valid()) {
+    Row row = it.row().value();
+    EXPECT_EQ(row.size(), 4u);
+    ++count;
+    ASSERT_TRUE(it.Next().ok());
+  }
+  EXPECT_EQ(count, 30);
+}
+
+TEST_F(TableTest, GetColumnsProjection) {
+  Rid rid = table_->Insert(MakeTrade(55, 66, 7.5, 0.25)).value();
+  Row row = table_->GetColumns(rid, {1, 3}).value();
+  EXPECT_TRUE(row[0].is_null());
+  EXPECT_EQ(row[1], Datum::Int64(66));
+  EXPECT_TRUE(row[2].is_null());
+  EXPECT_EQ(row[3], Datum::Double(0.25));
+}
+
+TEST_F(TableTest, FindIndexOnColumn) {
+  EXPECT_EQ(table_->FindIndexOnColumn(0), 0);
+  EXPECT_EQ(table_->FindIndexOnColumn(1), 1);
+  EXPECT_EQ(table_->FindIndexOnColumn(2), -1);
+}
+
+TEST(DatabaseTest, CreateAndLookupTables) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("A", TradeSchema()).ok());
+  EXPECT_TRUE(db.GetTable("a").ok());
+  EXPECT_TRUE(db.GetTable("A").ok());
+  EXPECT_TRUE(db.CreateTable("a", TradeSchema()).status().code() ==
+              StatusCode::kAlreadyExists);
+  EXPECT_TRUE(db.GetTable("missing").status().IsNotFound());
+  EXPECT_EQ(db.ListTables().size(), 1u);
+}
+
+TEST(DatabaseTest, ProfilesDifferInRowOverhead) {
+  Database rdb(EngineProfile::Rdb());
+  Database mysql(EngineProfile::MySql());
+  Table* tr = rdb.CreateTable("t", TradeSchema()).value();
+  Table* tm = mysql.CreateTable("t", TradeSchema()).value();
+  for (int i = 0; i < 2000; ++i) {
+    Row row = MakeTrade(i, i % 7, 1.5, 0.1);
+    tr->Insert(row).value();
+    tm->Insert(row).value();
+  }
+  ODH_CHECK_OK(tr->Commit());
+  ODH_CHECK_OK(tm->Commit());
+  EXPECT_GT(mysql.TotalBytesStored(), rdb.TotalBytesStored());
+}
+
+struct TablePropertyParam {
+  uint64_t seed;
+  int rows;
+};
+
+class TablePropertyTest
+    : public ::testing::TestWithParam<TablePropertyParam> {};
+
+TEST_P(TablePropertyTest, IndexScanMatchesFullScanFilter) {
+  Database db;
+  Table* table = db.CreateTable("t", TradeSchema()).value();
+  ODH_CHECK_OK(table->AddIndex({"by_account", {1}}));
+  Random rng(GetParam().seed);
+  std::map<int64_t, int> expected_per_account;
+  for (int i = 0; i < GetParam().rows; ++i) {
+    int64_t account = static_cast<int64_t>(rng.Uniform(20));
+    table->Insert(MakeTrade(i, account, rng.NextDouble(), 0.0)).value();
+    ++expected_per_account[account];
+  }
+  for (const auto& [account, expected] : expected_per_account) {
+    std::string key = EncodeKey({Datum::Int64(account)});
+    auto it = table->IndexScan(0, key, key).value();
+    int count = 0;
+    while (it.Valid()) {
+      ++count;
+      ODH_CHECK_OK(it.Next());
+    }
+    EXPECT_EQ(count, expected) << account;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomRows, TablePropertyTest,
+                         ::testing::Values(TablePropertyParam{1, 500},
+                                           TablePropertyParam{2, 2000},
+                                           TablePropertyParam{3, 100}));
+
+// Regression: entries sharing an index key must iterate in insertion order
+// even when their heap pages span the byte boundaries of the Rid encoding
+// (Rids uniquify index keys and must be memcmp-ordered).
+TEST(TableOrderingTest, EqualKeysIterateInInsertionOrder) {
+  Database db;
+  Table* table =
+      db.CreateTable("t", Schema({{"k", DataType::kInt64},
+                                  {"seq", DataType::kInt64},
+                                  {"pad", DataType::kString}}))
+          .value();
+  ODH_CHECK_OK(table->AddIndex({"by_k", {0}}));
+  // Large padding forces many heap pages (page numbers beyond one byte).
+  std::string pad(512, 'x');
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    table->Insert({Datum::Int64(7), Datum::Int64(i), Datum::String(pad)})
+        .value();
+  }
+  std::string key = EncodeKey({Datum::Int64(7)});
+  auto it = table->IndexScan(0, key, key).value();
+  int64_t expected = 0;
+  while (it.Valid()) {
+    Row row = table->Get(it.rid()).value();
+    ASSERT_EQ(row[1], Datum::Int64(expected)) << expected;
+    ++expected;
+    ODH_CHECK_OK(it.Next());
+  }
+  EXPECT_EQ(expected, n);
+}
+
+TEST(TableOrderingTest, DropTableReleasesStorage) {
+  Database db;
+  Table* table = db.CreateTable("t", TradeSchema()).value();
+  ODH_CHECK_OK(table->AddIndex({"by_ts", {0}}));
+  for (int i = 0; i < 500; ++i) {
+    table->Insert(MakeTrade(i, i, 1.0, 0.1)).value();
+  }
+  ODH_CHECK_OK(table->Commit());
+  uint64_t before = db.TotalBytesStored();
+  ASSERT_GT(before, 0u);
+  ODH_CHECK_OK(db.DropTable("t"));
+  EXPECT_LT(db.TotalBytesStored(), before / 4);
+  EXPECT_TRUE(db.GetTable("t").status().IsNotFound());
+  EXPECT_TRUE(db.DropTable("t").IsNotFound());
+  // The name can be reused.
+  EXPECT_TRUE(db.CreateTable("t", TradeSchema()).ok());
+}
+
+}  // namespace
+}  // namespace odh::relational

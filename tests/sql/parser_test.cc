@@ -1,0 +1,166 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace odh::sql {
+namespace {
+
+TEST(ParserTest, SimpleSelectStar) {
+  Statement stmt = Parse("SELECT * FROM trade").value();
+  ASSERT_EQ(stmt.kind, Statement::Kind::kSelect);
+  ASSERT_EQ(stmt.select->items.size(), 1u);
+  EXPECT_TRUE(stmt.select->items[0].star);
+  ASSERT_EQ(stmt.select->tables.size(), 1u);
+  EXPECT_EQ(stmt.select->tables[0].name, "trade");
+  EXPECT_EQ(stmt.select->where, nullptr);
+}
+
+TEST(ParserTest, PaperTemplateTQ1) {
+  Statement stmt =
+      Parse("select * from TRADE where T_CA_ID = 42").value();
+  ASSERT_NE(stmt.select->where, nullptr);
+  EXPECT_EQ(stmt.select->where->kind(), ExprKind::kBinary);
+}
+
+TEST(ParserTest, PaperTemplateTQ2Between) {
+  Statement stmt = Parse(
+      "select * from TRADE where T_DTS between '2013-11-18 00:00:00' "
+      "and '2013-11-22 23:59:59'").value();
+  ASSERT_NE(stmt.select->where, nullptr);
+  EXPECT_EQ(stmt.select->where->kind(), ExprKind::kBetween);
+}
+
+TEST(ParserTest, PaperTemplateTQ4MultiJoin) {
+  Statement stmt = Parse(
+      "select CA_NAME, T_DTS, T_CHRG from TRADE t, ACCOUNT a, CUSTOMER c "
+      "where a.CA_ID = t.T_CA_ID and a.CA_C_ID = c.C_ID and "
+      "C_DOB between '1970-01-01 00:00:00' and '1980-01-01 00:00:00'")
+      .value();
+  EXPECT_EQ(stmt.select->tables.size(), 3u);
+  EXPECT_EQ(stmt.select->tables[0].alias, "t");
+  EXPECT_EQ(stmt.select->items.size(), 3u);
+}
+
+TEST(ParserTest, AliasesWithAndWithoutAs) {
+  Statement stmt =
+      Parse("SELECT a.x AS foo, b.y bar FROM t1 a, t2 AS b").value();
+  EXPECT_EQ(stmt.select->items[0].alias, "foo");
+  EXPECT_EQ(stmt.select->items[1].alias, "bar");
+  EXPECT_EQ(stmt.select->tables[0].alias, "a");
+  EXPECT_EQ(stmt.select->tables[1].alias, "b");
+}
+
+TEST(ParserTest, QualifiedStar) {
+  Statement stmt = Parse("SELECT t.*, u.x FROM t, u").value();
+  EXPECT_TRUE(stmt.select->items[0].star);
+  EXPECT_EQ(stmt.select->items[0].star_table, "t");
+  EXPECT_FALSE(stmt.select->items[1].star);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  Statement stmt =
+      Parse("SELECT a + b * c FROM t WHERE x = 1 OR y = 2 AND z = 3")
+          .value();
+  // a + (b * c)
+  const auto* item = static_cast<BinaryExpr*>(stmt.select->items[0].expr.get());
+  EXPECT_EQ(item->op, BinaryOp::kAdd);
+  EXPECT_EQ(static_cast<BinaryExpr*>(item->right.get())->op, BinaryOp::kMul);
+  // x=1 OR (y=2 AND z=3)
+  const auto* where = static_cast<BinaryExpr*>(stmt.select->where.get());
+  EXPECT_EQ(where->op, BinaryOp::kOr);
+  EXPECT_EQ(static_cast<BinaryExpr*>(where->right.get())->op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, NegativeNumbersFold) {
+  Statement stmt = Parse("SELECT * FROM t WHERE lat < -115.978").value();
+  const auto* where = static_cast<BinaryExpr*>(stmt.select->where.get());
+  const auto* lit = static_cast<LiteralExpr*>(where->right.get());
+  EXPECT_DOUBLE_EQ(lit->value.double_value(), -115.978);
+}
+
+TEST(ParserTest, GroupByOrderByLimit) {
+  Statement stmt = Parse(
+      "SELECT id, AVG(v) FROM t GROUP BY id ORDER BY id DESC LIMIT 10")
+      .value();
+  EXPECT_EQ(stmt.select->group_by.size(), 1u);
+  ASSERT_EQ(stmt.select->order_by.size(), 1u);
+  EXPECT_FALSE(stmt.select->order_by[0].ascending);
+  EXPECT_EQ(stmt.select->limit, 10);
+}
+
+TEST(ParserTest, Aggregates) {
+  Statement stmt =
+      Parse("SELECT COUNT(*), SUM(a), MIN(b), MAX(b), AVG(a) FROM t")
+          .value();
+  EXPECT_EQ(stmt.select->items.size(), 5u);
+  const auto* count =
+      static_cast<AggregateExpr*>(stmt.select->items[0].expr.get());
+  EXPECT_TRUE(count->star);
+  EXPECT_EQ(count->func, AggregateFunc::kCount);
+}
+
+TEST(ParserTest, StarOnlyValidInCount) {
+  EXPECT_FALSE(Parse("SELECT SUM(*) FROM t").ok());
+}
+
+TEST(ParserTest, IsNullAndNot) {
+  Statement stmt =
+      Parse("SELECT * FROM t WHERE a IS NULL AND b IS NOT NULL AND NOT c = 1")
+          .value();
+  ASSERT_NE(stmt.select->where, nullptr);
+}
+
+TEST(ParserTest, InsertPositional) {
+  Statement stmt =
+      Parse("INSERT INTO t VALUES (1, 'x', 2.5), (2, 'y', 3.5)").value();
+  ASSERT_EQ(stmt.kind, Statement::Kind::kInsert);
+  EXPECT_EQ(stmt.insert->table, "t");
+  EXPECT_TRUE(stmt.insert->columns.empty());
+  EXPECT_EQ(stmt.insert->rows.size(), 2u);
+  EXPECT_EQ(stmt.insert->rows[0].size(), 3u);
+}
+
+TEST(ParserTest, InsertWithColumns) {
+  Statement stmt = Parse("INSERT INTO t (a, b) VALUES (1, 2)").value();
+  ASSERT_EQ(stmt.insert->columns.size(), 2u);
+  EXPECT_EQ(stmt.insert->columns[1], "b");
+}
+
+TEST(ParserTest, CreateTable) {
+  Statement stmt = Parse(
+      "CREATE TABLE sensor_info (id BIGINT, name VARCHAR(32), lat DOUBLE, "
+      "born TIMESTAMP, ok BOOLEAN)").value();
+  ASSERT_EQ(stmt.kind, Statement::Kind::kCreateTable);
+  ASSERT_EQ(stmt.create_table->columns.size(), 5u);
+  EXPECT_EQ(stmt.create_table->columns[0].type, DataType::kInt64);
+  EXPECT_EQ(stmt.create_table->columns[1].type, DataType::kString);
+  EXPECT_EQ(stmt.create_table->columns[2].type, DataType::kDouble);
+  EXPECT_EQ(stmt.create_table->columns[3].type, DataType::kTimestamp);
+  EXPECT_EQ(stmt.create_table->columns[4].type, DataType::kBool);
+}
+
+TEST(ParserTest, CreateIndex) {
+  Statement stmt = Parse("CREATE INDEX idx ON t (a, b)").value();
+  ASSERT_EQ(stmt.kind, Statement::Kind::kCreateIndex);
+  EXPECT_EQ(stmt.create_index->index, "idx");
+  EXPECT_EQ(stmt.create_index->table, "t");
+  EXPECT_EQ(stmt.create_index->columns.size(), 2u);
+}
+
+TEST(ParserTest, ErrorsAreInvalidArgument) {
+  EXPECT_TRUE(Parse("SELEC * FROM t").status().IsInvalidArgument());
+  EXPECT_TRUE(Parse("SELECT FROM t").status().IsInvalidArgument());
+  EXPECT_TRUE(Parse("SELECT * FROM").status().IsInvalidArgument());
+  EXPECT_TRUE(Parse("SELECT * FROM t WHERE").status().IsInvalidArgument());
+  EXPECT_TRUE(Parse("SELECT * FROM t extra garbage ,")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(Parse("CREATE TABLE t (a FOO)").status().IsInvalidArgument());
+}
+
+TEST(ParserTest, TrailingSemicolonAccepted) {
+  EXPECT_TRUE(Parse("SELECT * FROM t;").ok());
+}
+
+}  // namespace
+}  // namespace odh::sql

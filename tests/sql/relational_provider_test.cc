@@ -1,0 +1,159 @@
+#include "sql/relational_provider.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "relational/database.h"
+
+namespace odh::sql {
+namespace {
+
+using relational::Database;
+using relational::Schema;
+using relational::Table;
+
+class RelationalProviderTest : public ::testing::Test {
+ protected:
+  RelationalProviderTest() {
+    table_ = db_.CreateTable("obs", Schema({{"ts", DataType::kTimestamp},
+                                            {"id", DataType::kInt64},
+                                            {"temp", DataType::kDouble}}))
+                 .value();
+    ODH_CHECK_OK(table_->AddIndex({"by_ts", {0}}));
+    ODH_CHECK_OK(table_->AddIndex({"by_id", {1}}));
+    for (int i = 0; i < 300; ++i) {
+      table_
+          ->Insert({Datum::Time(i * 1000), Datum::Int64(i % 30),
+                    Datum::Double(15.0 + (i % 7))})
+          .value();
+    }
+    provider_ = std::make_unique<RelationalTableProvider>(table_);
+  }
+
+  static int Drain(RowCursor* cursor, std::vector<Row>* rows = nullptr) {
+    Row row;
+    int n = 0;
+    while (cursor->Next(&row).value()) {
+      if (rows != nullptr) rows->push_back(row);
+      ++n;
+    }
+    return n;
+  }
+
+  Database db_;
+  Table* table_;
+  std::unique_ptr<RelationalTableProvider> provider_;
+};
+
+TEST_F(RelationalProviderTest, FullScanReturnsEverything) {
+  ScanSpec spec;
+  auto cursor = provider_->Scan(spec).value();
+  EXPECT_EQ(Drain(cursor.get()), 300);
+}
+
+TEST_F(RelationalProviderTest, EqualityConstraintExact) {
+  ScanSpec spec;
+  ColumnConstraint c;
+  c.column = 1;
+  c.equals = Datum::Int64(4);
+  spec.constraints.push_back(c);
+  std::vector<Row> rows;
+  auto cursor = provider_->Scan(spec).value();
+  EXPECT_EQ(Drain(cursor.get(), &rows), 10);
+  for (const Row& row : rows) EXPECT_EQ(row[1], Datum::Int64(4));
+}
+
+TEST_F(RelationalProviderTest, ExclusiveBoundsReFiltered) {
+  // ts > 1000 AND ts < 3000 -> exactly 1001..2999 step 1000 = {2000}.
+  ScanSpec spec;
+  ColumnConstraint c;
+  c.column = 0;
+  c.lower = Bound{Datum::Time(1000), /*inclusive=*/false};
+  c.upper = Bound{Datum::Time(3000), /*inclusive=*/false};
+  spec.constraints.push_back(c);
+  std::vector<Row> rows;
+  auto cursor = provider_->Scan(spec).value();
+  ASSERT_EQ(Drain(cursor.get(), &rows), 1);
+  EXPECT_EQ(rows[0][0], Datum::Time(2000));
+}
+
+TEST_F(RelationalProviderTest, MultipleConstraintsAllApplied) {
+  ScanSpec spec;
+  ColumnConstraint by_id;
+  by_id.column = 1;
+  by_id.equals = Datum::Int64(3);
+  ColumnConstraint by_ts;
+  by_ts.column = 0;
+  by_ts.upper = Bound{Datum::Time(100000), true};
+  spec.constraints = {by_id, by_ts};
+  std::vector<Row> rows;
+  auto cursor = provider_->Scan(spec).value();
+  for (int n = Drain(cursor.get(), &rows); n > 0; --n) {
+  }
+  for (const Row& row : rows) {
+    EXPECT_EQ(row[1], Datum::Int64(3));
+    EXPECT_LE(row[0].timestamp_value(), 100000);
+  }
+  EXPECT_EQ(rows.size(), 4u);  // ids 3,33,63,93 -> ts 3000..93000.
+}
+
+TEST_F(RelationalProviderTest, ProjectionLeavesOtherColumnsNull) {
+  ScanSpec spec;
+  spec.projection = {1};
+  ColumnConstraint c;
+  c.column = 1;
+  c.equals = Datum::Int64(0);
+  spec.constraints.push_back(c);
+  std::vector<Row> rows;
+  auto cursor = provider_->Scan(spec).value();
+  ASSERT_GT(Drain(cursor.get(), &rows), 0);
+  for (const Row& row : rows) {
+    EXPECT_FALSE(row[1].is_null());
+    EXPECT_TRUE(row[2].is_null());  // temp not fetched.
+  }
+}
+
+TEST_F(RelationalProviderTest, AnalyzeProducesSaneStats) {
+  ODH_CHECK_OK(provider_->Analyze());
+  const TableStats& stats = provider_->stats();
+  ASSERT_TRUE(stats.valid);
+  EXPECT_EQ(stats.row_count, 300);
+  EXPECT_EQ(stats.columns[1].distinct, 30);
+  EXPECT_DOUBLE_EQ(stats.columns[0].min, 0);
+  EXPECT_DOUBLE_EQ(stats.columns[0].max, 299000);
+  EXPECT_DOUBLE_EQ(stats.columns[2].null_fraction, 0);
+}
+
+TEST_F(RelationalProviderTest, EstimatesTightenWithConstraints) {
+  ODH_CHECK_OK(provider_->Analyze());
+  ScanSpec full;
+  ScanSpec narrow;
+  ColumnConstraint c;
+  c.column = 1;
+  c.equals = Datum::Int64(5);
+  narrow.constraints.push_back(c);
+  ScanEstimate full_est = provider_->Estimate(full);
+  ScanEstimate narrow_est = provider_->Estimate(narrow);
+  EXPECT_NEAR(full_est.rows, 300, 1);
+  EXPECT_NEAR(narrow_est.rows, 10, 1);
+  EXPECT_LT(narrow_est.bytes, full_est.bytes);
+}
+
+TEST_F(RelationalProviderTest, SupportsPointLookupMatchesIndexes) {
+  EXPECT_TRUE(provider_->SupportsPointLookup(0));
+  EXPECT_TRUE(provider_->SupportsPointLookup(1));
+  EXPECT_FALSE(provider_->SupportsPointLookup(2));
+}
+
+TEST_F(RelationalProviderTest, RowSatisfiesNullSemantics) {
+  ColumnConstraint c;
+  c.column = 0;
+  c.upper = Bound{Datum::Int64(10), true};
+  // NULL never satisfies a constraint (SQL semantics).
+  EXPECT_FALSE(RowSatisfies({Datum::Null()}, {c}));
+  EXPECT_TRUE(RowSatisfies({Datum::Int64(5)}, {c}));
+  EXPECT_FALSE(RowSatisfies({Datum::Int64(11)}, {c}));
+}
+
+}  // namespace
+}  // namespace odh::sql

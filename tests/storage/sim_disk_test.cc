@@ -1,0 +1,98 @@
+#include "storage/sim_disk.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace odh::storage {
+namespace {
+
+TEST(SimDiskTest, CreateOpenDelete) {
+  SimDisk disk;
+  auto created = disk.CreateFile("a");
+  ASSERT_TRUE(created.ok());
+  auto opened = disk.OpenFile("a");
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(created.value(), opened.value());
+  EXPECT_TRUE(disk.CreateFile("a").status().code() ==
+              StatusCode::kAlreadyExists);
+  ASSERT_TRUE(disk.DeleteFile("a").ok());
+  EXPECT_TRUE(disk.OpenFile("a").status().IsNotFound());
+  EXPECT_TRUE(disk.DeleteFile("a").IsNotFound());
+}
+
+TEST(SimDiskTest, AllocateReadWrite) {
+  SimDisk disk(512);
+  FileId f = disk.CreateFile("f").value();
+  auto p0 = disk.AllocatePage(f);
+  ASSERT_TRUE(p0.ok());
+  EXPECT_EQ(p0.value(), 0u);
+  EXPECT_EQ(disk.AllocatePage(f).value(), 1u);
+
+  std::string buf(512, 'x');
+  ASSERT_TRUE(disk.WritePage(f, 0, buf.data()).ok());
+  std::string out(512, 0);
+  ASSERT_TRUE(disk.ReadPage(f, 0, out.data()).ok());
+  EXPECT_EQ(out, buf);
+
+  // Fresh pages read back zeroed.
+  ASSERT_TRUE(disk.ReadPage(f, 1, out.data()).ok());
+  EXPECT_EQ(out, std::string(512, '\0'));
+}
+
+TEST(SimDiskTest, BadAccessesFail) {
+  SimDisk disk;
+  FileId f = disk.CreateFile("f").value();
+  std::string buf(disk.page_size(), 0);
+  EXPECT_FALSE(disk.ReadPage(f, 0, buf.data()).ok());
+  EXPECT_FALSE(disk.WritePage(f, 5, buf.data()).ok());
+  EXPECT_FALSE(disk.ReadPage(99, 0, buf.data()).ok());
+}
+
+TEST(SimDiskTest, StatsAccounting) {
+  SimDisk disk(1024);
+  FileId f = disk.CreateFile("f").value();
+  (void)disk.AllocatePage(f);
+  (void)disk.AllocatePage(f);
+  std::string buf(1024, 'y');
+  (void)disk.WritePage(f, 0, buf.data());
+  (void)disk.WritePage(f, 1, buf.data());
+  (void)disk.WritePage(f, 1, buf.data());
+  (void)disk.ReadPage(f, 0, buf.data());
+
+  const IoStats& s = disk.stats();
+  EXPECT_EQ(s.pages_allocated, 2u);
+  EXPECT_EQ(s.page_writes, 3u);
+  EXPECT_EQ(s.bytes_written, 3u * 1024);
+  EXPECT_EQ(s.page_reads, 1u);
+  EXPECT_EQ(s.bytes_read, 1024u);
+
+  disk.ResetStats();
+  EXPECT_EQ(disk.stats().page_writes, 0u);
+}
+
+TEST(SimDiskTest, StorageSizeTracksFiles) {
+  SimDisk disk(1000);
+  FileId a = disk.CreateFile("a").value();
+  FileId b = disk.CreateFile("b").value();
+  (void)disk.AllocatePage(a);
+  (void)disk.AllocatePage(a);
+  (void)disk.AllocatePage(b);
+  EXPECT_EQ(disk.TotalBytesStored(), 3000u);
+  EXPECT_EQ(disk.FileBytes(a).value(), 2000u);
+  ASSERT_TRUE(disk.DeleteFile("a").ok());
+  EXPECT_EQ(disk.TotalBytesStored(), 1000u);
+}
+
+TEST(SimDiskTest, ListFiles) {
+  SimDisk disk;
+  (void)disk.CreateFile("b");
+  (void)disk.CreateFile("a");
+  auto names = disk.ListFiles();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+}
+
+}  // namespace
+}  // namespace odh::storage

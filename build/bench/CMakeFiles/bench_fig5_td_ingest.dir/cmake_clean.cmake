@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_td_ingest.dir/bench_fig5_td_ingest.cpp.o"
+  "CMakeFiles/bench_fig5_td_ingest.dir/bench_fig5_td_ingest.cpp.o.d"
+  "bench_fig5_td_ingest"
+  "bench_fig5_td_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_td_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

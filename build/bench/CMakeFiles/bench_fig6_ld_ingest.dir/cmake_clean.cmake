@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_ld_ingest.dir/bench_fig6_ld_ingest.cpp.o"
+  "CMakeFiles/bench_fig6_ld_ingest.dir/bench_fig6_ld_ingest.cpp.o.d"
+  "bench_fig6_ld_ingest"
+  "bench_fig6_ld_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_ld_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_tags.dir/bench_fig7_tags.cpp.o"
+  "CMakeFiles/bench_fig7_tags.dir/bench_fig7_tags.cpp.o.d"
+  "bench_fig7_tags"
+  "bench_fig7_tags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_tags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimizer_plans.dir/bench_optimizer_plans.cpp.o"
+  "CMakeFiles/bench_optimizer_plans.dir/bench_optimizer_plans.cpp.o.d"
+  "bench_optimizer_plans"
+  "bench_optimizer_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimizer_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

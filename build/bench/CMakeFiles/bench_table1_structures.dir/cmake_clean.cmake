@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_structures.dir/bench_table1_structures.cpp.o"
+  "CMakeFiles/bench_table1_structures.dir/bench_table1_structures.cpp.o.d"
+  "bench_table1_structures"
+  "bench_table1_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_wams.dir/bench_table2_wams.cpp.o"
+  "CMakeFiles/bench_table2_wams.dir/bench_table2_wams.cpp.o.d"
+  "bench_table2_wams"
+  "bench_table2_wams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_wams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_vehicles.dir/bench_table3_vehicles.cpp.o"
+  "CMakeFiles/bench_table3_vehicles.dir/bench_table3_vehicles.cpp.o.d"
+  "bench_table3_vehicles"
+  "bench_table3_vehicles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_vehicles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_storage.dir/bench_table7_storage.cpp.o"
+  "CMakeFiles/bench_table7_storage.dir/bench_table7_storage.cpp.o.d"
+  "bench_table7_storage"
+  "bench_table7_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

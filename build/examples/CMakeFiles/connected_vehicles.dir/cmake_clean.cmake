@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connected_vehicles.dir/connected_vehicles.cpp.o"
+  "CMakeFiles/connected_vehicles.dir/connected_vehicles.cpp.o.d"
+  "connected_vehicles"
+  "connected_vehicles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connected_vehicles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

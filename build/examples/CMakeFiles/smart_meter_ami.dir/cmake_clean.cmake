@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_meter_ami.dir/smart_meter_ami.cpp.o"
+  "CMakeFiles/smart_meter_ami.dir/smart_meter_ami.cpp.o.d"
+  "smart_meter_ami"
+  "smart_meter_ami.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_meter_ami.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wams_pmu.dir/wams_pmu.cpp.o"
+  "CMakeFiles/wams_pmu.dir/wams_pmu.cpp.o.d"
+  "wams_pmu"
+  "wams_pmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wams_pmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchfw/csv.cc" "src/benchfw/CMakeFiles/odh_benchfw.dir/csv.cc.o" "gcc" "src/benchfw/CMakeFiles/odh_benchfw.dir/csv.cc.o.d"
+  "/root/repo/src/benchfw/dataset.cc" "src/benchfw/CMakeFiles/odh_benchfw.dir/dataset.cc.o" "gcc" "src/benchfw/CMakeFiles/odh_benchfw.dir/dataset.cc.o.d"
+  "/root/repo/src/benchfw/ld_generator.cc" "src/benchfw/CMakeFiles/odh_benchfw.dir/ld_generator.cc.o" "gcc" "src/benchfw/CMakeFiles/odh_benchfw.dir/ld_generator.cc.o.d"
+  "/root/repo/src/benchfw/runner.cc" "src/benchfw/CMakeFiles/odh_benchfw.dir/runner.cc.o" "gcc" "src/benchfw/CMakeFiles/odh_benchfw.dir/runner.cc.o.d"
+  "/root/repo/src/benchfw/target.cc" "src/benchfw/CMakeFiles/odh_benchfw.dir/target.cc.o" "gcc" "src/benchfw/CMakeFiles/odh_benchfw.dir/target.cc.o.d"
+  "/root/repo/src/benchfw/td_generator.cc" "src/benchfw/CMakeFiles/odh_benchfw.dir/td_generator.cc.o" "gcc" "src/benchfw/CMakeFiles/odh_benchfw.dir/td_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/odh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/odh_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/odh_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/odh_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/odh_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/odh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odh_benchfw.dir/csv.cc.o"
+  "CMakeFiles/odh_benchfw.dir/csv.cc.o.d"
+  "CMakeFiles/odh_benchfw.dir/dataset.cc.o"
+  "CMakeFiles/odh_benchfw.dir/dataset.cc.o.d"
+  "CMakeFiles/odh_benchfw.dir/ld_generator.cc.o"
+  "CMakeFiles/odh_benchfw.dir/ld_generator.cc.o.d"
+  "CMakeFiles/odh_benchfw.dir/runner.cc.o"
+  "CMakeFiles/odh_benchfw.dir/runner.cc.o.d"
+  "CMakeFiles/odh_benchfw.dir/target.cc.o"
+  "CMakeFiles/odh_benchfw.dir/target.cc.o.d"
+  "CMakeFiles/odh_benchfw.dir/td_generator.cc.o"
+  "CMakeFiles/odh_benchfw.dir/td_generator.cc.o.d"
+  "libodh_benchfw.a"
+  "libodh_benchfw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odh_benchfw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

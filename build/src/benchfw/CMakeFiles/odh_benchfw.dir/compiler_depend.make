@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for odh_benchfw.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/coding.cc" "src/common/CMakeFiles/odh_common.dir/coding.cc.o" "gcc" "src/common/CMakeFiles/odh_common.dir/coding.cc.o.d"
+  "/root/repo/src/common/datum.cc" "src/common/CMakeFiles/odh_common.dir/datum.cc.o" "gcc" "src/common/CMakeFiles/odh_common.dir/datum.cc.o.d"
+  "/root/repo/src/common/key_codec.cc" "src/common/CMakeFiles/odh_common.dir/key_codec.cc.o" "gcc" "src/common/CMakeFiles/odh_common.dir/key_codec.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/odh_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/odh_common.dir/status.cc.o.d"
+  "/root/repo/src/common/stopwatch.cc" "src/common/CMakeFiles/odh_common.dir/stopwatch.cc.o" "gcc" "src/common/CMakeFiles/odh_common.dir/stopwatch.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "src/common/CMakeFiles/odh_common.dir/table_printer.cc.o" "gcc" "src/common/CMakeFiles/odh_common.dir/table_printer.cc.o.d"
+  "/root/repo/src/common/types.cc" "src/common/CMakeFiles/odh_common.dir/types.cc.o" "gcc" "src/common/CMakeFiles/odh_common.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

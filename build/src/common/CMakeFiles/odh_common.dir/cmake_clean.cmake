@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odh_common.dir/coding.cc.o"
+  "CMakeFiles/odh_common.dir/coding.cc.o.d"
+  "CMakeFiles/odh_common.dir/datum.cc.o"
+  "CMakeFiles/odh_common.dir/datum.cc.o.d"
+  "CMakeFiles/odh_common.dir/key_codec.cc.o"
+  "CMakeFiles/odh_common.dir/key_codec.cc.o.d"
+  "CMakeFiles/odh_common.dir/status.cc.o"
+  "CMakeFiles/odh_common.dir/status.cc.o.d"
+  "CMakeFiles/odh_common.dir/stopwatch.cc.o"
+  "CMakeFiles/odh_common.dir/stopwatch.cc.o.d"
+  "CMakeFiles/odh_common.dir/table_printer.cc.o"
+  "CMakeFiles/odh_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/odh_common.dir/types.cc.o"
+  "CMakeFiles/odh_common.dir/types.cc.o.d"
+  "libodh_common.a"
+  "libodh_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odh_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compression.cc" "src/core/CMakeFiles/odh_core.dir/compression.cc.o" "gcc" "src/core/CMakeFiles/odh_core.dir/compression.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/odh_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/odh_core.dir/config.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/odh_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/odh_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/odh.cc" "src/core/CMakeFiles/odh_core.dir/odh.cc.o" "gcc" "src/core/CMakeFiles/odh_core.dir/odh.cc.o.d"
+  "/root/repo/src/core/reader.cc" "src/core/CMakeFiles/odh_core.dir/reader.cc.o" "gcc" "src/core/CMakeFiles/odh_core.dir/reader.cc.o.d"
+  "/root/repo/src/core/reorganizer.cc" "src/core/CMakeFiles/odh_core.dir/reorganizer.cc.o" "gcc" "src/core/CMakeFiles/odh_core.dir/reorganizer.cc.o.d"
+  "/root/repo/src/core/router.cc" "src/core/CMakeFiles/odh_core.dir/router.cc.o" "gcc" "src/core/CMakeFiles/odh_core.dir/router.cc.o.d"
+  "/root/repo/src/core/store.cc" "src/core/CMakeFiles/odh_core.dir/store.cc.o" "gcc" "src/core/CMakeFiles/odh_core.dir/store.cc.o.d"
+  "/root/repo/src/core/value_blob.cc" "src/core/CMakeFiles/odh_core.dir/value_blob.cc.o" "gcc" "src/core/CMakeFiles/odh_core.dir/value_blob.cc.o.d"
+  "/root/repo/src/core/virtual_table.cc" "src/core/CMakeFiles/odh_core.dir/virtual_table.cc.o" "gcc" "src/core/CMakeFiles/odh_core.dir/virtual_table.cc.o.d"
+  "/root/repo/src/core/writer.cc" "src/core/CMakeFiles/odh_core.dir/writer.cc.o" "gcc" "src/core/CMakeFiles/odh_core.dir/writer.cc.o.d"
+  "/root/repo/src/core/zone_map.cc" "src/core/CMakeFiles/odh_core.dir/zone_map.cc.o" "gcc" "src/core/CMakeFiles/odh_core.dir/zone_map.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/odh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/odh_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/odh_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/odh_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/odh_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odh_core.dir/compression.cc.o"
+  "CMakeFiles/odh_core.dir/compression.cc.o.d"
+  "CMakeFiles/odh_core.dir/config.cc.o"
+  "CMakeFiles/odh_core.dir/config.cc.o.d"
+  "CMakeFiles/odh_core.dir/cost_model.cc.o"
+  "CMakeFiles/odh_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/odh_core.dir/odh.cc.o"
+  "CMakeFiles/odh_core.dir/odh.cc.o.d"
+  "CMakeFiles/odh_core.dir/reader.cc.o"
+  "CMakeFiles/odh_core.dir/reader.cc.o.d"
+  "CMakeFiles/odh_core.dir/reorganizer.cc.o"
+  "CMakeFiles/odh_core.dir/reorganizer.cc.o.d"
+  "CMakeFiles/odh_core.dir/router.cc.o"
+  "CMakeFiles/odh_core.dir/router.cc.o.d"
+  "CMakeFiles/odh_core.dir/store.cc.o"
+  "CMakeFiles/odh_core.dir/store.cc.o.d"
+  "CMakeFiles/odh_core.dir/value_blob.cc.o"
+  "CMakeFiles/odh_core.dir/value_blob.cc.o.d"
+  "CMakeFiles/odh_core.dir/virtual_table.cc.o"
+  "CMakeFiles/odh_core.dir/virtual_table.cc.o.d"
+  "CMakeFiles/odh_core.dir/writer.cc.o"
+  "CMakeFiles/odh_core.dir/writer.cc.o.d"
+  "CMakeFiles/odh_core.dir/zone_map.cc.o"
+  "CMakeFiles/odh_core.dir/zone_map.cc.o.d"
+  "libodh_core.a"
+  "libodh_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odh_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

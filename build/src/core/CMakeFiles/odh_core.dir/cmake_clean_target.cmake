@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libodh_core.a"
+)

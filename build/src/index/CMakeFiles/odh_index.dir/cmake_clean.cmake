@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odh_index.dir/btree.cc.o"
+  "CMakeFiles/odh_index.dir/btree.cc.o.d"
+  "libodh_index.a"
+  "libodh_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odh_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

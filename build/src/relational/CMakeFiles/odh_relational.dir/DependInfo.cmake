@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/database.cc" "src/relational/CMakeFiles/odh_relational.dir/database.cc.o" "gcc" "src/relational/CMakeFiles/odh_relational.dir/database.cc.o.d"
+  "/root/repo/src/relational/heap_file.cc" "src/relational/CMakeFiles/odh_relational.dir/heap_file.cc.o" "gcc" "src/relational/CMakeFiles/odh_relational.dir/heap_file.cc.o.d"
+  "/root/repo/src/relational/row_codec.cc" "src/relational/CMakeFiles/odh_relational.dir/row_codec.cc.o" "gcc" "src/relational/CMakeFiles/odh_relational.dir/row_codec.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/relational/CMakeFiles/odh_relational.dir/schema.cc.o" "gcc" "src/relational/CMakeFiles/odh_relational.dir/schema.cc.o.d"
+  "/root/repo/src/relational/table.cc" "src/relational/CMakeFiles/odh_relational.dir/table.cc.o" "gcc" "src/relational/CMakeFiles/odh_relational.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/odh_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/odh_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/odh_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odh_relational.dir/database.cc.o"
+  "CMakeFiles/odh_relational.dir/database.cc.o.d"
+  "CMakeFiles/odh_relational.dir/heap_file.cc.o"
+  "CMakeFiles/odh_relational.dir/heap_file.cc.o.d"
+  "CMakeFiles/odh_relational.dir/row_codec.cc.o"
+  "CMakeFiles/odh_relational.dir/row_codec.cc.o.d"
+  "CMakeFiles/odh_relational.dir/schema.cc.o"
+  "CMakeFiles/odh_relational.dir/schema.cc.o.d"
+  "CMakeFiles/odh_relational.dir/table.cc.o"
+  "CMakeFiles/odh_relational.dir/table.cc.o.d"
+  "libodh_relational.a"
+  "libodh_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odh_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

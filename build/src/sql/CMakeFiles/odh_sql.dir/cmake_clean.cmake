@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odh_sql.dir/ast.cc.o"
+  "CMakeFiles/odh_sql.dir/ast.cc.o.d"
+  "CMakeFiles/odh_sql.dir/binder.cc.o"
+  "CMakeFiles/odh_sql.dir/binder.cc.o.d"
+  "CMakeFiles/odh_sql.dir/catalog.cc.o"
+  "CMakeFiles/odh_sql.dir/catalog.cc.o.d"
+  "CMakeFiles/odh_sql.dir/engine.cc.o"
+  "CMakeFiles/odh_sql.dir/engine.cc.o.d"
+  "CMakeFiles/odh_sql.dir/executor.cc.o"
+  "CMakeFiles/odh_sql.dir/executor.cc.o.d"
+  "CMakeFiles/odh_sql.dir/expr_eval.cc.o"
+  "CMakeFiles/odh_sql.dir/expr_eval.cc.o.d"
+  "CMakeFiles/odh_sql.dir/lexer.cc.o"
+  "CMakeFiles/odh_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/odh_sql.dir/parser.cc.o"
+  "CMakeFiles/odh_sql.dir/parser.cc.o.d"
+  "CMakeFiles/odh_sql.dir/planner.cc.o"
+  "CMakeFiles/odh_sql.dir/planner.cc.o.d"
+  "CMakeFiles/odh_sql.dir/relational_provider.cc.o"
+  "CMakeFiles/odh_sql.dir/relational_provider.cc.o.d"
+  "libodh_sql.a"
+  "libodh_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odh_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odh_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/odh_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/odh_storage.dir/sim_disk.cc.o"
+  "CMakeFiles/odh_storage.dir/sim_disk.cc.o.d"
+  "libodh_storage.a"
+  "libodh_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odh_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchfw_csv_test.dir/csv_test.cc.o"
+  "CMakeFiles/benchfw_csv_test.dir/csv_test.cc.o.d"
+  "benchfw_csv_test"
+  "benchfw_csv_test.pdb"
+  "benchfw_csv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchfw_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchfw_generators_test.dir/generators_test.cc.o"
+  "CMakeFiles/benchfw_generators_test.dir/generators_test.cc.o.d"
+  "benchfw_generators_test"
+  "benchfw_generators_test.pdb"
+  "benchfw_generators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchfw_generators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

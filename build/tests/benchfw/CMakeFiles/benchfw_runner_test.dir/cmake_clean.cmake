@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchfw_runner_test.dir/runner_test.cc.o"
+  "CMakeFiles/benchfw_runner_test.dir/runner_test.cc.o.d"
+  "benchfw_runner_test"
+  "benchfw_runner_test.pdb"
+  "benchfw_runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchfw_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

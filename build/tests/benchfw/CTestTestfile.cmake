@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/benchfw
+# Build directory: /root/repo/build/tests/benchfw
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/benchfw/benchfw_generators_test[1]_include.cmake")
+include("/root/repo/build/tests/benchfw/benchfw_runner_test[1]_include.cmake")
+include("/root/repo/build/tests/benchfw/benchfw_csv_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_coding_test.dir/coding_test.cc.o"
+  "CMakeFiles/common_coding_test.dir/coding_test.cc.o.d"
+  "common_coding_test"
+  "common_coding_test.pdb"
+  "common_coding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_coding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

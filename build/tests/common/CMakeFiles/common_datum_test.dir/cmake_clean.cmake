@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_datum_test.dir/datum_test.cc.o"
+  "CMakeFiles/common_datum_test.dir/datum_test.cc.o.d"
+  "common_datum_test"
+  "common_datum_test.pdb"
+  "common_datum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_datum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

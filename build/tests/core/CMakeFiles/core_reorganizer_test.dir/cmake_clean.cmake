@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_reorganizer_test.dir/reorganizer_test.cc.o"
+  "CMakeFiles/core_reorganizer_test.dir/reorganizer_test.cc.o.d"
+  "core_reorganizer_test"
+  "core_reorganizer_test.pdb"
+  "core_reorganizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_reorganizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

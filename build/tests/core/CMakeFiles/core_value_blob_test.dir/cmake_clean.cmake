@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_value_blob_test.dir/value_blob_test.cc.o"
+  "CMakeFiles/core_value_blob_test.dir/value_blob_test.cc.o.d"
+  "core_value_blob_test"
+  "core_value_blob_test.pdb"
+  "core_value_blob_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_value_blob_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_writer_test.dir/writer_test.cc.o"
+  "CMakeFiles/core_writer_test.dir/writer_test.cc.o.d"
+  "core_writer_test"
+  "core_writer_test.pdb"
+  "core_writer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_zone_map_test.dir/zone_map_test.cc.o"
+  "CMakeFiles/core_zone_map_test.dir/zone_map_test.cc.o.d"
+  "core_zone_map_test"
+  "core_zone_map_test.pdb"
+  "core_zone_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_zone_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

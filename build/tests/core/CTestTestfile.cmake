@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/core
+# Build directory: /root/repo/build/tests/core
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core/core_compression_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_value_blob_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_config_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_writer_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_odh_system_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_reorganizer_test[1]_include.cmake")
+include("/root/repo/build/tests/core/core_zone_map_test[1]_include.cmake")

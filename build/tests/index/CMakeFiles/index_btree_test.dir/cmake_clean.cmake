@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_btree_test.dir/btree_test.cc.o"
+  "CMakeFiles/index_btree_test.dir/btree_test.cc.o.d"
+  "index_btree_test"
+  "index_btree_test.pdb"
+  "index_btree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_btree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

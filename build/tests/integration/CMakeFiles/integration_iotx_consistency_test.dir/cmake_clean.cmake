@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_iotx_consistency_test.dir/iotx_consistency_test.cc.o"
+  "CMakeFiles/integration_iotx_consistency_test.dir/iotx_consistency_test.cc.o.d"
+  "integration_iotx_consistency_test"
+  "integration_iotx_consistency_test.pdb"
+  "integration_iotx_consistency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_iotx_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/relational/heap_file_test.cc" "tests/relational/CMakeFiles/relational_heap_file_test.dir/heap_file_test.cc.o" "gcc" "tests/relational/CMakeFiles/relational_heap_file_test.dir/heap_file_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/odh_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/odh_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/odh_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/odh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_heap_file_test.dir/heap_file_test.cc.o"
+  "CMakeFiles/relational_heap_file_test.dir/heap_file_test.cc.o.d"
+  "relational_heap_file_test"
+  "relational_heap_file_test.pdb"
+  "relational_heap_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_heap_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_row_codec_test.dir/row_codec_test.cc.o"
+  "CMakeFiles/relational_row_codec_test.dir/row_codec_test.cc.o.d"
+  "relational_row_codec_test"
+  "relational_row_codec_test.pdb"
+  "relational_row_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_row_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

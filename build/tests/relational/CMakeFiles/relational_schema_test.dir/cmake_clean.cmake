@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_schema_test.dir/schema_test.cc.o"
+  "CMakeFiles/relational_schema_test.dir/schema_test.cc.o.d"
+  "relational_schema_test"
+  "relational_schema_test.pdb"
+  "relational_schema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

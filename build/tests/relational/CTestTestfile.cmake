@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/relational
+# Build directory: /root/repo/build/tests/relational
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/relational/relational_schema_test[1]_include.cmake")
+include("/root/repo/build/tests/relational/relational_row_codec_test[1]_include.cmake")
+include("/root/repo/build/tests/relational/relational_heap_file_test[1]_include.cmake")
+include("/root/repo/build/tests/relational/relational_table_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_expr_eval_test.dir/expr_eval_test.cc.o"
+  "CMakeFiles/sql_expr_eval_test.dir/expr_eval_test.cc.o.d"
+  "sql_expr_eval_test"
+  "sql_expr_eval_test.pdb"
+  "sql_expr_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_expr_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

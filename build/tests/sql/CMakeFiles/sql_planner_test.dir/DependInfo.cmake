@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sql/planner_test.cc" "tests/sql/CMakeFiles/sql_planner_test.dir/planner_test.cc.o" "gcc" "tests/sql/CMakeFiles/sql_planner_test.dir/planner_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/odh_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/odh_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/odh_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/odh_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/odh_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_relational_provider_test.dir/relational_provider_test.cc.o"
+  "CMakeFiles/sql_relational_provider_test.dir/relational_provider_test.cc.o.d"
+  "sql_relational_provider_test"
+  "sql_relational_provider_test.pdb"
+  "sql_relational_provider_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_relational_provider_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

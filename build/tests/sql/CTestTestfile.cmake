@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sql
+# Build directory: /root/repo/build/tests/sql
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sql/sql_lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/sql/sql_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/sql/sql_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/sql/sql_planner_test[1]_include.cmake")
+include("/root/repo/build/tests/sql/sql_relational_provider_test[1]_include.cmake")
+include("/root/repo/build/tests/sql/sql_expr_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/sql/sql_executor_test[1]_include.cmake")

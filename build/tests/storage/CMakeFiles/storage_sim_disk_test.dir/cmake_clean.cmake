@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_sim_disk_test.dir/sim_disk_test.cc.o"
+  "CMakeFiles/storage_sim_disk_test.dir/sim_disk_test.cc.o.d"
+  "storage_sim_disk_test"
+  "storage_sim_disk_test.pdb"
+  "storage_sim_disk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_sim_disk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -104,7 +104,12 @@ Candidate MakeRelational(const relational::EngineProfile& profile,
 }
 
 std::string TsLiteral(Timestamp ts) {
-  return "'" + FormatTimestamp(ts) + "'";
+  // Built with append rather than operator+ to sidestep a GCC 12 -Wrestrict
+  // false positive (PR105329) that -Werror builds would otherwise trip on.
+  std::string out = "'";
+  out.append(FormatTimestamp(ts));
+  out.push_back('\'');
+  return out;
 }
 
 int Run(int argc, char** argv) {

@@ -4,9 +4,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "benchfw/runner.h"
+#include "common/stopwatch.h"
 #include "common/table_printer.h"
+#include "storage/checksum.h"
 
 namespace odh::bench {
 
@@ -34,6 +37,47 @@ inline std::string Fmt(const char* fmt, double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), fmt, v);
   return buf;
+}
+
+/// Measures the CRC32C rate of this machine (bytes/second) so benches can
+/// turn a run's checksum_bytes counter into an estimated CPU cost — the
+/// "durability tax" line reported next to the paper's ingest numbers.
+inline double CalibrateCrc32cBytesPerSecond() {
+  constexpr size_t kBlock = 64 * 1024;
+  std::vector<char> buf(kBlock);
+  for (size_t i = 0; i < kBlock; ++i) buf[i] = static_cast<char>(i * 131);
+  // Warm-up pass, then time enough passes to dominate timer noise.
+  uint32_t sink = storage::Crc32c(buf.data(), kBlock);
+  Stopwatch timer;
+  constexpr int kPasses = 256;
+  for (int p = 0; p < kPasses; ++p) {
+    sink ^= storage::Crc32c(buf.data(), kBlock);
+  }
+  double seconds = timer.ElapsedSeconds();
+  // Keep `sink` alive so the loop cannot be optimized away.
+  if (sink == 0xDEADBEEF) std::printf(" ");
+  if (seconds <= 0) return 0;
+  return static_cast<double>(kBlock) * kPasses / seconds;
+}
+
+/// Prints the durability counters of one ingest run (retries, CRC volume,
+/// WAL volume) plus the estimated CRC share of the run's CPU time.
+inline void PrintDurability(const char* label,
+                            const benchfw::IngestMetrics& m,
+                            double crc_bytes_per_second) {
+  std::printf(
+      "%s durability: io_retries=%llu sync_retries=%llu "
+      "crc_pages=%llu(stamp)/%llu(verify) crc_failures=%llu "
+      "wal=%llu rec/%.1f KB, est. checksum overhead %.3f ms (%.2f%% of CPU)\n",
+      label, static_cast<unsigned long long>(m.durability.io_retries),
+      static_cast<unsigned long long>(m.durability.writer_sync_retries),
+      static_cast<unsigned long long>(m.durability.checksum_stamps),
+      static_cast<unsigned long long>(m.durability.checksum_verifies),
+      static_cast<unsigned long long>(m.durability.checksum_failures),
+      static_cast<unsigned long long>(m.durability.wal_records),
+      static_cast<double>(m.durability.wal_bytes) / 1024.0,
+      m.ChecksumOverheadSeconds(crc_bytes_per_second) * 1000.0,
+      m.ChecksumOverheadFraction(crc_bytes_per_second) * 100.0);
 }
 
 }  // namespace odh::bench

@@ -8,6 +8,21 @@
 
 namespace odh::benchfw {
 
+/// Durability-path counters collected from a target after an ingest run:
+/// how often the storage layer retried transient I/O, how many pages were
+/// checksummed, and how much redo log the run produced. All zero for
+/// targets (or runs) with the durability machinery idle.
+struct DurabilityCounters {
+  uint64_t io_retries = 0;         // Page I/Os re-issued after a transient fault.
+  uint64_t writer_sync_retries = 0;  // Store syncs re-issued by OdhWriter.
+  uint64_t checksum_stamps = 0;    // Pages CRC-stamped on write-back.
+  uint64_t checksum_verifies = 0;  // Pages CRC-verified on fetch from disk.
+  uint64_t checksum_failures = 0;  // Verifications that found corruption.
+  uint64_t checksum_bytes = 0;     // Bytes run through CRC32C (stamp+verify).
+  uint64_t wal_records = 0;        // Redo records made durable.
+  uint64_t wal_bytes = 0;          // Synced WAL bytes (framing included).
+};
+
 /// What one ingest workload reports (the columns of the paper's Figures 5/6
 /// and Tables 2/3).
 struct IngestMetrics {
@@ -24,6 +39,8 @@ struct IngestMetrics {
   /// Per-window CPU seconds (for max-load reporting).
   std::vector<double> window_cpu_seconds;
   double window_data_seconds = 1.0;
+  /// Retry / checksum / WAL counters (see DurabilityCounters).
+  DurabilityCounters durability;
 
   /// Achieved throughput in data points per second of processing time.
   double Throughput() const {
@@ -55,6 +72,22 @@ struct IngestMetrics {
   /// is against one core's throughput (the paper's red dashed line).
   bool RealTimeFeasible() const {
     return Throughput() >= offered_points_per_second;
+  }
+
+  /// Estimated CPU-seconds spent in CRC32C given a calibrated checksum
+  /// rate (bytes/second; see bench::CalibrateCrc32cBytesPerSecond). The
+  /// paper's ingest numbers predate the durability layer, so benches report
+  /// this as the "durability tax" on the CPU column.
+  double ChecksumOverheadSeconds(double crc_bytes_per_second) const {
+    if (crc_bytes_per_second <= 0) return 0;
+    return static_cast<double>(durability.checksum_bytes) /
+           crc_bytes_per_second;
+  }
+
+  /// The same overhead as a fraction of the run's total CPU time.
+  double ChecksumOverheadFraction(double crc_bytes_per_second) const {
+    if (cpu_seconds <= 0) return 0;
+    return ChecksumOverheadSeconds(crc_bytes_per_second) / cpu_seconds;
   }
 
   double IoBytesPerSecond() const {

@@ -44,6 +44,7 @@ Result<IngestMetrics> RunIngest(RecordStream* stream, IngestTarget* target,
   }
   metrics.bytes_written = target->BytesWritten();
   metrics.storage_bytes = target->StorageBytes();
+  metrics.durability = target->Durability();
   return metrics;
 }
 

@@ -64,4 +64,41 @@ Status RelationalTarget::Finish() {
   return db_->pool()->FlushAll();
 }
 
+namespace {
+
+/// Counters every instrumented target shares: the buffer pool's retry and
+/// CRC32C accounting. Checksums cover the usable page area (the trailer
+/// itself is excluded).
+DurabilityCounters PoolCounters(storage::BufferPool* pool) {
+  DurabilityCounters d;
+  d.io_retries = pool->io_retry_count();
+  d.checksum_stamps = pool->checksum_stamp_count();
+  d.checksum_verifies = pool->checksum_verify_count();
+  d.checksum_failures = pool->checksum_failure_count();
+  d.checksum_bytes = (d.checksum_stamps + d.checksum_verifies) *
+                     static_cast<uint64_t>(pool->usable_page_size());
+  return d;
+}
+
+}  // namespace
+
+DurabilityCounters OdhTarget::Durability() const {
+  DurabilityCounters d = PoolCounters(odh_->database()->pool());
+  d.writer_sync_retries =
+      static_cast<uint64_t>(odh_->writer()->stats().sync_retries);
+  if (const core::Wal* wal = odh_->store()->wal()) {
+    d.io_retries += wal->io_retries();
+    d.wal_records = wal->records_synced();
+    d.wal_bytes = wal->synced_bytes();
+    // The WAL checksums every frame payload it writes and re-verifies
+    // nothing during ingest, so its CRC bytes are the synced payload bytes.
+    d.checksum_bytes += wal->synced_bytes();
+  }
+  return d;
+}
+
+DurabilityCounters RelationalTarget::Durability() const {
+  return PoolCounters(db_->pool());
+}
+
 }  // namespace odh::benchfw

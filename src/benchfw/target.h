@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "benchfw/metrics.h"
 #include "benchfw/stream.h"
 #include "core/odh.h"
 
@@ -23,6 +24,11 @@ class IngestTarget {
 
   virtual uint64_t StorageBytes() const = 0;
   virtual uint64_t BytesWritten() const = 0;
+
+  /// Retry / checksum / WAL counters accumulated over the run. The default
+  /// reports nothing; targets backed by the instrumented storage stack
+  /// override it.
+  virtual DurabilityCounters Durability() const { return {}; }
 };
 
 /// ODH target: OdhSystem ingestion through the writer API.
@@ -51,6 +57,7 @@ class OdhTarget : public IngestTarget {
   uint64_t BytesWritten() const override {
     return odh_->io_stats().bytes_written;
   }
+  DurabilityCounters Durability() const override;
 
   core::OdhSystem* odh() { return odh_.get(); }
   int schema_type() const { return schema_type_; }
@@ -76,6 +83,7 @@ class RelationalTarget : public IngestTarget {
   uint64_t BytesWritten() const override {
     return db_->disk()->stats().bytes_written;
   }
+  DurabilityCounters Durability() const override;
 
   relational::Database* database() { return db_.get(); }
   relational::Table* table() { return table_; }

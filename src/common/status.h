@@ -22,6 +22,12 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  /// Unrecoverable loss of stored data (e.g. a page whose checksum no
+  /// longer matches after a torn write). Never retriable.
+  kDataLoss,
+  /// A transient failure (e.g. an injected intermittent I/O fault). Safe to
+  /// retry with backoff; the storage layer does so automatically.
+  kUnavailable,
 };
 
 /// Returns a short human-readable name, e.g. "NotFound".
@@ -71,6 +77,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -81,6 +93,8 @@ class Status {
     return code_ == StatusCode::kInvalidArgument;
   }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

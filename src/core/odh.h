@@ -70,6 +70,13 @@ class OdhSystem {
   /// Runs the MG -> RTS/IRTS reorganizer for a schema type.
   Result<ReorganizeReport> Reorganize(int schema_type, Timestamp up_to);
 
+  /// Replays the store WAL of a crashed instance (the SimDisk returned by
+  /// CloneDurable() after a power cut) into this system. Define the same
+  /// schema types first; see OdhStore::Recover.
+  Result<RecoveryReport> Recover(storage::SimDisk* crashed_disk) {
+    return store_->Recover(crashed_disk);
+  }
+
   /// Component access.
   sql::SqlEngine* engine() { return engine_.get(); }
   relational::Database* database() { return db_.get(); }

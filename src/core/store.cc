@@ -1,5 +1,8 @@
 #include "core/store.h"
 
+#include <set>
+#include <tuple>
+
 #include "common/key_codec.h"
 
 namespace odh::core {
@@ -92,11 +95,29 @@ void OdhStore::UpdateStats(ContainerStats* stats, Timestamp begin,
   if (end - begin > stats->max_span) stats->max_span = end - begin;
 }
 
+Status OdhStore::LogPut(WalRecord::Kind kind, int schema_type,
+                        int64_t id_or_group, Timestamp begin, Timestamp end,
+                        Timestamp interval, int64_t n, const Slice& blob,
+                        const Slice& zone_map) {
+  if (wal_ == nullptr) {
+    ODH_ASSIGN_OR_RETURN(wal_, Wal::Create(db_->disk(), kWalFileName));
+  }
+  std::string payload;
+  EncodeWalPayload(kind, schema_type, id_or_group, begin, end, interval, n,
+                   blob, zone_map, &payload);
+  wal_->Append(payload);
+  return Status::OK();
+}
+
 Status OdhStore::PutRts(int schema_type, SourceId id, Timestamp begin,
                         Timestamp end, Timestamp interval, int64_t n,
                         const std::string& blob,
                         const std::string& zone_map) {
   ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
+  // Log before the heap/index write: once Sync() flushes the log, the blob
+  // is replayable even if the table pages never made it to disk.
+  ODH_RETURN_IF_ERROR(LogPut(WalRecord::Kind::kRts, schema_type, id, begin,
+                             end, interval, n, blob, zone_map));
   Row row = {Datum::Int64(id),       Datum::Time(begin),
              Datum::Time(end),       Datum::Int64(interval),
              Datum::Int64(n),        Datum::String(blob),
@@ -110,6 +131,8 @@ Status OdhStore::PutIrts(int schema_type, SourceId id, Timestamp begin,
                          Timestamp end, int64_t n, const std::string& blob,
                          const std::string& zone_map) {
   ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
+  ODH_RETURN_IF_ERROR(LogPut(WalRecord::Kind::kIrts, schema_type, id, begin,
+                             end, /*interval=*/0, n, blob, zone_map));
   Row row = {Datum::Int64(id), Datum::Time(begin), Datum::Time(end),
              Datum::Int64(0),  Datum::Int64(n),    Datum::String(blob),
              Datum::String(zone_map)};
@@ -122,6 +145,8 @@ Status OdhStore::PutMg(int schema_type, int64_t group, Timestamp begin,
                        Timestamp end, int64_t n, const std::string& blob,
                        const std::string& zone_map) {
   ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
+  ODH_RETURN_IF_ERROR(LogPut(WalRecord::Kind::kMg, schema_type, group,
+                             begin, end, /*interval=*/0, n, blob, zone_map));
   Row row = {Datum::Time(begin), Datum::Int64(group), Datum::Time(end),
              Datum::Int64(n), Datum::String(blob),
              Datum::String(zone_map)};
@@ -221,6 +246,14 @@ Status OdhStore::DeleteMg(int schema_type, const relational::Rid& rid) {
     stats.point_count -= (*row)[kMgCount].int64_value();
     stats.blob_bytes -=
         static_cast<int64_t>((*row)[kMgBlob].string_value().size());
+    // Log the deletion so recovery does not resurrect a blob the
+    // reorganizer already converted (its RTS/IRTS replacements are logged
+    // by their own Puts).
+    ODH_RETURN_IF_ERROR(LogPut(
+        WalRecord::Kind::kMgDelete, schema_type,
+        (*row)[kMgGroup].int64_value(), (*row)[kMgBegin].timestamp_value(),
+        (*row)[kMgEnd].timestamp_value(), /*interval=*/0,
+        (*row)[kMgCount].int64_value(), Slice(), Slice()));
   }
   return container->mg->Delete(rid);
 }
@@ -293,9 +326,81 @@ Status OdhStore::RowToBlobRecord(const Row& row, const relational::Rid& rid,
 
 Status OdhStore::Sync(int schema_type) {
   ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
+  // Write-ahead: the log reaches disk before the table pages, so any blob
+  // visible in the flushed containers is also replayable.
+  if (wal_ != nullptr) ODH_RETURN_IF_ERROR(wal_->Sync());
   ODH_RETURN_IF_ERROR(container->rts->Commit());
   ODH_RETURN_IF_ERROR(container->irts->Commit());
   return container->mg->Commit();
+}
+
+Result<RecoveryReport> OdhStore::Recover(storage::SimDisk* crashed_disk) {
+  ODH_ASSIGN_OR_RETURN(Wal::ReadResult log,
+                       Wal::ReadLog(crashed_disk, kWalFileName));
+  RecoveryReport report;
+  report.wal_valid_bytes = log.valid_bytes;
+  report.torn_bytes_dropped = log.torn_bytes_dropped;
+
+  std::vector<WalRecord> records;
+  records.reserve(log.records.size());
+  // MG deletions cancel one matching earlier Put each; collect them first
+  // (rids are not stable across recovery, so matching is by content key).
+  using MgKey = std::tuple<int, int64_t, Timestamp, Timestamp, int64_t>;
+  std::multiset<MgKey> mg_deletes;
+  for (const std::string& payload : log.records) {
+    WalRecord rec;
+    if (!WalRecord::Decode(payload, &rec)) {
+      ++report.undecodable_records;
+      continue;
+    }
+    if (rec.kind == WalRecord::Kind::kMgDelete) {
+      mg_deletes.insert(
+          {rec.schema_type, rec.id_or_group, rec.begin, rec.end, rec.n});
+    }
+    records.push_back(std::move(rec));
+  }
+
+  for (const WalRecord& rec : records) {
+    switch (rec.kind) {
+      case WalRecord::Kind::kRts:
+        ODH_RETURN_IF_ERROR(PutRts(rec.schema_type, rec.id_or_group,
+                                   rec.begin, rec.end, rec.interval, rec.n,
+                                   rec.blob, rec.zone_map));
+        ++report.rts_blobs;
+        break;
+      case WalRecord::Kind::kIrts:
+        ODH_RETURN_IF_ERROR(PutIrts(rec.schema_type, rec.id_or_group,
+                                    rec.begin, rec.end, rec.n, rec.blob,
+                                    rec.zone_map));
+        ++report.irts_blobs;
+        break;
+      case WalRecord::Kind::kMg: {
+        auto it = mg_deletes.find(
+            {rec.schema_type, rec.id_or_group, rec.begin, rec.end, rec.n});
+        if (it != mg_deletes.end()) {
+          mg_deletes.erase(it);  // Converted by the reorganizer: skip.
+          break;
+        }
+        ODH_RETURN_IF_ERROR(PutMg(rec.schema_type, rec.id_or_group,
+                                  rec.begin, rec.end, rec.n, rec.blob,
+                                  rec.zone_map));
+        ++report.mg_blobs;
+        break;
+      }
+      case WalRecord::Kind::kMgDelete:
+        break;  // Applied via the skip above.
+    }
+  }
+  report.records_replayed =
+      report.rts_blobs + report.irts_blobs + report.mg_blobs;
+
+  // Make the recovered state durable in its own right (replay went through
+  // the normal Put path, so this store's WAL has all surviving records).
+  for (auto& [schema_type, container] : containers_) {
+    (void)container;
+    ODH_RETURN_IF_ERROR(Sync(schema_type));
+  }
+  return report;
 }
 
 }  // namespace odh::core

@@ -2,13 +2,29 @@
 #define ODH_CORE_STORE_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/config.h"
+#include "core/wal.h"
 #include "relational/database.h"
 
 namespace odh::core {
+
+/// What OdhStore::Recover() did. Only blobs that reached the WAL via a
+/// successful Sync come back; dirty writer buffers and un-synced Puts are
+/// legitimately lost (the paper's transaction-free ingestion contract).
+struct RecoveryReport {
+  uint64_t records_replayed = 0;
+  uint64_t rts_blobs = 0;
+  uint64_t irts_blobs = 0;
+  uint64_t mg_blobs = 0;
+  uint64_t wal_valid_bytes = 0;
+  uint64_t torn_bytes_dropped = 0;  // Bytes after the first torn frame.
+  uint64_t undecodable_records = 0;  // CRC-valid but unparseable (never
+                                     // expected; counted, not fatal).
+};
 
 /// Aggregate statistics per container, maintained on every Put. The cost
 /// model (paper §3: "we approximate the cost ... as the expected size, in
@@ -51,6 +67,11 @@ struct BlobRecord {
 /// the (id|begin_ts, begin_ts|group) index plus the max-span widening.
 class OdhStore {
  public:
+  /// Name of the store's write-ahead log file on the database disk. (The
+  /// relational tables keep their own modeled "<table>.wal" files; this one
+  /// is the store-level redo log that Recover() replays.)
+  static constexpr char kWalFileName[] = "odh$store.wal";
+
   OdhStore(relational::Database* db, ConfigComponent* config)
       : db_(db), config_(config) {}
 
@@ -98,8 +119,22 @@ class OdhStore {
   }
 
   /// Flushes buffered table writes (ODH ingestion has no transactions; this
-  /// is a page flush, not a commit).
+  /// is a page flush, not a commit). The store WAL is synced first, so every
+  /// blob visible in the flushed tables is also replayable from the log.
   Status Sync(int schema_type);
+
+  /// Replays the store WAL found on `crashed_disk` (a post-crash
+  /// SimDisk::CloneDurable()) into this store. Containers for every schema
+  /// type appearing in the log must already exist — the caller re-creates
+  /// its schema types, then recovers. Replayed blobs go through the normal
+  /// Put path, so heap rows, B-tree entries, container stats and this
+  /// store's own WAL are all rebuilt. The torn tail (an interrupted Sync)
+  /// is detected via per-record CRC32C and dropped.
+  Result<RecoveryReport> Recover(storage::SimDisk* crashed_disk);
+
+  /// The store's write-ahead log, nullptr until the first Put. Exposed for
+  /// stats (retry counters) and tests.
+  const Wal* wal() const { return wal_.get(); }
 
   /// Direct access to the container tables for streaming full scans (slice
   /// queries over per-source structures have no index to use). Internal to
@@ -124,6 +159,12 @@ class OdhStore {
 
   Result<Container*> GetContainer(int schema_type);
 
+  /// Lazily creates the WAL file and appends one record to it. Called
+  /// before the corresponding heap/index write.
+  Status LogPut(WalRecord::Kind kind, int schema_type, int64_t id_or_group,
+                Timestamp begin, Timestamp end, Timestamp interval,
+                int64_t n, const Slice& blob, const Slice& zone_map);
+
   int mg_version_ = 0;  // Suffix for rebuilt MG container tables.
 
   static void UpdateStats(ContainerStats* stats, Timestamp begin,
@@ -132,6 +173,7 @@ class OdhStore {
   relational::Database* db_;
   ConfigComponent* config_;
   std::map<int, Container> containers_;
+  std::unique_ptr<Wal> wal_;
 };
 
 }  // namespace odh::core

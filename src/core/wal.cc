@@ -1,0 +1,184 @@
+#include "core/wal.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/coding.h"
+#include "common/logging.h"
+#include "storage/checksum.h"
+
+namespace odh::core {
+namespace {
+
+constexpr size_t kFrameHeader = 8;  // payload_len(4) + crc32c(4).
+
+// Same bounded backoff model as the buffer pool; the WAL bypasses the pool
+// so it carries its own retry loop.
+constexpr int kMaxIoAttempts = 6;
+constexpr std::chrono::microseconds kBackoffBase{1};
+constexpr std::chrono::microseconds kBackoffCap{64};
+
+void Backoff(int attempt) {
+  auto delay = kBackoffBase * (1 << attempt);
+  if (delay > kBackoffCap) delay = kBackoffCap;
+  std::this_thread::sleep_for(delay);
+}
+
+}  // namespace
+
+void EncodeWalPayload(WalRecord::Kind kind, int schema_type,
+                      int64_t id_or_group, Timestamp begin, Timestamp end,
+                      Timestamp interval, int64_t n, const Slice& blob,
+                      const Slice& zone_map, std::string* dst) {
+  dst->push_back(static_cast<char>(kind));
+  PutVarint32(dst, static_cast<uint32_t>(schema_type));
+  PutVarintSigned64(dst, id_or_group);
+  PutVarintSigned64(dst, begin);
+  PutVarintSigned64(dst, end);
+  PutVarintSigned64(dst, interval);
+  PutVarintSigned64(dst, n);
+  PutLengthPrefixed(dst, blob);
+  PutLengthPrefixed(dst, zone_map);
+}
+
+void WalRecord::EncodeTo(std::string* dst) const {
+  EncodeWalPayload(kind, schema_type, id_or_group, begin, end, interval, n,
+                   blob, zone_map, dst);
+}
+
+bool WalRecord::Decode(Slice input, WalRecord* record) {
+  if (input.empty()) return false;
+  uint8_t kind = static_cast<uint8_t>(input[0]);
+  if (kind < 1 || kind > 4) return false;
+  record->kind = static_cast<Kind>(kind);
+  input.remove_prefix(1);
+  uint32_t schema_type;
+  if (!GetVarint32(&input, &schema_type)) return false;
+  record->schema_type = static_cast<int>(schema_type);
+  Slice blob, zone_map;
+  if (!GetVarintSigned64(&input, &record->id_or_group) ||
+      !GetVarintSigned64(&input, &record->begin) ||
+      !GetVarintSigned64(&input, &record->end) ||
+      !GetVarintSigned64(&input, &record->interval) ||
+      !GetVarintSigned64(&input, &record->n) ||
+      !GetLengthPrefixed(&input, &blob) ||
+      !GetLengthPrefixed(&input, &zone_map)) {
+    return false;
+  }
+  record->blob.assign(blob.data(), blob.size());
+  record->zone_map.assign(zone_map.data(), zone_map.size());
+  return input.empty();
+}
+
+Wal::Wal(storage::SimDisk* disk, storage::FileId file)
+    : disk_(disk),
+      file_(file),
+      page_size_(disk->page_size()),
+      tail_page_(std::make_unique<char[]>(disk->page_size())) {}
+
+Result<std::unique_ptr<Wal>> Wal::Create(storage::SimDisk* disk,
+                                         const std::string& name) {
+  ODH_ASSIGN_OR_RETURN(storage::FileId file, disk->CreateFile(name));
+  return std::unique_ptr<Wal>(new Wal(disk, file));
+}
+
+void Wal::Append(const Slice& payload) {
+  ODH_CHECK(!payload.empty());
+  PutFixed32(&pending_, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&pending_, storage::Crc32c(payload.data(), payload.size()));
+  pending_.append(payload.data(), payload.size());
+  ++records_appended_;
+}
+
+Status Wal::WritePageRetry(storage::PageNo page, const char* buf) {
+  Status status;
+  for (int attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
+    status = disk_->WritePage(file_, page, buf);
+    if (!status.IsUnavailable()) return status;
+    ++io_retries_;
+    Backoff(attempt);
+  }
+  return status;
+}
+
+Result<storage::PageNo> Wal::AllocatePageRetry() {
+  Result<storage::PageNo> result = Status::Internal("unreachable");
+  for (int attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
+    result = disk_->AllocatePage(file_);
+    if (!result.status().IsUnavailable()) return result;
+    ++io_retries_;
+    Backoff(attempt);
+  }
+  return result;
+}
+
+Status Wal::Sync() {
+  size_t consumed = 0;
+  while (consumed < pending_.size()) {
+    uint64_t page_index = synced_bytes_ / page_size_;
+    size_t offset = synced_bytes_ % page_size_;
+    if (page_index >= pages_allocated_) {
+      Result<storage::PageNo> allocated = AllocatePageRetry();
+      if (!allocated.ok()) {
+        pending_.erase(0, consumed);
+        return allocated.status();
+      }
+      ODH_CHECK(*allocated == page_index);
+      ++pages_allocated_;
+      std::memset(tail_page_.get(), 0, page_size_);
+    }
+    size_t n = std::min(page_size_ - offset, pending_.size() - consumed);
+    std::memcpy(tail_page_.get() + offset, pending_.data() + consumed, n);
+    Status written = WritePageRetry(static_cast<storage::PageNo>(page_index),
+                                    tail_page_.get());
+    if (!written.ok()) {
+      // The durable prefix (previous iterations) stays durable; keep the
+      // rest buffered so a later Sync can retry.
+      pending_.erase(0, consumed);
+      return written;
+    }
+    synced_bytes_ += n;
+    consumed += n;
+  }
+  pending_.clear();
+  records_synced_ = records_appended_;
+  return Status::OK();
+}
+
+Result<Wal::ReadResult> Wal::ReadLog(storage::SimDisk* disk,
+                                     const std::string& name) {
+  ReadResult result;
+  Result<storage::FileId> file = disk->OpenFile(name);
+  if (file.status().IsNotFound()) return result;  // Never synced: empty log.
+  ODH_RETURN_IF_ERROR(file.status());
+  ODH_ASSIGN_OR_RETURN(uint32_t pages, disk->PageCount(*file));
+
+  const size_t page_size = disk->page_size();
+  std::string log(static_cast<size_t>(pages) * page_size, '\0');
+  for (uint32_t p = 0; p < pages; ++p) {
+    ODH_RETURN_IF_ERROR(disk->ReadPage(*file, p, &log[p * page_size]));
+  }
+
+  // Logical end of the log: the last non-zero byte. Anything between the
+  // first bad frame and this point is a torn tail.
+  size_t logical_end = log.size();
+  while (logical_end > 0 && log[logical_end - 1] == '\0') --logical_end;
+
+  size_t pos = 0;
+  while (pos + kFrameHeader <= log.size()) {
+    uint32_t len = DecodeFixed32(log.data() + pos);
+    uint32_t crc = DecodeFixed32(log.data() + pos + 4);
+    if (len == 0) break;  // Zero-filled region: clean end of log.
+    if (pos + kFrameHeader + len > log.size()) break;  // Torn length.
+    const char* payload = log.data() + pos + kFrameHeader;
+    if (storage::Crc32c(payload, len) != crc) break;  // Torn payload.
+    result.records.emplace_back(payload, len);
+    pos += kFrameHeader + len;
+  }
+  result.valid_bytes = pos;
+  if (logical_end > pos) result.torn_bytes_dropped = logical_end - pos;
+  return result;
+}
+
+}  // namespace odh::core

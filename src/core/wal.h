@@ -1,0 +1,127 @@
+#ifndef ODH_CORE_WAL_H_
+#define ODH_CORE_WAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "core/config.h"
+#include "storage/sim_disk.h"
+
+namespace odh::core {
+
+/// One logical redo record: a blob Put against a container (or, for the
+/// reorganizer, an MG blob deletion). The store appends one of these
+/// (encoded) to its WAL before the heap/index write, so a crash after Sync
+/// can be replayed blob-by-blob into a fresh store.
+struct WalRecord {
+  enum class Kind : uint8_t {
+    kRts = 1,
+    kIrts = 2,
+    kMg = 3,
+    /// The reorganizer removed an MG blob (it was converted to RTS/IRTS).
+    /// On replay this cancels one earlier kMg record with the same
+    /// (schema_type, group, begin, end, n); rids are not stable across
+    /// recovery, so the match is by content key.
+    kMgDelete = 4,
+  };
+
+  Kind kind = Kind::kRts;
+  int schema_type = 0;
+  int64_t id_or_group = 0;  // SourceId for RTS/IRTS, group for MG.
+  Timestamp begin = 0;
+  Timestamp end = 0;
+  Timestamp interval = 0;  // RTS only.
+  int64_t n = 0;
+  std::string blob;        // Empty for kMgDelete.
+  std::string zone_map;
+
+  void EncodeTo(std::string* dst) const;
+  static bool Decode(Slice input, WalRecord* record);
+};
+
+/// Encodes a record from loose fields, sparing the caller the string copies
+/// a temporary WalRecord would make (Put is the ingest hot path).
+void EncodeWalPayload(WalRecord::Kind kind, int schema_type,
+                      int64_t id_or_group, Timestamp begin, Timestamp end,
+                      Timestamp interval, int64_t n, const Slice& blob,
+                      const Slice& zone_map, std::string* dst);
+
+/// An append-only log on a SimDisk file, written with raw page I/O (no
+/// buffer pool, so no page-trailer checksum — each record carries its own
+/// CRC32C instead, which is what lets recovery find the torn tail).
+///
+/// On-disk format: records are packed back to back from byte 0 of page 0,
+/// each framed as
+///
+///   [u32 payload_len][u32 crc32c(payload)][payload bytes]
+///
+/// with no alignment — a record may straddle pages. The tail page is
+/// rewritten in place as it fills. A zero-filled region (fresh pages) marks
+/// the end of the log; a frame whose length overruns the file or whose CRC
+/// does not match the payload is a torn tail and everything from it on is
+/// discarded by ReadLog.
+///
+/// Append only buffers in memory; Sync makes the buffered suffix durable
+/// (retrying transient faults with bounded backoff). Crash-consistency
+/// contract: records appended before a Sync that returned OK survive a
+/// power cut; records appended after the last successful Sync are lost.
+class Wal {
+ public:
+  /// Creates the log file (fails if the name exists).
+  static Result<std::unique_ptr<Wal>> Create(storage::SimDisk* disk,
+                                             const std::string& name);
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Frames `payload` and buffers it for the next Sync.
+  void Append(const Slice& payload);
+
+  /// Writes all buffered bytes to disk. On failure the already-durable
+  /// prefix stays durable and the unwritten suffix stays buffered.
+  Status Sync();
+
+  uint64_t records_appended() const { return records_appended_; }
+  uint64_t records_synced() const { return records_synced_; }
+  uint64_t synced_bytes() const { return synced_bytes_; }
+  uint64_t pending_bytes() const { return pending_.size(); }
+  /// Transparent retries of transient faults during Sync.
+  uint64_t io_retries() const { return io_retries_; }
+
+  struct ReadResult {
+    std::vector<std::string> records;  // Decoded payloads, in log order.
+    uint64_t valid_bytes = 0;          // Frame bytes of `records`.
+    uint64_t torn_bytes_dropped = 0;   // Non-zero trailing bytes discarded.
+  };
+
+  /// Scans the log on `disk` (typically a post-crash CloneDurable()) and
+  /// returns every record up to the first torn or corrupt frame. A missing
+  /// file yields an empty result, not an error: a store that never synced
+  /// has nothing to recover.
+  static Result<ReadResult> ReadLog(storage::SimDisk* disk,
+                                    const std::string& name);
+
+ private:
+  Wal(storage::SimDisk* disk, storage::FileId file);
+
+  Status WritePageRetry(storage::PageNo page, const char* buf);
+  Result<storage::PageNo> AllocatePageRetry();
+
+  storage::SimDisk* disk_;
+  storage::FileId file_;
+  size_t page_size_;
+  std::string pending_;                 // Framed, not yet durable.
+  uint64_t synced_bytes_ = 0;           // Durable log length.
+  uint64_t pages_allocated_ = 0;
+  std::unique_ptr<char[]> tail_page_;   // Image of the last durable page.
+  uint64_t records_appended_ = 0;
+  uint64_t records_synced_ = 0;
+  uint64_t io_retries_ = 0;
+};
+
+}  // namespace odh::core
+
+#endif  // ODH_CORE_WAL_H_

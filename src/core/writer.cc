@@ -174,7 +174,18 @@ Status OdhWriter::Flush(int schema_type) {
     if (key.first != schema_type) continue;
     ODH_RETURN_IF_ERROR(FlushGroup(key.first, key.second, &buffer));
   }
-  return store_->Sync(schema_type);
+  // Sync is idempotent, so if a transient fault burst outlives the storage
+  // layer's backoff (which already retried each page), re-issue the whole
+  // sync a few times before giving up.
+  constexpr int kMaxSyncAttempts = 4;
+  Status synced;
+  for (int attempt = 0; attempt < kMaxSyncAttempts; ++attempt) {
+    ++stats_.syncs;
+    synced = store_->Sync(schema_type);
+    if (!synced.IsUnavailable()) return synced;
+    ++stats_.sync_retries;
+  }
+  return synced;
 }
 
 Status OdhWriter::FlushAll() {

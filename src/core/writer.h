@@ -16,6 +16,10 @@ struct WriterStats {
   int64_t irts_blobs = 0;
   int64_t mg_blobs = 0;
   int64_t blob_bytes = 0;
+  /// Store syncs issued by Flush, and how many had to be re-issued after a
+  /// transient fault outlived the storage layer's own backoff retries.
+  int64_t syncs = 0;
+  int64_t sync_retries = 0;
 };
 
 /// The ODH writer (paper §3 storage component): buffers incoming

@@ -23,7 +23,7 @@ Result<std::unique_ptr<BTree>> BTree::Create(storage::BufferPool* pool,
   ODH_ASSIGN_OR_RETURN(storage::FileId file,
                        pool->disk()->CreateFile(name));
   std::unique_ptr<BTree> tree(new BTree(pool, file));
-  tree->max_node_bytes_ = pool->disk()->page_size() - kNodeSlack;
+  tree->max_node_bytes_ = pool->usable_page_size() - kNodeSlack;
 
   storage::PageNo meta_page;
   ODH_ASSIGN_OR_RETURN(storage::PageRef meta, pool->NewPage(file, &meta_page));
@@ -41,7 +41,7 @@ Result<std::unique_ptr<BTree>> BTree::Open(storage::BufferPool* pool,
                                            const std::string& name) {
   ODH_ASSIGN_OR_RETURN(storage::FileId file, pool->disk()->OpenFile(name));
   std::unique_ptr<BTree> tree(new BTree(pool, file));
-  tree->max_node_bytes_ = pool->disk()->page_size() - kNodeSlack;
+  tree->max_node_bytes_ = pool->usable_page_size() - kNodeSlack;
   ODH_RETURN_IF_ERROR(tree->ReadMeta());
   return tree;
 }
@@ -102,7 +102,7 @@ Status BTree::StoreNode(storage::PageNo page_no, const Node& node) {
     for (const auto& k : node.keys) PutLengthPrefixed(&buf, k);
     for (storage::PageNo child : node.children) PutFixed32(&buf, child);
   }
-  if (buf.size() > pool_->disk()->page_size()) {
+  if (buf.size() > pool_->usable_page_size()) {
     return Status::Internal("btree node overflows page");
   }
   ODH_ASSIGN_OR_RETURN(storage::PageRef page, pool_->FetchPage(file_,
@@ -115,7 +115,7 @@ Status BTree::StoreNode(storage::PageNo page_no, const Node& node) {
 Status BTree::LoadNode(storage::PageNo page_no, Node* node) {
   ODH_ASSIGN_OR_RETURN(storage::PageRef page, pool_->FetchPage(file_,
                                                                page_no));
-  Slice input(page.data(), pool_->disk()->page_size());
+  Slice input(page.data(), pool_->usable_page_size());
   char type = input[0];
   input.remove_prefix(1);
   node->entries.clear();

@@ -62,7 +62,8 @@ Result<std::unique_ptr<HeapFile>> HeapFile::Create(
 }
 
 Result<Rid> HeapFile::Insert(const Slice& record) {
-  const size_t page_size = pool_->disk()->page_size();
+  // Client-usable bytes; the pool reserves a checksum trailer past this.
+  const size_t page_size = pool_->usable_page_size();
   const size_t max_inline = page_size - kSlottedHeader - kSlotBytes;
   if (record.size() > max_inline) return InsertOverflow(record);
 
@@ -104,7 +105,7 @@ Result<Rid> HeapFile::Insert(const Slice& record) {
 }
 
 Result<Rid> HeapFile::InsertOverflow(const Slice& record) {
-  const size_t page_size = pool_->disk()->page_size();
+  const size_t page_size = pool_->usable_page_size();
   storage::PageNo first_page;
   {
     ODH_ASSIGN_OR_RETURN(storage::PageRef page,
@@ -136,7 +137,7 @@ Result<Rid> HeapFile::InsertOverflow(const Slice& record) {
 }
 
 Result<std::string> HeapFile::Get(const Rid& rid) {
-  const size_t page_size = pool_->disk()->page_size();
+  const size_t page_size = pool_->usable_page_size();
   ODH_ASSIGN_OR_RETURN(storage::PageRef page,
                        pool_->FetchPage(file_, rid.page));
   const char* p = page.data();
@@ -174,7 +175,7 @@ Result<std::string> HeapFile::Get(const Rid& rid) {
 }
 
 Status HeapFile::Delete(const Rid& rid) {
-  const size_t page_size = pool_->disk()->page_size();
+  const size_t page_size = pool_->usable_page_size();
   ODH_ASSIGN_OR_RETURN(storage::PageRef page,
                        pool_->FetchPage(file_, rid.page));
   char* p = page.data();
@@ -215,7 +216,7 @@ Status HeapFile::Iterator::Next() {
 
 Status HeapFile::Iterator::FindNext() {
   storage::SimDisk* disk = file_->pool_->disk();
-  const size_t page_size = disk->page_size();
+  const size_t page_size = file_->pool_->usable_page_size();
   ODH_ASSIGN_OR_RETURN(uint32_t total_pages, disk->PageCount(file_->file_));
   while (page_ < total_pages) {
     ODH_ASSIGN_OR_RETURN(storage::PageRef page,

@@ -1,10 +1,30 @@
 #include "storage/buffer_pool.h"
 
+#include <chrono>
 #include <cstring>
+#include <thread>
 
+#include "common/coding.h"
 #include "common/logging.h"
 
 namespace odh::storage {
+namespace {
+
+// Bounded exponential backoff for transient faults: up to kMaxIoAttempts
+// tries, sleeping base * 2^attempt between them (capped). The simulated
+// disk clears transient faults immediately, so the sleeps only matter as a
+// model; they are microseconds so even fault-heavy tests stay fast.
+constexpr int kMaxIoAttempts = 6;
+constexpr std::chrono::microseconds kBackoffBase{1};
+constexpr std::chrono::microseconds kBackoffCap{64};
+
+void Backoff(int attempt) {
+  auto delay = kBackoffBase * (1 << attempt);
+  if (delay > kBackoffCap) delay = kBackoffCap;
+  std::this_thread::sleep_for(delay);
+}
+
+}  // namespace
 
 PageRef::PageRef(BufferPool* pool, int32_t frame)
     : pool_(pool), frame_(frame) {}
@@ -56,6 +76,7 @@ void PageRef::Release() {
 
 BufferPool::BufferPool(SimDisk* disk, size_t capacity_pages) : disk_(disk) {
   ODH_CHECK(capacity_pages > 0);
+  ODH_CHECK(disk_->page_size() > kPageTrailerBytes);
   frames_.resize(capacity_pages);
   free_frames_.reserve(capacity_pages);
   for (size_t i = 0; i < capacity_pages; ++i) {
@@ -86,10 +107,49 @@ void BufferPool::Unpin(int32_t frame) {
   }
 }
 
+Status BufferPool::ReadPageRetry(FileId file, PageNo page, char* buf) {
+  Status status;
+  for (int attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
+    status = disk_->ReadPage(file, page, buf);
+    if (!status.IsUnavailable()) return status;
+    ++io_retries_;
+    Backoff(attempt);
+  }
+  return status;
+}
+
+Status BufferPool::WritePageRetry(FileId file, PageNo page, const char* buf) {
+  Status status;
+  for (int attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
+    status = disk_->WritePage(file, page, buf);
+    if (!status.IsUnavailable()) return status;
+    ++io_retries_;
+    Backoff(attempt);
+  }
+  return status;
+}
+
+Result<PageNo> BufferPool::AllocatePageRetry(FileId file) {
+  Result<PageNo> result = Status::Internal("unreachable");
+  for (int attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
+    result = disk_->AllocatePage(file);
+    if (!result.status().IsUnavailable()) return result;
+    ++io_retries_;
+    Backoff(attempt);
+  }
+  return result;
+}
+
 Status BufferPool::WriteBack(int32_t frame) {
   Frame& f = frames_[frame];
   if (f.dirty) {
-    ODH_RETURN_IF_ERROR(disk_->WritePage(f.file, f.page, f.data.get()));
+    // Stamp the CRC32C trailer over the usable prefix. The trailer bytes
+    // belong to the pool; clients never touch them.
+    const size_t usable = usable_page_size();
+    uint32_t crc = Crc32c(f.data.get(), usable);
+    EncodeFixed32(f.data.get() + usable, crc);
+    ++checksum_stamps_;
+    ODH_RETURN_IF_ERROR(WritePageRetry(f.file, f.page, f.data.get()));
     f.dirty = false;
   }
   return Status::OK();
@@ -108,7 +168,15 @@ Result<int32_t> BufferPool::GetVictimFrame() {
   lru_.pop_back();
   Frame& f = frames_[victim];
   f.in_lru = false;
-  ODH_RETURN_IF_ERROR(WriteBack(victim));
+  Status written = WriteBack(victim);
+  if (!written.ok()) {
+    // The frame stays dirty and cached; put it back in the LRU so a later
+    // flush (or the next eviction attempt, once the fault clears) retries.
+    lru_.push_back(victim);
+    f.lru_pos = std::prev(lru_.end());
+    f.in_lru = true;
+    return written;
+  }
   page_table_.erase({f.file, f.page});
   f.in_use = false;
   return victim;
@@ -124,7 +192,27 @@ Result<PageRef> BufferPool::FetchPage(FileId file, PageNo page) {
   ++misses_;
   ODH_ASSIGN_OR_RETURN(int32_t frame, GetVictimFrame());
   Frame& f = frames_[frame];
-  ODH_RETURN_IF_ERROR(disk_->ReadPage(file, page, f.data.get()));
+  Status read = ReadPageRetry(file, page, f.data.get());
+  if (!read.ok()) {
+    free_frames_.push_back(frame);
+    return read;
+  }
+  // Verify the CRC32C trailer. A page of all zeroes is a freshly allocated
+  // page that was never written back; it carries no checksum and is valid
+  // by definition (no client payload decodes from it either).
+  const size_t usable = usable_page_size();
+  if (!IsZeroFilled(f.data.get(), disk_->page_size())) {
+    ++checksum_verifies_;
+    uint32_t stored = DecodeFixed32(f.data.get() + usable);
+    uint32_t actual = Crc32c(f.data.get(), usable);
+    if (stored != actual) {
+      ++checksum_failures_;
+      free_frames_.push_back(frame);
+      return Status::DataLoss(
+          "page checksum mismatch (torn write or corruption): file " +
+          std::to_string(file) + " page " + std::to_string(page));
+    }
+  }
   f.file = file;
   f.page = page;
   f.in_use = true;
@@ -137,7 +225,7 @@ Result<PageRef> BufferPool::FetchPage(FileId file, PageNo page) {
 }
 
 Result<PageRef> BufferPool::NewPage(FileId file, PageNo* page_no) {
-  ODH_ASSIGN_OR_RETURN(PageNo page, disk_->AllocatePage(file));
+  ODH_ASSIGN_OR_RETURN(PageNo page, AllocatePageRetry(file));
   *page_no = page;
   ODH_ASSIGN_OR_RETURN(int32_t frame, GetVictimFrame());
   Frame& f = frames_[frame];
@@ -170,6 +258,20 @@ Status BufferPool::InvalidateFile(FileId file) {
     free_frames_.push_back(static_cast<int32_t>(i));
   }
   return Status::OK();
+}
+
+void BufferPool::DropCleanPages() {
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    if (!f.in_use || f.dirty || f.pins > 0) continue;
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    page_table_.erase({f.file, f.page});
+    f.in_use = false;
+    free_frames_.push_back(static_cast<int32_t>(i));
+  }
 }
 
 Status BufferPool::FlushAll() {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "storage/checksum.h"
 #include "storage/sim_disk.h"
 
 namespace odh::storage {
@@ -45,6 +46,17 @@ class PageRef {
 /// A fixed-capacity LRU page cache over a SimDisk. Mirrors the role of the
 /// Informix buffer pools the paper's AMI case study credits for most of the
 /// machine's memory use. Single-threaded (externally synchronized).
+///
+/// Durability duties (see DESIGN.md "Durability & failure model"):
+///  - Every page written back gets a CRC32C trailer over its first
+///    usable_page_size() bytes; every page fetched from disk is verified,
+///    so torn writes and bit rot surface as Status::DataLoss instead of
+///    silently decoding garbage. Clients must keep their data within
+///    usable_page_size() — the trailer belongs to the pool.
+///  - Transient disk faults (Status::Unavailable) on read, write and
+///    allocate are retried with bounded exponential backoff before being
+///    reported; a writeback that still fails leaves the frame dirty and in
+///    the LRU so a later flush can retry it.
 class BufferPool {
  public:
   /// `capacity_pages` frames of disk->page_size() bytes each.
@@ -54,22 +66,40 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Pins (and if needed reads) page `page` of `file`.
+  /// Bytes of a page that clients may use; the remainder is the pool's
+  /// checksum trailer.
+  size_t usable_page_size() const {
+    return disk_->page_size() - kPageTrailerBytes;
+  }
+
+  /// Pins (and if needed reads + checksum-verifies) page `page` of `file`.
   Result<PageRef> FetchPage(FileId file, PageNo page);
 
   /// Allocates a new page on disk and returns it pinned (zeroed, dirty).
   Result<PageRef> NewPage(FileId file, PageNo* page_no);
 
-  /// Writes back all dirty frames.
+  /// Writes back all dirty frames (in ascending frame order).
   Status FlushAll();
 
   /// Drops every cached page of `file` without writing back (the file is
   /// being deleted). Fails if any of its pages is pinned.
   Status InvalidateFile(FileId file);
 
+  /// Drops every clean, unpinned frame. Dirty or pinned frames are kept.
+  /// Used by tests and by memory-pressure simulations to force re-reads
+  /// (and hence checksum verification) from disk.
+  void DropCleanPages();
+
   size_t capacity() const { return frames_.size(); }
   uint64_t hit_count() const { return hits_; }
   uint64_t miss_count() const { return misses_; }
+  /// Transparent retries of transient I/O faults (reads+writes+allocates).
+  uint64_t io_retry_count() const { return io_retries_; }
+  /// Pages that failed CRC32C verification on fetch.
+  uint64_t checksum_failure_count() const { return checksum_failures_; }
+  /// Checksum trailers stamped (writebacks) / verified (disk reads).
+  uint64_t checksum_stamp_count() const { return checksum_stamps_; }
+  uint64_t checksum_verify_count() const { return checksum_verifies_; }
   SimDisk* disk() const { return disk_; }
 
  private:
@@ -96,6 +126,12 @@ class BufferPool {
   Result<int32_t> GetVictimFrame();
   Status WriteBack(int32_t frame);
 
+  // Retrying wrappers around the disk (bounded exponential backoff on
+  // Status::Unavailable).
+  Status ReadPageRetry(FileId file, PageNo page, char* buf);
+  Status WritePageRetry(FileId file, PageNo page, const char* buf);
+  Result<PageNo> AllocatePageRetry(FileId file);
+
   SimDisk* disk_;
   std::vector<Frame> frames_;
   std::map<std::pair<FileId, PageNo>, int32_t> page_table_;
@@ -103,6 +139,10 @@ class BufferPool {
   std::vector<int32_t> free_frames_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t io_retries_ = 0;
+  uint64_t checksum_failures_ = 0;
+  uint64_t checksum_stamps_ = 0;
+  uint64_t checksum_verifies_ = 0;
 };
 
 }  // namespace odh::storage

@@ -1,0 +1,49 @@
+#include "storage/fault_policy.h"
+
+namespace odh::storage {
+
+FaultDecision FaultPolicy::Scheduled(
+    std::map<uint64_t, FaultDecision::Kind>* faults, uint64_t op) {
+  auto it = faults->find(op);
+  if (it == faults->end()) return {};
+  FaultDecision decision;
+  decision.kind = it->second;
+  if (decision.kind == FaultDecision::Kind::kTorn) {
+    decision.torn_bytes = torn_bytes_[op];
+  }
+  return decision;
+}
+
+FaultDecision FaultPolicy::OnRead() {
+  ++reads_;
+  FaultDecision decision = Scheduled(&read_faults_, reads_);
+  if (decision.kind != FaultDecision::Kind::kNone) return decision;
+  if (read_rate_ > 0 && rng_.NextDouble() < read_rate_) {
+    decision.kind = FaultDecision::Kind::kTransient;
+  }
+  return decision;
+}
+
+FaultDecision FaultPolicy::OnWrite() {
+  ++writes_;
+  // Crash takes precedence over everything else.
+  if (crash_at_write_ != 0 && writes_ >= crash_at_write_) {
+    return {FaultDecision::Kind::kCrash, 0};
+  }
+  if (permanent_write_at_ != 0 && writes_ >= permanent_write_at_) {
+    return {FaultDecision::Kind::kPermanent, 0};
+  }
+  FaultDecision decision = Scheduled(&write_faults_, writes_);
+  if (decision.kind != FaultDecision::Kind::kNone) return decision;
+  if (write_rate_ > 0 && rng_.NextDouble() < write_rate_) {
+    decision.kind = FaultDecision::Kind::kTransient;
+  }
+  return decision;
+}
+
+FaultDecision FaultPolicy::OnAllocate() {
+  ++allocates_;
+  return Scheduled(&alloc_faults_, allocates_);
+}
+
+}  // namespace odh::storage

@@ -1,0 +1,100 @@
+#ifndef ODH_STORAGE_FAULT_POLICY_H_
+#define ODH_STORAGE_FAULT_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+#include "common/random.h"
+
+namespace odh::storage {
+
+/// What the fault injector decides for one disk operation.
+struct FaultDecision {
+  enum class Kind {
+    kNone,       // Proceed normally.
+    kTransient,  // Fail with Unavailable; the same op succeeds on retry.
+    kPermanent,  // Fail with IoError; every later op of this class fails.
+    kTorn,       // Persist only `torn_bytes`, then report success (silent
+                 // corruption: the "disk" acked a write it never finished).
+    kCrash,      // Power cut: this and every later op fails with IoError;
+                 // nothing else reaches durable storage.
+  };
+  Kind kind = Kind::kNone;
+  size_t torn_bytes = 0;
+};
+
+/// A seeded, deterministic fault schedule for SimDisk. Two mechanisms
+/// compose:
+///
+///  - Scheduled faults target the Nth operation of a class (1-based over
+///    the lifetime of the policy): FailNthWrite(3) makes the third
+///    WritePage call fail once. Deterministic by construction; this is what
+///    the crash/torn-write test harnesses use.
+///  - Rate faults fail each operation independently with probability p,
+///    drawn from a seeded xoshiro PRNG: identical seeds give identical
+///    fault sequences. These model flaky transports and exercise the retry
+///    path under load.
+///
+/// The policy is consulted by SimDisk before performing each operation;
+/// attach it with SimDisk::set_fault_policy(). A policy outlives nothing:
+/// the disk does not own it.
+class FaultPolicy {
+ public:
+  explicit FaultPolicy(uint64_t seed = 0) : rng_(seed) {}
+
+  // Scheduled faults. `n` is 1-based and counts operations of that class
+  // since the policy was attached. Scheduling multiple faults on distinct
+  // ops is allowed; the decision for one op applies exactly once.
+  void FailNthRead(uint64_t n) { read_faults_[n] = FaultDecision::Kind::kTransient; }
+  void FailNthWrite(uint64_t n) { write_faults_[n] = FaultDecision::Kind::kTransient; }
+  void FailNthAllocate(uint64_t n) { alloc_faults_[n] = FaultDecision::Kind::kTransient; }
+
+  /// From the Nth write onward, every write fails (a dead device).
+  void FailWritesPermanentlyAt(uint64_t n) { permanent_write_at_ = n; }
+
+  /// The Nth write persists only the first `keep_bytes` bytes of the page
+  /// but is reported as successful — detectable only by page checksums.
+  void TearNthWrite(uint64_t n, size_t keep_bytes) {
+    write_faults_[n] = FaultDecision::Kind::kTorn;
+    torn_bytes_[n] = keep_bytes;
+  }
+
+  /// Power cut at the Nth write: that write and everything after it (reads
+  /// included) fails; pages written before it stay durable.
+  void CrashAtWrite(uint64_t n) { crash_at_write_ = n; }
+
+  // Rate faults (all transient).
+  void set_read_fault_rate(double p) { read_rate_ = p; }
+  void set_write_fault_rate(double p) { write_rate_ = p; }
+
+  // Consulted by SimDisk. Each call advances the per-class op counter.
+  FaultDecision OnRead();
+  FaultDecision OnWrite();
+  FaultDecision OnAllocate();
+
+  uint64_t reads_seen() const { return reads_; }
+  uint64_t writes_seen() const { return writes_; }
+  uint64_t allocates_seen() const { return allocates_; }
+
+ private:
+  FaultDecision Scheduled(std::map<uint64_t, FaultDecision::Kind>* faults,
+                          uint64_t op);
+
+  Random rng_;
+  std::map<uint64_t, FaultDecision::Kind> read_faults_;
+  std::map<uint64_t, FaultDecision::Kind> write_faults_;
+  std::map<uint64_t, FaultDecision::Kind> alloc_faults_;
+  std::map<uint64_t, size_t> torn_bytes_;
+  uint64_t permanent_write_at_ = 0;  // 0 = never.
+  uint64_t crash_at_write_ = 0;      // 0 = never.
+  double read_rate_ = 0;
+  double write_rate_ = 0;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t allocates_ = 0;
+};
+
+}  // namespace odh::storage
+
+#endif  // ODH_STORAGE_FAULT_POLICY_H_

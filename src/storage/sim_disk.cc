@@ -3,8 +3,37 @@
 #include <cstring>
 
 namespace odh::storage {
+namespace {
+
+Status PowerLost() {
+  return Status::IoError("simulated power loss: disk is offline");
+}
+
+}  // namespace
+
+Status SimDisk::ApplyDecision(const FaultDecision& decision) {
+  switch (decision.kind) {
+    case FaultDecision::Kind::kNone:
+      return Status::OK();
+    case FaultDecision::Kind::kTransient:
+      ++stats_.transient_faults;
+      return Status::Unavailable("injected transient I/O fault");
+    case FaultDecision::Kind::kPermanent:
+      ++stats_.permanent_faults;
+      return Status::IoError("injected permanent I/O fault");
+    case FaultDecision::Kind::kTorn:
+      // Reported as success; WritePage handles the partial persist.
+      ++stats_.torn_writes;
+      return Status::OK();
+    case FaultDecision::Kind::kCrash:
+      crashed_ = true;
+      return PowerLost();
+  }
+  return Status::Internal("unreachable");
+}
 
 Result<FileId> SimDisk::CreateFile(const std::string& name) {
+  if (crashed_) return PowerLost();
   if (by_name_.count(name) > 0) {
     return Status::AlreadyExists("file exists: " + name);
   }
@@ -17,12 +46,14 @@ Result<FileId> SimDisk::CreateFile(const std::string& name) {
 }
 
 Result<FileId> SimDisk::OpenFile(const std::string& name) const {
+  if (crashed_) return PowerLost();
   auto it = by_name_.find(name);
   if (it == by_name_.end()) return Status::NotFound("no such file: " + name);
   return it->second;
 }
 
 Status SimDisk::DeleteFile(const std::string& name) {
+  if (crashed_) return PowerLost();
   auto it = by_name_.find(name);
   if (it == by_name_.end()) return Status::NotFound("no such file: " + name);
   File* f = files_[it->second].get();
@@ -43,8 +74,14 @@ SimDisk::File* SimDisk::GetFile(FileId id) {
 }
 
 Result<PageNo> SimDisk::AllocatePage(FileId file) {
+  if (crashed_) return PowerLost();
   File* f = GetFile(file);
-  if (f == nullptr) return Status::NotFound("bad file id");
+  if (f == nullptr) {
+    return Status::NotFound("bad file id " + std::to_string(file));
+  }
+  if (fault_policy_ != nullptr) {
+    ODH_RETURN_IF_ERROR(ApplyDecision(fault_policy_->OnAllocate()));
+  }
   auto page = std::make_unique<char[]>(page_size_);
   std::memset(page.get(), 0, page_size_);
   f->pages.push_back(std::move(page));
@@ -53,9 +90,19 @@ Result<PageNo> SimDisk::AllocatePage(FileId file) {
 }
 
 Status SimDisk::ReadPage(FileId file, PageNo page, char* buf) {
+  if (crashed_) return PowerLost();
   File* f = GetFile(file);
-  if (f == nullptr) return Status::NotFound("bad file id");
-  if (page >= f->pages.size()) return Status::OutOfRange("bad page number");
+  if (f == nullptr) {
+    return Status::NotFound("bad file id " + std::to_string(file));
+  }
+  if (page >= f->pages.size()) {
+    return Status::OutOfRange("page " + std::to_string(page) +
+                              " out of range for file " + f->name + " (" +
+                              std::to_string(f->pages.size()) + " pages)");
+  }
+  if (fault_policy_ != nullptr) {
+    ODH_RETURN_IF_ERROR(ApplyDecision(fault_policy_->OnRead()));
+  }
   std::memcpy(buf, f->pages[page].get(), page_size_);
   ++stats_.page_reads;
   stats_.bytes_read += page_size_;
@@ -63,9 +110,29 @@ Status SimDisk::ReadPage(FileId file, PageNo page, char* buf) {
 }
 
 Status SimDisk::WritePage(FileId file, PageNo page, const char* buf) {
+  if (crashed_) return PowerLost();
   File* f = GetFile(file);
-  if (f == nullptr) return Status::NotFound("bad file id");
-  if (page >= f->pages.size()) return Status::OutOfRange("bad page number");
+  if (f == nullptr) {
+    return Status::NotFound("bad file id " + std::to_string(file));
+  }
+  if (page >= f->pages.size()) {
+    return Status::OutOfRange("page " + std::to_string(page) +
+                              " out of range for file " + f->name + " (" +
+                              std::to_string(f->pages.size()) + " pages)");
+  }
+  if (fault_policy_ != nullptr) {
+    FaultDecision decision = fault_policy_->OnWrite();
+    ODH_RETURN_IF_ERROR(ApplyDecision(decision));
+    if (decision.kind == FaultDecision::Kind::kTorn) {
+      // Persist a prefix and ack the write: silent corruption that only
+      // page checksums can catch.
+      size_t keep = std::min(decision.torn_bytes, page_size_);
+      std::memcpy(f->pages[page].get(), buf, keep);
+      ++stats_.page_writes;
+      stats_.bytes_written += page_size_;
+      return Status::OK();
+    }
+  }
   std::memcpy(f->pages[page].get(), buf, page_size_);
   ++stats_.page_writes;
   stats_.bytes_written += page_size_;
@@ -74,7 +141,9 @@ Status SimDisk::WritePage(FileId file, PageNo page, const char* buf) {
 
 Result<uint32_t> SimDisk::PageCount(FileId file) const {
   const File* f = GetFile(file);
-  if (f == nullptr) return Status::NotFound("bad file id");
+  if (f == nullptr) {
+    return Status::NotFound("bad file id " + std::to_string(file));
+  }
   return static_cast<uint32_t>(f->pages.size());
 }
 
@@ -88,7 +157,9 @@ uint64_t SimDisk::TotalBytesStored() const {
 
 Result<uint64_t> SimDisk::FileBytes(FileId file) const {
   const File* f = GetFile(file);
-  if (f == nullptr) return Status::NotFound("bad file id");
+  if (f == nullptr) {
+    return Status::NotFound("bad file id " + std::to_string(file));
+  }
   return static_cast<uint64_t>(f->pages.size()) * page_size_;
 }
 
@@ -97,6 +168,25 @@ std::vector<std::string> SimDisk::ListFiles() const {
   names.reserve(by_name_.size());
   for (const auto& [name, id] : by_name_) names.push_back(name);
   return names;
+}
+
+std::unique_ptr<SimDisk> SimDisk::CloneDurable() const {
+  auto clone = std::make_unique<SimDisk>(page_size_);
+  clone->files_.reserve(files_.size());
+  for (const auto& f : files_) {
+    auto copy = std::make_unique<File>();
+    copy->name = f->name;
+    copy->deleted = f->deleted;
+    copy->pages.reserve(f->pages.size());
+    for (const auto& page : f->pages) {
+      auto page_copy = std::make_unique<char[]>(page_size_);
+      std::memcpy(page_copy.get(), page.get(), page_size_);
+      copy->pages.push_back(std::move(page_copy));
+    }
+    clone->files_.push_back(std::move(copy));
+  }
+  clone->by_name_ = by_name_;
+  return clone;
 }
 
 }  // namespace odh::storage

@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/fault_policy.h"
 
 namespace odh::storage {
 
@@ -17,19 +18,32 @@ using PageNo = uint32_t;
 
 /// Aggregate I/O counters. The benchmark harness reads these to report the
 /// paper's "Avg IO Throughput (bytes/s)", "Total MB written" and storage
-/// size columns.
+/// size columns; the fault counters track what the injector did to the run.
 struct IoStats {
   uint64_t page_reads = 0;
   uint64_t page_writes = 0;
   uint64_t bytes_read = 0;
   uint64_t bytes_written = 0;
   uint64_t pages_allocated = 0;
+  // Injected faults (zero without a FaultPolicy attached).
+  uint64_t transient_faults = 0;
+  uint64_t permanent_faults = 0;
+  uint64_t torn_writes = 0;
 };
 
 /// An in-memory paged "disk": the substitute for the paper's V7000/XIV SAN
 /// volumes (see DESIGN.md). Pages are fixed-size; every read/write/allocate
 /// is accounted in IoStats so experiments can report I/O volume and storage
 /// footprint deterministically.
+///
+/// Failure modeling: an attached FaultPolicy can fail operations with
+/// transient (Unavailable) or permanent (IoError) errors, tear a page write
+/// (persist a prefix, report success), or cut power. After a power cut the
+/// disk is dead — every operation fails — and CloneDurable() plays the role
+/// of rebooting the machine: it yields a healthy disk holding exactly the
+/// pages that were durably written, which is what crash-recovery tests run
+/// against. Buffer-pool frames and any other process memory are, by
+/// construction, not part of the clone.
 ///
 /// Thread-compatible: callers synchronize externally (the reproduction
 /// drives workloads single-threaded and models CPU load analytically).
@@ -57,10 +71,12 @@ class SimDisk {
   /// Appends a zeroed page to the file and returns its page number.
   Result<PageNo> AllocatePage(FileId file);
 
-  /// Copies a page into `buf` (page_size() bytes).
+  /// Copies a page into `buf` (page_size() bytes). NotFound for an invalid
+  /// or deleted file id; OutOfRange when `page >= PageCount(file)`.
   Status ReadPage(FileId file, PageNo page, char* buf);
 
-  /// Copies `buf` (page_size() bytes) into the page.
+  /// Copies `buf` (page_size() bytes) into the page. Same error contract
+  /// as ReadPage.
   Status WritePage(FileId file, PageNo page, const char* buf);
 
   /// Number of pages currently allocated to `file`.
@@ -77,6 +93,19 @@ class SimDisk {
 
   std::vector<std::string> ListFiles() const;
 
+  /// Attaches (or with nullptr detaches) a fault schedule. Not owned.
+  void set_fault_policy(FaultPolicy* policy) { fault_policy_ = policy; }
+  FaultPolicy* fault_policy() const { return fault_policy_; }
+
+  /// True after an injected power cut; every operation fails until the
+  /// harness "reboots" via CloneDurable().
+  bool crashed() const { return crashed_; }
+
+  /// Deep-copies the durable state (all pages of all live files, with
+  /// their FileIds preserved) into a healthy disk with fresh stats and no
+  /// fault policy. This is the reboot step of a simulated crash.
+  std::unique_ptr<SimDisk> CloneDurable() const;
+
  private:
   struct File {
     std::string name;
@@ -87,10 +116,16 @@ class SimDisk {
   const File* GetFile(FileId id) const;
   File* GetFile(FileId id);
 
+  /// Maps a FaultDecision to a Status, maintaining fault counters and the
+  /// crashed flag. OK for kNone/kTorn (torn writes are silent).
+  Status ApplyDecision(const FaultDecision& decision);
+
   size_t page_size_;
   std::vector<std::unique_ptr<File>> files_;
   std::map<std::string, FileId> by_name_;
   IoStats stats_;
+  FaultPolicy* fault_policy_ = nullptr;
+  bool crashed_ = false;
 };
 
 }  // namespace odh::storage

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdio>
 
@@ -16,8 +18,12 @@ namespace {
 class CsvTest : public ::testing::Test {
  protected:
   CsvTest() {
-    path_ = ::testing::TempDir() + "/odh_csv_test_" +
-            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".csv";
+    // Keyed by test name AND pid: ctest runs each case as its own process,
+    // and address-based names can collide across processes (allocator
+    // layout is near-deterministic, especially under sanitizers).
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = ::testing::TempDir() + "/odh_csv_" + info->name() + "_" +
+            std::to_string(static_cast<long>(::getpid())) + ".csv";
   }
   ~CsvTest() override { std::remove(path_.c_str()); }
 

@@ -28,7 +28,9 @@ TEST(TdGeneratorTest, ProducesExpectedVolumeAndShape) {
     EXPECT_GT(record.tags[0], 0);  // Price positive.
     // Per-source timestamps non-decreasing (writer requirement).
     auto it = last_ts.find(record.id);
-    if (it != last_ts.end()) EXPECT_GE(record.ts, it->second);
+    if (it != last_ts.end()) {
+      EXPECT_GE(record.ts, it->second);
+    }
     last_ts[record.id] = record.ts;
     ++per_account[record.id];
     ++count;
@@ -105,7 +107,9 @@ TEST(LdGeneratorTest, SparseSchemaAndVolume) {
       if (!std::isnan(v)) ++present;
     }
     auto it = last_ts.find(record.id);
-    if (it != last_ts.end()) EXPECT_GE(record.ts, it->second);
+    if (it != last_ts.end()) {
+      EXPECT_GE(record.ts, it->second);
+    }
     last_ts[record.id] = record.ts;
   }
   // Sparsity: roughly 4 + 40% of 13 ~ 9 of 17 present.

@@ -4,6 +4,10 @@
 
 #include <cstring>
 
+#include "common/coding.h"
+#include "storage/checksum.h"
+#include "storage/fault_policy.h"
+
 namespace odh::storage {
 namespace {
 
@@ -19,20 +23,24 @@ class BufferPoolTest : public ::testing::Test {
 };
 
 TEST_F(BufferPoolTest, NewPageIsZeroedAndPersists) {
+  const size_t usable = pool_.usable_page_size();
   PageNo page_no;
   {
     auto ref = pool_.NewPage(file_, &page_no);
     ASSERT_TRUE(ref.ok());
-    for (size_t i = 0; i < disk_.page_size(); ++i) {
+    for (size_t i = 0; i < usable; ++i) {
       ASSERT_EQ(ref->data()[i], '\0');
     }
-    std::memset(ref->data(), 'a', disk_.page_size());
+    std::memset(ref->data(), 'a', usable);
     ref->MarkDirty();
   }
   ASSERT_TRUE(pool_.FlushAll().ok());
   std::string buf(disk_.page_size(), 0);
   ASSERT_TRUE(disk_.ReadPage(file_, page_no, buf.data()).ok());
-  EXPECT_EQ(buf, std::string(disk_.page_size(), 'a'));
+  EXPECT_EQ(buf.substr(0, usable), std::string(usable, 'a'));
+  // The pool stamped a valid CRC32C trailer past the usable bytes.
+  EXPECT_EQ(DecodeFixed32(buf.data() + usable), Crc32c(buf.data(), usable));
+  EXPECT_GE(pool_.checksum_stamp_count(), 1u);
 }
 
 TEST_F(BufferPoolTest, FetchHitsCache) {
@@ -52,7 +60,7 @@ TEST_F(BufferPoolTest, EvictionWritesBackDirtyPages) {
     PageNo p;
     auto ref = pool_.NewPage(file_, &p);
     ASSERT_TRUE(ref.ok());
-    std::memset(ref->data(), 'A' + i, disk_.page_size());
+    std::memset(ref->data(), 'A' + i, pool_.usable_page_size());
     ref->MarkDirty();
     pages.push_back(p);
   }
@@ -155,6 +163,144 @@ TEST_F(BufferPoolTest, RepinnedDirtyPageNotLost) {
   }
   PageRef again = pool_.FetchPage(file_, p).value();
   EXPECT_EQ(again.data()[0], 'z');
+}
+
+TEST_F(BufferPoolTest, ChecksumVerifiedOnDiskRead) {
+  PageNo p;
+  {
+    PageRef ref = pool_.NewPage(file_, &p).value();
+    ref.data()[0] = 'v';
+    ref.MarkDirty();
+  }
+  ASSERT_TRUE(pool_.FlushAll().ok());
+  pool_.DropCleanPages();
+  uint64_t verifies_before = pool_.checksum_verify_count();
+  PageRef again = pool_.FetchPage(file_, p).value();
+  EXPECT_EQ(again.data()[0], 'v');
+  EXPECT_GT(pool_.checksum_verify_count(), verifies_before);
+  EXPECT_EQ(pool_.checksum_failure_count(), 0u);
+}
+
+TEST_F(BufferPoolTest, CorruptedPageSurfacesAsDataLoss) {
+  PageNo p;
+  {
+    PageRef ref = pool_.NewPage(file_, &p).value();
+    std::memset(ref.data(), 'd', pool_.usable_page_size());
+    ref.MarkDirty();
+  }
+  ASSERT_TRUE(pool_.FlushAll().ok());
+  pool_.DropCleanPages();
+  // Flip one payload bit behind the pool's back.
+  std::string buf(disk_.page_size(), 0);
+  ASSERT_TRUE(disk_.ReadPage(file_, p, buf.data()).ok());
+  buf[7] ^= 0x01;
+  ASSERT_TRUE(disk_.WritePage(file_, p, buf.data()).ok());
+  auto fetched = pool_.FetchPage(file_, p);
+  ASSERT_FALSE(fetched.ok());
+  EXPECT_TRUE(fetched.status().IsDataLoss());
+  EXPECT_EQ(pool_.checksum_failure_count(), 1u);
+}
+
+TEST_F(BufferPoolTest, TornWriteDetectedOnReadBack) {
+  FaultPolicy policy;
+  PageNo p;
+  {
+    PageRef ref = pool_.NewPage(file_, &p).value();
+    std::memset(ref.data(), 't', pool_.usable_page_size());
+    ref.MarkDirty();
+  }
+  // Tear the flush: the disk acks it but persists only 64 bytes. Only the
+  // checksum can expose this.
+  policy.TearNthWrite(1, 64);
+  disk_.set_fault_policy(&policy);
+  ASSERT_TRUE(pool_.FlushAll().ok());
+  EXPECT_EQ(disk_.stats().torn_writes, 1u);
+  disk_.set_fault_policy(nullptr);
+  pool_.DropCleanPages();
+  auto fetched = pool_.FetchPage(file_, p);
+  ASSERT_FALSE(fetched.ok());
+  EXPECT_TRUE(fetched.status().IsDataLoss());
+}
+
+TEST_F(BufferPoolTest, TransientFaultsRetriedTransparently) {
+  FaultPolicy policy;
+  PageNo p;
+  {
+    PageRef ref = pool_.NewPage(file_, &p).value();
+    ref.data()[0] = 'r';
+    ref.MarkDirty();
+  }
+  policy.FailNthWrite(1);  // First flush attempt bounces, retry succeeds.
+  policy.FailNthRead(1);   // Same for the read-back.
+  disk_.set_fault_policy(&policy);
+  ASSERT_TRUE(pool_.FlushAll().ok());
+  pool_.DropCleanPages();
+  PageRef again = pool_.FetchPage(file_, p).value();
+  EXPECT_EQ(again.data()[0], 'r');
+  EXPECT_EQ(pool_.io_retry_count(), 2u);
+  EXPECT_EQ(disk_.stats().transient_faults, 2u);
+}
+
+TEST_F(BufferPoolTest, FailedEvictionLeavesFrameDirtyAndRetriable) {
+  FaultPolicy policy;
+  PageNo p;
+  {
+    PageRef ref = pool_.NewPage(file_, &p).value();
+    ref.data()[0] = 'k';
+    ref.MarkDirty();
+  }
+  // Every write fails until the policy is detached: eviction cannot write
+  // the victim back.
+  policy.FailWritesPermanentlyAt(1);
+  disk_.set_fault_policy(&policy);
+  PageNo q;
+  std::vector<PageRef> pinned;
+  for (int i = 0; i < 3; ++i) {
+    pinned.push_back(pool_.NewPage(file_, &q).value());  // Fills the pool.
+  }
+  auto overflow = pool_.NewPage(file_, &q);  // Must evict 'k' -> fails.
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kIoError);
+  // The fault clears (device replaced); the dirty frame is still cached and
+  // the next flush persists it — no data lost.
+  disk_.set_fault_policy(nullptr);
+  ASSERT_TRUE(pool_.FlushAll().ok());
+  pool_.DropCleanPages();
+  PageRef again = pool_.FetchPage(file_, p).value();
+  EXPECT_EQ(again.data()[0], 'k');
+}
+
+TEST_F(BufferPoolTest, FlushAllWritesFramesInAscendingOrder) {
+  // Pin four pages so each lands in a distinct frame, dirty them all, and
+  // flush. Frames are written back in ascending frame (allocation) order —
+  // the page allocated first hits the disk first.
+  std::vector<PageNo> pages(4);
+  {
+    std::vector<PageRef> pinned;
+    for (int i = 0; i < 4; ++i) {
+      PageRef ref = pool_.NewPage(file_, &pages[i]).value();
+      ref.data()[0] = static_cast<char>('0' + i);
+      ref.MarkDirty();
+      pinned.push_back(std::move(ref));
+    }
+  }
+  FaultPolicy policy;
+  // Crash after the second write: exactly the first two frames' pages must
+  // be durable, proving the writeback order.
+  policy.CrashAtWrite(3);
+  disk_.set_fault_policy(&policy);
+  EXPECT_FALSE(pool_.FlushAll().ok());
+  EXPECT_TRUE(disk_.crashed());
+  auto survivor = disk_.CloneDurable();
+  std::string buf(disk_.page_size(), 0);
+  ASSERT_TRUE(survivor->ReadPage(file_, pages[0], buf.data()).ok());
+  EXPECT_EQ(buf[0], '0');
+  ASSERT_TRUE(survivor->ReadPage(file_, pages[1], buf.data()).ok());
+  EXPECT_EQ(buf[0], '1');
+  ASSERT_TRUE(survivor->ReadPage(file_, pages[2], buf.data()).ok());
+  EXPECT_EQ(buf[0], '\0');  // Never reached the disk.
+  ASSERT_TRUE(survivor->ReadPage(file_, pages[3], buf.data()).ok());
+  EXPECT_EQ(buf[0], '\0');
 }
 
 }  // namespace

@@ -1,0 +1,90 @@
+#include "storage/fault_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace odh::storage {
+namespace {
+
+TEST(FaultPolicyTest, NoFaultsByDefault) {
+  FaultPolicy policy;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(policy.OnRead().kind, FaultDecision::Kind::kNone);
+    EXPECT_EQ(policy.OnWrite().kind, FaultDecision::Kind::kNone);
+    EXPECT_EQ(policy.OnAllocate().kind, FaultDecision::Kind::kNone);
+  }
+  EXPECT_EQ(policy.reads_seen(), 100u);
+  EXPECT_EQ(policy.writes_seen(), 100u);
+  EXPECT_EQ(policy.allocates_seen(), 100u);
+}
+
+TEST(FaultPolicyTest, ScheduledFaultsFireOnce) {
+  FaultPolicy policy;
+  policy.FailNthRead(2);
+  policy.FailNthWrite(1);
+  policy.FailNthAllocate(3);
+  EXPECT_EQ(policy.OnRead().kind, FaultDecision::Kind::kNone);
+  EXPECT_EQ(policy.OnRead().kind, FaultDecision::Kind::kTransient);
+  EXPECT_EQ(policy.OnRead().kind, FaultDecision::Kind::kNone);
+  EXPECT_EQ(policy.OnWrite().kind, FaultDecision::Kind::kTransient);
+  EXPECT_EQ(policy.OnWrite().kind, FaultDecision::Kind::kNone);
+  EXPECT_EQ(policy.OnAllocate().kind, FaultDecision::Kind::kNone);
+  EXPECT_EQ(policy.OnAllocate().kind, FaultDecision::Kind::kNone);
+  EXPECT_EQ(policy.OnAllocate().kind, FaultDecision::Kind::kTransient);
+}
+
+TEST(FaultPolicyTest, TornWriteCarriesKeepBytes) {
+  FaultPolicy policy;
+  policy.TearNthWrite(2, 777);
+  EXPECT_EQ(policy.OnWrite().kind, FaultDecision::Kind::kNone);
+  FaultDecision torn = policy.OnWrite();
+  EXPECT_EQ(torn.kind, FaultDecision::Kind::kTorn);
+  EXPECT_EQ(torn.torn_bytes, 777u);
+}
+
+TEST(FaultPolicyTest, CrashWinsOverOtherSchedules) {
+  FaultPolicy policy;
+  policy.CrashAtWrite(2);
+  policy.FailNthWrite(2);  // Crash takes precedence on the same op.
+  EXPECT_EQ(policy.OnWrite().kind, FaultDecision::Kind::kNone);
+  EXPECT_EQ(policy.OnWrite().kind, FaultDecision::Kind::kCrash);
+}
+
+TEST(FaultPolicyTest, PermanentAppliesFromNOnward) {
+  FaultPolicy policy;
+  policy.FailWritesPermanentlyAt(3);
+  EXPECT_EQ(policy.OnWrite().kind, FaultDecision::Kind::kNone);
+  EXPECT_EQ(policy.OnWrite().kind, FaultDecision::Kind::kNone);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(policy.OnWrite().kind, FaultDecision::Kind::kPermanent);
+  }
+}
+
+TEST(FaultPolicyTest, RateFaultsDeterministicPerSeed) {
+  auto sample = [](uint64_t seed) {
+    FaultPolicy policy(seed);
+    policy.set_read_fault_rate(0.25);
+    std::vector<int> kinds;
+    for (int i = 0; i < 256; ++i) {
+      kinds.push_back(static_cast<int>(policy.OnRead().kind));
+    }
+    return kinds;
+  };
+  EXPECT_EQ(sample(42), sample(42));
+  EXPECT_NE(sample(42), sample(43));
+}
+
+TEST(FaultPolicyTest, RateRoughlyMatchesProbability) {
+  FaultPolicy policy(1);
+  policy.set_write_fault_rate(0.5);
+  int faults = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (policy.OnWrite().kind == FaultDecision::Kind::kTransient) ++faults;
+  }
+  EXPECT_GT(faults, 800);
+  EXPECT_LT(faults, 1200);
+}
+
+}  // namespace
+}  // namespace odh::storage

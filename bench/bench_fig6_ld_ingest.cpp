@@ -9,9 +9,13 @@
 // records, paper §5.3) but still falls behind ODH and below the offered
 // line at large i.
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
+#include <thread>
 
 #include "bench/bench_util.h"
+#include "benchfw/json_report.h"
 #include "benchfw/ld_generator.h"
 #include "common/logging.h"
 
@@ -20,6 +24,7 @@ namespace {
 
 using benchfw::IngestMetrics;
 using benchfw::IngestRunOptions;
+using benchfw::JsonWriter;
 using benchfw::LdConfig;
 using benchfw::LdGenerator;
 using benchfw::OdhTarget;
@@ -53,8 +58,84 @@ double DpPerRecord(const LdConfig& config) {
   return records > 0 ? static_cast<double>(present) / records : 0;
 }
 
+/// Multi-core scaling on the low-frequency (MG-grouped) write path: LD(5)
+/// split into disjoint sensor-id partitions, one ingest thread each. Group
+/// buffers at partition boundaries may be shared by two threads — the
+/// sharded writer serializes them per group, which is exactly the
+/// contention this curve exercises.
+void RunScalingCurve(int max_threads, int64_t sensor_unit) {
+  std::vector<int> curve;
+  for (int t = 1; t < max_threads; t *= 2) curve.push_back(t);
+  curve.push_back(max_threads);
+  const double duration = 60;
+  const int64_t total_sensors = sensor_unit * 5;  // LD(5) shape.
+
+  TablePrinter table(
+      {"Threads", "Points", "Wall s", "rec/s", "Speedup vs 1T"});
+  JsonWriter json;
+  json.BeginObject();
+  json.KeyValue("bench", "fig6_ld_ingest_threads");
+  json.KeyValue("dataset", "LD(5)");
+  json.KeyValue("total_sensors", total_sensors);
+  json.KeyValue(
+      "hardware_concurrency",
+      static_cast<int64_t>(std::thread::hardware_concurrency()));
+  json.Key("runs");
+  json.BeginArray();
+  double base_rate = 0;
+  for (int threads : curve) {
+    const int64_t per_thread =
+        std::max<int64_t>(1, total_sensors / threads);
+    std::vector<std::unique_ptr<LdGenerator>> streams;
+    std::vector<benchfw::RecordStream*> stream_ptrs;
+    for (int t = 0; t < threads; ++t) {
+      LdConfig part;
+      part.num_sensors = per_thread;
+      part.duration_seconds = duration;
+      part.seed = static_cast<uint64_t>(9005 + t);
+      part.first_id = 1 + t * per_thread;
+      streams.push_back(std::make_unique<LdGenerator>(part));
+      stream_ptrs.push_back(streams.back().get());
+    }
+    OdhTarget odh;
+    {
+      LdConfig all;
+      all.num_sensors = per_thread * threads;
+      all.duration_seconds = duration;
+      ODH_CHECK_OK(odh.Setup(LdGenerator(all).info()));
+    }
+    IngestRunOptions options;
+    options.simulated_cores = 8;
+    auto metrics = benchfw::RunIngestThreads(stream_ptrs, &odh, options);
+    ODH_CHECK_OK(metrics.status());
+    double rate = metrics->Throughput();
+    if (threads == 1) base_rate = rate;
+    double speedup = base_rate > 0 ? rate / base_rate : 0;
+    table.AddRow(
+        {std::to_string(threads),
+         TablePrinter::FormatCount(static_cast<double>(metrics->points)),
+         Fmt("%.3f", metrics->wall_seconds),
+         TablePrinter::FormatCount(rate), Fmt("%.2fx", speedup)});
+    json.BeginObject();
+    json.KeyValue("threads", threads);
+    json.KeyValue("points", metrics->points);
+    json.KeyValue("wall_seconds", metrics->wall_seconds);
+    json.KeyValue("cpu_seconds", metrics->cpu_seconds);
+    json.KeyValue("records_per_second", rate);
+    json.KeyValue("speedup_vs_1_thread", speedup);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  table.Print("Multi-core LD ingest scaling (MG write path)");
+  if (json.WriteFile("BENCH_ld_ingest.json")) {
+    std::printf("Scaling data written to BENCH_ld_ingest.json\n");
+  }
+}
+
 int Run(int argc, char** argv) {
   double scale = ScaleFromArgs(argc, argv);
+  int max_threads = ThreadsFromArgs(argc, argv, 1);
   PrintHeader(
       "IoT-X WS1: LD insert throughput and CPU rate",
       "Figure 6 (a: throughput, b: CPU rate) over LD(i), i=1..10",
@@ -91,6 +172,7 @@ int Run(int argc, char** argv) {
          Fmt("%.2f%%", m_mysql.AvgCpuLoad() * 100), rt(m_mysql)});
   }
   table.Print("Figure 6 — LD(i) insert throughput & CPU (8 cores sim.)");
+  RunScalingCurve(max_threads, sensor_unit / 10);
   std::printf(
       "\nExpected shape: ODH ahead of the relational candidates, but by a\n"
       "smaller factor than on TD (larger records amortize the per-record\n"

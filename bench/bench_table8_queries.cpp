@@ -10,14 +10,18 @@
 // queries), while ODH wins the single-tag fused templates (TQ3/TQ4/LQ4)
 // thanks to tag-oriented blob decoding.
 
+#include <thread>
+
 #include "bench/bench_util.h"
 #include "benchfw/dataset.h"
+#include "benchfw/json_report.h"
 #include "common/logging.h"
 #include "common/random.h"
 
 namespace odh::bench {
 namespace {
 
+using benchfw::JsonWriter;
 using benchfw::LdConfig;
 using benchfw::LdGenerator;
 using benchfw::OdhTarget;
@@ -112,8 +116,64 @@ std::string TsLiteral(Timestamp ts) {
   return out;
 }
 
+/// Read-path scaling: the same TD dataset queried with the reader's
+/// parallel blob decode at 1, 2, 4, ... worker threads. Queries run from
+/// one thread (the SQL engine is single-threaded); the parallelism is
+/// inside each scan, where candidate blobs fan out to the decode pool.
+void RunReadScalingCurve(int max_threads, double scale, JsonWriter* json) {
+  std::vector<int> curve;
+  for (int t = 1; t < max_threads; t *= 2) curve.push_back(t);
+  curve.push_back(max_threads);
+
+  const int64_t account_unit = static_cast<int64_t>(20 * scale);
+  TdConfig td = TdConfig::Of(5, 2, account_unit, /*duration_seconds=*/20);
+  const int64_t num_accounts = td.num_accounts;
+
+  TablePrinter table({"Decode threads", "dp/s", "p50 ms", "p95 ms",
+                      "p99 ms", "Speedup vs 1T"});
+  json->Key("read_scaling");
+  json->BeginArray();
+  double base_rate = 0;
+  for (int threads : curve) {
+    core::OdhOptions options = OdhTarget::DefaultOptions();
+    options.read_parallelism = threads;
+    OdhTarget odh(options);
+    {
+      TdGenerator stream(td);
+      ODH_CHECK_OK(odh.Setup(stream.info()));
+      ODH_CHECK_OK(benchfw::RunIngest(&stream, &odh).status());
+    }
+    Random rng(0xD0D0);
+    auto metrics = benchfw::RunQueryWorkload(
+        odh.odh()->engine(), kQueriesPerTemplate, [&](int) {
+          return "SELECT * FROM TD_v WHERE id = " +
+                 std::to_string(1 + rng.Uniform(num_accounts));
+        });
+    ODH_CHECK_OK(metrics.status());
+    double rate = metrics->DataPointsPerSecond();
+    if (threads == 1) base_rate = rate;
+    double speedup = base_rate > 0 ? rate / base_rate : 0;
+    table.AddRow({std::to_string(threads), TablePrinter::FormatCount(rate),
+                  Fmt("%.3f", metrics->P50LatencyMs()),
+                  Fmt("%.3f", metrics->P95LatencyMs()),
+                  Fmt("%.3f", metrics->P99LatencyMs()),
+                  Fmt("%.2fx", speedup)});
+    json->BeginObject();
+    json->KeyValue("decode_threads", threads);
+    json->KeyValue("data_points_per_second", rate);
+    json->KeyValue("p50_ms", metrics->P50LatencyMs());
+    json->KeyValue("p95_ms", metrics->P95LatencyMs());
+    json->KeyValue("p99_ms", metrics->P99LatencyMs());
+    json->KeyValue("speedup_vs_1_thread", speedup);
+    json->EndObject();
+  }
+  json->EndArray();
+  table.Print("Parallel blob-decode scaling (TQ1 on TD(5,2))");
+}
+
 int Run(int argc, char** argv) {
   double scale = ScaleFromArgs(argc, argv);
+  int max_threads = ThreadsFromArgs(argc, argv, 1);
   PrintHeader("IoT-X WS2: query performance",
               "Table 8 (TQ1-TQ4 on TD(5,2), LQ1-LQ4 on LD(5))",
               "Scaled datasets; 100 queries per template; throughput in "
@@ -234,18 +294,63 @@ int Run(int argc, char** argv) {
 
   TablePrinter table({"Query", "ODH dp/s", "ODH CPU", "RDB dp/s", "RDB CPU",
                       "MySQL dp/s", "MySQL CPU"});
+  JsonWriter json;
+  json.BeginObject();
+  json.KeyValue("bench", "table8_queries");
+  json.KeyValue(
+      "hardware_concurrency",
+      static_cast<int64_t>(std::thread::hardware_concurrency()));
+  json.KeyValue("queries_per_template", kQueriesPerTemplate);
+  json.Key("templates");
+  json.BeginArray();
   for (const TemplateResult& result : results) {
     std::vector<std::string> row = {result.name};
-    for (const QueryMetrics& m : result.per_candidate) {
+    json.BeginObject();
+    json.KeyValue("name", result.name);
+    json.Key("candidates");
+    json.BeginArray();
+    for (size_t ci = 0; ci < result.per_candidate.size(); ++ci) {
+      const QueryMetrics& m = result.per_candidate[ci];
       row.push_back(TablePrinter::FormatCount(m.DataPointsPerSecond()));
       row.push_back(TablePrinter::FormatPercent(
           m.wall_seconds > 0
               ? m.cpu_seconds / m.wall_seconds / kSimulatedCores
               : 0));
+      json.BeginObject();
+      json.KeyValue("name", candidates[ci].name);
+      json.KeyValue("data_points_per_second", m.DataPointsPerSecond());
+      json.KeyValue("avg_latency_ms", m.AvgLatencyMs());
+      json.KeyValue("p50_ms", m.P50LatencyMs());
+      json.KeyValue("p95_ms", m.P95LatencyMs());
+      json.KeyValue("p99_ms", m.P99LatencyMs());
+      json.EndObject();
     }
+    json.EndArray();
+    json.EndObject();
     table.AddRow(row);
   }
+  json.EndArray();
   table.Print("Table 8 — query performance (scaled datasets)");
+
+  TablePrinter latency_table({"Query", "ODH p50/p95/p99 ms",
+                              "RDB p50/p95/p99 ms",
+                              "MySQL p50/p95/p99 ms"});
+  for (const TemplateResult& result : results) {
+    std::vector<std::string> row = {result.name};
+    for (const QueryMetrics& m : result.per_candidate) {
+      row.push_back(Fmt("%.3f", m.P50LatencyMs()) + "/" +
+                    Fmt("%.3f", m.P95LatencyMs()) + "/" +
+                    Fmt("%.3f", m.P99LatencyMs()));
+    }
+    latency_table.AddRow(row);
+  }
+  latency_table.Print("Table 8 — per-query latency percentiles");
+
+  RunReadScalingCurve(max_threads, scale, &json);
+  json.EndObject();
+  if (json.WriteFile("BENCH_queries.json")) {
+    std::printf("Query data written to BENCH_queries.json\n");
+  }
   std::printf(
       "\nExpected shape: RDB/MySQL ahead on TQ1/TQ2/LQ1/LQ2 (ODH pays VTI\n"
       "row assembly + SQL metadata router; LQ1's tiny results make the\n"

@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -14,14 +15,30 @@
 namespace odh::bench {
 
 /// Scale factor shared by all paper-reproduction benches. 1.0 = the default
-/// laptop-scale configuration documented per bench; pass a float argv[1] to
-/// grow/shrink every dataset proportionally.
+/// laptop-scale configuration documented per bench; pass a float positional
+/// argument to grow/shrink every dataset proportionally. `--flag` arguments
+/// are skipped (see ThreadsFromArgs).
 inline double ScaleFromArgs(int argc, char** argv) {
-  if (argc > 1) {
-    double s = std::strtod(argv[1], nullptr);
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-') continue;
+    double s = std::strtod(argv[i], nullptr);
     if (s > 0) return s;
   }
   return 1.0;
+}
+
+/// Parses `--threads=N` from the bench command line; `fallback` when
+/// absent or malformed. N caps the top of the bench's scaling curve
+/// (benches run 1, 2, 4, ... up to N threads).
+inline int ThreadsFromArgs(int argc, char** argv, int fallback = 1) {
+  constexpr const char kPrefix[] = "--threads=";
+  constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kPrefix, kPrefixLen) != 0) continue;
+    long n = std::strtol(argv[i] + kPrefixLen, nullptr, 10);
+    if (n >= 1 && n <= 256) return static_cast<int>(n);
+  }
+  return fallback;
 }
 
 inline void PrintHeader(const char* title, const char* paper_ref,

@@ -1,0 +1,106 @@
+#ifndef ODH_BENCHFW_JSON_REPORT_H_
+#define ODH_BENCHFW_JSON_REPORT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace odh::benchfw {
+
+/// Minimal JSON emitter for machine-readable bench reports (BENCH_*.json).
+/// Handles the comma bookkeeping; the caller is responsible for balanced
+/// Begin/End calls. Keys and string values must not need escaping beyond
+/// quotes/backslashes (bench labels are plain ASCII identifiers).
+class JsonWriter {
+ public:
+  void BeginObject() { Open('{'); }
+  void EndObject() { Close('}'); }
+  void BeginArray() { Open('['); }
+  void EndArray() { Close(']'); }
+
+  void Key(const std::string& name) {
+    Comma();
+    out_ += '"';
+    Escape(name);
+    out_ += "\": ";
+    just_keyed_ = true;
+  }
+
+  void Value(const std::string& v) {
+    Comma();
+    out_ += '"';
+    Escape(v);
+    out_ += '"';
+  }
+  void Value(const char* v) { Value(std::string(v)); }
+  void Value(double v) {
+    Comma();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out_ += buf;
+  }
+  void Value(int64_t v) {
+    Comma();
+    out_ += std::to_string(v);
+  }
+  void Value(uint64_t v) {
+    Comma();
+    out_ += std::to_string(v);
+  }
+  void Value(int v) { Value(static_cast<int64_t>(v)); }
+  void Value(bool v) {
+    Comma();
+    out_ += v ? "true" : "false";
+  }
+
+  template <typename T>
+  void KeyValue(const std::string& name, const T& v) {
+    Key(name);
+    Value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+  /// Writes the document (plus a trailing newline) to `path`; returns
+  /// false when the file cannot be created.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fwrite(out_.data(), 1, out_.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  void Comma() {
+    if (just_keyed_) {
+      just_keyed_ = false;
+      return;
+    }
+    if (!out_.empty() && out_.back() != '{' && out_.back() != '[') {
+      out_ += ", ";
+    }
+  }
+  void Open(char c) {
+    Comma();
+    out_ += c;
+  }
+  void Close(char c) {
+    out_ += c;
+    just_keyed_ = false;
+  }
+  void Escape(const std::string& s) {
+    for (char c : s) {
+      if (c == '"' || c == '\\') out_ += '\\';
+      out_ += c;
+    }
+  }
+
+  std::string out_;
+  bool just_keyed_ = false;
+};
+
+}  // namespace odh::benchfw
+
+#endif  // ODH_BENCHFW_JSON_REPORT_H_

@@ -1,6 +1,7 @@
 #ifndef ODH_BENCHFW_METRICS_H_
 #define ODH_BENCHFW_METRICS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -106,6 +107,9 @@ struct QueryMetrics {
   int64_t data_points = 0;
   double wall_seconds = 0;
   double cpu_seconds = 0;
+  /// Per-query wall latency, in arrival order (the runner fills this; it
+  /// is what the percentile accessors sort a copy of).
+  std::vector<double> latencies_ms;
 
   double DataPointsPerSecond() const {
     return wall_seconds > 0 ? static_cast<double>(data_points) / wall_seconds
@@ -119,6 +123,20 @@ struct QueryMetrics {
     return queries > 0 ? wall_seconds * 1000.0 / static_cast<double>(queries)
                        : 0;
   }
+
+  /// Latency percentile (nearest-rank on a sorted copy); p in [0, 100].
+  double LatencyPercentileMs(double p) const {
+    if (latencies_ms.empty()) return 0;
+    std::vector<double> sorted = latencies_ms;
+    std::sort(sorted.begin(), sorted.end());
+    double rank = p / 100.0 * static_cast<double>(sorted.size());
+    size_t index = rank <= 1 ? 0 : static_cast<size_t>(rank + 0.5) - 1;
+    if (index >= sorted.size()) index = sorted.size() - 1;
+    return sorted[index];
+  }
+  double P50LatencyMs() const { return LatencyPercentileMs(50); }
+  double P95LatencyMs() const { return LatencyPercentileMs(95); }
+  double P99LatencyMs() const { return LatencyPercentileMs(99); }
 };
 
 }  // namespace odh::benchfw

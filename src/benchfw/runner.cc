@@ -1,5 +1,9 @@
 #include "benchfw/runner.h"
 
+#include <atomic>
+#include <mutex>
+#include <thread>
+
 namespace odh::benchfw {
 
 Result<IngestMetrics> RunIngest(RecordStream* stream, IngestTarget* target,
@@ -48,6 +52,66 @@ Result<IngestMetrics> RunIngest(RecordStream* stream, IngestTarget* target,
   return metrics;
 }
 
+Result<IngestMetrics> RunIngestThreads(
+    const std::vector<RecordStream*>& streams, IngestTarget* target,
+    const IngestRunOptions& options) {
+  IngestMetrics metrics;
+  metrics.simulated_cores = options.simulated_cores;
+  metrics.window_data_seconds = options.window_seconds;
+  for (RecordStream* stream : streams) {
+    metrics.offered_points_per_second +=
+        stream->info().offered_points_per_second;
+  }
+  if (streams.empty()) return metrics;
+
+  Stopwatch wall;
+  CpuMeter cpu;  // Process-wide: sums CPU time across all worker threads.
+  std::atomic<int64_t> points{0};
+  std::mutex error_mu;
+  Status first_error;
+
+  auto drive = [&](RecordStream* stream) {
+    core::OperationalRecord record;
+    int64_t local_points = 0;
+    while (stream->Next(&record)) {
+      Status written = target->Write(record);
+      if (!written.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) first_error = written;
+        break;
+      }
+      ++local_points;
+      if (options.wall_time_limit_seconds > 0 &&
+          (local_points & 1023) == 0 &&
+          wall.ElapsedSeconds() > options.wall_time_limit_seconds) {
+        break;
+      }
+    }
+    points.fetch_add(local_points, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(streams.size() - 1);
+  for (size_t i = 1; i < streams.size(); ++i) {
+    threads.emplace_back(drive, streams[i]);
+  }
+  drive(streams[0]);
+  for (std::thread& t : threads) t.join();
+  {
+    std::lock_guard<std::mutex> lock(error_mu);
+    ODH_RETURN_IF_ERROR(first_error);
+  }
+
+  ODH_RETURN_IF_ERROR(target->Finish());
+  metrics.points = points.load(std::memory_order_relaxed);
+  metrics.wall_seconds = wall.ElapsedSeconds();
+  metrics.cpu_seconds = cpu.ElapsedCpuSeconds();
+  metrics.bytes_written = target->BytesWritten();
+  metrics.storage_bytes = target->StorageBytes();
+  metrics.durability = target->Durability();
+  return metrics;
+}
+
 Result<QueryMetrics> RunQueryWorkload(
     sql::SqlEngine* engine, const std::vector<std::string>& queries) {
   return RunQueryWorkload(engine, static_cast<int>(queries.size()),
@@ -58,11 +122,14 @@ Result<QueryMetrics> RunQueryWorkload(
     sql::SqlEngine* engine, int count,
     const std::function<std::string(int)>& make_query) {
   QueryMetrics metrics;
+  metrics.latencies_ms.reserve(static_cast<size_t>(count > 0 ? count : 0));
   Stopwatch wall;
   CpuMeter cpu;
   for (int i = 0; i < count; ++i) {
+    Stopwatch query_timer;
     ODH_ASSIGN_OR_RETURN(sql::QueryResult result,
                          engine->Execute(make_query(i)));
+    metrics.latencies_ms.push_back(query_timer.ElapsedSeconds() * 1000.0);
     ++metrics.queries;
     metrics.data_points += result.DataPointCount();
   }

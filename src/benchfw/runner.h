@@ -27,6 +27,17 @@ struct IngestRunOptions {
 Result<IngestMetrics> RunIngest(RecordStream* stream, IngestTarget* target,
                                 const IngestRunOptions& options = {});
 
+/// Multi-threaded WS1: one thread per stream, all writing into the same
+/// target concurrently (the target's Write must be thread-safe — the ODH
+/// writer is, with its sharded ingestion path). Streams must cover
+/// disjoint source-id ranges, since per-source timestamp order is only
+/// guaranteed within one stream. Reports aggregate points over the whole
+/// run; per-window CPU tracking is disabled (windows interleave across
+/// threads), so MaxCpuLoad falls back to the average.
+Result<IngestMetrics> RunIngestThreads(
+    const std::vector<RecordStream*>& streams, IngestTarget* target,
+    const IngestRunOptions& options = {});
+
 /// WS2: runs a list of SQL queries and reports throughput in returned data
 /// points per second (the paper's Table 8 metric).
 Result<QueryMetrics> RunQueryWorkload(sql::SqlEngine* engine,

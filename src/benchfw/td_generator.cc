@@ -31,7 +31,7 @@ TdGenerator::TdGenerator(TdConfig config)
   info_.name = "TD";
   info_.tag_names = {"t_trade_price", "t_chrg", "t_comm", "t_tax"};
   info_.num_sources = config_.num_accounts;
-  info_.first_source_id = 1;
+  info_.first_source_id = config_.first_source_id;
   info_.sample_interval = static_cast<Timestamp>(
       kMicrosPerSecond / config_.per_account_hz);
   info_.regular = false;  // Jittered arrivals: irregular time series.

@@ -18,6 +18,10 @@ struct TdConfig {
   double per_account_hz = 20;
   double duration_seconds = 60;
   uint64_t seed = 42;
+  /// First account/source id. Multi-threaded ingest benches carve one
+  /// logical dataset into disjoint per-thread partitions by offsetting
+  /// this (each partition is its own generator with its own id range).
+  SourceId first_source_id = 1;
 
   /// TD(i, j) with a configurable account unit.
   static TdConfig Of(int i, int j, int64_t account_unit = 1000,

@@ -1,0 +1,91 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+
+namespace odh::common {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  threads_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Shared state of one ParallelFor: a dynamic index dispenser plus a
+/// completion latch for the driver tasks.
+struct ForState {
+  std::atomic<int64_t> next{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int drivers_remaining = 0;
+};
+
+}  // namespace
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t)>& fn) {
+  if (n <= 0) return;
+  auto state = std::make_shared<ForState>();
+  const int helpers =
+      static_cast<int>(std::min<int64_t>(num_threads(), n - 1));
+  state->drivers_remaining = helpers;
+
+  auto drive = [state, &fn, n] {
+    int64_t i;
+    while ((i = state->next.fetch_add(1, std::memory_order_relaxed)) < n) {
+      fn(i);
+    }
+  };
+  // `fn` is captured by reference: the caller blocks below until every
+  // helper has signalled, so the reference cannot dangle.
+  for (int h = 0; h < helpers; ++h) {
+    Submit([state, drive] {
+      drive();
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        --state->drivers_remaining;
+      }
+      state->done_cv.notify_one();
+    });
+  }
+  drive();  // The caller claims indices too.
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock, [&] { return state->drivers_remaining == 0; });
+}
+
+}  // namespace odh::common

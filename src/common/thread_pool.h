@@ -1,0 +1,52 @@
+#ifndef ODH_COMMON_THREAD_POOL_H_
+#define ODH_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace odh::common {
+
+/// A fixed-size work pool shared by the concurrent read path (parallel
+/// ValueBlob decode) and any bench harness that wants task fan-out. Tasks
+/// must not throw; error propagation is by Status captured into caller
+/// state (the codebase is exception-free).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  /// Enqueues one task for any worker.
+  void Submit(std::function<void()> fn);
+
+  /// Runs fn(0) .. fn(n-1) across the workers and the calling thread,
+  /// returning when every index has completed. Indices are claimed
+  /// dynamically, so uneven task costs balance. The calling thread
+  /// participates, so ParallelFor makes progress even when all workers are
+  /// busy with other tasks. Must not be called from inside a pool task
+  /// (the nested wait could consume every worker).
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace odh::common
+
+#endif  // ODH_COMMON_THREAD_POOL_H_

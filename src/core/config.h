@@ -73,6 +73,13 @@ struct OdhOptions {
   bool enable_zone_maps = true;
   /// Buffer-pool pages for the embedded storage engine.
   size_t pool_pages = 8192;
+  /// Writer shards: Ingest routes each source (or MG group) to one of
+  /// these by hash, so concurrent ingestion threads rarely contend. One
+  /// shard reproduces the single-threaded writer exactly.
+  int writer_shards = 8;
+  /// Worker threads for parallel blob decoding on the read path. Values
+  /// below 2 keep scans fully sequential (no thread pool is created).
+  int read_parallelism = 0;
 };
 
 /// The ODH configuration component (paper §3): owns schema-type and

@@ -20,18 +20,20 @@ OdhCostEstimate OdhCostModel::EstimateHistorical(int schema_type,
   OdhCostEstimate est;
   double num_sources =
       std::max<double>(1, static_cast<double>(config_->num_sources()));
-  for (const ContainerStats* stats :
-       {&store_->rts_stats(schema_type), &store_->irts_stats(schema_type)}) {
-    if (stats->blob_count == 0) continue;
-    double frac = TimeFraction(*stats, lo, hi);
+  // Stats are value snapshots: the accessors copy under the store mutex so
+  // estimates stay consistent while ingestion runs.
+  for (const ContainerStats& stats :
+       {store_->rts_stats(schema_type), store_->irts_stats(schema_type)}) {
+    if (stats.blob_count == 0) continue;
+    double frac = TimeFraction(stats, lo, hi);
     // Per-source blobs: the (id, begin_ts) index narrows to this source.
-    double blobs = static_cast<double>(stats->blob_count) / num_sources *
+    double blobs = static_cast<double>(stats.blob_count) / num_sources *
                    frac;
     est.blobs += blobs;
-    est.bytes += blobs * stats->AvgBlobBytes() * tag_fraction;
-    est.points += blobs * stats->AvgPointsPerBlob();
+    est.bytes += blobs * stats.AvgBlobBytes() * tag_fraction;
+    est.points += blobs * stats.AvgPointsPerBlob();
   }
-  const ContainerStats& mg = store_->mg_stats(schema_type);
+  const ContainerStats mg = store_->mg_stats(schema_type);
   if (mg.blob_count > 0) {
     double num_groups = std::max<double>(
         1, static_cast<double>(config_->GroupsOf(schema_type).size()));
@@ -54,15 +56,15 @@ OdhCostEstimate OdhCostModel::EstimateSlice(int schema_type, Timestamp lo,
                                             Timestamp hi,
                                             double tag_fraction) const {
   OdhCostEstimate est;
-  for (const ContainerStats* stats :
-       {&store_->rts_stats(schema_type), &store_->irts_stats(schema_type),
-        &store_->mg_stats(schema_type)}) {
-    if (stats->blob_count == 0) continue;
-    double frac = TimeFraction(*stats, lo, hi);
-    double blobs = static_cast<double>(stats->blob_count) * frac;
+  for (const ContainerStats& stats :
+       {store_->rts_stats(schema_type), store_->irts_stats(schema_type),
+        store_->mg_stats(schema_type)}) {
+    if (stats.blob_count == 0) continue;
+    double frac = TimeFraction(stats, lo, hi);
+    double blobs = static_cast<double>(stats.blob_count) * frac;
     est.blobs += blobs;
-    est.bytes += blobs * stats->AvgBlobBytes() * tag_fraction;
-    est.points += blobs * stats->AvgPointsPerBlob();
+    est.bytes += blobs * stats.AvgBlobBytes() * tag_fraction;
+    est.points += blobs * stats.AvgPointsPerBlob();
   }
   return est;
 }

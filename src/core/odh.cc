@@ -14,8 +14,13 @@ OdhSystem::OdhSystem(OdhOptions options) : config_(options) {
   router_ = std::make_unique<DataRouter>(&config_, engine_.get());
   ODH_CHECK_OK(router_->CreateMetadataTables());
   cost_model_ = std::make_unique<OdhCostModel>(&config_, store_.get());
+  if (options.read_parallelism > 1) {
+    read_pool_ =
+        std::make_unique<common::ThreadPool>(options.read_parallelism);
+  }
   reader_ = std::make_unique<OdhReader>(&config_, store_.get(),
-                                        writer_.get(), router_.get());
+                                        writer_.get(), router_.get(),
+                                        read_pool_.get());
   reorganizer_ = std::make_unique<Reorganizer>(&config_, store_.get());
 }
 

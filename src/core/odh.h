@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/config.h"
 #include "core/cost_model.h"
 #include "core/reader.h"
@@ -89,11 +90,15 @@ class OdhSystem {
 
   /// Total bytes stored (heap + index + metadata pages).
   uint64_t storage_bytes() const { return db_->TotalBytesStored(); }
-  const storage::IoStats& io_stats() const { return db_->disk()->stats(); }
+  /// Snapshot of the disk's I/O counters (copied under the disk mutex).
+  storage::IoStats io_stats() const { return db_->disk()->stats(); }
   void ResetIoStats() { db_->disk()->ResetStats(); }
 
  private:
   std::unique_ptr<relational::Database> db_;
+  /// Decode workers for the read path; created only when
+  /// options.read_parallelism > 1 and shared by every cursor.
+  std::unique_ptr<common::ThreadPool> read_pool_;
   std::unique_ptr<sql::SqlEngine> engine_;
   ConfigComponent config_;
   std::unique_ptr<OdhStore> store_;

@@ -20,6 +20,12 @@ struct QueuedBlob {
 /// the per-source containers with a table iterator and use the
 /// (begin_ts, group) index for MG. Decoded records drain from a buffer one
 /// blob at a time.
+///
+/// With a thread pool, the queued blobs are decoded in parallel right
+/// after Init (each pool task decodes into its own slot, so emission order
+/// is still queue order — byte-identical to the sequential scan); the
+/// streaming side of slice scans remains sequential. The codec is
+/// stateless, so one instance serves all decode tasks.
 class OdhScanCursorImpl : public RecordCursor {
  public:
   OdhScanCursorImpl(OdhReader* reader, int schema_type, SourceId id,
@@ -61,6 +67,7 @@ class OdhScanCursorImpl : public RecordCursor {
         queued_.push_back({BlobKind::kMg, std::move(b)});
       }
     }
+    PredecodeQueued();
     return CollectDirty();
   }
 
@@ -87,6 +94,7 @@ class OdhScanCursorImpl : public RecordCursor {
         queued_.push_back({BlobKind::kMg, std::move(b)});
       }
     }
+    PredecodeQueued();
     return CollectDirty();
   }
 
@@ -94,16 +102,25 @@ class OdhScanCursorImpl : public RecordCursor {
     while (true) {
       if (buffer_pos_ < buffer_.size()) {
         *record = std::move(buffer_[buffer_pos_++]);
-        ++reader_->stats_.records_emitted;
+        reader_->records_emitted_.fetch_add(1, std::memory_order_relaxed);
         return true;
       }
       buffer_.clear();
       buffer_pos_ = 0;
-      // Refill from the next source of blobs.
+      // Refill from the next source of blobs: pre-decoded slots first
+      // (same order the blobs were queued in), then lazy decode, then the
+      // streaming scans, then the dirty buffers.
+      if (!decoded_.empty()) {
+        ODH_RETURN_IF_ERROR(decoded_statuses_.front());
+        buffer_ = std::move(decoded_.front());
+        decoded_.pop_front();
+        decoded_statuses_.pop_front();
+        continue;
+      }
       if (!queued_.empty()) {
         QueuedBlob blob = std::move(queued_.front());
         queued_.pop_front();
-        ODH_RETURN_IF_ERROR(DecodeBlob(blob));
+        ODH_RETURN_IF_ERROR(DecodeBlobInto(blob, &buffer_));
         continue;
       }
       ODH_ASSIGN_OR_RETURN(bool streamed, RefillFromStreams());
@@ -123,6 +140,27 @@ class OdhScanCursorImpl : public RecordCursor {
                                           &dirty_);
   }
 
+  /// Fans the queued blobs out to the reader's pool, one result slot per
+  /// blob. Decode errors are parked in decoded_statuses_ and surface from
+  /// Next at the position the sequential scan would have hit them.
+  void PredecodeQueued() {
+    common::ThreadPool* pool = reader_->pool_;
+    if (pool == nullptr || pool->num_threads() < 2 || queued_.size() < 2) {
+      return;
+    }
+    const size_t n = queued_.size();
+    std::vector<QueuedBlob> blobs(std::make_move_iterator(queued_.begin()),
+                                  std::make_move_iterator(queued_.end()));
+    queued_.clear();
+    decoded_.resize(n);
+    decoded_statuses_.resize(n);
+    pool->ParallelFor(static_cast<int64_t>(n), [&](int64_t i) {
+      decoded_statuses_[static_cast<size_t>(i)] =
+          DecodeBlobInto(blobs[static_cast<size_t>(i)],
+                         &decoded_[static_cast<size_t>(i)]);
+    });
+  }
+
   /// Pulls the next overlapping blob from the streaming table scans.
   Result<bool> RefillFromStreams() {
     for (auto* stream : {&rts_stream_, &irts_stream_}) {
@@ -137,7 +175,7 @@ class OdhScanCursorImpl : public RecordCursor {
         QueuedBlob blob{stream == &rts_stream_ ? BlobKind::kRts
                                                : BlobKind::kIrts,
                         std::move(rec)};
-        ODH_RETURN_IF_ERROR(DecodeBlob(blob));
+        ODH_RETURN_IF_ERROR(DecodeBlobInto(blob, &buffer_));
         return true;
       }
     }
@@ -153,14 +191,19 @@ class OdhScanCursorImpl : public RecordCursor {
     return !map->MayMatch(tag_filters_);
   }
 
-  Status DecodeBlob(const QueuedBlob& blob) {
+  /// Decodes one blob's surviving records into *out. Called from pool
+  /// tasks as well as the cursor thread; touches only immutable cursor
+  /// state and the reader's atomic counters.
+  Status DecodeBlobInto(const QueuedBlob& blob,
+                        std::vector<OperationalRecord>* out) {
     if (Prunable(blob.record)) {
-      ++reader_->stats_.blobs_pruned;
+      reader_->blobs_pruned_.fetch_add(1, std::memory_order_relaxed);
       return Status::OK();
     }
-    ++reader_->stats_.blobs_decoded;
-    reader_->stats_.blob_bytes_read +=
-        static_cast<int64_t>(blob.record.blob.size());
+    reader_->blobs_decoded_.fetch_add(1, std::memory_order_relaxed);
+    reader_->blob_bytes_read_.fetch_add(
+        static_cast<int64_t>(blob.record.blob.size()),
+        std::memory_order_relaxed);
     if (blob.kind == BlobKind::kMg) {
       std::vector<OperationalRecord> records;
       ODH_RETURN_IF_ERROR(codec_.DecodeMg(Slice(blob.record.blob),
@@ -169,7 +212,7 @@ class OdhScanCursorImpl : public RecordCursor {
       for (auto& r : records) {
         if (r.ts < lo_ || r.ts > hi_) continue;
         if (id_ >= 0 && r.id != id_) continue;
-        buffer_.push_back(std::move(r));
+        out->push_back(std::move(r));
       }
       return Status::OK();
     }
@@ -192,7 +235,7 @@ class OdhScanCursorImpl : public RecordCursor {
       r.ts = batch.timestamps[i];
       r.tags.resize(num_tags_);
       for (int t = 0; t < num_tags_; ++t) r.tags[t] = batch.columns[t][i];
-      buffer_.push_back(std::move(r));
+      out->push_back(std::move(r));
     }
     return Status::OK();
   }
@@ -207,6 +250,9 @@ class OdhScanCursorImpl : public RecordCursor {
   ValueBlobCodec codec_;
 
   std::deque<QueuedBlob> queued_;
+  /// Parallel-decode results, aligned slots in queue order.
+  std::deque<std::vector<OperationalRecord>> decoded_;
+  std::deque<Status> decoded_statuses_;
   std::unique_ptr<relational::Table::Iterator> rts_stream_;
   std::unique_ptr<relational::Table::Iterator> irts_stream_;
   std::vector<OperationalRecord> buffer_;

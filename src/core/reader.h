@@ -1,9 +1,11 @@
 #ifndef ODH_CORE_READER_H_
 #define ODH_CORE_READER_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/router.h"
 #include "core/store.h"
 #include "core/value_blob.h"
@@ -35,11 +37,22 @@ struct ReadStats {
 /// The ODH read path: routes, fetches blobs with partition elimination,
 /// decodes only the requested tags (tag-oriented access), merges unflushed
 /// writer buffers (dirty-read isolation).
+///
+/// When constructed with a thread pool, historical scans fan their
+/// candidate blobs (the ones surviving zone-map pruning) out to the pool
+/// for parallel decoding; records still come back from the cursor in
+/// exactly the order a sequential scan would produce. Counters are atomic,
+/// so cursors may be driven while other threads open more cursors; a single
+/// cursor itself is not for sharing between threads.
 class OdhReader {
  public:
   OdhReader(ConfigComponent* config, OdhStore* store, OdhWriter* writer,
-            DataRouter* router)
-      : config_(config), store_(store), writer_(writer), router_(router) {}
+            DataRouter* router, common::ThreadPool* pool = nullptr)
+      : config_(config),
+        store_(store),
+        writer_(writer),
+        router_(router),
+        pool_(pool) {}
 
   /// Historical query: all points of `id` in [lo, hi]. `tag_filters`
   /// (optional) lets the reader prune whole blobs via their zone maps; the
@@ -50,14 +63,31 @@ class OdhReader {
       std::vector<TagFilter> tag_filters = {});
 
   /// Slice query: all points of every source of the type in [lo, hi].
+  /// Slice scans stream table iterators and stay sequential regardless of
+  /// the pool.
   Result<std::unique_ptr<RecordCursor>> OpenSlice(
       int schema_type, Timestamp lo, Timestamp hi,
       const std::vector<int>& wanted_tags,
       std::vector<TagFilter> tag_filters = {});
 
-  /// Cumulative stats across all cursors opened from this reader.
-  const ReadStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = ReadStats(); }
+  /// Cumulative stats across all cursors opened from this reader
+  /// (snapshot of the atomic counters).
+  ReadStats stats() const {
+    ReadStats s;
+    s.blobs_decoded = blobs_decoded_.load(std::memory_order_relaxed);
+    s.blobs_pruned = blobs_pruned_.load(std::memory_order_relaxed);
+    s.blob_bytes_read = blob_bytes_read_.load(std::memory_order_relaxed);
+    s.records_emitted = records_emitted_.load(std::memory_order_relaxed);
+    return s;
+  }
+  void ResetStats() {
+    blobs_decoded_.store(0, std::memory_order_relaxed);
+    blobs_pruned_.store(0, std::memory_order_relaxed);
+    blob_bytes_read_.store(0, std::memory_order_relaxed);
+    records_emitted_.store(0, std::memory_order_relaxed);
+  }
+
+  common::ThreadPool* pool() const { return pool_; }
 
  private:
   friend class OdhScanCursorImpl;
@@ -66,7 +96,11 @@ class OdhReader {
   OdhStore* store_;
   OdhWriter* writer_;
   DataRouter* router_;
-  ReadStats stats_;
+  common::ThreadPool* pool_;  // Not owned; nullptr = sequential decode.
+  std::atomic<int64_t> blobs_decoded_{0};
+  std::atomic<int64_t> blobs_pruned_{0};
+  std::atomic<int64_t> blob_bytes_read_{0};
+  std::atomic<int64_t> records_emitted_{0};
 };
 
 }  // namespace odh::core

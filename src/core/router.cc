@@ -56,7 +56,7 @@ Result<RouteDecision> DataRouter::DecisionFor(SourceClass source_class,
 
 Result<RouteDecision> DataRouter::RouteHistorical(int schema_type,
                                                   SourceId id) {
-  ++lookups_;
+  lookups_.fetch_add(1, std::memory_order_relaxed);
   if (config_->options().sql_metadata_router) {
     // The paper's implementation: metadata resolved by a SQL point query.
     std::string sql = "SELECT cls, grp FROM odh$sources WHERE id = " +
@@ -77,7 +77,7 @@ Result<RouteDecision> DataRouter::RouteHistorical(int schema_type,
 }
 
 Result<RouteDecision> DataRouter::RouteSlice(int schema_type) {
-  ++lookups_;
+  lookups_.fetch_add(1, std::memory_order_relaxed);
   RouteDecision decision;
   decision.scan_rts = true;
   decision.scan_irts = true;

@@ -1,6 +1,7 @@
 #ifndef ODH_CORE_ROUTER_H_
 #define ODH_CORE_ROUTER_H_
 
+#include <atomic>
 #include <vector>
 
 #include "core/config.h"
@@ -48,7 +49,13 @@ class DataRouter {
   /// Routes a slice query (all sources of a type, short time window).
   Result<RouteDecision> RouteSlice(int schema_type);
 
-  int64_t lookups() const { return lookups_; }
+  /// Routes performed so far. Direct-mode routing is thread-safe (it reads
+  /// the immutable config and bumps this atomic); SQL-mode routing runs
+  /// statements through the single-threaded SQL engine and must be
+  /// serialized by the caller.
+  int64_t lookups() const {
+    return lookups_.load(std::memory_order_relaxed);
+  }
 
  private:
   Result<RouteDecision> DecisionFor(SourceClass source_class, int64_t group);
@@ -57,7 +64,7 @@ class DataRouter {
   sql::SqlEngine* engine_;
   relational::Table* metadata_ = nullptr;
   int64_t pending_metadata_rows_ = 0;
-  int64_t lookups_ = 0;
+  std::atomic<int64_t> lookups_{0};
 };
 
 }  // namespace odh::core

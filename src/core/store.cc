@@ -1,5 +1,6 @@
 #include "core/store.h"
 
+#include <mutex>
 #include <set>
 #include <tuple>
 
@@ -50,6 +51,7 @@ Schema MgSchema() {
 }  // namespace
 
 Status OdhStore::CreateContainers(int schema_type) {
+  std::lock_guard<std::mutex> lock(mu_);
   ODH_ASSIGN_OR_RETURN(const SchemaType* type,
                        config_->GetSchemaType(schema_type));
   if (containers_.count(schema_type) > 0) {
@@ -113,6 +115,7 @@ Status OdhStore::PutRts(int schema_type, SourceId id, Timestamp begin,
                         Timestamp end, Timestamp interval, int64_t n,
                         const std::string& blob,
                         const std::string& zone_map) {
+  std::lock_guard<std::mutex> lock(mu_);
   ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
   // Log before the heap/index write: once Sync() flushes the log, the blob
   // is replayable even if the table pages never made it to disk.
@@ -130,6 +133,7 @@ Status OdhStore::PutRts(int schema_type, SourceId id, Timestamp begin,
 Status OdhStore::PutIrts(int schema_type, SourceId id, Timestamp begin,
                          Timestamp end, int64_t n, const std::string& blob,
                          const std::string& zone_map) {
+  std::lock_guard<std::mutex> lock(mu_);
   ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
   ODH_RETURN_IF_ERROR(LogPut(WalRecord::Kind::kIrts, schema_type, id, begin,
                              end, /*interval=*/0, n, blob, zone_map));
@@ -144,6 +148,7 @@ Status OdhStore::PutIrts(int schema_type, SourceId id, Timestamp begin,
 Status OdhStore::PutMg(int schema_type, int64_t group, Timestamp begin,
                        Timestamp end, int64_t n, const std::string& blob,
                        const std::string& zone_map) {
+  std::lock_guard<std::mutex> lock(mu_);
   ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
   ODH_RETURN_IF_ERROR(LogPut(WalRecord::Kind::kMg, schema_type, group,
                              begin, end, /*interval=*/0, n, blob, zone_map));
@@ -193,6 +198,7 @@ Result<std::vector<BlobRecord>> ScanSeries(relational::Table* table,
 Result<std::vector<BlobRecord>> OdhStore::GetRts(int schema_type,
                                                  SourceId id, Timestamp lo,
                                                  Timestamp hi) {
+  std::lock_guard<std::mutex> lock(mu_);
   ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
   return ScanSeries(container->rts, container->rts_stats, id, lo, hi);
 }
@@ -200,6 +206,7 @@ Result<std::vector<BlobRecord>> OdhStore::GetRts(int schema_type,
 Result<std::vector<BlobRecord>> OdhStore::GetIrts(int schema_type,
                                                   SourceId id, Timestamp lo,
                                                   Timestamp hi) {
+  std::lock_guard<std::mutex> lock(mu_);
   ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
   return ScanSeries(container->irts, container->irts_stats, id, lo, hi);
 }
@@ -207,6 +214,7 @@ Result<std::vector<BlobRecord>> OdhStore::GetIrts(int schema_type,
 Result<std::vector<BlobRecord>> OdhStore::GetMg(int schema_type,
                                                 int64_t group, Timestamp lo,
                                                 Timestamp hi) {
+  std::lock_guard<std::mutex> lock(mu_);
   ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
   const ContainerStats& stats = container->mg_stats;
   Timestamp scan_lo =
@@ -236,6 +244,7 @@ Result<std::vector<BlobRecord>> OdhStore::GetMg(int schema_type,
 }
 
 Status OdhStore::DeleteMg(int schema_type, const relational::Rid& rid) {
+  std::lock_guard<std::mutex> lock(mu_);
   ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
   // Keep the count/byte stats honest for the cost model; the min/max/span
   // fields stay conservative.
@@ -259,6 +268,7 @@ Status OdhStore::DeleteMg(int schema_type, const relational::Rid& rid) {
 }
 
 Status OdhStore::CompactMg(int schema_type) {
+  std::lock_guard<std::mutex> lock(mu_);
   ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
   ODH_ASSIGN_OR_RETURN(const SchemaType* type,
                        config_->GetSchemaType(schema_type));
@@ -288,16 +298,19 @@ Status OdhStore::CompactMg(int schema_type) {
 }
 
 Result<relational::Table*> OdhStore::RtsTable(int schema_type) {
+  std::lock_guard<std::mutex> lock(mu_);
   ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
   return container->rts;
 }
 
 Result<relational::Table*> OdhStore::IrtsTable(int schema_type) {
+  std::lock_guard<std::mutex> lock(mu_);
   ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
   return container->irts;
 }
 
 Result<relational::Table*> OdhStore::MgTable(int schema_type) {
+  std::lock_guard<std::mutex> lock(mu_);
   ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
   return container->mg;
 }
@@ -325,6 +338,7 @@ Status OdhStore::RowToBlobRecord(const Row& row, const relational::Rid& rid,
 }
 
 Status OdhStore::Sync(int schema_type) {
+  std::lock_guard<std::mutex> lock(mu_);
   ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
   // Write-ahead: the log reaches disk before the table pages, so any blob
   // visible in the flushed containers is also replayable.

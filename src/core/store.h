@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,16 @@ struct BlobRecord {
 /// B-tree indexes on the first two fields of each structure — exactly the
 /// paper's Figure 1 layout. Time-range scans do partition elimination via
 /// the (id|begin_ts, begin_ts|group) index plus the max-span widening.
+///
+/// Thread-safe: one store mutex serializes table mutations, index scans,
+/// stats updates and WAL appends (the relational tables underneath are not
+/// concurrent). Writer shards do their buffering and blob encoding outside
+/// this lock, so the store is the serialization point, not the whole write
+/// path. Lock order: writer shard -> store -> WAL -> disk; the store never
+/// calls back into the writer. Exceptions: Recover() takes no lock itself
+/// (it replays through the locked Put/Sync entry points and runs on a
+/// quiescent store), and the Table* accessors hand out iterators whose use
+/// requires external quiescence (slice streaming).
 class OdhStore {
  public:
   /// Name of the store's write-ahead log file on the database disk. (The
@@ -108,13 +119,17 @@ class OdhStore {
   /// (run after reorganization; heap pages are never compacted in place).
   Status CompactMg(int schema_type);
 
-  const ContainerStats& rts_stats(int schema_type) const {
+  /// Stats snapshots (copied under the store mutex; safe during ingest).
+  ContainerStats rts_stats(int schema_type) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return containers_.at(schema_type).rts_stats;
   }
-  const ContainerStats& irts_stats(int schema_type) const {
+  ContainerStats irts_stats(int schema_type) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return containers_.at(schema_type).irts_stats;
   }
-  const ContainerStats& mg_stats(int schema_type) const {
+  ContainerStats mg_stats(int schema_type) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return containers_.at(schema_type).mg_stats;
   }
 
@@ -133,8 +148,11 @@ class OdhStore {
   Result<RecoveryReport> Recover(storage::SimDisk* crashed_disk);
 
   /// The store's write-ahead log, nullptr until the first Put. Exposed for
-  /// stats (retry counters) and tests.
-  const Wal* wal() const { return wal_.get(); }
+  /// stats (retry counters) and tests. The Wal itself is thread-safe.
+  const Wal* wal() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return wal_.get();
+  }
 
   /// Direct access to the container tables for streaming full scans (slice
   /// queries over per-source structures have no index to use). Internal to
@@ -172,6 +190,8 @@ class OdhStore {
 
   relational::Database* db_;
   ConfigComponent* config_;
+  /// Guards containers_, their stats, wal_ creation and mg_version_.
+  mutable std::mutex mu_;
   std::map<int, Container> containers_;
   std::unique_ptr<Wal> wal_;
 };

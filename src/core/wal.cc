@@ -85,10 +85,13 @@ Result<std::unique_ptr<Wal>> Wal::Create(storage::SimDisk* disk,
 
 void Wal::Append(const Slice& payload) {
   ODH_CHECK(!payload.empty());
+  // Short critical section: framing into the append queue only. Disk I/O
+  // is the leader's job in Sync.
+  std::lock_guard<std::mutex> lock(mu_);
   PutFixed32(&pending_, static_cast<uint32_t>(payload.size()));
   PutFixed32(&pending_, storage::Crc32c(payload.data(), payload.size()));
   pending_.append(payload.data(), payload.size());
-  ++records_appended_;
+  records_appended_.fetch_add(1, std::memory_order_relaxed);
 }
 
 Status Wal::WritePageRetry(storage::PageNo page, const char* buf) {
@@ -114,36 +117,74 @@ Result<storage::PageNo> Wal::AllocatePageRetry() {
 }
 
 Status Wal::Sync() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Group commit: `target` is everything this caller needs durable. If a
+  // concurrent leader's batch covers it, piggyback on that sync; otherwise
+  // become the leader once the active one (if any) finishes.
+  const uint64_t target = records_appended_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (records_synced_.load(std::memory_order_relaxed) >= target) {
+      return Status::OK();
+    }
+    if (!sync_active_) break;
+    sync_cv_.wait(lock);
+  }
+
+  // Leader: take the whole queue (our records plus any appended since) and
+  // write it with the mutex released, so appenders keep streaming into a
+  // fresh queue. pages_allocated_ and tail_page_ are leader-only state,
+  // handed from leader to leader through mu_.
+  sync_active_ = true;
+  std::string batch = std::move(pending_);
+  pending_.clear();
+  const uint64_t batch_target =
+      records_appended_.load(std::memory_order_relaxed);
+  lock.unlock();
+
+  Status result = Status::OK();
   size_t consumed = 0;
-  while (consumed < pending_.size()) {
-    uint64_t page_index = synced_bytes_ / page_size_;
-    size_t offset = synced_bytes_ % page_size_;
+  while (consumed < batch.size()) {
+    const uint64_t synced = synced_bytes_.load(std::memory_order_relaxed);
+    const uint64_t page_index = synced / page_size_;
+    const size_t offset = synced % page_size_;
     if (page_index >= pages_allocated_) {
       Result<storage::PageNo> allocated = AllocatePageRetry();
       if (!allocated.ok()) {
-        pending_.erase(0, consumed);
-        return allocated.status();
+        result = allocated.status();
+        break;
       }
       ODH_CHECK(*allocated == page_index);
       ++pages_allocated_;
       std::memset(tail_page_.get(), 0, page_size_);
     }
-    size_t n = std::min(page_size_ - offset, pending_.size() - consumed);
-    std::memcpy(tail_page_.get() + offset, pending_.data() + consumed, n);
+    size_t n = std::min(page_size_ - offset, batch.size() - consumed);
+    std::memcpy(tail_page_.get() + offset, batch.data() + consumed, n);
     Status written = WritePageRetry(static_cast<storage::PageNo>(page_index),
                                     tail_page_.get());
     if (!written.ok()) {
-      // The durable prefix (previous iterations) stays durable; keep the
-      // rest buffered so a later Sync can retry.
-      pending_.erase(0, consumed);
-      return written;
+      result = written;
+      break;
     }
-    synced_bytes_ += n;
+    synced_bytes_.store(synced + n, std::memory_order_relaxed);
     consumed += n;
   }
-  pending_.clear();
-  records_synced_ = records_appended_;
-  return Status::OK();
+
+  lock.lock();
+  if (result.ok()) {
+    records_synced_.store(batch_target, std::memory_order_relaxed);
+  } else {
+    // The durable prefix (previous iterations) stays durable. The
+    // unwritten suffix goes back to the FRONT of the queue — ahead of
+    // anything appended while we were writing — so log order always
+    // equals append order.
+    batch.erase(0, consumed);
+    batch.append(pending_);
+    pending_ = std::move(batch);
+  }
+  sync_active_ = false;
+  lock.unlock();
+  sync_cv_.notify_all();
+  return result;
 }
 
 Result<Wal::ReadResult> Wal::ReadLog(storage::SimDisk* disk,

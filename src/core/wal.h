@@ -1,7 +1,10 @@
 #ifndef ODH_CORE_WAL_H_
 #define ODH_CORE_WAL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -68,6 +71,15 @@ void EncodeWalPayload(WalRecord::Kind kind, int schema_type,
 /// (retrying transient faults with bounded backoff). Crash-consistency
 /// contract: records appended before a Sync that returned OK survive a
 /// power cut; records appended after the last successful Sync are lost.
+///
+/// Thread-safe with leader-based group commit: Append is a short critical
+/// section on the append queue; concurrent Sync callers elect one leader
+/// that drains the whole queue to disk while followers wait. A follower
+/// whose records were covered by the leader's batch returns OK without
+/// touching the disk; one that arrived too late (or whose leader failed)
+/// retries as the next leader. This keeps PR 1's recovery contract intact
+/// under multi-threaded ingestion: log order equals Append order, and a
+/// successful Sync makes every record appended before it durable.
 class Wal {
  public:
   /// Creates the log file (fails if the name exists).
@@ -84,12 +96,23 @@ class Wal {
   /// prefix stays durable and the unwritten suffix stays buffered.
   Status Sync();
 
-  uint64_t records_appended() const { return records_appended_; }
-  uint64_t records_synced() const { return records_synced_; }
-  uint64_t synced_bytes() const { return synced_bytes_; }
-  uint64_t pending_bytes() const { return pending_.size(); }
+  uint64_t records_appended() const {
+    return records_appended_.load(std::memory_order_relaxed);
+  }
+  uint64_t records_synced() const {
+    return records_synced_.load(std::memory_order_relaxed);
+  }
+  uint64_t synced_bytes() const {
+    return synced_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t pending_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_.size();
+  }
   /// Transparent retries of transient faults during Sync.
-  uint64_t io_retries() const { return io_retries_; }
+  uint64_t io_retries() const {
+    return io_retries_.load(std::memory_order_relaxed);
+  }
 
   struct ReadResult {
     std::vector<std::string> records;  // Decoded payloads, in log order.
@@ -113,13 +136,23 @@ class Wal {
   storage::SimDisk* disk_;
   storage::FileId file_;
   size_t page_size_;
+
+  /// Guards the append queue and the group-commit handshake. Disk I/O
+  /// happens with mu_ released (only the elected leader touches the
+  /// leader-only fields below, so they need no lock of their own).
+  mutable std::mutex mu_;
+  std::condition_variable sync_cv_;
+  bool sync_active_ = false;            // A leader is writing.
   std::string pending_;                 // Framed, not yet durable.
-  uint64_t synced_bytes_ = 0;           // Durable log length.
+
+  // Leader-only state (handed off leader-to-leader through mu_).
   uint64_t pages_allocated_ = 0;
   std::unique_ptr<char[]> tail_page_;   // Image of the last durable page.
-  uint64_t records_appended_ = 0;
-  uint64_t records_synced_ = 0;
-  uint64_t io_retries_ = 0;
+
+  std::atomic<uint64_t> synced_bytes_{0};  // Durable log length.
+  std::atomic<uint64_t> records_appended_{0};
+  std::atomic<uint64_t> records_synced_{0};
+  std::atomic<uint64_t> io_retries_{0};
 };
 
 }  // namespace odh::core

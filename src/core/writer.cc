@@ -5,10 +5,46 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <functional>
 
 namespace odh::core {
+namespace {
+
+// Fibonacci-style mixer: source ids and group numbers are often small and
+// sequential, so a plain modulo would put neighbouring sources in
+// neighbouring shards — fine — but correlated bench workloads (ids striped
+// across threads) would then collide on one shard. Mixing spreads them.
+size_t MixToShard(uint64_t key, size_t num_shards) {
+  key *= 0x9E3779B97F4A7C15ULL;
+  key ^= key >> 32;
+  return static_cast<size_t>(key % num_shards);
+}
+
+}  // namespace
+
+OdhWriter::OdhWriter(OdhStore* store, ConfigComponent* config)
+    : store_(store), config_(config) {
+  int num_shards = config->options().writer_shards;
+  if (num_shards < 1) num_shards = 1;
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+OdhWriter::Shard& OdhWriter::ShardForSource(SourceId id) {
+  return *shards_[MixToShard(static_cast<uint64_t>(id), shards_.size())];
+}
+
+OdhWriter::Shard& OdhWriter::ShardForGroup(int schema_type, int64_t group) {
+  uint64_t key = (static_cast<uint64_t>(static_cast<uint32_t>(schema_type))
+                  << 32) ^
+                 static_cast<uint64_t>(group);
+  return *shards_[MixToShard(key, shards_.size())];
+}
 
 Result<const ValueBlobCodec*> OdhWriter::CodecFor(int schema_type) {
+  std::lock_guard<std::mutex> lock(codec_mu_);
   auto it = codecs_.find(schema_type);
   if (it == codecs_.end()) {
     ODH_ASSIGN_OR_RETURN(const SchemaType* type,
@@ -16,10 +52,14 @@ Result<const ValueBlobCodec*> OdhWriter::CodecFor(int schema_type) {
     it = codecs_.emplace(schema_type, ValueBlobCodec(type->compression))
              .first;
   }
+  // The map never erases, so the pointer stays valid after the lock drops;
+  // the codec itself is immutable and safe to share across threads.
   return &it->second;
 }
 
 Status OdhWriter::Ingest(const OperationalRecord& record) {
+  // Config lookups are lock-free: the configuration component is immutable
+  // once ingestion starts (setup happens before threads are spawned).
   ODH_ASSIGN_OR_RETURN(const DataSourceInfo* info,
                        config_->GetSource(record.id));
   ODH_ASSIGN_OR_RETURN(const SchemaType* type,
@@ -28,17 +68,26 @@ Status OdhWriter::Ingest(const OperationalRecord& record) {
     return Status::InvalidArgument("record arity mismatch for type " +
                                    type->name);
   }
-  auto [ts_it, first] = last_ts_.try_emplace(record.id, kMinTimestamp);
+
+  // A low-frequency source lives in its group's shard so the group buffer
+  // has exactly one owner; a high-frequency source lives in its id's shard.
+  const bool high_freq = IsHighFrequency(info->source_class);
+  Shard& shard = high_freq
+                     ? ShardForSource(record.id)
+                     : ShardForGroup(info->schema_type, info->group);
+  std::lock_guard<std::mutex> lock(shard.mu);
+
+  auto [ts_it, first] = shard.last_ts.try_emplace(record.id, kMinTimestamp);
   if (!first && record.ts < ts_it->second) {
     return Status::InvalidArgument(
         "timestamps must be non-decreasing per source");
   }
   ts_it->second = record.ts;
-  ++stats_.points_ingested;
+  ++shard.stats.points_ingested;
 
   const int b = config_->options().batch_size;
-  if (IsHighFrequency(info->source_class)) {
-    SourceBuffer& buffer = source_buffers_[record.id];
+  if (high_freq) {
+    SourceBuffer& buffer = shard.source_buffers[record.id];
     if (buffer.columns.empty()) {
       buffer.columns.resize(type->tag_names.size());
     }
@@ -47,30 +96,32 @@ Status OdhWriter::Ingest(const OperationalRecord& record) {
       buffer.columns[t].push_back(record.tags[t]);
     }
     if (static_cast<int>(buffer.size()) >= b) {
-      ODH_RETURN_IF_ERROR(FlushSource(record.id, *info, &buffer));
+      ODH_RETURN_IF_ERROR(FlushSource(shard, record.id, *info, &buffer));
     }
     return Status::OK();
   }
 
   // Low-frequency: mixed grouping.
   GroupBuffer& buffer =
-      group_buffers_[{info->schema_type, info->group}];
+      shard.group_buffers[{info->schema_type, info->group}];
   if (buffer.records.empty()) buffer.window_begin = record.ts;
   const Timestamp window = config_->options().mg_window;
   if (record.ts - buffer.window_begin > window &&
       !buffer.records.empty()) {
     ODH_RETURN_IF_ERROR(
-        FlushGroup(info->schema_type, info->group, &buffer));
+        FlushGroup(shard, info->schema_type, info->group, &buffer));
     buffer.window_begin = record.ts;
   }
   buffer.records.push_back(record);
   if (static_cast<int>(buffer.records.size()) >= b) {
-    ODH_RETURN_IF_ERROR(FlushGroup(info->schema_type, info->group, &buffer));
+    ODH_RETURN_IF_ERROR(
+        FlushGroup(shard, info->schema_type, info->group, &buffer));
   }
   return Status::OK();
 }
 
-Status OdhWriter::FlushSource(SourceId id, const DataSourceInfo& info,
+Status OdhWriter::FlushSource(Shard& shard, SourceId id,
+                              const DataSourceInfo& info,
                               SourceBuffer* buffer) {
   if (buffer->timestamps.empty()) return Status::OK();
   ODH_ASSIGN_OR_RETURN(const ValueBlobCodec* codec,
@@ -118,19 +169,19 @@ Status OdhWriter::FlushSource(SourceId id, const DataSourceInfo& info,
                                        batch.timestamps.back(), interval,
                                        static_cast<int64_t>(n), blob,
                                        zone_map));
-    ++stats_.rts_blobs;
+    ++shard.stats.rts_blobs;
   } else {
     ODH_RETURN_IF_ERROR(codec->EncodeIrts(batch, &blob));
     ODH_RETURN_IF_ERROR(store_->PutIrts(info.schema_type, id, begin, end,
                                         static_cast<int64_t>(n), blob,
                                         zone_map));
-    ++stats_.irts_blobs;
+    ++shard.stats.irts_blobs;
   }
-  stats_.blob_bytes += static_cast<int64_t>(blob.size());
+  shard.stats.blob_bytes += static_cast<int64_t>(blob.size());
   return Status::OK();
 }
 
-Status OdhWriter::FlushGroup(int schema_type, int64_t group,
+Status OdhWriter::FlushGroup(Shard& shard, int schema_type, int64_t group,
                              GroupBuffer* buffer) {
   if (buffer->records.empty()) return Status::OK();
   // MG blobs are encoded losslessly: the paper's lossy codecs apply "when
@@ -158,21 +209,26 @@ Status OdhWriter::FlushGroup(int schema_type, int64_t group,
   ODH_RETURN_IF_ERROR(store_->PutMg(schema_type, group, begin, end,
                                     static_cast<int64_t>(records.size()),
                                     blob, zone_map));
-  ++stats_.mg_blobs;
-  stats_.blob_bytes += static_cast<int64_t>(blob.size());
+  ++shard.stats.mg_blobs;
+  shard.stats.blob_bytes += static_cast<int64_t>(blob.size());
   return Status::OK();
 }
 
 Status OdhWriter::Flush(int schema_type) {
-  for (auto& [id, buffer] : source_buffers_) {
-    if (buffer.size() == 0) continue;
-    ODH_ASSIGN_OR_RETURN(const DataSourceInfo* info, config_->GetSource(id));
-    if (info->schema_type != schema_type) continue;
-    ODH_RETURN_IF_ERROR(FlushSource(id, *info, &buffer));
-  }
-  for (auto& [key, buffer] : group_buffers_) {
-    if (key.first != schema_type) continue;
-    ODH_RETURN_IF_ERROR(FlushGroup(key.first, key.second, &buffer));
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [id, buffer] : shard.source_buffers) {
+      if (buffer.size() == 0) continue;
+      ODH_ASSIGN_OR_RETURN(const DataSourceInfo* info,
+                           config_->GetSource(id));
+      if (info->schema_type != schema_type) continue;
+      ODH_RETURN_IF_ERROR(FlushSource(shard, id, *info, &buffer));
+    }
+    for (auto& [key, buffer] : shard.group_buffers) {
+      if (key.first != schema_type) continue;
+      ODH_RETURN_IF_ERROR(FlushGroup(shard, key.first, key.second, &buffer));
+    }
   }
   // Sync is idempotent, so if a transient fault burst outlives the storage
   // layer's backoff (which already retried each page), re-issue the whole
@@ -180,10 +236,10 @@ Status OdhWriter::Flush(int schema_type) {
   constexpr int kMaxSyncAttempts = 4;
   Status synced;
   for (int attempt = 0; attempt < kMaxSyncAttempts; ++attempt) {
-    ++stats_.syncs;
+    syncs_.fetch_add(1, std::memory_order_relaxed);
     synced = store_->Sync(schema_type);
     if (!synced.IsUnavailable()) return synced;
-    ++stats_.sync_retries;
+    sync_retries_.fetch_add(1, std::memory_order_relaxed);
   }
   return synced;
 }
@@ -198,32 +254,71 @@ Status OdhWriter::FlushAll() {
 Status OdhWriter::CollectDirty(int schema_type, SourceId id, Timestamp lo,
                                Timestamp hi,
                                std::vector<OperationalRecord>* out) const {
-  for (const auto& [source_id, buffer] : source_buffers_) {
-    if (id >= 0 && source_id != id) continue;
-    if (buffer.size() == 0) continue;
-    auto info = config_->GetSource(source_id);
-    if (!info.ok() || (*info)->schema_type != schema_type) continue;
-    for (size_t i = 0; i < buffer.size(); ++i) {
-      if (buffer.timestamps[i] < lo || buffer.timestamps[i] > hi) continue;
-      OperationalRecord record;
-      record.id = source_id;
-      record.ts = buffer.timestamps[i];
-      record.tags.resize(buffer.columns.size());
-      for (size_t t = 0; t < buffer.columns.size(); ++t) {
-        record.tags[t] = buffer.columns[t][i];
+  // Reproduce the single-shard ordering byte for byte: high-frequency
+  // sources by ascending id, then group buffers by (schema_type, group).
+  // Shard snapshots are merged through ordered maps to get there.
+  std::map<SourceId, std::vector<OperationalRecord>> by_source;
+  std::map<std::pair<int, int64_t>, std::vector<OperationalRecord>> by_group;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [source_id, buffer] : shard.source_buffers) {
+      if (id >= 0 && source_id != id) continue;
+      if (buffer.size() == 0) continue;
+      auto info = config_->GetSource(source_id);
+      if (!info.ok() || (*info)->schema_type != schema_type) continue;
+      std::vector<OperationalRecord>& dst = by_source[source_id];
+      for (size_t i = 0; i < buffer.size(); ++i) {
+        if (buffer.timestamps[i] < lo || buffer.timestamps[i] > hi) continue;
+        OperationalRecord record;
+        record.id = source_id;
+        record.ts = buffer.timestamps[i];
+        record.tags.resize(buffer.columns.size());
+        for (size_t t = 0; t < buffer.columns.size(); ++t) {
+          record.tags[t] = buffer.columns[t][i];
+        }
+        dst.push_back(std::move(record));
       }
+    }
+    for (const auto& [key, buffer] : shard.group_buffers) {
+      if (key.first != schema_type) continue;
+      std::vector<OperationalRecord>& dst = by_group[key];
+      for (const OperationalRecord& record : buffer.records) {
+        if (id >= 0 && record.id != id) continue;
+        if (record.ts < lo || record.ts > hi) continue;
+        dst.push_back(record);
+      }
+    }
+  }
+  for (auto& [source_id, records] : by_source) {
+    (void)source_id;
+    for (OperationalRecord& record : records) {
       out->push_back(std::move(record));
     }
   }
-  for (const auto& [key, buffer] : group_buffers_) {
-    if (key.first != schema_type) continue;
-    for (const OperationalRecord& record : buffer.records) {
-      if (id >= 0 && record.id != id) continue;
-      if (record.ts < lo || record.ts > hi) continue;
-      out->push_back(record);
+  for (auto& [key, records] : by_group) {
+    (void)key;
+    for (OperationalRecord& record : records) {
+      out->push_back(std::move(record));
     }
   }
   return Status::OK();
+}
+
+WriterStats OdhWriter::stats() const {
+  WriterStats total;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.points_ingested += shard.stats.points_ingested;
+    total.rts_blobs += shard.stats.rts_blobs;
+    total.irts_blobs += shard.stats.irts_blobs;
+    total.mg_blobs += shard.stats.mg_blobs;
+    total.blob_bytes += shard.stats.blob_bytes;
+  }
+  total.syncs = syncs_.load(std::memory_order_relaxed);
+  total.sync_retries = sync_retries_.load(std::memory_order_relaxed);
+  return total;
 }
 
 }  // namespace odh::core

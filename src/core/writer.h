@@ -1,7 +1,10 @@
 #ifndef ODH_CORE_WRITER_H_
 #define ODH_CORE_WRITER_H_
 
+#include <atomic>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/store.h"
@@ -34,10 +37,19 @@ struct WriterStats {
 /// Ingestion is transaction-free (paper: "The insertion process does not
 /// support transactions"). Unflushed buffers are visible to queries through
 /// CollectDirty — the paper's dirty-read isolation level.
+///
+/// Thread-safe: the writer is split into `options().writer_shards`
+/// independent shards, each owning its sources' buffers, last-timestamp
+/// watermarks and counters under its own mutex. A high-frequency source
+/// maps to a shard by source id; a low-frequency source by its MG group,
+/// so a group buffer is only ever touched by one shard. Blob encoding runs
+/// under the shard mutex but outside any store lock — lock order is
+/// writer shard -> store -> WAL -> disk. Ingest may be called from many
+/// threads; per-source timestamp monotonicity is still required (a single
+/// source must not be fed from two threads at once without ordering).
 class OdhWriter {
  public:
-  OdhWriter(OdhStore* store, ConfigComponent* config)
-      : store_(store), config_(config) {}
+  OdhWriter(OdhStore* store, ConfigComponent* config);
 
   OdhWriter(const OdhWriter&) = delete;
   OdhWriter& operator=(const OdhWriter&) = delete;
@@ -52,11 +64,18 @@ class OdhWriter {
   /// Appends buffered-but-unflushed records matching the filters to *out.
   /// `id` < 0 matches all sources; tags outside `wanted_tags` are still
   /// included (buffers are row-format; the saving only applies to blobs).
+  /// The result is ordered exactly as the single-shard writer would order
+  /// it: high-frequency sources by ascending id, then group buffers by
+  /// (schema_type, group). Each shard is snapshotted under its own mutex.
   Status CollectDirty(int schema_type, SourceId id, Timestamp lo,
                       Timestamp hi,
                       std::vector<OperationalRecord>* out) const;
 
-  const WriterStats& stats() const { return stats_; }
+  /// Aggregated counters across all shards (a consistent-enough snapshot:
+  /// each shard is summed under its own mutex).
+  WriterStats stats() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
 
  private:
   struct SourceBuffer {
@@ -68,20 +87,35 @@ class OdhWriter {
     std::vector<OperationalRecord> records;
     Timestamp window_begin = 0;
   };
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<SourceId, SourceBuffer> source_buffers;
+    std::map<std::pair<int, int64_t>, GroupBuffer> group_buffers;
+    std::map<SourceId, Timestamp> last_ts;
+    WriterStats stats;  // Guarded by mu; syncs/sync_retries stay zero.
+  };
 
-  Status FlushSource(SourceId id, const DataSourceInfo& info,
+  Shard& ShardForSource(SourceId id);
+  Shard& ShardForGroup(int schema_type, int64_t group);
+
+  Status FlushSource(Shard& shard, SourceId id, const DataSourceInfo& info,
                      SourceBuffer* buffer);
-  Status FlushGroup(int schema_type, int64_t group, GroupBuffer* buffer);
+  Status FlushGroup(Shard& shard, int schema_type, int64_t group,
+                    GroupBuffer* buffer);
 
   Result<const ValueBlobCodec*> CodecFor(int schema_type);
 
   OdhStore* store_;
   ConfigComponent* config_;
-  std::map<SourceId, SourceBuffer> source_buffers_;
-  std::map<std::pair<int, int64_t>, GroupBuffer> group_buffers_;
-  std::map<SourceId, Timestamp> last_ts_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Guards codecs_ (std::map gives pointer stability, so CodecFor hands
+  /// out pointers that outlive the lock).
+  std::mutex codec_mu_;
   std::map<int, ValueBlobCodec> codecs_;
-  WriterStats stats_;
+  /// Sync counters are writer-global, not per shard: Flush syncs the store
+  /// once for all shards.
+  std::atomic<int64_t> syncs_{0};
+  std::atomic<int64_t> sync_retries_{0};
 };
 
 }  // namespace odh::core

@@ -64,8 +64,13 @@ class LiteralExpr : public Expr {
   explicit LiteralExpr(Datum value)
       : Expr(ExprKind::kLiteral), value(std::move(value)) {}
   std::string ToString() const override {
-    return value.is_string() ? "'" + value.ToString() + "'"
-                             : value.ToString();
+    if (!value.is_string()) return value.ToString();
+    // append() rather than operator+ sidesteps a GCC 12 -Wrestrict false
+    // positive (PR105329); same workaround as bench_table8_queries.
+    std::string s = "'";
+    s.append(value.ToString());
+    s.push_back('\'');
+    return s;
   }
 
   Datum value;
@@ -115,8 +120,15 @@ class BetweenExpr : public Expr {
         lower(std::move(lower)),
         upper(std::move(upper)) {}
   std::string ToString() const override {
-    return "(" + value->ToString() + " BETWEEN " + lower->ToString() +
-           " AND " + upper->ToString() + ")";
+    // append() rather than operator+: GCC 12 -Wrestrict (PR105329).
+    std::string s = "(";
+    s.append(value->ToString());
+    s.append(" BETWEEN ");
+    s.append(lower->ToString());
+    s.append(" AND ");
+    s.append(upper->ToString());
+    s.push_back(')');
+    return s;
   }
 
   ExprPtr value;

@@ -74,35 +74,55 @@ void PageRef::Release() {
   }
 }
 
-BufferPool::BufferPool(SimDisk* disk, size_t capacity_pages) : disk_(disk) {
+BufferPool::BufferPool(SimDisk* disk, size_t capacity_pages)
+    : disk_(disk), capacity_(capacity_pages) {
   ODH_CHECK(capacity_pages > 0);
   ODH_CHECK(disk_->page_size() > kPageTrailerBytes);
-  frames_.resize(capacity_pages);
-  free_frames_.reserve(capacity_pages);
+  size_t num_shards = capacity_pages / kMinFramesPerShard;
+  if (num_shards > kMaxShards) num_shards = kMaxShards;
+  if (num_shards < 1) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  frames_ = std::make_unique<Frame[]>(capacity_pages);
   for (size_t i = 0; i < capacity_pages; ++i) {
     frames_[i].data = std::make_unique<char[]>(disk_->page_size());
-    free_frames_.push_back(static_cast<int32_t>(capacity_pages - 1 - i));
+  }
+  // Free lists pop from the back, so push each shard's frames in
+  // descending order: frames are handed out in ascending allocation order,
+  // which FlushAll's write-back ordering contract builds on.
+  for (size_t i = capacity_pages; i-- > 0;) {
+    shards_[i % num_shards]->free_frames.push_back(static_cast<int32_t>(i));
   }
 }
 
 BufferPool::~BufferPool() { (void)FlushAll(); }
 
-void BufferPool::Pin(int32_t frame) {
+void BufferPool::PinLocked(Shard& shard, int32_t frame) {
   Frame& f = frames_[frame];
-  if (f.pins == 0 && f.in_lru) {
-    lru_.erase(f.lru_pos);
+  if (f.pins.load(std::memory_order_relaxed) == 0 && f.in_lru) {
+    shard.lru.erase(f.lru_pos);
     f.in_lru = false;
   }
-  ++f.pins;
+  f.pins.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BufferPool::Pin(int32_t frame) {
+  Shard& shard = ShardOfFrame(frame);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  PinLocked(shard, frame);
 }
 
 void BufferPool::Unpin(int32_t frame) {
+  Shard& shard = ShardOfFrame(frame);
+  std::lock_guard<std::mutex> lock(shard.mu);
   Frame& f = frames_[frame];
-  ODH_CHECK(f.pins > 0);
-  --f.pins;
-  if (f.pins == 0) {
-    lru_.push_front(frame);
-    f.lru_pos = lru_.begin();
+  int old_pins = f.pins.fetch_sub(1, std::memory_order_relaxed);
+  ODH_CHECK(old_pins > 0);
+  if (old_pins == 1) {
+    shard.lru.push_front(frame);
+    f.lru_pos = shard.lru.begin();
     f.in_lru = true;
   }
 }
@@ -112,7 +132,7 @@ Status BufferPool::ReadPageRetry(FileId file, PageNo page, char* buf) {
   for (int attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
     status = disk_->ReadPage(file, page, buf);
     if (!status.IsUnavailable()) return status;
-    ++io_retries_;
+    io_retries_.fetch_add(1, std::memory_order_relaxed);
     Backoff(attempt);
   }
   return status;
@@ -123,7 +143,7 @@ Status BufferPool::WritePageRetry(FileId file, PageNo page, const char* buf) {
   for (int attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
     status = disk_->WritePage(file, page, buf);
     if (!status.IsUnavailable()) return status;
-    ++io_retries_;
+    io_retries_.fetch_add(1, std::memory_order_relaxed);
     Backoff(attempt);
   }
   return status;
@@ -134,13 +154,13 @@ Result<PageNo> BufferPool::AllocatePageRetry(FileId file) {
   for (int attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
     result = disk_->AllocatePage(file);
     if (!result.status().IsUnavailable()) return result;
-    ++io_retries_;
+    io_retries_.fetch_add(1, std::memory_order_relaxed);
     Backoff(attempt);
   }
   return result;
 }
 
-Status BufferPool::WriteBack(int32_t frame) {
+Status BufferPool::WriteBackLocked(int32_t frame) {
   Frame& f = frames_[frame];
   if (f.dirty) {
     // Stamp the CRC32C trailer over the usable prefix. The trailer bytes
@@ -148,53 +168,58 @@ Status BufferPool::WriteBack(int32_t frame) {
     const size_t usable = usable_page_size();
     uint32_t crc = Crc32c(f.data.get(), usable);
     EncodeFixed32(f.data.get() + usable, crc);
-    ++checksum_stamps_;
+    checksum_stamps_.fetch_add(1, std::memory_order_relaxed);
     ODH_RETURN_IF_ERROR(WritePageRetry(f.file, f.page, f.data.get()));
     f.dirty = false;
   }
   return Status::OK();
 }
 
-Result<int32_t> BufferPool::GetVictimFrame() {
-  if (!free_frames_.empty()) {
-    int32_t frame = free_frames_.back();
-    free_frames_.pop_back();
+Result<int32_t> BufferPool::GetVictimFrameLocked(Shard& shard) {
+  if (!shard.free_frames.empty()) {
+    int32_t frame = shard.free_frames.back();
+    shard.free_frames.pop_back();
     return frame;
   }
-  if (lru_.empty()) {
+  if (shard.lru.empty()) {
     return Status::ResourceExhausted("buffer pool: all frames pinned");
   }
-  int32_t victim = lru_.back();
-  lru_.pop_back();
+  int32_t victim = shard.lru.back();
+  shard.lru.pop_back();
   Frame& f = frames_[victim];
   f.in_lru = false;
-  Status written = WriteBack(victim);
+  Status written = WriteBackLocked(victim);
   if (!written.ok()) {
     // The frame stays dirty and cached; put it back in the LRU so a later
     // flush (or the next eviction attempt, once the fault clears) retries.
-    lru_.push_back(victim);
-    f.lru_pos = std::prev(lru_.end());
+    shard.lru.push_back(victim);
+    f.lru_pos = std::prev(shard.lru.end());
     f.in_lru = true;
     return written;
   }
-  page_table_.erase({f.file, f.page});
+  shard.page_table.erase({f.file, f.page});
   f.in_use = false;
   return victim;
 }
 
 Result<PageRef> BufferPool::FetchPage(FileId file, PageNo page) {
-  auto it = page_table_.find({file, page});
-  if (it != page_table_.end()) {
-    ++hits_;
-    Pin(it->second);
+  Shard& shard = *shards_[ShardOf(file, page)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.page_table.find({file, page});
+  if (it != shard.page_table.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    PinLocked(shard, it->second);
     return PageRef(this, it->second);
   }
-  ++misses_;
-  ODH_ASSIGN_OR_RETURN(int32_t frame, GetVictimFrame());
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  // The disk I/O below runs under this shard's latch: fetches of pages in
+  // other shards proceed in parallel, and a concurrent fetch of the same
+  // page must wait for this one anyway.
+  ODH_ASSIGN_OR_RETURN(int32_t frame, GetVictimFrameLocked(shard));
   Frame& f = frames_[frame];
   Status read = ReadPageRetry(file, page, f.data.get());
   if (!read.ok()) {
-    free_frames_.push_back(frame);
+    shard.free_frames.push_back(frame);
     return read;
   }
   // Verify the CRC32C trailer. A page of all zeroes is a freshly allocated
@@ -202,12 +227,12 @@ Result<PageRef> BufferPool::FetchPage(FileId file, PageNo page) {
   // by definition (no client payload decodes from it either).
   const size_t usable = usable_page_size();
   if (!IsZeroFilled(f.data.get(), disk_->page_size())) {
-    ++checksum_verifies_;
+    checksum_verifies_.fetch_add(1, std::memory_order_relaxed);
     uint32_t stored = DecodeFixed32(f.data.get() + usable);
     uint32_t actual = Crc32c(f.data.get(), usable);
     if (stored != actual) {
-      ++checksum_failures_;
-      free_frames_.push_back(frame);
+      checksum_failures_.fetch_add(1, std::memory_order_relaxed);
+      shard.free_frames.push_back(frame);
       return Status::DataLoss(
           "page checksum mismatch (torn write or corruption): file " +
           std::to_string(file) + " page " + std::to_string(page));
@@ -217,67 +242,82 @@ Result<PageRef> BufferPool::FetchPage(FileId file, PageNo page) {
   f.page = page;
   f.in_use = true;
   f.dirty = false;
-  f.pins = 0;
+  f.pins.store(0, std::memory_order_relaxed);
   f.in_lru = false;
-  page_table_[{file, page}] = frame;
-  Pin(frame);
+  shard.page_table[{file, page}] = frame;
+  PinLocked(shard, frame);
   return PageRef(this, frame);
 }
 
 Result<PageRef> BufferPool::NewPage(FileId file, PageNo* page_no) {
+  // Allocate first: the page number decides the owning shard.
   ODH_ASSIGN_OR_RETURN(PageNo page, AllocatePageRetry(file));
   *page_no = page;
-  ODH_ASSIGN_OR_RETURN(int32_t frame, GetVictimFrame());
+  Shard& shard = *shards_[ShardOf(file, page)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ODH_ASSIGN_OR_RETURN(int32_t frame, GetVictimFrameLocked(shard));
   Frame& f = frames_[frame];
   std::memset(f.data.get(), 0, disk_->page_size());
   f.file = file;
   f.page = page;
   f.in_use = true;
   f.dirty = true;
-  f.pins = 0;
+  f.pins.store(0, std::memory_order_relaxed);
   f.in_lru = false;
-  page_table_[{file, page}] = frame;
-  Pin(frame);
+  shard.page_table[{file, page}] = frame;
+  PinLocked(shard, frame);
   return PageRef(this, frame);
 }
 
 Status BufferPool::InvalidateFile(FileId file) {
-  for (size_t i = 0; i < frames_.size(); ++i) {
+  for (size_t i = 0; i < capacity_; ++i) {
+    Shard& shard = ShardOfFrame(static_cast<int32_t>(i));
+    std::lock_guard<std::mutex> lock(shard.mu);
     Frame& f = frames_[i];
     if (!f.in_use || f.file != file) continue;
-    if (f.pins > 0) {
+    if (f.pins.load(std::memory_order_relaxed) > 0) {
       return Status::FailedPrecondition("page of dropped file is pinned");
     }
     if (f.in_lru) {
-      lru_.erase(f.lru_pos);
+      shard.lru.erase(f.lru_pos);
       f.in_lru = false;
     }
-    page_table_.erase({f.file, f.page});
+    shard.page_table.erase({f.file, f.page});
     f.in_use = false;
     f.dirty = false;
-    free_frames_.push_back(static_cast<int32_t>(i));
+    shard.free_frames.push_back(static_cast<int32_t>(i));
   }
   return Status::OK();
 }
 
 void BufferPool::DropCleanPages() {
-  for (size_t i = 0; i < frames_.size(); ++i) {
+  for (size_t i = 0; i < capacity_; ++i) {
+    Shard& shard = ShardOfFrame(static_cast<int32_t>(i));
+    std::lock_guard<std::mutex> lock(shard.mu);
     Frame& f = frames_[i];
-    if (!f.in_use || f.dirty || f.pins > 0) continue;
+    if (!f.in_use || f.dirty ||
+        f.pins.load(std::memory_order_relaxed) > 0) {
+      continue;
+    }
     if (f.in_lru) {
-      lru_.erase(f.lru_pos);
+      shard.lru.erase(f.lru_pos);
       f.in_lru = false;
     }
-    page_table_.erase({f.file, f.page});
+    shard.page_table.erase({f.file, f.page});
     f.in_use = false;
-    free_frames_.push_back(static_cast<int32_t>(i));
+    shard.free_frames.push_back(static_cast<int32_t>(i));
   }
 }
 
 Status BufferPool::FlushAll() {
-  for (size_t i = 0; i < frames_.size(); ++i) {
+  // Ascending global frame order regardless of sharding: the page
+  // allocated into the lowest frame hits the disk first (crash tests pin
+  // down this ordering).
+  for (size_t i = 0; i < capacity_; ++i) {
+    Shard& shard = ShardOfFrame(static_cast<int32_t>(i));
+    std::lock_guard<std::mutex> lock(shard.mu);
     if (frames_[i].in_use) {
-      ODH_RETURN_IF_ERROR(WriteBack(static_cast<int32_t>(i)));
+      ODH_RETURN_IF_ERROR(WriteBackLocked(static_cast<int32_t>(i)));
     }
   }
   return Status::OK();

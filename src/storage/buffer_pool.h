@@ -1,10 +1,12 @@
 #ifndef ODH_STORAGE_BUFFER_POOL_H_
 #define ODH_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/result.h"
@@ -45,7 +47,17 @@ class PageRef {
 
 /// A fixed-capacity LRU page cache over a SimDisk. Mirrors the role of the
 /// Informix buffer pools the paper's AMI case study credits for most of the
-/// machine's memory use. Single-threaded (externally synchronized).
+/// machine's memory use.
+///
+/// Thread-safe via sharded latches (see DESIGN.md "Threading model"): the
+/// page table, LRU list and free list are partitioned into shards, each
+/// under its own mutex, and every frame is permanently owned by one shard.
+/// A page maps to its shard by hash(file, page), so two threads faulting
+/// different shards' pages never contend, and eviction in one shard does
+/// not serialize readers of another. Per-frame pin counts are atomic.
+/// Small pools (fewer than kMinFramesPerShard frames) collapse to a single
+/// shard, preserving the exact global-LRU semantics the durability tests
+/// rely on. Hit/miss/retry/checksum counters are atomics.
 ///
 /// Durability duties (see DESIGN.md "Durability & failure model"):
 ///  - Every page written back gets a CRC32C trailer over its first
@@ -90,59 +102,102 @@ class BufferPool {
   /// (and hence checksum verification) from disk.
   void DropCleanPages();
 
-  size_t capacity() const { return frames_.size(); }
-  uint64_t hit_count() const { return hits_; }
-  uint64_t miss_count() const { return misses_; }
+  size_t capacity() const { return capacity_; }
+  size_t num_shards() const { return shards_.size(); }
+  uint64_t hit_count() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t miss_count() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
   /// Transparent retries of transient I/O faults (reads+writes+allocates).
-  uint64_t io_retry_count() const { return io_retries_; }
+  uint64_t io_retry_count() const {
+    return io_retries_.load(std::memory_order_relaxed);
+  }
   /// Pages that failed CRC32C verification on fetch.
-  uint64_t checksum_failure_count() const { return checksum_failures_; }
+  uint64_t checksum_failure_count() const {
+    return checksum_failures_.load(std::memory_order_relaxed);
+  }
   /// Checksum trailers stamped (writebacks) / verified (disk reads).
-  uint64_t checksum_stamp_count() const { return checksum_stamps_; }
-  uint64_t checksum_verify_count() const { return checksum_verifies_; }
+  uint64_t checksum_stamp_count() const {
+    return checksum_stamps_.load(std::memory_order_relaxed);
+  }
+  uint64_t checksum_verify_count() const {
+    return checksum_verifies_.load(std::memory_order_relaxed);
+  }
   SimDisk* disk() const { return disk_; }
 
  private:
   friend class PageRef;
+
+  /// Below this many frames per shard the pool stops sharding: tiny pools
+  /// need the whole capacity reachable from every page.
+  static constexpr size_t kMinFramesPerShard = 16;
+  static constexpr size_t kMaxShards = 16;
 
   struct Frame {
     FileId file = 0;
     PageNo page = 0;
     bool in_use = false;
     bool dirty = false;
-    int pins = 0;
+    /// Written only under the owning shard's mutex; read lock-free by
+    /// pinning callers (a pinned frame's identity fields are stable).
+    std::atomic<int> pins{0};
     std::unique_ptr<char[]> data;
     std::list<int32_t>::iterator lru_pos;  // Valid iff pins == 0 && in_use.
     bool in_lru = false;
   };
 
-  void Pin(int32_t frame);
-  void Unpin(int32_t frame);
+  /// One latch shard: a partition of the page table plus the LRU and free
+  /// lists of the frames this shard owns.
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::pair<FileId, PageNo>, int32_t> page_table;
+    std::list<int32_t> lru;  // Front = most recent; only unpinned frames.
+    std::vector<int32_t> free_frames;
+  };
+
+  size_t ShardOf(FileId file, PageNo page) const {
+    if (shards_.size() == 1) return 0;
+    uint64_t h = (static_cast<uint64_t>(file) << 32) | page;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+    return static_cast<size_t>(h % shards_.size());
+  }
+  Shard& ShardOfFrame(int32_t frame) {
+    return *shards_[static_cast<size_t>(frame) % shards_.size()];
+  }
+
+  void Pin(int32_t frame);        // Takes the frame's shard latch.
+  void Unpin(int32_t frame);      // Takes the frame's shard latch.
+  void PinLocked(Shard& shard, int32_t frame);
   void SetDirty(int32_t frame) { frames_[frame].dirty = true; }
   char* FrameData(int32_t frame) { return frames_[frame].data.get(); }
   const Frame& FrameAt(int32_t frame) const { return frames_[frame]; }
 
-  /// Finds a frame to host a new page, evicting if needed.
-  Result<int32_t> GetVictimFrame();
-  Status WriteBack(int32_t frame);
+  /// Finds a frame of `shard` to host a new page, evicting if needed.
+  /// Caller holds shard.mu.
+  Result<int32_t> GetVictimFrameLocked(Shard& shard);
+  /// Caller holds the owning shard's mutex.
+  Status WriteBackLocked(int32_t frame);
 
   // Retrying wrappers around the disk (bounded exponential backoff on
-  // Status::Unavailable).
+  // Status::Unavailable). The disk carries its own mutex, so these are
+  // safe under a shard latch (shard latch -> disk mutex lock order).
   Status ReadPageRetry(FileId file, PageNo page, char* buf);
   Status WritePageRetry(FileId file, PageNo page, const char* buf);
   Result<PageNo> AllocatePageRetry(FileId file);
 
   SimDisk* disk_;
-  std::vector<Frame> frames_;
-  std::map<std::pair<FileId, PageNo>, int32_t> page_table_;
-  std::list<int32_t> lru_;        // Front = most recent; only unpinned frames.
-  std::vector<int32_t> free_frames_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t io_retries_ = 0;
-  uint64_t checksum_failures_ = 0;
-  uint64_t checksum_stamps_ = 0;
-  uint64_t checksum_verifies_ = 0;
+  size_t capacity_ = 0;
+  /// Frames are in a plain array (atomics are not movable); frame i is
+  /// owned by shard i % num_shards() for its whole lifetime.
+  std::unique_ptr<Frame[]> frames_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> io_retries_{0};
+  std::atomic<uint64_t> checksum_failures_{0};
+  std::atomic<uint64_t> checksum_stamps_{0};
+  std::atomic<uint64_t> checksum_verifies_{0};
 };
 
 }  // namespace odh::storage

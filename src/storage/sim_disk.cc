@@ -33,6 +33,7 @@ Status SimDisk::ApplyDecision(const FaultDecision& decision) {
 }
 
 Result<FileId> SimDisk::CreateFile(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (crashed_) return PowerLost();
   if (by_name_.count(name) > 0) {
     return Status::AlreadyExists("file exists: " + name);
@@ -46,6 +47,7 @@ Result<FileId> SimDisk::CreateFile(const std::string& name) {
 }
 
 Result<FileId> SimDisk::OpenFile(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (crashed_) return PowerLost();
   auto it = by_name_.find(name);
   if (it == by_name_.end()) return Status::NotFound("no such file: " + name);
@@ -53,6 +55,7 @@ Result<FileId> SimDisk::OpenFile(const std::string& name) const {
 }
 
 Status SimDisk::DeleteFile(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (crashed_) return PowerLost();
   auto it = by_name_.find(name);
   if (it == by_name_.end()) return Status::NotFound("no such file: " + name);
@@ -74,6 +77,7 @@ SimDisk::File* SimDisk::GetFile(FileId id) {
 }
 
 Result<PageNo> SimDisk::AllocatePage(FileId file) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (crashed_) return PowerLost();
   File* f = GetFile(file);
   if (f == nullptr) {
@@ -90,6 +94,7 @@ Result<PageNo> SimDisk::AllocatePage(FileId file) {
 }
 
 Status SimDisk::ReadPage(FileId file, PageNo page, char* buf) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (crashed_) return PowerLost();
   File* f = GetFile(file);
   if (f == nullptr) {
@@ -110,6 +115,7 @@ Status SimDisk::ReadPage(FileId file, PageNo page, char* buf) {
 }
 
 Status SimDisk::WritePage(FileId file, PageNo page, const char* buf) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (crashed_) return PowerLost();
   File* f = GetFile(file);
   if (f == nullptr) {
@@ -140,6 +146,7 @@ Status SimDisk::WritePage(FileId file, PageNo page, const char* buf) {
 }
 
 Result<uint32_t> SimDisk::PageCount(FileId file) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const File* f = GetFile(file);
   if (f == nullptr) {
     return Status::NotFound("bad file id " + std::to_string(file));
@@ -148,6 +155,7 @@ Result<uint32_t> SimDisk::PageCount(FileId file) const {
 }
 
 uint64_t SimDisk::TotalBytesStored() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;
   for (const auto& f : files_) {
     if (!f->deleted) total += f->pages.size() * page_size_;
@@ -156,6 +164,7 @@ uint64_t SimDisk::TotalBytesStored() const {
 }
 
 Result<uint64_t> SimDisk::FileBytes(FileId file) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const File* f = GetFile(file);
   if (f == nullptr) {
     return Status::NotFound("bad file id " + std::to_string(file));
@@ -164,6 +173,7 @@ Result<uint64_t> SimDisk::FileBytes(FileId file) const {
 }
 
 std::vector<std::string> SimDisk::ListFiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(by_name_.size());
   for (const auto& [name, id] : by_name_) names.push_back(name);
@@ -171,6 +181,7 @@ std::vector<std::string> SimDisk::ListFiles() const {
 }
 
 std::unique_ptr<SimDisk> SimDisk::CloneDurable() const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto clone = std::make_unique<SimDisk>(page_size_);
   clone->files_.reserve(files_.size());
   for (const auto& f : files_) {

@@ -1,9 +1,11 @@
 #ifndef ODH_STORAGE_SIM_DISK_H_
 #define ODH_STORAGE_SIM_DISK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -45,8 +47,11 @@ struct IoStats {
 /// against. Buffer-pool frames and any other process memory are, by
 /// construction, not part of the clone.
 ///
-/// Thread-compatible: callers synchronize externally (the reproduction
-/// drives workloads single-threaded and models CPU load analytically).
+/// Thread-safe: one internal mutex serializes every operation (including
+/// fault-policy consultation and the backoff counters), so the sharded
+/// buffer pool and the WAL group-commit queue can hit the disk from many
+/// threads at once. The mutex is a leaf lock — SimDisk never calls out
+/// while holding it.
 class SimDisk {
  public:
   static constexpr size_t kDefaultPageSize = 4096;
@@ -88,18 +93,32 @@ class SimDisk {
   /// Bytes occupied by one file.
   Result<uint64_t> FileBytes(FileId file) const;
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = IoStats(); }
+  /// Snapshot of the I/O counters (copied under the disk mutex).
+  IoStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = IoStats();
+  }
 
   std::vector<std::string> ListFiles() const;
 
-  /// Attaches (or with nullptr detaches) a fault schedule. Not owned.
-  void set_fault_policy(FaultPolicy* policy) { fault_policy_ = policy; }
-  FaultPolicy* fault_policy() const { return fault_policy_; }
+  /// Attaches (or with nullptr detaches) a fault schedule. Not owned. The
+  /// policy is only ever consulted under the disk mutex.
+  void set_fault_policy(FaultPolicy* policy) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fault_policy_ = policy;
+  }
+  FaultPolicy* fault_policy() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fault_policy_;
+  }
 
   /// True after an injected power cut; every operation fails until the
   /// harness "reboots" via CloneDurable().
-  bool crashed() const { return crashed_; }
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
 
   /// Deep-copies the durable state (all pages of all live files, with
   /// their FileIds preserved) into a healthy disk with fresh stats and no
@@ -121,11 +140,12 @@ class SimDisk {
   Status ApplyDecision(const FaultDecision& decision);
 
   size_t page_size_;
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<File>> files_;
   std::map<std::string, FileId> by_name_;
   IoStats stats_;
   FaultPolicy* fault_policy_ = nullptr;
-  bool crashed_ = false;
+  std::atomic<bool> crashed_{false};
 };
 
 }  // namespace odh::storage

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/sim_disk.h"
+
+namespace odh::storage {
+namespace {
+
+/// Stress tests for the sharded buffer pool: many threads fetching,
+/// allocating and dirtying pages of one file, with capacity pressure so
+/// evictions and write-backs race against fetches. Run these under
+/// ODH_SANITIZE=thread to get the full value.
+class BufferPoolConcurrencyTest : public ::testing::Test {
+ protected:
+  // 256 frames -> 16 shards (kMinFramesPerShard = 16).
+  BufferPoolConcurrencyTest() : disk_(4096), pool_(&disk_, 256) {
+    file_ = disk_.CreateFile("data").value();
+  }
+
+  void FillPage(char* data, uint32_t token) {
+    const size_t usable = pool_.usable_page_size();
+    for (size_t i = 0; i + sizeof(token) <= usable; i += sizeof(token)) {
+      std::memcpy(data + i, &token, sizeof(token));
+    }
+  }
+
+  bool CheckPage(const char* data, uint32_t token) {
+    const size_t usable = pool_.usable_page_size();
+    for (size_t i = 0; i + sizeof(token) <= usable; i += sizeof(token)) {
+      uint32_t got;
+      std::memcpy(&got, data + i, sizeof(got));
+      if (got != token) return false;
+    }
+    return true;
+  }
+
+  SimDisk disk_;
+  BufferPool pool_;
+  FileId file_ = 0;
+};
+
+TEST_F(BufferPoolConcurrencyTest, PoolShardsLargeCapacity) {
+  EXPECT_EQ(pool_.num_shards(), 16u);
+  SimDisk small_disk(4096);
+  BufferPool small_pool(&small_disk, 4);
+  EXPECT_EQ(small_pool.num_shards(), 1u);  // Tiny pools stay unsharded.
+}
+
+TEST_F(BufferPoolConcurrencyTest, ConcurrentNewPagesAreAllDistinct) {
+  constexpr int kThreads = 8;
+  constexpr int kPagesPerThread = 100;
+  std::vector<std::vector<PageNo>> pages(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPagesPerThread; ++i) {
+        PageNo page_no;
+        auto ref = pool_.NewPage(file_, &page_no);
+        ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+        FillPage(ref->data(), static_cast<uint32_t>(page_no) + 1);
+        ref->MarkDirty();
+        pages[t].push_back(page_no);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  std::vector<bool> seen(kThreads * kPagesPerThread, false);
+  for (const auto& list : pages) {
+    for (PageNo p : list) {
+      ASSERT_LT(p, seen.size());
+      EXPECT_FALSE(seen[p]) << "page allocated twice: " << p;
+      seen[p] = true;
+    }
+  }
+}
+
+TEST_F(BufferPoolConcurrencyTest, ConcurrentFetchesUnderEvictionPressure) {
+  // 512 pages through a 256-frame pool: every thread's working set
+  // overflows its shards, forcing concurrent evict/write-back/fetch.
+  constexpr uint32_t kPages = 512;
+  for (uint32_t p = 0; p < kPages; ++p) {
+    PageNo page_no;
+    auto ref = pool_.NewPage(file_, &page_no);
+    ASSERT_TRUE(ref.ok());
+    FillPage(ref->data(), page_no + 1);
+    ref->MarkDirty();
+  }
+  ASSERT_TRUE(pool_.FlushAll().ok());
+
+  constexpr int kThreads = 8;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread walks the file from a different offset so fetches and
+      // evictions interleave across shards.
+      for (uint32_t i = 0; i < kPages; ++i) {
+        uint32_t p = (i * 37 + static_cast<uint32_t>(t) * 61) % kPages;
+        auto ref = pool_.FetchPage(file_, p);
+        if (!ref.ok() || !CheckPage(ref->data(), p + 1)) {
+          failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(failed.load());
+  // Every fetched-from-disk page passed its CRC verify.
+  EXPECT_EQ(pool_.checksum_failure_count(), 0u);
+  EXPECT_GT(pool_.checksum_verify_count(), 0u);
+}
+
+TEST_F(BufferPoolConcurrencyTest, ConcurrentDirtyingSurvivesFlushAll) {
+  constexpr uint32_t kPages = 64;
+  std::vector<PageNo> page_nos(kPages);
+  for (uint32_t p = 0; p < kPages; ++p) {
+    auto ref = pool_.NewPage(file_, &page_nos[p]);
+    ASSERT_TRUE(ref.ok());
+    FillPage(ref->data(), 1);
+    ref->MarkDirty();
+  }
+  ASSERT_TRUE(pool_.FlushAll().ok());
+
+  // Writers rewrite disjoint page ranges while another thread fetches.
+  constexpr int kWriters = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint32_t p = t * (kPages / kWriters);
+           p < (t + 1) * (kPages / kWriters); ++p) {
+        auto ref = pool_.FetchPage(file_, page_nos[p]);
+        ASSERT_TRUE(ref.ok());
+        FillPage(ref->data(), page_nos[p] + 100);
+        ref->MarkDirty();
+      }
+    });
+  }
+  std::atomic<bool> read_failed{false};
+  threads.emplace_back([&] {
+    for (uint32_t p = 0; p < kPages; ++p) {
+      auto ref = pool_.FetchPage(file_, page_nos[p]);
+      if (!ref.ok()) {
+        read_failed.store(true);
+        return;
+      }
+    }
+  });
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(read_failed.load());
+  ASSERT_TRUE(pool_.FlushAll().ok());
+
+  // Re-read through a fresh pool: all updates are durable and checksummed.
+  BufferPool verify_pool(&disk_, 256);
+  for (uint32_t p = 0; p < kPages; ++p) {
+    auto ref = verify_pool.FetchPage(file_, page_nos[p]);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    EXPECT_TRUE(CheckPage(ref->data(), page_nos[p] + 100)) << "page " << p;
+  }
+  EXPECT_EQ(verify_pool.checksum_failure_count(), 0u);
+}
+
+TEST_F(BufferPoolConcurrencyTest, TransientFaultsRetriedUnderConcurrency) {
+  FaultPolicy policy(/*seed=*/99);
+  policy.set_write_fault_rate(0.02);
+  disk_.set_fault_policy(&policy);
+
+  constexpr int kThreads = 4;
+  constexpr int kPagesPerThread = 64;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPagesPerThread; ++i) {
+        PageNo page_no;
+        auto ref = pool_.NewPage(file_, &page_no);
+        if (!ref.ok()) {
+          failed.store(true);
+          return;
+        }
+        FillPage(ref->data(), page_no + 7);
+        ref->MarkDirty();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(failed.load());
+  ASSERT_TRUE(pool_.FlushAll().ok());
+  disk_.set_fault_policy(nullptr);
+
+  BufferPool verify_pool(&disk_, 256);
+  for (uint32_t p = 0; p < kThreads * kPagesPerThread; ++p) {
+    auto ref = verify_pool.FetchPage(file_, p);
+    ASSERT_TRUE(ref.ok());
+    EXPECT_TRUE(CheckPage(ref->data(), p + 7));
+  }
+}
+
+}  // namespace
+}  // namespace odh::storage

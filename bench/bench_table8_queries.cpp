@@ -10,6 +10,8 @@
 // queries), while ODH wins the single-tag fused templates (TQ3/TQ4/LQ4)
 // thanks to tag-oriented blob decoding.
 
+#include <algorithm>
+#include <cmath>
 #include <thread>
 
 #include "bench/bench_util.h"
@@ -116,6 +118,175 @@ std::string TsLiteral(Timestamp ts) {
   return out;
 }
 
+/// `--smoke`: CI quick mode — tiny dataset, ODH only, aggregate section
+/// only. Keeps the vectorized/pushdown paths exercised end to end without
+/// the multi-candidate Table 8 sweep.
+bool SmokeFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return true;
+  }
+  return false;
+}
+
+/// NULL-safe near-equality for cross-mode result verification. Doubles get
+/// a relative epsilon: the three modes may legally differ in accumulation
+/// order (summary merge vs per-row adds).
+bool DatumsClose(const Datum& a, const Datum& b) {
+  if (a == b) return true;
+  if (!a.is_double() || !b.is_double()) return false;
+  double x = a.double_value(), y = b.double_value();
+  double tol = 1e-9 * std::max({1.0, std::fabs(x), std::fabs(y)});
+  return std::fabs(x - y) <= tol;
+}
+
+/// Before/after comparison for the vectorized scan + aggregate pushdown
+/// work: the same aggregate query list under (a) row-at-a-time scans,
+/// (b) vectorized batch scans, (c) batch scans + summary pushdown.
+/// Verifies identical results across modes and reports reader counters
+/// (rows scanned, blobs decoded, blobs answered from summaries alone).
+void RunAggregateComparison(core::OdhSystem* odh, int64_t num_accounts,
+                            Timestamp td_span, int queries_per_template,
+                            JsonWriter* json) {
+  struct Template {
+    std::string name;
+    std::vector<std::string> queries;
+  };
+  std::vector<Template> templates(3);
+  Random rng(0xA66A);
+  // AQ1: full-history aggregates over one account — every blob is interior,
+  // so the pushdown path answers entirely from zone-map summaries.
+  templates[0].name = "AQ1";
+  for (int i = 0; i < queries_per_template; ++i) {
+    templates[0].queries.push_back(
+        "SELECT COUNT(*), AVG(t_chrg), MIN(t_chrg), MAX(t_chrg) FROM TD_v "
+        "WHERE id = " +
+        std::to_string(1 + rng.Uniform(num_accounts)));
+  }
+  // AQ2: windowed aggregates — boundary blobs decode, interior blobs skip.
+  templates[1].name = "AQ2";
+  for (int i = 0; i < queries_per_template; ++i) {
+    Timestamp dt = rng.UniformRange(5, 15) * kMicrosPerSecond;
+    Timestamp t = rng.UniformRange(0, td_span - dt);
+    templates[1].queries.push_back(
+        "SELECT COUNT(*), SUM(t_chrg) FROM TD_v WHERE id = " +
+        std::to_string(1 + rng.Uniform(num_accounts)) + " AND ts BETWEEN " +
+        TsLiteral(t) + " AND " + TsLiteral(t + dt));
+  }
+  // AQ3: cross-source slice aggregates.
+  templates[2].name = "AQ3";
+  for (int i = 0; i < queries_per_template; ++i) {
+    Timestamp dt = rng.UniformRange(2, 8) * kMicrosPerSecond;
+    Timestamp t = rng.UniformRange(0, td_span - dt);
+    templates[2].queries.push_back(
+        "SELECT COUNT(*), SUM(t_chrg), MAX(t_chrg) FROM TD_v WHERE "
+        "ts BETWEEN " +
+        TsLiteral(t) + " AND " + TsLiteral(t + dt));
+  }
+
+  struct Mode {
+    const char* name;
+    bool vectorized;
+    bool pushdown;
+  };
+  const Mode modes[] = {{"row", false, false},
+                        {"vectorized", true, false},
+                        {"pushdown", true, true}};
+
+  TablePrinter table({"Query", "Scan mode", "queries/s", "Speedup vs row",
+                      "Rows scanned", "Blobs decoded", "Summary-only"});
+  json->Key("aggregate_pushdown");
+  json->BeginObject();
+  json->KeyValue("queries_per_template",
+                 static_cast<int64_t>(queries_per_template));
+  json->Key("templates");
+  json->BeginArray();
+
+  int64_t mismatches = 0;
+  for (const Template& tpl : templates) {
+    json->BeginObject();
+    json->KeyValue("name", tpl.name);
+    json->Key("modes");
+    json->BeginArray();
+    std::vector<std::vector<Row>> baseline;
+    double base_wall = 0;
+    for (const Mode& mode : modes) {
+      odh->config()->SetScanPathOptions(mode.vectorized, mode.pushdown);
+      odh->reader()->ResetStats();
+      Stopwatch timer;
+      std::vector<std::vector<Row>> results;
+      results.reserve(tpl.queries.size());
+      for (const std::string& q : tpl.queries) {
+        auto r = odh->engine()->Execute(q);
+        ODH_CHECK_OK(r.status());
+        results.push_back(std::move(r->rows));
+      }
+      double wall = timer.ElapsedSeconds();
+      const core::ReadStats stats = odh->reader()->stats();
+
+      if (baseline.empty()) {
+        baseline = std::move(results);
+        base_wall = wall;
+      } else {
+        for (size_t q = 0; q < tpl.queries.size(); ++q) {
+          if (results[q].size() != baseline[q].size()) {
+            ++mismatches;
+            continue;
+          }
+          for (size_t r = 0; r < results[q].size(); ++r) {
+            for (size_t c = 0; c < results[q][r].size(); ++c) {
+              if (!DatumsClose(results[q][r][c], baseline[q][r][c])) {
+                ++mismatches;
+                std::fprintf(
+                    stderr,
+                    "MISMATCH (%s vs row) query %zu col %zu: %s vs %s\n"
+                    "  %s\n",
+                    mode.name, q, c, results[q][r][c].ToString().c_str(),
+                    baseline[q][r][c].ToString().c_str(),
+                    tpl.queries[q].c_str());
+              }
+            }
+          }
+        }
+      }
+
+      double qps =
+          wall > 0 ? static_cast<double>(tpl.queries.size()) / wall : 0;
+      double speedup = wall > 0 ? base_wall / wall : 0;
+      table.AddRow({tpl.name, mode.name, TablePrinter::FormatCount(qps),
+                    Fmt("%.2fx", speedup),
+                    std::to_string(stats.records_emitted),
+                    std::to_string(stats.blobs_decoded),
+                    std::to_string(stats.blobs_skipped_by_summary)});
+      json->BeginObject();
+      json->KeyValue("name", mode.name);
+      json->KeyValue("wall_seconds", wall);
+      json->KeyValue("queries_per_second", qps);
+      json->KeyValue("speedup_vs_row", speedup);
+      json->KeyValue("rows_scanned", stats.records_emitted);
+      json->KeyValue("blobs_decoded", stats.blobs_decoded);
+      json->KeyValue("blobs_pruned", stats.blobs_pruned);
+      json->KeyValue("blobs_skipped_by_summary",
+                     stats.blobs_skipped_by_summary);
+      json->EndObject();
+    }
+    json->EndArray();
+    json->EndObject();
+  }
+  json->EndArray();
+  json->KeyValue("results_match", mismatches == 0);
+  json->EndObject();
+  odh->config()->SetScanPathOptions(true, true);  // Restore defaults.
+
+  table.Print("Aggregate pushdown — before/after (AQ1-AQ3 on TD)");
+  if (mismatches > 0) {
+    std::fprintf(stderr,
+                 "FATAL: %lld aggregate result mismatches across scan modes\n",
+                 static_cast<long long>(mismatches));
+    std::exit(1);
+  }
+  std::printf("Aggregate results identical across all three scan modes.\n");
+}
+
 /// Read-path scaling: the same TD dataset queried with the reader's
 /// parallel blob decode at 1, 2, 4, ... worker threads. Queries run from
 /// one thread (the SQL engine is single-threaded); the parallelism is
@@ -174,10 +345,35 @@ void RunReadScalingCurve(int max_threads, double scale, JsonWriter* json) {
 int Run(int argc, char** argv) {
   double scale = ScaleFromArgs(argc, argv);
   int max_threads = ThreadsFromArgs(argc, argv, 1);
+  const bool smoke = SmokeFromArgs(argc, argv);
+  if (smoke) scale = std::min(scale, 0.25);
   PrintHeader("IoT-X WS2: query performance",
               "Table 8 (TQ1-TQ4 on TD(5,2), LQ1-LQ4 on LD(5))",
-              "Scaled datasets; 100 queries per template; throughput in "
-              "returned data points per second.");
+              smoke ? "Smoke mode: tiny TD dataset, ODH aggregate paths only."
+                    : "Scaled datasets; 100 queries per template; throughput "
+                      "in returned data points per second.");
+
+  if (smoke) {
+    const int64_t accounts = std::max<int64_t>(4, static_cast<int64_t>(
+                                                      20 * scale));
+    TdConfig td = TdConfig::Of(5, 2, accounts, /*duration_seconds=*/20);
+    LdConfig ld = LdConfig::Of(5, 8, /*duration_seconds=*/30);
+    ld.first_id = 10000001;
+    Candidate odh = MakeOdh(td, ld);
+    JsonWriter json;
+    json.BeginObject();
+    json.KeyValue("bench", "table8_queries");
+    json.KeyValue("smoke", true);
+    RunAggregateComparison(
+        odh.odh->odh(), td.num_accounts,
+        static_cast<Timestamp>(td.duration_seconds * kMicrosPerSecond),
+        /*queries_per_template=*/5, &json);
+    json.EndObject();
+    if (json.WriteFile("BENCH_queries.json")) {
+      std::printf("Query data written to BENCH_queries.json\n");
+    }
+    return 0;
+  }
 
   const int64_t account_unit = static_cast<int64_t>(20 * scale);
   const int64_t sensor_unit = static_cast<int64_t>(600 * scale);
@@ -346,6 +542,8 @@ int Run(int argc, char** argv) {
   }
   latency_table.Print("Table 8 — per-query latency percentiles");
 
+  RunAggregateComparison(candidates[0].odh->odh(), num_accounts, td_span,
+                         kQueriesPerTemplate, &json);
   RunReadScalingCurve(max_threads, scale, &json);
   json.EndObject();
   if (json.WriteFile("BENCH_queries.json")) {

@@ -80,6 +80,14 @@ struct OdhOptions {
   /// Worker threads for parallel blob decoding on the read path. Values
   /// below 2 keep scans fully sequential (no thread pool is created).
   int read_parallelism = 0;
+  /// Columnar batch execution: virtual-table scans emit one tag-major
+  /// batch per decoded ValueBlob and filters run as vectorized kernels
+  /// instead of per-row Datum evaluation. Off = the row-at-a-time path.
+  bool enable_vectorized_scan = true;
+  /// Aggregate pushdown: COUNT/SUM/AVG/MIN/MAX over blobs fully covered
+  /// by the time range and tag predicates are answered from the per-blob
+  /// summary alone (zero decompression). Off = aggregates scan rows.
+  bool enable_aggregate_pushdown = true;
 };
 
 /// The ODH configuration component (paper §3): owns schema-type and
@@ -89,6 +97,14 @@ class ConfigComponent {
   explicit ConfigComponent(OdhOptions options) : options_(options) {}
 
   const OdhOptions& options() const { return options_; }
+
+  /// Flips the scan-path toggles on a live instance. Benchmarks and tests
+  /// use this to compare row-at-a-time, vectorized, and pushdown execution
+  /// over the same loaded data.
+  void SetScanPathOptions(bool vectorized, bool aggregate_pushdown) {
+    options_.enable_vectorized_scan = vectorized;
+    options_.enable_aggregate_pushdown = aggregate_pushdown;
+  }
 
   Result<int> DefineSchemaType(SchemaType type);
   Result<const SchemaType*> GetSchemaType(int type_id) const;

@@ -1,10 +1,16 @@
 #include "core/reader.h"
 
+#include <algorithm>
 #include <cmath>
 #include <deque>
+#include <limits>
+#include <optional>
+#include <set>
 
 namespace odh::core {
 namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 
 enum class BlobKind { kRts, kIrts, kMg };
 
@@ -15,18 +21,19 @@ struct QueuedBlob {
 
 }  // namespace
 
-/// Implementation shared by historical and slice scans. Historical scans
-/// queue the (bounded, per-source) blob lists up front; slice scans stream
-/// the per-source containers with a table iterator and use the
-/// (begin_ts, group) index for MG. Decoded records drain from a buffer one
-/// blob at a time.
+/// Implementation shared by historical and slice scans, row and batch
+/// flavors. Historical scans queue the (bounded, per-source) blob lists up
+/// front; slice scans stream the per-source containers with a table
+/// iterator and use the (begin_ts, group) index for MG. Every blob decodes
+/// into one columnar RecordBatch — the batch cursor hands those out
+/// directly, the row cursor drains them one record at a time.
 ///
 /// With a thread pool, the queued blobs are decoded in parallel right
 /// after Init (each pool task decodes into its own slot, so emission order
 /// is still queue order — byte-identical to the sequential scan); the
 /// streaming side of slice scans remains sequential. The codec is
 /// stateless, so one instance serves all decode tasks.
-class OdhScanCursorImpl : public RecordCursor {
+class OdhScanCursorImpl : public RecordCursor, public RecordBatchCursor {
  public:
   OdhScanCursorImpl(OdhReader* reader, int schema_type, SourceId id,
                     Timestamp lo, Timestamp hi, std::vector<int> wanted_tags,
@@ -98,46 +105,70 @@ class OdhScanCursorImpl : public RecordCursor {
     return CollectDirty();
   }
 
+  /// Row-at-a-time view: drains the current batch record by record.
   Result<bool> Next(OperationalRecord* record) override {
     while (true) {
-      if (buffer_pos_ < buffer_.size()) {
-        *record = std::move(buffer_[buffer_pos_++]);
+      if (row_pos_ < batch_.rows()) {
+        const size_t i = row_pos_++;
+        record->id = batch_.id_at(i);
+        record->ts = batch_.timestamps[i];
+        record->tags.assign(static_cast<size_t>(num_tags_), kNaN);
+        for (int t = 0; t < num_tags_; ++t) {
+          if (!batch_.columns[t].empty()) {
+            record->tags[t] = batch_.columns[t][i];
+          }
+        }
         reader_->records_emitted_.fetch_add(1, std::memory_order_relaxed);
         return true;
       }
-      buffer_.clear();
-      buffer_pos_ = 0;
-      // Refill from the next source of blobs: pre-decoded slots first
-      // (same order the blobs were queued in), then lazy decode, then the
-      // streaming scans, then the dirty buffers.
-      if (!decoded_.empty()) {
-        ODH_RETURN_IF_ERROR(decoded_statuses_.front());
-        buffer_ = std::move(decoded_.front());
-        decoded_.pop_front();
-        decoded_statuses_.pop_front();
-        continue;
-      }
-      if (!queued_.empty()) {
-        QueuedBlob blob = std::move(queued_.front());
-        queued_.pop_front();
-        ODH_RETURN_IF_ERROR(DecodeBlobInto(blob, &buffer_));
-        continue;
-      }
-      ODH_ASSIGN_OR_RETURN(bool streamed, RefillFromStreams());
-      if (streamed) continue;
-      if (!dirty_.empty()) {
-        buffer_ = std::move(dirty_);
-        dirty_.clear();
-        continue;
-      }
-      return false;
+      row_pos_ = 0;
+      ODH_ASSIGN_OR_RETURN(bool more, ProduceBatch(&batch_));
+      if (!more) return false;
     }
+  }
+
+  /// Columnar view: one decoded blob per call (possibly zero rows).
+  Result<bool> Next(RecordBatch* batch) override {
+    ODH_ASSIGN_OR_RETURN(bool more, ProduceBatch(batch));
+    if (more) {
+      reader_->records_emitted_.fetch_add(
+          static_cast<int64_t>(batch->rows()), std::memory_order_relaxed);
+    }
+    return more;
   }
 
  private:
   Status CollectDirty() {
     return reader_->writer_->CollectDirty(schema_type_, id_, lo_, hi_,
                                           &dirty_);
+  }
+
+  /// Refills *batch from the next source of blobs: pre-decoded slots first
+  /// (same order the blobs were queued in), then lazy decode, then the
+  /// streaming scans, then the dirty buffers. False at end of stream.
+  Result<bool> ProduceBatch(RecordBatch* batch) {
+    batch->clear();
+    if (!decoded_.empty()) {
+      ODH_RETURN_IF_ERROR(decoded_statuses_.front());
+      *batch = std::move(decoded_.front());
+      decoded_.pop_front();
+      decoded_statuses_.pop_front();
+      return true;
+    }
+    if (!queued_.empty()) {
+      QueuedBlob blob = std::move(queued_.front());
+      queued_.pop_front();
+      ODH_RETURN_IF_ERROR(DecodeBlobToBatch(blob, batch));
+      return true;
+    }
+    ODH_ASSIGN_OR_RETURN(bool streamed, RefillFromStreams(batch));
+    if (streamed) return true;
+    if (!dirty_.empty()) {
+      ColumnarizeRecords(dirty_, batch);
+      dirty_.clear();
+      return true;
+    }
+    return false;
   }
 
   /// Fans the queued blobs out to the reader's pool, one result slot per
@@ -156,13 +187,13 @@ class OdhScanCursorImpl : public RecordCursor {
     decoded_statuses_.resize(n);
     pool->ParallelFor(static_cast<int64_t>(n), [&](int64_t i) {
       decoded_statuses_[static_cast<size_t>(i)] =
-          DecodeBlobInto(blobs[static_cast<size_t>(i)],
-                         &decoded_[static_cast<size_t>(i)]);
+          DecodeBlobToBatch(blobs[static_cast<size_t>(i)],
+                            &decoded_[static_cast<size_t>(i)]);
     });
   }
 
   /// Pulls the next overlapping blob from the streaming table scans.
-  Result<bool> RefillFromStreams() {
+  Result<bool> RefillFromStreams(RecordBatch* batch) {
     for (auto* stream : {&rts_stream_, &irts_stream_}) {
       while (*stream != nullptr && (*stream)->Valid()) {
         ODH_ASSIGN_OR_RETURN(Row row, (*stream)->row());
@@ -175,7 +206,7 @@ class OdhScanCursorImpl : public RecordCursor {
         QueuedBlob blob{stream == &rts_stream_ ? BlobKind::kRts
                                                : BlobKind::kIrts,
                         std::move(rec)};
-        ODH_RETURN_IF_ERROR(DecodeBlobInto(blob, &buffer_));
+        ODH_RETURN_IF_ERROR(DecodeBlobToBatch(blob, batch));
         return true;
       }
     }
@@ -191,11 +222,11 @@ class OdhScanCursorImpl : public RecordCursor {
     return !map->MayMatch(tag_filters_);
   }
 
-  /// Decodes one blob's surviving records into *out. Called from pool
-  /// tasks as well as the cursor thread; touches only immutable cursor
-  /// state and the reader's atomic counters.
-  Status DecodeBlobInto(const QueuedBlob& blob,
-                        std::vector<OperationalRecord>* out) {
+  /// Decodes one blob into a columnar batch, trimmed to [lo_, hi_]. Pruned
+  /// blobs leave *batch empty. Called from pool tasks as well as the
+  /// cursor thread; touches only immutable cursor state and the reader's
+  /// atomic counters.
+  Status DecodeBlobToBatch(const QueuedBlob& blob, RecordBatch* batch) {
     if (Prunable(blob.record)) {
       reader_->blobs_pruned_.fetch_add(1, std::memory_order_relaxed);
       return Status::OK();
@@ -209,35 +240,70 @@ class OdhScanCursorImpl : public RecordCursor {
       ODH_RETURN_IF_ERROR(codec_.DecodeMg(Slice(blob.record.blob),
                                           blob.record.begin, wanted_tags_,
                                           num_tags_, &records));
+      std::vector<OperationalRecord> kept;
+      kept.reserve(records.size());
       for (auto& r : records) {
         if (r.ts < lo_ || r.ts > hi_) continue;
         if (id_ >= 0 && r.id != id_) continue;
-        out->push_back(std::move(r));
+        kept.push_back(std::move(r));
       }
+      ColumnarizeRecords(kept, batch);
       return Status::OK();
     }
-    SeriesBatch batch;
+    SeriesBatch series;
     if (blob.kind == BlobKind::kRts) {
       ODH_RETURN_IF_ERROR(codec_.DecodeRts(
           Slice(blob.record.blob), blob.record.id, blob.record.begin,
-          blob.record.interval, wanted_tags_, num_tags_, &batch));
+          blob.record.interval, wanted_tags_, num_tags_, &series));
     } else {
       ODH_RETURN_IF_ERROR(codec_.DecodeIrts(Slice(blob.record.blob),
                                             blob.record.id,
                                             blob.record.begin, wanted_tags_,
-                                            num_tags_, &batch));
+                                            num_tags_, &series));
     }
-    const size_t n = batch.num_points();
+    // In-place trim to the time range; when nothing is dropped (interior
+    // blob, the common case) the loop writes nothing and the decoded
+    // columns move straight into the batch.
+    const size_t n = series.num_points();
+    size_t kept = 0;
     for (size_t i = 0; i < n; ++i) {
-      if (batch.timestamps[i] < lo_ || batch.timestamps[i] > hi_) continue;
-      OperationalRecord r;
-      r.id = batch.id;
-      r.ts = batch.timestamps[i];
-      r.tags.resize(num_tags_);
-      for (int t = 0; t < num_tags_; ++t) r.tags[t] = batch.columns[t][i];
-      out->push_back(std::move(r));
+      if (series.timestamps[i] < lo_ || series.timestamps[i] > hi_) continue;
+      if (kept != i) {
+        series.timestamps[kept] = series.timestamps[i];
+        for (auto& col : series.columns) {
+          if (!col.empty()) col[kept] = col[i];
+        }
+      }
+      ++kept;
     }
+    series.timestamps.resize(kept);
+    for (auto& col : series.columns) {
+      if (!col.empty()) col.resize(kept);
+    }
+    batch->uniform_id = series.id;
+    batch->timestamps = std::move(series.timestamps);
+    batch->columns = std::move(series.columns);
+    batch->columns.resize(static_cast<size_t>(num_tags_));
     return Status::OK();
+  }
+
+  /// Transposes row-format records (MG decode, dirty buffers) into a
+  /// columnar batch with an explicit id vector.
+  void ColumnarizeRecords(const std::vector<OperationalRecord>& records,
+                          RecordBatch* batch) const {
+    const size_t n = records.size();
+    batch->ids.reserve(n);
+    batch->timestamps.reserve(n);
+    batch->columns.assign(static_cast<size_t>(num_tags_), {});
+    for (auto& col : batch->columns) col.reserve(n);
+    for (const auto& r : records) {
+      batch->ids.push_back(r.id);
+      batch->timestamps.push_back(r.ts);
+      for (int t = 0; t < num_tags_; ++t) {
+        batch->columns[t].push_back(
+            t < static_cast<int>(r.tags.size()) ? r.tags[t] : kNaN);
+      }
+    }
   }
 
   OdhReader* reader_;
@@ -251,14 +317,127 @@ class OdhScanCursorImpl : public RecordCursor {
 
   std::deque<QueuedBlob> queued_;
   /// Parallel-decode results, aligned slots in queue order.
-  std::deque<std::vector<OperationalRecord>> decoded_;
+  std::deque<RecordBatch> decoded_;
   std::deque<Status> decoded_statuses_;
   std::unique_ptr<relational::Table::Iterator> rts_stream_;
   std::unique_ptr<relational::Table::Iterator> irts_stream_;
-  std::vector<OperationalRecord> buffer_;
-  size_t buffer_pos_ = 0;
+  /// Current batch being drained by the row-at-a-time view.
+  RecordBatch batch_;
+  size_t row_pos_ = 0;
   std::vector<OperationalRecord> dirty_;
 };
+
+namespace {
+
+/// Accumulates the aggregate-pushdown answer across blob summaries,
+/// decoded blobs, and dirty rows.
+class AggregateAccumulator {
+ public:
+  AggregateAccumulator(const std::vector<TagFilter>* filters,
+                       const std::vector<int>* agg_tags)
+      : filters_(filters), agg_tags_(agg_tags) {
+    result_.tags.resize(agg_tags->size());
+  }
+
+  /// Folds in a whole blob from its summary (caller proved AllMatch).
+  void AddSummary(const ZoneMap& map, int64_t num_rows) {
+    result_.rows_matched += num_rows;
+    for (size_t j = 0; j < agg_tags_->size(); ++j) {
+      const int tag = (*agg_tags_)[j];
+      TagAggregate& agg = result_.tags[j];
+      agg.count += map.count(tag);
+      agg.sum += map.sum(tag);
+      if (map.has_values(tag)) {
+        if (!agg.has_value || map.min(tag) < agg.min) agg.min = map.min(tag);
+        if (!agg.has_value || map.max(tag) > agg.max) agg.max = map.max(tag);
+        agg.has_value = true;
+      }
+    }
+  }
+
+  /// Folds in one row (decoded blob or dirty buffer); `tags` may be
+  /// shorter than the schema (missing = NaN).
+  void AddRow(const std::vector<double>& tags) {
+    for (const TagFilter& f : *filters_) {
+      const double v =
+          f.tag < static_cast<int>(tags.size()) ? tags[f.tag] : kNaN;
+      if (!TagFilterMatches(f, v)) return;
+    }
+    ++result_.rows_matched;
+    for (size_t j = 0; j < agg_tags_->size(); ++j) {
+      const int tag = (*agg_tags_)[j];
+      const double v =
+          tag < static_cast<int>(tags.size()) ? tags[tag] : kNaN;
+      if (std::isnan(v)) continue;
+      TagAggregate& agg = result_.tags[j];
+      ++agg.count;
+      agg.sum += v;
+      if (!agg.has_value || v < agg.min) agg.min = v;
+      if (!agg.has_value || v > agg.max) agg.max = v;
+      agg.has_value = true;
+    }
+  }
+
+  /// Folds in a decoded RTS/IRTS blob column-wise: builds a selection
+  /// (time bounds, then each tag filter) and sweeps the per-tag arrays,
+  /// skipping the per-row tag-vector materialization AddRow needs.
+  /// Accumulation order matches AddRow, so results are bit-identical.
+  /// Returns the number of rows inside [lo, hi] before tag filtering.
+  int64_t AddColumns(const SeriesBatch& series, Timestamp lo, Timestamp hi) {
+    const size_t n = series.num_points();
+    sel_.clear();
+    sel_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (series.timestamps[i] >= lo && series.timestamps[i] <= hi) {
+        sel_.push_back(static_cast<int32_t>(i));
+      }
+    }
+    const int64_t in_range = static_cast<int64_t>(sel_.size());
+    for (const TagFilter& f : *filters_) {
+      const std::vector<double>* col =
+          f.tag >= 0 && f.tag < static_cast<int>(series.columns.size()) &&
+                  !series.columns[f.tag].empty()
+              ? &series.columns[f.tag]
+              : nullptr;
+      size_t out = 0;
+      for (int32_t i : sel_) {
+        const double v = col != nullptr ? (*col)[i] : kNaN;
+        if (TagFilterMatches(f, v)) sel_[out++] = i;
+      }
+      sel_.resize(out);
+    }
+    result_.rows_matched += static_cast<int64_t>(sel_.size());
+    for (size_t j = 0; j < agg_tags_->size(); ++j) {
+      const int tag = (*agg_tags_)[j];
+      if (tag < 0 || tag >= static_cast<int>(series.columns.size()) ||
+          series.columns[tag].empty()) {
+        continue;  // Unprojected / unknown: all NULL, contributes nothing.
+      }
+      const std::vector<double>& col = series.columns[tag];
+      TagAggregate& agg = result_.tags[j];
+      for (int32_t i : sel_) {
+        const double v = col[i];
+        if (std::isnan(v)) continue;
+        ++agg.count;
+        agg.sum += v;
+        if (!agg.has_value || v < agg.min) agg.min = v;
+        if (!agg.has_value || v > agg.max) agg.max = v;
+        agg.has_value = true;
+      }
+    }
+    return in_range;
+  }
+
+  AggregateResult&& Take() { return std::move(result_); }
+
+ private:
+  const std::vector<TagFilter>* filters_;
+  const std::vector<int>* agg_tags_;
+  AggregateResult result_;
+  std::vector<int32_t> sel_;
+};
+
+}  // namespace
 
 Result<std::unique_ptr<RecordCursor>> OdhReader::OpenHistorical(
     int schema_type, SourceId id, Timestamp lo, Timestamp hi,
@@ -289,6 +468,178 @@ Result<std::unique_ptr<RecordCursor>> OdhReader::OpenSlice(
       static_cast<int>(type->tag_names.size()), type->compression);
   ODH_RETURN_IF_ERROR(cursor->InitSlice(route));
   return std::unique_ptr<RecordCursor>(std::move(cursor));
+}
+
+Result<std::unique_ptr<RecordBatchCursor>> OdhReader::OpenHistoricalBatches(
+    int schema_type, SourceId id, Timestamp lo, Timestamp hi,
+    const std::vector<int>& wanted_tags,
+    std::vector<TagFilter> tag_filters) {
+  ODH_ASSIGN_OR_RETURN(const SchemaType* type,
+                       config_->GetSchemaType(schema_type));
+  ODH_ASSIGN_OR_RETURN(RouteDecision route,
+                       router_->RouteHistorical(schema_type, id));
+  auto cursor = std::make_unique<OdhScanCursorImpl>(
+      this, schema_type, id, lo, hi, wanted_tags, std::move(tag_filters),
+      static_cast<int>(type->tag_names.size()), type->compression);
+  ODH_RETURN_IF_ERROR(cursor->InitHistorical(route));
+  return std::unique_ptr<RecordBatchCursor>(std::move(cursor));
+}
+
+Result<std::unique_ptr<RecordBatchCursor>> OdhReader::OpenSliceBatches(
+    int schema_type, Timestamp lo, Timestamp hi,
+    const std::vector<int>& wanted_tags,
+    std::vector<TagFilter> tag_filters) {
+  ODH_ASSIGN_OR_RETURN(const SchemaType* type,
+                       config_->GetSchemaType(schema_type));
+  ODH_ASSIGN_OR_RETURN(RouteDecision route,
+                       router_->RouteSlice(schema_type));
+  auto cursor = std::make_unique<OdhScanCursorImpl>(
+      this, schema_type, /*id=*/-1, lo, hi, wanted_tags,
+      std::move(tag_filters),
+      static_cast<int>(type->tag_names.size()), type->compression);
+  ODH_RETURN_IF_ERROR(cursor->InitSlice(route));
+  return std::unique_ptr<RecordBatchCursor>(std::move(cursor));
+}
+
+Result<AggregateResult> OdhReader::Aggregate(
+    int schema_type, SourceId id, Timestamp lo, Timestamp hi,
+    const std::vector<TagFilter>& tag_filters,
+    const std::vector<int>& agg_tags, bool need_values) {
+  ODH_ASSIGN_OR_RETURN(const SchemaType* type,
+                       config_->GetSchemaType(schema_type));
+  const int num_tags = static_cast<int>(type->tag_names.size());
+  ValueBlobCodec codec(type->compression);
+  AggregateAccumulator acc(&tag_filters, &agg_tags);
+
+  // Tags the decode fallback actually needs: aggregated plus filtered.
+  std::set<int> needed(agg_tags.begin(), agg_tags.end());
+  for (const TagFilter& f : tag_filters) needed.insert(f.tag);
+  const std::vector<int> decode_tags(needed.begin(), needed.end());
+
+  // Candidate blobs, enumerated exactly like the scan paths.
+  std::vector<QueuedBlob> blobs;
+  auto add = [&blobs](BlobKind kind, std::vector<BlobRecord> recs) {
+    for (auto& b : recs) blobs.push_back({kind, std::move(b)});
+  };
+  if (id >= 0) {
+    ODH_ASSIGN_OR_RETURN(RouteDecision route,
+                         router_->RouteHistorical(schema_type, id));
+    if (route.scan_rts) {
+      ODH_ASSIGN_OR_RETURN(auto recs, store_->GetRts(schema_type, id, lo, hi));
+      add(BlobKind::kRts, std::move(recs));
+    }
+    if (route.scan_irts) {
+      ODH_ASSIGN_OR_RETURN(auto recs,
+                           store_->GetIrts(schema_type, id, lo, hi));
+      add(BlobKind::kIrts, std::move(recs));
+    }
+    if (route.scan_mg) {
+      ODH_ASSIGN_OR_RETURN(auto recs,
+                           store_->GetMg(schema_type, route.mg_group, lo, hi));
+      add(BlobKind::kMg, std::move(recs));
+    }
+  } else {
+    ODH_ASSIGN_OR_RETURN(RouteDecision route, router_->RouteSlice(schema_type));
+    for (bool is_irts : {false, true}) {
+      if (is_irts ? !route.scan_irts : !route.scan_rts) continue;
+      ODH_ASSIGN_OR_RETURN(relational::Table * table,
+                           is_irts ? store_->IrtsTable(schema_type)
+                                   : store_->RtsTable(schema_type));
+      auto it = table->NewIterator();
+      ODH_RETURN_IF_ERROR(it.SeekToFirst());
+      while (it.Valid()) {
+        ODH_ASSIGN_OR_RETURN(Row row, it.row());
+        relational::Rid rid = it.rid();
+        ODH_RETURN_IF_ERROR(it.Next());
+        BlobRecord rec;
+        ODH_RETURN_IF_ERROR(
+            OdhStore::RowToBlobRecord(row, rid, /*is_mg=*/false, &rec));
+        if (rec.end < lo || rec.begin > hi) continue;
+        blobs.push_back({is_irts ? BlobKind::kIrts : BlobKind::kRts,
+                         std::move(rec)});
+      }
+    }
+    if (route.scan_mg) {
+      ODH_ASSIGN_OR_RETURN(auto recs, store_->GetMg(schema_type, -1, lo, hi));
+      add(BlobKind::kMg, std::move(recs));
+    }
+  }
+
+  for (const QueuedBlob& blob : blobs) {
+    const BlobRecord& rec = blob.record;
+    std::optional<ZoneMap> map;
+    if (!rec.zone_map.empty()) {
+      auto decoded = ZoneMap::Decode(Slice(rec.zone_map));
+      if (decoded.ok()) map = *std::move(decoded);
+    }
+    if (map.has_value() && !tag_filters.empty() &&
+        !map->MayMatch(tag_filters)) {
+      blobs_pruned_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // Summary-only answer: the blob must lie entirely inside the time
+    // range, carry v2 aggregates covering every referenced tag, be exact
+    // when values (not just counts) are wanted, prove that all rows pass
+    // the filters, and — for MG under an id constraint — not mix sources.
+    const bool covers_tags = [&] {
+      if (!map.has_value()) return false;
+      for (int tag : agg_tags) {
+        if (tag < 0 || tag >= map->num_tags()) return false;
+      }
+      for (const TagFilter& f : tag_filters) {
+        if (f.tag < 0 || f.tag >= map->num_tags()) return false;
+      }
+      return true;
+    }();
+    if (map.has_value() && map->has_aggregates() && covers_tags &&
+        (blob.kind != BlobKind::kMg || id < 0) &&
+        rec.begin >= lo && rec.end <= hi &&
+        (!need_values || map->exact()) &&
+        map->AllMatch(tag_filters, rec.n)) {
+      acc.AddSummary(*map, rec.n);
+      blobs_skipped_by_summary_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // Fallback: decode and scan the boundary / unprovable blob.
+    blobs_decoded_.fetch_add(1, std::memory_order_relaxed);
+    blob_bytes_read_.fetch_add(static_cast<int64_t>(rec.blob.size()),
+                               std::memory_order_relaxed);
+    if (blob.kind == BlobKind::kMg) {
+      std::vector<OperationalRecord> records;
+      ODH_RETURN_IF_ERROR(codec.DecodeMg(Slice(rec.blob), rec.begin,
+                                         decode_tags, num_tags, &records));
+      for (const auto& r : records) {
+        if (r.ts < lo || r.ts > hi) continue;
+        if (id >= 0 && r.id != id) continue;
+        records_emitted_.fetch_add(1, std::memory_order_relaxed);
+        acc.AddRow(r.tags);
+      }
+      continue;
+    }
+    SeriesBatch series;
+    if (blob.kind == BlobKind::kRts) {
+      ODH_RETURN_IF_ERROR(codec.DecodeRts(Slice(rec.blob), rec.id, rec.begin,
+                                          rec.interval, decode_tags,
+                                          num_tags, &series));
+    } else {
+      ODH_RETURN_IF_ERROR(codec.DecodeIrts(Slice(rec.blob), rec.id,
+                                           rec.begin, decode_tags, num_tags,
+                                           &series));
+    }
+    records_emitted_.fetch_add(acc.AddColumns(series, lo, hi),
+                               std::memory_order_relaxed);
+  }
+
+  // Unflushed writer buffers (dirty-read isolation): row-format, already
+  // filtered to [lo, hi] and `id` by the writer.
+  std::vector<OperationalRecord> dirty;
+  ODH_RETURN_IF_ERROR(writer_->CollectDirty(schema_type, id, lo, hi, &dirty));
+  for (const auto& r : dirty) {
+    if (r.ts < lo || r.ts > hi) continue;
+    acc.AddRow(r.tags);
+  }
+
+  return acc.Take();
 }
 
 }  // namespace odh::core

@@ -26,12 +26,63 @@ class RecordCursor {
   virtual Result<bool> Next(OperationalRecord* record) = 0;
 };
 
+/// One decoded blob (or the dirty-buffer slice) in columnar, tag-major
+/// form — what a ValueBlob already is on disk, handed out without per-row
+/// materialization. `columns` has one slot per schema tag; each column is
+/// either full-length (NaN = missing value) or empty (tag not requested;
+/// reads as all-missing). `ids` is empty when every row belongs to
+/// `uniform_id` (the common case: one blob = one source).
+struct RecordBatch {
+  SourceId uniform_id = -1;
+  std::vector<SourceId> ids;
+  std::vector<Timestamp> timestamps;
+  std::vector<std::vector<double>> columns;
+
+  size_t rows() const { return timestamps.size(); }
+  SourceId id_at(size_t i) const { return ids.empty() ? uniform_id : ids[i]; }
+  void clear() {
+    uniform_id = -1;
+    ids.clear();
+    timestamps.clear();
+    columns.clear();
+  }
+};
+
+/// Pull-based stream of RecordBatches: the columnar twin of RecordCursor.
+/// Batches may have zero rows (a fully pruned blob); callers keep pulling
+/// until end of stream.
+class RecordBatchCursor {
+ public:
+  virtual ~RecordBatchCursor() = default;
+  virtual Result<bool> Next(RecordBatch* batch) = 0;
+};
+
 /// Counters for one scan (exposed so benches can report blob I/O).
 struct ReadStats {
   int64_t blobs_decoded = 0;
   int64_t blobs_pruned = 0;  // Skipped entirely via zone maps.
+  int64_t blobs_skipped_by_summary = 0;  // Aggregated without decoding.
   int64_t blob_bytes_read = 0;
   int64_t records_emitted = 0;
+};
+
+/// Per-tag accumulator returned by OdhReader::Aggregate. `count`/`sum`
+/// cover the non-NaN values of the tag among matching rows; min/max are
+/// valid only when `has_value`.
+struct TagAggregate {
+  int64_t count = 0;
+  double sum = 0;
+  bool has_value = false;
+  double min = 0;
+  double max = 0;
+};
+
+/// Result of an aggregate-pushdown read. `rows_matched` counts rows that
+/// satisfy the time range and every tag filter (COUNT(*)); `tags` is
+/// aligned with the `agg_tags` argument.
+struct AggregateResult {
+  int64_t rows_matched = 0;
+  std::vector<TagAggregate> tags;
 };
 
 /// The ODH read path: routes, fetches blobs with partition elimination,
@@ -70,12 +121,43 @@ class OdhReader {
       const std::vector<int>& wanted_tags,
       std::vector<TagFilter> tag_filters = {});
 
+  /// Columnar variants of the scans above: one RecordBatch per decoded
+  /// blob, no per-record materialization. Same routing, pruning, parallel
+  /// predecode, and dirty-read merge as the row cursors.
+  Result<std::unique_ptr<RecordBatchCursor>> OpenHistoricalBatches(
+      int schema_type, SourceId id, Timestamp lo, Timestamp hi,
+      const std::vector<int>& wanted_tags,
+      std::vector<TagFilter> tag_filters = {});
+  Result<std::unique_ptr<RecordBatchCursor>> OpenSliceBatches(
+      int schema_type, Timestamp lo, Timestamp hi,
+      const std::vector<int>& wanted_tags,
+      std::vector<TagFilter> tag_filters = {});
+
+  /// Aggregate pushdown: COUNT(*) plus per-tag COUNT/SUM/MIN/MAX over the
+  /// rows of [lo, hi] (all sources when `id` < 0) that pass every
+  /// `tag_filter`. Blobs whose v2 zone map proves full coverage — time
+  /// range containment, no missing values on filtered tags, ranges inside
+  /// the filter bounds — are answered from the summary alone and counted
+  /// in `blobs_skipped_by_summary`; the rest decode and scan. Set
+  /// `need_values` when SUM/AVG/MIN/MAX is wanted: value aggregates are
+  /// only taken from summaries marked exact (lossless codecs), since a
+  /// widened lossy summary can disagree with decoded values. Counts are
+  /// summary-answerable even for lossy blobs (codecs preserve which
+  /// values are missing).
+  Result<AggregateResult> Aggregate(int schema_type, SourceId id,
+                                    Timestamp lo, Timestamp hi,
+                                    const std::vector<TagFilter>& tag_filters,
+                                    const std::vector<int>& agg_tags,
+                                    bool need_values);
+
   /// Cumulative stats across all cursors opened from this reader
   /// (snapshot of the atomic counters).
   ReadStats stats() const {
     ReadStats s;
     s.blobs_decoded = blobs_decoded_.load(std::memory_order_relaxed);
     s.blobs_pruned = blobs_pruned_.load(std::memory_order_relaxed);
+    s.blobs_skipped_by_summary =
+        blobs_skipped_by_summary_.load(std::memory_order_relaxed);
     s.blob_bytes_read = blob_bytes_read_.load(std::memory_order_relaxed);
     s.records_emitted = records_emitted_.load(std::memory_order_relaxed);
     return s;
@@ -83,6 +165,7 @@ class OdhReader {
   void ResetStats() {
     blobs_decoded_.store(0, std::memory_order_relaxed);
     blobs_pruned_.store(0, std::memory_order_relaxed);
+    blobs_skipped_by_summary_.store(0, std::memory_order_relaxed);
     blob_bytes_read_.store(0, std::memory_order_relaxed);
     records_emitted_.store(0, std::memory_order_relaxed);
   }
@@ -99,6 +182,7 @@ class OdhReader {
   common::ThreadPool* pool_;  // Not owned; nullptr = sequential decode.
   std::atomic<int64_t> blobs_decoded_{0};
   std::atomic<int64_t> blobs_pruned_{0};
+  std::atomic<int64_t> blobs_skipped_by_summary_{0};
   std::atomic<int64_t> blob_bytes_read_{0};
   std::atomic<int64_t> records_emitted_{0};
 };

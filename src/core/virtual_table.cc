@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "sql/relational_provider.h"
+#include "sql/vectorized.h"
 
 namespace odh::core {
 namespace {
@@ -46,6 +47,40 @@ class VirtualTableCursor : public sql::RowCursor {
   int num_tags_;
 };
 
+/// Wraps a RecordBatchCursor: moves each decoded blob's columns straight
+/// into a ColumnBatch (no per-value boxing — the point of the batch path)
+/// and runs the pushed tag predicates as vectorized range kernels.
+class VirtualTableBatchCursor : public sql::BatchCursor {
+ public:
+  VirtualTableBatchCursor(std::unique_ptr<RecordBatchCursor> cursor,
+                          std::vector<TagFilter> filters, int num_tags)
+      : cursor_(std::move(cursor)),
+        filters_(std::move(filters)),
+        num_tags_(num_tags) {}
+
+  Result<bool> Next(sql::ColumnBatch* batch) override {
+    RecordBatch record_batch;
+    ODH_ASSIGN_OR_RETURN(bool more, cursor_->Next(&record_batch));
+    if (!more) return false;
+    batch->clear();
+    batch->uniform_id = record_batch.uniform_id;
+    batch->ids = std::move(record_batch.ids);
+    batch->timestamps = std::move(record_batch.timestamps);
+    batch->tags = std::move(record_batch.columns);
+    batch->tags.resize(static_cast<size_t>(num_tags_));
+    for (const TagFilter& f : filters_) {
+      sql::FilterByRange(batch->tags[f.tag], f.min, f.max, f.min_exclusive,
+                         f.max_exclusive, batch);
+    }
+    return true;
+  }
+
+ private:
+  std::unique_ptr<RecordBatchCursor> cursor_;
+  std::vector<TagFilter> filters_;
+  int num_tags_;
+};
+
 }  // namespace
 
 OdhVirtualTable::OdhVirtualTable(std::string name, int schema_type,
@@ -72,43 +107,77 @@ OdhVirtualTable::Pushdown OdhVirtualTable::ExtractPushdown(
     const sql::ScanSpec& spec) const {
   Pushdown push;
   std::set<int> tags;
+  // A constraint is "absorbed" when the pushdown applies it exactly
+  // (equals wins over range bounds, mirroring DatumSatisfies). Anything
+  // else leaves a residual re-check, which only the row path performs.
   for (const sql::ColumnConstraint& c : spec.constraints) {
-    if (c.column == kIdColumn && c.equals.has_value() &&
-        c.equals->is_int64()) {
-      push.id = c.equals->int64_value();
-    } else if (c.column == kTimestampColumn) {
-      if (c.equals.has_value() && c.equals->is_timestamp()) {
-        push.lo = push.hi = c.equals->timestamp_value();
+    if (c.column == kIdColumn) {
+      if (c.equals.has_value() && c.equals->is_int64()) {
+        push.id = c.equals->int64_value();
       } else {
-        if (c.lower.has_value() && c.lower->value.is_timestamp()) {
-          Timestamp v = c.lower->value.timestamp_value();
-          push.lo = c.lower->inclusive ? v : v + 1;
+        push.absorbed = false;
+      }
+    } else if (c.column == kTimestampColumn) {
+      if (c.equals.has_value()) {
+        if (c.equals->is_timestamp()) {
+          push.lo = push.hi = c.equals->timestamp_value();
+        } else {
+          push.absorbed = false;
         }
-        if (c.upper.has_value() && c.upper->value.is_timestamp()) {
-          Timestamp v = c.upper->value.timestamp_value();
-          push.hi = c.upper->inclusive ? v : v - 1;
+      } else {
+        if (c.lower.has_value()) {
+          if (c.lower->value.is_timestamp()) {
+            Timestamp v = c.lower->value.timestamp_value();
+            push.lo = c.lower->inclusive ? v : v + 1;
+          } else {
+            push.absorbed = false;
+          }
+        }
+        if (c.upper.has_value()) {
+          if (c.upper->value.is_timestamp()) {
+            Timestamp v = c.upper->value.timestamp_value();
+            push.hi = c.upper->inclusive ? v : v - 1;
+          } else {
+            push.absorbed = false;
+          }
         }
       }
     } else if (c.column >= 2) {
       tags.insert(c.column - 2);
-      // Numeric constraints on tags become zone-map filters.
+      // Numeric constraints on tags become zone-map / vectorized filters.
       TagFilter filter;
       filter.tag = c.column - 2;
       bool usable = false;
-      if (c.equals.has_value() && c.equals->is_numeric()) {
-        filter.min = filter.max = c.equals->AsDouble();
-        usable = true;
-      } else {
-        if (c.lower.has_value() && c.lower->value.is_numeric()) {
-          filter.min = c.lower->value.AsDouble();
+      if (c.equals.has_value()) {
+        if (c.equals->is_numeric()) {
+          filter.min = filter.max = c.equals->AsDouble();
           usable = true;
+        } else {
+          push.absorbed = false;
         }
-        if (c.upper.has_value() && c.upper->value.is_numeric()) {
-          filter.max = c.upper->value.AsDouble();
-          usable = true;
+      } else {
+        if (c.lower.has_value()) {
+          if (c.lower->value.is_numeric()) {
+            filter.min = c.lower->value.AsDouble();
+            filter.min_exclusive = !c.lower->inclusive;
+            usable = true;
+          } else {
+            push.absorbed = false;
+          }
+        }
+        if (c.upper.has_value()) {
+          if (c.upper->value.is_numeric()) {
+            filter.max = c.upper->value.AsDouble();
+            filter.max_exclusive = !c.upper->inclusive;
+            usable = true;
+          } else {
+            push.absorbed = false;
+          }
         }
       }
       if (usable) push.tag_filters.push_back(filter);
+    } else {
+      push.absorbed = false;
     }
   }
   if (!spec.projection.empty()) {
@@ -142,6 +211,110 @@ Result<std::unique_ptr<sql::RowCursor>> OdhVirtualTable::Scan(
   }
   return std::unique_ptr<sql::RowCursor>(std::make_unique<VirtualTableCursor>(
       std::move(cursor), spec, num_tags_));
+}
+
+bool OdhVirtualTable::SupportsBatchScan(const sql::ScanSpec& spec) const {
+  if (!config_->options().enable_vectorized_scan) return false;
+  return ExtractPushdown(spec).absorbed;
+}
+
+Result<std::unique_ptr<sql::BatchCursor>> OdhVirtualTable::ScanBatches(
+    const sql::ScanSpec& spec) {
+  Pushdown push = ExtractPushdown(spec);
+  if (!config_->options().enable_vectorized_scan || !push.absorbed) {
+    return Status::Unimplemented(
+        "scan spec not fully absorbed; use the row path");
+  }
+  std::unique_ptr<RecordBatchCursor> cursor;
+  if (push.id >= 0) {
+    ODH_ASSIGN_OR_RETURN(
+        cursor, reader_->OpenHistoricalBatches(schema_type_, push.id,
+                                               push.lo, push.hi,
+                                               push.wanted_tags,
+                                               push.tag_filters));
+  } else {
+    ODH_ASSIGN_OR_RETURN(
+        cursor, reader_->OpenSliceBatches(schema_type_, push.lo, push.hi,
+                                          push.wanted_tags,
+                                          push.tag_filters));
+  }
+  return std::unique_ptr<sql::BatchCursor>(
+      std::make_unique<VirtualTableBatchCursor>(
+          std::move(cursor), std::move(push.tag_filters), num_tags_));
+}
+
+Result<std::optional<Row>> OdhVirtualTable::AggregateScan(
+    const sql::ScanSpec& spec,
+    const std::vector<sql::AggregateRequest>& requests) {
+  if (!config_->options().enable_aggregate_pushdown) {
+    return std::optional<Row>();
+  }
+  Pushdown push = ExtractPushdown(spec);
+  if (!push.absorbed) return std::optional<Row>();
+  // Classify the requests: COUNT(*) and COUNT(id|ts) need only the
+  // matching-row count; tag aggregates need per-tag accumulators; value
+  // aggregates over id/timestamp are not absorbed (wrong result type).
+  std::vector<int> agg_tags;
+  std::vector<int> request_slot(requests.size(), -1);
+  bool need_values = false;
+  for (size_t r = 0; r < requests.size(); ++r) {
+    const sql::AggregateRequest& req = requests[r];
+    if (req.op == sql::AggregateOp::kCountStar) continue;
+    if (req.op == sql::AggregateOp::kCount && req.column < 2) {
+      if (req.column < 0) return std::optional<Row>();
+      continue;
+    }
+    if (req.column < 2) return std::optional<Row>();
+    if (req.op != sql::AggregateOp::kCount) need_values = true;
+    const int tag = req.column - 2;
+    int slot = -1;
+    for (size_t j = 0; j < agg_tags.size(); ++j) {
+      if (agg_tags[j] == tag) slot = static_cast<int>(j);
+    }
+    if (slot < 0) {
+      slot = static_cast<int>(agg_tags.size());
+      agg_tags.push_back(tag);
+    }
+    request_slot[r] = slot;
+  }
+  ODH_ASSIGN_OR_RETURN(
+      AggregateResult agg,
+      reader_->Aggregate(schema_type_, push.id, push.lo, push.hi,
+                         push.tag_filters, agg_tags, need_values));
+  Row row;
+  row.reserve(requests.size());
+  for (size_t r = 0; r < requests.size(); ++r) {
+    const sql::AggregateRequest& req = requests[r];
+    if (request_slot[r] < 0) {
+      // COUNT(*) / COUNT over the never-NULL id and timestamp columns.
+      row.push_back(Datum::Int64(agg.rows_matched));
+      continue;
+    }
+    const TagAggregate& t = agg.tags[static_cast<size_t>(request_slot[r])];
+    switch (req.op) {
+      case sql::AggregateOp::kCount:
+        row.push_back(Datum::Int64(t.count));
+        break;
+      case sql::AggregateOp::kSum:
+        row.push_back(t.count > 0 ? Datum::Double(t.sum) : Datum::Null());
+        break;
+      case sql::AggregateOp::kAvg:
+        row.push_back(t.count > 0
+                          ? Datum::Double(t.sum /
+                                          static_cast<double>(t.count))
+                          : Datum::Null());
+        break;
+      case sql::AggregateOp::kMin:
+        row.push_back(t.has_value ? Datum::Double(t.min) : Datum::Null());
+        break;
+      case sql::AggregateOp::kMax:
+        row.push_back(t.has_value ? Datum::Double(t.max) : Datum::Null());
+        break;
+      default:
+        return std::optional<Row>();
+    }
+  }
+  return std::optional<Row>(std::move(row));
 }
 
 sql::ScanEstimate OdhVirtualTable::Estimate(const sql::ScanSpec& spec) const {

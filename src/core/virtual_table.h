@@ -32,6 +32,27 @@ class OdhVirtualTable : public sql::TableProvider {
   Result<std::unique_ptr<sql::RowCursor>> Scan(
       const sql::ScanSpec& spec) override;
 
+  /// Batch path: available when vectorized scans are enabled and every
+  /// constraint in `spec` is fully absorbed by the pushdown (id equality,
+  /// timestamp range, numeric tag ranges) — absorbed constraints are
+  /// applied exactly by the reader plus vectorized filter kernels, so no
+  /// per-row re-check remains.
+  bool SupportsBatchScan(const sql::ScanSpec& spec) const override;
+
+  /// One tag-major ColumnBatch per decoded ValueBlob; tag predicates run
+  /// as vectorized range kernels that populate the selection vector.
+  Result<std::unique_ptr<sql::BatchCursor>> ScanBatches(
+      const sql::ScanSpec& spec) override;
+
+  /// Aggregate pushdown into the reader: blobs fully covered by the time
+  /// range whose v2 zone map proves every row passes the tag filters are
+  /// answered from the summary without decompression. Returns nullopt
+  /// when disabled, when a constraint is not fully absorbed, or when a
+  /// request shape is unsupported (value aggregates over id/timestamp).
+  Result<std::optional<Row>> AggregateScan(
+      const sql::ScanSpec& spec,
+      const std::vector<sql::AggregateRequest>& requests) override;
+
   sql::ScanEstimate Estimate(const sql::ScanSpec& spec) const override;
 
   bool SupportsPointLookup(int column) const override {
@@ -52,6 +73,10 @@ class OdhVirtualTable : public sql::TableProvider {
     std::vector<int> wanted_tags;  // Empty = all.
     std::vector<TagFilter> tag_filters;  // Zone-map pruning candidates.
     double tag_fraction = 1.0;
+    /// True when every constraint is applied *exactly* by the pushdown
+    /// (no residual row-level re-check needed). Gates the batch path and
+    /// aggregate pushdown.
+    bool absorbed = true;
   };
   Pushdown ExtractPushdown(const sql::ScanSpec& spec) const;
 

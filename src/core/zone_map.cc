@@ -6,17 +6,33 @@
 
 namespace odh::core {
 
+namespace {
+// v2 wire header. v1 started directly with a varint32 tag count, so a v1
+// encoding is either the single byte 0x00 (zero tags) or starts with a
+// nonzero byte (count >= 1). A leading 0x00 with more bytes behind it can
+// therefore unambiguously mark the v2 header.
+constexpr char kV2Marker = 0;
+constexpr char kV2Version = 2;
+// Per-entry flags.
+constexpr char kAbsent = 0;          // No values for this tag.
+constexpr char kPresentAgg = 1;      // min/max + count/sum follow.
+constexpr char kPresentMinMax = 2;   // min/max only (re-encoded v1 data).
+}  // namespace
+
 ZoneMap ZoneMap::FromColumns(
     const std::vector<std::vector<double>>& columns) {
   ZoneMap map;
   map.entries_.resize(columns.size());
   for (size_t t = 0; t < columns.size(); ++t) {
     Entry& entry = map.entries_[t];
+    entry.has_agg = true;
     for (double v : columns[t]) {
       if (std::isnan(v)) continue;
       if (!entry.present || v < entry.min) entry.min = v;
       if (!entry.present || v > entry.max) entry.max = v;
       entry.present = true;
+      entry.count++;
+      entry.sum += v;
     }
   }
   return map;
@@ -26,6 +42,7 @@ ZoneMap ZoneMap::FromRecords(const std::vector<OperationalRecord>& records,
                              int num_tags) {
   ZoneMap map;
   map.entries_.resize(num_tags);
+  for (Entry& entry : map.entries_) entry.has_agg = true;
   for (const OperationalRecord& record : records) {
     for (int t = 0; t < num_tags; ++t) {
       double v = record.tags[t];
@@ -34,6 +51,8 @@ ZoneMap ZoneMap::FromRecords(const std::vector<OperationalRecord>& records,
       if (!entry.present || v < entry.min) entry.min = v;
       if (!entry.present || v > entry.max) entry.max = v;
       entry.present = true;
+      entry.count++;
+      entry.sum += v;
     }
   }
   return map;
@@ -41,6 +60,9 @@ ZoneMap ZoneMap::FromRecords(const std::vector<OperationalRecord>& records,
 
 void ZoneMap::Widen(double margin) {
   if (margin <= 0) return;
+  // Decoded values may now differ from the originals the summary was built
+  // from; min/max/sum can no longer answer aggregates decode-consistently.
+  exact_ = false;
   for (Entry& entry : entries_) {
     if (!entry.present) continue;
     entry.min -= margin;
@@ -50,12 +72,21 @@ void ZoneMap::Widen(double margin) {
 
 std::string ZoneMap::Encode() const {
   std::string out;
+  out.push_back(kV2Marker);
+  out.push_back(kV2Version);
+  out.push_back(exact_ ? 1 : 0);  // Flags byte: bit0 = exact.
   PutVarint32(&out, static_cast<uint32_t>(entries_.size()));
   for (const Entry& entry : entries_) {
-    out.push_back(entry.present ? 1 : 0);
-    if (entry.present) {
-      PutDouble(&out, entry.min);
-      PutDouble(&out, entry.max);
+    if (!entry.present) {
+      out.push_back(kAbsent);
+      continue;
+    }
+    out.push_back(entry.has_agg ? kPresentAgg : kPresentMinMax);
+    PutDouble(&out, entry.min);
+    PutDouble(&out, entry.max);
+    if (entry.has_agg) {
+      PutVarint64(&out, static_cast<uint64_t>(entry.count));
+      PutDouble(&out, entry.sum);
     }
   }
   return out;
@@ -63,20 +94,44 @@ std::string ZoneMap::Encode() const {
 
 Result<ZoneMap> ZoneMap::Decode(Slice input) {
   ZoneMap map;
+  const bool v2 = input.size() > 1 && input[0] == kV2Marker;
+  if (v2) {
+    input.remove_prefix(1);
+    if (input[0] != kV2Version) return Status::Corruption("zone map version");
+    input.remove_prefix(1);
+    if (input.empty()) return Status::Corruption("zone map flags");
+    map.exact_ = (input[0] & 1) != 0;
+    input.remove_prefix(1);
+  }
   uint32_t n;
   if (!GetVarint32(&input, &n)) return Status::Corruption("zone map count");
   map.entries_.resize(n);
   for (uint32_t t = 0; t < n; ++t) {
     if (input.empty()) return Status::Corruption("zone map flag");
-    bool present = input[0] != 0;
+    char flag = input[0];
     input.remove_prefix(1);
-    map.entries_[t].present = present;
-    if (present) {
-      if (!GetDouble(&input, &map.entries_[t].min) ||
-          !GetDouble(&input, &map.entries_[t].max)) {
-        return Status::Corruption("zone map bounds");
-      }
+    Entry& entry = map.entries_[t];
+    if (v2 ? flag == kAbsent : flag == 0) continue;
+    if (v2 && flag != kPresentAgg && flag != kPresentMinMax) {
+      return Status::Corruption("zone map entry flag");
     }
+    entry.present = true;
+    if (!GetDouble(&input, &entry.min) || !GetDouble(&input, &entry.max)) {
+      return Status::Corruption("zone map bounds");
+    }
+    if (v2 && flag == kPresentAgg) {
+      uint64_t count;
+      if (!GetVarint64(&input, &count) || !GetDouble(&input, &entry.sum)) {
+        return Status::Corruption("zone map aggregates");
+      }
+      entry.count = static_cast<int64_t>(count);
+      entry.has_agg = true;
+    }
+  }
+  // Aggregates are usable map-wide only when every populated entry carries
+  // them (vacuously true for all-absent maps: their counts are genuinely 0).
+  for (const Entry& entry : map.entries_) {
+    if (entry.present && !entry.has_agg) map.has_aggregates_ = false;
   }
   return map;
 }
@@ -89,7 +144,36 @@ bool ZoneMap::MayMatch(const std::vector<TagFilter>& filters) const {
     // A filtered tag with no values in the blob can never satisfy the
     // predicate (SQL: NULL never matches), so the blob is skippable.
     if (!entry.present) return false;
-    if (entry.max < filter.min || entry.min > filter.max) return false;
+    if (filter.min_exclusive ? entry.max <= filter.min
+                             : entry.max < filter.min) {
+      return false;
+    }
+    if (filter.max_exclusive ? entry.min >= filter.max
+                             : entry.min > filter.max) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ZoneMap::AllMatch(const std::vector<TagFilter>& filters,
+                       int64_t num_rows) const {
+  if (filters.empty()) return true;
+  if (entries_.empty() || !has_aggregates_) return false;
+  for (const TagFilter& filter : filters) {
+    // An out-of-range tag cannot be proven; stay conservative.
+    if (filter.tag < 0 || filter.tag >= num_tags()) return false;
+    const Entry& entry = entries_[filter.tag];
+    // Every row must have a value (no NaN holes) inside the filter range.
+    if (!entry.present || entry.count != num_rows) return false;
+    if (filter.min_exclusive ? !(entry.min > filter.min)
+                             : !(entry.min >= filter.min)) {
+      return false;
+    }
+    if (filter.max_exclusive ? !(entry.max < filter.max)
+                             : !(entry.max <= filter.max)) {
+      return false;
+    }
   }
   return true;
 }

@@ -1,6 +1,7 @@
 #ifndef ODH_CORE_ZONE_MAP_H_
 #define ODH_CORE_ZONE_MAP_H_
 
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -11,18 +12,44 @@
 namespace odh::core {
 
 /// A numeric range filter on one tag, pushed down from a SQL predicate
-/// (e.g. `temperature > 50` -> {tag, 50, +inf, false-exclusive-low}).
+/// (e.g. `temperature > 50` -> {tag, 50, +inf, min_exclusive}). The
+/// exclusivity flags preserve the SQL bound strictness so the filter can be
+/// evaluated *exactly* (aggregate pushdown) and not just conservatively
+/// (blob pruning).
 struct TagFilter {
   int tag = -1;
   double min = -std::numeric_limits<double>::infinity();
   double max = std::numeric_limits<double>::infinity();
+  bool min_exclusive = false;
+  bool max_exclusive = false;
 };
 
-/// Per-blob tag min/max summary — the paper's §6 future-work item "adding
-/// proper indexing to reduce BLOB scanning for queries on attribute
-/// values". Stored as a small column next to each ValueBlob, it lets the
-/// reader skip decoding blobs whose value ranges cannot satisfy a pushed
-/// tag predicate (a zone map / block-range index).
+/// Exact row-level evaluation of one filter, matching SQL comparison
+/// semantics: a missing value (NaN) never satisfies a predicate.
+inline bool TagFilterMatches(const TagFilter& f, double v) {
+  if (std::isnan(v)) return false;
+  if (f.min_exclusive ? !(v > f.min) : !(v >= f.min)) return false;
+  if (f.max_exclusive ? !(v < f.max) : !(v <= f.max)) return false;
+  return true;
+}
+
+/// Per-blob tag summary — the paper's §6 future-work item "adding proper
+/// indexing to reduce BLOB scanning for queries on attribute values".
+/// Stored as a small column next to each ValueBlob.
+///
+/// Format v1 carried min/max per tag (a zone map / block-range index) and
+/// only supported pruning. Format v2 adds a per-tag non-NaN count and sum
+/// plus an `exact` bit, which upgrades the summary into an aggregate
+/// index: COUNT/SUM/AVG/MIN/MAX over a blob that is fully covered by the
+/// query's time range and tag predicates can be answered from the summary
+/// alone, skipping decompression entirely. Decode accepts both formats;
+/// Encode always writes v2.
+///
+/// `exact` is cleared by Widen(): under a lossy codec the decoded values
+/// can deviate from the originals the summary was built from, so min/max/
+/// sum would disagree with a decode-and-scan answer. Per-tag counts stay
+/// trustworthy under widening (lossy codecs never change which values are
+/// missing), which is why AllMatch() still works on widened maps.
 class ZoneMap {
  public:
   /// Builds the summary from tag-major columns (NaN = missing).
@@ -32,14 +59,16 @@ class ZoneMap {
   static ZoneMap FromRecords(const std::vector<OperationalRecord>& records,
                              int num_tags);
 
-  /// Compact serialization (per tag: presence flag + min/max).
+  /// Compact serialization (v2: header + per tag presence flag, min/max,
+  /// count, sum).
   std::string Encode() const;
   static Result<ZoneMap> Decode(Slice input);
 
   /// Widens every range by `margin` on both sides. Lossy codecs may emit
   /// decoded values up to their error bound away from the originals the
   /// map was built from; widening keeps pruning conservative w.r.t.
-  /// predicates evaluated on decoded values.
+  /// predicates evaluated on decoded values. A positive margin marks the
+  /// map inexact: summary-only aggregate answers are disabled for it.
   void Widen(double margin);
 
   /// True when a blob with this summary may contain rows satisfying every
@@ -47,18 +76,43 @@ class ZoneMap {
   /// an empty/unknown zone map always returns true.
   bool MayMatch(const std::vector<TagFilter>& filters) const;
 
+  /// True when the summary *proves* that every one of the blob's
+  /// `num_rows` rows satisfies every filter: each filtered tag has no
+  /// missing values (count == num_rows) and its whole [min, max] range
+  /// lies inside the filter bounds. Requires per-tag counts (v2);
+  /// conservative `false` otherwise. Sound on widened maps: decoded
+  /// values stay inside the widened range, so full containment still
+  /// implies every decoded row passes.
+  bool AllMatch(const std::vector<TagFilter>& filters,
+                int64_t num_rows) const;
+
   int num_tags() const { return static_cast<int>(entries_.size()); }
   bool has_values(int tag) const { return entries_[tag].present; }
   double min(int tag) const { return entries_[tag].min; }
   double max(int tag) const { return entries_[tag].max; }
 
+  /// Aggregate accessors (meaningful when has_aggregates()).
+  int64_t count(int tag) const { return entries_[tag].count; }
+  double sum(int tag) const { return entries_[tag].sum; }
+
+  /// True when every present entry carries count/sum (v2 summaries).
+  bool has_aggregates() const { return has_aggregates_; }
+  /// False once Widen() ran with a positive margin (lossy codec): min/max/
+  /// sum may disagree with decoded values and must not answer aggregates.
+  bool exact() const { return exact_; }
+
  private:
   struct Entry {
-    bool present = false;  // Any non-NaN value for this tag?
+    bool present = false;   // Any non-NaN value for this tag?
+    bool has_agg = false;   // count/sum valid (v2)?
     double min = 0;
     double max = 0;
+    int64_t count = 0;      // Non-NaN values of this tag in the blob.
+    double sum = 0;         // Sum of those values (pre-compression).
   };
   std::vector<Entry> entries_;
+  bool exact_ = true;
+  bool has_aggregates_ = true;  // Vacuously true for an empty map.
 };
 
 }  // namespace odh::core

@@ -6,6 +6,7 @@
 #include "common/key_codec.h"
 #include "common/types.h"
 #include "sql/parser.h"
+#include "sql/vectorized.h"
 
 namespace odh::sql {
 namespace {
@@ -180,6 +181,52 @@ Result<QueryResult> SqlEngine::ExecuteSelect(SelectStmt stmt) {
   QueryResult result;
   result.columns = bound.output_names;
   result.explain = plan.explain;
+
+  // Aggregate pushdown / vectorized accumulation: try the fast paths the
+  // planner flagged before opening the row plan (opening a scan already
+  // fetches and decodes blobs). First offer the whole aggregate to the
+  // provider — it may answer from per-blob summaries without touching the
+  // data — then accumulate over ColumnBatches; the row loop below stays
+  // the fallback and the single source of truth for semantics.
+  if (plan.agg_provider != nullptr) {
+    std::optional<Row> agg_row;
+    ODH_ASSIGN_OR_RETURN(
+        agg_row, plan.agg_provider->AggregateScan(plan.agg_spec,
+                                                  plan.agg_requests));
+    if (!agg_row.has_value() &&
+        VectorizedAggregatable(plan.agg_requests) &&
+        plan.agg_provider->SupportsBatchScan(plan.agg_spec)) {
+      ODH_ASSIGN_OR_RETURN(auto batches,
+                           plan.agg_provider->ScanBatches(plan.agg_spec));
+      BatchAggregator aggregator(plan.agg_requests);
+      ColumnBatch batch;
+      while (true) {
+        ODH_ASSIGN_OR_RETURN(bool more, batches->Next(&batch));
+        if (!more) break;
+        aggregator.Accumulate(batch);
+      }
+      agg_row = aggregator.Finalize();
+    }
+    if (agg_row.has_value()) {
+      std::map<const Expr*, Datum> agg_values;
+      for (size_t i = 0; i < plan.agg_exprs.size(); ++i) {
+        agg_values[plan.agg_exprs[i]] = (*agg_row)[i];
+      }
+      Row representative(bound.total_slots, Datum::Null());
+      Row out_row;
+      for (const ExprPtr& e : bound.output) {
+        ODH_ASSIGN_OR_RETURN(Datum v,
+                             eval.Eval(e.get(), representative, &agg_values));
+        out_row.push_back(std::move(v));
+      }
+      result.rows.push_back(std::move(out_row));
+      if (bound.limit >= 0 &&
+          static_cast<int64_t>(result.rows.size()) > bound.limit) {
+        result.rows.resize(bound.limit);
+      }
+      return result;
+    }
+  }
 
   ODH_RETURN_IF_ERROR(plan.root->Open());
 

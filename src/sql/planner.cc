@@ -158,6 +158,88 @@ void CollectColumns(const Expr* expr, std::vector<std::set<int>>* cols) {
   }
 }
 
+/// True when `expr` touches columns only through aggregate functions —
+/// the condition under which an ungrouped aggregate query's outputs can
+/// be finalized without a representative row (aggregate pushdown).
+bool ColumnsOnlyInsideAggregates(const Expr* expr) {
+  switch (expr->kind()) {
+    case ExprKind::kColumnRef:
+      return false;
+    case ExprKind::kAggregate:
+    case ExprKind::kLiteral:
+      return true;
+    case ExprKind::kBinary: {
+      const auto* bin = static_cast<const BinaryExpr*>(expr);
+      return ColumnsOnlyInsideAggregates(bin->left.get()) &&
+             ColumnsOnlyInsideAggregates(bin->right.get());
+    }
+    case ExprKind::kBetween: {
+      const auto* between = static_cast<const BetweenExpr*>(expr);
+      return ColumnsOnlyInsideAggregates(between->value.get()) &&
+             ColumnsOnlyInsideAggregates(between->lower.get()) &&
+             ColumnsOnlyInsideAggregates(between->upper.get());
+    }
+    case ExprKind::kNot:
+      return ColumnsOnlyInsideAggregates(
+          static_cast<const NotExpr*>(expr)->operand.get());
+    case ExprKind::kIsNull:
+      return ColumnsOnlyInsideAggregates(
+          static_cast<const IsNullExpr*>(expr)->operand.get());
+  }
+  return false;
+}
+
+void CollectAggregates(const Expr* expr,
+                       std::vector<const AggregateExpr*>* out) {
+  switch (expr->kind()) {
+    case ExprKind::kAggregate:
+      out->push_back(static_cast<const AggregateExpr*>(expr));
+      return;
+    case ExprKind::kBinary: {
+      const auto* bin = static_cast<const BinaryExpr*>(expr);
+      CollectAggregates(bin->left.get(), out);
+      CollectAggregates(bin->right.get(), out);
+      return;
+    }
+    case ExprKind::kNot:
+      CollectAggregates(static_cast<const NotExpr*>(expr)->operand.get(),
+                        out);
+      return;
+    default:
+      return;
+  }
+}
+
+/// Maps one AggregateExpr to a provider request. Only plain column (or *)
+/// arguments are pushable; computed arguments like SUM(a+b) are not.
+bool MapAggregate(const AggregateExpr* agg, AggregateRequest* req) {
+  if (agg->star) {
+    req->op = AggregateOp::kCountStar;
+    return true;
+  }
+  const ColumnRefExpr* ref = AsColumnRef(agg->arg.get());
+  if (ref == nullptr) return false;
+  req->column = ref->column_no;
+  switch (agg->func) {
+    case AggregateFunc::kCount:
+      req->op = AggregateOp::kCount;
+      return true;
+    case AggregateFunc::kSum:
+      req->op = AggregateOp::kSum;
+      return true;
+    case AggregateFunc::kAvg:
+      req->op = AggregateOp::kAvg;
+      return true;
+    case AggregateFunc::kMin:
+      req->op = AggregateOp::kMin;
+      return true;
+    case AggregateFunc::kMax:
+      req->op = AggregateOp::kMax;
+      return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 Result<PhysicalPlan> PlanSelect(const BoundSelect& bound,
@@ -354,6 +436,47 @@ Result<PhysicalPlan> PlanSelect(const BoundSelect& bound,
   }
 
   PhysicalPlan plan;
+
+  // 4. Aggregate pushdown candidate: a single-table, ungrouped aggregate
+  // whose WHERE went entirely into the scan spec and whose outputs touch
+  // columns only through aggregates can skip row materialization — the
+  // provider may answer from per-blob summaries, or the engine from
+  // vectorized batch accumulation. The row plan under `root` stays the
+  // fallback.
+  if (num_tables == 1 && residual.empty() && bound.has_aggregates &&
+      bound.group_by.empty()) {
+    bool eligible = true;
+    for (const ExprPtr& e : bound.output) {
+      if (!ColumnsOnlyInsideAggregates(e.get())) eligible = false;
+    }
+    for (const auto& item : bound.order_by) {
+      if (item.expr != nullptr &&
+          !ColumnsOnlyInsideAggregates(item.expr.get())) {
+        eligible = false;
+      }
+    }
+    // Mirror the engine's collection order so requests align with states.
+    std::vector<const AggregateExpr*> agg_exprs;
+    for (const ExprPtr& e : bound.output) {
+      CollectAggregates(e.get(), &agg_exprs);
+    }
+    for (const auto& item : bound.order_by) {
+      if (item.expr != nullptr) CollectAggregates(item.expr.get(), &agg_exprs);
+    }
+    std::vector<AggregateRequest> requests(agg_exprs.size());
+    for (size_t i = 0; i < agg_exprs.size() && eligible; ++i) {
+      if (!MapAggregate(agg_exprs[i], &requests[i])) eligible = false;
+    }
+    if (eligible && !agg_exprs.empty()) {
+      plan.agg_provider = bound.tables[0].provider;
+      plan.agg_spec = specs[0];
+      plan.agg_requests = std::move(requests);
+      plan.agg_exprs = std::move(agg_exprs);
+      explain += "aggregate pushdown: candidate (" +
+                 std::to_string(plan.agg_requests.size()) + " aggregates)\n";
+    }
+  }
+
   std::string tree;
   root->Describe(0, &tree);
   plan.explain = explain + tree;

@@ -11,9 +11,21 @@ namespace odh::sql {
 
 /// A compiled SELECT: the operator tree plus the planner's decision log
 /// (the EXPLAIN text used by the paper's query-optimizer experiment).
+///
+/// For single-table, ungrouped aggregate queries whose WHERE is fully
+/// pushed into the scan, the planner additionally emits an aggregate
+/// pushdown candidate: `agg_requests` (aligned 1:1 with `agg_exprs`, the
+/// AggregateExpr nodes in plan order) that the engine first offers to
+/// `agg_provider` via AggregateScan, then to the vectorized batch
+/// aggregator, before falling back to the row-at-a-time loop under
+/// `root`. `agg_provider` is nullptr when the query is not a candidate.
 struct PhysicalPlan {
   PlanNodePtr root;
   std::string explain;
+  TableProvider* agg_provider = nullptr;
+  ScanSpec agg_spec;
+  std::vector<AggregateRequest> agg_requests;
+  std::vector<const class AggregateExpr*> agg_exprs;
 };
 
 /// Builds a physical plan for a bound SELECT.

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/types.h"
 #include "relational/schema.h"
 
 namespace odh::sql {
@@ -50,6 +51,62 @@ class RowCursor {
   virtual Result<bool> Next(Row* row) = 0;
 };
 
+/// One decoded ValueBlob in columnar (tag-major) form — the batch contract
+/// of the vectorized execution path. Column 0 of the table maps to `ids`,
+/// column 1 to `timestamps`, and table column `2 + t` to `tags[t]`.
+///
+/// Contract:
+///  - `timestamps.size()` is the batch row count.
+///  - `ids` is either full-size or empty; empty means every row shares
+///    `uniform_id` (the common case: one blob = one source).
+///  - Each `tags[t]` is either full-size (NaN = SQL NULL) or empty; empty
+///    means the column was not projected and reads as all-NULL. This is
+///    where the blob layout saves work: unprojected tags are never decoded.
+///  - `sel` is the selection vector produced by vectorized filtering:
+///    ascending row indexes that passed every pushed-down constraint. When
+///    `sel_all` is true the whole batch passed and `sel` is not populated.
+struct ColumnBatch {
+  SourceId uniform_id = -1;
+  std::vector<SourceId> ids;
+  std::vector<Timestamp> timestamps;
+  std::vector<std::vector<double>> tags;
+  std::vector<int32_t> sel;
+  bool sel_all = true;
+
+  size_t rows() const { return timestamps.size(); }
+  size_t selected() const { return sel_all ? rows() : sel.size(); }
+  SourceId id_at(size_t i) const { return ids.empty() ? uniform_id : ids[i]; }
+  void clear() {
+    uniform_id = -1;
+    ids.clear();
+    timestamps.clear();
+    tags.clear();
+    sel.clear();
+    sel_all = true;
+  }
+};
+
+/// Pull-based batch stream: one decoded blob (or dirty-buffer slice) per
+/// call, with constraints already applied via the selection vector.
+class BatchCursor {
+ public:
+  virtual ~BatchCursor() = default;
+  /// Produces the next batch into *batch; returns false at end of stream.
+  /// Batches may be empty after filtering (selected() == 0); callers must
+  /// keep pulling until the cursor reports end of stream.
+  virtual Result<bool> Next(ColumnBatch* batch) = 0;
+};
+
+/// Aggregate functions a provider can absorb (aggregate pushdown).
+enum class AggregateOp { kCountStar, kCount, kSum, kAvg, kMin, kMax };
+
+/// One aggregate the engine asks a provider to compute over a scan.
+/// `column` is ignored for kCountStar.
+struct AggregateRequest {
+  AggregateOp op = AggregateOp::kCountStar;
+  int column = -1;
+};
+
 /// Cost/cardinality estimates a provider reports for a prospective scan.
 /// `bytes` approximates the I/O the paper's cost model charges (expected
 /// size of the ValueBlobs / heap pages that must be accessed).
@@ -71,6 +128,31 @@ class TableProvider {
   virtual const relational::Schema& schema() const = 0;
 
   virtual Result<std::unique_ptr<RowCursor>> Scan(const ScanSpec& spec) = 0;
+
+  /// True if the provider can serve `spec` through ScanBatches. The default
+  /// provider is row-oriented.
+  virtual bool SupportsBatchScan(const ScanSpec& spec) const { return false; }
+
+  /// Columnar scan: emits one ColumnBatch per decoded blob with `spec`'s
+  /// constraints applied via the selection vector. Only valid when
+  /// SupportsBatchScan(spec) is true.
+  virtual Result<std::unique_ptr<BatchCursor>> ScanBatches(
+      const ScanSpec& spec) {
+    (void)spec;
+    return Status::Unimplemented("provider has no batch scan");
+  }
+
+  /// Aggregate pushdown: computes `requests` over the rows selected by
+  /// `spec` and returns one row of results (Datums aligned with
+  /// `requests`). Returns nullopt when the provider cannot absorb this
+  /// combination (the engine then falls back to scanning); an error only
+  /// for real failures.
+  virtual Result<std::optional<Row>> AggregateScan(
+      const ScanSpec& spec, const std::vector<AggregateRequest>& requests) {
+    (void)spec;
+    (void)requests;
+    return std::optional<Row>();
+  }
 
   virtual ScanEstimate Estimate(const ScanSpec& spec) const = 0;
 

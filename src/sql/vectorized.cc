@@ -1,0 +1,176 @@
+#include "sql/vectorized.h"
+
+#include <cmath>
+
+namespace odh::sql {
+namespace {
+
+inline bool InRange(double v, double min, double max, bool min_exclusive,
+                    bool max_exclusive) {
+  // NaN fails every comparison, so missing values drop out for free.
+  if (min_exclusive ? !(v > min) : !(v >= min)) return false;
+  if (max_exclusive ? !(v < max) : !(v <= max)) return false;
+  return true;
+}
+
+}  // namespace
+
+void FilterByRange(const std::vector<double>& column, double min, double max,
+                   bool min_exclusive, bool max_exclusive,
+                   ColumnBatch* batch) {
+  const size_t n = batch->rows();
+  if (column.size() < n) {
+    // Unprojected column: every value reads as NULL, nothing matches.
+    batch->sel.clear();
+    batch->sel_all = false;
+    return;
+  }
+  std::vector<int32_t> out;
+  if (batch->sel_all) {
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (InRange(column[i], min, max, min_exclusive, max_exclusive)) {
+        out.push_back(static_cast<int32_t>(i));
+      }
+    }
+    if (out.size() == n) return;  // Everything passed; stay sel_all.
+  } else {
+    out.reserve(batch->sel.size());
+    for (int32_t i : batch->sel) {
+      if (InRange(column[i], min, max, min_exclusive, max_exclusive)) {
+        out.push_back(i);
+      }
+    }
+  }
+  batch->sel = std::move(out);
+  batch->sel_all = false;
+}
+
+bool VectorizedAggregatable(const std::vector<AggregateRequest>& requests) {
+  for (const AggregateRequest& req : requests) {
+    switch (req.op) {
+      case AggregateOp::kCountStar:
+        break;
+      case AggregateOp::kCount:
+        if (req.column < 0) return false;
+        break;
+      default:
+        // Value aggregates only over DOUBLE tag columns.
+        if (req.column < 2) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+void BatchAggregator::Accumulate(const ColumnBatch& batch) {
+  const size_t selected = batch.selected();
+  if (selected == 0) return;
+  for (size_t r = 0; r < requests_.size(); ++r) {
+    const AggregateRequest& req = requests_[r];
+    State& st = states_[r];
+    // id/timestamp are never NULL, so COUNT over them (and COUNT(*)) is
+    // just the selected row count.
+    if (req.op == AggregateOp::kCountStar || req.column < 2) {
+      st.count += static_cast<int64_t>(selected);
+      continue;
+    }
+    const size_t tag = static_cast<size_t>(req.column - 2);
+    if (tag >= batch.tags.size() || batch.tags[tag].size() < batch.rows()) {
+      continue;  // Unprojected column: all NULL, contributes nothing.
+    }
+    const std::vector<double>& col = batch.tags[tag];
+    auto add = [&st](double v) {
+      if (std::isnan(v)) return;
+      ++st.count;
+      st.sum += v;
+      if (!st.has_value || v < st.min) st.min = v;
+      if (!st.has_value || v > st.max) st.max = v;
+      st.has_value = true;
+    };
+    if (batch.sel_all) {
+      for (size_t i = 0; i < batch.rows(); ++i) add(col[i]);
+    } else {
+      for (int32_t i : batch.sel) add(col[static_cast<size_t>(i)]);
+    }
+  }
+}
+
+Row BatchAggregator::Finalize() const {
+  Row row;
+  row.reserve(requests_.size());
+  for (size_t r = 0; r < requests_.size(); ++r) {
+    const State& st = states_[r];
+    switch (requests_[r].op) {
+      case AggregateOp::kCountStar:
+      case AggregateOp::kCount:
+        row.push_back(Datum::Int64(st.count));
+        break;
+      case AggregateOp::kSum:
+        row.push_back(st.count > 0 ? Datum::Double(st.sum) : Datum::Null());
+        break;
+      case AggregateOp::kAvg:
+        row.push_back(st.count > 0
+                          ? Datum::Double(st.sum / static_cast<double>(st.count))
+                          : Datum::Null());
+        break;
+      case AggregateOp::kMin:
+        row.push_back(st.has_value ? Datum::Double(st.min) : Datum::Null());
+        break;
+      case AggregateOp::kMax:
+        row.push_back(st.has_value ? Datum::Double(st.max) : Datum::Null());
+        break;
+    }
+  }
+  return row;
+}
+
+namespace {
+
+/// Row-at-a-time view over a batch stream (see MakeBatchRowAdapter).
+class BatchRowAdapter : public RowCursor {
+ public:
+  explicit BatchRowAdapter(std::unique_ptr<BatchCursor> batches)
+      : batches_(std::move(batches)) {}
+
+  Result<bool> Next(Row* row) override {
+    while (true) {
+      if (pos_ < batch_.selected()) {
+        const size_t i = batch_.sel_all
+                             ? pos_
+                             : static_cast<size_t>(batch_.sel[pos_]);
+        ++pos_;
+        row->clear();
+        row->reserve(2 + batch_.tags.size());
+        row->push_back(Datum::Int64(batch_.id_at(i)));
+        row->push_back(Datum::Time(batch_.timestamps[i]));
+        for (const auto& col : batch_.tags) {
+          if (col.size() <= i || std::isnan(col[i])) {
+            row->push_back(Datum::Null());
+          } else {
+            row->push_back(Datum::Double(col[i]));
+          }
+        }
+        return true;
+      }
+      // Batches may come back empty (fully filtered); keep pulling.
+      pos_ = 0;
+      ODH_ASSIGN_OR_RETURN(bool more, batches_->Next(&batch_));
+      if (!more) return false;
+    }
+  }
+
+ private:
+  std::unique_ptr<BatchCursor> batches_;
+  ColumnBatch batch_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<RowCursor> MakeBatchRowAdapter(
+    std::unique_ptr<BatchCursor> batches) {
+  return std::make_unique<BatchRowAdapter>(std::move(batches));
+}
+
+}  // namespace odh::sql

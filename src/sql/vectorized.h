@@ -1,0 +1,63 @@
+#ifndef ODH_SQL_VECTORIZED_H_
+#define ODH_SQL_VECTORIZED_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "sql/table_provider.h"
+
+namespace odh::sql {
+
+/// Vectorized range-filter kernel: intersects *batch's selection vector
+/// with the rows whose `column` value lies within [min, max] (strict on a
+/// side when the matching exclusive flag is set). NaN values — and every
+/// row, when `column` is empty (unprojected, reads as all-NULL) — never
+/// match, mirroring SQL comparison semantics.
+void FilterByRange(const std::vector<double>& column, double min, double max,
+                   bool min_exclusive, bool max_exclusive,
+                   ColumnBatch* batch);
+
+/// True when BatchAggregator can accumulate every request: COUNT(*) and
+/// COUNT(col) over any column, value aggregates (SUM/AVG/MIN/MAX) only
+/// over DOUBLE tag columns (>= 2 in the batch layout).
+bool VectorizedAggregatable(const std::vector<AggregateRequest>& requests);
+
+/// Vectorized COUNT/SUM/AVG/MIN/MAX accumulation over ColumnBatches — the
+/// engine's per-row Datum aggregation loop collapsed into array sweeps.
+/// Finalize follows the engine's SQL conventions: COUNT of nothing is 0;
+/// SUM/AVG/MIN/MAX of nothing are NULL.
+class BatchAggregator {
+ public:
+  explicit BatchAggregator(std::vector<AggregateRequest> requests)
+      : requests_(std::move(requests)), states_(requests_.size()) {}
+
+  void Accumulate(const ColumnBatch& batch);
+
+  /// One result Datum per request, in request order.
+  Row Finalize() const;
+
+ private:
+  struct State {
+    int64_t count = 0;
+    double sum = 0;
+    bool has_value = false;
+    double min = 0;
+    double max = 0;
+  };
+  std::vector<AggregateRequest> requests_;
+  std::vector<State> states_;
+};
+
+/// Adapts a BatchCursor to the row-at-a-time contract: assembles
+/// [id BIGINT, ts TIMESTAMP, <tags> DOUBLE...] rows from each batch's
+/// selection vector. NaN tag values and unprojected (empty) columns
+/// surface as SQL NULL. This keeps row-oriented plan nodes (joins,
+/// ORDER BY, expression filters) working on top of batch-only scans.
+std::unique_ptr<RowCursor> MakeBatchRowAdapter(
+    std::unique_ptr<BatchCursor> batches);
+
+}  // namespace odh::sql
+
+#endif  // ODH_SQL_VECTORIZED_H_

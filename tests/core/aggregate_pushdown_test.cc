@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "core/odh.h"
+
+namespace odh::core {
+namespace {
+
+/// 10 RTS blobs of 50 points each for source 1: one point per second
+/// (SQL timestamp literals have second granularity), temp = i
+/// (integer-valued, so double sums are FP-exact), load = 5.
+class AggregatePushdownTest : public ::testing::Test {
+ protected:
+  AggregatePushdownTest() {
+    OdhOptions options;
+    options.batch_size = 50;
+    options.sql_metadata_router = false;
+    odh_ = std::make_unique<OdhSystem>(options);
+    type_ = odh_->DefineSchemaType("m", {"temp", "load"}).value();
+    ODH_CHECK_OK(odh_->RegisterSource(1, type_, kMicrosPerSecond, true));
+    for (int i = 0; i < 500; ++i) {
+      ODH_CHECK_OK(odh_->Ingest({1, i * kMicrosPerSecond, {1.0 * i, 5.0}}));
+    }
+    ODH_CHECK_OK(odh_->FlushAll());
+  }
+
+  std::string TsLiteral(Timestamp ts) {
+    return "'" + FormatTimestamp(ts) + "'";
+  }
+
+  std::unique_ptr<OdhSystem> odh_;
+  int type_;
+};
+
+TEST_F(AggregatePushdownTest, FullyCoveredAggregatesDecodeZeroBlobs) {
+  odh_->reader()->ResetStats();
+  auto r = odh_->engine()->Execute(
+      "SELECT COUNT(*), SUM(temp), AVG(temp), MIN(temp), MAX(temp) "
+      "FROM m_v WHERE id = 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0], Datum::Int64(500));
+  EXPECT_EQ(r->rows[0][1], Datum::Double(124750.0));  // sum 0..499
+  EXPECT_EQ(r->rows[0][2], Datum::Double(249.5));
+  EXPECT_EQ(r->rows[0][3], Datum::Double(0.0));
+  EXPECT_EQ(r->rows[0][4], Datum::Double(499.0));
+  const ReadStats stats = odh_->reader()->stats();
+  EXPECT_EQ(stats.blobs_decoded, 0);
+  EXPECT_EQ(stats.blobs_skipped_by_summary, 10);
+}
+
+TEST_F(AggregatePushdownTest, BoundaryBlobsDecodeInteriorBlobsSkip) {
+  // Seconds 25..474 half-cover the first and last blob; the eight
+  // interior blobs are answered from summaries alone.
+  odh_->reader()->ResetStats();
+  auto r = odh_->engine()->Execute(
+      "SELECT COUNT(*), SUM(temp), MIN(temp), MAX(temp) FROM m_v "
+      "WHERE id = 1 AND ts BETWEEN " +
+      TsLiteral(25 * kMicrosPerSecond) + " AND " +
+      TsLiteral(474 * kMicrosPerSecond));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0], Datum::Int64(450));
+  EXPECT_EQ(r->rows[0][1], Datum::Double(112275.0));  // sum 25..474
+  EXPECT_EQ(r->rows[0][2], Datum::Double(25.0));
+  EXPECT_EQ(r->rows[0][3], Datum::Double(474.0));
+  const ReadStats stats = odh_->reader()->stats();
+  EXPECT_EQ(stats.blobs_decoded, 2);
+  EXPECT_EQ(stats.blobs_skipped_by_summary, 8);
+}
+
+TEST_F(AggregatePushdownTest, ProvableTagFiltersSkipFilteredBlobs) {
+  // temp BETWEEN 100 AND 299 exactly covers blobs 2..5 (values 100..299):
+  // those four are provable by AllMatch; the other six are pruned by
+  // MayMatch. Nothing decodes.
+  odh_->reader()->ResetStats();
+  auto r = odh_->engine()->Execute(
+      "SELECT COUNT(*), SUM(temp) FROM m_v "
+      "WHERE id = 1 AND temp BETWEEN 100 AND 299");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0], Datum::Int64(200));
+  EXPECT_EQ(r->rows[0][1], Datum::Double(39900.0));  // sum 100..299
+  const ReadStats stats = odh_->reader()->stats();
+  EXPECT_EQ(stats.blobs_decoded, 0);
+  EXPECT_EQ(stats.blobs_skipped_by_summary, 4);
+  EXPECT_EQ(stats.blobs_pruned, 6);
+}
+
+TEST_F(AggregatePushdownTest, UnprovableTagFiltersFallBackToDecode) {
+  // [110, 180] straddles blob boundaries: blobs 2 and 3 (100..199)
+  // overlap but are not fully inside, so they decode; the rest prune.
+  odh_->reader()->ResetStats();
+  auto r = odh_->engine()->Execute(
+      "SELECT COUNT(*) FROM m_v WHERE id = 1 AND temp BETWEEN 110 AND 180");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0], Datum::Int64(71));
+  const ReadStats stats = odh_->reader()->stats();
+  EXPECT_EQ(stats.blobs_decoded, 2);
+  EXPECT_EQ(stats.blobs_skipped_by_summary, 0);
+  EXPECT_EQ(stats.blobs_pruned, 8);
+}
+
+TEST_F(AggregatePushdownTest, DirtyRowsMergeIntoPushedAggregates) {
+  // Five unflushed records must be visible (dirty-read isolation) even
+  // when every on-disk blob is answered from its summary.
+  for (int i = 500; i < 505; ++i) {
+    ODH_CHECK_OK(odh_->Ingest({1, i * kMicrosPerSecond, {1.0 * i, 5.0}}));
+  }
+  odh_->reader()->ResetStats();
+  auto r = odh_->engine()->Execute(
+      "SELECT COUNT(*), MAX(temp) FROM m_v WHERE id = 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0], Datum::Int64(505));
+  EXPECT_EQ(r->rows[0][1], Datum::Double(504.0));
+  const ReadStats stats = odh_->reader()->stats();
+  EXPECT_EQ(stats.blobs_decoded, 0);
+  EXPECT_EQ(stats.blobs_skipped_by_summary, 10);
+}
+
+TEST_F(AggregatePushdownTest, PushdownOffMatchesRowAtATimeExactly) {
+  const std::string query =
+      "SELECT COUNT(*), SUM(temp), AVG(temp), MIN(temp), MAX(temp), "
+      "COUNT(load), SUM(load) FROM m_v WHERE id = 1 AND ts BETWEEN " +
+      TsLiteral(25 * kMicrosPerSecond) + " AND " +
+      TsLiteral(474 * kMicrosPerSecond);
+  auto pushed = odh_->engine()->Execute(query);
+  odh_->config()->SetScanPathOptions(/*vectorized=*/false,
+                                     /*aggregate_pushdown=*/false);
+  auto rows = odh_->engine()->Execute(query);
+  ASSERT_TRUE(pushed.ok());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(pushed->rows.size(), 1u);
+  ASSERT_EQ(rows->rows.size(), 1u);
+  for (size_t c = 0; c < rows->rows[0].size(); ++c) {
+    EXPECT_EQ(pushed->rows[0][c], rows->rows[0][c]) << "column " << c;
+  }
+}
+
+TEST_F(AggregatePushdownTest, LossyBlobsAnswerValueAggregatesFromDecode) {
+  // Satellite regression: quantized (lossy) blobs widen their zone maps
+  // and drop the exact bit, so SUM/MIN/MAX must come from decoded values
+  // — never from the pre-quantization summary, which can disagree.
+  OdhOptions options;
+  options.batch_size = 50;
+  options.sql_metadata_router = false;
+  OdhSystem lossy(options);
+  CompressionSpec spec;
+  spec.max_error = 0.5;
+  int type = lossy.DefineSchemaType("m", {"temp"}, spec).value();
+  ODH_CHECK_OK(lossy.RegisterSource(1, type, kMicrosPerSecond, true));
+  for (int i = 0; i < 500; ++i) {
+    // Fractional values so quantization genuinely moves them.
+    ODH_CHECK_OK(lossy.Ingest({1, i * kMicrosPerSecond, {0.3 + 1.0 * i}}));
+  }
+  ODH_CHECK_OK(lossy.FlushAll());
+
+  const char* query =
+      "SELECT SUM(temp), MIN(temp), MAX(temp) FROM m_v WHERE id = 1";
+  lossy.reader()->ResetStats();
+  auto pushed = lossy.engine()->Execute(query);
+  ASSERT_TRUE(pushed.ok());
+  // Value aggregates on inexact summaries: every blob decoded.
+  EXPECT_EQ(lossy.reader()->stats().blobs_skipped_by_summary, 0);
+  EXPECT_EQ(lossy.reader()->stats().blobs_decoded, 10);
+
+  lossy.config()->SetScanPathOptions(/*vectorized=*/false,
+                                     /*aggregate_pushdown=*/false);
+  auto scanned = lossy.engine()->Execute(query);
+  ASSERT_TRUE(scanned.ok());
+  for (size_t c = 0; c < scanned->rows[0].size(); ++c) {
+    EXPECT_EQ(pushed->rows[0][c], scanned->rows[0][c]) << "column " << c;
+  }
+
+  // Counts stay summary-answerable under lossy compression: codecs
+  // preserve which values are missing, only their magnitudes move.
+  lossy.config()->SetScanPathOptions(true, true);
+  lossy.reader()->ResetStats();
+  auto counts = lossy.engine()->Execute(
+      "SELECT COUNT(*), COUNT(temp) FROM m_v WHERE id = 1");
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ(counts->rows[0][0], Datum::Int64(500));
+  EXPECT_EQ(counts->rows[0][1], Datum::Int64(500));
+  EXPECT_EQ(lossy.reader()->stats().blobs_skipped_by_summary, 10);
+  EXPECT_EQ(lossy.reader()->stats().blobs_decoded, 0);
+}
+
+TEST(ScanPathParityTest, NaNHolesMatchAcrossVectorizedAndRowScans) {
+  // Filter parity satellite: rows whose tag is missing (NaN) must behave
+  // as SQL NULL on both scan paths — never matching a range predicate —
+  // and aggregates must agree across all three execution strategies.
+  OdhOptions options;
+  options.batch_size = 50;
+  options.sql_metadata_router = false;
+  OdhSystem odh(options);
+  int type = odh.DefineSchemaType("m", {"temp", "load"}).value();
+  ODH_CHECK_OK(odh.RegisterSource(1, type, kMicrosPerSecond, true));
+  constexpr double kHole = std::numeric_limits<double>::quiet_NaN();
+  for (int i = 0; i < 200; ++i) {
+    // Every third temp reading is missing; load is never projected below.
+    double temp = (i % 3 == 0) ? kHole : 1.0 * i;
+    ODH_CHECK_OK(odh.Ingest({1, i * kMicrosPerSecond, {temp, 2.0 * i}}));
+  }
+  ODH_CHECK_OK(odh.FlushAll());
+
+  const std::vector<std::string> queries = {
+      "SELECT ts, temp FROM m_v WHERE id = 1 AND temp BETWEEN 50 AND 120",
+      "SELECT COUNT(*), COUNT(temp), SUM(temp), MIN(temp), MAX(temp) "
+      "FROM m_v WHERE id = 1 AND temp >= 90",
+      "SELECT COUNT(*) FROM m_v WHERE id = 1 AND temp < 30",
+  };
+  for (const std::string& query : queries) {
+    odh.config()->SetScanPathOptions(true, true);
+    auto pushed = odh.engine()->Execute(query);
+    odh.config()->SetScanPathOptions(true, false);
+    auto vectorized = odh.engine()->Execute(query);
+    odh.config()->SetScanPathOptions(false, false);
+    auto rowwise = odh.engine()->Execute(query);
+    odh.config()->SetScanPathOptions(true, true);
+    ASSERT_TRUE(pushed.ok()) << query;
+    ASSERT_TRUE(vectorized.ok()) << query;
+    ASSERT_TRUE(rowwise.ok()) << query;
+    ASSERT_EQ(pushed->rows.size(), rowwise->rows.size()) << query;
+    ASSERT_EQ(vectorized->rows.size(), rowwise->rows.size()) << query;
+    for (size_t r = 0; r < rowwise->rows.size(); ++r) {
+      for (size_t c = 0; c < rowwise->rows[r].size(); ++c) {
+        EXPECT_EQ(pushed->rows[r][c], rowwise->rows[r][c])
+            << query << " row " << r << " col " << c;
+        EXPECT_EQ(vectorized->rows[r][c], rowwise->rows[r][c])
+            << query << " row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+TEST(AggregatePushdownMgTest, HistoricalIdQueriesNeverUseMgSummaries) {
+  // MG blobs mix sources, so a per-id historical aggregate cannot be
+  // answered from the blob-level summary; a slice aggregate can.
+  OdhOptions options;
+  options.sql_metadata_router = false;
+  OdhSystem odh(options);
+  int type = odh.DefineSchemaType("lf", {"v"}).value();
+  ODH_CHECK_OK(odh.RegisterSource(101, type, 10 * kMicrosPerSecond, false));
+  ODH_CHECK_OK(odh.RegisterSource(102, type, 10 * kMicrosPerSecond, false));
+  for (int i = 0; i < 20; ++i) {
+    ODH_CHECK_OK(odh.Ingest({101, i * 10 * kMicrosPerSecond, {1.0}}));
+    ODH_CHECK_OK(odh.Ingest({102, i * 10 * kMicrosPerSecond, {2.0}}));
+  }
+  ODH_CHECK_OK(odh.FlushAll());
+
+  odh.reader()->ResetStats();
+  auto by_id =
+      odh.engine()->Execute("SELECT COUNT(*), SUM(v) FROM lf_v WHERE id = 101");
+  ASSERT_TRUE(by_id.ok());
+  EXPECT_EQ(by_id->rows[0][0], Datum::Int64(20));
+  EXPECT_EQ(by_id->rows[0][1], Datum::Double(20.0));
+  EXPECT_EQ(odh.reader()->stats().blobs_skipped_by_summary, 0);
+  EXPECT_GT(odh.reader()->stats().blobs_decoded, 0);
+
+  odh.reader()->ResetStats();
+  auto slice = odh.engine()->Execute("SELECT COUNT(*), SUM(v) FROM lf_v");
+  ASSERT_TRUE(slice.ok());
+  EXPECT_EQ(slice->rows[0][0], Datum::Int64(40));
+  EXPECT_EQ(slice->rows[0][1], Datum::Double(60.0));
+  EXPECT_EQ(odh.reader()->stats().blobs_decoded, 0);
+  EXPECT_GT(odh.reader()->stats().blobs_skipped_by_summary, 0);
+}
+
+}  // namespace
+}  // namespace odh::core

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/coding.h"
 #include "common/logging.h"
 #include "core/odh.h"
 
@@ -52,6 +53,80 @@ TEST(ZoneMapTest, EncodeDecodeRoundTrip) {
 
 TEST(ZoneMapTest, DecodeRejectsGarbage) {
   EXPECT_FALSE(ZoneMap::Decode(Slice("\xff\xff", 2)).ok());
+}
+
+TEST(ZoneMapTest, V2RoundTripCarriesAggregates) {
+  ZoneMap map = ZoneMap::FromColumns({{1.0, 5.0, 3.0}, {2.0, kNaN, 4.0}});
+  auto decoded = ZoneMap::Decode(Slice(map.Encode()));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->has_aggregates());
+  EXPECT_TRUE(decoded->exact());
+  EXPECT_EQ(decoded->count(0), 3);
+  EXPECT_DOUBLE_EQ(decoded->sum(0), 9.0);
+  EXPECT_EQ(decoded->count(1), 2);  // NaN holes are not counted.
+  EXPECT_DOUBLE_EQ(decoded->sum(1), 6.0);
+}
+
+TEST(ZoneMapTest, V1DecodeCompatibility) {
+  // A v1 summary: varint32 tag count, then per tag a presence byte and
+  // min/max doubles — no marker, no flags, no count/sum.
+  std::string v1;
+  PutVarint32(&v1, 2);
+  v1.push_back(1);
+  PutDouble(&v1, 10.0);
+  PutDouble(&v1, 20.0);
+  v1.push_back(0);
+  auto decoded = ZoneMap::Decode(Slice(v1));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->num_tags(), 2);
+  EXPECT_DOUBLE_EQ(decoded->min(0), 10.0);
+  EXPECT_DOUBLE_EQ(decoded->max(0), 20.0);
+  EXPECT_FALSE(decoded->has_values(1));
+  // v1 carries no aggregates: pruning still works, pushdown must not.
+  EXPECT_FALSE(decoded->has_aggregates());
+  EXPECT_TRUE(decoded->MayMatch({Filter(0, 15, 25)}));
+  EXPECT_FALSE(decoded->AllMatch({Filter(0, 0, 100)}, 1));
+}
+
+TEST(ZoneMapTest, WidenClearsExactButKeepsCounts) {
+  ZoneMap map = ZoneMap::FromColumns({{10.0, 20.0}});
+  EXPECT_TRUE(map.exact());
+  map.Widen(0.5);
+  EXPECT_FALSE(map.exact());
+  // Counts survive widening (lossy codecs preserve which values are
+  // missing), so count-only pushdown can still prove AllMatch.
+  EXPECT_EQ(map.count(0), 2);
+  EXPECT_TRUE(map.AllMatch({Filter(0, 0, 100)}, 2));
+  // The widened range participates in the proof: [9.5, 20.5] now.
+  EXPECT_FALSE(map.AllMatch({Filter(0, 10, 20)}, 2));
+  auto decoded = ZoneMap::Decode(Slice(map.Encode()));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->exact());  // The bit survives the wire.
+  // A zero margin (lossless codec) must not clear exact.
+  ZoneMap lossless = ZoneMap::FromColumns({{1.0}});
+  lossless.Widen(0);
+  EXPECT_TRUE(lossless.exact());
+}
+
+TEST(ZoneMapTest, AllMatchSemantics) {
+  ZoneMap map = ZoneMap::FromColumns({{10.0, 20.0}, {1.0, kNaN}});
+  // Full containment with full counts proves every row passes.
+  EXPECT_TRUE(map.AllMatch({Filter(0, 10, 20)}, 2));
+  EXPECT_TRUE(map.AllMatch({Filter(0, 0, 100)}, 2));
+  // Partial overlap cannot prove.
+  EXPECT_FALSE(map.AllMatch({Filter(0, 15, 100)}, 2));
+  // A NaN hole on the filtered tag breaks the proof (NULL never matches).
+  EXPECT_FALSE(map.AllMatch({Filter(1, 0, 100)}, 2));
+  // Exclusive bounds: touching an exclusive endpoint disproves.
+  TagFilter exclusive = Filter(0, 10, 20);
+  exclusive.min_exclusive = true;
+  EXPECT_FALSE(map.AllMatch({exclusive}, 2));
+  exclusive.min_exclusive = false;
+  exclusive.max_exclusive = true;
+  EXPECT_FALSE(map.AllMatch({exclusive}, 2));
+  // Unknown tags stay conservative; empty filter lists are vacuous.
+  EXPECT_FALSE(map.AllMatch({Filter(9, 0, 1)}, 2));
+  EXPECT_TRUE(map.AllMatch({}, 2));
 }
 
 TEST(ZoneMapTest, MayMatchSemantics) {
@@ -106,13 +181,27 @@ TEST_F(ZoneMapSystemTest, SqlTagPredicatePrunesBlobs) {
   EXPECT_EQ(stats.blobs_pruned, 9);
 }
 
-TEST_F(ZoneMapSystemTest, UnfilteredQueryDecodesAll) {
+TEST_F(ZoneMapSystemTest, UnfilteredAggregateAnsweredFromSummaries) {
+  // With aggregate pushdown, an unconstrained COUNT is answered entirely
+  // from the per-blob summaries: zero decodes, every blob skipped.
   odh_->reader()->ResetStats();
   auto r = odh_->engine()->Execute("SELECT COUNT(*) FROM m_v WHERE id = 1");
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->rows[0][0], Datum::Int64(500));
   EXPECT_EQ(odh_->reader()->stats().blobs_pruned, 0);
+  EXPECT_EQ(odh_->reader()->stats().blobs_decoded, 0);
+  EXPECT_EQ(odh_->reader()->stats().blobs_skipped_by_summary, 10);
+
+  // The decode path (pushdown off) reads all ten blobs and agrees.
+  odh_->config()->SetScanPathOptions(/*vectorized=*/true,
+                                     /*aggregate_pushdown=*/false);
+  odh_->reader()->ResetStats();
+  auto scanned =
+      odh_->engine()->Execute("SELECT COUNT(*) FROM m_v WHERE id = 1");
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_EQ(scanned->rows[0][0], Datum::Int64(500));
   EXPECT_EQ(odh_->reader()->stats().blobs_decoded, 10);
+  EXPECT_EQ(odh_->reader()->stats().blobs_skipped_by_summary, 0);
 }
 
 TEST_F(ZoneMapSystemTest, ImpossiblePredicatePrunesEverything) {

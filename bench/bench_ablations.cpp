@@ -74,7 +74,9 @@ void AblationZoneMaps() {
       ODH_CHECK_OK(odh->engine()->Execute(sql).status());
     }
     double seconds = timer.ElapsedSeconds();
-    const core::ReadStats& stats = odh->reader()->stats();
+    // One atomic snapshot+reset: a load-then-reset pair can lose counts
+    // from scans racing in between.
+    const core::ReadStats stats = odh->reader()->SnapshotAndResetStats();
     table.AddRow({enabled ? "zone maps ON" : "zone maps OFF",
                   Fmt("%.0f", kQueries / seconds),
                   std::to_string(stats.blobs_decoded),

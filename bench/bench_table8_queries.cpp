@@ -221,7 +221,7 @@ void RunAggregateComparison(core::OdhSystem* odh, int64_t num_accounts,
         results.push_back(std::move(r->rows));
       }
       double wall = timer.ElapsedSeconds();
-      const core::ReadStats stats = odh->reader()->stats();
+      const core::ReadStats stats = odh->reader()->SnapshotAndResetStats();
 
       if (baseline.empty()) {
         baseline = std::move(results);

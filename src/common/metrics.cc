@@ -1,0 +1,108 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+namespace odh::common {
+
+void Histogram::Observe(int64_t value) {
+  if (value < 0) value = 0;
+  // Bucket index = position of the highest set bit, clamped to the top
+  // bucket (values <= 1 land in bucket 0).
+  int bucket =
+      value <= 1
+          ? 0
+          : std::min(kNumBuckets - 1,
+                     64 - std::countl_zero(static_cast<uint64_t>(value - 1)));
+  buckets_[static_cast<size_t>(bucket)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+double Histogram::Quantile(double q) const {
+  std::array<int64_t, kNumBuckets> counts;
+  int64_t total = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    counts[static_cast<size_t>(b)] =
+        buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+    total += counts[static_cast<size_t>(b)];
+  }
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    const double in_bucket = static_cast<double>(counts[static_cast<size_t>(b)]);
+    if (seen + in_bucket < target || in_bucket == 0) {
+      seen += in_bucket;
+      continue;
+    }
+    // Linear interpolation within (2^(b-1), 2^b].
+    const double lo = b == 0 ? 0 : static_cast<double>(int64_t{1} << (b - 1));
+    const double hi = static_cast<double>(int64_t{1} << b);
+    const double frac = in_bucket > 0 ? (target - seen) / in_bucket : 0;
+    return lo + frac * (hi - lo);
+  }
+  return static_cast<double>(int64_t{1} << (kNumBuckets - 1));
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::RegisterGauge(const std::string& name,
+                                    std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = std::move(fn);
+}
+
+std::vector<MetricSample> MetricsRegistry::Collect() const {
+  std::vector<MetricSample> out;
+  // Gauge callbacks sample other components and may take those components'
+  // locks, while writers inside such components resolve instruments from
+  // this registry. Copy the callbacks under mu_ but invoke them after
+  // releasing it, so the registry lock never nests around a component lock.
+  std::vector<std::pair<std::string, std::function<double()>>> gauges;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(counters_.size() + gauges_.size() + 5 * histograms_.size());
+    for (const auto& [name, counter] : counters_) {
+      out.push_back({name, "counter", static_cast<double>(counter->value())});
+    }
+    gauges.reserve(gauges_.size());
+    for (const auto& [name, fn] : gauges_) {
+      gauges.emplace_back(name, fn);
+    }
+    for (const auto& [name, hist] : histograms_) {
+      out.push_back(
+          {name + ".count", "histogram", static_cast<double>(hist->count())});
+      out.push_back(
+          {name + ".sum", "histogram", static_cast<double>(hist->sum())});
+      out.push_back({name + ".p50", "histogram", hist->Quantile(0.50)});
+      out.push_back({name + ".p95", "histogram", hist->Quantile(0.95)});
+      out.push_back({name + ".p99", "histogram", hist->Quantile(0.99)});
+    }
+  }
+  for (const auto& [name, fn] : gauges) {
+    out.push_back({name, "gauge", fn()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace odh::common

@@ -88,6 +88,11 @@ struct OdhOptions {
   /// by the time range and tag predicates are answered from the per-blob
   /// summary alone (zero decompression). Off = aggregates scan rows.
   bool enable_aggregate_pushdown = true;
+  /// Observability: wire flush/sync instruments into the components,
+  /// register the pull-gauges, and expose the odh_metrics / odh_queries /
+  /// odh_storage system tables. Off exists for the bench's overhead
+  /// ablation — production instances have no reason to disable it.
+  bool enable_metrics = true;
 };
 
 /// The ODH configuration component (paper §3): owns schema-type and

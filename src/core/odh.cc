@@ -5,6 +5,7 @@
 namespace odh::core {
 
 OdhSystem::OdhSystem(OdhOptions options) : config_(options) {
+  metrics_ = std::make_unique<common::MetricsRegistry>();
   relational::EngineProfile profile = relational::EngineProfile::Odh();
   profile.pool_pages = options.pool_pages;
   db_ = std::make_unique<relational::Database>(profile);
@@ -22,6 +23,106 @@ OdhSystem::OdhSystem(OdhOptions options) : config_(options) {
                                         writer_.get(), router_.get(),
                                         read_pool_.get());
   reorganizer_ = std::make_unique<Reorganizer>(&config_, store_.get());
+
+  // Observability wiring: push-style instruments into the hot components
+  // (flush/sync granularity), pull-gauges over everything that already
+  // counts, and the three system tables into the SQL catalog.
+  if (options.enable_metrics) {
+    writer_->SetMetrics(metrics_.get());
+    store_->SetMetrics(metrics_.get());
+    RegisterGauges();
+    metrics_table_ = std::make_unique<MetricsSystemTable>(metrics_.get());
+    queries_table_ = std::make_unique<QueriesSystemTable>(engine_.get());
+    storage_table_ =
+        std::make_unique<StorageSystemTable>(&config_, store_.get());
+    ODH_CHECK_OK(engine_->catalog()->RegisterProvider(metrics_table_.get()));
+    ODH_CHECK_OK(engine_->catalog()->RegisterProvider(queries_table_.get()));
+    ODH_CHECK_OK(engine_->catalog()->RegisterProvider(storage_table_.get()));
+  }
+}
+
+void OdhSystem::RegisterGauges() {
+  common::MetricsRegistry* m = metrics_.get();
+  storage::BufferPool* pool = db_->pool();
+  m->RegisterGauge("odh.bufferpool.hits", [pool] {
+    return static_cast<double>(pool->hit_count());
+  });
+  m->RegisterGauge("odh.bufferpool.misses", [pool] {
+    return static_cast<double>(pool->miss_count());
+  });
+  m->RegisterGauge("odh.bufferpool.evictions", [pool] {
+    return static_cast<double>(pool->eviction_count());
+  });
+  m->RegisterGauge("odh.bufferpool.io_retries", [pool] {
+    return static_cast<double>(pool->io_retry_count());
+  });
+  m->RegisterGauge("odh.bufferpool.checksum_failures", [pool] {
+    return static_cast<double>(pool->checksum_failure_count());
+  });
+  storage::SimDisk* disk = db_->disk();
+  m->RegisterGauge("odh.disk.page_reads", [disk] {
+    return static_cast<double>(disk->stats().page_reads);
+  });
+  m->RegisterGauge("odh.disk.page_writes", [disk] {
+    return static_cast<double>(disk->stats().page_writes);
+  });
+  m->RegisterGauge("odh.disk.transient_faults", [disk] {
+    return static_cast<double>(disk->stats().transient_faults);
+  });
+  OdhWriter* writer = writer_.get();
+  m->RegisterGauge("odh.writer.points_ingested", [writer] {
+    return static_cast<double>(writer->stats().points_ingested);
+  });
+  m->RegisterGauge("odh.writer.blobs_flushed", [writer] {
+    const WriterStats s = writer->stats();
+    return static_cast<double>(s.rts_blobs + s.irts_blobs + s.mg_blobs);
+  });
+  m->RegisterGauge("odh.writer.syncs", [writer] {
+    return static_cast<double>(writer->stats().syncs);
+  });
+  m->RegisterGauge("odh.writer.sync_retries", [writer] {
+    return static_cast<double>(writer->stats().sync_retries);
+  });
+  OdhReader* reader = reader_.get();
+  m->RegisterGauge("odh.reader.blobs_decoded", [reader] {
+    return static_cast<double>(reader->stats().blobs_decoded);
+  });
+  m->RegisterGauge("odh.reader.blobs_pruned", [reader] {
+    return static_cast<double>(reader->stats().blobs_pruned);
+  });
+  m->RegisterGauge("odh.reader.blobs_skipped_by_summary", [reader] {
+    return static_cast<double>(reader->stats().blobs_skipped_by_summary);
+  });
+  m->RegisterGauge("odh.reader.blob_bytes_read", [reader] {
+    return static_cast<double>(reader->stats().blob_bytes_read);
+  });
+  m->RegisterGauge("odh.reader.records_emitted", [reader] {
+    return static_cast<double>(reader->stats().records_emitted);
+  });
+  DataRouter* router = router_.get();
+  m->RegisterGauge("odh.router.lookups", [router] {
+    return static_cast<double>(router->lookups());
+  });
+  const OdhStore* store = store_.get();
+  m->RegisterGauge("odh.store.blobs_examined", [store] {
+    return static_cast<double>(store->blobs_examined());
+  });
+  m->RegisterGauge("odh.store.blobs_discarded", [store] {
+    return static_cast<double>(store->blobs_discarded());
+  });
+  m->RegisterGauge("odh.wal.records_synced", [store] {
+    const Wal* wal = store->wal();
+    return wal == nullptr ? 0.0
+                          : static_cast<double>(wal->records_synced());
+  });
+  m->RegisterGauge("odh.wal.synced_bytes", [store] {
+    const Wal* wal = store->wal();
+    return wal == nullptr ? 0.0 : static_cast<double>(wal->synced_bytes());
+  });
+  m->RegisterGauge("odh.wal.io_retries", [store] {
+    const Wal* wal = store->wal();
+    return wal == nullptr ? 0.0 : static_cast<double>(wal->io_retries());
+  });
 }
 
 Result<int> OdhSystem::DefineSchemaType(const std::string& name,

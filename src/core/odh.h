@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "core/config.h"
 #include "core/cost_model.h"
@@ -12,6 +13,7 @@
 #include "core/reorganizer.h"
 #include "core/router.h"
 #include "core/store.h"
+#include "core/system_tables.h"
 #include "core/virtual_table.h"
 #include "core/writer.h"
 #include "sql/engine.h"
@@ -87,6 +89,9 @@ class OdhSystem {
   OdhReader* reader() { return reader_.get(); }
   DataRouter* router() { return router_.get(); }
   OdhCostModel* cost_model() { return cost_model_.get(); }
+  /// The instance's metrics registry, also queryable as the `odh_metrics`
+  /// system table (with `odh_queries` and `odh_storage` alongside it).
+  common::MetricsRegistry* metrics() { return metrics_.get(); }
 
   /// Total bytes stored (heap + index + metadata pages).
   uint64_t storage_bytes() const { return db_->TotalBytesStored(); }
@@ -95,6 +100,13 @@ class OdhSystem {
   void ResetIoStats() { db_->disk()->ResetStats(); }
 
  private:
+  /// Registers pull-gauges over the components' existing atomic counters
+  /// (buffer pool, disk, WAL, reader, writer, router, store) — zero added
+  /// cost on the hot paths; the registry samples them at Collect time.
+  void RegisterGauges();
+
+  /// First member: instruments must outlive the components wired to them.
+  std::unique_ptr<common::MetricsRegistry> metrics_;
   std::unique_ptr<relational::Database> db_;
   /// Decode workers for the read path; created only when
   /// options.read_parallelism > 1 and shared by every cursor.
@@ -108,6 +120,9 @@ class OdhSystem {
   std::unique_ptr<OdhReader> reader_;
   std::unique_ptr<Reorganizer> reorganizer_;
   std::vector<std::unique_ptr<OdhVirtualTable>> virtual_tables_;
+  std::unique_ptr<MetricsSystemTable> metrics_table_;
+  std::unique_ptr<QueriesSystemTable> queries_table_;
+  std::unique_ptr<StorageSystemTable> storage_table_;
 };
 
 }  // namespace odh::core

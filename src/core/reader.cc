@@ -38,7 +38,8 @@ class OdhScanCursorImpl : public RecordCursor, public RecordBatchCursor {
   OdhScanCursorImpl(OdhReader* reader, int schema_type, SourceId id,
                     Timestamp lo, Timestamp hi, std::vector<int> wanted_tags,
                     std::vector<TagFilter> tag_filters, int num_tags,
-                    CompressionSpec spec)
+                    CompressionSpec spec,
+                    common::ScanCounters* counters = nullptr)
       : reader_(reader),
         schema_type_(schema_type),
         id_(id),
@@ -47,7 +48,8 @@ class OdhScanCursorImpl : public RecordCursor, public RecordBatchCursor {
         wanted_tags_(std::move(wanted_tags)),
         tag_filters_(std::move(tag_filters)),
         num_tags_(num_tags),
-        codec_(spec) {}
+        codec_(spec),
+        counters_(counters) {}
 
   Status InitHistorical(const RouteDecision& route) {
     if (route.scan_rts) {
@@ -119,6 +121,9 @@ class OdhScanCursorImpl : public RecordCursor, public RecordBatchCursor {
           }
         }
         reader_->records_emitted_.fetch_add(1, std::memory_order_relaxed);
+        if (counters_ != nullptr) {
+          counters_->rows_scanned.fetch_add(1, std::memory_order_relaxed);
+        }
         return true;
       }
       row_pos_ = 0;
@@ -133,6 +138,11 @@ class OdhScanCursorImpl : public RecordCursor, public RecordBatchCursor {
     if (more) {
       reader_->records_emitted_.fetch_add(
           static_cast<int64_t>(batch->rows()), std::memory_order_relaxed);
+      if (counters_ != nullptr) {
+        counters_->batches.fetch_add(1, std::memory_order_relaxed);
+        counters_->rows_scanned.fetch_add(
+            static_cast<int64_t>(batch->rows()), std::memory_order_relaxed);
+      }
     }
     return more;
   }
@@ -229,12 +239,21 @@ class OdhScanCursorImpl : public RecordCursor, public RecordBatchCursor {
   Status DecodeBlobToBatch(const QueuedBlob& blob, RecordBatch* batch) {
     if (Prunable(blob.record)) {
       reader_->blobs_pruned_.fetch_add(1, std::memory_order_relaxed);
+      if (counters_ != nullptr) {
+        counters_->blobs_pruned.fetch_add(1, std::memory_order_relaxed);
+      }
       return Status::OK();
     }
     reader_->blobs_decoded_.fetch_add(1, std::memory_order_relaxed);
     reader_->blob_bytes_read_.fetch_add(
         static_cast<int64_t>(blob.record.blob.size()),
         std::memory_order_relaxed);
+    if (counters_ != nullptr) {
+      counters_->blobs_decoded.fetch_add(1, std::memory_order_relaxed);
+      counters_->blob_bytes_read.fetch_add(
+          static_cast<int64_t>(blob.record.blob.size()),
+          std::memory_order_relaxed);
+    }
     if (blob.kind == BlobKind::kMg) {
       std::vector<OperationalRecord> records;
       ODH_RETURN_IF_ERROR(codec_.DecodeMg(Slice(blob.record.blob),
@@ -314,6 +333,7 @@ class OdhScanCursorImpl : public RecordCursor, public RecordBatchCursor {
   std::vector<TagFilter> tag_filters_;
   int num_tags_;
   ValueBlobCodec codec_;
+  common::ScanCounters* counters_;  // Per-query profile; may be null.
 
   std::deque<QueuedBlob> queued_;
   /// Parallel-decode results, aligned slots in queue order.
@@ -442,14 +462,14 @@ class AggregateAccumulator {
 Result<std::unique_ptr<RecordCursor>> OdhReader::OpenHistorical(
     int schema_type, SourceId id, Timestamp lo, Timestamp hi,
     const std::vector<int>& wanted_tags,
-    std::vector<TagFilter> tag_filters) {
+    std::vector<TagFilter> tag_filters, common::ScanCounters* counters) {
   ODH_ASSIGN_OR_RETURN(const SchemaType* type,
                        config_->GetSchemaType(schema_type));
   ODH_ASSIGN_OR_RETURN(RouteDecision route,
                        router_->RouteHistorical(schema_type, id));
   auto cursor = std::make_unique<OdhScanCursorImpl>(
       this, schema_type, id, lo, hi, wanted_tags, std::move(tag_filters),
-      static_cast<int>(type->tag_names.size()), type->compression);
+      static_cast<int>(type->tag_names.size()), type->compression, counters);
   ODH_RETURN_IF_ERROR(cursor->InitHistorical(route));
   return std::unique_ptr<RecordCursor>(std::move(cursor));
 }
@@ -457,7 +477,7 @@ Result<std::unique_ptr<RecordCursor>> OdhReader::OpenHistorical(
 Result<std::unique_ptr<RecordCursor>> OdhReader::OpenSlice(
     int schema_type, Timestamp lo, Timestamp hi,
     const std::vector<int>& wanted_tags,
-    std::vector<TagFilter> tag_filters) {
+    std::vector<TagFilter> tag_filters, common::ScanCounters* counters) {
   ODH_ASSIGN_OR_RETURN(const SchemaType* type,
                        config_->GetSchemaType(schema_type));
   ODH_ASSIGN_OR_RETURN(RouteDecision route,
@@ -465,7 +485,7 @@ Result<std::unique_ptr<RecordCursor>> OdhReader::OpenSlice(
   auto cursor = std::make_unique<OdhScanCursorImpl>(
       this, schema_type, /*id=*/-1, lo, hi, wanted_tags,
       std::move(tag_filters),
-      static_cast<int>(type->tag_names.size()), type->compression);
+      static_cast<int>(type->tag_names.size()), type->compression, counters);
   ODH_RETURN_IF_ERROR(cursor->InitSlice(route));
   return std::unique_ptr<RecordCursor>(std::move(cursor));
 }
@@ -473,14 +493,14 @@ Result<std::unique_ptr<RecordCursor>> OdhReader::OpenSlice(
 Result<std::unique_ptr<RecordBatchCursor>> OdhReader::OpenHistoricalBatches(
     int schema_type, SourceId id, Timestamp lo, Timestamp hi,
     const std::vector<int>& wanted_tags,
-    std::vector<TagFilter> tag_filters) {
+    std::vector<TagFilter> tag_filters, common::ScanCounters* counters) {
   ODH_ASSIGN_OR_RETURN(const SchemaType* type,
                        config_->GetSchemaType(schema_type));
   ODH_ASSIGN_OR_RETURN(RouteDecision route,
                        router_->RouteHistorical(schema_type, id));
   auto cursor = std::make_unique<OdhScanCursorImpl>(
       this, schema_type, id, lo, hi, wanted_tags, std::move(tag_filters),
-      static_cast<int>(type->tag_names.size()), type->compression);
+      static_cast<int>(type->tag_names.size()), type->compression, counters);
   ODH_RETURN_IF_ERROR(cursor->InitHistorical(route));
   return std::unique_ptr<RecordBatchCursor>(std::move(cursor));
 }
@@ -488,7 +508,7 @@ Result<std::unique_ptr<RecordBatchCursor>> OdhReader::OpenHistoricalBatches(
 Result<std::unique_ptr<RecordBatchCursor>> OdhReader::OpenSliceBatches(
     int schema_type, Timestamp lo, Timestamp hi,
     const std::vector<int>& wanted_tags,
-    std::vector<TagFilter> tag_filters) {
+    std::vector<TagFilter> tag_filters, common::ScanCounters* counters) {
   ODH_ASSIGN_OR_RETURN(const SchemaType* type,
                        config_->GetSchemaType(schema_type));
   ODH_ASSIGN_OR_RETURN(RouteDecision route,
@@ -496,7 +516,7 @@ Result<std::unique_ptr<RecordBatchCursor>> OdhReader::OpenSliceBatches(
   auto cursor = std::make_unique<OdhScanCursorImpl>(
       this, schema_type, /*id=*/-1, lo, hi, wanted_tags,
       std::move(tag_filters),
-      static_cast<int>(type->tag_names.size()), type->compression);
+      static_cast<int>(type->tag_names.size()), type->compression, counters);
   ODH_RETURN_IF_ERROR(cursor->InitSlice(route));
   return std::unique_ptr<RecordBatchCursor>(std::move(cursor));
 }
@@ -504,7 +524,8 @@ Result<std::unique_ptr<RecordBatchCursor>> OdhReader::OpenSliceBatches(
 Result<AggregateResult> OdhReader::Aggregate(
     int schema_type, SourceId id, Timestamp lo, Timestamp hi,
     const std::vector<TagFilter>& tag_filters,
-    const std::vector<int>& agg_tags, bool need_values) {
+    const std::vector<int>& agg_tags, bool need_values,
+    common::ScanCounters* counters) {
   ODH_ASSIGN_OR_RETURN(const SchemaType* type,
                        config_->GetSchemaType(schema_type));
   const int num_tags = static_cast<int>(type->tag_names.size());
@@ -575,6 +596,9 @@ Result<AggregateResult> OdhReader::Aggregate(
     if (map.has_value() && !tag_filters.empty() &&
         !map->MayMatch(tag_filters)) {
       blobs_pruned_.fetch_add(1, std::memory_order_relaxed);
+      if (counters != nullptr) {
+        counters->blobs_pruned.fetch_add(1, std::memory_order_relaxed);
+      }
       continue;
     }
     // Summary-only answer: the blob must lie entirely inside the time
@@ -598,12 +622,21 @@ Result<AggregateResult> OdhReader::Aggregate(
         map->AllMatch(tag_filters, rec.n)) {
       acc.AddSummary(*map, rec.n);
       blobs_skipped_by_summary_.fetch_add(1, std::memory_order_relaxed);
+      if (counters != nullptr) {
+        counters->blobs_skipped_by_summary.fetch_add(
+            1, std::memory_order_relaxed);
+      }
       continue;
     }
     // Fallback: decode and scan the boundary / unprovable blob.
     blobs_decoded_.fetch_add(1, std::memory_order_relaxed);
     blob_bytes_read_.fetch_add(static_cast<int64_t>(rec.blob.size()),
                                std::memory_order_relaxed);
+    if (counters != nullptr) {
+      counters->blobs_decoded.fetch_add(1, std::memory_order_relaxed);
+      counters->blob_bytes_read.fetch_add(
+          static_cast<int64_t>(rec.blob.size()), std::memory_order_relaxed);
+    }
     if (blob.kind == BlobKind::kMg) {
       std::vector<OperationalRecord> records;
       ODH_RETURN_IF_ERROR(codec.DecodeMg(Slice(rec.blob), rec.begin,
@@ -612,6 +645,9 @@ Result<AggregateResult> OdhReader::Aggregate(
         if (r.ts < lo || r.ts > hi) continue;
         if (id >= 0 && r.id != id) continue;
         records_emitted_.fetch_add(1, std::memory_order_relaxed);
+        if (counters != nullptr) {
+          counters->rows_scanned.fetch_add(1, std::memory_order_relaxed);
+        }
         acc.AddRow(r.tags);
       }
       continue;
@@ -626,8 +662,11 @@ Result<AggregateResult> OdhReader::Aggregate(
                                            rec.begin, decode_tags, num_tags,
                                            &series));
     }
-    records_emitted_.fetch_add(acc.AddColumns(series, lo, hi),
-                               std::memory_order_relaxed);
+    const int64_t in_range = acc.AddColumns(series, lo, hi);
+    records_emitted_.fetch_add(in_range, std::memory_order_relaxed);
+    if (counters != nullptr) {
+      counters->rows_scanned.fetch_add(in_range, std::memory_order_relaxed);
+    }
   }
 
   // Unflushed writer buffers (dirty-read isolation): row-format, already

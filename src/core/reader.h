@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "core/router.h"
 #include "core/store.h"
@@ -108,10 +109,13 @@ class OdhReader {
   /// Historical query: all points of `id` in [lo, hi]. `tag_filters`
   /// (optional) lets the reader prune whole blobs via their zone maps; the
   /// caller still re-checks row-level predicates.
+  /// `counters` (optional, must outlive the cursor) receives per-scan
+  /// profile counts in addition to the reader-global atomics.
   Result<std::unique_ptr<RecordCursor>> OpenHistorical(
       int schema_type, SourceId id, Timestamp lo, Timestamp hi,
       const std::vector<int>& wanted_tags,
-      std::vector<TagFilter> tag_filters = {});
+      std::vector<TagFilter> tag_filters = {},
+      common::ScanCounters* counters = nullptr);
 
   /// Slice query: all points of every source of the type in [lo, hi].
   /// Slice scans stream table iterators and stay sequential regardless of
@@ -119,7 +123,8 @@ class OdhReader {
   Result<std::unique_ptr<RecordCursor>> OpenSlice(
       int schema_type, Timestamp lo, Timestamp hi,
       const std::vector<int>& wanted_tags,
-      std::vector<TagFilter> tag_filters = {});
+      std::vector<TagFilter> tag_filters = {},
+      common::ScanCounters* counters = nullptr);
 
   /// Columnar variants of the scans above: one RecordBatch per decoded
   /// blob, no per-record materialization. Same routing, pruning, parallel
@@ -127,11 +132,13 @@ class OdhReader {
   Result<std::unique_ptr<RecordBatchCursor>> OpenHistoricalBatches(
       int schema_type, SourceId id, Timestamp lo, Timestamp hi,
       const std::vector<int>& wanted_tags,
-      std::vector<TagFilter> tag_filters = {});
+      std::vector<TagFilter> tag_filters = {},
+      common::ScanCounters* counters = nullptr);
   Result<std::unique_ptr<RecordBatchCursor>> OpenSliceBatches(
       int schema_type, Timestamp lo, Timestamp hi,
       const std::vector<int>& wanted_tags,
-      std::vector<TagFilter> tag_filters = {});
+      std::vector<TagFilter> tag_filters = {},
+      common::ScanCounters* counters = nullptr);
 
   /// Aggregate pushdown: COUNT(*) plus per-tag COUNT/SUM/MIN/MAX over the
   /// rows of [lo, hi] (all sources when `id` < 0) that pass every
@@ -148,7 +155,8 @@ class OdhReader {
                                     Timestamp lo, Timestamp hi,
                                     const std::vector<TagFilter>& tag_filters,
                                     const std::vector<int>& agg_tags,
-                                    bool need_values);
+                                    bool need_values,
+                                    common::ScanCounters* counters = nullptr);
 
   /// Cumulative stats across all cursors opened from this reader
   /// (snapshot of the atomic counters).
@@ -162,13 +170,23 @@ class OdhReader {
     s.records_emitted = records_emitted_.load(std::memory_order_relaxed);
     return s;
   }
-  void ResetStats() {
-    blobs_decoded_.store(0, std::memory_order_relaxed);
-    blobs_pruned_.store(0, std::memory_order_relaxed);
-    blobs_skipped_by_summary_.store(0, std::memory_order_relaxed);
-    blob_bytes_read_.store(0, std::memory_order_relaxed);
-    records_emitted_.store(0, std::memory_order_relaxed);
+  /// Atomically returns the counters accumulated since the last reset and
+  /// zeroes them in the same operation. Increments that race the snapshot
+  /// land in exactly one epoch — a `stats()` load followed by `ResetStats()`
+  /// would lose them, so benches that subtract across a reset use this.
+  ReadStats SnapshotAndResetStats() {
+    ReadStats s;
+    s.blobs_decoded = blobs_decoded_.exchange(0, std::memory_order_relaxed);
+    s.blobs_pruned = blobs_pruned_.exchange(0, std::memory_order_relaxed);
+    s.blobs_skipped_by_summary =
+        blobs_skipped_by_summary_.exchange(0, std::memory_order_relaxed);
+    s.blob_bytes_read =
+        blob_bytes_read_.exchange(0, std::memory_order_relaxed);
+    s.records_emitted =
+        records_emitted_.exchange(0, std::memory_order_relaxed);
+    return s;
   }
+  void ResetStats() { SnapshotAndResetStats(); }
 
   common::ThreadPool* pool() const { return pool_; }
 

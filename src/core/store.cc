@@ -103,6 +103,8 @@ Status OdhStore::LogPut(WalRecord::Kind kind, int schema_type,
                         const Slice& zone_map) {
   if (wal_ == nullptr) {
     ODH_ASSIGN_OR_RETURN(wal_, Wal::Create(db_->disk(), kWalFileName));
+    wal_->SetInstruments(wal_sync_hist_, wal_group_commits_,
+                         wal_piggybacked_);
   }
   std::string payload;
   EncodeWalPayload(kind, schema_type, id_or_group, begin, end, interval, n,
@@ -165,7 +167,9 @@ namespace {
 Result<std::vector<BlobRecord>> ScanSeries(relational::Table* table,
                                            const ContainerStats& stats,
                                            SourceId id, Timestamp lo,
-                                           Timestamp hi) {
+                                           Timestamp hi,
+                                           std::atomic<int64_t>* examined,
+                                           std::atomic<int64_t>* discarded) {
   std::vector<BlobRecord> out;
   // Partition elimination: only blobs with begin_ts in
   // [lo - max_span, hi] can overlap [lo, hi].
@@ -187,7 +191,12 @@ Result<std::vector<BlobRecord>> ScanSeries(relational::Table* table,
     rec.blob = row[5].string_value();
     rec.zone_map = row[6].string_value();
     rec.rid = it.rid();
-    if (rec.end >= lo) out.push_back(std::move(rec));
+    examined->fetch_add(1, std::memory_order_relaxed);
+    if (rec.end >= lo) {
+      out.push_back(std::move(rec));
+    } else {
+      discarded->fetch_add(1, std::memory_order_relaxed);
+    }
     ODH_RETURN_IF_ERROR(it.Next());
   }
   return out;
@@ -200,7 +209,8 @@ Result<std::vector<BlobRecord>> OdhStore::GetRts(int schema_type,
                                                  Timestamp hi) {
   std::lock_guard<std::mutex> lock(mu_);
   ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
-  return ScanSeries(container->rts, container->rts_stats, id, lo, hi);
+  return ScanSeries(container->rts, container->rts_stats, id, lo, hi,
+                    &blobs_examined_, &blobs_discarded_);
 }
 
 Result<std::vector<BlobRecord>> OdhStore::GetIrts(int schema_type,
@@ -208,7 +218,8 @@ Result<std::vector<BlobRecord>> OdhStore::GetIrts(int schema_type,
                                                   Timestamp hi) {
   std::lock_guard<std::mutex> lock(mu_);
   ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
-  return ScanSeries(container->irts, container->irts_stats, id, lo, hi);
+  return ScanSeries(container->irts, container->irts_stats, id, lo, hi,
+                    &blobs_examined_, &blobs_discarded_);
 }
 
 Result<std::vector<BlobRecord>> OdhStore::GetMg(int schema_type,
@@ -235,8 +246,11 @@ Result<std::vector<BlobRecord>> OdhStore::GetMg(int schema_type,
     rec.blob = row[4].string_value();
     rec.zone_map = row[5].string_value();
     rec.rid = it.rid();
+    blobs_examined_.fetch_add(1, std::memory_order_relaxed);
     if (rec.end >= lo && (group < 0 || rec.group == group)) {
       out.push_back(std::move(rec));
+    } else {
+      blobs_discarded_.fetch_add(1, std::memory_order_relaxed);
     }
     ODH_RETURN_IF_ERROR(it.Next());
   }

@@ -1,12 +1,14 @@
 #ifndef ODH_CORE_STORE_H_
 #define ODH_CORE_STORE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/config.h"
 #include "core/wal.h"
 #include "relational/database.h"
@@ -154,6 +156,41 @@ class OdhStore {
     return wal_.get();
   }
 
+  /// Wires WAL group-commit instruments into `metrics` — immediately when
+  /// the WAL already exists, otherwise at its lazy creation. Instruments
+  /// are resolved from the registry BEFORE taking mu_: registry gauges
+  /// sample this store (registry lock -> store lock), so the store must
+  /// never acquire the registry lock while holding mu_.
+  void SetMetrics(common::MetricsRegistry* metrics) {
+    common::Histogram* sync_hist = nullptr;
+    common::Counter* group_commits = nullptr;
+    common::Counter* piggybacked = nullptr;
+    if (metrics != nullptr) {
+      sync_hist = metrics->GetHistogram("odh.wal.sync_micros");
+      group_commits = metrics->GetCounter("odh.wal.group_commits");
+      piggybacked = metrics->GetCounter("odh.wal.piggybacked");
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    wal_sync_hist_ = sync_hist;
+    wal_group_commits_ = group_commits;
+    wal_piggybacked_ = piggybacked;
+    if (wal_ != nullptr) {
+      wal_->SetInstruments(sync_hist, group_commits, piggybacked);
+    }
+  }
+
+  /// Partition-elimination effectiveness across all Get* scans: candidate
+  /// blobs the widened index range produced, and how many of those the
+  /// exact overlap re-check (end >= lo, MG group match) then discarded.
+  /// Blobs outside the index range are never touched at all — that saving
+  /// is the difference against the container's blob_count.
+  int64_t blobs_examined() const {
+    return blobs_examined_.load(std::memory_order_relaxed);
+  }
+  int64_t blobs_discarded() const {
+    return blobs_discarded_.load(std::memory_order_relaxed);
+  }
+
   /// Direct access to the container tables for streaming full scans (slice
   /// queries over per-source structures have no index to use). Internal to
   /// the core module.
@@ -194,6 +231,13 @@ class OdhStore {
   mutable std::mutex mu_;
   std::map<int, Container> containers_;
   std::unique_ptr<Wal> wal_;
+  /// Pre-resolved WAL instruments (guarded by mu_), handed to the Wal at
+  /// its lazy creation without touching the registry.
+  common::Histogram* wal_sync_hist_ = nullptr;
+  common::Counter* wal_group_commits_ = nullptr;
+  common::Counter* wal_piggybacked_ = nullptr;
+  mutable std::atomic<int64_t> blobs_examined_{0};
+  mutable std::atomic<int64_t> blobs_discarded_{0};
 };
 
 }  // namespace odh::core

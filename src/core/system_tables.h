@@ -1,0 +1,89 @@
+#ifndef ODH_CORE_SYSTEM_TABLES_H_
+#define ODH_CORE_SYSTEM_TABLES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/config.h"
+#include "core/store.h"
+#include "sql/engine.h"
+#include "sql/table_provider.h"
+
+namespace odh::core {
+
+/// Read-only system tables, dog-fooded through the same TableProvider
+/// interface (the VTI analogue) as the operational virtual tables — the
+/// historian's observability is just more tables to SELECT from:
+///
+///   odh_metrics  (name, kind, value)          — registry snapshot
+///   odh_queries  (statement, path, ...)       — recent query profiles
+///   odh_storage  (schema_type, container, ..) — per-partition blob stats
+///
+/// Each Scan materializes a consistent snapshot up front (registry collect,
+/// query-ring copy, stats copy under the store mutex), so cursors never
+/// hold locks while the engine drains them. All three are safe to query
+/// while ingestion and native scans run on other threads.
+
+/// `odh_metrics`: one row per exported sample. Histograms appear expanded
+/// (name.count / name.sum / name.p50 / name.p95 / name.p99).
+class MetricsSystemTable : public sql::TableProvider {
+ public:
+  explicit MetricsSystemTable(const common::MetricsRegistry* registry);
+
+  const std::string& name() const override { return name_; }
+  const relational::Schema& schema() const override { return schema_; }
+  Result<std::unique_ptr<sql::RowCursor>> Scan(
+      const sql::ScanSpec& spec) override;
+  sql::ScanEstimate Estimate(const sql::ScanSpec& spec) const override;
+  bool SupportsPointLookup(int column) const override { return false; }
+
+ private:
+  std::string name_ = "odh_metrics";
+  const common::MetricsRegistry* registry_;
+  relational::Schema schema_;
+};
+
+/// `odh_queries`: the engine's recent-statement ring, oldest first.
+class QueriesSystemTable : public sql::TableProvider {
+ public:
+  explicit QueriesSystemTable(const sql::SqlEngine* engine);
+
+  const std::string& name() const override { return name_; }
+  const relational::Schema& schema() const override { return schema_; }
+  Result<std::unique_ptr<sql::RowCursor>> Scan(
+      const sql::ScanSpec& spec) override;
+  sql::ScanEstimate Estimate(const sql::ScanSpec& spec) const override;
+  bool SupportsPointLookup(int column) const override { return false; }
+
+ private:
+  std::string name_ = "odh_queries";
+  const sql::SqlEngine* engine_;
+  relational::Schema schema_;
+};
+
+/// `odh_storage`: one row per (schema type, container) partition with blob
+/// counts, bytes, and the compression ratio against the raw row-format
+/// size (8 bytes per timestamp and per tag value).
+class StorageSystemTable : public sql::TableProvider {
+ public:
+  StorageSystemTable(const ConfigComponent* config, const OdhStore* store);
+
+  const std::string& name() const override { return name_; }
+  const relational::Schema& schema() const override { return schema_; }
+  Result<std::unique_ptr<sql::RowCursor>> Scan(
+      const sql::ScanSpec& spec) override;
+  sql::ScanEstimate Estimate(const sql::ScanSpec& spec) const override;
+  bool SupportsPointLookup(int column) const override { return false; }
+
+ private:
+  std::string name_ = "odh_storage";
+  const ConfigComponent* config_;
+  const OdhStore* store_;
+  relational::Schema schema_;
+};
+
+}  // namespace odh::core
+
+#endif  // ODH_CORE_SYSTEM_TABLES_H_

@@ -81,6 +81,19 @@ class VirtualTableBatchCursor : public sql::BatchCursor {
   int num_tags_;
 };
 
+/// A SQL predicate may name a source id the historian has never seen;
+/// that matches no rows rather than being an error, so unknown-id routes
+/// degrade to empty cursors on every scan path.
+class EmptyRowCursor : public sql::RowCursor {
+ public:
+  Result<bool> Next(Row*) override { return false; }
+};
+
+class EmptyBatchCursor : public sql::BatchCursor {
+ public:
+  Result<bool> Next(sql::ColumnBatch*) override { return false; }
+};
+
 }  // namespace
 
 OdhVirtualTable::OdhVirtualTable(std::string name, int schema_type,
@@ -200,14 +213,20 @@ Result<std::unique_ptr<sql::RowCursor>> OdhVirtualTable::Scan(
   Pushdown push = ExtractPushdown(spec);
   std::unique_ptr<RecordCursor> cursor;
   if (push.id >= 0) {
-    ODH_ASSIGN_OR_RETURN(
-        cursor, reader_->OpenHistorical(schema_type_, push.id, push.lo,
-                                        push.hi, push.wanted_tags,
-                                        push.tag_filters));
+    auto opened = reader_->OpenHistorical(schema_type_, push.id, push.lo,
+                                          push.hi, push.wanted_tags,
+                                          push.tag_filters, spec.counters);
+    if (!opened.ok() && opened.status().IsNotFound()) {
+      return std::unique_ptr<sql::RowCursor>(
+          std::make_unique<EmptyRowCursor>());
+    }
+    ODH_RETURN_IF_ERROR(opened.status());
+    cursor = std::move(*opened);
   } else {
     ODH_ASSIGN_OR_RETURN(
         cursor, reader_->OpenSlice(schema_type_, push.lo, push.hi,
-                                   push.wanted_tags, push.tag_filters));
+                                   push.wanted_tags, push.tag_filters,
+                                   spec.counters));
   }
   return std::unique_ptr<sql::RowCursor>(std::make_unique<VirtualTableCursor>(
       std::move(cursor), spec, num_tags_));
@@ -227,16 +246,22 @@ Result<std::unique_ptr<sql::BatchCursor>> OdhVirtualTable::ScanBatches(
   }
   std::unique_ptr<RecordBatchCursor> cursor;
   if (push.id >= 0) {
-    ODH_ASSIGN_OR_RETURN(
-        cursor, reader_->OpenHistoricalBatches(schema_type_, push.id,
-                                               push.lo, push.hi,
-                                               push.wanted_tags,
-                                               push.tag_filters));
+    auto opened = reader_->OpenHistoricalBatches(schema_type_, push.id,
+                                                 push.lo, push.hi,
+                                                 push.wanted_tags,
+                                                 push.tag_filters,
+                                                 spec.counters);
+    if (!opened.ok() && opened.status().IsNotFound()) {
+      return std::unique_ptr<sql::BatchCursor>(
+          std::make_unique<EmptyBatchCursor>());
+    }
+    ODH_RETURN_IF_ERROR(opened.status());
+    cursor = std::move(*opened);
   } else {
     ODH_ASSIGN_OR_RETURN(
         cursor, reader_->OpenSliceBatches(schema_type_, push.lo, push.hi,
                                           push.wanted_tags,
-                                          push.tag_filters));
+                                          push.tag_filters, spec.counters));
   }
   return std::unique_ptr<sql::BatchCursor>(
       std::make_unique<VirtualTableBatchCursor>(
@@ -277,10 +302,19 @@ Result<std::optional<Row>> OdhVirtualTable::AggregateScan(
     }
     request_slot[r] = slot;
   }
-  ODH_ASSIGN_OR_RETURN(
-      AggregateResult agg,
-      reader_->Aggregate(schema_type_, push.id, push.lo, push.hi,
-                         push.tag_filters, agg_tags, need_values));
+  auto computed = reader_->Aggregate(schema_type_, push.id, push.lo, push.hi,
+                                     push.tag_filters, agg_tags, need_values,
+                                     spec.counters);
+  AggregateResult agg;
+  if (computed.ok()) {
+    agg = std::move(*computed);
+  } else if (computed.status().IsNotFound()) {
+    // Unknown id: zero matching rows, so every tag aggregate is empty and
+    // the finalization below yields COUNT 0 / NULL.
+    agg.tags.resize(agg_tags.size());
+  } else {
+    return computed.status();
+  }
   Row row;
   row.reserve(requests.size());
   for (size_t r = 0; r < requests.size(); ++r) {

@@ -6,6 +6,7 @@
 
 #include "common/coding.h"
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "storage/checksum.h"
 
 namespace odh::core {
@@ -122,12 +123,15 @@ Status Wal::Sync() {
   // concurrent leader's batch covers it, piggyback on that sync; otherwise
   // become the leader once the active one (if any) finishes.
   const uint64_t target = records_appended_.load(std::memory_order_relaxed);
+  bool waited = false;
   for (;;) {
     if (records_synced_.load(std::memory_order_relaxed) >= target) {
+      if (waited && piggybacked_ != nullptr) piggybacked_->Add();
       return Status::OK();
     }
     if (!sync_active_) break;
     sync_cv_.wait(lock);
+    waited = true;
   }
 
   // Leader: take the whole queue (our records plus any appended since) and
@@ -141,6 +145,7 @@ Status Wal::Sync() {
       records_appended_.load(std::memory_order_relaxed);
   lock.unlock();
 
+  const Stopwatch sync_timer;
   Status result = Status::OK();
   size_t consumed = 0;
   while (consumed < batch.size()) {
@@ -168,6 +173,9 @@ Status Wal::Sync() {
     synced_bytes_.store(synced + n, std::memory_order_relaxed);
     consumed += n;
   }
+
+  if (sync_hist_ != nullptr) sync_hist_->Observe(sync_timer.ElapsedMicros());
+  if (group_commits_ != nullptr) group_commits_->Add();
 
   lock.lock();
   if (result.ok()) {

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/slice.h"
 #include "core/config.h"
@@ -114,6 +115,21 @@ class Wal {
     return io_retries_.load(std::memory_order_relaxed);
   }
 
+  /// Hooks group-commit observability up: per-leader batch latency lands
+  /// in `sync_hist`, each leader-written batch bumps `group_commits`, and
+  /// each follower whose records were made durable by someone else's batch
+  /// bumps `piggybacked`. Takes pre-resolved instruments (any may be null)
+  /// rather than a registry so callers holding their own locks never
+  /// acquire the registry mutex — gauges sample those same callers while
+  /// the registry collects, and nesting the locks both ways deadlocks.
+  void SetInstruments(common::Histogram* sync_hist,
+                      common::Counter* group_commits,
+                      common::Counter* piggybacked) {
+    sync_hist_ = sync_hist;
+    group_commits_ = group_commits;
+    piggybacked_ = piggybacked;
+  }
+
   struct ReadResult {
     std::vector<std::string> records;  // Decoded payloads, in log order.
     uint64_t valid_bytes = 0;          // Frame bytes of `records`.
@@ -153,6 +169,12 @@ class Wal {
   std::atomic<uint64_t> records_appended_{0};
   std::atomic<uint64_t> records_synced_{0};
   std::atomic<uint64_t> io_retries_{0};
+
+  // Registry-backed instruments; null until SetMetrics. Bumped per sync
+  // batch, never per record.
+  common::Histogram* sync_hist_ = nullptr;
+  common::Counter* group_commits_ = nullptr;
+  common::Counter* piggybacked_ = nullptr;
 };
 
 }  // namespace odh::core

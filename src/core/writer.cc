@@ -1,5 +1,6 @@
 #include "core/writer.h"
 
+#include "common/stopwatch.h"
 #include "core/zone_map.h"
 
 #include <algorithm>
@@ -124,6 +125,7 @@ Status OdhWriter::FlushSource(Shard& shard, SourceId id,
                               const DataSourceInfo& info,
                               SourceBuffer* buffer) {
   if (buffer->timestamps.empty()) return Status::OK();
+  const Stopwatch flush_timer;
   ODH_ASSIGN_OR_RETURN(const ValueBlobCodec* codec,
                        CodecFor(info.schema_type));
   SeriesBatch batch;
@@ -178,12 +180,14 @@ Status OdhWriter::FlushSource(Shard& shard, SourceId id,
     ++shard.stats.irts_blobs;
   }
   shard.stats.blob_bytes += static_cast<int64_t>(blob.size());
+  if (flush_hist_ != nullptr) flush_hist_->Observe(flush_timer.ElapsedMicros());
   return Status::OK();
 }
 
 Status OdhWriter::FlushGroup(Shard& shard, int schema_type, int64_t group,
                              GroupBuffer* buffer) {
   if (buffer->records.empty()) return Status::OK();
+  const Stopwatch flush_timer;
   // MG blobs are encoded losslessly: the paper's lossy codecs apply "when
   // the values are put into RTS or IRTS batch structures" (Figure 3), i.e.
   // at ingestion for high-frequency sources and at reorganization for
@@ -211,6 +215,7 @@ Status OdhWriter::FlushGroup(Shard& shard, int schema_type, int64_t group,
                                     blob, zone_map));
   ++shard.stats.mg_blobs;
   shard.stats.blob_bytes += static_cast<int64_t>(blob.size());
+  if (flush_hist_ != nullptr) flush_hist_->Observe(flush_timer.ElapsedMicros());
   return Status::OK();
 }
 

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/metrics.h"
 #include "core/store.h"
 #include "core/value_blob.h"
 
@@ -77,6 +78,15 @@ class OdhWriter {
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
+  /// Hooks the writer up to a metrics registry: flush latency (encode +
+  /// store put, one observation per blob — never per record) lands in the
+  /// `odh.writer.flush_micros` histogram. Call before ingest starts.
+  void SetMetrics(common::MetricsRegistry* metrics) {
+    flush_hist_ = metrics == nullptr
+                      ? nullptr
+                      : metrics->GetHistogram("odh.writer.flush_micros");
+  }
+
  private:
   struct SourceBuffer {
     std::vector<Timestamp> timestamps;
@@ -116,6 +126,7 @@ class OdhWriter {
   /// once for all shards.
   std::atomic<int64_t> syncs_{0};
   std::atomic<int64_t> sync_retries_{0};
+  common::Histogram* flush_hist_ = nullptr;  // Null when not wired.
 };
 
 }  // namespace odh::core

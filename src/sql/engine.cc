@@ -1,9 +1,12 @@
 #include "sql/engine.h"
 
 #include <algorithm>
+#include <cctype>
 #include <map>
+#include <string_view>
 
 #include "common/key_codec.h"
+#include "common/stopwatch.h"
 #include "common/types.h"
 #include "sql/parser.h"
 #include "sql/vectorized.h"
@@ -143,13 +146,74 @@ int CompareForSort(const Datum& a, const Datum& b) {
   return cmp;
 }
 
+/// Case-insensitively consumes one leading keyword (plus the whitespace
+/// around it) from *sv; false leaves *sv untouched. EXPLAIN/PROFILE are
+/// engine-level prefixes, not grammar keywords, so they are peeled off
+/// before the parser sees the statement.
+bool ConsumeKeyword(std::string_view* sv, std::string_view keyword) {
+  size_t i = 0;
+  while (i < sv->size() &&
+         std::isspace(static_cast<unsigned char>((*sv)[i]))) {
+    ++i;
+  }
+  if (sv->size() - i < keyword.size()) return false;
+  for (size_t j = 0; j < keyword.size(); ++j) {
+    if (std::toupper(static_cast<unsigned char>((*sv)[i + j])) !=
+        keyword[j]) {
+      return false;
+    }
+  }
+  const size_t end = i + keyword.size();
+  if (end < sv->size() &&
+      !std::isspace(static_cast<unsigned char>((*sv)[end]))) {
+    return false;
+  }
+  *sv = sv->substr(end);
+  return true;
+}
+
+/// Renders a finished statement's profile as metric/value rows — the
+/// result shape of `EXPLAIN PROFILE <stmt>`.
+QueryResult ProfileToResult(const QueryResult& inner) {
+  const QueryProfile& p = inner.profile;
+  QueryResult out;
+  out.columns = {"metric", "value"};
+  auto add = [&out](const char* name, Datum v) {
+    out.rows.push_back({Datum::String(name), std::move(v)});
+  };
+  add("path", Datum::String(p.path));
+  add("rows_returned", Datum::Int64(p.rows_returned));
+  add("rows_scanned", Datum::Int64(p.rows_scanned));
+  add("batches", Datum::Int64(p.batches));
+  add("blobs_decoded", Datum::Int64(p.blobs_decoded));
+  add("blobs_pruned", Datum::Int64(p.blobs_pruned));
+  add("blobs_skipped_by_summary", Datum::Int64(p.blobs_skipped_by_summary));
+  add("blob_bytes_read", Datum::Int64(p.blob_bytes_read));
+  add("plan_micros", Datum::Double(p.plan_micros));
+  add("total_micros", Datum::Double(p.total_micros));
+  out.explain = inner.explain;
+  out.profile = inner.profile;
+  return out;
+}
+
 }  // namespace
 
 Result<QueryResult> SqlEngine::Execute(const std::string& sql) {
+  std::string_view body(sql);
+  if (ConsumeKeyword(&body, "EXPLAIN") && ConsumeKeyword(&body, "PROFILE")) {
+    const std::string inner_sql(body);
+    ODH_ASSIGN_OR_RETURN(Statement stmt, Parse(inner_sql));
+    if (stmt.kind != Statement::Kind::kSelect) {
+      return Status::InvalidArgument("EXPLAIN PROFILE supports SELECT only");
+    }
+    ODH_ASSIGN_OR_RETURN(QueryResult inner,
+                         ExecuteSelect(std::move(*stmt.select), inner_sql));
+    return ProfileToResult(inner);
+  }
   ODH_ASSIGN_OR_RETURN(Statement stmt, Parse(sql));
   switch (stmt.kind) {
     case Statement::Kind::kSelect:
-      return ExecuteSelect(std::move(*stmt.select));
+      return ExecuteSelect(std::move(*stmt.select), sql);
     case Statement::Kind::kInsert:
       return ExecuteInsert(*stmt.insert);
     case Statement::Kind::kCreateTable:
@@ -172,11 +236,62 @@ Result<std::string> SqlEngine::Explain(const std::string& sql) {
   return plan.explain;
 }
 
-Result<QueryResult> SqlEngine::ExecuteSelect(SelectStmt stmt) {
+Result<QueryResult> SqlEngine::ExecuteSelect(SelectStmt stmt,
+                                             const std::string& sql_text) {
+  common::ScanCounters counters;
+  QueryProfile profile;
+  profile.statement = sql_text;
+  Stopwatch timer;
+  ODH_ASSIGN_OR_RETURN(QueryResult result,
+                       RunSelect(std::move(stmt), &counters, &profile));
+  profile.total_micros = static_cast<double>(timer.ElapsedMicros());
+  profile.rows_returned = static_cast<int64_t>(result.rows.size());
+  profile.rows_scanned =
+      counters.rows_scanned.load(std::memory_order_relaxed);
+  profile.batches = counters.batches.load(std::memory_order_relaxed);
+  profile.blobs_decoded =
+      counters.blobs_decoded.load(std::memory_order_relaxed);
+  profile.blobs_pruned =
+      counters.blobs_pruned.load(std::memory_order_relaxed);
+  profile.blobs_skipped_by_summary =
+      counters.blobs_skipped_by_summary.load(std::memory_order_relaxed);
+  profile.blob_bytes_read =
+      counters.blob_bytes_read.load(std::memory_order_relaxed);
+  // The executed-path label comes from runtime evidence, not the plan:
+  // RunSelect stamps the aggregate fast paths; otherwise batches flowing
+  // through the scan prove the vectorized path ran.
+  if (profile.path.empty()) {
+    profile.path = profile.batches > 0 ? "vectorized-batch" : "row-scan";
+  }
+  result.explain += "path: " + profile.path + "\n";
+  result.profile = profile;
+  LogQuery(std::move(profile));
+  return result;
+}
+
+std::vector<QueryProfile> SqlEngine::RecentQueries() const {
+  std::lock_guard<std::mutex> lock(queries_mu_);
+  return std::vector<QueryProfile>(recent_queries_.begin(),
+                                   recent_queries_.end());
+}
+
+void SqlEngine::LogQuery(QueryProfile profile) {
+  std::lock_guard<std::mutex> lock(queries_mu_);
+  recent_queries_.push_back(std::move(profile));
+  while (recent_queries_.size() > kRecentQueryCapacity) {
+    recent_queries_.pop_front();
+  }
+}
+
+Result<QueryResult> SqlEngine::RunSelect(SelectStmt stmt,
+                                         common::ScanCounters* counters,
+                                         QueryProfile* profile) {
+  Stopwatch plan_timer;
   ODH_ASSIGN_OR_RETURN(BoundSelect bound,
                        Bind(&catalog_, std::move(stmt)));
   ExprEvaluator eval(&bound);
-  ODH_ASSIGN_OR_RETURN(PhysicalPlan plan, PlanSelect(bound, &eval));
+  ODH_ASSIGN_OR_RETURN(PhysicalPlan plan, PlanSelect(bound, &eval, counters));
+  profile->plan_micros = static_cast<double>(plan_timer.ElapsedMicros());
 
   QueryResult result;
   result.columns = bound.output_names;
@@ -193,6 +308,7 @@ Result<QueryResult> SqlEngine::ExecuteSelect(SelectStmt stmt) {
     ODH_ASSIGN_OR_RETURN(
         agg_row, plan.agg_provider->AggregateScan(plan.agg_spec,
                                                   plan.agg_requests));
+    if (agg_row.has_value()) profile->path = "summary-pushdown";
     if (!agg_row.has_value() &&
         VectorizedAggregatable(plan.agg_requests) &&
         plan.agg_provider->SupportsBatchScan(plan.agg_spec)) {
@@ -206,6 +322,7 @@ Result<QueryResult> SqlEngine::ExecuteSelect(SelectStmt stmt) {
         aggregator.Accumulate(batch);
       }
       agg_row = aggregator.Finalize();
+      if (agg_row.has_value()) profile->path = "vectorized-batch";
     }
     if (agg_row.has_value()) {
       std::map<const Expr*, Datum> agg_values;

@@ -1,7 +1,9 @@
 #ifndef ODH_SQL_ENGINE_H_
 #define ODH_SQL_ENGINE_H_
 
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -10,12 +12,34 @@
 
 namespace odh::sql {
 
+/// Execution profile of one SELECT: which scan path actually ran and how
+/// much blob I/O it did. `path` is derived from runtime evidence after the
+/// statement finishes — "summary-pushdown" when the provider answered the
+/// aggregates, "vectorized-batch" when ColumnBatches flowed, "row-scan"
+/// otherwise — so it can never disagree with what executed (the planner's
+/// EXPLAIN text only names candidates). Retrievable inline via
+/// `EXPLAIN PROFILE <stmt>` and historically via the odh_queries table.
+struct QueryProfile {
+  std::string statement;
+  std::string path;
+  int64_t rows_returned = 0;
+  int64_t rows_scanned = 0;
+  int64_t batches = 0;
+  int64_t blobs_decoded = 0;
+  int64_t blobs_pruned = 0;
+  int64_t blobs_skipped_by_summary = 0;
+  int64_t blob_bytes_read = 0;
+  double plan_micros = 0;
+  double total_micros = 0;
+};
+
 /// Result of a SELECT (or row counts for DML/DDL).
 struct QueryResult {
   std::vector<std::string> columns;
   std::vector<Row> rows;
   int64_t affected_rows = 0;  // For INSERT.
   std::string explain;        // Plan text (SELECT only).
+  QueryProfile profile;       // Filled for every SELECT.
 
   /// The paper's throughput unit: number of non-NULL values returned.
   int64_t DataPointCount() const {
@@ -48,13 +72,26 @@ class SqlEngine {
   /// Plans a SELECT and returns the plan text without running it.
   Result<std::string> Explain(const std::string& sql);
 
+  /// Profiles of the most recently executed SELECTs, oldest first
+  /// (bounded ring; thread-safe snapshot).
+  std::vector<QueryProfile> RecentQueries() const;
+
  private:
-  Result<QueryResult> ExecuteSelect(SelectStmt stmt);
+  Result<QueryResult> ExecuteSelect(SelectStmt stmt,
+                                    const std::string& sql_text);
+  Result<QueryResult> RunSelect(SelectStmt stmt,
+                                common::ScanCounters* counters,
+                                QueryProfile* profile);
   Result<QueryResult> ExecuteInsert(const InsertStmt& stmt);
   Result<QueryResult> ExecuteCreateTable(const CreateTableStmt& stmt);
   Result<QueryResult> ExecuteCreateIndex(const CreateIndexStmt& stmt);
+  void LogQuery(QueryProfile profile);
+
+  static constexpr size_t kRecentQueryCapacity = 128;
 
   Catalog catalog_;
+  mutable std::mutex queries_mu_;
+  std::deque<QueryProfile> recent_queries_;
 };
 
 }  // namespace odh::sql

@@ -243,7 +243,8 @@ bool MapAggregate(const AggregateExpr* agg, AggregateRequest* req) {
 }  // namespace
 
 Result<PhysicalPlan> PlanSelect(const BoundSelect& bound,
-                                const ExprEvaluator* eval) {
+                                const ExprEvaluator* eval,
+                                common::ScanCounters* counters) {
   const int num_tables = static_cast<int>(bound.tables.size());
 
   // 1. Classify WHERE conjuncts.
@@ -251,6 +252,7 @@ Result<PhysicalPlan> PlanSelect(const BoundSelect& bound,
   if (bound.where != nullptr) SplitConjuncts(bound.where.get(), &conjuncts);
 
   std::vector<ScanSpec> specs(num_tables);
+  for (ScanSpec& spec : specs) spec.counters = counters;
   std::vector<JoinEdge> edges;
   std::vector<const Expr*> residual;
   for (const Expr* conjunct : conjuncts) {
@@ -275,10 +277,14 @@ Result<PhysicalPlan> PlanSelect(const BoundSelect& bound,
         if (constraint.lower.has_value()) {
           int cmp;
           bool null_cmp;
+          // On equal values an exclusive bound is strictly tighter than an
+          // inclusive one, so it must win the merge in either order.
           if (!existing->lower.has_value() ||
               (constraint.lower->value.Compare(existing->lower->value, &cmp,
                                                &null_cmp) &&
-               !null_cmp && cmp >= 0)) {
+               !null_cmp &&
+               (cmp > 0 || (cmp == 0 && (existing->lower->inclusive ||
+                                         !constraint.lower->inclusive))))) {
             existing->lower = constraint.lower;
           }
         }
@@ -288,7 +294,9 @@ Result<PhysicalPlan> PlanSelect(const BoundSelect& bound,
           if (!existing->upper.has_value() ||
               (constraint.upper->value.Compare(existing->upper->value, &cmp,
                                                &null_cmp) &&
-               !null_cmp && cmp <= 0)) {
+               !null_cmp &&
+               (cmp < 0 || (cmp == 0 && (existing->upper->inclusive ||
+                                         !constraint.upper->inclusive))))) {
             existing->upper = constraint.upper;
           }
         }

@@ -38,8 +38,12 @@ struct PhysicalPlan {
 /// ODH virtual table.
 ///
 /// The returned plan borrows `bound` and `eval`; both must outlive it.
+/// `counters`, when non-null, is planted into every table's ScanSpec so
+/// providers report per-query scan work (EXPLAIN PROFILE); it must outlive
+/// plan execution.
 Result<PhysicalPlan> PlanSelect(const BoundSelect& bound,
-                                const ExprEvaluator* eval);
+                                const ExprEvaluator* eval,
+                                common::ScanCounters* counters = nullptr);
 
 }  // namespace odh::sql
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/types.h"
 #include "relational/schema.h"
@@ -34,6 +35,10 @@ struct ColumnConstraint {
 struct ScanSpec {
   std::vector<ColumnConstraint> constraints;
   std::vector<int> projection;
+  /// Per-query profile counters (owned by the engine, outlives the scan);
+  /// nullptr when nobody is profiling. Providers that decode blobs bump it
+  /// so EXPLAIN PROFILE can report per-statement I/O.
+  common::ScanCounters* counters = nullptr;
 
   const ColumnConstraint* FindColumn(int column) const {
     for (const auto& c : constraints) {

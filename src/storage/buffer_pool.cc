@@ -199,6 +199,7 @@ Result<int32_t> BufferPool::GetVictimFrameLocked(Shard& shard) {
   }
   shard.page_table.erase({f.file, f.page});
   f.in_use = false;
+  evictions_.fetch_add(1, std::memory_order_relaxed);
   return victim;
 }
 

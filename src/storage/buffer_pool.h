@@ -123,6 +123,10 @@ class BufferPool {
   uint64_t checksum_verify_count() const {
     return checksum_verifies_.load(std::memory_order_relaxed);
   }
+  /// Cached pages evicted to make room (LRU victims, not free frames).
+  uint64_t eviction_count() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
   SimDisk* disk() const { return disk_; }
 
  private:
@@ -198,6 +202,7 @@ class BufferPool {
   std::atomic<uint64_t> checksum_failures_{0};
   std::atomic<uint64_t> checksum_stamps_{0};
   std::atomic<uint64_t> checksum_verifies_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace odh::storage

@@ -185,6 +185,97 @@ TEST_F(AggregatePushdownTest, LossyBlobsAnswerValueAggregatesFromDecode) {
   EXPECT_EQ(lossy.reader()->stats().blobs_decoded, 0);
 }
 
+TEST_F(AggregatePushdownTest, PathLabelMatchesExecutedPath) {
+  // Satellite regression: the path label reported by EXPLAIN/profile must
+  // describe the path that actually executed. It is derived from runtime
+  // evidence (which aggregator produced the result, which counters moved),
+  // so a planner choice that falls back at execution time cannot leave a
+  // stale label behind.
+  const std::string query =
+      "SELECT COUNT(*), SUM(temp) FROM m_v WHERE id = 1";
+  struct Case {
+    bool vectorized;
+    bool pushdown;
+    const char* label;
+  };
+  for (const Case& c : {Case{true, true, "summary-pushdown"},
+                        Case{true, false, "vectorized-batch"},
+                        Case{false, false, "row-scan"}}) {
+    odh_->config()->SetScanPathOptions(c.vectorized, c.pushdown);
+    auto r = odh_->engine()->Execute(query);
+    ASSERT_TRUE(r.ok()) << c.label;
+    EXPECT_EQ(r->profile.path, c.label);
+    EXPECT_NE(r->explain.find(std::string("path: ") + c.label),
+              std::string::npos)
+        << "explain missing its path line:\n"
+        << r->explain;
+    // Each label is backed by the evidence that names it.
+    const std::string label = c.label;
+    if (label == "summary-pushdown") {
+      EXPECT_GT(r->profile.blobs_skipped_by_summary, 0);
+      EXPECT_EQ(r->profile.blobs_decoded, 0);
+    } else if (label == "vectorized-batch") {
+      EXPECT_GT(r->profile.batches, 0);
+      EXPECT_EQ(r->profile.blobs_skipped_by_summary, 0);
+    } else {
+      EXPECT_EQ(r->profile.batches, 0);
+      EXPECT_GT(r->profile.rows_scanned, 0);
+    }
+  }
+  odh_->config()->SetScanPathOptions(true, true);
+
+  // EXPLAIN PROFILE reports the same label in its first metric row.
+  auto ep = odh_->engine()->Execute("EXPLAIN PROFILE " + query);
+  ASSERT_TRUE(ep.ok());
+  ASSERT_EQ(ep->columns, (std::vector<std::string>{"metric", "value"}));
+  ASSERT_FALSE(ep->rows.empty());
+  EXPECT_EQ(ep->rows[0][0], Datum::String("path"));
+  EXPECT_EQ(ep->rows[0][1], Datum::String("summary-pushdown"));
+}
+
+TEST(ScanPathParityTest, SumAvgOverAllNullTagIsNullOnEveryPath) {
+  // Satellite regression: SUM/AVG over a tag that is NULL (NaN-encoded)
+  // on every matching row must return SQL NULL — not 0 and not NaN — on
+  // the summary fast path, the vectorized path, and the row path alike.
+  OdhOptions options;
+  options.batch_size = 50;
+  options.sql_metadata_router = false;
+  OdhSystem odh(options);
+  int type = odh.DefineSchemaType("m", {"temp", "load"}).value();
+  ODH_CHECK_OK(odh.RegisterSource(1, type, kMicrosPerSecond, true));
+  constexpr double kHole = std::numeric_limits<double>::quiet_NaN();
+  for (int i = 0; i < 200; ++i) {
+    // `load` is never present; `temp` keeps the blob otherwise normal.
+    ODH_CHECK_OK(odh.Ingest({1, i * kMicrosPerSecond, {1.0 * i, kHole}}));
+  }
+  ODH_CHECK_OK(odh.FlushAll());
+
+  const std::vector<std::string> queries = {
+      // All-NULL tag over the whole series.
+      "SELECT COUNT(*), COUNT(load), SUM(load), AVG(load), MIN(load), "
+      "MAX(load) FROM m_v WHERE id = 1",
+      // Empty input: no rows match at all.
+      "SELECT COUNT(*), COUNT(load), SUM(load), AVG(load), MIN(load), "
+      "MAX(load) FROM m_v WHERE id = 99",
+  };
+  for (const std::string& query : queries) {
+    for (const auto& [vec, push] : std::vector<std::pair<bool, bool>>{
+             {true, true}, {true, false}, {false, false}}) {
+      odh.config()->SetScanPathOptions(vec, push);
+      auto r = odh.engine()->Execute(query);
+      ASSERT_TRUE(r.ok()) << query;
+      ASSERT_EQ(r->rows.size(), 1u) << query;
+      EXPECT_EQ(r->rows[0][1], Datum::Int64(0))
+          << query << " vec=" << vec << " push=" << push;
+      for (size_t c = 2; c < 6; ++c) {
+        EXPECT_EQ(r->rows[0][c], Datum::Null())
+            << query << " col " << c << " vec=" << vec << " push=" << push;
+      }
+    }
+    odh.config()->SetScanPathOptions(true, true);
+  }
+}
+
 TEST(ScanPathParityTest, NaNHolesMatchAcrossVectorizedAndRowScans) {
   // Filter parity satellite: rows whose tag is missing (NaN) must behave
   // as SQL NULL on both scan paths — never matching a range predicate —

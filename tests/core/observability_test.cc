@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/odh.h"
+
+namespace odh::core {
+namespace {
+
+/// Returns the index of `name` in the result's column list, or -1.
+int ColumnIndex(const sql::QueryResult& r, const std::string& name) {
+  for (size_t i = 0; i < r.columns.size(); ++i) {
+    if (r.columns[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+/// Finds the value of a metric row by name in a `SELECT * FROM odh_metrics`
+/// result; fails the test if the metric is absent.
+double MetricValue(const sql::QueryResult& r, const std::string& name) {
+  const int name_col = ColumnIndex(r, "name");
+  const int value_col = ColumnIndex(r, "value");
+  EXPECT_GE(name_col, 0);
+  EXPECT_GE(value_col, 0);
+  for (const Row& row : r.rows) {
+    if (row[static_cast<size_t>(name_col)] == Datum::String(name)) {
+      return row[static_cast<size_t>(value_col)].double_value();
+    }
+  }
+  ADD_FAILURE() << "metric not exported: " << name;
+  return 0;
+}
+
+/// 500 points for one source: the same shape as the aggregate-pushdown
+/// fixture, so summary/vectorized/row paths are all reachable.
+class SystemTablesTest : public ::testing::Test {
+ protected:
+  SystemTablesTest() {
+    OdhOptions options;
+    options.batch_size = 50;
+    options.sql_metadata_router = false;
+    odh_ = std::make_unique<OdhSystem>(options);
+    type_ = odh_->DefineSchemaType("env", {"temp", "load"}).value();
+    ODH_CHECK_OK(odh_->RegisterSource(1, type_, kMicrosPerSecond, true));
+    for (int i = 0; i < 500; ++i) {
+      ODH_CHECK_OK(odh_->Ingest({1, i * kMicrosPerSecond, {1.0 * i, 5.0}}));
+    }
+    ODH_CHECK_OK(odh_->FlushAll());
+  }
+
+  std::unique_ptr<OdhSystem> odh_;
+  int type_;
+};
+
+TEST_F(SystemTablesTest, MetricsTableExportsLiveInstruments) {
+  auto r = odh_->engine()->Execute("SELECT name, kind, value FROM odh_metrics");
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r->rows.empty());
+
+  // Gauges sample the components' real counters.
+  EXPECT_EQ(MetricValue(*r, "odh.writer.points_ingested"), 500.0);
+  EXPECT_EQ(MetricValue(*r, "odh.writer.blobs_flushed"), 10.0);
+  EXPECT_GT(MetricValue(*r, "odh.disk.page_writes"), 0.0);
+
+  // The writer flush histogram appears expanded and has observations.
+  EXPECT_GT(MetricValue(*r, "odh.writer.flush_micros.count"), 0.0);
+  EXPECT_GE(MetricValue(*r, "odh.writer.flush_micros.p95"),
+            MetricValue(*r, "odh.writer.flush_micros.p50"));
+
+  // Constraints push through the provider like any other table.
+  auto one = odh_->engine()->Execute(
+      "SELECT value FROM odh_metrics "
+      "WHERE name = 'odh.writer.points_ingested'");
+  ASSERT_TRUE(one.ok());
+  ASSERT_EQ(one->rows.size(), 1u);
+  EXPECT_EQ(one->rows[0][0], Datum::Double(500.0));
+}
+
+TEST_F(SystemTablesTest, QueriesTableRecordsProfiles) {
+  const std::string query =
+      "SELECT COUNT(*), SUM(temp) FROM env_v WHERE id = 1";
+  auto direct = odh_->engine()->Execute(query);
+  ASSERT_TRUE(direct.ok());
+
+  auto log = odh_->engine()->Execute("SELECT * FROM odh_queries");
+  ASSERT_TRUE(log.ok());
+  const int stmt_col = ColumnIndex(*log, "statement");
+  const int path_col = ColumnIndex(*log, "path");
+  const int skipped_col = ColumnIndex(*log, "blobs_skipped_by_summary");
+  const int total_col = ColumnIndex(*log, "total_micros");
+  ASSERT_GE(stmt_col, 0);
+  ASSERT_GE(path_col, 0);
+  ASSERT_GE(skipped_col, 0);
+  ASSERT_GE(total_col, 0);
+  bool found = false;
+  for (const Row& row : log->rows) {
+    if (row[static_cast<size_t>(stmt_col)] != Datum::String(query)) continue;
+    found = true;
+    // The logged profile matches the one returned with the result.
+    EXPECT_EQ(row[static_cast<size_t>(path_col)],
+              Datum::String(direct->profile.path));
+    EXPECT_EQ(row[static_cast<size_t>(skipped_col)],
+              Datum::Int64(direct->profile.blobs_skipped_by_summary));
+    EXPECT_GT(row[static_cast<size_t>(total_col)].double_value(), 0.0);
+  }
+  EXPECT_TRUE(found) << "statement missing from odh_queries: " << query;
+
+  // The odh_queries scan itself is logged once it finishes.
+  auto again = odh_->engine()->Execute("SELECT * FROM odh_queries");
+  ASSERT_TRUE(again.ok());
+  found = false;
+  for (const Row& row : again->rows) {
+    if (row[static_cast<size_t>(stmt_col)] ==
+        Datum::String("SELECT * FROM odh_queries")) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SystemTablesTest, StorageTableReportsPartitionStats) {
+  auto r = odh_->engine()->Execute(
+      "SELECT * FROM odh_storage WHERE container = 'rts'");
+  ASSERT_TRUE(r.ok());
+  const int type_col = ColumnIndex(*r, "schema_type");
+  const int name_col = ColumnIndex(*r, "type_name");
+  const int blobs_col = ColumnIndex(*r, "blob_count");
+  const int points_col = ColumnIndex(*r, "point_count");
+  const int blob_bytes_col = ColumnIndex(*r, "blob_bytes");
+  const int raw_col = ColumnIndex(*r, "raw_bytes");
+  const int ratio_col = ColumnIndex(*r, "compression_ratio");
+  ASSERT_EQ(r->rows.size(), 1u);
+  const Row& row = r->rows[0];
+  EXPECT_EQ(row[static_cast<size_t>(type_col)], Datum::Int64(type_));
+  EXPECT_EQ(row[static_cast<size_t>(name_col)], Datum::String("env"));
+  EXPECT_EQ(row[static_cast<size_t>(blobs_col)], Datum::Int64(10));
+  EXPECT_EQ(row[static_cast<size_t>(points_col)], Datum::Int64(500));
+  // Raw row-format size: 8 bytes each for ts, temp, load per point.
+  EXPECT_EQ(row[static_cast<size_t>(raw_col)], Datum::Int64(500 * 24));
+  const int64_t blob_bytes =
+      row[static_cast<size_t>(blob_bytes_col)].int64_value();
+  EXPECT_GT(blob_bytes, 0);
+  EXPECT_NEAR(row[static_cast<size_t>(ratio_col)].double_value(),
+              static_cast<double>(500 * 24) / static_cast<double>(blob_bytes),
+              1e-9);
+}
+
+TEST_F(SystemTablesTest, ExplainProfileReturnsMetricRows) {
+  auto r = odh_->engine()->Execute(
+      "explain profile SELECT COUNT(*) FROM env_v WHERE id = 1");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->columns, (std::vector<std::string>{"metric", "value"}));
+  ASSERT_EQ(r->rows.size(), 10u);
+  EXPECT_EQ(r->rows[0][0], Datum::String("path"));
+  EXPECT_EQ(r->rows[0][1], Datum::String("summary-pushdown"));
+  bool saw_total = false;
+  for (const Row& row : r->rows) {
+    if (row[0] == Datum::String("rows_returned")) {
+      EXPECT_EQ(row[1], Datum::Int64(1));
+    }
+    if (row[0] == Datum::String("blobs_skipped_by_summary")) {
+      EXPECT_EQ(row[1], Datum::Int64(10));
+    }
+    if (row[0] == Datum::String("total_micros")) {
+      saw_total = true;
+      EXPECT_GT(row[1].double_value(), 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_total);
+
+  // Only SELECT can be profiled.
+  auto bad = odh_->engine()->Execute(
+      "EXPLAIN PROFILE CREATE TABLE t (x INT)");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(SystemTablesTest, PerQueryCountersAreScopedToTheStatement) {
+  // Two identical statements must report the same per-query counters:
+  // the profile is scoped to its statement, not a view of global state.
+  const std::string query =
+      "SELECT SUM(temp) FROM env_v WHERE id = 1 AND temp BETWEEN 110 AND 180";
+  auto first = odh_->engine()->Execute(query);
+  auto second = odh_->engine()->Execute(query);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->profile.blobs_decoded, second->profile.blobs_decoded);
+  EXPECT_EQ(first->profile.blobs_pruned, second->profile.blobs_pruned);
+  EXPECT_EQ(first->profile.rows_scanned, second->profile.rows_scanned);
+  EXPECT_GT(first->profile.blobs_decoded, 0);
+}
+
+/// Satellite 5: the observability surface must be safe to read while other
+/// threads ingest and scan. SQL stays on this thread (the engine is
+/// single-threaded by contract); the system-table providers snapshot their
+/// sources, so their cursors race with nothing.
+TEST(ObservabilityConcurrencyTest, SystemTablesReadCleanlyDuringIngest) {
+  OdhOptions options;
+  options.batch_size = 64;
+  options.sql_metadata_router = false;
+  OdhSystem odh(options);
+  int type = odh.DefineSchemaType("env", {"temp"}).value();
+  constexpr int kSources = 3;
+  constexpr int kPointsPerSource = 3000;
+  for (int s = 1; s <= kSources; ++s) {
+    ODH_CHECK_OK(odh.RegisterSource(s, type, kMicrosPerSecond, true));
+  }
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> workers;
+  // One ingest thread per source (per-source monotonicity holds).
+  for (int s = 1; s <= kSources; ++s) {
+    workers.emplace_back([&odh, s] {
+      for (int i = 0; i < kPointsPerSource; ++i) {
+        ODH_CHECK_OK(odh.Ingest({s, i * kMicrosPerSecond, {1.0 * i}}));
+      }
+    });
+  }
+  // One native-scan thread hammering the read path concurrently.
+  workers.emplace_back([&odh, type, &done] {
+    while (!done.load(std::memory_order_relaxed)) {
+      auto cursor = odh.HistoricalQuery(type, 1, 0,
+                                        kPointsPerSource * kMicrosPerSecond);
+      if (!cursor.ok()) continue;
+      OperationalRecord rec;
+      while (true) {
+        auto next = (*cursor)->Next(&rec);
+        if (!next.ok() || !*next) break;
+      }
+    }
+  });
+
+  // Meanwhile: SQL reads of every system table plus EXPLAIN PROFILE, all
+  // from this thread. Each must succeed and return live (non-empty) data
+  // mid-ingest.
+  for (int round = 0; round < 50; ++round) {
+    auto metrics = odh.engine()->Execute("SELECT * FROM odh_metrics");
+    ASSERT_TRUE(metrics.ok());
+    ASSERT_FALSE(metrics->rows.empty());
+    auto storage = odh.engine()->Execute("SELECT * FROM odh_storage");
+    ASSERT_TRUE(storage.ok());
+    ASSERT_FALSE(storage->rows.empty());
+    auto profiled = odh.engine()->Execute(
+        "EXPLAIN PROFILE SELECT COUNT(*) FROM env_v");
+    ASSERT_TRUE(profiled.ok());
+    ASSERT_FALSE(profiled->rows.empty());
+    auto queries = odh.engine()->Execute("SELECT * FROM odh_queries");
+    ASSERT_TRUE(queries.ok());
+    ASSERT_FALSE(queries->rows.empty());
+  }
+
+  for (size_t i = 0; i + 1 < workers.size(); ++i) workers[i].join();
+  done.store(true, std::memory_order_relaxed);
+  workers.back().join();
+  ODH_CHECK_OK(odh.FlushAll());
+
+  // After the dust settles the gauges account for every ingested point.
+  auto metrics = odh.engine()->Execute("SELECT * FROM odh_metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(MetricValue(*metrics, "odh.writer.points_ingested"),
+            static_cast<double>(kSources * kPointsPerSource));
+  auto count = odh.engine()->Execute("SELECT COUNT(*) FROM env_v");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows[0][0], Datum::Int64(kSources * kPointsPerSource));
+}
+
+}  // namespace
+}  // namespace odh::core

@@ -1,0 +1,219 @@
+// Client/server query throughput: N concurrent TCP clients hammer one
+// historian server with prepared statements over the wire protocol, for
+// client counts 1 / 4 / 16 / 64 and three query shapes:
+//
+//   point      one-sample lookup (id + exact ts)        -- latency-bound
+//   range      one source's recent window               -- streaming-bound
+//   aggregate  COUNT/AVG over one source (pushdown)     -- summary-bound
+//
+// Reported per (clients, shape): QPS and p50/p95/p99 latency. This is the
+// concurrency story the paper's historian needs beyond single-process
+// embedding: session admission, per-connection prepared statements and
+// chunked result streaming, all through odh_serverd's server library.
+//
+//   build/bench/bench_server_clients [scale] [--smoke]
+//
+// Writes BENCH_server.json. `--smoke` (CI) shrinks the dataset and stops
+// at 4 clients.
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "benchfw/json_report.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "core/odh.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace odh::bench {
+namespace {
+
+using benchfw::JsonWriter;
+
+constexpr int kSources = 32;
+
+struct QueryShape {
+  const char* name;
+  const char* sql;  // One `?` parameter: the source id.
+};
+
+constexpr QueryShape kShapes[] = {
+    {"point",
+     "SELECT temperature FROM env_v WHERE id = ? AND ts = "
+     "'1970-01-01 00:01:00'"},
+    {"range",
+     "SELECT ts, temperature, wind FROM env_v WHERE id = ? AND "
+     "ts BETWEEN '1970-01-01 00:00:30' AND '1970-01-01 00:01:30'"},
+    {"aggregate",
+     "SELECT COUNT(*), AVG(temperature), MAX(wind) FROM env_v "
+     "WHERE id = ?"},
+};
+
+struct ShapeResult {
+  double qps = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  int64_t queries = 0;
+  int64_t errors = 0;
+};
+
+double PercentileMs(std::vector<double>* micros, double p) {
+  if (micros->empty()) return 0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(micros->size()));
+  if (idx >= micros->size()) idx = micros->size() - 1;
+  std::nth_element(micros->begin(), micros->begin() + idx, micros->end());
+  return (*micros)[idx] / 1000.0;
+}
+
+/// `clients` threads, each with its own connection and prepared handle,
+/// each running `per_client` executions round-robin over the sources.
+ShapeResult RunShape(int port, const QueryShape& shape, int clients,
+                     int per_client) {
+  std::vector<std::vector<double>> latencies(clients);
+  std::atomic<int64_t> errors{0};
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int t = 0; t < clients; ++t) {
+    threads.emplace_back([t, port, &shape, per_client, &latencies, &errors] {
+      auto client = net::Client::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        errors += per_client;
+        return;
+      }
+      auto stmt = (*client)->Prepare(shape.sql);
+      if (!stmt.ok()) {
+        errors += per_client;
+        return;
+      }
+      latencies[t].reserve(per_client);
+      for (int q = 0; q < per_client; ++q) {
+        int64_t id = 1 + (t + q) % kSources;
+        Stopwatch timer;
+        auto result = (*client)->Execute(*stmt, {Datum::Int64(id)});
+        if (!result.ok()) {
+          ++errors;
+          continue;
+        }
+        latencies[t].push_back(static_cast<double>(timer.ElapsedMicros()));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  double seconds = wall.ElapsedSeconds();
+
+  std::vector<double> merged;
+  for (const auto& per_thread : latencies) {
+    merged.insert(merged.end(), per_thread.begin(), per_thread.end());
+  }
+  ShapeResult r;
+  r.queries = static_cast<int64_t>(merged.size());
+  r.errors = errors.load();
+  r.qps = seconds > 0 ? static_cast<double>(merged.size()) / seconds : 0;
+  r.p50_ms = PercentileMs(&merged, 0.50);
+  r.p95_ms = PercentileMs(&merged, 0.95);
+  r.p99_ms = PercentileMs(&merged, 0.99);
+  return r;
+}
+
+int Run(int argc, char** argv) {
+  const double scale = ScaleFromArgs(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  PrintHeader("Historian server: concurrent client scaling",
+              "client/server extension (paper deploys ODH inside Informix; "
+              "this measures the standalone server front door)",
+              smoke ? "Smoke mode: tiny dataset, 1-4 clients."
+                    : "32 sources; prepared statements over TCP; "
+                      "QPS and latency percentiles per client count.");
+
+  // One historian: 32 sensors at 1 Hz. Scale stretches the recorded span.
+  const int points =
+      std::max(120, static_cast<int>((smoke ? 240 : 1800) * scale));
+  core::OdhSystem odh;
+  int type = odh.DefineSchemaType("env", {"temperature", "wind"}).value();
+  for (SourceId id = 1; id <= kSources; ++id) {
+    ODH_CHECK_OK(odh.RegisterSource(id, type, kMicrosPerSecond,
+                                    /*regular=*/true));
+  }
+  for (int i = 0; i < points; ++i) {
+    for (SourceId id = 1; id <= kSources; ++id) {
+      ODH_CHECK_OK(odh.Ingest({id, i * kMicrosPerSecond,
+                               {20.0 + id + 0.01 * i, 0.5 * id}}));
+    }
+  }
+  ODH_CHECK_OK(odh.FlushAll());
+  std::printf("Dataset: %d sources x %d points\n\n", kSources, points);
+
+  net::ServerOptions options;
+  options.max_sessions = 96;
+  net::HistorianServer server(odh.engine(), options, odh.metrics());
+  auto port = server.Start();
+  ODH_CHECK_OK(port.status());
+
+  const std::vector<int> client_counts =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 4, 16, 64};
+  const int queries_per_client = smoke ? 20 : 100;
+
+  TablePrinter table(
+      {"clients", "shape", "QPS", "p50 ms", "p95 ms", "p99 ms", "errors"});
+  JsonWriter json;
+  json.BeginObject();
+  json.KeyValue("bench", "server_clients");
+  json.KeyValue("smoke", smoke);
+  json.KeyValue("sources", static_cast<int64_t>(kSources));
+  json.KeyValue("points_per_source", static_cast<int64_t>(points));
+  json.Key("runs");
+  json.BeginArray();
+  for (int clients : client_counts) {
+    for (const QueryShape& shape : kShapes) {
+      ShapeResult r = RunShape(*port, shape, clients, queries_per_client);
+      table.AddRow({std::to_string(clients), shape.name,
+                    TablePrinter::FormatCount(r.qps),
+                    TablePrinter::FormatDouble(r.p50_ms, 2),
+                    TablePrinter::FormatDouble(r.p95_ms, 2),
+                    TablePrinter::FormatDouble(r.p99_ms, 2),
+                    std::to_string(r.errors)});
+      json.BeginObject();
+      json.KeyValue("clients", static_cast<int64_t>(clients));
+      json.KeyValue("shape", shape.name);
+      json.KeyValue("qps", r.qps);
+      json.KeyValue("p50_ms", r.p50_ms);
+      json.KeyValue("p95_ms", r.p95_ms);
+      json.KeyValue("p99_ms", r.p99_ms);
+      json.KeyValue("queries", r.queries);
+      json.KeyValue("errors", r.errors);
+      json.EndObject();
+      if (r.errors > 0) {
+        std::printf("WARNING: %lld errors at %d clients / %s\n",
+                    static_cast<long long>(r.errors), clients, shape.name);
+      }
+    }
+  }
+  json.EndArray();
+  json.KeyValue("sessions_rejected", server.sessions_rejected());
+  json.EndObject();
+  table.Print("Prepared-statement QPS over TCP vs concurrent clients");
+
+  server.Stop();
+  if (json.WriteFile("BENCH_server.json")) {
+    std::printf("Server data written to BENCH_server.json\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace odh::bench
+
+int main(int argc, char** argv) { return odh::bench::Run(argc, argv); }

@@ -13,6 +13,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "core/odh.h"
+#include "sql/session.h"
 
 using namespace odh;        // NOLINT: example brevity.
 using namespace odh::core;  // NOLINT
@@ -37,21 +38,28 @@ int main(int argc, char** argv) {
 
   // The fleet registry is ordinary relational data — unchanged by the
   // migration.
-  ODH_CHECK_OK(odh.engine()
-                   ->Execute("CREATE TABLE fleet (vehicle_id BIGINT, "
-                             "model VARCHAR, depot VARCHAR)")
+  sql::Session session(odh.engine());
+  ODH_CHECK_OK(session
+                   .Execute("CREATE TABLE fleet (vehicle_id BIGINT, "
+                            "model VARCHAR, depot VARCHAR)")
                    .status());
-  ODH_CHECK_OK(odh.engine()
-                   ->Execute("CREATE INDEX fleet_by_id ON fleet "
-                             "(vehicle_id)")
+  ODH_CHECK_OK(session
+                   .Execute("CREATE INDEX fleet_by_id ON fleet "
+                            "(vehicle_id)")
                    .status());
+  // One prepared INSERT, re-executed per vehicle with bound parameters —
+  // parse/bind happen once for the whole registry load.
+  auto insert_stmt =
+      session.Prepare("INSERT INTO fleet VALUES (?, ?, ?)").value();
   for (SourceId id = 1; id <= num_vehicles; ++id) {
-    char sql[160];
-    snprintf(sql, sizeof(sql),
-             "INSERT INTO fleet VALUES (%lld, 'Model%c', 'Depot%lld')",
-             static_cast<long long>(id), "ABC"[id % 3],
-             static_cast<long long>(id % 10));
-    ODH_CHECK_OK(odh.engine()->Execute(sql).status());
+    char model[8], depot[8];
+    snprintf(model, sizeof(model), "Model%c", "ABC"[id % 3]);
+    snprintf(depot, sizeof(depot), "Depot%lld", static_cast<long long>(id % 10));
+    ODH_CHECK_OK(session
+                     .ExecutePrepared(insert_stmt,
+                                      {Datum::Int64(id), Datum::String(model),
+                                       Datum::String(depot)})
+                     .status());
   }
 
   Stopwatch timer;
@@ -76,7 +84,7 @@ int main(int argc, char** argv) {
               odh.storage_bytes() / 1048576.0);
 
   // The pre-migration SQL application keeps working: depot dashboard.
-  auto dashboard = odh.engine()->Execute(
+  auto dashboard = session.Execute(
       "SELECT depot, COUNT(*) AS samples, AVG(speed_kmh) AS avg_speed, "
       "MAX(engine_temp) AS max_temp "
       "FROM telemetry_v t, fleet f "
@@ -91,9 +99,10 @@ int main(int argc, char** argv) {
   }
 
   // Per-vehicle diagnostics: one vehicle's battery trace.
-  auto trace = odh.engine()->Execute(
-      "SELECT ts, battery_v FROM telemetry_v WHERE id = 77 ORDER BY ts "
-      "LIMIT 5");
+  auto trace = session.Execute(
+      "SELECT ts, battery_v FROM telemetry_v WHERE id = ? ORDER BY ts "
+      "LIMIT 5",
+      {Datum::Int64(77)});
   ODH_CHECK_OK(trace.status());
   std::printf("\nVehicle 77 battery trace (first 5 samples):\n");
   for (const auto& row : trace->rows) {
@@ -103,7 +112,7 @@ int main(int argc, char** argv) {
 
   // Fleet-wide anomaly scan on a single tag (tag-oriented decode).
   Stopwatch scan_timer;
-  auto hot = odh.engine()->Execute(
+  auto hot = session.Execute(
       "SELECT COUNT(*) FROM telemetry_v WHERE engine_temp > 91.5");
   ODH_CHECK_OK(hot.status());
   std::printf("\nOverheating samples fleet-wide: %s (single-tag scan of %lld "

@@ -9,12 +9,14 @@
 #include <string>
 
 #include "core/odh.h"
+#include "sql/session.h"
 
 using odh::Datum;
 using odh::core::OdhOptions;
 using odh::core::OdhSystem;
 using odh::kMicrosPerSecond;
 using odh::sql::QueryResult;
+using odh::sql::Session;
 
 namespace {
 
@@ -27,8 +29,8 @@ void Check(bool ok, const std::string& what) {
 
 /// Runs a statement, prints it with its row count, and fails the smoke if
 /// it errors or returns no rows.
-QueryResult MustQuery(OdhSystem* odh, const std::string& sql) {
-  auto r = odh->engine()->Execute(sql);
+QueryResult MustQuery(Session* session, const std::string& sql) {
+  auto r = session->Execute(sql);
   if (!r.ok()) {
     Check(false, sql + " -> " + r.status().ToString());
     return {};
@@ -67,15 +69,16 @@ int main() {
     }
   }
   if (!odh.FlushAll().ok()) return 2;
+  Session session(odh.engine());
 
   // A query with a known answer, so odh_queries has something to show.
   auto agg = MustQuery(
-      &odh, "SELECT COUNT(*), AVG(temp) FROM env_v WHERE id = 1");
+      &session, "SELECT COUNT(*), AVG(temp) FROM env_v WHERE id = 1");
   Check(!agg.rows.empty() && agg.rows[0][0] == Datum::Int64(kPoints),
         "aggregate answers COUNT(*) = " + std::to_string(kPoints));
 
   // odh_metrics: the writer gauge must account for every ingested point.
-  auto metrics = MustQuery(&odh, "SELECT * FROM odh_metrics");
+  auto metrics = MustQuery(&session, "SELECT * FROM odh_metrics");
   Check(MetricValue(metrics, "odh.writer.points_ingested") ==
             static_cast<double>(kSources * kPoints),
         "odh.writer.points_ingested == " +
@@ -85,7 +88,7 @@ int main() {
 
   // odh_storage: the RTS partition holds all points, compressed.
   auto storage = MustQuery(
-      &odh, "SELECT * FROM odh_storage WHERE container = 'rts'");
+      &session, "SELECT * FROM odh_storage WHERE container = 'rts'");
   Check(!storage.rows.empty() &&
             storage.rows[0][4] == Datum::Int64(kSources * kPoints),
         "odh_storage rts point_count == " +
@@ -95,7 +98,8 @@ int main() {
         "rts compression_ratio > 1");
 
   // odh_queries: the aggregate above is in the ring with its path label.
-  auto queries = MustQuery(&odh, "SELECT statement, path FROM odh_queries");
+  auto queries = MustQuery(&session,
+                           "SELECT statement, path FROM odh_queries");
   bool logged = false;
   for (const odh::Row& row : queries.rows) {
     if (row[0] == Datum::String(
@@ -107,9 +111,20 @@ int main() {
 
   // EXPLAIN PROFILE: metric rows, path first.
   auto profile = MustQuery(
-      &odh, "EXPLAIN PROFILE SELECT COUNT(*) FROM env_v WHERE id = 2");
+      &session, "EXPLAIN PROFILE SELECT COUNT(*) FROM env_v WHERE id = 2");
   Check(!profile.rows.empty() && profile.rows[0][0] == Datum::String("path"),
         "EXPLAIN PROFILE leads with the executed path");
+
+  // Session-level observability: preparing the same text twice hits the
+  // statement cache, and the second execution skips parse/bind.
+  auto p1 = session.Prepare("SELECT COUNT(*) FROM env_v WHERE id = ?");
+  auto p2 = session.Prepare("SELECT COUNT(*) FROM env_v WHERE id = ?");
+  Check(p1.ok() && p2.ok() && session.stats().prepare_cache_hits == 1,
+        "prepared-statement cache reports a hit on re-prepare");
+  auto prepared_run =
+      session.ExecutePrepared(*p2, {Datum::Int64(3)});
+  Check(prepared_run.ok() && prepared_run->profile.prepared,
+        "prepared execution is flagged in its query profile");
 
   if (g_failures > 0) {
     std::printf("observability smoke: %d failure(s)\n", g_failures);

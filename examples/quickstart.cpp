@@ -12,6 +12,7 @@
 
 #include "common/logging.h"
 #include "core/odh.h"
+#include "sql/session.h"
 
 using odh::Datum;
 using odh::kMicrosPerSecond;
@@ -34,6 +35,10 @@ void PrintResult(const odh::sql::QueryResult& result) {
 
 int main() {
   OdhSystem odh;
+  // All SQL goes through a Session — per-connection state with prepared
+  // statements and streaming results (the engine itself only hosts the
+  // catalog and shared locks).
+  odh::sql::Session session(odh.engine());
 
   // 1. Define the schema type: every environment sensor produces
   // (timestamp, id, temperature, wind). ODH exposes it as the virtual
@@ -48,13 +53,18 @@ int main() {
   }
 
   // 3. Relational data lives in the same database (fusion!).
-  ODH_CHECK_OK(odh.engine()
-                   ->Execute("CREATE TABLE sensor_info "
-                             "(id BIGINT, area VARCHAR)")
+  ODH_CHECK_OK(session
+                   .Execute("CREATE TABLE sensor_info "
+                            "(id BIGINT, area VARCHAR)")
                    .status());
-  ODH_CHECK_OK(odh.engine()
-                   ->Execute("INSERT INTO sensor_info VALUES "
-                             "(1,'S1'), (2,'S1'), (3,'S2'), (4,'S2')")
+  // Parameterized INSERT: `?` placeholders bind positionally.
+  ODH_CHECK_OK(session
+                   .Execute("INSERT INTO sensor_info VALUES "
+                            "(?,?), (?,?), (?,?), (?,?)",
+                            {Datum::Int64(1), Datum::String("S1"),
+                             Datum::Int64(2), Datum::String("S1"),
+                             Datum::Int64(3), Datum::String("S2"),
+                             Datum::Int64(4), Datum::String("S2")})
                    .status());
 
   // 4. Ingest five minutes of readings through the writer API.
@@ -73,22 +83,39 @@ int main() {
               odh.storage_bytes() / 1024.0);
 
   // 5. The paper's fusion query: operational + relational in one SQL.
-  auto fusion = odh.engine()->Execute(
+  // Prepared once, executed with bound parameters — re-execution skips
+  // parse and bind entirely.
+  auto fusion_stmt = session.Prepare(
       "SELECT ts, temperature, wind "
       "FROM environ_data_v a, sensor_info b "
-      "WHERE a.id = b.id AND b.area = 'S1' "
+      "WHERE a.id = b.id AND b.area = ? "
       "AND ts BETWEEN '1970-01-01 00:00:10' AND '1970-01-01 00:00:12'");
+  ODH_CHECK_OK(fusion_stmt.status());
+  auto fusion = session.ExecutePrepared(*fusion_stmt, {Datum::String("S1")});
   ODH_CHECK_OK(fusion.status());
   std::printf("Fusion query (area S1, 3-second window):\n");
   PrintResult(*fusion);
 
   // 6. Analytics over the virtual table.
-  auto stats = odh.engine()->Execute(
+  auto stats = session.Execute(
       "SELECT id, COUNT(*), AVG(temperature), MAX(wind) "
       "FROM environ_data_v GROUP BY id ORDER BY id");
   ODH_CHECK_OK(stats.status());
   std::printf("Per-sensor statistics:\n");
   PrintResult(*stats);
+
+  // 6b. Streaming execution: rows come off the scan one at a time and the
+  // result is never materialized — how a dashboard pages through history.
+  auto stream = session.ExecuteStreaming(
+      "SELECT ts, temperature FROM environ_data_v WHERE id = ?",
+      {Datum::Int64(3)});
+  ODH_CHECK_OK(stream.status());
+  odh::Row row;
+  int64_t streamed = 0;
+  while ((*stream)->Next(&row).value()) ++streamed;
+  std::printf("Streamed %lld rows for sensor 3 (path: %s)\n\n",
+              static_cast<long long>(streamed),
+              (*stream)->profile().path.c_str());
 
   // 7. The native (SQL-bypassing) read path.
   auto cursor = odh.HistoricalQuery(type, 2, 0, odh::kMaxTimestamp).value();

@@ -14,6 +14,7 @@
 #include "common/stopwatch.h"
 #include "core/odh.h"
 #include "relational/database.h"
+#include "sql/session.h"
 
 using namespace odh;            // NOLINT: example brevity.
 using namespace odh::core;      // NOLINT
@@ -57,8 +58,9 @@ int main(int argc, char** argv) {
   // Slice query: one reading round across every meter (the paper's
   // "real-time power consumption reporting"; it took 150-200 s for 35M
   // meters on the customer's hardware).
+  sql::Session session(odh.engine());
   Stopwatch slice_timer;
-  auto slice = odh.engine()->Execute(
+  auto slice = session.Execute(
       "SELECT COUNT(*), SUM(kwh) FROM meters_v "
       "WHERE ts = '1970-01-01 01:00:00'");
   ODH_CHECK_OK(slice.status());
@@ -76,11 +78,9 @@ int main(int argc, char** argv) {
 
   // Historical query on one meter (billing-style read).
   const long long sample_meter = num_meters / 2 + 1;
-  char history_sql[128];
-  snprintf(history_sql, sizeof(history_sql),
-           "SELECT ts, kwh FROM meters_v WHERE id = %lld ORDER BY ts",
-           sample_meter);
-  auto history = odh.engine()->Execute(history_sql);
+  auto history = session.Execute(
+      "SELECT ts, kwh FROM meters_v WHERE id = ? ORDER BY ts",
+      {Datum::Int64(sample_meter)});
   ODH_CHECK_OK(history.status());
   std::printf("Meter %lld history: %zu readings, first=%s last=%s\n\n",
               sample_meter,

@@ -13,6 +13,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "core/odh.h"
+#include "sql/session.h"
 
 using namespace odh;        // NOLINT: example brevity.
 using namespace odh::core;  // NOLINT
@@ -64,7 +65,8 @@ int main(int argc, char** argv) {
 
   // Real-time monitoring: the latest samples are still in the writer
   // buffers; ODH's dirty-read isolation makes them queryable immediately.
-  auto live = odh.engine()->Execute(
+  sql::Session session(odh.engine());
+  auto live = session.Execute(
       "SELECT COUNT(*) FROM pmu_v WHERE ts > '1970-01-01 00:00:19'");
   ODH_CHECK_OK(live.status());
   std::printf("Live (partly unflushed) samples in the last second: %s\n",
@@ -80,9 +82,10 @@ int main(int argc, char** argv) {
   // Post-event analysis: one PMU's voltage magnitude around a timestamp
   // (grid-disturbance forensics), via the tag-oriented read path.
   Stopwatch query_timer;
-  auto history = odh.engine()->Execute(
-      "SELECT ts, v_mag FROM pmu_v WHERE id = 42 AND "
-      "ts BETWEEN '1970-01-01 00:00:05' AND '1970-01-01 00:00:10'");
+  auto history = session.Execute(
+      "SELECT ts, v_mag FROM pmu_v WHERE id = ? AND "
+      "ts BETWEEN '1970-01-01 00:00:05' AND '1970-01-01 00:00:10'",
+      {Datum::Int64(42)});
   ODH_CHECK_OK(history.status());
   std::printf("PMU 42 voltage trace 05-10 s: %zu samples in %.1f ms\n",
               history->rows.size(), query_timer.ElapsedSeconds() * 1000);

@@ -93,6 +93,14 @@ class Status {
     return code_ == StatusCode::kInvalidArgument;
   }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 

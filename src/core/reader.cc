@@ -108,7 +108,11 @@ class OdhScanCursorImpl : public RecordCursor, public RecordBatchCursor {
   }
 
   /// Row-at-a-time view: drains the current batch record by record.
+  /// Poison contract: a failed refill poisons the cursor — continuing past
+  /// it would silently drop the blob that failed to decode and resume with
+  /// the next one, truncating the scan.
   Result<bool> Next(OperationalRecord* record) override {
+    if (!poison_.ok()) return poison_;
     while (true) {
       if (row_pos_ < batch_.rows()) {
         const size_t i = row_pos_++;
@@ -127,14 +131,18 @@ class OdhScanCursorImpl : public RecordCursor, public RecordBatchCursor {
         return true;
       }
       row_pos_ = 0;
-      ODH_ASSIGN_OR_RETURN(bool more, ProduceBatch(&batch_));
-      if (!more) return false;
+      Result<bool> refilled = ProduceBatch(&batch_);
+      if (!refilled.ok()) return poison_ = refilled.status();
+      if (!refilled.value()) return false;
     }
   }
 
   /// Columnar view: one decoded blob per call (possibly zero rows).
   Result<bool> Next(RecordBatch* batch) override {
-    ODH_ASSIGN_OR_RETURN(bool more, ProduceBatch(batch));
+    if (!poison_.ok()) return poison_;
+    Result<bool> produced = ProduceBatch(batch);
+    if (!produced.ok()) return poison_ = produced.status();
+    const bool more = produced.value();
     if (more) {
       reader_->records_emitted_.fetch_add(
           static_cast<int64_t>(batch->rows()), std::memory_order_relaxed);
@@ -344,6 +352,7 @@ class OdhScanCursorImpl : public RecordCursor, public RecordBatchCursor {
   /// Current batch being drained by the row-at-a-time view.
   RecordBatch batch_;
   size_t row_pos_ = 0;
+  Status poison_;  // First error seen; repeated by every later Next.
   std::vector<OperationalRecord> dirty_;
 };
 

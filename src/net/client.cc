@@ -1,0 +1,295 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace odh::net {
+namespace {
+
+// send() with MSG_NOSIGNAL: a server hang-up surfaces as an IoError
+// Status, not a process-killing SIGPIPE.
+Status WriteAll(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("write: " + std::string(std::strerror(errno)));
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ClientCursor ---------------------------------------------------------------
+
+ClientCursor::~ClientCursor() {
+  // Drain the wire so the connection is reusable for the next statement.
+  if (!finished_ && client_ != nullptr) {
+    Row discard;
+    while (true) {
+      Result<bool> more = Next(&discard);
+      if (!more.ok() || !more.value()) break;
+    }
+  }
+  if (client_ != nullptr && client_->active_cursor_ == this) {
+    client_->active_cursor_ = nullptr;
+  }
+}
+
+Result<bool> ClientCursor::Next(Row* row) {
+  if (!poison_.ok()) return poison_;
+  while (pending_.empty()) {
+    if (finished_) return false;
+    Status advanced = client_->Advance(this);
+    if (!advanced.ok()) {
+      poison_ = advanced;
+      finished_ = true;
+      return poison_;
+    }
+  }
+  *row = std::move(pending_.front());
+  pending_.pop_front();
+  return true;
+}
+
+// Client ---------------------------------------------------------------------
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ < 0) return;
+  std::string out;
+  AppendFrame(&out, FrameType::kBye, Slice());
+  (void)WriteAll(fd_, out.data(), out.size());
+  ::close(fd_);
+  fd_ = -1;
+  if (active_cursor_ != nullptr) {
+    // Orphan the cursor: it keeps its buffered rows but can't refill.
+    active_cursor_->client_ = nullptr;
+    if (!active_cursor_->finished_) {
+      active_cursor_->poison_ = Status::IoError("connection closed");
+      active_cursor_->finished_ = true;
+    }
+    active_cursor_ = nullptr;
+  }
+}
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError("socket: " + std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    ::close(fd);
+    return Status::IoError("connect: " + std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  std::unique_ptr<Client> client(new Client());
+  client->fd_ = fd;
+  ODH_RETURN_IF_ERROR(
+      client->SendFrame(FrameType::kHello, EncodeHello(kProtocolVersion)));
+  Frame frame;
+  ODH_ASSIGN_OR_RETURN(bool got, client->ReadInto(&frame));
+  if (!got) return Status::IoError("server closed during handshake");
+  if (frame.type == FrameType::kRejected) {
+    return Status::ResourceExhausted(
+        "server rejected connection: " +
+        std::string(frame.payload.data(), frame.payload.size()));
+  }
+  uint32_t version = 0;
+  uint64_t session_id = 0;
+  if (frame.type != FrameType::kWelcome ||
+      !DecodeWelcome(Slice(frame.payload), &version, &session_id)) {
+    return Status::IoError("bad handshake reply");
+  }
+  client->session_id_ = session_id;
+  return client;
+}
+
+Status Client::SendFrame(FrameType type, const std::string& payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is closed");
+  std::string out;
+  AppendFrame(&out, type, Slice(payload));
+  return WriteAll(fd_, out.data(), out.size());
+}
+
+Result<bool> Client::ReadInto(Frame* frame) {
+  while (true) {
+    ODH_ASSIGN_OR_RETURN(size_t consumed, ParseFrame(Slice(rdbuf_), frame));
+    if (consumed > 0) {
+      rdbuf_.erase(0, consumed);
+      return true;
+    }
+    char chunk[4096];
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("read: " + std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      if (!rdbuf_.empty()) {
+        return Status::IoError("connection closed mid-frame");
+      }
+      return false;
+    }
+    rdbuf_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<std::unique_ptr<ClientCursor>> Client::StartStream(
+    FrameType type, std::string payload) {
+  if (active_cursor_ != nullptr) {
+    return Status::FailedPrecondition(
+        "a result stream is still open; drain or destroy it first");
+  }
+  ODH_RETURN_IF_ERROR(SendFrame(type, payload));
+  Frame frame;
+  ODH_ASSIGN_OR_RETURN(bool got, ReadInto(&frame));
+  if (!got) return Status::IoError("server closed mid-statement");
+  if (frame.type == FrameType::kError) {
+    Status remote;
+    if (!DecodeError(Slice(frame.payload), &remote)) {
+      return Status::IoError("bad error frame");
+    }
+    return remote;
+  }
+  if (frame.type != FrameType::kResultHeader) {
+    return Status::IoError("expected result header");
+  }
+  std::unique_ptr<ClientCursor> cursor(new ClientCursor(this));
+  if (!DecodeColumns(Slice(frame.payload), &cursor->columns_)) {
+    return Status::IoError("bad result header");
+  }
+  active_cursor_ = cursor.get();
+  return cursor;
+}
+
+Status Client::Advance(ClientCursor* cursor) {
+  Frame frame;
+  ODH_ASSIGN_OR_RETURN(bool got, ReadInto(&frame));
+  if (!got) return Status::IoError("server closed mid-stream");
+  switch (frame.type) {
+    case FrameType::kRowBatch: {
+      std::vector<Row> rows;
+      if (!DecodeRowBatch(Slice(frame.payload), &rows)) {
+        return Status::IoError("bad row batch");
+      }
+      for (Row& row : rows) cursor->pending_.push_back(std::move(row));
+      return Status::OK();
+    }
+    case FrameType::kDone: {
+      if (!DecodeDone(Slice(frame.payload), &cursor->done_)) {
+        return Status::IoError("bad done frame");
+      }
+      cursor->finished_ = true;
+      if (active_cursor_ == cursor) active_cursor_ = nullptr;
+      return Status::OK();
+    }
+    case FrameType::kError: {
+      Status remote;
+      if (!DecodeError(Slice(frame.payload), &remote)) {
+        return Status::IoError("bad error frame");
+      }
+      if (active_cursor_ == cursor) active_cursor_ = nullptr;
+      return remote;
+    }
+    default:
+      return Status::IoError("unexpected frame in result stream");
+  }
+}
+
+Result<ClientResult> Client::Drain(std::unique_ptr<ClientCursor> cursor) {
+  ClientResult result;
+  result.columns = cursor->columns();
+  Row row;
+  while (true) {
+    ODH_ASSIGN_OR_RETURN(bool more, cursor->Next(&row));
+    if (!more) break;
+    result.rows.push_back(std::move(row));
+  }
+  result.done = cursor->done();
+  return result;
+}
+
+Result<ClientResult> Client::Query(const std::string& sql,
+                                   const std::vector<Datum>& params) {
+  ODH_ASSIGN_OR_RETURN(std::unique_ptr<ClientCursor> cursor,
+                       QueryStream(sql, params));
+  return Drain(std::move(cursor));
+}
+
+Result<std::unique_ptr<ClientCursor>> Client::QueryStream(
+    const std::string& sql, const std::vector<Datum>& params) {
+  return StartStream(FrameType::kQuery, EncodeQuery(sql, params));
+}
+
+Result<ClientStatement> Client::Prepare(const std::string& sql) {
+  if (active_cursor_ != nullptr) {
+    return Status::FailedPrecondition(
+        "a result stream is still open; drain or destroy it first");
+  }
+  std::string payload;
+  PutString(&payload, sql);
+  ODH_RETURN_IF_ERROR(SendFrame(FrameType::kPrepare, payload));
+  Frame frame;
+  ODH_ASSIGN_OR_RETURN(bool got, ReadInto(&frame));
+  if (!got) return Status::IoError("server closed mid-prepare");
+  if (frame.type == FrameType::kError) {
+    Status remote;
+    if (!DecodeError(Slice(frame.payload), &remote)) {
+      return Status::IoError("bad error frame");
+    }
+    return remote;
+  }
+  ClientStatement stmt;
+  uint32_t param_count = 0;
+  if (frame.type != FrameType::kPrepared ||
+      !DecodePrepared(Slice(frame.payload), &stmt.id, &param_count,
+                      &stmt.columns)) {
+    return Status::IoError("bad prepare reply");
+  }
+  stmt.param_count = static_cast<int>(param_count);
+  return stmt;
+}
+
+Result<ClientResult> Client::Execute(const ClientStatement& stmt,
+                                     const std::vector<Datum>& params) {
+  ODH_ASSIGN_OR_RETURN(std::unique_ptr<ClientCursor> cursor,
+                       ExecuteStream(stmt, params));
+  return Drain(std::move(cursor));
+}
+
+Result<std::unique_ptr<ClientCursor>> Client::ExecuteStream(
+    const ClientStatement& stmt, const std::vector<Datum>& params) {
+  return StartStream(FrameType::kExecute, EncodeExecute(stmt.id, params));
+}
+
+Status Client::CloseStatement(const ClientStatement& stmt) {
+  return SendFrame(FrameType::kCloseStmt, EncodeStmtId(stmt.id));
+}
+
+}  // namespace odh::net

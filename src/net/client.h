@@ -1,0 +1,122 @@
+#ifndef ODH_NET_CLIENT_H_
+#define ODH_NET_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/datum.h"
+#include "common/result.h"
+#include "net/wire.h"
+
+namespace odh::net {
+
+/// A prepared statement's server-side handle.
+struct ClientStatement {
+  uint64_t id = 0;
+  int param_count = 0;
+  std::vector<std::string> columns;  // SELECT output names; empty otherwise.
+};
+
+/// A fully materialized statement result.
+struct ClientResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  DoneInfo done;  // Affected rows, executed path, server-side timings.
+};
+
+class Client;
+
+/// Pull-based view of one in-flight statement's result: rows arrive in
+/// RowBatch frames and are handed out one at a time, so the client holds
+/// at most one batch in memory. Follows the RowCursor poison contract:
+/// after a non-OK Next every further Next returns the same error.
+///
+/// The owning Client allows a single outstanding stream; drain it (Next
+/// to false/error) or destroy it before issuing the next statement —
+/// destruction drains the wire quietly.
+class ClientCursor {
+ public:
+  ~ClientCursor();
+  ClientCursor(const ClientCursor&) = delete;
+  ClientCursor& operator=(const ClientCursor&) = delete;
+
+  Result<bool> Next(Row* row);
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  /// Valid once Next has returned false (the Done frame carries it).
+  const DoneInfo& done() const { return done_; }
+
+ private:
+  friend class Client;
+  explicit ClientCursor(Client* client) : client_(client) {}
+
+  Client* client_;
+  std::vector<std::string> columns_;
+  std::deque<Row> pending_;
+  DoneInfo done_;
+  bool finished_ = false;
+  Status poison_;
+};
+
+/// Thin blocking client for the historian protocol. Not thread-safe: one
+/// Client per thread (mirroring one Session per connection server-side).
+///
+/// Connect() performs the handshake; a server at its session limit
+/// answers with a Rejected frame, surfaced as kResourceExhausted — the
+/// admission-control backpressure signal callers should back off on.
+class Client {
+ public:
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 int port);
+
+  /// One-shot execution, materialized.
+  Result<ClientResult> Query(const std::string& sql,
+                             const std::vector<Datum>& params = {});
+  /// One-shot execution, streaming.
+  Result<std::unique_ptr<ClientCursor>> QueryStream(
+      const std::string& sql, const std::vector<Datum>& params = {});
+
+  Result<ClientStatement> Prepare(const std::string& sql);
+  Result<ClientResult> Execute(const ClientStatement& stmt,
+                               const std::vector<Datum>& params = {});
+  Result<std::unique_ptr<ClientCursor>> ExecuteStream(
+      const ClientStatement& stmt, const std::vector<Datum>& params = {});
+  /// Frees the server-side handle (fire-and-forget).
+  Status CloseStatement(const ClientStatement& stmt);
+
+  uint64_t session_id() const { return session_id_; }
+
+  /// Sends Bye and closes the socket. Idempotent; also run by the dtor.
+  void Close();
+
+ private:
+  Client() = default;
+
+  Status SendFrame(FrameType type, const std::string& payload);
+  Result<bool> ReadInto(Frame* frame);
+  /// Sends a statement frame and consumes its ResultHeader (or Error).
+  Result<std::unique_ptr<ClientCursor>> StartStream(FrameType type,
+                                                    std::string payload);
+  /// Pulls the next RowBatch/Done/Error frame for `cursor`.
+  Status Advance(ClientCursor* cursor);
+  Result<ClientResult> Drain(std::unique_ptr<ClientCursor> cursor);
+
+  int fd_ = -1;
+  uint64_t session_id_ = 0;
+  std::string rdbuf_;
+  /// The single outstanding streaming cursor, if any.
+  ClientCursor* active_cursor_ = nullptr;
+
+  friend class ClientCursor;
+};
+
+}  // namespace odh::net
+
+#endif  // ODH_NET_CLIENT_H_

@@ -1,0 +1,333 @@
+#include "net/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "net/wire.h"
+#include "sql/session.h"
+
+namespace odh::net {
+namespace {
+
+/// send() until everything is out (or a hard error). EINTR-robust;
+/// MSG_NOSIGNAL turns a peer hang-up into EPIPE instead of SIGPIPE.
+Status WriteAll(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("write: " + std::string(std::strerror(errno)));
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Reads one frame off the socket into *frame, buffering through *buffer
+/// (carry-over bytes between calls). False value = clean EOF at a frame
+/// boundary; error = I/O failure or corrupt stream.
+Result<bool> ReadFrame(int fd, std::string* buffer, Frame* frame) {
+  while (true) {
+    ODH_ASSIGN_OR_RETURN(size_t consumed, ParseFrame(Slice(*buffer), frame));
+    if (consumed > 0) {
+      buffer->erase(0, consumed);
+      return true;
+    }
+    char chunk[4096];
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("read: " + std::string(std::strerror(errno)));
+    }
+    if (n == 0) {
+      if (!buffer->empty()) {
+        return Status::IoError("connection closed mid-frame");
+      }
+      return false;
+    }
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace
+
+HistorianServer::HistorianServer(sql::SqlEngine* engine,
+                                 ServerOptions options,
+                                 common::MetricsRegistry* metrics)
+    : engine_(engine), options_(std::move(options)) {
+  if (options_.max_sessions < 1) options_.max_sessions = 1;
+  if (options_.rows_per_batch < 1) options_.rows_per_batch = 1;
+  if (metrics != nullptr) {
+    sessions_total_metric_ = metrics->GetCounter("net.sessions_total");
+    sessions_rejected_metric_ = metrics->GetCounter("net.sessions_rejected");
+    frames_sent_metric_ = metrics->GetCounter("net.frames_sent");
+    rows_streamed_metric_ = metrics->GetCounter("net.rows_streamed");
+    request_micros_metric_ = metrics->GetHistogram("net.request_micros");
+    metrics->RegisterGauge("net.sessions_open", [this] {
+      return static_cast<double>(
+          sessions_open_.load(std::memory_order_relaxed));
+    });
+  }
+}
+
+HistorianServer::~HistorianServer() { Stop(); }
+
+Result<int> HistorianServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError("socket: " + std::string(std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("bind: " + std::string(std::strerror(errno)));
+  }
+  if (::listen(listen_fd_, options_.listen_backlog) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("listen: " + std::string(std::strerror(errno)));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+
+  workers_ = std::make_unique<common::ThreadPool>(options_.max_sessions);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return port_;
+}
+
+void HistorianServer::Stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Unblock handlers stuck in read(); they close their own fds.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  // ThreadPool teardown joins the workers, i.e. waits for every admitted
+  // session handler to return.
+  workers_.reset();
+}
+
+void HistorianServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // Listener closed (Stop) or fatal accept error.
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Admission control. Only this thread admits, so the check-and-admit
+    // below cannot overshoot max_sessions.
+    if (sessions_open_.load(std::memory_order_relaxed) >=
+        options_.max_sessions) {
+      sessions_rejected_.fetch_add(1, std::memory_order_relaxed);
+      if (sessions_rejected_metric_ != nullptr) {
+        sessions_rejected_metric_->Add(1);
+      }
+      std::string out;
+      AppendFrame(&out, FrameType::kRejected,
+                  Slice("server at max_sessions, retry later"));
+      (void)WriteAll(fd, out.data(), out.size());  // Best effort.
+      ::close(fd);
+      continue;
+    }
+    sessions_open_.fetch_add(1, std::memory_order_relaxed);
+    if (sessions_total_metric_ != nullptr) sessions_total_metric_->Add(1);
+    const uint64_t session_id =
+        next_session_id_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conn_fds_.insert(fd);
+    }
+    workers_->Submit([this, fd, session_id] {
+      ServeConnection(fd, session_id);
+      {
+        std::lock_guard<std::mutex> lock(conn_mu_);
+        conn_fds_.erase(fd);
+      }
+      ::close(fd);
+      sessions_open_.fetch_sub(1, std::memory_order_relaxed);
+    });
+  }
+}
+
+void HistorianServer::ServeConnection(int fd, uint64_t session_id) {
+  std::string rdbuf;
+  Frame frame;
+
+  auto send = [&](FrameType type, const std::string& payload) -> bool {
+    std::string out;
+    AppendFrame(&out, type, Slice(payload));
+    frames_sent_.fetch_add(1, std::memory_order_relaxed);
+    if (frames_sent_metric_ != nullptr) frames_sent_metric_->Add(1);
+    return WriteAll(fd, out.data(), out.size()).ok();
+  };
+
+  // Handshake: the first frame must be a version-compatible Hello.
+  {
+    Result<bool> got = ReadFrame(fd, &rdbuf, &frame);
+    if (!got.ok() || !got.value() || frame.type != FrameType::kHello) return;
+    uint32_t version = 0;
+    if (!DecodeHello(Slice(frame.payload), &version) ||
+        version != kProtocolVersion) {
+      send(FrameType::kRejected, "unsupported protocol version");
+      return;
+    }
+    if (!send(FrameType::kWelcome,
+              EncodeWelcome(kProtocolVersion, session_id))) {
+      return;
+    }
+  }
+
+  sql::Session session(engine_);
+  std::map<uint64_t, std::shared_ptr<const sql::PreparedStatement>> stmts;
+  uint64_t next_stmt_id = 1;
+
+  // Streams the result of one statement back as Header RowBatch* Done.
+  // Returns false when the socket broke (caller hangs up).
+  auto stream_result = [&](sql::QueryStream* stream) -> bool {
+    if (!send(FrameType::kResultHeader, EncodeColumns(stream->columns()))) {
+      return false;
+    }
+    std::vector<Row> batch;
+    batch.reserve(static_cast<size_t>(options_.rows_per_batch));
+    while (true) {
+      Row row;
+      Result<bool> more = stream->Next(&row);
+      if (!more.ok()) {
+        // Mid-stream failure: the rows already sent stand; the error frame
+        // tells the client the stream is poisoned, the session lives on.
+        return send(FrameType::kError, EncodeError(more.status()));
+      }
+      if (more.value()) {
+        batch.push_back(std::move(row));
+        if (batch.size() < static_cast<size_t>(options_.rows_per_batch)) {
+          continue;
+        }
+      }
+      if (!batch.empty()) {
+        rows_streamed_.fetch_add(static_cast<int64_t>(batch.size()),
+                                 std::memory_order_relaxed);
+        if (rows_streamed_metric_ != nullptr) {
+          rows_streamed_metric_->Add(static_cast<int64_t>(batch.size()));
+        }
+        if (!send(FrameType::kRowBatch, EncodeRowBatch(batch))) return false;
+        batch.clear();
+      }
+      if (!more.value()) break;
+    }
+    DoneInfo done;
+    done.affected_rows = stream->affected_rows();
+    done.rows_returned = stream->profile().rows_returned;
+    done.path = stream->profile().path;
+    done.plan_micros = stream->profile().plan_micros;
+    done.total_micros = stream->profile().total_micros;
+    return send(FrameType::kDone, EncodeDone(done));
+  };
+
+  while (true) {
+    Result<bool> got = ReadFrame(fd, &rdbuf, &frame);
+    if (!got.ok() || !got.value()) return;  // EOF, I/O error or garbage.
+    Stopwatch request_timer;
+    switch (frame.type) {
+      case FrameType::kQuery: {
+        std::string sql;
+        std::vector<Datum> params;
+        if (!DecodeQuery(Slice(frame.payload), &sql, &params)) return;
+        auto stream = session.ExecuteStreaming(sql, params);
+        if (!stream.ok()) {
+          if (!send(FrameType::kError, EncodeError(stream.status()))) return;
+          break;
+        }
+        if (!stream_result(stream.value().get())) return;
+        break;
+      }
+      case FrameType::kPrepare: {
+        Slice in(frame.payload);
+        std::string sql;
+        if (!GetString(&in, &sql) || !in.empty()) return;
+        auto prepared = session.Prepare(sql);
+        if (!prepared.ok()) {
+          if (!send(FrameType::kError, EncodeError(prepared.status()))) {
+            return;
+          }
+          break;
+        }
+        const uint64_t id = next_stmt_id++;
+        stmts[id] = prepared.value();
+        if (!send(FrameType::kPrepared,
+                  EncodePrepared(
+                      id,
+                      static_cast<uint32_t>(prepared.value()->param_count()),
+                      prepared.value()->columns()))) {
+          return;
+        }
+        break;
+      }
+      case FrameType::kExecute: {
+        uint64_t id = 0;
+        std::vector<Datum> params;
+        if (!DecodeExecute(Slice(frame.payload), &id, &params)) return;
+        auto it = stmts.find(id);
+        if (it == stmts.end()) {
+          if (!send(FrameType::kError,
+                    EncodeError(Status::NotFound(
+                        "no such prepared statement")))) {
+            return;
+          }
+          break;
+        }
+        auto stream = session.ExecuteStreamingPrepared(it->second, params);
+        if (!stream.ok()) {
+          if (!send(FrameType::kError, EncodeError(stream.status()))) return;
+          break;
+        }
+        if (!stream_result(stream.value().get())) return;
+        break;
+      }
+      case FrameType::kCloseStmt: {
+        uint64_t id = 0;
+        if (!DecodeStmtId(Slice(frame.payload), &id)) return;
+        stmts.erase(id);
+        break;
+      }
+      case FrameType::kBye:
+        return;
+      default:
+        return;  // Client sent a server-only frame: protocol violation.
+    }
+    if (request_micros_metric_ != nullptr) {
+      request_micros_metric_->Observe(request_timer.ElapsedMicros());
+    }
+  }
+}
+
+}  // namespace odh::net

@@ -1,0 +1,107 @@
+#ifndef ODH_NET_SERVER_H_
+#define ODH_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "sql/engine.h"
+
+namespace odh::net {
+
+struct ServerOptions {
+  /// TCP port to listen on; 0 picks a free port (see HistorianServer::port).
+  int port = 0;
+  /// Admission-control bound: connections beyond this many concurrently
+  /// open sessions are turned away with a Rejected frame. Also sizes the
+  /// session worker pool (one thread per admitted session).
+  int max_sessions = 64;
+  int listen_backlog = 128;
+  /// Rows per RowBatch frame when streaming results.
+  int rows_per_batch = 256;
+};
+
+/// The historian's network front door: a TCP server where each accepted
+/// connection gets its own sql::Session (prepared statements and session
+/// stats are per-connection) running on a bounded worker pool, with
+/// results streamed back in RowBatch frames — the server never
+/// materializes more than one batch of a result at a time, so a client
+/// paging through years of history costs O(rows_per_batch) server memory.
+///
+/// Admission control: the accept loop counts open sessions; a connection
+/// arriving when max_sessions are open is sent a Rejected frame and
+/// closed (observable as net.sessions_rejected). Since only the accept
+/// thread admits, the bound is exact.
+///
+/// Metrics (when a registry is passed): net.sessions_open gauge,
+/// net.sessions_total / net.sessions_rejected / net.frames_sent /
+/// net.rows_streamed counters, net.request_micros histogram. Passing the
+/// OdhSystem's registry makes them visible in the odh_metrics table.
+class HistorianServer {
+ public:
+  HistorianServer(sql::SqlEngine* engine, ServerOptions options,
+                  common::MetricsRegistry* metrics = nullptr);
+  ~HistorianServer();
+
+  HistorianServer(const HistorianServer&) = delete;
+  HistorianServer& operator=(const HistorianServer&) = delete;
+
+  /// Binds, listens and starts the accept loop. Returns the bound port.
+  Result<int> Start();
+
+  /// Stops accepting, shuts down every live session socket and joins all
+  /// workers. Idempotent; also called by the destructor.
+  void Stop();
+
+  /// The bound port (valid after Start).
+  int port() const { return port_; }
+
+  /// Sessions currently open (admitted and not yet closed).
+  int sessions_open() const {
+    return sessions_open_.load(std::memory_order_relaxed);
+  }
+  int64_t sessions_rejected() const {
+    return sessions_rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd, uint64_t session_id);
+
+  sql::SqlEngine* engine_;
+  ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> sessions_open_{0};
+  std::atomic<int64_t> sessions_rejected_{0};
+  std::atomic<int64_t> frames_sent_{0};
+  std::atomic<int64_t> rows_streamed_{0};
+  std::atomic<uint64_t> next_session_id_{1};
+
+  std::thread accept_thread_;
+  /// One worker per admissible session; sized by options_.max_sessions.
+  std::unique_ptr<common::ThreadPool> workers_;
+
+  /// Live session sockets, so Stop can unblock handlers mid-read.
+  std::mutex conn_mu_;
+  std::set<int> conn_fds_;
+
+  // Wired at construction when a registry is provided; null otherwise.
+  common::Counter* sessions_total_metric_ = nullptr;
+  common::Counter* sessions_rejected_metric_ = nullptr;
+  common::Counter* frames_sent_metric_ = nullptr;
+  common::Counter* rows_streamed_metric_ = nullptr;
+  common::Histogram* request_micros_metric_ = nullptr;
+};
+
+}  // namespace odh::net
+
+#endif  // ODH_NET_SERVER_H_

@@ -1,0 +1,335 @@
+#include "net/wire.h"
+
+#include "common/coding.h"
+
+namespace odh::net {
+namespace {
+
+/// The dense range of known frame types, for garbage detection.
+constexpr uint8_t kMinFrameType = static_cast<uint8_t>(FrameType::kHello);
+constexpr uint8_t kMaxFrameType = static_cast<uint8_t>(FrameType::kBye);
+
+/// StatusCode values cross the wire as their enum integer; anything out of
+/// range decodes as kInternal rather than failing the frame.
+constexpr uint32_t kMaxStatusCode =
+    static_cast<uint32_t>(StatusCode::kUnavailable);
+
+}  // namespace
+
+void AppendFrame(std::string* dst, FrameType type, const Slice& payload) {
+  PutFixed32(dst, static_cast<uint32_t>(payload.size()));
+  dst->push_back(static_cast<char>(type));
+  dst->append(payload.data(), payload.size());
+}
+
+Result<size_t> ParseFrame(const Slice& input, Frame* frame) {
+  if (input.size() < 5) return static_cast<size_t>(0);
+  const uint32_t payload_len = DecodeFixed32(input.data());
+  if (payload_len > kMaxFrameBytes) {
+    return Status::InvalidArgument("oversized frame (" +
+                                   std::to_string(payload_len) + " bytes)");
+  }
+  const uint8_t type = static_cast<uint8_t>(input.data()[4]);
+  if (type < kMinFrameType || type > kMaxFrameType) {
+    return Status::InvalidArgument("unknown frame type " +
+                                   std::to_string(type));
+  }
+  const size_t total = 5 + static_cast<size_t>(payload_len);
+  if (input.size() < total) return static_cast<size_t>(0);
+  frame->type = static_cast<FrameType>(type);
+  frame->payload.assign(input.data() + 5, payload_len);
+  return total;
+}
+
+void PutDatum(std::string* dst, const Datum& value) {
+  dst->push_back(static_cast<char>(value.type()));
+  switch (value.type()) {
+    case DataType::kNull:
+      break;
+    case DataType::kBool:
+      dst->push_back(value.bool_value() ? 1 : 0);
+      break;
+    case DataType::kInt64:
+      PutVarintSigned64(dst, value.int64_value());
+      break;
+    case DataType::kTimestamp:
+      PutVarintSigned64(dst, value.timestamp_value());
+      break;
+    case DataType::kDouble:
+      PutDouble(dst, value.double_value());
+      break;
+    case DataType::kString:
+      PutLengthPrefixed(dst, Slice(value.string_value()));
+      break;
+  }
+}
+
+bool GetDatum(Slice* input, Datum* value) {
+  if (input->empty()) return false;
+  const uint8_t tag = static_cast<uint8_t>(input->data()[0]);
+  input->remove_prefix(1);
+  if (tag > static_cast<uint8_t>(DataType::kTimestamp)) return false;
+  switch (static_cast<DataType>(tag)) {
+    case DataType::kNull:
+      *value = Datum::Null();
+      return true;
+    case DataType::kBool: {
+      if (input->empty()) return false;
+      *value = Datum::Bool(input->data()[0] != 0);
+      input->remove_prefix(1);
+      return true;
+    }
+    case DataType::kInt64: {
+      int64_t v;
+      if (!GetVarintSigned64(input, &v)) return false;
+      *value = Datum::Int64(v);
+      return true;
+    }
+    case DataType::kTimestamp: {
+      int64_t v;
+      if (!GetVarintSigned64(input, &v)) return false;
+      *value = Datum::Time(v);
+      return true;
+    }
+    case DataType::kDouble: {
+      double v;
+      if (!GetDouble(input, &v)) return false;
+      *value = Datum::Double(v);
+      return true;
+    }
+    case DataType::kString: {
+      Slice s;
+      if (!GetLengthPrefixed(input, &s)) return false;
+      *value = Datum::String(std::string(s.data(), s.size()));
+      return true;
+    }
+  }
+  return false;
+}
+
+void PutString(std::string* dst, const std::string& s) {
+  PutLengthPrefixed(dst, Slice(s));
+}
+
+bool GetString(Slice* input, std::string* s) {
+  Slice v;
+  if (!GetLengthPrefixed(input, &v)) return false;
+  s->assign(v.data(), v.size());
+  return true;
+}
+
+namespace {
+
+void PutDatums(std::string* dst, const std::vector<Datum>& values) {
+  PutFixed32(dst, static_cast<uint32_t>(values.size()));
+  for (const Datum& v : values) PutDatum(dst, v);
+}
+
+bool GetDatums(Slice* input, std::vector<Datum>* values) {
+  uint32_t n;
+  if (!GetFixed32(input, &n)) return false;
+  // A count can't exceed one datum per remaining payload byte; this bounds
+  // allocation against hostile counts without a second size field.
+  if (n > input->size()) return false;
+  values->clear();
+  values->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Datum v;
+    if (!GetDatum(input, &v)) return false;
+    values->push_back(std::move(v));
+  }
+  return true;
+}
+
+void PutStrings(std::string* dst, const std::vector<std::string>& values) {
+  PutFixed32(dst, static_cast<uint32_t>(values.size()));
+  for (const std::string& s : values) PutString(dst, s);
+}
+
+bool GetStrings(Slice* input, std::vector<std::string>* values) {
+  uint32_t n;
+  if (!GetFixed32(input, &n)) return false;
+  if (n > input->size()) return false;
+  values->clear();
+  values->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string s;
+    if (!GetString(input, &s)) return false;
+    values->push_back(std::move(s));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeHello(uint32_t version) {
+  std::string out;
+  PutFixed32(&out, version);
+  return out;
+}
+
+bool DecodeHello(const Slice& payload, uint32_t* version) {
+  Slice in = payload;
+  return GetFixed32(&in, version) && in.empty();
+}
+
+std::string EncodeWelcome(uint32_t version, uint64_t session_id) {
+  std::string out;
+  PutFixed32(&out, version);
+  PutFixed64(&out, session_id);
+  return out;
+}
+
+bool DecodeWelcome(const Slice& payload, uint32_t* version,
+                   uint64_t* session_id) {
+  Slice in = payload;
+  return GetFixed32(&in, version) && GetFixed64(&in, session_id) &&
+         in.empty();
+}
+
+std::string EncodeQuery(const std::string& sql,
+                        const std::vector<Datum>& params) {
+  std::string out;
+  PutString(&out, sql);
+  PutDatums(&out, params);
+  return out;
+}
+
+bool DecodeQuery(const Slice& payload, std::string* sql,
+                 std::vector<Datum>* params) {
+  Slice in = payload;
+  return GetString(&in, sql) && GetDatums(&in, params) && in.empty();
+}
+
+std::string EncodePrepared(uint64_t stmt_id, uint32_t param_count,
+                           const std::vector<std::string>& columns) {
+  std::string out;
+  PutFixed64(&out, stmt_id);
+  PutFixed32(&out, param_count);
+  PutStrings(&out, columns);
+  return out;
+}
+
+bool DecodePrepared(const Slice& payload, uint64_t* stmt_id,
+                    uint32_t* param_count,
+                    std::vector<std::string>* columns) {
+  Slice in = payload;
+  return GetFixed64(&in, stmt_id) && GetFixed32(&in, param_count) &&
+         GetStrings(&in, columns) && in.empty();
+}
+
+std::string EncodeExecute(uint64_t stmt_id,
+                          const std::vector<Datum>& params) {
+  std::string out;
+  PutFixed64(&out, stmt_id);
+  PutDatums(&out, params);
+  return out;
+}
+
+bool DecodeExecute(const Slice& payload, uint64_t* stmt_id,
+                   std::vector<Datum>* params) {
+  Slice in = payload;
+  return GetFixed64(&in, stmt_id) && GetDatums(&in, params) && in.empty();
+}
+
+std::string EncodeColumns(const std::vector<std::string>& columns) {
+  std::string out;
+  PutStrings(&out, columns);
+  return out;
+}
+
+bool DecodeColumns(const Slice& payload, std::vector<std::string>* columns) {
+  Slice in = payload;
+  return GetStrings(&in, columns) && in.empty();
+}
+
+std::string EncodeRowBatch(const std::vector<Row>& rows) {
+  std::string out;
+  PutFixed32(&out, static_cast<uint32_t>(rows.size()));
+  PutFixed32(&out,
+             static_cast<uint32_t>(rows.empty() ? 0 : rows.front().size()));
+  for (const Row& row : rows) {
+    for (const Datum& v : row) PutDatum(&out, v);
+  }
+  return out;
+}
+
+bool DecodeRowBatch(const Slice& payload, std::vector<Row>* rows) {
+  Slice in = payload;
+  uint32_t nrows, ncols;
+  if (!GetFixed32(&in, &nrows) || !GetFixed32(&in, &ncols)) return false;
+  if (nrows > in.size() || (ncols != 0 && nrows > in.size() / ncols)) {
+    return false;  // More cells than payload bytes: corrupt count.
+  }
+  rows->clear();
+  rows->reserve(nrows);
+  for (uint32_t r = 0; r < nrows; ++r) {
+    Row row;
+    row.reserve(ncols);
+    for (uint32_t c = 0; c < ncols; ++c) {
+      Datum v;
+      if (!GetDatum(&in, &v)) return false;
+      row.push_back(std::move(v));
+    }
+    rows->push_back(std::move(row));
+  }
+  return in.empty();
+}
+
+std::string EncodeDone(const DoneInfo& info) {
+  std::string out;
+  PutFixed64(&out, static_cast<uint64_t>(info.affected_rows));
+  PutFixed64(&out, static_cast<uint64_t>(info.rows_returned));
+  PutString(&out, info.path);
+  PutDouble(&out, info.plan_micros);
+  PutDouble(&out, info.total_micros);
+  return out;
+}
+
+bool DecodeDone(const Slice& payload, DoneInfo* info) {
+  Slice in = payload;
+  uint64_t affected, rows;
+  if (!GetFixed64(&in, &affected) || !GetFixed64(&in, &rows) ||
+      !GetString(&in, &info->path) || !GetDouble(&in, &info->plan_micros) ||
+      !GetDouble(&in, &info->total_micros) || !in.empty()) {
+    return false;
+  }
+  info->affected_rows = static_cast<int64_t>(affected);
+  info->rows_returned = static_cast<int64_t>(rows);
+  return true;
+}
+
+std::string EncodeError(const Status& status) {
+  std::string out;
+  PutFixed32(&out, static_cast<uint32_t>(status.code()));
+  PutString(&out, status.message());
+  return out;
+}
+
+bool DecodeError(const Slice& payload, Status* status) {
+  Slice in = payload;
+  uint32_t code;
+  std::string message;
+  if (!GetFixed32(&in, &code) || !GetString(&in, &message) || !in.empty()) {
+    return false;
+  }
+  if (code == 0 || code > kMaxStatusCode) {
+    *status = Status::Internal("unknown remote error: " + message);
+  } else {
+    *status = Status(static_cast<StatusCode>(code), std::move(message));
+  }
+  return true;
+}
+
+std::string EncodeStmtId(uint64_t stmt_id) {
+  std::string out;
+  PutFixed64(&out, stmt_id);
+  return out;
+}
+
+bool DecodeStmtId(const Slice& payload, uint64_t* stmt_id) {
+  Slice in = payload;
+  return GetFixed64(&in, stmt_id) && in.empty();
+}
+
+}  // namespace odh::net

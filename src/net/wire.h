@@ -1,0 +1,131 @@
+#ifndef ODH_NET_WIRE_H_
+#define ODH_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/datum.h"
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace odh::net {
+
+/// Protocol version spoken by this build. A server refuses a Hello whose
+/// version it does not know; bump on any incompatible frame change.
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Upper bound on one frame's payload. Anything larger on the wire is
+/// treated as a corrupt/hostile stream, not a short read — large results
+/// are chunked into many RowBatch frames well below this.
+inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Frame types of the historian protocol. Every frame is
+/// `[u32 payload_len LE][u8 type][payload]`; payload layouts are built and
+/// consumed by the functions below.
+///
+/// Conversation shape (client to the left, server to the right):
+///
+///   Hello               ->
+///                       <- Welcome | Rejected     (admission control)
+///   Query | Prepare |   ->
+///   Execute | CloseStmt
+///                       <- Prepared               (for Prepare)
+///                       <- ResultHeader RowBatch* Done   (for Query/Execute)
+///                       <- Error                  (statement failed;
+///                                                  session stays usable)
+///   Bye                 ->                        (client hangs up)
+enum class FrameType : uint8_t {
+  kHello = 1,         // client: u32 protocol version
+  kWelcome = 2,       // server: u32 version, u64 session id
+  kRejected = 3,      // server: string reason (then the server hangs up)
+  kQuery = 4,         // client: string sql, u32 n, n datum params
+  kPrepare = 5,       // client: string sql
+  kPrepared = 6,      // server: u64 stmt id, u32 param count, column names
+  kExecute = 7,       // client: u64 stmt id, u32 n, n datum params
+  kResultHeader = 8,  // server: column names
+  kRowBatch = 9,      // server: u32 nrows, u32 ncols, row-major datums
+  kDone = 10,         // server: u64 affected, u64 rows, string path,
+                      //         double plan_micros, double total_micros
+  kError = 11,        // server: u32 status code, string message
+  kCloseStmt = 12,    // client: u64 stmt id (no reply)
+  kBye = 13,          // client: empty
+};
+
+/// One parsed frame: the type plus its raw payload (owned).
+struct Frame {
+  FrameType type = FrameType::kBye;
+  std::string payload;
+};
+
+/// Appends one whole frame (header + payload) to *dst.
+void AppendFrame(std::string* dst, FrameType type, const Slice& payload);
+
+/// Tries to parse one frame from the front of `input`.
+/// Returns:
+///   - >0: bytes consumed; *frame is filled.
+///   - 0: `input` is a valid prefix of a frame — read more bytes.
+///   - error: the stream is corrupt (oversized or unknown-type frame);
+///     the connection must be dropped.
+Result<size_t> ParseFrame(const Slice& input, Frame* frame);
+
+// Payload primitives ---------------------------------------------------------
+
+/// Datum wire form: u8 DataType tag, then the value (nothing for NULL,
+/// u8 bool, zigzag varint int64/timestamp, 8-byte double, length-prefixed
+/// string).
+void PutDatum(std::string* dst, const Datum& value);
+bool GetDatum(Slice* input, Datum* value);
+
+void PutString(std::string* dst, const std::string& s);
+bool GetString(Slice* input, std::string* s);
+
+// Whole-payload helpers (the layouts documented on FrameType) ---------------
+
+struct DoneInfo {
+  int64_t affected_rows = 0;
+  int64_t rows_returned = 0;
+  std::string path;  // Executed-path label ("row-scan", ...); may be empty.
+  double plan_micros = 0;
+  double total_micros = 0;
+};
+
+std::string EncodeHello(uint32_t version);
+bool DecodeHello(const Slice& payload, uint32_t* version);
+
+std::string EncodeWelcome(uint32_t version, uint64_t session_id);
+bool DecodeWelcome(const Slice& payload, uint32_t* version,
+                   uint64_t* session_id);
+
+std::string EncodeQuery(const std::string& sql,
+                        const std::vector<Datum>& params);
+bool DecodeQuery(const Slice& payload, std::string* sql,
+                 std::vector<Datum>* params);
+
+std::string EncodePrepared(uint64_t stmt_id, uint32_t param_count,
+                           const std::vector<std::string>& columns);
+bool DecodePrepared(const Slice& payload, uint64_t* stmt_id,
+                    uint32_t* param_count, std::vector<std::string>* columns);
+
+std::string EncodeExecute(uint64_t stmt_id, const std::vector<Datum>& params);
+bool DecodeExecute(const Slice& payload, uint64_t* stmt_id,
+                   std::vector<Datum>* params);
+
+std::string EncodeColumns(const std::vector<std::string>& columns);
+bool DecodeColumns(const Slice& payload, std::vector<std::string>* columns);
+
+std::string EncodeRowBatch(const std::vector<Row>& rows);
+bool DecodeRowBatch(const Slice& payload, std::vector<Row>* rows);
+
+std::string EncodeDone(const DoneInfo& info);
+bool DecodeDone(const Slice& payload, DoneInfo* info);
+
+std::string EncodeError(const Status& status);
+bool DecodeError(const Slice& payload, Status* status);
+
+std::string EncodeStmtId(uint64_t stmt_id);
+bool DecodeStmtId(const Slice& payload, uint64_t* stmt_id);
+
+}  // namespace odh::net
+
+#endif  // ODH_NET_WIRE_H_

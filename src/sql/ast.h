@@ -14,6 +14,7 @@ namespace odh::sql {
 enum class ExprKind {
   kLiteral,
   kColumnRef,
+  kParameter,
   kBinary,
   kBetween,
   kNot,
@@ -74,6 +75,21 @@ class LiteralExpr : public Expr {
   }
 
   Datum value;
+};
+
+/// A `?` placeholder in a prepared statement. Parameters are numbered
+/// left to right in statement-text order; the value arrives at execution
+/// time (Session::ExecutePrepared), never at bind time, which is what lets
+/// one bound statement serve many executions.
+class ParameterExpr : public Expr {
+ public:
+  explicit ParameterExpr(int index)
+      : Expr(ExprKind::kParameter), index(index) {}
+  std::string ToString() const override {
+    return "?" + std::to_string(index + 1);
+  }
+
+  int index;  // 0-based position among the statement's parameters.
 };
 
 class ColumnRefExpr : public Expr {
@@ -204,12 +220,13 @@ struct SelectStmt {
   std::vector<ExprPtr> group_by;
   std::vector<OrderByItem> order_by;
   int64_t limit = -1;  // -1 = no limit.
+  int param_count = 0;  // Number of `?` placeholders in the statement.
 };
 
 struct InsertStmt {
   std::string table;
   std::vector<std::string> columns;  // Empty = positional.
-  std::vector<std::vector<ExprPtr>> rows;  // Literal expressions.
+  std::vector<std::vector<ExprPtr>> rows;  // Literal or ? expressions.
 };
 
 struct CreateTableStmt {
@@ -230,6 +247,7 @@ struct Statement {
   std::unique_ptr<InsertStmt> insert;
   std::unique_ptr<CreateTableStmt> create_table;
   std::unique_ptr<CreateIndexStmt> create_index;
+  int param_count = 0;  // Number of `?` placeholders in the statement.
 };
 
 }  // namespace odh::sql

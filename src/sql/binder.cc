@@ -109,6 +109,11 @@ Status Binder::BindExpr(Expr* expr, bool allow_aggregates) {
   switch (expr->kind()) {
     case ExprKind::kLiteral:
       return Status::OK();
+    case ExprKind::kParameter:
+      // Value arrives at execution time; nothing to resolve here. Type
+      // coercion against timestamp columns happens in the planner / the
+      // evaluator's numeric widening once the value is known.
+      return Status::OK();
     case ExprKind::kColumnRef:
       return BindColumnRef(static_cast<ColumnRefExpr*>(expr));
     case ExprKind::kBinary: {
@@ -257,6 +262,7 @@ Status Binder::Run(SelectStmt stmt) {
     out_->order_by.push_back(std::move(bound_item));
   }
   out_->limit = stmt.limit;
+  out_->param_count = stmt.param_count;
 
   // Validate aggregate queries: non-aggregate output columns must appear in
   // GROUP BY.

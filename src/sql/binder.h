@@ -38,6 +38,7 @@ struct BoundSelect {
   std::vector<BoundOrderBy> order_by;
   int64_t limit = -1;
   bool has_aggregates = false;
+  int param_count = 0;  // `?` placeholders the statement expects.
 
   int total_slots = 0;  // Combined row width.
 

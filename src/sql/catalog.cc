@@ -17,6 +17,7 @@ std::string Lower(const std::string& s) {
 
 Result<TableProvider*> Catalog::Resolve(const std::string& name) {
   std::string key = Lower(name);
+  std::lock_guard<std::mutex> lock(mu_);
   auto ext = external_.find(key);
   if (ext != external_.end()) return ext->second;
   auto cached = wrappers_.find(key);
@@ -31,6 +32,7 @@ Result<TableProvider*> Catalog::Resolve(const std::string& name) {
 
 Status Catalog::RegisterProvider(TableProvider* provider) {
   std::string key = Lower(provider->name());
+  std::lock_guard<std::mutex> lock(mu_);
   if (external_.count(key) > 0 || db_->GetTable(key).ok()) {
     return Status::AlreadyExists("table exists: " + provider->name());
   }

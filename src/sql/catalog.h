@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "relational/database.h"
@@ -13,7 +14,8 @@ namespace odh::sql {
 
 /// Name resolution for the SQL engine: relational tables of a Database plus
 /// externally registered virtual tables (ODH registers one per schema type,
-/// mirroring the paper's VTI registration).
+/// mirroring the paper's VTI registration). Thread-safe: concurrent
+/// sessions resolve names against one shared catalog.
 class Catalog {
  public:
   explicit Catalog(relational::Database* db) : db_(db) {}
@@ -37,6 +39,8 @@ class Catalog {
 
  private:
   relational::Database* db_;
+  // Guards the maps below (lazy wrapper creation races otherwise).
+  mutable std::mutex mu_;
   // Wrappers for relational tables, created lazily.
   std::map<std::string, std::unique_ptr<RelationalTableProvider>> wrappers_;
   // Externally owned virtual tables.

@@ -1,227 +1,17 @@
 #include "sql/engine.h"
 
-#include <algorithm>
-#include <cctype>
-#include <map>
-#include <string_view>
+#include <utility>
 
-#include "common/key_codec.h"
-#include "common/stopwatch.h"
-#include "common/types.h"
 #include "sql/parser.h"
-#include "sql/vectorized.h"
+#include "sql/session.h"
 
 namespace odh::sql {
-namespace {
-
-/// Running state of one aggregate function instance within one group.
-struct AggState {
-  int64_t count = 0;
-  double sum = 0;
-  bool sum_is_integral = true;
-  int64_t isum = 0;
-  Datum min;
-  Datum max;
-};
-
-void AccumulateAgg(const AggregateExpr* agg, const Datum& value,
-                   AggState* state) {
-  if (agg->star) {  // COUNT(*)
-    ++state->count;
-    return;
-  }
-  if (value.is_null()) return;
-  ++state->count;
-  switch (agg->func) {
-    case AggregateFunc::kCount:
-      break;
-    case AggregateFunc::kSum:
-    case AggregateFunc::kAvg:
-      if (value.is_int64()) {
-        state->isum += value.int64_value();
-      } else {
-        state->sum_is_integral = false;
-      }
-      state->sum += value.AsDouble();
-      break;
-    case AggregateFunc::kMin:
-    case AggregateFunc::kMax: {
-      int cmp;
-      bool null_result;
-      Datum& slot = agg->func == AggregateFunc::kMin ? state->min
-                                                     : state->max;
-      if (slot.is_null()) {
-        slot = value;
-      } else if (value.Compare(slot, &cmp, &null_result) && !null_result) {
-        bool better = agg->func == AggregateFunc::kMin ? cmp < 0 : cmp > 0;
-        if (better) slot = value;
-      }
-      break;
-    }
-  }
-}
-
-Datum FinalizeAgg(const AggregateExpr* agg, const AggState& state) {
-  switch (agg->func) {
-    case AggregateFunc::kCount:
-      return Datum::Int64(state.count);
-    case AggregateFunc::kSum:
-      if (state.count == 0) return Datum::Null();
-      return state.sum_is_integral ? Datum::Int64(state.isum)
-                                   : Datum::Double(state.sum);
-    case AggregateFunc::kAvg:
-      if (state.count == 0) return Datum::Null();
-      return Datum::Double(state.sum / static_cast<double>(state.count));
-    case AggregateFunc::kMin:
-      return state.min;
-    case AggregateFunc::kMax:
-      return state.max;
-  }
-  return Datum::Null();
-}
-
-void CollectAggregates(const Expr* expr,
-                       std::vector<const AggregateExpr*>* out) {
-  switch (expr->kind()) {
-    case ExprKind::kAggregate:
-      out->push_back(static_cast<const AggregateExpr*>(expr));
-      return;
-    case ExprKind::kBinary: {
-      const auto* bin = static_cast<const BinaryExpr*>(expr);
-      CollectAggregates(bin->left.get(), out);
-      CollectAggregates(bin->right.get(), out);
-      return;
-    }
-    case ExprKind::kNot:
-      CollectAggregates(static_cast<const NotExpr*>(expr)->operand.get(),
-                        out);
-      return;
-    default:
-      return;
-  }
-}
-
-/// Coerces a literal toward a column type during INSERT binding.
-Result<Datum> CoerceForColumn(const Datum& value, DataType type) {
-  if (value.is_null()) return value;
-  switch (type) {
-    case DataType::kTimestamp:
-      if (value.is_timestamp()) return value;
-      if (value.is_int64()) return Datum::Time(value.int64_value());
-      if (value.is_string()) {
-        Timestamp ts;
-        if (ParseTimestamp(value.string_value(), &ts)) return Datum::Time(ts);
-        return Status::InvalidArgument("bad timestamp literal: " +
-                                       value.string_value());
-      }
-      break;
-    case DataType::kDouble:
-      if (value.is_double()) return value;
-      if (value.is_int64()) return Datum::Double(value.AsDouble());
-      break;
-    case DataType::kInt64:
-      if (value.is_int64()) return value;
-      break;
-    case DataType::kBool:
-      if (value.is_bool()) return value;
-      break;
-    case DataType::kString:
-      if (value.is_string()) return value;
-      break;
-    case DataType::kNull:
-      break;
-  }
-  return Status::InvalidArgument("cannot coerce " + value.ToString() +
-                                 " to " + DataTypeName(type));
-}
-
-/// Three-way Datum comparison for ORDER BY (NULLs sort first).
-int CompareForSort(const Datum& a, const Datum& b) {
-  if (a.is_null() && b.is_null()) return 0;
-  if (a.is_null()) return -1;
-  if (b.is_null()) return 1;
-  int cmp;
-  bool null_result;
-  if (!a.Compare(b, &cmp, &null_result) || null_result) return 0;
-  return cmp;
-}
-
-/// Case-insensitively consumes one leading keyword (plus the whitespace
-/// around it) from *sv; false leaves *sv untouched. EXPLAIN/PROFILE are
-/// engine-level prefixes, not grammar keywords, so they are peeled off
-/// before the parser sees the statement.
-bool ConsumeKeyword(std::string_view* sv, std::string_view keyword) {
-  size_t i = 0;
-  while (i < sv->size() &&
-         std::isspace(static_cast<unsigned char>((*sv)[i]))) {
-    ++i;
-  }
-  if (sv->size() - i < keyword.size()) return false;
-  for (size_t j = 0; j < keyword.size(); ++j) {
-    if (std::toupper(static_cast<unsigned char>((*sv)[i + j])) !=
-        keyword[j]) {
-      return false;
-    }
-  }
-  const size_t end = i + keyword.size();
-  if (end < sv->size() &&
-      !std::isspace(static_cast<unsigned char>((*sv)[end]))) {
-    return false;
-  }
-  *sv = sv->substr(end);
-  return true;
-}
-
-/// Renders a finished statement's profile as metric/value rows — the
-/// result shape of `EXPLAIN PROFILE <stmt>`.
-QueryResult ProfileToResult(const QueryResult& inner) {
-  const QueryProfile& p = inner.profile;
-  QueryResult out;
-  out.columns = {"metric", "value"};
-  auto add = [&out](const char* name, Datum v) {
-    out.rows.push_back({Datum::String(name), std::move(v)});
-  };
-  add("path", Datum::String(p.path));
-  add("rows_returned", Datum::Int64(p.rows_returned));
-  add("rows_scanned", Datum::Int64(p.rows_scanned));
-  add("batches", Datum::Int64(p.batches));
-  add("blobs_decoded", Datum::Int64(p.blobs_decoded));
-  add("blobs_pruned", Datum::Int64(p.blobs_pruned));
-  add("blobs_skipped_by_summary", Datum::Int64(p.blobs_skipped_by_summary));
-  add("blob_bytes_read", Datum::Int64(p.blob_bytes_read));
-  add("plan_micros", Datum::Double(p.plan_micros));
-  add("total_micros", Datum::Double(p.total_micros));
-  out.explain = inner.explain;
-  out.profile = inner.profile;
-  return out;
-}
-
-}  // namespace
 
 Result<QueryResult> SqlEngine::Execute(const std::string& sql) {
-  std::string_view body(sql);
-  if (ConsumeKeyword(&body, "EXPLAIN") && ConsumeKeyword(&body, "PROFILE")) {
-    const std::string inner_sql(body);
-    ODH_ASSIGN_OR_RETURN(Statement stmt, Parse(inner_sql));
-    if (stmt.kind != Statement::Kind::kSelect) {
-      return Status::InvalidArgument("EXPLAIN PROFILE supports SELECT only");
-    }
-    ODH_ASSIGN_OR_RETURN(QueryResult inner,
-                         ExecuteSelect(std::move(*stmt.select), inner_sql));
-    return ProfileToResult(inner);
-  }
-  ODH_ASSIGN_OR_RETURN(Statement stmt, Parse(sql));
-  switch (stmt.kind) {
-    case Statement::Kind::kSelect:
-      return ExecuteSelect(std::move(*stmt.select), sql);
-    case Statement::Kind::kInsert:
-      return ExecuteInsert(*stmt.insert);
-    case Statement::Kind::kCreateTable:
-      return ExecuteCreateTable(*stmt.create_table);
-    case Statement::Kind::kCreateIndex:
-      return ExecuteCreateIndex(*stmt.create_index);
-  }
-  return Status::Internal("unhandled statement kind");
+  // A throwaway Session per call keeps this wrapper thread-safe: sessions
+  // are single-threaded, but any number of them share one engine.
+  Session session(this);
+  return session.Execute(sql);
 }
 
 Result<std::string> SqlEngine::Explain(const std::string& sql) {
@@ -236,39 +26,6 @@ Result<std::string> SqlEngine::Explain(const std::string& sql) {
   return plan.explain;
 }
 
-Result<QueryResult> SqlEngine::ExecuteSelect(SelectStmt stmt,
-                                             const std::string& sql_text) {
-  common::ScanCounters counters;
-  QueryProfile profile;
-  profile.statement = sql_text;
-  Stopwatch timer;
-  ODH_ASSIGN_OR_RETURN(QueryResult result,
-                       RunSelect(std::move(stmt), &counters, &profile));
-  profile.total_micros = static_cast<double>(timer.ElapsedMicros());
-  profile.rows_returned = static_cast<int64_t>(result.rows.size());
-  profile.rows_scanned =
-      counters.rows_scanned.load(std::memory_order_relaxed);
-  profile.batches = counters.batches.load(std::memory_order_relaxed);
-  profile.blobs_decoded =
-      counters.blobs_decoded.load(std::memory_order_relaxed);
-  profile.blobs_pruned =
-      counters.blobs_pruned.load(std::memory_order_relaxed);
-  profile.blobs_skipped_by_summary =
-      counters.blobs_skipped_by_summary.load(std::memory_order_relaxed);
-  profile.blob_bytes_read =
-      counters.blob_bytes_read.load(std::memory_order_relaxed);
-  // The executed-path label comes from runtime evidence, not the plan:
-  // RunSelect stamps the aggregate fast paths; otherwise batches flowing
-  // through the scan prove the vectorized path ran.
-  if (profile.path.empty()) {
-    profile.path = profile.batches > 0 ? "vectorized-batch" : "row-scan";
-  }
-  result.explain += "path: " + profile.path + "\n";
-  result.profile = profile;
-  LogQuery(std::move(profile));
-  return result;
-}
-
 std::vector<QueryProfile> SqlEngine::RecentQueries() const {
   std::lock_guard<std::mutex> lock(queries_mu_);
   return std::vector<QueryProfile>(recent_queries_.begin(),
@@ -281,287 +38,6 @@ void SqlEngine::LogQuery(QueryProfile profile) {
   while (recent_queries_.size() > kRecentQueryCapacity) {
     recent_queries_.pop_front();
   }
-}
-
-Result<QueryResult> SqlEngine::RunSelect(SelectStmt stmt,
-                                         common::ScanCounters* counters,
-                                         QueryProfile* profile) {
-  Stopwatch plan_timer;
-  ODH_ASSIGN_OR_RETURN(BoundSelect bound,
-                       Bind(&catalog_, std::move(stmt)));
-  ExprEvaluator eval(&bound);
-  ODH_ASSIGN_OR_RETURN(PhysicalPlan plan, PlanSelect(bound, &eval, counters));
-  profile->plan_micros = static_cast<double>(plan_timer.ElapsedMicros());
-
-  QueryResult result;
-  result.columns = bound.output_names;
-  result.explain = plan.explain;
-
-  // Aggregate pushdown / vectorized accumulation: try the fast paths the
-  // planner flagged before opening the row plan (opening a scan already
-  // fetches and decodes blobs). First offer the whole aggregate to the
-  // provider — it may answer from per-blob summaries without touching the
-  // data — then accumulate over ColumnBatches; the row loop below stays
-  // the fallback and the single source of truth for semantics.
-  if (plan.agg_provider != nullptr) {
-    std::optional<Row> agg_row;
-    ODH_ASSIGN_OR_RETURN(
-        agg_row, plan.agg_provider->AggregateScan(plan.agg_spec,
-                                                  plan.agg_requests));
-    if (agg_row.has_value()) profile->path = "summary-pushdown";
-    if (!agg_row.has_value() &&
-        VectorizedAggregatable(plan.agg_requests) &&
-        plan.agg_provider->SupportsBatchScan(plan.agg_spec)) {
-      ODH_ASSIGN_OR_RETURN(auto batches,
-                           plan.agg_provider->ScanBatches(plan.agg_spec));
-      BatchAggregator aggregator(plan.agg_requests);
-      ColumnBatch batch;
-      while (true) {
-        ODH_ASSIGN_OR_RETURN(bool more, batches->Next(&batch));
-        if (!more) break;
-        aggregator.Accumulate(batch);
-      }
-      agg_row = aggregator.Finalize();
-      if (agg_row.has_value()) profile->path = "vectorized-batch";
-    }
-    if (agg_row.has_value()) {
-      std::map<const Expr*, Datum> agg_values;
-      for (size_t i = 0; i < plan.agg_exprs.size(); ++i) {
-        agg_values[plan.agg_exprs[i]] = (*agg_row)[i];
-      }
-      Row representative(bound.total_slots, Datum::Null());
-      Row out_row;
-      for (const ExprPtr& e : bound.output) {
-        ODH_ASSIGN_OR_RETURN(Datum v,
-                             eval.Eval(e.get(), representative, &agg_values));
-        out_row.push_back(std::move(v));
-      }
-      result.rows.push_back(std::move(out_row));
-      if (bound.limit >= 0 &&
-          static_cast<int64_t>(result.rows.size()) > bound.limit) {
-        result.rows.resize(bound.limit);
-      }
-      return result;
-    }
-  }
-
-  ODH_RETURN_IF_ERROR(plan.root->Open());
-
-  if (!bound.has_aggregates) {
-    // Streaming path: project each combined row; collect sort keys if any.
-    std::vector<std::pair<std::vector<Datum>, Row>> sortable;
-    Row combined;
-    while (true) {
-      ODH_ASSIGN_OR_RETURN(bool more, plan.root->Next(&combined));
-      if (!more) break;
-      Row out_row;
-      out_row.reserve(bound.output.size());
-      for (const ExprPtr& e : bound.output) {
-        ODH_ASSIGN_OR_RETURN(Datum v, eval.Eval(e.get(), combined));
-        out_row.push_back(std::move(v));
-      }
-      if (bound.order_by.empty()) {
-        result.rows.push_back(std::move(out_row));
-        if (bound.limit >= 0 &&
-            static_cast<int64_t>(result.rows.size()) >= bound.limit) {
-          break;
-        }
-      } else {
-        std::vector<Datum> keys;
-        for (const auto& item : bound.order_by) {
-          if (item.output_ordinal >= 0) {
-            keys.push_back(out_row[item.output_ordinal]);
-          } else {
-            ODH_ASSIGN_OR_RETURN(Datum k, eval.Eval(item.expr.get(),
-                                                    combined));
-            keys.push_back(std::move(k));
-          }
-        }
-        sortable.emplace_back(std::move(keys), std::move(out_row));
-      }
-    }
-    if (!bound.order_by.empty()) {
-      std::stable_sort(sortable.begin(), sortable.end(),
-                       [&](const auto& a, const auto& b) {
-                         for (size_t i = 0; i < bound.order_by.size(); ++i) {
-                           int cmp = CompareForSort(a.first[i], b.first[i]);
-                           if (cmp != 0) {
-                             return bound.order_by[i].ascending ? cmp < 0
-                                                                : cmp > 0;
-                           }
-                         }
-                         return false;
-                       });
-      for (auto& [keys, row] : sortable) {
-        result.rows.push_back(std::move(row));
-        if (bound.limit >= 0 &&
-            static_cast<int64_t>(result.rows.size()) >= bound.limit) {
-          break;
-        }
-      }
-    }
-    return result;
-  }
-
-  // Aggregation path.
-  std::vector<const AggregateExpr*> agg_exprs;
-  for (const ExprPtr& e : bound.output) CollectAggregates(e.get(), &agg_exprs);
-  for (const auto& item : bound.order_by) {
-    if (item.expr != nullptr) CollectAggregates(item.expr.get(), &agg_exprs);
-  }
-
-  struct Group {
-    Row representative;  // First combined row of the group.
-    std::vector<AggState> states;
-  };
-  std::map<std::string, Group> groups;
-
-  Row combined;
-  while (true) {
-    ODH_ASSIGN_OR_RETURN(bool more, plan.root->Next(&combined));
-    if (!more) break;
-    std::vector<Datum> group_key;
-    for (const ExprPtr& g : bound.group_by) {
-      ODH_ASSIGN_OR_RETURN(Datum v, eval.Eval(g.get(), combined));
-      group_key.push_back(std::move(v));
-    }
-    std::string key = EncodeKey(group_key);
-    auto [it, inserted] = groups.try_emplace(key);
-    Group& group = it->second;
-    if (inserted) {
-      group.representative = combined;
-      group.states.resize(agg_exprs.size());
-    }
-    for (size_t i = 0; i < agg_exprs.size(); ++i) {
-      Datum arg;
-      if (!agg_exprs[i]->star) {
-        ODH_ASSIGN_OR_RETURN(arg,
-                             eval.Eval(agg_exprs[i]->arg.get(), combined));
-      }
-      AccumulateAgg(agg_exprs[i], arg, &group.states[i]);
-    }
-  }
-  // A global aggregate over zero rows still yields one group.
-  if (groups.empty() && bound.group_by.empty()) {
-    Group& group = groups[""];
-    group.representative.assign(bound.total_slots, Datum::Null());
-    group.states.resize(agg_exprs.size());
-  }
-
-  std::vector<std::pair<std::vector<Datum>, Row>> sortable;
-  for (auto& [key, group] : groups) {
-    std::map<const Expr*, Datum> agg_values;
-    for (size_t i = 0; i < agg_exprs.size(); ++i) {
-      agg_values[agg_exprs[i]] = FinalizeAgg(agg_exprs[i], group.states[i]);
-    }
-    Row out_row;
-    for (const ExprPtr& e : bound.output) {
-      ODH_ASSIGN_OR_RETURN(
-          Datum v, eval.Eval(e.get(), group.representative, &agg_values));
-      out_row.push_back(std::move(v));
-    }
-    if (bound.order_by.empty()) {
-      result.rows.push_back(std::move(out_row));
-    } else {
-      std::vector<Datum> keys;
-      for (const auto& item : bound.order_by) {
-        if (item.output_ordinal >= 0) {
-          keys.push_back(out_row[item.output_ordinal]);
-        } else {
-          ODH_ASSIGN_OR_RETURN(
-              Datum k, eval.Eval(item.expr.get(), group.representative,
-                                 &agg_values));
-          keys.push_back(std::move(k));
-        }
-      }
-      sortable.emplace_back(std::move(keys), std::move(out_row));
-    }
-  }
-  if (!bound.order_by.empty()) {
-    std::stable_sort(sortable.begin(), sortable.end(),
-                     [&](const auto& a, const auto& b) {
-                       for (size_t i = 0; i < bound.order_by.size(); ++i) {
-                         int cmp = CompareForSort(a.first[i], b.first[i]);
-                         if (cmp != 0) {
-                           return bound.order_by[i].ascending ? cmp < 0
-                                                              : cmp > 0;
-                         }
-                       }
-                       return false;
-                     });
-    for (auto& [keys, row] : sortable) result.rows.push_back(std::move(row));
-  }
-  if (bound.limit >= 0 &&
-      static_cast<int64_t>(result.rows.size()) > bound.limit) {
-    result.rows.resize(bound.limit);
-  }
-  return result;
-}
-
-Result<QueryResult> SqlEngine::ExecuteInsert(const InsertStmt& stmt) {
-  ODH_ASSIGN_OR_RETURN(relational::Table* table,
-                       catalog_.database()->GetTable(stmt.table));
-  const relational::Schema& schema = table->schema();
-  // Map statement columns to schema positions.
-  std::vector<int> positions;
-  if (stmt.columns.empty()) {
-    for (size_t i = 0; i < schema.num_columns(); ++i) {
-      positions.push_back(static_cast<int>(i));
-    }
-  } else {
-    for (const std::string& name : stmt.columns) {
-      int pos = schema.FindColumn(name);
-      if (pos < 0) {
-        return Status::InvalidArgument("unknown column: " + name);
-      }
-      positions.push_back(pos);
-    }
-  }
-  QueryResult result;
-  for (const auto& exprs : stmt.rows) {
-    if (exprs.size() != positions.size()) {
-      return Status::InvalidArgument("VALUES arity mismatch");
-    }
-    Row row(schema.num_columns(), Datum::Null());
-    for (size_t i = 0; i < exprs.size(); ++i) {
-      if (exprs[i]->kind() != ExprKind::kLiteral) {
-        return Status::InvalidArgument(
-            "INSERT values must be literals: " + exprs[i]->ToString());
-      }
-      const Datum& raw = static_cast<LiteralExpr*>(exprs[i].get())->value;
-      ODH_ASSIGN_OR_RETURN(
-          row[positions[i]],
-          CoerceForColumn(raw, schema.column(positions[i]).type));
-    }
-    ODH_RETURN_IF_ERROR(table->Insert(row).status());
-    ++result.affected_rows;
-  }
-  ODH_RETURN_IF_ERROR(table->Commit());
-  return result;
-}
-
-Result<QueryResult> SqlEngine::ExecuteCreateTable(
-    const CreateTableStmt& stmt) {
-  ODH_RETURN_IF_ERROR(
-      catalog_.database()
-          ->CreateTable(stmt.table, relational::Schema(stmt.columns))
-          .status());
-  return QueryResult{};
-}
-
-Result<QueryResult> SqlEngine::ExecuteCreateIndex(
-    const CreateIndexStmt& stmt) {
-  ODH_ASSIGN_OR_RETURN(relational::Table* table,
-                       catalog_.database()->GetTable(stmt.table));
-  relational::IndexDef def;
-  def.name = stmt.index;
-  for (const std::string& name : stmt.columns) {
-    int pos = table->schema().FindColumn(name);
-    if (pos < 0) return Status::InvalidArgument("unknown column: " + name);
-    def.columns.push_back(pos);
-  }
-  ODH_RETURN_IF_ERROR(table->AddIndex(def));
-  return QueryResult{};
 }
 
 }  // namespace odh::sql

@@ -22,6 +22,9 @@ namespace odh::sql {
 struct QueryProfile {
   std::string statement;
   std::string path;
+  /// True when the statement ran through a prepared handle: parse and bind
+  /// were skipped and `plan_micros` covers planning only.
+  bool prepared = false;
   int64_t rows_returned = 0;
   int64_t rows_scanned = 0;
   int64_t batches = 0;
@@ -33,8 +36,17 @@ struct QueryProfile {
   double total_micros = 0;
 };
 
-/// Result of a SELECT (or row counts for DML/DDL).
+/// Result of a SELECT (or row counts for DML/DDL). Move-only: result rows
+/// are built in place by the execution layer and handed to the caller
+/// without ever being copied (large range scans would otherwise pay a full
+/// deep copy on return).
 struct QueryResult {
+  QueryResult() = default;
+  QueryResult(const QueryResult&) = delete;
+  QueryResult& operator=(const QueryResult&) = delete;
+  QueryResult(QueryResult&&) = default;
+  QueryResult& operator=(QueryResult&&) = default;
+
   std::vector<std::string> columns;
   std::vector<Row> rows;
   int64_t affected_rows = 0;  // For INSERT.
@@ -53,10 +65,16 @@ struct QueryResult {
   }
 };
 
-/// The SQL front door: parse -> bind -> plan -> execute. One engine serves
-/// one Database plus any registered virtual tables; this is the unified
-/// access interface the paper's "operational and relational data fusion"
-/// feature describes.
+/// The SQL back end shared by every session: catalog, recent-statement
+/// ring, and the write lock that serializes mutating statements. One
+/// engine serves one Database plus any registered virtual tables; this is
+/// the unified access interface the paper's "operational and relational
+/// data fusion" feature describes.
+///
+/// Statement execution lives in sql::Session (session.h) — per-connection
+/// state, prepared statements, and streaming results. The engine keeps a
+/// one-shot Execute for internal and test use; it simply runs a throwaway
+/// Session, so application code should hold a real Session instead.
 class SqlEngine {
  public:
   explicit SqlEngine(relational::Database* db) : catalog_(db) {}
@@ -66,7 +84,9 @@ class SqlEngine {
 
   Catalog* catalog() { return &catalog_; }
 
-  /// Runs one statement.
+  /// One-shot convenience wrapper (internal/test use): runs `sql` on a
+  /// temporary Session and materializes the result. Thread-safe; SELECTs
+  /// from concurrent callers run in parallel.
   Result<QueryResult> Execute(const std::string& sql);
 
   /// Plans a SELECT and returns the plan text without running it.
@@ -76,20 +96,21 @@ class SqlEngine {
   /// (bounded ring; thread-safe snapshot).
   std::vector<QueryProfile> RecentQueries() const;
 
- private:
-  Result<QueryResult> ExecuteSelect(SelectStmt stmt,
-                                    const std::string& sql_text);
-  Result<QueryResult> RunSelect(SelectStmt stmt,
-                                common::ScanCounters* counters,
-                                QueryProfile* profile);
-  Result<QueryResult> ExecuteInsert(const InsertStmt& stmt);
-  Result<QueryResult> ExecuteCreateTable(const CreateTableStmt& stmt);
-  Result<QueryResult> ExecuteCreateIndex(const CreateIndexStmt& stmt);
+  /// Appends one finished statement's profile to the ring. Called by the
+  /// session layer when a statement (or its stream) completes.
   void LogQuery(QueryProfile profile);
 
+  /// Serializes mutating statements (INSERT / CREATE) across sessions.
+  /// SELECTs never take it: the storage layer is safe for concurrent
+  /// reads, and readers running against a committed snapshot is the
+  /// historian's normal operating mode.
+  std::mutex* write_mutex() { return &write_mu_; }
+
+ private:
   static constexpr size_t kRecentQueryCapacity = 128;
 
   Catalog catalog_;
+  std::mutex write_mu_;
   mutable std::mutex queries_mu_;
   std::deque<QueryProfile> recent_queries_;
 };

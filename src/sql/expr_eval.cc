@@ -108,6 +108,15 @@ Result<Datum> ExprEvaluator::Eval(
   switch (expr->kind()) {
     case ExprKind::kLiteral:
       return static_cast<const LiteralExpr*>(expr)->value;
+    case ExprKind::kParameter: {
+      const auto* param = static_cast<const ParameterExpr*>(expr);
+      if (params_ == nullptr ||
+          param->index >= static_cast<int>(params_->size())) {
+        return Status::InvalidArgument("parameter " + expr->ToString() +
+                                       " has no bound value");
+      }
+      return (*params_)[param->index];
+    }
     case ExprKind::kColumnRef: {
       const auto* ref = static_cast<const ColumnRefExpr*>(expr);
       int slot = bound_->SlotOf(*ref);
@@ -161,6 +170,20 @@ Result<bool> ExprEvaluator::EvalPredicate(const Expr* expr,
                                           const Row& row) const {
   ODH_ASSIGN_OR_RETURN(Datum v, Eval(expr, row));
   return !v.is_null() && v.is_bool() && v.bool_value();
+}
+
+const Datum* ExprEvaluator::ResolveConstant(const Expr* expr) const {
+  if (expr->kind() == ExprKind::kLiteral) {
+    return &static_cast<const LiteralExpr*>(expr)->value;
+  }
+  if (expr->kind() == ExprKind::kParameter) {
+    const auto* param = static_cast<const ParameterExpr*>(expr);
+    if (params_ != nullptr &&
+        param->index < static_cast<int>(params_->size())) {
+      return &(*params_)[param->index];
+    }
+  }
+  return nullptr;
 }
 
 }  // namespace odh::sql

@@ -11,9 +11,16 @@ namespace odh::sql {
 /// Tree-walking evaluator over combined rows (see BoundSelect::SlotOf).
 /// SQL three-valued logic: comparisons involving NULL yield NULL; filters
 /// treat NULL as false.
+///
+/// `params` supplies values for `?` placeholders of a prepared statement;
+/// the pointed-to vector must outlive the evaluator (the execution-state
+/// structs in session.cc own both). Evaluating a ParameterExpr with no
+/// params bound is an error.
 class ExprEvaluator {
  public:
-  explicit ExprEvaluator(const BoundSelect* bound) : bound_(bound) {}
+  explicit ExprEvaluator(const BoundSelect* bound,
+                         const std::vector<Datum>* params = nullptr)
+      : bound_(bound), params_(params) {}
 
   /// Evaluates an expression. AggregateExpr nodes are looked up in
   /// `agg_values` (supplied by the aggregation operator); evaluating one
@@ -25,11 +32,19 @@ class ExprEvaluator {
   /// Evaluates a predicate: non-true (false or NULL) yields false.
   Result<bool> EvalPredicate(const Expr* expr, const Row& row) const;
 
+  /// Resolves an expression that is constant for the whole execution — a
+  /// literal, or a `?` parameter with params bound. Returns nullptr for
+  /// anything else (including an unbound parameter, e.g. during EXPLAIN),
+  /// which callers treat as "not pushable". Used by the planner so
+  /// prepared statements keep constraint pushdown and partition pruning.
+  const Datum* ResolveConstant(const Expr* expr) const;
+
  private:
   Result<Datum> EvalBinary(const BinaryExpr* expr, const Row& row,
                            const std::map<const Expr*, Datum>* aggs) const;
 
   const BoundSelect* bound_;
+  const std::vector<Datum>* params_;
 };
 
 }  // namespace odh::sql

@@ -101,7 +101,7 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
           continue;
         }
       }
-      static const std::string kSymbols = "(),.;*=<>+-/";
+      static const std::string kSymbols = "(),.;*=<>+-/?";
       if (kSymbols.find(c) == std::string::npos) {
         return Status::InvalidArgument(std::string("unexpected character '") +
                                        c + "' at " + std::to_string(i));

@@ -73,6 +73,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int next_param_ = 0;  // `?` placeholders numbered left to right.
 };
 
 bool Parser::IsReserved(const std::string& upper) {
@@ -105,6 +106,8 @@ Result<Statement> Parser::ParseStatement() {
     return Status::InvalidArgument("trailing input near '" + Peek().text +
                                    "'");
   }
+  stmt.param_count = next_param_;
+  if (stmt.select != nullptr) stmt.select->param_count = next_param_;
   return stmt;
 }
 
@@ -372,6 +375,9 @@ Result<ExprPtr> Parser::ParsePrimary() {
           std::make_unique<LiteralExpr>(Datum::String(Advance().text)));
     }
     case TokenType::kSymbol: {
+      if (AcceptSymbol("?")) {
+        return ExprPtr(std::make_unique<ParameterExpr>(next_param_++));
+      }
       if (AcceptSymbol("(")) {
         ODH_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
         ODH_RETURN_IF_ERROR(ExpectSymbol(")"));

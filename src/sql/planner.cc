@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "common/types.h"
+
 namespace odh::sql {
 namespace {
 
@@ -30,38 +32,61 @@ const ColumnRefExpr* AsColumnRef(const Expr* expr) {
              : nullptr;
 }
 
-const LiteralExpr* AsLiteral(const Expr* expr) {
-  return expr->kind() == ExprKind::kLiteral
-             ? static_cast<const LiteralExpr*>(expr)
-             : nullptr;
+/// Resolves `expr` to an execution-time constant — a literal, or a `?`
+/// parameter whose value the evaluator holds — coerced toward the
+/// comparison column's type so `ts > ?` prunes partitions exactly like a
+/// literal bound. False means "not a usable constant" and the conjunct
+/// stays residual (which also gives NULL params their SQL semantics: the
+/// row filter evaluates `col = NULL` to NULL, i.e. no rows).
+bool ResolveComparand(const ExprEvaluator* eval, const Expr* expr,
+                      const ColumnRefExpr* ref, Datum* out) {
+  const Datum* v = eval == nullptr ? nullptr : eval->ResolveConstant(expr);
+  if (v == nullptr || v->is_null()) return false;
+  if (ref->type == DataType::kTimestamp && !v->is_timestamp()) {
+    if (v->is_int64()) {
+      *out = Datum::Time(v->int64_value());
+      return true;
+    }
+    if (v->is_string()) {
+      Timestamp ts;
+      if (!ParseTimestamp(v->string_value(), &ts)) return false;
+      *out = Datum::Time(ts);
+      return true;
+    }
+    return false;  // e.g. double vs timestamp: keep it residual.
+  }
+  *out = *v;
+  return true;
 }
 
 /// Tries to turn a conjunct into a pushable single-table constraint.
-bool ExtractConstraint(const Expr* expr, int* table_no,
-                       ColumnConstraint* constraint) {
+bool ExtractConstraint(const Expr* expr, const ExprEvaluator* eval,
+                       int* table_no, ColumnConstraint* constraint) {
   if (expr->kind() == ExprKind::kBetween) {
     const auto* between = static_cast<const BetweenExpr*>(expr);
     const ColumnRefExpr* ref = AsColumnRef(between->value.get());
-    const LiteralExpr* lo = AsLiteral(between->lower.get());
-    const LiteralExpr* hi = AsLiteral(between->upper.get());
-    if (ref == nullptr || lo == nullptr || hi == nullptr) return false;
-    if (lo->value.is_null() || hi->value.is_null()) return false;
+    if (ref == nullptr) return false;
+    Datum lo, hi;
+    if (!ResolveComparand(eval, between->lower.get(), ref, &lo) ||
+        !ResolveComparand(eval, between->upper.get(), ref, &hi)) {
+      return false;
+    }
     *table_no = ref->table_no;
     constraint->column = ref->column_no;
-    constraint->lower = Bound{lo->value, true};
-    constraint->upper = Bound{hi->value, true};
+    constraint->lower = Bound{std::move(lo), true};
+    constraint->upper = Bound{std::move(hi), true};
     return true;
   }
   if (expr->kind() != ExprKind::kBinary) return false;
   const auto* bin = static_cast<const BinaryExpr*>(expr);
   const ColumnRefExpr* ref = AsColumnRef(bin->left.get());
-  const LiteralExpr* lit = AsLiteral(bin->right.get());
+  const Expr* other = bin->right.get();
   BinaryOp op = bin->op;
-  if (ref == nullptr || lit == nullptr) {
-    // Try the mirrored orientation (literal OP column).
+  if (ref == nullptr) {
+    // Try the mirrored orientation (constant OP column).
     ref = AsColumnRef(bin->right.get());
-    lit = AsLiteral(bin->left.get());
-    if (ref == nullptr || lit == nullptr) return false;
+    other = bin->left.get();
+    if (ref == nullptr) return false;
     switch (op) {  // Mirror the operator.
       case BinaryOp::kLt:
         op = BinaryOp::kGt;
@@ -79,24 +104,25 @@ bool ExtractConstraint(const Expr* expr, int* table_no,
         break;
     }
   }
-  if (lit->value.is_null()) return false;
+  Datum value;
+  if (!ResolveComparand(eval, other, ref, &value)) return false;
   *table_no = ref->table_no;
   constraint->column = ref->column_no;
   switch (op) {
     case BinaryOp::kEq:
-      constraint->equals = lit->value;
+      constraint->equals = std::move(value);
       return true;
     case BinaryOp::kLt:
-      constraint->upper = Bound{lit->value, false};
+      constraint->upper = Bound{std::move(value), false};
       return true;
     case BinaryOp::kLe:
-      constraint->upper = Bound{lit->value, true};
+      constraint->upper = Bound{std::move(value), true};
       return true;
     case BinaryOp::kGt:
-      constraint->lower = Bound{lit->value, false};
+      constraint->lower = Bound{std::move(value), false};
       return true;
     case BinaryOp::kGe:
-      constraint->lower = Bound{lit->value, true};
+      constraint->lower = Bound{std::move(value), true};
       return true;
     default:
       return false;
@@ -154,6 +180,7 @@ void CollectColumns(const Expr* expr, std::vector<std::set<int>>* cols) {
       return;
     }
     case ExprKind::kLiteral:
+    case ExprKind::kParameter:
       return;
   }
 }
@@ -167,6 +194,7 @@ bool ColumnsOnlyInsideAggregates(const Expr* expr) {
       return false;
     case ExprKind::kAggregate:
     case ExprKind::kLiteral:
+    case ExprKind::kParameter:
       return true;
     case ExprKind::kBinary: {
       const auto* bin = static_cast<const BinaryExpr*>(expr);
@@ -259,7 +287,7 @@ Result<PhysicalPlan> PlanSelect(const BoundSelect& bound,
     int table_no;
     ColumnConstraint constraint;
     JoinEdge edge;
-    if (ExtractConstraint(conjunct, &table_no, &constraint)) {
+    if (ExtractConstraint(conjunct, eval, &table_no, &constraint)) {
       // Merge with an existing constraint on the same column so
       // `lat > a AND lat < b` becomes one range (tighter selectivity and a
       // single index range for the provider).

@@ -44,6 +44,21 @@ class IndexScanCursor : public RowCursor {
       : table_(table), it_(std::move(it)), spec_(std::move(spec)) {}
 
   Result<bool> Next(Row* row) override {
+    if (!poison_.ok()) return poison_;
+    Result<bool> more = NextImpl(row);
+    if (!more.ok()) poison_ = more.status();
+    return more;
+  }
+
+  /// Columns that must be decoded: the projection plus constraint columns.
+  void InitFetchColumns() {
+    std::set<int> cols(spec_.projection.begin(), spec_.projection.end());
+    for (const auto& c : spec_.constraints) cols.insert(c.column);
+    fetch_columns_.assign(cols.begin(), cols.end());
+  }
+
+ private:
+  Result<bool> NextImpl(Row* row) {
     while (it_.Valid()) {
       relational::Rid rid = it_.rid();
       ODH_RETURN_IF_ERROR(it_.Next());
@@ -61,18 +76,11 @@ class IndexScanCursor : public RowCursor {
     return false;
   }
 
-  /// Columns that must be decoded: the projection plus constraint columns.
-  void InitFetchColumns() {
-    std::set<int> cols(spec_.projection.begin(), spec_.projection.end());
-    for (const auto& c : spec_.constraints) cols.insert(c.column);
-    fetch_columns_.assign(cols.begin(), cols.end());
-  }
-
- private:
   relational::Table* table_;
   relational::Table::IndexIterator it_;
   ScanSpec spec_;
   std::vector<int> fetch_columns_;
+  Status poison_;  // First error seen; repeated by every later Next.
 };
 
 /// Filtered sequential scan.
@@ -84,6 +92,14 @@ class FullScanCursor : public RowCursor {
   Status Init() { return it_.SeekToFirst(); }
 
   Result<bool> Next(Row* row) override {
+    if (!poison_.ok()) return poison_;
+    Result<bool> more = NextImpl(row);
+    if (!more.ok()) poison_ = more.status();
+    return more;
+  }
+
+ private:
+  Result<bool> NextImpl(Row* row) {
     while (it_.Valid()) {
       ODH_ASSIGN_OR_RETURN(Row candidate, it_.row());
       ODH_RETURN_IF_ERROR(it_.Next());
@@ -94,9 +110,9 @@ class FullScanCursor : public RowCursor {
     return false;
   }
 
- private:
   relational::Table::Iterator it_;
   ScanSpec spec_;
+  Status poison_;  // First error seen; repeated by every later Next.
 };
 
 }  // namespace

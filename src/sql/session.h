@@ -1,0 +1,193 @@
+#ifndef ODH_SQL_SESSION_H_
+#define ODH_SQL_SESSION_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "sql/engine.h"
+#include "sql/expr_eval.h"
+
+namespace odh::sql {
+
+class Session;
+class QueryStream;
+
+/// A parsed (and, for SELECT, bound) statement owned through a Session's
+/// prepared-statement cache. Immutable after Prepare, so one handle backs
+/// any number of executions: re-executing binds only the `?` parameter
+/// values and re-plans (planning needs the values for constraint pushdown
+/// and partition pruning), skipping parse and name resolution entirely —
+/// the hot path for dashboards issuing the same shaped query per tag.
+class PreparedStatement {
+ public:
+  const std::string& sql() const { return sql_; }
+  int param_count() const { return param_count_; }
+  bool is_select() const { return kind_ == Statement::Kind::kSelect; }
+  /// Output column names (SELECT only; empty for other statements).
+  const std::vector<std::string>& columns() const;
+
+ private:
+  friend class Session;
+  friend class QueryStream;
+  PreparedStatement() = default;
+
+  std::string sql_;
+  Statement::Kind kind_ = Statement::Kind::kSelect;
+  int param_count_ = 0;
+  /// SELECT: the bound form, planning input for every execution.
+  std::unique_ptr<BoundSelect> bound_;
+  /// Non-SELECT statements re-execute from the parsed AST.
+  std::unique_ptr<InsertStmt> insert_;
+  std::unique_ptr<CreateTableStmt> create_table_;
+  std::unique_ptr<CreateIndexStmt> create_index_;
+};
+
+/// Counters of one session's lifetime (single-threaded, plain ints).
+struct SessionStats {
+  int64_t statements_executed = 0;
+  int64_t prepares = 0;           // Explicit Prepare() calls.
+  int64_t prepare_cache_hits = 0; // Prepare() served from the cache.
+  int64_t rows_streamed = 0;      // Rows emitted through QueryStreams.
+};
+
+/// A pull-based result stream — the streaming half of the session API and
+/// an ordinary RowCursor (poison contract included). SELECTs without
+/// aggregation or ORDER BY stream straight off the scan: each row is
+/// projected on demand and the full result is never materialized, so a
+/// range scan over years of history holds one row of state. Aggregating
+/// or ordering statements buffer internally (they are blocking by
+/// nature); non-SELECT statements execute at stream creation and emit
+/// zero rows (affected_rows() carries the count).
+///
+/// profile() is complete once Next has reported end of stream; at that
+/// point (or on early destruction) the profile is logged to the engine's
+/// recent-statement ring. A stream must not outlive its Session.
+class QueryStream : public RowCursor {
+ public:
+  ~QueryStream() override;
+  QueryStream(const QueryStream&) = delete;
+  QueryStream& operator=(const QueryStream&) = delete;
+
+  Result<bool> Next(Row* row) override;
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  /// Plan text; the executed-path line is appended when the stream ends.
+  const std::string& explain() const { return explain_; }
+  const QueryProfile& profile() const { return profile_; }
+  int64_t affected_rows() const { return affected_rows_; }
+
+ private:
+  friend class Session;
+
+  enum class State { kStreaming, kBuffered, kDone, kError };
+
+  QueryStream(SqlEngine* engine,
+              std::shared_ptr<const PreparedStatement> stmt,
+              const std::vector<Datum>& params, SessionStats* stats);
+
+  /// Plans and starts execution. `prior_micros` is parse+bind time to
+  /// account into plan_micros (zero on prepared re-execution); `prepared`
+  /// stamps the profile.
+  Status Init(double prior_micros, bool prepared);
+  /// Runs the blocking paths (aggregation / ORDER BY) into buffered_.
+  Status RunBuffered();
+  Result<bool> NextStreaming(Row* row);
+  Status Poison(Status status);
+  /// Harvests counters into profile_ and logs it (once).
+  void Finish();
+
+  SqlEngine* engine_;
+  std::shared_ptr<const PreparedStatement> stmt_;
+  std::vector<Datum> params_;
+  ExprEvaluator eval_;
+  common::ScanCounters counters_;
+  Stopwatch timer_;
+  PhysicalPlan plan_;
+  QueryProfile profile_;
+  std::vector<std::string> columns_;
+  std::string explain_;
+  int64_t affected_rows_ = 0;
+  SessionStats* stats_;
+
+  State state_ = State::kDone;
+  std::deque<Row> buffered_;
+  int64_t emitted_ = 0;
+  Status poison_;
+  bool finished_ = false;
+};
+
+/// Per-connection SQL state — the front door that replaces direct
+/// SqlEngine::Execute use. One Session per connection (or per thread): the
+/// object itself is deliberately not thread-safe, while any number of
+/// Sessions share one SqlEngine safely (concurrent SELECTs run in
+/// parallel; mutating statements serialize on the engine's write mutex).
+///
+/// Prepared statements are cached by statement text: preparing the same
+/// text twice returns the cached handle (stats().prepare_cache_hits) and
+/// the second execution skips parse and bind.
+class Session {
+ public:
+  explicit Session(SqlEngine* engine) : engine_(engine) {}
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// One-shot execution, materialized. Parses, binds, plans and runs in
+  /// one call; `params` bind `?` placeholders positionally. Supports the
+  /// `EXPLAIN PROFILE <select>` prefix.
+  Result<QueryResult> Execute(const std::string& sql,
+                              const std::vector<Datum>& params = {});
+
+  /// Parses and binds once; caches by statement text (bounded LRU-ish
+  /// cache — in-flight handles stay valid through the shared_ptr even if
+  /// evicted). EXPLAIN prefixes cannot be prepared.
+  Result<std::shared_ptr<const PreparedStatement>> Prepare(
+      const std::string& sql);
+
+  /// Executes a prepared statement, materialized. Skips parse/bind.
+  Result<QueryResult> ExecutePrepared(
+      const std::shared_ptr<const PreparedStatement>& stmt,
+      const std::vector<Datum>& params = {});
+
+  /// Streaming execution: rows are produced on demand through the
+  /// returned cursor; large range scans never materialize. Non-SELECT
+  /// statements and EXPLAIN PROFILE yield a pre-computed (buffered)
+  /// stream so callers can treat every statement uniformly.
+  Result<std::unique_ptr<QueryStream>> ExecuteStreaming(
+      const std::string& sql, const std::vector<Datum>& params = {});
+  Result<std::unique_ptr<QueryStream>> ExecuteStreamingPrepared(
+      const std::shared_ptr<const PreparedStatement>& stmt,
+      const std::vector<Datum>& params = {});
+
+  const SessionStats& stats() const { return stats_; }
+  SqlEngine* engine() { return engine_; }
+
+ private:
+  Result<std::shared_ptr<const PreparedStatement>> PrepareInternal(
+      const std::string& sql);
+  Result<std::unique_ptr<QueryStream>> StartStream(
+      std::shared_ptr<const PreparedStatement> stmt,
+      const std::vector<Datum>& params, double prior_micros, bool prepared);
+  /// Wraps an already-materialized result as a drained-from-buffer stream.
+  std::unique_ptr<QueryStream> StreamFromResult(QueryResult result);
+  Result<QueryResult> ExecuteNonSelect(const PreparedStatement& stmt,
+                                       const std::vector<Datum>& params);
+  Result<QueryResult> ExecuteInsert(const InsertStmt& stmt,
+                                    const std::vector<Datum>& params);
+  Result<QueryResult> Materialize(std::unique_ptr<QueryStream> stream);
+
+  static constexpr size_t kPreparedCacheCapacity = 64;
+
+  SqlEngine* engine_;
+  std::map<std::string, std::shared_ptr<const PreparedStatement>> cache_;
+  std::deque<std::string> cache_order_;  // Insertion order, for eviction.
+  SessionStats stats_;
+};
+
+}  // namespace odh::sql
+
+#endif  // ODH_SQL_SESSION_H_

@@ -49,6 +49,14 @@ struct ScanSpec {
 };
 
 /// Pull-based row stream.
+///
+/// Error contract: a cursor is POISONED once Next returns a non-OK Result.
+/// Every subsequent Next call returns the same (or an equivalent) error —
+/// it never crashes, never resumes the stream, and never reports a clean
+/// end of stream. Callers may therefore retry/drain a cursor defensively
+/// after a failure without risking silent data truncation; implementations
+/// that wrap other cursors (executor nodes, adapters, the network layer)
+/// must preserve the property.
 class RowCursor {
  public:
   virtual ~RowCursor() = default;
@@ -93,6 +101,8 @@ struct ColumnBatch {
 
 /// Pull-based batch stream: one decoded blob (or dirty-buffer slice) per
 /// call, with constraints already applied via the selection vector.
+/// Subject to the same poison contract as RowCursor: after a non-OK
+/// Result, every further Next returns the same error.
 class BatchCursor {
  public:
   virtual ~BatchCursor() = default;

@@ -134,6 +134,7 @@ class BatchRowAdapter : public RowCursor {
       : batches_(std::move(batches)) {}
 
   Result<bool> Next(Row* row) override {
+    if (!poison_.ok()) return poison_;
     while (true) {
       if (pos_ < batch_.selected()) {
         const size_t i = batch_.sel_all
@@ -155,8 +156,9 @@ class BatchRowAdapter : public RowCursor {
       }
       // Batches may come back empty (fully filtered); keep pulling.
       pos_ = 0;
-      ODH_ASSIGN_OR_RETURN(bool more, batches_->Next(&batch_));
-      if (!more) return false;
+      Result<bool> more = batches_->Next(&batch_);
+      if (!more.ok()) return poison_ = more.status();
+      if (!more.value()) return false;
     }
   }
 
@@ -164,6 +166,7 @@ class BatchRowAdapter : public RowCursor {
   std::unique_ptr<BatchCursor> batches_;
   ColumnBatch batch_;
   size_t pos_ = 0;
+  Status poison_;  // First error seen; repeated by every later Next.
 };
 
 }  // namespace

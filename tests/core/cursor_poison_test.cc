@@ -1,0 +1,128 @@
+// Cursor poison contract over a fault-injecting SimDisk: once a scan
+// cursor returns a non-OK Next, every later Next must return the SAME
+// error — never a fresh attempt that silently skips the failed blob and
+// truncates the result, and never a crash. Regression for the contract
+// documented in sql/table_provider.h, exercised end to end: the fault is
+// injected at the disk, surfaces through the buffer pool's bounded
+// retries, and must stick at the record cursor, the SQL streaming cursor
+// and the vectorized batch adapter alike.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/logging.h"
+#include "core/odh.h"
+#include "sql/session.h"
+#include "storage/fault_policy.h"
+
+namespace odh::core {
+namespace {
+
+constexpr SourceId kSource = 1;
+constexpr int kPoints = 60000;  // ~40 blobs at batch_size 1500.
+
+/// A historian whose working set does not fit the buffer pool, so a scan
+/// must touch the disk mid-flight — where the fault policy is waiting.
+class CursorPoisonTest : public ::testing::Test {
+ protected:
+  CursorPoisonTest() : odh_(SmallPool()) {
+    int type = odh_.DefineSchemaType("env", {"temperature", "wind"}).value();
+    ODH_CHECK_OK(odh_.RegisterSource(kSource, type, kMicrosPerSecond,
+                                     /*regular=*/true));
+    // Hash-noise tags: linear compression cannot shrink them, so the
+    // flushed blobs genuinely exceed the 64-page pool and a full scan
+    // must go back to disk.
+    for (int i = 0; i < kPoints; ++i) {
+      double noise_a = static_cast<double>((i * 1103515245u + 12345u) % 1000);
+      double noise_b = static_cast<double>((i * 48271u + 7u) % 997);
+      ODH_CHECK_OK(odh_.Ingest(
+          {kSource, i * kMicrosPerSecond, {noise_a * 0.01, noise_b * 0.1}}));
+    }
+    ODH_CHECK_OK(odh_.FlushAll());
+    type_ = type;
+  }
+
+  static OdhOptions SmallPool() {
+    OdhOptions options;
+    options.pool_pages = 64;  // Far smaller than the flushed data.
+    options.batch_size = 1500;
+    return options;
+  }
+
+  /// All reads fail from now on (transient faults at rate 1.0 exhaust the
+  /// buffer pool's bounded retries and surface as Unavailable).
+  void KillDisk() {
+    policy_.set_read_fault_rate(1.0);
+    odh_.database()->disk()->set_fault_policy(&policy_);
+  }
+
+  OdhSystem odh_;
+  int type_ = 0;
+  storage::FaultPolicy policy_{/*seed=*/7};
+};
+
+TEST_F(CursorPoisonTest, RecordCursorSticksToFirstError) {
+  // Slice scans stream blob rows off the store tables as they go (a
+  // historical scan preloads its blob list at open, before the fault).
+  auto cursor = odh_.SliceQuery(type_, 0, kMaxTimestamp);
+  ASSERT_TRUE(cursor.ok());
+  OperationalRecord record;
+  // A healthy prefix: the first blob decodes from cache/disk normally.
+  ASSERT_TRUE((*cursor)->Next(&record).value());
+  KillDisk();
+  // Drive until the first refill fails.
+  Result<bool> more = true;
+  while (more.ok() && more.value()) more = (*cursor)->Next(&record);
+  ASSERT_FALSE(more.ok()) << "scan survived a dead disk";
+  const std::string first = more.status().ToString();
+  // Poisoned: same error, forever, even after the disk heals.
+  for (int i = 0; i < 3; ++i) {
+    Result<bool> again = (*cursor)->Next(&record);
+    ASSERT_FALSE(again.ok());
+    EXPECT_EQ(first, again.status().ToString());
+  }
+  odh_.database()->disk()->set_fault_policy(nullptr);
+  Result<bool> healed = (*cursor)->Next(&record);
+  ASSERT_FALSE(healed.ok()) << "cursor forgot its poison when the disk healed";
+  EXPECT_EQ(first, healed.status().ToString());
+}
+
+TEST_F(CursorPoisonTest, SqlStreamingCursorSticksToFirstError) {
+  sql::Session session(odh_.engine());
+  // No id predicate: the planner routes this as a slice scan, which
+  // reads store pages incrementally — mid-stream faults reach the cursor.
+  auto stream = session.ExecuteStreaming("SELECT ts, temperature FROM env_v");
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  Row row;
+  ASSERT_TRUE((*stream)->Next(&row).value());
+  KillDisk();
+  Result<bool> more = true;
+  while (more.ok() && more.value()) more = (*stream)->Next(&row);
+  ASSERT_FALSE(more.ok()) << "stream survived a dead disk";
+  const std::string first = more.status().ToString();
+  for (int i = 0; i < 3; ++i) {
+    Result<bool> again = (*stream)->Next(&row);
+    ASSERT_FALSE(again.ok());
+    EXPECT_EQ(first, again.status().ToString());
+  }
+  // A poisoned stream reports the error through its profile-free terminal
+  // state; the session itself stays usable for the next statement.
+  odh_.database()->disk()->set_fault_policy(nullptr);
+  auto retry = session.Execute("SELECT COUNT(*) FROM env_v WHERE id = 1");
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(retry->rows[0][0], Datum::Int64(kPoints));
+}
+
+TEST_F(CursorPoisonTest, MaterializedExecutionReportsErrorNotTruncation) {
+  sql::Session session(odh_.engine());
+  KillDisk();
+  // Aggregate pushdown still reads blob summaries from disk; whichever
+  // path runs, the result must be an error — not a truncated row set.
+  auto result = session.Execute("SELECT ts FROM env_v WHERE id = 1");
+  EXPECT_FALSE(result.ok()) << "materialized scan over a dead disk returned "
+                            << result->rows.size() << " rows";
+}
+
+}  // namespace
+}  // namespace odh::core

@@ -61,7 +61,7 @@ class ScanBoundaryTest : public ::testing::Test {
             << query << " row " << r << " col " << c << " (vectorized)";
       }
     }
-    return *rowwise;
+    return std::move(*rowwise);
   }
 
   std::unique_ptr<OdhSystem> odh_;

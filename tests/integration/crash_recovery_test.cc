@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "core/odh.h"
 #include "core/wal.h"
+#include "sql/session.h"
 #include "storage/fault_policy.h"
 
 // End-to-end crash/recovery: ingest >10k points through the full stack,
@@ -67,13 +68,16 @@ Status IngestAll(OdhSystem* sys, int flush_every = 50) {
   return sys->FlushAll();
 }
 
-/// Full time-range scan over the virtual table, serialized row by row.
+/// Full time-range scan over the virtual table, streamed row by row
+/// through a SQL session — never materialized in the engine.
 std::vector<std::string> QueryAll(OdhSystem* sys) {
-  auto result = sys->engine()->Execute(
+  sql::Session session(sys->engine());
+  auto stream = session.ExecuteStreaming(
       "SELECT id, ts, temperature, wind FROM env_v");
-  ODH_CHECK_OK(result.status());
+  ODH_CHECK_OK(stream.status());
   std::vector<std::string> rows;
-  for (const Row& row : result->rows) {
+  Row row;
+  while ((*stream)->Next(&row).value()) {
     std::string line;
     for (const Datum& d : row) line += d.ToString() + "|";
     rows.push_back(std::move(line));

@@ -12,6 +12,7 @@
 #include "benchfw/dataset.h"
 #include "benchfw/runner.h"
 #include "common/logging.h"
+#include "sql/session.h"
 
 namespace odh::benchfw {
 namespace {
@@ -148,17 +149,34 @@ class IotxConsistencyTest : public ::testing::Test {
       sql.replace(pos, 2, table);
       return sql;
     };
-    auto odh_result = odh_->odh()->engine()->Execute(substitute(odh_table));
+    sql::Session odh_session(odh_->odh()->engine());
+    sql::Session rdb_session(rdb_engine_);
+    sql::Session mysql_session(mysql_engine_);
+    auto odh_result = odh_session.Execute(substitute(odh_table));
     ASSERT_TRUE(odh_result.ok()) << odh_result.status().ToString();
-    auto rdb_result = rdb_engine_->Execute(substitute(rel_table));
+    auto rdb_result = rdb_session.Execute(substitute(rel_table));
     ASSERT_TRUE(rdb_result.ok()) << rdb_result.status().ToString();
-    auto mysql_result = mysql_engine_->Execute(substitute(rel_table));
+    auto mysql_result = mysql_session.Execute(substitute(rel_table));
     ASSERT_TRUE(mysql_result.ok()) << mysql_result.status().ToString();
 
     std::vector<std::string> odh_rows = Canonical(*odh_result);
     EXPECT_EQ(odh_rows, Canonical(*rdb_result)) << sql_template;
     EXPECT_EQ(odh_rows, Canonical(*mysql_result)) << sql_template;
     EXPECT_GT(odh_rows.size(), 0u) << "degenerate test: " << sql_template;
+
+    // The streaming cursor must yield the exact same multiset as the
+    // materialized execution on every template.
+    auto stream = odh_session.ExecuteStreaming(substitute(odh_table));
+    ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+    sql::QueryResult streamed;
+    Row row;
+    while (true) {
+      auto more = (*stream)->Next(&row);
+      ASSERT_TRUE(more.ok()) << more.status().ToString();
+      if (!more.value()) break;
+      streamed.rows.push_back(row);
+    }
+    EXPECT_EQ(odh_rows, Canonical(streamed)) << "streamed: " << sql_template;
   }
 
   static OdhTarget* odh_;

@@ -1,0 +1,243 @@
+// Historian server end to end over loopback TCP: concurrent sessions
+// issuing prepared statements against a shared historian must all see the
+// single-threaded ground truth; a server at its session limit must reject
+// the next connection crisply (admission control) and expose the count
+// through odh_metrics; statement errors must not kill the session. The
+// stress test here is the binary CI also runs under TSAN.
+
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/odh.h"
+#include "net/client.h"
+#include "sql/session.h"
+
+namespace odh::net {
+namespace {
+
+constexpr int kSources = 8;
+constexpr int kPoints = 400;
+
+/// One historian + server shared by the whole suite: ingest once, then
+/// hammer it over TCP. Ground truths are computed up front through a
+/// local session.
+class ServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    odh_ = new core::OdhSystem();
+    int type = odh_->DefineSchemaType("env", {"temperature", "wind"}).value();
+    for (SourceId id = 1; id <= kSources; ++id) {
+      ODH_CHECK_OK(odh_->RegisterSource(id, type, kMicrosPerSecond,
+                                        /*regular=*/true));
+      for (int i = 0; i < kPoints; ++i) {
+        ODH_CHECK_OK(odh_->Ingest(
+            {id, i * kMicrosPerSecond, {20.0 + id + 0.01 * i, 1.0 * id}}));
+      }
+    }
+    ODH_CHECK_OK(odh_->FlushAll());
+
+    ServerOptions options;
+    options.max_sessions = 80;  // Above the 64-session stress below.
+    server_ = new HistorianServer(odh_->engine(), options, odh_->metrics());
+    auto port = server_->Start();
+    ODH_CHECK_OK(port.status());
+    port_ = *port;
+  }
+
+  static void TearDownTestSuite() {
+    server_->Stop();
+    delete server_;
+    delete odh_;
+    server_ = nullptr;
+    odh_ = nullptr;
+  }
+
+  static std::unique_ptr<Client> MustConnect() {
+    auto client = Client::Connect("127.0.0.1", port_);
+    ODH_CHECK_OK(client.status());
+    return std::move(*client);
+  }
+
+  static core::OdhSystem* odh_;
+  static HistorianServer* server_;
+  static int port_;
+};
+
+core::OdhSystem* ServerTest::odh_ = nullptr;
+HistorianServer* ServerTest::server_ = nullptr;
+int ServerTest::port_ = 0;
+
+TEST_F(ServerTest, QueryMatchesLocalSession) {
+  sql::Session local(odh_->engine());
+  auto truth = local.Execute(
+      "SELECT ts, temperature FROM env_v WHERE id = 3 ORDER BY ts");
+  ASSERT_TRUE(truth.ok());
+
+  auto client = MustConnect();
+  auto remote = client->Query(
+      "SELECT ts, temperature FROM env_v WHERE id = 3 ORDER BY ts");
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  EXPECT_EQ(remote->columns, truth->columns);
+  EXPECT_EQ(remote->rows, truth->rows);
+  EXPECT_EQ(remote->done.rows_returned,
+            static_cast<int64_t>(truth->rows.size()));
+  EXPECT_FALSE(remote->done.path.empty());
+}
+
+TEST_F(ServerTest, StatementErrorLeavesSessionUsable) {
+  auto client = MustConnect();
+  auto bad = client->Query("SELECT nope FROM not_a_table");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_FALSE(bad.status().IsIoError())
+      << "a SQL error must arrive as an Error frame, not kill the socket: "
+      << bad.status().ToString();
+  // Same connection, next statement works.
+  auto good = client->Query("SELECT COUNT(*) FROM env_v WHERE id = 1");
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_EQ(good->rows[0][0], Datum::Int64(kPoints));
+}
+
+TEST_F(ServerTest, UnknownStatementIdIsAnError) {
+  auto client = MustConnect();
+  ClientStatement bogus;
+  bogus.id = 424242;
+  auto r = client->Execute(bogus, {});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound()) << r.status().ToString();
+}
+
+TEST_F(ServerTest, StreamedAndMaterializedAgreeOverTheWire) {
+  auto client = MustConnect();
+  auto whole = client->Query("SELECT ts, wind FROM env_v WHERE id = 5");
+  ASSERT_TRUE(whole.ok());
+  auto cursor = client->QueryStream("SELECT ts, wind FROM env_v WHERE id = 5");
+  ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+  std::vector<Row> streamed;
+  Row row;
+  while (true) {
+    auto more = (*cursor)->Next(&row);
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    if (!more.value()) break;
+    streamed.push_back(row);
+  }
+  EXPECT_EQ(streamed, whole->rows);
+}
+
+TEST_F(ServerTest, SixtyFourConcurrentSessionsWithPreparedStatements) {
+  constexpr int kClients = 64;
+  constexpr int kRounds = 8;
+
+  // Ground truth per source, computed locally once.
+  sql::Session local(odh_->engine());
+  std::vector<std::string> truth(kSources + 1);
+  for (int id = 1; id <= kSources; ++id) {
+    auto r = local.Execute(
+        "SELECT COUNT(*), SUM(temperature) FROM env_v WHERE id = ?",
+        {Datum::Int64(id)});
+    ASSERT_TRUE(r.ok());
+    truth[id] =
+        r->rows[0][0].ToString() + "|" + r->rows[0][1].ToString();
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([t, &truth, &failures] {
+      auto client = Client::Connect("127.0.0.1", port_);
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      auto stmt = (*client)->Prepare(
+          "SELECT COUNT(*), SUM(temperature) FROM env_v WHERE id = ?");
+      if (!stmt.ok() || stmt->param_count != 1) {
+        ++failures;
+        return;
+      }
+      for (int round = 0; round < kRounds; ++round) {
+        int id = 1 + (t + round) % kSources;
+        auto r = (*client)->Execute(*stmt, {Datum::Int64(id)});
+        if (!r.ok() || r->rows.size() != 1) {
+          ++failures;
+          return;
+        }
+        std::string got =
+            r->rows[0][0].ToString() + "|" + r->rows[0][1].ToString();
+        if (got != truth[id]) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Server-side teardown is asynchronous: the handler still has to notice
+  // EOF and release its slot after the client's socket closes.
+  for (int wait = 0; wait < 500 && server_->sessions_open() != 0; ++wait) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server_->sessions_open(), 0) << "sessions leaked after close";
+}
+
+TEST_F(ServerTest, AdmissionControlRejectsBeyondMaxSessions) {
+  // A second, tiny server: two session slots.
+  ServerOptions options;
+  options.max_sessions = 2;
+  HistorianServer small(odh_->engine(), options);
+  auto port = small.Start();
+  ASSERT_TRUE(port.ok());
+
+  auto c1 = Client::Connect("127.0.0.1", *port);
+  auto c2 = Client::Connect("127.0.0.1", *port);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  // Both slots busy: the third connection is refused at the handshake.
+  auto c3 = Client::Connect("127.0.0.1", *port);
+  ASSERT_FALSE(c3.ok());
+  EXPECT_TRUE(c3.status().IsResourceExhausted()) << c3.status().ToString();
+  EXPECT_EQ(small.sessions_rejected(), 1);
+
+  // Freeing a slot re-admits.
+  (*c1)->Close();
+  auto c4 = Result<std::unique_ptr<Client>>(Status::Unavailable("retry"));
+  for (int attempt = 0; attempt < 100 && !c4.ok(); ++attempt) {
+    c4 = Client::Connect("127.0.0.1", *port);
+    if (!c4.ok()) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(c4.ok()) << "slot never freed: " << c4.status().ToString();
+  small.Stop();
+}
+
+TEST_F(ServerTest, RejectionCounterVisibleThroughOdhMetrics) {
+  // The shared server wires its counters into the historian's metrics
+  // registry, so rejections show up in SQL — queried over the same wire.
+  ServerOptions options;
+  options.max_sessions = 1;
+  core::OdhSystem tiny;
+  HistorianServer server(tiny.engine(), options, tiny.metrics());
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+  auto keeper = Client::Connect("127.0.0.1", *port);
+  ASSERT_TRUE(keeper.ok());
+  auto refused = Client::Connect("127.0.0.1", *port);
+  ASSERT_FALSE(refused.ok());
+
+  auto metrics = (*keeper)->Query(
+      "SELECT value FROM odh_metrics WHERE name = 'net.sessions_rejected'");
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  ASSERT_EQ(metrics->rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(metrics->rows[0][0].double_value(), 1.0);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace odh::net

@@ -1,0 +1,227 @@
+// Wire protocol: every frame round-trips encode -> frame -> parse ->
+// decode; truncated prefixes ask for more bytes; garbage (oversized or
+// unknown-type frames, short payloads, lying counts) is rejected instead
+// of over-reading or crashing the decoder.
+
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/status.h"
+
+namespace odh::net {
+namespace {
+
+/// Frames `payload` as `type` and parses it back, expecting exactly one
+/// whole frame.
+Frame RoundTrip(FrameType type, const std::string& payload) {
+  std::string wire;
+  AppendFrame(&wire, type, payload);
+  Frame frame;
+  auto consumed = ParseFrame(wire, &frame);
+  EXPECT_TRUE(consumed.ok()) << consumed.status().ToString();
+  EXPECT_EQ(consumed.value_or(0), wire.size());
+  EXPECT_EQ(frame.type, type);
+  return frame;
+}
+
+std::vector<Datum> SampleParams() {
+  return {Datum::Int64(-42), Datum::Double(3.5), Datum::String("Sensor S1"),
+          Datum::Null(), Datum::Bool(true),
+          Datum::Time(1234567890123456)};
+}
+
+TEST(WireTest, DatumsRoundTrip) {
+  std::string buf;
+  for (const Datum& d : SampleParams()) PutDatum(&buf, d);
+  Slice in(buf);
+  for (const Datum& d : SampleParams()) {
+    Datum back;
+    ASSERT_TRUE(GetDatum(&in, &back));
+    EXPECT_EQ(back, d);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(WireTest, HelloWelcomeRoundTrip) {
+  Frame hello = RoundTrip(FrameType::kHello, EncodeHello(kProtocolVersion));
+  uint32_t version = 0;
+  ASSERT_TRUE(DecodeHello(hello.payload, &version));
+  EXPECT_EQ(version, kProtocolVersion);
+
+  Frame welcome =
+      RoundTrip(FrameType::kWelcome, EncodeWelcome(kProtocolVersion, 77));
+  uint64_t session_id = 0;
+  ASSERT_TRUE(DecodeWelcome(welcome.payload, &version, &session_id));
+  EXPECT_EQ(session_id, 77u);
+}
+
+TEST(WireTest, QueryRoundTrip) {
+  const std::string sql = "SELECT * FROM env_v WHERE id = ? AND t > ?";
+  Frame frame = RoundTrip(FrameType::kQuery, EncodeQuery(sql, SampleParams()));
+  std::string sql_back;
+  std::vector<Datum> params;
+  ASSERT_TRUE(DecodeQuery(frame.payload, &sql_back, &params));
+  EXPECT_EQ(sql_back, sql);
+  EXPECT_EQ(params, SampleParams());
+}
+
+TEST(WireTest, PreparedAndExecuteRoundTrip) {
+  Frame prepared = RoundTrip(FrameType::kPrepared,
+                             EncodePrepared(9, 2, {"ts", "temperature"}));
+  uint64_t id = 0;
+  uint32_t param_count = 0;
+  std::vector<std::string> columns;
+  ASSERT_TRUE(DecodePrepared(prepared.payload, &id, &param_count, &columns));
+  EXPECT_EQ(id, 9u);
+  EXPECT_EQ(param_count, 2u);
+  EXPECT_EQ(columns, (std::vector<std::string>{"ts", "temperature"}));
+
+  Frame exec =
+      RoundTrip(FrameType::kExecute, EncodeExecute(9, SampleParams()));
+  std::vector<Datum> params;
+  ASSERT_TRUE(DecodeExecute(exec.payload, &id, &params));
+  EXPECT_EQ(id, 9u);
+  EXPECT_EQ(params, SampleParams());
+}
+
+TEST(WireTest, RowBatchRoundTrip) {
+  std::vector<Row> rows = {
+      {Datum::Int64(1), Datum::Double(20.5), Datum::String("a")},
+      {Datum::Int64(2), Datum::Null(), Datum::String("")},
+  };
+  Frame frame = RoundTrip(FrameType::kRowBatch, EncodeRowBatch(rows));
+  std::vector<Row> back;
+  ASSERT_TRUE(DecodeRowBatch(frame.payload, &back));
+  EXPECT_EQ(back, rows);
+}
+
+TEST(WireTest, DoneRoundTrip) {
+  DoneInfo info;
+  info.affected_rows = 3;
+  info.rows_returned = 12345;
+  info.path = "summary-pushdown";
+  info.plan_micros = 12.5;
+  info.total_micros = 842.0;
+  Frame frame = RoundTrip(FrameType::kDone, EncodeDone(info));
+  DoneInfo back;
+  ASSERT_TRUE(DecodeDone(frame.payload, &back));
+  EXPECT_EQ(back.affected_rows, 3);
+  EXPECT_EQ(back.rows_returned, 12345);
+  EXPECT_EQ(back.path, "summary-pushdown");
+  EXPECT_DOUBLE_EQ(back.plan_micros, 12.5);
+  EXPECT_DOUBLE_EQ(back.total_micros, 842.0);
+}
+
+TEST(WireTest, ErrorRoundTripPreservesCodeAndMessage) {
+  Status original = Status::NotFound("no such statement: 7");
+  Frame frame = RoundTrip(FrameType::kError, EncodeError(original));
+  Status back;
+  ASSERT_TRUE(DecodeError(frame.payload, &back));
+  EXPECT_TRUE(back.IsNotFound()) << back.ToString();
+  EXPECT_EQ(back.ToString(), original.ToString());
+}
+
+TEST(WireTest, ErrorDecodeRejectsUnknownCode) {
+  // A remote speaking a future status enum must not map onto a bogus
+  // local code; it degrades to Internal.
+  std::string payload;
+  PutFixed32(&payload, 0xFFFF);
+  PutString(&payload, "from the future");
+  Status back;
+  ASSERT_TRUE(DecodeError(payload, &back));
+  EXPECT_TRUE(back.IsInternal()) << back.ToString();
+}
+
+TEST(WireTest, TruncatedFramesWantMoreBytes) {
+  std::string wire;
+  AppendFrame(&wire, FrameType::kQuery, EncodeQuery("SELECT 1", {}));
+  // Every proper prefix must parse as "incomplete", never as an error.
+  for (size_t len = 0; len < wire.size(); ++len) {
+    Frame frame;
+    auto consumed = ParseFrame(Slice(wire.data(), len), &frame);
+    ASSERT_TRUE(consumed.ok()) << "prefix len " << len;
+    EXPECT_EQ(consumed.value(), 0u) << "prefix len " << len;
+  }
+}
+
+TEST(WireTest, TwoFramesParseInSequence) {
+  std::string wire;
+  AppendFrame(&wire, FrameType::kHello, EncodeHello(1));
+  AppendFrame(&wire, FrameType::kBye, "");
+  Frame frame;
+  auto first = ParseFrame(wire, &frame);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(frame.type, FrameType::kHello);
+  auto second =
+      ParseFrame(Slice(wire.data() + *first, wire.size() - *first), &frame);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(frame.type, FrameType::kBye);
+  EXPECT_EQ(*first + *second, wire.size());
+}
+
+TEST(WireTest, OversizedFrameIsCorruptNotAShortRead) {
+  std::string wire;
+  PutFixed32(&wire, kMaxFrameBytes + 1);
+  wire.push_back(static_cast<char>(FrameType::kQuery));
+  Frame frame;
+  auto consumed = ParseFrame(wire, &frame);
+  EXPECT_FALSE(consumed.ok())
+      << "a 16MB+ length header must be treated as a hostile stream";
+}
+
+TEST(WireTest, UnknownFrameTypeIsCorrupt) {
+  std::string wire;
+  PutFixed32(&wire, 0);
+  wire.push_back(static_cast<char>(200));
+  Frame frame;
+  EXPECT_FALSE(ParseFrame(wire, &frame).ok());
+}
+
+TEST(WireTest, GarbagePayloadsAreRejectedNotOverread) {
+  // A count field claiming more elements than the payload holds.
+  std::string lying;
+  PutString(&lying, "SELECT 1");
+  PutFixed32(&lying, 1000000);  // "One million parameters follow." They don't.
+  std::string sql;
+  std::vector<Datum> params;
+  EXPECT_FALSE(DecodeQuery(lying, &sql, &params));
+
+  // A datum truncated mid-value.
+  std::string cut;
+  PutDatum(&cut, Datum::String("hello world"));
+  cut.resize(cut.size() - 4);
+  Slice in(cut);
+  Datum value;
+  EXPECT_FALSE(GetDatum(&in, &value));
+
+  // Trailing junk after a well-formed payload is also a protocol error.
+  std::string padded = EncodeHello(1);
+  padded += "junk";
+  uint32_t version = 0;
+  EXPECT_FALSE(DecodeHello(padded, &version));
+
+  // Short noise through every decoder: all of these payloads carry at
+  // least one fixed-width field wider than this, so every decoder must
+  // return false rather than over-read or crash.
+  const std::string noise = "\x07\x93g\xff\x01";
+  uint64_t u64 = 0;
+  uint32_t u32 = 0;
+  std::vector<std::string> cols;
+  std::vector<Row> rows;
+  DoneInfo done;
+  Status status;
+  EXPECT_FALSE(DecodeWelcome(noise, &u32, &u64));
+  EXPECT_FALSE(DecodePrepared(noise, &u64, &u32, &cols));
+  EXPECT_FALSE(DecodeExecute(noise, &u64, &params));
+  EXPECT_FALSE(DecodeRowBatch(noise, &rows));
+  EXPECT_FALSE(DecodeDone(noise, &done));
+  EXPECT_FALSE(DecodeStmtId(noise, &u64));
+}
+
+}  // namespace
+}  // namespace odh::net

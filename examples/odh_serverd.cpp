@@ -142,9 +142,20 @@ int main(int argc, char** argv) {
   std::printf("odh_serverd listening on 127.0.0.1:%d (max %d sessions)\n",
               *port, options.max_sessions);
 
+  // Shutdown is graceful in both modes: Drain stops accepting and lets
+  // statements already streaming finish (up to 5s) before Stop joins the
+  // workers and force-closes whatever is left.
+  auto shut_down = [&server] {
+    server.Drain(/*timeout_ms=*/5000);
+    server.Stop();
+    std::printf("shutdown: %lld sessions drained, %lld force-closed\n",
+                static_cast<long long>(server.drained_sessions()),
+                static_cast<long long>(server.sessions_force_closed()));
+  };
+
   if (demo) {
     int rc = RunDemoClient(*port);
-    server.Stop();
+    shut_down();
     std::printf("odh_serverd demo complete\n");
     return rc;
   }
@@ -153,6 +164,6 @@ int main(int argc, char** argv) {
   std::fflush(stdout);
   while (std::getchar() != EOF) {
   }
-  server.Stop();
+  shut_down();
   return 0;
 }

@@ -1,0 +1,97 @@
+#ifndef ODH_COMMON_BACKOFF_H_
+#define ODH_COMMON_BACKOFF_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace odh::common {
+
+/// A wall-clock budget for one operation, measured against the steady
+/// clock. A default-constructed Deadline is infinite (never expires);
+/// AfterMillis(ms) expires ms from now. Deadlines are values: pass them
+/// down through nested I/O calls so one statement's budget covers every
+/// read and write it performs.
+class Deadline {
+ public:
+  /// Infinite: never expires.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `ms` from now. ms <= 0 means "already expired" — useful for
+  /// non-blocking probes. Use AfterMillisOrInfinite for the common
+  /// "0 disables the deadline" options pattern.
+  static Deadline AfterMillis(int64_t ms) {
+    Deadline d;
+    d.finite_ = true;
+    d.at_ = Clock::now() + std::chrono::milliseconds(ms);
+    return d;
+  }
+
+  /// The options convention: a non-positive configured timeout means "no
+  /// deadline".
+  static Deadline AfterMillisOrInfinite(int64_t ms) {
+    return ms > 0 ? AfterMillis(ms) : Infinite();
+  }
+
+  bool infinite() const { return !finite_; }
+
+  bool expired() const { return finite_ && Clock::now() >= at_; }
+
+  /// Milliseconds left, clamped to >= 0; -1 when infinite (the poll(2)
+  /// convention for "block forever").
+  int64_t remaining_millis() const {
+    if (!finite_) return -1;
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        at_ - Clock::now());
+    return std::max<int64_t>(0, left.count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool finite_ = false;
+  Clock::time_point at_{};
+};
+
+/// Exponential backoff with full jitter, deterministically seeded: the
+/// k-th delay is uniform in [0, min(max_ms, initial_ms * 2^k)]. Identical
+/// seeds give identical delay sequences, so retry tests replay exactly.
+/// Full jitter (vs. jittering around the midpoint) is what de-correlates
+/// a thundering herd of clients reconnecting after a server blip.
+class ExponentialBackoff {
+ public:
+  ExponentialBackoff(int64_t initial_ms, int64_t max_ms, uint64_t seed = 0)
+      : initial_ms_(std::max<int64_t>(1, initial_ms)),
+        max_ms_(std::max<int64_t>(1, max_ms)),
+        ceiling_ms_(initial_ms_),
+        rng_(seed) {}
+
+  /// The delay to sleep before the next attempt; advances the schedule.
+  int64_t NextDelayMillis() {
+    int64_t cap = ceiling_ms_;
+    // Double with saturation for the next call.
+    ceiling_ms_ = ceiling_ms_ > max_ms_ / 2 ? max_ms_ : ceiling_ms_ * 2;
+    if (cap > max_ms_) cap = max_ms_;
+    return static_cast<int64_t>(
+        rng_.Uniform(static_cast<uint64_t>(cap) + 1));
+  }
+
+  void Reset() { ceiling_ms_ = initial_ms_; }
+
+  int attempts() const { return attempts_; }
+  void RecordAttempt() { ++attempts_; }
+
+ private:
+  int64_t initial_ms_;
+  int64_t max_ms_;
+  int64_t ceiling_ms_;
+  int attempts_ = 0;
+  Random rng_;
+};
+
+}  // namespace odh::common
+
+#endif  // ODH_COMMON_BACKOFF_H_

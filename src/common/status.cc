@@ -30,6 +30,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "DataLoss";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

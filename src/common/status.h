@@ -28,6 +28,10 @@ enum class StatusCode {
   /// A transient failure (e.g. an injected intermittent I/O fault). Safe to
   /// retry with backoff; the storage layer does so automatically.
   kUnavailable,
+  /// An operation ran out of wall-clock budget (socket read/write deadline,
+  /// RPC deadline). The operation may or may not have taken effect on the
+  /// other end; retry only idempotent work.
+  kDeadlineExceeded,
 };
 
 /// Returns a short human-readable name, e.g. "NotFound".
@@ -83,6 +87,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -103,6 +110,9 @@ class Status {
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -1,34 +1,14 @@
 #include "net/client.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 namespace odh::net {
-namespace {
 
-// send() with MSG_NOSIGNAL: a server hang-up surfaces as an IoError
-// Status, not a process-killing SIGPIPE.
-Status WriteAll(int fd, const char* data, size_t size) {
-  while (size > 0) {
-    ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IoError("write: " + std::string(std::strerror(errno)));
-    }
-    data += n;
-    size -= static_cast<size_t>(n);
-  }
-  return Status::OK();
-}
-
-}  // namespace
+using common::Deadline;
+using common::ExponentialBackoff;
 
 // ClientCursor ---------------------------------------------------------------
 
@@ -52,6 +32,9 @@ Result<bool> ClientCursor::Next(Row* row) {
     if (finished_) return false;
     Status advanced = client_->Advance(this);
     if (!advanced.ok()) {
+      // Poison, permanently: a partially consumed stream must never be
+      // resumed or silently restarted — the caller re-runs the statement
+      // if it wants the rows (and only it knows whether that is safe).
       poison_ = advanced;
       finished_ = true;
       return poison_;
@@ -66,13 +49,20 @@ Result<bool> ClientCursor::Next(Row* row) {
 
 Client::~Client() { Close(); }
 
-void Client::Close() {
-  if (fd_ < 0) return;
-  std::string out;
-  AppendFrame(&out, FrameType::kBye, Slice());
-  (void)WriteAll(fd_, out.data(), out.size());
-  ::close(fd_);
-  fd_ = -1;
+bool Client::IsRetryable(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kIoError:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void Client::Abandon() {
+  transport_.Close();
   if (active_cursor_ != nullptr) {
     // Orphan the cursor: it keeps its buffered rows but can't refill.
     active_cursor_->client_ = nullptr;
@@ -84,91 +74,177 @@ void Client::Close() {
   }
 }
 
-Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
-                                                int port) {
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::IoError("socket: " + std::string(std::strerror(errno)));
+void Client::Close() {
+  if (transport_.valid()) {
+    std::string out;
+    AppendFrame(&out, FrameType::kBye, Slice());
+    (void)transport_.WriteAll(out.data(), out.size(),
+                              Deadline::AfterMillis(1000));
   }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return Status::InvalidArgument("bad host address: " + host);
-  }
-  int rc;
-  do {
-    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-  } while (rc != 0 && errno == EINTR);
-  if (rc != 0) {
-    ::close(fd);
-    return Status::IoError("connect: " + std::string(std::strerror(errno)));
-  }
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  Abandon();
+}
 
-  std::unique_ptr<Client> client(new Client());
-  client->fd_ = fd;
-  ODH_RETURN_IF_ERROR(
-      client->SendFrame(FrameType::kHello, EncodeHello(kProtocolVersion)));
+Status Client::ConnectOnce() {
+  ++stats_.connect_attempts;
+  if (options_.fault_policy != nullptr) {
+    NetFaultDecision fault = options_.fault_policy->OnConnect();
+    if (fault.kind == NetFaultDecision::Kind::kStall) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(fault.stall_millis));
+    } else if (fault.kind != NetFaultDecision::Kind::kNone) {
+      return Status::Unavailable("injected connect fault");
+    }
+  }
+  Deadline dl = Deadline::AfterMillisOrInfinite(options_.connect_timeout_ms);
+  Result<int> fd = ConnectWithDeadline(host_, port_, dl);
+  if (!fd.ok()) {
+    if (fd.status().IsDeadlineExceeded()) ++stats_.deadline_timeouts;
+    return fd.status();
+  }
+  transport_ = Transport(*fd, options_.fault_policy);
+
+  Status hello = SendFrame(FrameType::kHello, EncodeHello(kProtocolVersion), dl);
+  if (!hello.ok()) {
+    transport_.Close();
+    return hello;
+  }
   Frame frame;
-  ODH_ASSIGN_OR_RETURN(bool got, client->ReadInto(&frame));
-  if (!got) return Status::IoError("server closed during handshake");
+  Result<bool> got = ReadInto(&frame, dl);
+  if (!got.ok() || !got.value()) {
+    transport_.Close();
+    return got.ok() ? Status::IoError("server closed during handshake")
+                    : got.status();
+  }
   if (frame.type == FrameType::kRejected) {
-    return Status::ResourceExhausted(
-        "server rejected connection: " +
-        std::string(frame.payload.data(), frame.payload.size()));
+    RejectCode code = RejectCode::kUnknown;
+    std::string reason;
+    DecodeRejected(Slice(frame.payload), &code, &reason);
+    transport_.Close();
+    // Classify by code, never by reason text.
+    switch (code) {
+      case RejectCode::kTooManySessions:
+      case RejectCode::kDraining:
+        return Status::ResourceExhausted("server rejected connection: " +
+                                         reason);
+      case RejectCode::kIncompatibleVersion:
+      case RejectCode::kUnknown:
+        return Status::FailedPrecondition("server rejected connection: " +
+                                          reason);
+    }
+    return Status::Internal("unreachable");
   }
   uint32_t version = 0;
   uint64_t session_id = 0;
   if (frame.type != FrameType::kWelcome ||
       !DecodeWelcome(Slice(frame.payload), &version, &session_id)) {
+    transport_.Close();
     return Status::IoError("bad handshake reply");
   }
-  client->session_id_ = session_id;
+  session_id_ = session_id;
+  if (++generation_ > 1) ++stats_.reconnects;
+  return Status::OK();
+}
+
+Status Client::ConnectWithRetry() {
+  ExponentialBackoff backoff(options_.initial_backoff_ms,
+                             options_.max_backoff_ms, options_.backoff_seed);
+  const int attempts = std::max(1, options_.max_connect_attempts);
+  Status last;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    last = ConnectOnce();
+    if (last.ok()) return last;
+    if (!IsRetryable(last) || attempt == attempts) return last;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(backoff.NextDelayMillis()));
+  }
+  return last;
+}
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                int port,
+                                                const ClientOptions& options) {
+  std::unique_ptr<Client> client(new Client());
+  client->host_ = host;
+  client->port_ = port;
+  client->options_ = options;
+  ODH_RETURN_IF_ERROR(client->ConnectWithRetry());
   return client;
 }
 
-Status Client::SendFrame(FrameType type, const std::string& payload) {
-  if (fd_ < 0) return Status::FailedPrecondition("client is closed");
+Status Client::SendFrame(FrameType type, const std::string& payload,
+                         const Deadline& dl) {
+  if (!transport_.valid()) {
+    return Status::FailedPrecondition("client is closed");
+  }
   std::string out;
   AppendFrame(&out, type, Slice(payload));
-  return WriteAll(fd_, out.data(), out.size());
+  Status sent = transport_.WriteAll(out.data(), out.size(), dl);
+  if (sent.IsDeadlineExceeded()) ++stats_.deadline_timeouts;
+  return sent;
 }
 
-Result<bool> Client::ReadInto(Frame* frame) {
-  while (true) {
-    ODH_ASSIGN_OR_RETURN(size_t consumed, ParseFrame(Slice(rdbuf_), frame));
-    if (consumed > 0) {
-      rdbuf_.erase(0, consumed);
-      return true;
-    }
-    char chunk[4096];
-    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IoError("read: " + std::string(std::strerror(errno)));
-    }
-    if (n == 0) {
-      if (!rdbuf_.empty()) {
-        return Status::IoError("connection closed mid-frame");
-      }
-      return false;
-    }
-    rdbuf_.append(chunk, static_cast<size_t>(n));
+Result<bool> Client::ReadInto(Frame* frame, const Deadline& dl) {
+  if (!transport_.valid()) {
+    return Status::FailedPrecondition("client is closed");
   }
+  Result<bool> got = transport_.ReadFrame(frame, dl);
+  if (!got.ok() && got.status().IsDeadlineExceeded()) {
+    ++stats_.deadline_timeouts;
+  }
+  return got;
 }
 
-Result<std::unique_ptr<ClientCursor>> Client::StartStream(
-    FrameType type, std::string payload) {
-  if (active_cursor_ != nullptr) {
-    return Status::FailedPrecondition(
-        "a result stream is still open; drain or destroy it first");
+Result<uint64_t> Client::ResolveStatement(const ClientStatement& stmt) {
+  auto it = statements_.find(stmt.id);
+  if (it == statements_.end()) {
+    // Not one of ours (hand-crafted handle): pass the id through and let
+    // the server answer — it replies NotFound for unknown ids.
+    return stmt.id;
   }
-  ODH_RETURN_IF_ERROR(SendFrame(type, payload));
+  RemoteStatement& remote = it->second;
+  if (remote.generation == generation_) return remote.server_id;
+  // Prepared on a dead connection: the server-side handle died with it.
+  // Re-prepare the retained SQL on the current connection.
+  Deadline dl = Deadline::AfterMillisOrInfinite(options_.rpc_deadline_ms);
+  ODH_RETURN_IF_ERROR(
+      SendFrame(FrameType::kPrepare, [&] {
+        std::string payload;
+        PutString(&payload, remote.sql);
+        return payload;
+      }(), dl));
   Frame frame;
-  ODH_ASSIGN_OR_RETURN(bool got, ReadInto(&frame));
+  ODH_ASSIGN_OR_RETURN(bool got, ReadInto(&frame, dl));
+  if (!got) return Status::IoError("server closed mid-prepare");
+  if (frame.type == FrameType::kError) {
+    Status remote_status;
+    if (!DecodeError(Slice(frame.payload), &remote_status)) {
+      return Status::IoError("bad error frame");
+    }
+    return remote_status;
+  }
+  uint64_t server_id = 0;
+  uint32_t param_count = 0;
+  std::vector<std::string> columns;
+  if (frame.type != FrameType::kPrepared ||
+      !DecodePrepared(Slice(frame.payload), &server_id, &param_count,
+                      &columns)) {
+    return Status::IoError("bad prepare reply");
+  }
+  remote.server_id = server_id;
+  remote.generation = generation_;
+  return server_id;
+}
+
+Result<std::unique_ptr<ClientCursor>> Client::StartStreamOnce(
+    FrameType type, const std::string& payload, bool* fully_sent) {
+  Deadline dl = Deadline::AfterMillisOrInfinite(options_.rpc_deadline_ms);
+  ODH_RETURN_IF_ERROR(SendFrame(type, payload, dl));
+  // WriteAll is all-or-error: an OK here means the whole request frame is
+  // on the wire, so the server may act on it — the retry policy's
+  // "fully-unstarted" boundary.
+  *fully_sent = true;
+  Frame frame;
+  ODH_ASSIGN_OR_RETURN(bool got, ReadInto(&frame, dl));
   if (!got) return Status::IoError("server closed mid-statement");
   if (frame.type == FrameType::kError) {
     Status remote;
@@ -188,14 +264,67 @@ Result<std::unique_ptr<ClientCursor>> Client::StartStream(
   return cursor;
 }
 
+Result<std::unique_ptr<ClientCursor>> Client::StartStream(
+    FrameType type, const std::string& payload, bool idempotent) {
+  // (Re)built per attempt for Execute via ExecuteStream; here the payload
+  // is fixed, so wrap it.
+  if (active_cursor_ != nullptr) {
+    return Status::FailedPrecondition(
+        "a result stream is still open; drain or destroy it first");
+  }
+  ExponentialBackoff backoff(options_.initial_backoff_ms,
+                             options_.max_backoff_ms,
+                             options_.backoff_seed + 1);
+  const int attempts =
+      options_.auto_retry ? std::max(1, options_.max_statement_attempts) : 1;
+  Status last;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (!transport_.valid()) {
+      Status connected = ConnectWithRetry();
+      if (!connected.ok()) return connected;
+    }
+    bool fully_sent = false;
+    Result<std::unique_ptr<ClientCursor>> started =
+        StartStreamOnce(type, payload, &fully_sent);
+    if (started.ok()) return started;
+    last = started.status();
+    if (!IsRetryable(last)) return last;  // SQL-level error: deterministic.
+    // Connection-level failure: its stream position is unknowable, so the
+    // connection is abandoned either way.
+    Abandon();
+    // Retry only provably-unstarted requests (never fully sent) or ones
+    // the caller declared idempotent. A fully sent non-idempotent request
+    // may have taken effect without its ack — surface the error instead.
+    const bool safe_to_retry =
+        !fully_sent || idempotent || options_.assume_idempotent;
+    if (!safe_to_retry || attempt == attempts) return last;
+    ++stats_.statement_retries;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(backoff.NextDelayMillis()));
+  }
+  return last;
+}
+
 Status Client::Advance(ClientCursor* cursor) {
+  Deadline dl = Deadline::AfterMillisOrInfinite(options_.rpc_deadline_ms);
   Frame frame;
-  ODH_ASSIGN_OR_RETURN(bool got, ReadInto(&frame));
-  if (!got) return Status::IoError("server closed mid-stream");
+  Result<bool> got = ReadInto(&frame, dl);
+  if (!got.ok() || !got.value()) {
+    // Connection-level failure mid-stream: the socket's framing position
+    // is unknowable, so drop the connection — the next statement
+    // reconnects. The cursor itself poisons (Next handles that).
+    if (active_cursor_ == cursor) active_cursor_ = nullptr;
+    Status broken =
+        got.ok() ? Status::IoError("server closed mid-stream") : got.status();
+    transport_.Close();
+    return broken;
+  }
   switch (frame.type) {
     case FrameType::kRowBatch: {
       std::vector<Row> rows;
       if (!DecodeRowBatch(Slice(frame.payload), &rows)) {
+        if (active_cursor_ == cursor) active_cursor_ = nullptr;
+        transport_.Close();
         return Status::IoError("bad row batch");
       }
       for (Row& row : rows) cursor->pending_.push_back(std::move(row));
@@ -203,6 +332,8 @@ Status Client::Advance(ClientCursor* cursor) {
     }
     case FrameType::kDone: {
       if (!DecodeDone(Slice(frame.payload), &cursor->done_)) {
+        if (active_cursor_ == cursor) active_cursor_ = nullptr;
+        transport_.Close();
         return Status::IoError("bad done frame");
       }
       cursor->finished_ = true;
@@ -210,19 +341,26 @@ Status Client::Advance(ClientCursor* cursor) {
       return Status::OK();
     }
     case FrameType::kError: {
+      // A server-side statement error: the stream is over but the session
+      // (and connection) live on.
       Status remote;
       if (!DecodeError(Slice(frame.payload), &remote)) {
+        if (active_cursor_ == cursor) active_cursor_ = nullptr;
+        transport_.Close();
         return Status::IoError("bad error frame");
       }
       if (active_cursor_ == cursor) active_cursor_ = nullptr;
       return remote;
     }
     default:
+      if (active_cursor_ == cursor) active_cursor_ = nullptr;
+      transport_.Close();
       return Status::IoError("unexpected frame in result stream");
   }
 }
 
-Result<ClientResult> Client::Drain(std::unique_ptr<ClientCursor> cursor) {
+Result<ClientResult> Client::DrainCursor(
+    std::unique_ptr<ClientCursor> cursor) {
   ClientResult result;
   result.columns = cursor->columns();
   Row row;
@@ -239,12 +377,13 @@ Result<ClientResult> Client::Query(const std::string& sql,
                                    const std::vector<Datum>& params) {
   ODH_ASSIGN_OR_RETURN(std::unique_ptr<ClientCursor> cursor,
                        QueryStream(sql, params));
-  return Drain(std::move(cursor));
+  return DrainCursor(std::move(cursor));
 }
 
 Result<std::unique_ptr<ClientCursor>> Client::QueryStream(
     const std::string& sql, const std::vector<Datum>& params) {
-  return StartStream(FrameType::kQuery, EncodeQuery(sql, params));
+  return StartStream(FrameType::kQuery, EncodeQuery(sql, params),
+                     /*idempotent=*/false);
 }
 
 Result<ClientStatement> Client::Prepare(const std::string& sql) {
@@ -254,42 +393,121 @@ Result<ClientStatement> Client::Prepare(const std::string& sql) {
   }
   std::string payload;
   PutString(&payload, sql);
-  ODH_RETURN_IF_ERROR(SendFrame(FrameType::kPrepare, payload));
-  Frame frame;
-  ODH_ASSIGN_OR_RETURN(bool got, ReadInto(&frame));
-  if (!got) return Status::IoError("server closed mid-prepare");
-  if (frame.type == FrameType::kError) {
-    Status remote;
-    if (!DecodeError(Slice(frame.payload), &remote)) {
-      return Status::IoError("bad error frame");
-    }
-    return remote;
-  }
+  ExponentialBackoff backoff(options_.initial_backoff_ms,
+                             options_.max_backoff_ms,
+                             options_.backoff_seed + 2);
+  const int attempts =
+      options_.auto_retry ? std::max(1, options_.max_statement_attempts) : 1;
+  Status last;
   ClientStatement stmt;
-  uint32_t param_count = 0;
-  if (frame.type != FrameType::kPrepared ||
-      !DecodePrepared(Slice(frame.payload), &stmt.id, &param_count,
-                      &stmt.columns)) {
-    return Status::IoError("bad prepare reply");
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (!transport_.valid()) {
+      Status connected = ConnectWithRetry();
+      if (!connected.ok()) return connected;
+    }
+    Deadline dl = Deadline::AfterMillisOrInfinite(options_.rpc_deadline_ms);
+    last = SendFrame(FrameType::kPrepare, payload, dl);
+    if (last.ok()) {
+      Frame frame;
+      Result<bool> got = ReadInto(&frame, dl);
+      if (!got.ok()) {
+        last = got.status();
+      } else if (!got.value()) {
+        last = Status::IoError("server closed mid-prepare");
+      } else if (frame.type == FrameType::kError) {
+        Status remote;
+        if (!DecodeError(Slice(frame.payload), &remote)) {
+          last = Status::IoError("bad error frame");
+        } else {
+          return remote;  // SQL-level: deterministic, never retried.
+        }
+      } else {
+        uint64_t server_id = 0;
+        uint32_t param_count = 0;
+        if (frame.type != FrameType::kPrepared ||
+            !DecodePrepared(Slice(frame.payload), &server_id, &param_count,
+                            &stmt.columns)) {
+          last = Status::IoError("bad prepare reply");
+        } else {
+          stmt.id = next_stmt_id_++;
+          stmt.param_count = static_cast<int>(param_count);
+          stmt.sql = sql;
+          statements_[stmt.id] = RemoteStatement{sql, server_id, generation_};
+          return stmt;
+        }
+      }
+    }
+    if (!IsRetryable(last)) return last;
+    Abandon();  // Prepare is idempotent: always safe on a fresh connection.
+    if (attempt == attempts) return last;
+    ++stats_.statement_retries;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(backoff.NextDelayMillis()));
   }
-  stmt.param_count = static_cast<int>(param_count);
-  return stmt;
+  return last;
 }
 
 Result<ClientResult> Client::Execute(const ClientStatement& stmt,
                                      const std::vector<Datum>& params) {
   ODH_ASSIGN_OR_RETURN(std::unique_ptr<ClientCursor> cursor,
                        ExecuteStream(stmt, params));
-  return Drain(std::move(cursor));
+  return DrainCursor(std::move(cursor));
 }
 
 Result<std::unique_ptr<ClientCursor>> Client::ExecuteStream(
     const ClientStatement& stmt, const std::vector<Datum>& params) {
-  return StartStream(FrameType::kExecute, EncodeExecute(stmt.id, params));
+  if (active_cursor_ != nullptr) {
+    return Status::FailedPrecondition(
+        "a result stream is still open; drain or destroy it first");
+  }
+  // Like StartStream, but the payload is rebuilt per attempt: after a
+  // reconnect the statement has to be re-prepared, which changes its
+  // server-side id.
+  ExponentialBackoff backoff(options_.initial_backoff_ms,
+                             options_.max_backoff_ms,
+                             options_.backoff_seed + 3);
+  const int attempts =
+      options_.auto_retry ? std::max(1, options_.max_statement_attempts) : 1;
+  Status last;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (!transport_.valid()) {
+      Status connected = ConnectWithRetry();
+      if (!connected.ok()) return connected;
+    }
+    Result<uint64_t> server_id = ResolveStatement(stmt);
+    bool fully_sent = false;
+    Result<std::unique_ptr<ClientCursor>> started =
+        server_id.ok()
+            ? StartStreamOnce(FrameType::kExecute,
+                              EncodeExecute(*server_id, params), &fully_sent)
+            : Result<std::unique_ptr<ClientCursor>>(server_id.status());
+    if (started.ok()) return started;
+    last = started.status();
+    if (!IsRetryable(last)) return last;
+    Abandon();
+    const bool safe_to_retry = !fully_sent || options_.assume_idempotent;
+    if (!safe_to_retry || attempt == attempts) return last;
+    ++stats_.statement_retries;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(backoff.NextDelayMillis()));
+  }
+  return last;
 }
 
 Status Client::CloseStatement(const ClientStatement& stmt) {
-  return SendFrame(FrameType::kCloseStmt, EncodeStmtId(stmt.id));
+  auto it = statements_.find(stmt.id);
+  uint64_t server_id = stmt.id;
+  if (it != statements_.end()) {
+    const bool live = it->second.generation == generation_;
+    server_id = it->second.server_id;
+    statements_.erase(it);
+    // Prepared on a dead connection: the server-side handle is already
+    // gone, nothing to tell anyone.
+    if (!live) return Status::OK();
+  }
+  if (!transport_.valid()) return Status::OK();
+  return SendFrame(FrameType::kCloseStmt, EncodeStmtId(server_id),
+                   Deadline::AfterMillisOrInfinite(options_.rpc_deadline_ms));
 }
 
 }  // namespace odh::net

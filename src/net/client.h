@@ -3,21 +3,70 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/backoff.h"
 #include "common/datum.h"
 #include "common/result.h"
+#include "net/fault.h"
+#include "net/transport.h"
 #include "net/wire.h"
 
 namespace odh::net {
 
-/// A prepared statement's server-side handle.
+/// Knobs for the client's fault tolerance. The defaults suit an
+/// interactive client on a mostly healthy network; ingest daemons on
+/// flaky plant-floor links want more attempts and a larger backoff cap.
+struct ClientOptions {
+  /// Budget for one TCP connect + protocol handshake (<= 0: no deadline).
+  int connect_timeout_ms = 5000;
+  /// Budget for one request/response exchange — sending the statement and
+  /// reading each reply frame (<= 0: no deadline). A lapse surfaces as
+  /// kDeadlineExceeded and closes the connection (the stream position is
+  /// unknowable afterwards).
+  int rpc_deadline_ms = 10000;
+
+  /// Total connection attempts per logical Connect/reconnect (>= 1).
+  /// Transient failures (refused, timeout, admission rejection, injected
+  /// faults) are retried with exponential backoff + full jitter between
+  /// attempts; fatal ones (bad address, version skew) are not.
+  int max_connect_attempts = 4;
+  /// Total attempts per retryable statement (>= 1): the first try plus
+  /// automatic retries on a fresh connection.
+  int max_statement_attempts = 3;
+  int initial_backoff_ms = 10;
+  int max_backoff_ms = 1000;
+  /// Seed for backoff jitter; fix it to make retry schedules replayable.
+  uint64_t backoff_seed = 0;
+
+  /// Reconnect-and-retry policy. Handshakes and Prepare are idempotent
+  /// and always retried. Query/Execute are retried only while provably
+  /// unstarted: the request frame never fully reached the wire, so the
+  /// server cannot have acted on it. Once a request is fully sent, a lost
+  /// reply is ambiguous (an INSERT may have applied without its ack) and
+  /// the error is surfaced instead — unless `assume_idempotent` says the
+  /// workload is read-only/idempotent, which extends retry to any
+  /// statement that has not yet yielded a result frame. A stream that has
+  /// produced rows is NEVER retried: it poisons per the cursor contract.
+  bool auto_retry = true;
+  bool assume_idempotent = false;
+
+  /// Test hook: fault policy consulted on connect and by the transport
+  /// (must outlive the client). Production leaves this null.
+  FaultPolicy* fault_policy = nullptr;
+};
+
+/// A prepared statement's client-side handle. The id names the statement
+/// to this Client (stable across reconnects: the client re-prepares the
+/// carried SQL on the new connection transparently).
 struct ClientStatement {
   uint64_t id = 0;
   int param_count = 0;
   std::vector<std::string> columns;  // SELECT output names; empty otherwise.
+  std::string sql;                   // Retained for re-prepare.
 };
 
 /// A fully materialized statement result.
@@ -27,12 +76,22 @@ struct ClientResult {
   DoneInfo done;  // Affected rows, executed path, server-side timings.
 };
 
+/// Client-side fault-tolerance counters (one client's lifetime).
+struct ClientStats {
+  int64_t connect_attempts = 0;   // TCP connects tried (incl. successes).
+  int64_t reconnects = 0;         // Successful re-handshakes after loss.
+  int64_t statement_retries = 0;  // Statements re-sent after a failure.
+  int64_t deadline_timeouts = 0;  // RPCs that ran out of budget.
+};
+
 class Client;
 
 /// Pull-based view of one in-flight statement's result: rows arrive in
 /// RowBatch frames and are handed out one at a time, so the client holds
 /// at most one batch in memory. Follows the RowCursor poison contract:
-/// after a non-OK Next every further Next returns the same error.
+/// after a non-OK Next every further Next returns the same error — a
+/// partially consumed stream is never resumed or silently restarted, over
+/// the network exactly as over local storage.
 ///
 /// The owning Client allows a single outstanding stream; drain it (Next
 /// to false/error) or destroy it before issuing the next statement —
@@ -61,20 +120,25 @@ class ClientCursor {
   Status poison_;
 };
 
-/// Thin blocking client for the historian protocol. Not thread-safe: one
-/// Client per thread (mirroring one Session per connection server-side).
+/// Blocking client for the historian protocol with built-in fault
+/// tolerance: connect/RPC deadlines, seeded exponential backoff with full
+/// jitter, automatic reconnect, and retry of idempotent work only (see
+/// ClientOptions). Not thread-safe: one Client per thread (mirroring one
+/// Session per connection server-side).
 ///
-/// Connect() performs the handshake; a server at its session limit
-/// answers with a Rejected frame, surfaced as kResourceExhausted — the
-/// admission-control backpressure signal callers should back off on.
+/// A server at its session limit answers the handshake with a Rejected
+/// frame carrying a machine-readable RejectCode; kTooManySessions and
+/// kDraining surface as kResourceExhausted (retryable — Connect backs off
+/// on them automatically), kIncompatibleVersion as kFailedPrecondition
+/// (permanent).
 class Client {
  public:
   ~Client();
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
-                                                 int port);
+  static Result<std::unique_ptr<Client>> Connect(
+      const std::string& host, int port, const ClientOptions& options = {});
 
   /// One-shot execution, materialized.
   Result<ClientResult> Query(const std::string& sql,
@@ -92,25 +156,67 @@ class Client {
   Status CloseStatement(const ClientStatement& stmt);
 
   uint64_t session_id() const { return session_id_; }
+  const ClientStats& stats() const { return stats_; }
+  bool connected() const { return transport_.valid(); }
+
+  /// True for errors worth retrying (possibly on a new connection):
+  /// transient faults, timeouts, admission-control rejections, and broken
+  /// connections. SQL-level errors (bad statement, missing table) are
+  /// deterministic and excluded.
+  static bool IsRetryable(const Status& status);
 
   /// Sends Bye and closes the socket. Idempotent; also run by the dtor.
   void Close();
 
  private:
+  /// Server-side identity of one prepared statement on the current
+  /// connection; `generation` says which connection prepared it.
+  struct RemoteStatement {
+    std::string sql;
+    uint64_t server_id = 0;
+    uint64_t generation = 0;
+  };
+
   Client() = default;
 
-  Status SendFrame(FrameType type, const std::string& payload);
-  Result<bool> ReadInto(Frame* frame);
-  /// Sends a statement frame and consumes its ResultHeader (or Error).
+  /// One TCP connect + handshake attempt (no retries).
+  Status ConnectOnce();
+  /// Connect with the options' backoff/retry schedule.
+  Status ConnectWithRetry();
+  /// Drops the current connection (no Bye): the stream state is unknown.
+  void Abandon();
+
+  Status SendFrame(FrameType type, const std::string& payload,
+                   const common::Deadline& dl);
+  Result<bool> ReadInto(Frame* frame, const common::Deadline& dl);
+  /// Sends a statement frame and consumes its ResultHeader (or Error),
+  /// applying the retry policy. `idempotent` marks requests safe to
+  /// re-send even after they fully reached the wire.
   Result<std::unique_ptr<ClientCursor>> StartStream(FrameType type,
-                                                    std::string payload);
+                                                    const std::string& payload,
+                                                    bool idempotent);
+  /// One send-request/read-header exchange, no retries. Sets
+  /// *fully_sent once the request bytes are all on the wire.
+  Result<std::unique_ptr<ClientCursor>> StartStreamOnce(
+      FrameType type, const std::string& payload, bool* fully_sent);
+  /// Ensures `stmt` is prepared on the current connection (re-preparing
+  /// after a reconnect) and returns its current server-side id.
+  Result<uint64_t> ResolveStatement(const ClientStatement& stmt);
   /// Pulls the next RowBatch/Done/Error frame for `cursor`.
   Status Advance(ClientCursor* cursor);
-  Result<ClientResult> Drain(std::unique_ptr<ClientCursor> cursor);
+  Result<ClientResult> DrainCursor(std::unique_ptr<ClientCursor> cursor);
 
-  int fd_ = -1;
+  std::string host_;
+  int port_ = 0;
+  ClientOptions options_;
+  Transport transport_;
   uint64_t session_id_ = 0;
-  std::string rdbuf_;
+  /// Bumped on every successful (re)connect; prepared statements from
+  /// older generations are re-prepared lazily.
+  uint64_t generation_ = 0;
+  uint64_t next_stmt_id_ = 1;
+  std::map<uint64_t, RemoteStatement> statements_;
+  ClientStats stats_;
   /// The single outstanding streaming cursor, if any.
   ClientCursor* active_cursor_ = nullptr;
 

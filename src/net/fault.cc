@@ -1,0 +1,77 @@
+#include "net/fault.h"
+
+namespace odh::net {
+
+void FaultPolicy::set_connect_fault_rate(double p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  connect_rate_ = p;
+}
+
+void FaultPolicy::set_read_fault_rate(double p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  read_rate_ = p;
+}
+
+void FaultPolicy::set_write_fault_rate(double p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  write_rate_ = p;
+}
+
+void FaultPolicy::Put(Schedule* schedule, uint64_t n,
+                      NetFaultDecision decision) {
+  std::lock_guard<std::mutex> lock(mu_);
+  (*schedule)[n] = decision;
+}
+
+NetFaultDecision FaultPolicy::Decide(Schedule* schedule, uint64_t op,
+                                     double rate) {
+  auto it = schedule->find(op);
+  if (it != schedule->end()) {
+    NetFaultDecision decision = it->second;
+    schedule->erase(it);
+    ++injected_;
+    return decision;
+  }
+  if (rate > 0 && rng_.NextDouble() < rate) {
+    ++injected_;
+    return {NetFaultDecision::Kind::kTransient, 0, 0};
+  }
+  return {};
+}
+
+NetFaultDecision FaultPolicy::OnConnect() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Decide(&connect_faults_, ++connects_, connect_rate_);
+}
+
+NetFaultDecision FaultPolicy::OnRead() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Decide(&read_faults_, ++reads_, read_rate_);
+}
+
+NetFaultDecision FaultPolicy::OnWrite() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Decide(&write_faults_, ++writes_, write_rate_);
+}
+
+uint64_t FaultPolicy::connects_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return connects_;
+}
+
+uint64_t FaultPolicy::reads_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reads_;
+}
+
+uint64_t FaultPolicy::writes_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writes_;
+}
+
+uint64_t FaultPolicy::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_;
+}
+
+}  // namespace odh::net

@@ -1,0 +1,105 @@
+#ifndef ODH_NET_FAULT_H_
+#define ODH_NET_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "common/random.h"
+
+namespace odh::net {
+
+/// What the network fault injector decides for one socket operation.
+struct NetFaultDecision {
+  enum class Kind {
+    kNone,        // Proceed normally.
+    kTransient,   // Fail with Unavailable before touching the socket; the
+                  // same operation succeeds on retry.
+    kShort,       // Deliver/accept at most `cap_bytes` per syscall: the
+                  // peer sees fragmented frames and must reassemble.
+    kStall,       // Sleep `stall_millis` before the operation — a frozen
+                  // peer, visible to the other side as a missed deadline.
+    kDisconnect,  // Shut the socket down mid-operation (for writes, after
+                  // roughly half the bytes: a mid-frame hangup).
+    kCorrupt,     // Flip one byte of the transferred data: the peer's
+                  // frame parser must reject the stream, not trust it.
+  };
+  Kind kind = Kind::kNone;
+  size_t cap_bytes = 0;
+  int stall_millis = 0;
+};
+
+/// A seeded, deterministic fault schedule for the wire — the network twin
+/// of storage::FaultPolicy (SimDisk). Two mechanisms compose:
+///
+///  - Scheduled faults target the Nth operation of a class (1-based over
+///    the lifetime of the policy): DisconnectAtNthRead(3) kills the
+///    connection on the third transport read. Deterministic by
+///    construction; the chaos suite's schedules are built from these.
+///  - Rate faults fail each operation independently with probability p
+///    from a seeded xoshiro PRNG: identical seeds give identical fault
+///    sequences. These model flaky links and exercise retry under load.
+///
+/// Attach to a net::Transport (per connection) or via ServerOptions /
+/// ClientOptions. The policy is consulted before each socket operation.
+/// Thread-safe: one policy may be shared by every session of a server.
+/// The policy outlives the transports that consult it; they do not own it.
+class FaultPolicy {
+ public:
+  explicit FaultPolicy(uint64_t seed = 0) : rng_(seed) {}
+
+  // Scheduled faults. `n` is 1-based and counts operations of that class
+  // since the policy was created. Ops: connect (client only), read, write.
+  void FailNthConnect(uint64_t n) { Put(&connect_faults_, n, {NetFaultDecision::Kind::kTransient, 0, 0}); }
+  void FailNthRead(uint64_t n) { Put(&read_faults_, n, {NetFaultDecision::Kind::kTransient, 0, 0}); }
+  void FailNthWrite(uint64_t n) { Put(&write_faults_, n, {NetFaultDecision::Kind::kTransient, 0, 0}); }
+  void ShortNthRead(uint64_t n, size_t cap) { Put(&read_faults_, n, {NetFaultDecision::Kind::kShort, cap, 0}); }
+  void ShortNthWrite(uint64_t n, size_t cap) { Put(&write_faults_, n, {NetFaultDecision::Kind::kShort, cap, 0}); }
+  void StallNthRead(uint64_t n, int millis) { Put(&read_faults_, n, {NetFaultDecision::Kind::kStall, 0, millis}); }
+  void StallNthWrite(uint64_t n, int millis) { Put(&write_faults_, n, {NetFaultDecision::Kind::kStall, 0, millis}); }
+  void DisconnectAtNthRead(uint64_t n) { Put(&read_faults_, n, {NetFaultDecision::Kind::kDisconnect, 0, 0}); }
+  void DisconnectAtNthWrite(uint64_t n) { Put(&write_faults_, n, {NetFaultDecision::Kind::kDisconnect, 0, 0}); }
+  void CorruptNthRead(uint64_t n) { Put(&read_faults_, n, {NetFaultDecision::Kind::kCorrupt, 0, 0}); }
+  void CorruptNthWrite(uint64_t n) { Put(&write_faults_, n, {NetFaultDecision::Kind::kCorrupt, 0, 0}); }
+
+  // Rate faults (all transient: fail-before-syscall, safe to retry).
+  void set_connect_fault_rate(double p);
+  void set_read_fault_rate(double p);
+  void set_write_fault_rate(double p);
+
+  // Consulted by Transport / Client::Connect. Each call advances the
+  // per-class op counter.
+  NetFaultDecision OnConnect();
+  NetFaultDecision OnRead();
+  NetFaultDecision OnWrite();
+
+  uint64_t connects_seen() const;
+  uint64_t reads_seen() const;
+  uint64_t writes_seen() const;
+  /// Total faults injected (any kind, any class).
+  uint64_t faults_injected() const;
+
+ private:
+  using Schedule = std::map<uint64_t, NetFaultDecision>;
+
+  void Put(Schedule* schedule, uint64_t n, NetFaultDecision decision);
+  NetFaultDecision Decide(Schedule* schedule, uint64_t op, double rate);
+
+  mutable std::mutex mu_;
+  Random rng_;
+  Schedule connect_faults_;
+  Schedule read_faults_;
+  Schedule write_faults_;
+  double connect_rate_ = 0;
+  double read_rate_ = 0;
+  double write_rate_ = 0;
+  uint64_t connects_ = 0;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t injected_ = 0;
+};
+
+}  // namespace odh::net
+
+#endif  // ODH_NET_FAULT_H_

@@ -6,61 +6,20 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
-#include <map>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/backoff.h"
 #include "common/stopwatch.h"
 #include "net/wire.h"
 #include "sql/session.h"
 
 namespace odh::net {
-namespace {
 
-/// send() until everything is out (or a hard error). EINTR-robust;
-/// MSG_NOSIGNAL turns a peer hang-up into EPIPE instead of SIGPIPE.
-Status WriteAll(int fd, const char* data, size_t size) {
-  while (size > 0) {
-    ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IoError("write: " + std::string(std::strerror(errno)));
-    }
-    data += n;
-    size -= static_cast<size_t>(n);
-  }
-  return Status::OK();
-}
-
-/// Reads one frame off the socket into *frame, buffering through *buffer
-/// (carry-over bytes between calls). False value = clean EOF at a frame
-/// boundary; error = I/O failure or corrupt stream.
-Result<bool> ReadFrame(int fd, std::string* buffer, Frame* frame) {
-  while (true) {
-    ODH_ASSIGN_OR_RETURN(size_t consumed, ParseFrame(Slice(*buffer), frame));
-    if (consumed > 0) {
-      buffer->erase(0, consumed);
-      return true;
-    }
-    char chunk[4096];
-    ssize_t n = ::read(fd, chunk, sizeof(chunk));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IoError("read: " + std::string(std::strerror(errno)));
-    }
-    if (n == 0) {
-      if (!buffer->empty()) {
-        return Status::IoError("connection closed mid-frame");
-      }
-      return false;
-    }
-    buffer->append(chunk, static_cast<size_t>(n));
-  }
-}
-
-}  // namespace
+using common::Deadline;
 
 HistorianServer::HistorianServer(sql::SqlEngine* engine,
                                  ServerOptions options,
@@ -73,6 +32,10 @@ HistorianServer::HistorianServer(sql::SqlEngine* engine,
     sessions_rejected_metric_ = metrics->GetCounter("net.sessions_rejected");
     frames_sent_metric_ = metrics->GetCounter("net.frames_sent");
     rows_streamed_metric_ = metrics->GetCounter("net.rows_streamed");
+    read_timeouts_metric_ = metrics->GetCounter("net.read_timeouts");
+    write_timeouts_metric_ = metrics->GetCounter("net.write_timeouts");
+    drained_sessions_metric_ = metrics->GetCounter("net.drained_sessions");
+    force_closed_metric_ = metrics->GetCounter("net.sessions_force_closed");
     request_micros_metric_ = metrics->GetHistogram("net.request_micros");
     metrics->RegisterGauge("net.sessions_open", [this] {
       return static_cast<double>(
@@ -84,66 +47,125 @@ HistorianServer::HistorianServer(sql::SqlEngine* engine,
 HistorianServer::~HistorianServer() { Stop(); }
 
 Result<int> HistorianServer::Start() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (started_ || stopped_) {
+    return Status::FailedPrecondition(
+        stopped_ ? "server already stopped" : "server already started");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
     return Status::IoError("socket: " + std::string(std::strerror(errno)));
   }
   int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<uint16_t>(options_.port));
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
     return Status::IoError("bind: " + std::string(std::strerror(errno)));
   }
-  if (::listen(listen_fd_, options_.listen_backlog) != 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::listen(fd, options_.listen_backlog) != 0) {
+    ::close(fd);
     return Status::IoError("listen: " + std::string(std::strerror(errno)));
   }
   socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = static_cast<int>(ntohs(addr.sin_port));
+  listen_fd_.store(fd, std::memory_order_release);
 
   workers_ = std::make_unique<common::ThreadPool>(options_.max_sessions);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
   return port_;
 }
 
-void HistorianServer::Stop() {
-  if (stopping_.exchange(true)) {
-    if (accept_thread_.joinable()) accept_thread_.join();
-    return;
+void HistorianServer::ShutdownSessions(bool only_idle) {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (auto& [id, slot] : sessions_) {
+    if (only_idle && slot->in_statement.load(std::memory_order_acquire)) {
+      continue;
+    }
+    slot->transport.Shutdown();
   }
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+}
+
+void HistorianServer::Drain(int timeout_ms) {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (!started_ || stopped_) return;  // Nothing running: a clean no-op.
+  draining_.store(true, std::memory_order_release);
+  // Stop accepting: closing the listener bounces new connections at the
+  // TCP layer and ends the accept loop.
+  int lfd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (lfd >= 0) {
+    ::shutdown(lfd, SHUT_RDWR);
+    ::close(lfd);
+  }
+  // Idle sessions (waiting for their next request) hold no in-flight work:
+  // cut them now so only genuinely busy sessions spend the drain budget.
+  ShutdownSessions(/*only_idle=*/true);
+  // Let in-flight statements run to completion. Handlers notice draining_
+  // after finishing a statement and exit on their own.
+  Deadline budget = Deadline::AfterMillisOrInfinite(timeout_ms);
+  while (sessions_open_.load(std::memory_order_relaxed) > 0 &&
+         !budget.expired()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  // Budget spent: whatever is still running gets the axe.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto& [id, slot] : sessions_) {
+      slot->forced.store(true, std::memory_order_release);
+      sessions_force_closed_.fetch_add(1, std::memory_order_relaxed);
+      if (force_closed_metric_ != nullptr) force_closed_metric_->Add(1);
+      slot->transport.Shutdown();
+    }
+  }
+}
+
+void HistorianServer::Stop() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  stopping_.store(true, std::memory_order_release);
+  int lfd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (lfd >= 0) {
+    ::shutdown(lfd, SHUT_RDWR);
+    ::close(lfd);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
-  {
-    // Unblock handlers stuck in read(); they close their own fds.
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
-  }
+  // Unblock handlers stuck in poll/read; each closes its own transport.
+  ShutdownSessions(/*only_idle=*/false);
   // ThreadPool teardown joins the workers, i.e. waits for every admitted
   // session handler to return.
   workers_.reset();
 }
 
 void HistorianServer::AcceptLoop() {
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+  while (!stopping_.load(std::memory_order_relaxed) &&
+         !draining_.load(std::memory_order_relaxed)) {
+    int lfd = listen_fd_.load(std::memory_order_acquire);
+    if (lfd < 0) return;  // Stop/Drain already closed the listener.
+    int fd = ::accept(lfd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      return;  // Listener closed (Stop) or fatal accept error.
+      return;  // Listener closed (Stop/Drain) or fatal accept error.
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const Deadline reject_dl =
+        Deadline::AfterMillisOrInfinite(options_.write_deadline_ms);
+    // A connection that raced the start of a drain is turned away with a
+    // retryable code: its natural next stop is this server's replacement.
+    if (draining_.load(std::memory_order_relaxed)) {
+      Transport t(fd);
+      (void)t.SendFrame(
+          FrameType::kRejected,
+          Slice(EncodeRejected(RejectCode::kDraining, "server draining")),
+          reject_dl);
+      continue;  // Transport dtor closes fd.
+    }
     // Admission control. Only this thread admits, so the check-and-admit
     // below cannot overshoot max_sessions.
     if (sessions_open_.load(std::memory_order_relaxed) >=
@@ -152,53 +174,89 @@ void HistorianServer::AcceptLoop() {
       if (sessions_rejected_metric_ != nullptr) {
         sessions_rejected_metric_->Add(1);
       }
-      std::string out;
-      AppendFrame(&out, FrameType::kRejected,
-                  Slice("server at max_sessions, retry later"));
-      (void)WriteAll(fd, out.data(), out.size());  // Best effort.
-      ::close(fd);
+      Transport t(fd);
+      (void)t.SendFrame(FrameType::kRejected,
+                        Slice(EncodeRejected(RejectCode::kTooManySessions,
+                                             "server at max_sessions")),
+                        reject_dl);
       continue;
     }
     sessions_open_.fetch_add(1, std::memory_order_relaxed);
     if (sessions_total_metric_ != nullptr) sessions_total_metric_->Add(1);
     const uint64_t session_id =
         next_session_id_.fetch_add(1, std::memory_order_relaxed);
+    auto slot = std::make_shared<SessionSlot>(fd, options_.fault_policy);
     {
       std::lock_guard<std::mutex> lock(conn_mu_);
-      conn_fds_.insert(fd);
+      sessions_[session_id] = slot;
     }
-    workers_->Submit([this, fd, session_id] {
-      ServeConnection(fd, session_id);
+    workers_->Submit([this, slot, session_id] {
+      ServeConnection(slot.get(), session_id);
+      const bool graceful_drain =
+          draining_.load(std::memory_order_relaxed) &&
+          !stopping_.load(std::memory_order_relaxed) &&
+          !slot->forced.load(std::memory_order_acquire);
+      slot->transport.Close();
       {
         std::lock_guard<std::mutex> lock(conn_mu_);
-        conn_fds_.erase(fd);
+        sessions_.erase(session_id);
       }
-      ::close(fd);
+      if (graceful_drain) {
+        drained_sessions_.fetch_add(1, std::memory_order_relaxed);
+        if (drained_sessions_metric_ != nullptr) {
+          drained_sessions_metric_->Add(1);
+        }
+      }
       sessions_open_.fetch_sub(1, std::memory_order_relaxed);
     });
   }
 }
 
-void HistorianServer::ServeConnection(int fd, uint64_t session_id) {
-  std::string rdbuf;
+void HistorianServer::ServeConnection(SessionSlot* slot,
+                                      uint64_t session_id) {
+  Transport& transport = slot->transport;
   Frame frame;
 
+  auto write_deadline = [this] {
+    return Deadline::AfterMillisOrInfinite(options_.write_deadline_ms);
+  };
   auto send = [&](FrameType type, const std::string& payload) -> bool {
-    std::string out;
-    AppendFrame(&out, type, Slice(payload));
     frames_sent_.fetch_add(1, std::memory_order_relaxed);
     if (frames_sent_metric_ != nullptr) frames_sent_metric_->Add(1);
-    return WriteAll(fd, out.data(), out.size()).ok();
+    Status sent =
+        transport.SendFrame(type, Slice(payload), write_deadline());
+    if (sent.IsDeadlineExceeded()) {
+      write_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      if (write_timeouts_metric_ != nullptr) write_timeouts_metric_->Add(1);
+    }
+    return sent.ok();
+  };
+  // Reads the next request frame under `dl`. False = this session is over
+  // (EOF, error, timeout — timeouts counted as slow-client protection).
+  auto read_request = [&](const Deadline& dl) -> bool {
+    Result<bool> got = transport.ReadFrame(&frame, dl);
+    if (got.ok()) return got.value();
+    if (got.status().IsDeadlineExceeded()) {
+      read_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      if (read_timeouts_metric_ != nullptr) read_timeouts_metric_->Add(1);
+    }
+    return false;
   };
 
-  // Handshake: the first frame must be a version-compatible Hello.
+  // Handshake: the first frame must be a version-compatible Hello, inside
+  // the handshake budget.
   {
-    Result<bool> got = ReadFrame(fd, &rdbuf, &frame);
-    if (!got.ok() || !got.value() || frame.type != FrameType::kHello) return;
+    if (!read_request(
+            Deadline::AfterMillisOrInfinite(options_.handshake_deadline_ms)) ||
+        frame.type != FrameType::kHello) {
+      return;
+    }
     uint32_t version = 0;
     if (!DecodeHello(Slice(frame.payload), &version) ||
         version != kProtocolVersion) {
-      send(FrameType::kRejected, "unsupported protocol version");
+      send(FrameType::kRejected,
+           EncodeRejected(RejectCode::kIncompatibleVersion,
+                          "unsupported protocol version"));
       return;
     }
     if (!send(FrameType::kWelcome,
@@ -254,79 +312,98 @@ void HistorianServer::ServeConnection(int fd, uint64_t session_id) {
   };
 
   while (true) {
-    Result<bool> got = ReadFrame(fd, &rdbuf, &frame);
-    if (!got.ok() || !got.value()) return;  // EOF, I/O error or garbage.
+    // Waiting for the next request is the idle state: drain cuts sessions
+    // here immediately, and the idle deadline reclaims dead peers.
+    if (!read_request(
+            Deadline::AfterMillisOrInfinite(options_.read_deadline_ms))) {
+      return;
+    }
+    slot->in_statement.store(true, std::memory_order_release);
     Stopwatch request_timer;
+    bool session_over = false;
     switch (frame.type) {
       case FrameType::kQuery: {
         std::string sql;
         std::vector<Datum> params;
-        if (!DecodeQuery(Slice(frame.payload), &sql, &params)) return;
-        auto stream = session.ExecuteStreaming(sql, params);
-        if (!stream.ok()) {
-          if (!send(FrameType::kError, EncodeError(stream.status()))) return;
+        if (!DecodeQuery(Slice(frame.payload), &sql, &params)) {
+          session_over = true;
           break;
         }
-        if (!stream_result(stream.value().get())) return;
+        auto stream = session.ExecuteStreaming(sql, params);
+        if (!stream.ok()) {
+          session_over = !send(FrameType::kError, EncodeError(stream.status()));
+          break;
+        }
+        session_over = !stream_result(stream.value().get());
         break;
       }
       case FrameType::kPrepare: {
         Slice in(frame.payload);
         std::string sql;
-        if (!GetString(&in, &sql) || !in.empty()) return;
+        if (!GetString(&in, &sql) || !in.empty()) {
+          session_over = true;
+          break;
+        }
         auto prepared = session.Prepare(sql);
         if (!prepared.ok()) {
-          if (!send(FrameType::kError, EncodeError(prepared.status()))) {
-            return;
-          }
+          session_over =
+              !send(FrameType::kError, EncodeError(prepared.status()));
           break;
         }
         const uint64_t id = next_stmt_id++;
         stmts[id] = prepared.value();
-        if (!send(FrameType::kPrepared,
-                  EncodePrepared(
-                      id,
-                      static_cast<uint32_t>(prepared.value()->param_count()),
-                      prepared.value()->columns()))) {
-          return;
-        }
+        session_over = !send(
+            FrameType::kPrepared,
+            EncodePrepared(
+                id, static_cast<uint32_t>(prepared.value()->param_count()),
+                prepared.value()->columns()));
         break;
       }
       case FrameType::kExecute: {
         uint64_t id = 0;
         std::vector<Datum> params;
-        if (!DecodeExecute(Slice(frame.payload), &id, &params)) return;
+        if (!DecodeExecute(Slice(frame.payload), &id, &params)) {
+          session_over = true;
+          break;
+        }
         auto it = stmts.find(id);
         if (it == stmts.end()) {
-          if (!send(FrameType::kError,
-                    EncodeError(Status::NotFound(
-                        "no such prepared statement")))) {
-            return;
-          }
+          session_over = !send(
+              FrameType::kError,
+              EncodeError(Status::NotFound("no such prepared statement")));
           break;
         }
         auto stream = session.ExecuteStreamingPrepared(it->second, params);
         if (!stream.ok()) {
-          if (!send(FrameType::kError, EncodeError(stream.status()))) return;
+          session_over = !send(FrameType::kError, EncodeError(stream.status()));
           break;
         }
-        if (!stream_result(stream.value().get())) return;
+        session_over = !stream_result(stream.value().get());
         break;
       }
       case FrameType::kCloseStmt: {
         uint64_t id = 0;
-        if (!DecodeStmtId(Slice(frame.payload), &id)) return;
+        if (!DecodeStmtId(Slice(frame.payload), &id)) {
+          session_over = true;
+          break;
+        }
         stmts.erase(id);
         break;
       }
       case FrameType::kBye:
-        return;
+        session_over = true;
+        break;
       default:
-        return;  // Client sent a server-only frame: protocol violation.
+        session_over = true;  // Client sent a server-only frame.
+        break;
     }
+    slot->in_statement.store(false, std::memory_order_release);
     if (request_micros_metric_ != nullptr) {
       request_micros_metric_->Observe(request_timer.ElapsedMicros());
     }
+    if (session_over) return;
+    // Graceful drain: this statement was allowed to finish; now leave.
+    if (draining_.load(std::memory_order_relaxed)) return;
   }
 }
 

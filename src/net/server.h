@@ -3,14 +3,16 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
-#include <set>
 #include <thread>
 
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "net/fault.h"
+#include "net/transport.h"
 #include "sql/engine.h"
 
 namespace odh::net {
@@ -25,6 +27,26 @@ struct ServerOptions {
   int listen_backlog = 128;
   /// Rows per RowBatch frame when streaming results.
   int rows_per_batch = 256;
+
+  // Deadlines (milliseconds; <= 0 disables that deadline). These are the
+  // slow/dead-peer protections: a session holding a slot must either talk
+  // or go.
+  /// Budget for a freshly accepted connection to complete the Hello
+  /// handshake. Slow-loris connections are cut here, before they can
+  /// squat a slot for long.
+  int handshake_deadline_ms = 5000;
+  /// Idle budget between requests: a session that sends nothing for this
+  /// long is presumed dead and closed, freeing its slot
+  /// (net.read_timeouts).
+  int read_deadline_ms = 30000;
+  /// Budget for writing one response frame. A client that stops draining
+  /// its socket mid-result is cut off rather than pinning a worker
+  /// (net.write_timeouts).
+  int write_deadline_ms = 10000;
+
+  /// Test hook: fault policy consulted by every session transport
+  /// (shared; must outlive the server). Production leaves this null.
+  FaultPolicy* fault_policy = nullptr;
 };
 
 /// The historian's network front door: a TCP server where each accepted
@@ -35,14 +57,24 @@ struct ServerOptions {
 /// paging through years of history costs O(rows_per_batch) server memory.
 ///
 /// Admission control: the accept loop counts open sessions; a connection
-/// arriving when max_sessions are open is sent a Rejected frame and
-/// closed (observable as net.sessions_rejected). Since only the accept
-/// thread admits, the bound is exact.
+/// arriving when max_sessions are open is sent a Rejected frame carrying
+/// RejectCode::kTooManySessions and closed (observable as
+/// net.sessions_rejected). Since only the accept thread admits, the bound
+/// is exact.
+///
+/// Fault tolerance: every session read/write runs under a deadline (see
+/// ServerOptions), so a stalled or half-dead peer frees its slot instead
+/// of pinning it forever. Shutdown comes in two flavors: Stop() force-
+/// closes everything immediately; Drain(timeout) first stops accepting,
+/// lets statements already in flight finish streaming, then force-closes
+/// the stragglers.
 ///
 /// Metrics (when a registry is passed): net.sessions_open gauge,
 /// net.sessions_total / net.sessions_rejected / net.frames_sent /
-/// net.rows_streamed counters, net.request_micros histogram. Passing the
-/// OdhSystem's registry makes them visible in the odh_metrics table.
+/// net.rows_streamed / net.read_timeouts / net.write_timeouts /
+/// net.drained_sessions / net.sessions_force_closed counters,
+/// net.request_micros histogram. Passing the OdhSystem's registry makes
+/// them visible in the odh_metrics table.
 class HistorianServer {
  public:
   HistorianServer(sql::SqlEngine* engine, ServerOptions options,
@@ -53,10 +85,23 @@ class HistorianServer {
   HistorianServer& operator=(const HistorianServer&) = delete;
 
   /// Binds, listens and starts the accept loop. Returns the bound port.
+  /// Fails with kFailedPrecondition if already started or stopped — a
+  /// server object runs at most once.
   Result<int> Start();
 
+  /// Graceful shutdown: stops accepting, lets each session finish the
+  /// statement it is currently executing (counted as
+  /// net.drained_sessions), closes idle sessions immediately, and after
+  /// `timeout_ms` force-closes whatever is still running
+  /// (net.sessions_force_closed). Safe to call at any lifecycle point and
+  /// from any thread; idempotent. Does not join the worker pool — follow
+  /// with Stop() (the destructor does).
+  void Drain(int timeout_ms);
+
   /// Stops accepting, shuts down every live session socket and joins all
-  /// workers. Idempotent; also called by the destructor.
+  /// workers. Idempotent and safe at every lifecycle edge: before
+  /// Start(), twice in a row, concurrently from two threads, or from the
+  /// destructor while sessions are live.
   void Stop();
 
   /// The bound port (valid after Start).
@@ -69,36 +114,83 @@ class HistorianServer {
   int64_t sessions_rejected() const {
     return sessions_rejected_.load(std::memory_order_relaxed);
   }
+  int64_t read_timeouts() const {
+    return read_timeouts_.load(std::memory_order_relaxed);
+  }
+  int64_t write_timeouts() const {
+    return write_timeouts_.load(std::memory_order_relaxed);
+  }
+  int64_t drained_sessions() const {
+    return drained_sessions_.load(std::memory_order_relaxed);
+  }
+  int64_t sessions_force_closed() const {
+    return sessions_force_closed_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// Per-session bookkeeping the drain/stop machinery needs: the
+  /// transport (for cross-thread Shutdown) and whether the handler is
+  /// inside a statement right now (drain lets those finish).
+  struct SessionSlot {
+    explicit SessionSlot(int fd, FaultPolicy* faults)
+        : transport(fd, faults) {}
+    Transport transport;
+    std::atomic<bool> in_statement{false};
+    /// Set by Drain's force sweep so the handler wrap-up doesn't also
+    /// count this session as gracefully drained.
+    std::atomic<bool> forced{false};
+  };
+
   void AcceptLoop();
-  void ServeConnection(int fd, uint64_t session_id);
+  void ServeConnection(SessionSlot* slot, uint64_t session_id);
+  /// Shuts down session sockets: all of them, or only those not inside a
+  /// statement (the drain sweep).
+  void ShutdownSessions(bool only_idle);
 
   sql::SqlEngine* engine_;
   ServerOptions options_;
 
-  int listen_fd_ = -1;
+  /// Atomic because the accept loop reads it lock-free while Stop/Drain
+  /// (under lifecycle_mu_) swap it to -1 and close it.
+  std::atomic<int> listen_fd_{-1};
   int port_ = 0;
+
+  /// Lifecycle. started_/stopped_ are one-way latches guarded by
+  /// lifecycle_mu_; draining_ tells handlers to exit after the statement
+  /// in flight.
+  std::mutex lifecycle_mu_;
+  bool started_ = false;
+  bool stopped_ = false;
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
+
   std::atomic<int> sessions_open_{0};
   std::atomic<int64_t> sessions_rejected_{0};
   std::atomic<int64_t> frames_sent_{0};
   std::atomic<int64_t> rows_streamed_{0};
+  std::atomic<int64_t> read_timeouts_{0};
+  std::atomic<int64_t> write_timeouts_{0};
+  std::atomic<int64_t> drained_sessions_{0};
+  std::atomic<int64_t> sessions_force_closed_{0};
   std::atomic<uint64_t> next_session_id_{1};
 
   std::thread accept_thread_;
   /// One worker per admissible session; sized by options_.max_sessions.
   std::unique_ptr<common::ThreadPool> workers_;
 
-  /// Live session sockets, so Stop can unblock handlers mid-read.
+  /// Live sessions, so Drain/Stop can unblock handlers mid-read.
   std::mutex conn_mu_;
-  std::set<int> conn_fds_;
+  std::map<uint64_t, std::shared_ptr<SessionSlot>> sessions_;
 
   // Wired at construction when a registry is provided; null otherwise.
   common::Counter* sessions_total_metric_ = nullptr;
   common::Counter* sessions_rejected_metric_ = nullptr;
   common::Counter* frames_sent_metric_ = nullptr;
   common::Counter* rows_streamed_metric_ = nullptr;
+  common::Counter* read_timeouts_metric_ = nullptr;
+  common::Counter* write_timeouts_metric_ = nullptr;
+  common::Counter* drained_sessions_metric_ = nullptr;
+  common::Counter* force_closed_metric_ = nullptr;
   common::Histogram* request_micros_metric_ = nullptr;
 };
 

@@ -1,0 +1,267 @@
+#include "net/transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace odh::net {
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " +
+                         std::strerror(errno));
+}
+
+void SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Waits until `fd` is ready for `events` or the deadline lapses.
+/// OK = ready; kDeadlineExceeded = budget exhausted.
+Status WaitReady(int fd, short events, const common::Deadline& dl) {
+  while (true) {
+    if (dl.expired()) return Status::DeadlineExceeded("socket wait");
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = events;
+    int64_t remaining = dl.remaining_millis();  // -1 = block forever.
+    int timeout = remaining < 0
+                      ? -1
+                      : static_cast<int>(std::min<int64_t>(remaining, 60000));
+    int rc = ::poll(&pfd, 1, timeout);
+    if (rc > 0) return Status::OK();  // Ready (POLLHUP/POLLERR included:
+                                      // the read/write will report it).
+    if (rc < 0 && errno != EINTR) return Errno("poll");
+    // rc == 0: poll timed out — loop re-checks the deadline (a capped
+    // timeout under an infinite deadline just waits again).
+  }
+}
+
+}  // namespace
+
+Transport::Transport(int fd, FaultPolicy* faults) : faults_(faults) {
+  fd_.store(fd, std::memory_order_relaxed);
+  if (fd >= 0) SetNonBlocking(fd);
+}
+
+Transport::~Transport() { Close(); }
+
+Transport::Transport(Transport&& other) noexcept {
+  fd_.store(other.fd_.exchange(-1, std::memory_order_relaxed),
+            std::memory_order_relaxed);
+  rdbuf_ = std::move(other.rdbuf_);
+  faults_ = other.faults_;
+  other.faults_ = nullptr;
+}
+
+Transport& Transport::operator=(Transport&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_.store(other.fd_.exchange(-1, std::memory_order_relaxed),
+              std::memory_order_relaxed);
+    rdbuf_ = std::move(other.rdbuf_);
+    faults_ = other.faults_;
+    other.faults_ = nullptr;
+  }
+  return *this;
+}
+
+void Transport::Shutdown() {
+  int fd = fd_.load(std::memory_order_relaxed);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+void Transport::Close() {
+  int fd = fd_.exchange(-1, std::memory_order_relaxed);
+  if (fd >= 0) ::close(fd);
+  rdbuf_.clear();
+}
+
+Result<size_t> Transport::ReadSome(char* buf, size_t len,
+                                   const common::Deadline& dl) {
+  int fd = fd_.load(std::memory_order_relaxed);
+  if (fd < 0) return Status::FailedPrecondition("transport is closed");
+
+  bool corrupt = false;
+  if (faults_ != nullptr) {
+    NetFaultDecision fault = faults_->OnRead();
+    switch (fault.kind) {
+      case NetFaultDecision::Kind::kNone:
+        break;
+      case NetFaultDecision::Kind::kTransient:
+        return Status::Unavailable("injected transient read fault");
+      case NetFaultDecision::Kind::kShort:
+        len = std::min(len, std::max<size_t>(1, fault.cap_bytes));
+        break;
+      case NetFaultDecision::Kind::kStall:
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(fault.stall_millis));
+        break;
+      case NetFaultDecision::Kind::kDisconnect:
+        Shutdown();
+        return Status::IoError("injected disconnect (read)");
+      case NetFaultDecision::Kind::kCorrupt:
+        corrupt = true;
+        break;
+    }
+  }
+
+  while (true) {
+    ODH_RETURN_IF_ERROR(WaitReady(fd, POLLIN, dl));
+    ssize_t n = ::read(fd, buf, len);
+    if (n > 0) {
+      if (corrupt) buf[0] ^= 0x40;
+      return static_cast<size_t>(n);
+    }
+    if (n == 0) return static_cast<size_t>(0);  // EOF.
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return Errno("read");
+  }
+}
+
+Status Transport::WriteAll(const char* data, size_t size,
+                           const common::Deadline& dl) {
+  int fd = fd_.load(std::memory_order_relaxed);
+  if (fd < 0) return Status::FailedPrecondition("transport is closed");
+
+  size_t chunk_cap = size;       // Bytes per send() call.
+  size_t disconnect_after = 0;   // 0 = never.
+  std::string corrupted;
+  if (faults_ != nullptr) {
+    NetFaultDecision fault = faults_->OnWrite();
+    switch (fault.kind) {
+      case NetFaultDecision::Kind::kNone:
+        break;
+      case NetFaultDecision::Kind::kTransient:
+        // Fails before any byte reaches the wire: provably safe to retry.
+        return Status::Unavailable("injected transient write fault");
+      case NetFaultDecision::Kind::kShort:
+        chunk_cap = std::max<size_t>(1, fault.cap_bytes);
+        break;
+      case NetFaultDecision::Kind::kStall:
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(fault.stall_millis));
+        break;
+      case NetFaultDecision::Kind::kDisconnect:
+        // Deliver roughly half, then hang up: the peer holds a truncated
+        // frame it must treat as a broken stream, never as data.
+        disconnect_after = std::max<size_t>(1, size / 2);
+        break;
+      case NetFaultDecision::Kind::kCorrupt: {
+        corrupted.assign(data, size);
+        corrupted[corrupted.size() / 2] ^= 0x40;
+        data = corrupted.data();
+        break;
+      }
+    }
+  }
+
+  size_t sent = 0;
+  while (sent < size) {
+    if (disconnect_after != 0 && sent >= disconnect_after) {
+      Shutdown();
+      return Status::IoError("injected disconnect (write)");
+    }
+    size_t want = std::min(size - sent, chunk_cap);
+    if (disconnect_after != 0) {
+      want = std::min(want, disconnect_after - sent);
+    }
+    ODH_RETURN_IF_ERROR(WaitReady(fd, POLLOUT, dl));
+    ssize_t n = ::send(fd, data + sent, want, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return Errno("write");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Transport::SendFrame(FrameType type, const Slice& payload,
+                            const common::Deadline& dl) {
+  std::string out;
+  AppendFrame(&out, type, payload);
+  return WriteAll(out.data(), out.size(), dl);
+}
+
+Result<bool> Transport::ReadFrame(Frame* frame, const common::Deadline& dl) {
+  while (true) {
+    ODH_ASSIGN_OR_RETURN(size_t consumed, ParseFrame(Slice(rdbuf_), frame));
+    if (consumed > 0) {
+      rdbuf_.erase(0, consumed);
+      return true;
+    }
+    char chunk[4096];
+    ODH_ASSIGN_OR_RETURN(size_t n, ReadSome(chunk, sizeof(chunk), dl));
+    if (n == 0) {
+      if (!rdbuf_.empty()) {
+        return Status::IoError("connection closed mid-frame");
+      }
+      return false;
+    }
+    rdbuf_.append(chunk, n);
+  }
+}
+
+Result<int> ConnectWithDeadline(const std::string& host, int port,
+                                const common::Deadline& dl) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  SetNonBlocking(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0 && errno != EINPROGRESS) {
+    Status status = errno == ECONNREFUSED
+                        ? Status::Unavailable("connect: connection refused")
+                        : Errno("connect");
+    ::close(fd);
+    return status;
+  }
+  if (rc != 0) {
+    Status ready = WaitReady(fd, POLLOUT, dl);
+    if (!ready.ok()) {
+      ::close(fd);
+      return ready.IsDeadlineExceeded()
+                 ? Status::DeadlineExceeded("connect timeout")
+                 : ready;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      ::close(fd);
+      errno = err;
+      if (err == ECONNREFUSED) {
+        return Status::Unavailable("connect: connection refused");
+      }
+      return Errno("connect");
+    }
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace odh::net

@@ -1,0 +1,89 @@
+#ifndef ODH_NET_TRANSPORT_H_
+#define ODH_NET_TRANSPORT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+#include "common/backoff.h"
+#include "common/result.h"
+#include "net/fault.h"
+#include "net/wire.h"
+
+namespace odh::net {
+
+/// One endpoint of a historian-protocol connection: a non-blocking socket
+/// plus the frame reassembly buffer, with two cross-cutting concerns both
+/// sides need:
+///
+///  - Deadlines. Every read/write takes a common::Deadline and waits in
+///    poll(2) only for the remaining budget; an exhausted budget surfaces
+///    as kDeadlineExceeded without tearing the fd down (the caller decides
+///    whether a timeout is fatal — the server treats it as a dead peer,
+///    the client as a retryable RPC failure).
+///  - Fault injection. An attached net::FaultPolicy is consulted before
+///    each socket operation and can fail it transiently, fragment it,
+///    stall it, corrupt one byte, or hang up mid-frame — deterministically
+///    seeded, so chaos tests replay exactly. With no policy attached the
+///    fast path costs one branch.
+///
+/// Thread model: one thread reads/writes; Shutdown() may be called from
+/// any thread to unblock a poll (this is how Stop/Drain free stuck
+/// sessions). The transport owns the fd and closes it on destruction.
+class Transport {
+ public:
+  Transport() = default;
+  /// Adopts `fd`; switches it to non-blocking mode.
+  explicit Transport(int fd, FaultPolicy* faults = nullptr);
+  ~Transport();
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+  Transport(Transport&& other) noexcept;
+  Transport& operator=(Transport&& other) noexcept;
+
+  bool valid() const { return fd_.load(std::memory_order_relaxed) >= 0; }
+  int fd() const { return fd_.load(std::memory_order_relaxed); }
+
+  /// Writes the whole buffer or fails. A deadline miss (peer not draining
+  /// its receive window — the slow-client case) returns kDeadlineExceeded;
+  /// a peer hangup returns kIoError.
+  Status WriteAll(const char* data, size_t size, const common::Deadline& dl);
+
+  /// Appends one whole frame and writes it.
+  Status SendFrame(FrameType type, const Slice& payload,
+                   const common::Deadline& dl);
+
+  /// Reads one frame, buffering partial bytes across calls. Returns false
+  /// on clean EOF at a frame boundary; kDeadlineExceeded when the deadline
+  /// lapses first; kIoError / kInvalidArgument on broken or corrupt
+  /// streams (mid-frame EOF, oversized or unknown-type frames).
+  Result<bool> ReadFrame(Frame* frame, const common::Deadline& dl);
+
+  /// Half-closes the socket from any thread: a blocked poll wakes up and
+  /// the next read sees EOF. Does not release the fd (Close/dtor do).
+  void Shutdown();
+
+  /// Shuts down and closes the fd. Idempotent.
+  void Close();
+
+ private:
+  /// Reads 1..len bytes (value = count) or 0 for EOF, honoring the
+  /// deadline and the fault policy.
+  Result<size_t> ReadSome(char* buf, size_t len, const common::Deadline& dl);
+
+  std::atomic<int> fd_{-1};
+  std::string rdbuf_;
+  FaultPolicy* faults_ = nullptr;
+};
+
+/// Non-blocking connect(2) to 127.0.0.1-style dotted-quad `host`, bounded
+/// by the deadline. Returns a connected fd. kDeadlineExceeded on timeout,
+/// kUnavailable on connection refusal (both retryable — refusal is what a
+/// restarting server looks like), kIoError otherwise.
+Result<int> ConnectWithDeadline(const std::string& host, int port,
+                                const common::Deadline& dl);
+
+}  // namespace odh::net
+
+#endif  // ODH_NET_TRANSPORT_H_

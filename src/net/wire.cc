@@ -12,7 +12,7 @@ constexpr uint8_t kMaxFrameType = static_cast<uint8_t>(FrameType::kBye);
 /// StatusCode values cross the wire as their enum integer; anything out of
 /// range decodes as kInternal rather than failing the frame.
 constexpr uint32_t kMaxStatusCode =
-    static_cast<uint32_t>(StatusCode::kUnavailable);
+    static_cast<uint32_t>(StatusCode::kDeadlineExceeded);
 
 }  // namespace
 
@@ -185,6 +185,30 @@ bool DecodeWelcome(const Slice& payload, uint32_t* version,
   Slice in = payload;
   return GetFixed32(&in, version) && GetFixed64(&in, session_id) &&
          in.empty();
+}
+
+std::string EncodeRejected(RejectCode code, const std::string& reason) {
+  std::string out;
+  PutFixed32(&out, static_cast<uint32_t>(code));
+  PutString(&out, reason);
+  return out;
+}
+
+bool DecodeRejected(const Slice& payload, RejectCode* code,
+                    std::string* reason) {
+  Slice in = payload;
+  uint32_t raw;
+  if (!GetFixed32(&in, &raw) || !GetString(&in, reason) || !in.empty()) {
+    // A pre-v2 (or corrupt) payload: surface it whole as the reason so the
+    // text is not lost, but classify as kUnknown — never retry on guess.
+    *code = RejectCode::kUnknown;
+    reason->assign(payload.data(), payload.size());
+    return false;
+  }
+  *code = raw > static_cast<uint32_t>(RejectCode::kDraining)
+              ? RejectCode::kUnknown
+              : static_cast<RejectCode>(raw);
+  return true;
 }
 
 std::string EncodeQuery(const std::string& sql,

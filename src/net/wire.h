@@ -13,7 +13,8 @@ namespace odh::net {
 
 /// Protocol version spoken by this build. A server refuses a Hello whose
 /// version it does not know; bump on any incompatible frame change.
-inline constexpr uint32_t kProtocolVersion = 1;
+/// v2: Rejected carries a machine-readable RejectCode before the reason.
+inline constexpr uint32_t kProtocolVersion = 2;
 
 /// Upper bound on one frame's payload. Anything larger on the wire is
 /// treated as a corrupt/hostile stream, not a short read — large results
@@ -38,7 +39,8 @@ inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
 enum class FrameType : uint8_t {
   kHello = 1,         // client: u32 protocol version
   kWelcome = 2,       // server: u32 version, u64 session id
-  kRejected = 3,      // server: string reason (then the server hangs up)
+  kRejected = 3,      // server: u32 RejectCode, string reason (then the
+                      //         server hangs up)
   kQuery = 4,         // client: string sql, u32 n, n datum params
   kPrepare = 5,       // client: string sql
   kPrepared = 6,      // server: u64 stmt id, u32 param count, column names
@@ -50,6 +52,20 @@ enum class FrameType : uint8_t {
   kError = 11,        // server: u32 status code, string message
   kCloseStmt = 12,    // client: u64 stmt id (no reply)
   kBye = 13,          // client: empty
+};
+
+/// Why a server turned a connection away, carried in the Rejected frame
+/// so clients classify by code, never by matching reason text. Retryable
+/// codes (kTooManySessions, kDraining) mean "the server is healthy but
+/// full/leaving — back off and try again"; net::Client maps them to
+/// kResourceExhausted. kIncompatibleVersion is permanent: retrying the
+/// same binary can never succeed, so it maps to kFailedPrecondition.
+enum class RejectCode : uint32_t {
+  kUnknown = 0,              // Not retryable (pre-v2 peer or garbage).
+  kTooManySessions = 1,      // Admission control: retryable after backoff.
+  kIncompatibleVersion = 2,  // Version skew: never retryable.
+  kDraining = 3,             // Server shutting down gracefully: retryable
+                             // (against its replacement).
 };
 
 /// One parsed frame: the type plus its raw payload (owned).
@@ -96,6 +112,10 @@ bool DecodeHello(const Slice& payload, uint32_t* version);
 std::string EncodeWelcome(uint32_t version, uint64_t session_id);
 bool DecodeWelcome(const Slice& payload, uint32_t* version,
                    uint64_t* session_id);
+
+std::string EncodeRejected(RejectCode code, const std::string& reason);
+bool DecodeRejected(const Slice& payload, RejectCode* code,
+                    std::string* reason);
 
 std::string EncodeQuery(const std::string& sql,
                         const std::vector<Datum>& params);

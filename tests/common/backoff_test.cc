@@ -1,0 +1,83 @@
+// Deadline and ExponentialBackoff: the primitives under every network
+// retry. Determinism matters most — identical seeds must give identical
+// delay schedules, or chaos tests stop replaying.
+
+#include "common/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace odh::common {
+namespace {
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline dl;
+  EXPECT_TRUE(dl.infinite());
+  EXPECT_FALSE(dl.expired());
+  EXPECT_EQ(dl.remaining_millis(), -1);  // poll(2)'s "block forever".
+}
+
+TEST(DeadlineTest, AfterMillisExpires) {
+  Deadline dl = Deadline::AfterMillis(20);
+  EXPECT_FALSE(dl.infinite());
+  EXPECT_GT(dl.remaining_millis(), 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_TRUE(dl.expired());
+  EXPECT_EQ(dl.remaining_millis(), 0);
+}
+
+TEST(DeadlineTest, NonPositiveMeansAlreadyExpired) {
+  EXPECT_TRUE(Deadline::AfterMillis(0).expired());
+  EXPECT_TRUE(Deadline::AfterMillis(-5).expired());
+}
+
+TEST(DeadlineTest, OrInfiniteTreatsZeroAsDisabled) {
+  EXPECT_TRUE(Deadline::AfterMillisOrInfinite(0).infinite());
+  EXPECT_TRUE(Deadline::AfterMillisOrInfinite(-1).infinite());
+  EXPECT_FALSE(Deadline::AfterMillisOrInfinite(100).infinite());
+}
+
+TEST(BackoffTest, SameSeedSameSchedule) {
+  ExponentialBackoff a(10, 1000, 42);
+  ExponentialBackoff b(10, 1000, 42);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.NextDelayMillis(), b.NextDelayMillis()) << "step " << i;
+  }
+}
+
+TEST(BackoffTest, DelaysStayWithinDoublingCeilingAndCap) {
+  ExponentialBackoff backoff(10, 80, 7);
+  int64_t ceiling = 10;
+  for (int i = 0; i < 12; ++i) {
+    int64_t delay = backoff.NextDelayMillis();
+    EXPECT_GE(delay, 0);
+    EXPECT_LE(delay, ceiling) << "step " << i;
+    ceiling = std::min<int64_t>(80, ceiling * 2);
+  }
+}
+
+TEST(BackoffTest, JitterActuallyVaries) {
+  // Full jitter: over a few dozen draws at a 1000ms ceiling, the delays
+  // must not all collapse to one value (that would re-correlate the herd).
+  ExponentialBackoff backoff(1000, 1000, 99);
+  std::vector<int64_t> delays;
+  for (int i = 0; i < 32; ++i) delays.push_back(backoff.NextDelayMillis());
+  int64_t distinct = 0;
+  for (size_t i = 1; i < delays.size(); ++i) {
+    if (delays[i] != delays[0]) ++distinct;
+  }
+  EXPECT_GT(distinct, 0);
+}
+
+TEST(BackoffTest, ResetRestartsTheDoubling) {
+  ExponentialBackoff backoff(10, 10000, 5);
+  for (int i = 0; i < 6; ++i) backoff.NextDelayMillis();
+  backoff.Reset();
+  // Post-reset first delay is again bounded by the initial ceiling.
+  EXPECT_LE(backoff.NextDelayMillis(), 10);
+}
+
+}  // namespace
+}  // namespace odh::common

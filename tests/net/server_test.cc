@@ -197,11 +197,15 @@ TEST_F(ServerTest, AdmissionControlRejectsBeyondMaxSessions) {
   auto port = small.Start();
   ASSERT_TRUE(port.ok());
 
-  auto c1 = Client::Connect("127.0.0.1", *port);
-  auto c2 = Client::Connect("127.0.0.1", *port);
+  // Single-attempt clients, so each Connect maps to exactly one
+  // admission decision.
+  ClientOptions one_shot;
+  one_shot.max_connect_attempts = 1;
+  auto c1 = Client::Connect("127.0.0.1", *port, one_shot);
+  auto c2 = Client::Connect("127.0.0.1", *port, one_shot);
   ASSERT_TRUE(c1.ok() && c2.ok());
   // Both slots busy: the third connection is refused at the handshake.
-  auto c3 = Client::Connect("127.0.0.1", *port);
+  auto c3 = Client::Connect("127.0.0.1", *port, one_shot);
   ASSERT_FALSE(c3.ok());
   EXPECT_TRUE(c3.status().IsResourceExhausted()) << c3.status().ToString();
   EXPECT_EQ(small.sessions_rejected(), 1);
@@ -210,10 +214,37 @@ TEST_F(ServerTest, AdmissionControlRejectsBeyondMaxSessions) {
   (*c1)->Close();
   auto c4 = Result<std::unique_ptr<Client>>(Status::Unavailable("retry"));
   for (int attempt = 0; attempt < 100 && !c4.ok(); ++attempt) {
-    c4 = Client::Connect("127.0.0.1", *port);
+    c4 = Client::Connect("127.0.0.1", *port, one_shot);
     if (!c4.ok()) std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   ASSERT_TRUE(c4.ok()) << "slot never freed: " << c4.status().ToString();
+  small.Stop();
+}
+
+TEST_F(ServerTest, AdmissionRejectionRetriesAutomaticallyWithBackoff) {
+  // With retries left on (the default), a client bounced by admission
+  // control keeps trying with backoff and gets in once a slot frees up —
+  // no caller-side retry loop needed.
+  ServerOptions options;
+  options.max_sessions = 1;
+  HistorianServer small(odh_->engine(), options);
+  auto port = small.Start();
+  ASSERT_TRUE(port.ok());
+
+  auto keeper = Client::Connect("127.0.0.1", *port);
+  ASSERT_TRUE(keeper.ok());
+  std::thread releaser([&keeper] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    (*keeper)->Close();
+  });
+  ClientOptions patient;
+  patient.max_connect_attempts = 200;
+  patient.initial_backoff_ms = 5;
+  patient.max_backoff_ms = 20;
+  auto late = Client::Connect("127.0.0.1", *port, patient);
+  releaser.join();
+  ASSERT_TRUE(late.ok()) << late.status().ToString();
+  EXPECT_GE((*late)->stats().connect_attempts, 2);
   small.Stop();
 }
 
@@ -226,9 +257,11 @@ TEST_F(ServerTest, RejectionCounterVisibleThroughOdhMetrics) {
   HistorianServer server(tiny.engine(), options, tiny.metrics());
   auto port = server.Start();
   ASSERT_TRUE(port.ok());
-  auto keeper = Client::Connect("127.0.0.1", *port);
+  ClientOptions one_shot;
+  one_shot.max_connect_attempts = 1;
+  auto keeper = Client::Connect("127.0.0.1", *port, one_shot);
   ASSERT_TRUE(keeper.ok());
-  auto refused = Client::Connect("127.0.0.1", *port);
+  auto refused = Client::Connect("127.0.0.1", *port, one_shot);
   ASSERT_FALSE(refused.ok());
 
   auto metrics = (*keeper)->Query(
@@ -236,6 +269,176 @@ TEST_F(ServerTest, RejectionCounterVisibleThroughOdhMetrics) {
   ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
   ASSERT_EQ(metrics->rows.size(), 1u);
   EXPECT_DOUBLE_EQ(metrics->rows[0][0].double_value(), 1.0);
+  server.Stop();
+}
+
+// Satellite: admission rejection must be machine-readable — the client
+// classifies by the RejectCode in the frame, never by the reason text.
+TEST_F(ServerTest, RejectionCodeIsMachineReadableNotMessageText) {
+  ServerOptions options;
+  options.max_sessions = 1;
+  HistorianServer small(odh_->engine(), options);
+  auto port = small.Start();
+  ASSERT_TRUE(port.ok());
+
+  ClientOptions one_shot;
+  one_shot.max_connect_attempts = 1;
+  auto keeper = Client::Connect("127.0.0.1", *port, one_shot);
+  ASSERT_TRUE(keeper.ok());
+
+  // Raw-socket handshake, so we can see the Rejected frame itself.
+  auto fd = ConnectWithDeadline("127.0.0.1", *port,
+                                common::Deadline::AfterMillis(2000));
+  ASSERT_TRUE(fd.ok());
+  Transport raw(*fd);
+  ASSERT_TRUE(raw.SendFrame(FrameType::kHello,
+                            Slice(EncodeHello(kProtocolVersion)),
+                            common::Deadline::AfterMillis(2000))
+                  .ok());
+  Frame reply;
+  auto got = raw.ReadFrame(&reply, common::Deadline::AfterMillis(2000));
+  ASSERT_TRUE(got.ok() && got.value());
+  ASSERT_EQ(reply.type, FrameType::kRejected);
+  RejectCode code = RejectCode::kUnknown;
+  std::string reason;
+  ASSERT_TRUE(DecodeRejected(Slice(reply.payload), &code, &reason));
+  EXPECT_EQ(code, RejectCode::kTooManySessions);
+
+  // And the client maps that code to a retryable ResourceExhausted.
+  auto refused = Client::Connect("127.0.0.1", *port, one_shot);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsResourceExhausted())
+      << refused.status().ToString();
+  EXPECT_TRUE(Client::IsRetryable(refused.status()));
+  small.Stop();
+}
+
+TEST_F(ServerTest, VersionSkewIsRejectedAsPermanent) {
+  auto fd = ConnectWithDeadline("127.0.0.1", port_,
+                                common::Deadline::AfterMillis(2000));
+  ASSERT_TRUE(fd.ok());
+  Transport raw(*fd);
+  ASSERT_TRUE(raw.SendFrame(FrameType::kHello, Slice(EncodeHello(999)),
+                            common::Deadline::AfterMillis(2000))
+                  .ok());
+  Frame reply;
+  auto got = raw.ReadFrame(&reply, common::Deadline::AfterMillis(2000));
+  ASSERT_TRUE(got.ok() && got.value());
+  ASSERT_EQ(reply.type, FrameType::kRejected);
+  RejectCode code = RejectCode::kUnknown;
+  std::string reason;
+  ASSERT_TRUE(DecodeRejected(Slice(reply.payload), &code, &reason));
+  EXPECT_EQ(code, RejectCode::kIncompatibleVersion);
+  // Version skew can never succeed on retry: clients must not back off
+  // and hammer a server that will never speak their dialect.
+  EXPECT_FALSE(Client::IsRetryable(Status::FailedPrecondition(reason)));
+}
+
+// Satellite: HistorianServer lifecycle edges — every combination of
+// Stop/Drain/destructor must be safe and idempotent.
+
+TEST(ServerLifecycleTest, StopBeforeStartIsSafe) {
+  core::OdhSystem odh;
+  HistorianServer server(odh.engine(), ServerOptions{});
+  server.Stop();  // Never started: must not crash or hang.
+  server.Stop();  // And again.
+}
+
+TEST(ServerLifecycleTest, DoubleStopIsIdempotent) {
+  core::OdhSystem odh;
+  HistorianServer server(odh.engine(), ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  server.Stop();
+  server.Stop();  // Second Stop: no double-join, no double-close.
+}
+
+TEST(ServerLifecycleTest, ConcurrentStopsDoNotRace) {
+  core::OdhSystem odh;
+  HistorianServer server(odh.engine(), ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  std::vector<std::thread> stoppers;
+  for (int i = 0; i < 4; ++i) {
+    stoppers.emplace_back([&server] { server.Stop(); });
+  }
+  for (std::thread& t : stoppers) t.join();
+}
+
+TEST(ServerLifecycleTest, StartAfterStopFails) {
+  core::OdhSystem odh;
+  HistorianServer server(odh.engine(), ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  server.Stop();
+  auto again = server.Start();
+  ASSERT_FALSE(again.ok());
+  EXPECT_TRUE(again.status().IsFailedPrecondition());
+}
+
+TEST(ServerLifecycleTest, DoubleStartFails) {
+  core::OdhSystem odh;
+  HistorianServer server(odh.engine(), ServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  auto again = server.Start();
+  ASSERT_FALSE(again.ok());
+  EXPECT_TRUE(again.status().IsFailedPrecondition());
+}
+
+TEST(ServerLifecycleTest, DestructorWithLiveSessionsIsSafe) {
+  core::OdhSystem odh;
+  int port = 0;
+  std::unique_ptr<Client> c1, c2;
+  {
+    auto server =
+        std::make_unique<HistorianServer>(odh.engine(), ServerOptions{});
+    auto started = server->Start();
+    ASSERT_TRUE(started.ok());
+    port = *started;
+    auto r1 = Client::Connect("127.0.0.1", port);
+    auto r2 = Client::Connect("127.0.0.1", port);
+    ASSERT_TRUE(r1.ok() && r2.ok());
+    c1 = std::move(*r1);
+    c2 = std::move(*r2);
+    // Destructor runs Stop() with both sessions still open.
+  }
+  // The orphaned clients see a dead connection, not a hang.
+  ClientOptions no_retry;
+  no_retry.auto_retry = false;
+  auto r = c1->Query("SELECT 1");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ServerLifecycleTest, DrainBeforeStartAndAfterStopAreNoOps) {
+  core::OdhSystem odh;
+  HistorianServer server(odh.engine(), ServerOptions{});
+  server.Drain(100);  // Not started.
+  ASSERT_TRUE(server.Start().ok());
+  server.Stop();
+  server.Drain(100);  // Already stopped.
+}
+
+// Satellite: a connected-but-silent peer (slow loris) must not pin its
+// session slot past the read deadline.
+TEST(ServerLifecycleTest, SilentPeerIsReapedByReadDeadline) {
+  core::OdhSystem odh;
+  ServerOptions options;
+  options.max_sessions = 2;
+  options.handshake_deadline_ms = 100;
+  HistorianServer server(odh.engine(), options, odh.metrics());
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  // Connect raw and say nothing: the handshake deadline must reap it.
+  auto fd = ConnectWithDeadline("127.0.0.1", *port,
+                                common::Deadline::AfterMillis(2000));
+  ASSERT_TRUE(fd.ok());
+  Transport silent(*fd);
+  for (int wait = 0; wait < 500 && server.read_timeouts() == 0; ++wait) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server.read_timeouts(), 1);
+  for (int wait = 0; wait < 500 && server.sessions_open() != 0; ++wait) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server.sessions_open(), 0) << "silent peer pinned its slot";
   server.Stop();
 }
 

@@ -223,5 +223,38 @@ TEST(WireTest, GarbagePayloadsAreRejectedNotOverread) {
   EXPECT_FALSE(DecodeStmtId(noise, &u64));
 }
 
+TEST(WireTest, RejectedRoundTripCarriesMachineReadableCode) {
+  for (RejectCode code :
+       {RejectCode::kTooManySessions, RejectCode::kIncompatibleVersion,
+        RejectCode::kDraining}) {
+    std::string payload = EncodeRejected(code, "why");
+    RejectCode decoded = RejectCode::kUnknown;
+    std::string reason;
+    ASSERT_TRUE(DecodeRejected(Slice(payload), &decoded, &reason));
+    EXPECT_EQ(decoded, code);
+    EXPECT_EQ(reason, "why");
+  }
+}
+
+TEST(WireTest, RejectedPreV2PayloadDegradesToUnknownCode) {
+  // A v1 server sent the reason as a bare string. The decoder must not
+  // misread it as a code: it degrades to kUnknown (never retried on a
+  // guess) and preserves the text.
+  Slice legacy("server at max_sessions, retry later");
+  RejectCode code = RejectCode::kDraining;  // Anything non-default.
+  std::string reason;
+  EXPECT_FALSE(DecodeRejected(legacy, &code, &reason));
+  EXPECT_EQ(code, RejectCode::kUnknown);
+  EXPECT_EQ(reason, "server at max_sessions, retry later");
+}
+
+TEST(WireTest, RejectedOutOfRangeCodeDegradesToUnknown) {
+  std::string payload = EncodeRejected(static_cast<RejectCode>(999), "?");
+  RejectCode code = RejectCode::kDraining;
+  std::string reason;
+  ASSERT_TRUE(DecodeRejected(Slice(payload), &code, &reason));
+  EXPECT_EQ(code, RejectCode::kUnknown);
+}
+
 }  // namespace
 }  // namespace odh::net

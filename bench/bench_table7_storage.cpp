@@ -6,22 +6,42 @@
 // 120 s (LD). Expected shape: ODH storage smaller than the relational
 // candidates by a factor > 3 (paper), MySQL slightly larger than RDB, and
 // size growing ~linearly with frequency and source count.
+//
+// Plus the segment-lifecycle section: a deep-history recent-window query
+// on a flat (segment_span = 0) store versus a time-partitioned one (the
+// pruned store's page reads track the window, not the history), and the
+// compaction before/after footprint. `--smoke` runs a tiny ODH-only
+// version for CI. Results land in BENCH_storage.json either way.
+
+#include <algorithm>
+#include <cstring>
+#include <string>
 
 #include "bench/bench_util.h"
+#include "benchfw/json_report.h"
 #include "benchfw/ld_generator.h"
 #include "benchfw/td_generator.h"
 #include "common/logging.h"
+#include "sql/session.h"
 
 namespace odh::bench {
 namespace {
 
 using benchfw::IngestMetrics;
+using benchfw::JsonWriter;
 using benchfw::LdConfig;
 using benchfw::LdGenerator;
 using benchfw::OdhTarget;
 using benchfw::RelationalTarget;
 using benchfw::TdConfig;
 using benchfw::TdGenerator;
+
+bool SmokeFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return true;
+  }
+  return false;
+}
 
 template <typename Stream>
 uint64_t StorageAfterIngest(Stream stream, benchfw::IngestTarget* target) {
@@ -56,12 +76,169 @@ DatasetRow MeasureDataset(const std::string& label,
   return row;
 }
 
+/// Streams `sql` to exhaustion; returns the row count.
+int64_t DrainQuery(core::OdhSystem* sys, const std::string& sql) {
+  sql::Session session(sys->engine());
+  auto stream = session.ExecuteStreaming(sql);
+  ODH_CHECK_OK(stream.status());
+  Row row;
+  int64_t n = 0;
+  while ((*stream)->Next(&row).value()) ++n;
+  return n;
+}
+
+int64_t ProfiledSegmentsPruned(core::OdhSystem* sys, const std::string& sql) {
+  auto r = sys->engine()->Execute("EXPLAIN PROFILE " + sql);
+  ODH_CHECK_OK(r.status());
+  for (const Row& row : r->rows) {
+    if (row[0] == Datum::String("segments_pruned")) {
+      return row[1].int64_value();
+    }
+  }
+  return 0;
+}
+
+/// Deep-history flat-vs-segmented comparison plus compaction
+/// before/after. A recent-window slice query (no source predicate, so the
+/// flat layout must stream every blob row) against a store whose history
+/// is 20x the window: the segmented store answers from one segment and
+/// O(segments) manifest checks.
+void RunSegmentSection(double scale, JsonWriter* json) {
+  const int seconds =
+      std::max(400, static_cast<int>(4000 * scale));
+  const int num_sources = 8;
+  // 10 segments over the history, each holding several 25-point blobs per
+  // source (so compaction has contiguous runs to merge).
+  const Timestamp span = (seconds / 10) * kMicrosPerSecond;
+
+  auto build = [&](Timestamp segment_span) {
+    core::OdhOptions options;
+    options.batch_size = 25;
+    options.pool_pages = 64;  // History must not fit in the pool.
+    options.segment_span = segment_span;
+    auto sys = std::make_unique<core::OdhSystem>(options);
+    int type = sys->DefineSchemaType("deep", {"v"}).value();
+    for (SourceId id = 1; id <= num_sources; ++id) {
+      ODH_CHECK_OK(sys->RegisterSource(id, type, kMicrosPerSecond, true));
+    }
+    for (int i = 0; i < seconds; ++i) {
+      for (SourceId id = 1; id <= num_sources; ++id) {
+        // Hash noise: incompressible, so the deep history is real pages.
+        double v = static_cast<double>((i * 1103515245u + id * 48271u) %
+                                       100000);
+        ODH_CHECK_OK(sys->Ingest(
+            {id, static_cast<Timestamp>(i) * kMicrosPerSecond, {v}}));
+      }
+    }
+    ODH_CHECK_OK(sys->FlushAll());
+    return sys;
+  };
+
+  const Timestamp window_lo =
+      static_cast<Timestamp>(seconds - seconds / 20) * kMicrosPerSecond;
+  const std::string recent =
+      "SELECT ts, v FROM deep_v WHERE ts >= " + std::to_string(window_lo);
+  const std::string full_scan = "SELECT ts, v FROM deep_v";
+
+  struct Measured {
+    double micros = 0;
+    uint64_t page_reads = 0;
+    int64_t rows = 0;
+  };
+  auto measure = [](core::OdhSystem* sys, const std::string& sql) {
+    Measured m;
+    sys->ResetIoStats();
+    Stopwatch timer;
+    m.rows = DrainQuery(sys, sql);
+    m.micros = static_cast<double>(timer.ElapsedMicros());
+    m.page_reads = sys->io_stats().page_reads;
+    return m;
+  };
+
+  auto flat = build(0);
+  auto segmented = build(span);
+
+  const Measured flat_recent = measure(flat.get(), recent);
+  const Measured seg_recent = measure(segmented.get(), recent);
+  ODH_CHECK(flat_recent.rows == seg_recent.rows);
+  const int64_t pruned = ProfiledSegmentsPruned(segmented.get(), recent);
+
+  TablePrinter table({"Layout", "recent-window micros", "page reads",
+                      "segments pruned"});
+  table.AddRow({"flat", Fmt("%.0f", flat_recent.micros),
+                std::to_string(flat_recent.page_reads), "0"});
+  table.AddRow({"segmented", Fmt("%.0f", seg_recent.micros),
+                std::to_string(seg_recent.page_reads),
+                std::to_string(pruned)});
+  table.Print("Deep history (" + std::to_string(seconds) +
+              " s), recent-window slice query (last 5%)");
+
+  // Compaction: footprint and full-scan cost, before and after.
+  const Measured scan_before = measure(segmented.get(), full_scan);
+  const uint64_t storage_before = segmented->storage_bytes();
+  auto report = segmented->CompactSegments(0);
+  ODH_CHECK_OK(report.status());
+  const Measured scan_after = measure(segmented.get(), full_scan);
+  ODH_CHECK(scan_before.rows == scan_after.rows);
+
+  TablePrinter compaction({"", "blobs", "blob bytes", "full-scan micros"});
+  compaction.AddRow({"before", std::to_string(report->blobs_before),
+                     std::to_string(report->bytes_before),
+                     Fmt("%.0f", scan_before.micros)});
+  compaction.AddRow({"after", std::to_string(report->blobs_after),
+                     std::to_string(report->bytes_after),
+                     Fmt("%.0f", scan_after.micros)});
+  compaction.Print("Compaction (" +
+                   std::to_string(report->segments_compacted) +
+                   " sealed segments rewritten)");
+
+  json->Key("segments");
+  json->BeginObject();
+  json->KeyValue("history_seconds", seconds);
+  json->KeyValue("segment_span_micros", span);
+  json->KeyValue("flat_recent_micros", flat_recent.micros);
+  json->KeyValue("flat_recent_page_reads", flat_recent.page_reads);
+  json->KeyValue("segmented_recent_micros", seg_recent.micros);
+  json->KeyValue("segmented_recent_page_reads", seg_recent.page_reads);
+  json->KeyValue("segments_pruned", pruned);
+  json->Key("compaction");
+  json->BeginObject();
+  json->KeyValue("segments_compacted", report->segments_compacted);
+  json->KeyValue("blobs_before", report->blobs_before);
+  json->KeyValue("blobs_after", report->blobs_after);
+  json->KeyValue("bytes_before", report->bytes_before);
+  json->KeyValue("bytes_after", report->bytes_after);
+  json->KeyValue("storage_bytes_before", storage_before);
+  json->KeyValue("storage_bytes_after", segmented->storage_bytes());
+  json->KeyValue("full_scan_micros_before", scan_before.micros);
+  json->KeyValue("full_scan_micros_after", scan_after.micros);
+  json->EndObject();
+  json->EndObject();
+}
+
 int Run(int argc, char** argv) {
   double scale = ScaleFromArgs(argc, argv);
+  const bool smoke = SmokeFromArgs(argc, argv);
+  if (smoke) scale = std::min(scale, 0.1);
   PrintHeader("IoT-X: storage cost for selected datasets",
               "Table 7 (storage in MB for TD/LD datasets)",
-              "Account unit 40, sensor unit 2000 (scaled); full ingest, "
-              "then bytes stored (heap + indexes + WAL).");
+              smoke ? "Smoke mode: segment lifecycle section only, tiny "
+                      "deep-history dataset."
+                    : "Account unit 40, sensor unit 2000 (scaled); full "
+                      "ingest, then bytes stored (heap + indexes + WAL).");
+
+  JsonWriter json;
+  json.BeginObject();
+  json.KeyValue("bench", "table7_storage");
+  json.KeyValue("smoke", smoke);
+  if (smoke) {
+    RunSegmentSection(scale, &json);
+    json.EndObject();
+    if (json.WriteFile("BENCH_storage.json")) {
+      std::printf("Storage data written to BENCH_storage.json\n");
+    }
+    return 0;
+  }
 
   const int64_t account_unit = static_cast<int64_t>(40 * scale);
   const int64_t sensor_unit = static_cast<int64_t>(2000 * scale);
@@ -106,6 +283,24 @@ int Run(int argc, char** argv) {
       "\nExpected shape: ODH smaller than RDB/MySQL by > 3x; MySQL slightly\n"
       "larger than RDB; size ~linear in frequency (TD(1,1)->TD(1,2)->\n"
       "TD(1,4)) and in source count (TD(1,1)->TD(2,1), LD(1)->LD(2)).\n");
+
+  json.Key("table7");
+  json.BeginArray();
+  for (const DatasetRow& row : rows) {
+    json.BeginObject();
+    json.KeyValue("dataset", row.label);
+    json.KeyValue("odh_bytes", row.odh);
+    json.KeyValue("rdb_bytes", row.rdb);
+    json.KeyValue("mysql_bytes", row.mysql);
+    json.EndObject();
+  }
+  json.EndArray();
+
+  RunSegmentSection(scale, &json);
+  json.EndObject();
+  if (json.WriteFile("BENCH_storage.json")) {
+    std::printf("Storage data written to BENCH_storage.json\n");
+  }
   return 0;
 }
 

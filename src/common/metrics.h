@@ -94,6 +94,7 @@ struct ScanCounters {
   std::atomic<int64_t> blobs_pruned{0};
   std::atomic<int64_t> blobs_skipped_by_summary{0};
   std::atomic<int64_t> blob_bytes_read{0};
+  std::atomic<int64_t> segments_pruned{0};
 };
 
 }  // namespace odh::common

@@ -32,6 +32,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Unavailable";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }

@@ -32,6 +32,10 @@ enum class StatusCode {
   /// RPC deadline). The operation may or may not have taken effect on the
   /// other end; retry only idempotent work.
   kDeadlineExceeded,
+  /// An optimistic operation lost a race (e.g. a segment compaction whose
+  /// snapshot a concurrent write invalidated). Nothing happened; the caller
+  /// may retry from a fresh snapshot.
+  kAborted,
 };
 
 /// Returns a short human-readable name, e.g. "NotFound".
@@ -90,6 +94,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -113,6 +120,7 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code_ == StatusCode::kDeadlineExceeded;
   }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

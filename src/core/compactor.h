@@ -1,0 +1,87 @@
+#ifndef ODH_CORE_COMPACTOR_H_
+#define ODH_CORE_COMPACTOR_H_
+
+#include <atomic>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/config.h"
+#include "core/store.h"
+
+namespace odh::core {
+
+/// What one CompactSealed pass did (aggregated over the segments it
+/// rewrote). byte counts cover blob payloads only, the dominant term of a
+/// segment's footprint.
+struct CompactionReport {
+  int64_t segments_compacted = 0;
+  /// Sealed segments left alone: a Put or drop raced the snapshot
+  /// (version moved; they stay hot and a later pass retries them).
+  int64_t segments_skipped = 0;
+  int64_t blobs_before = 0;
+  int64_t blobs_after = 0;
+  int64_t bytes_before = 0;
+  int64_t bytes_after = 0;
+};
+
+/// Background compactor for sealed segments (cold-tier rewriter).
+///
+/// A segment is sealed once a newer segment exists: the writer routes by
+/// begin_ts, so with monotonic ingestion no further blobs land in it. The
+/// compactor snapshots such a segment under the store mutex, then — outside
+/// any lock — merges its many small writer-sized blobs into few large ones
+/// (RTS runs that stay contiguous at one interval, IRTS runs that do not
+/// overlap), re-encodes them with the lossless XOR codec, and recomputes
+/// exact zone maps from the decoded values (PR 3's `exact`-bit contract:
+/// a summary built from true values never widens). The rewritten blobs are
+/// installed with OdhStore::SwapCompactedSegment, whose WAL episode makes
+/// the swap atomic across crashes; a version mismatch (concurrent write)
+/// aborts that segment's rewrite harmlessly.
+///
+/// The rewrite is lossless relative to what is stored: values are decoded
+/// and re-encoded exactly, so query results are byte-identical before and
+/// after compaction. MG blobs are never rewritten (see SwapCompactedSegment).
+class SegmentCompactor {
+ public:
+  SegmentCompactor(ConfigComponent* config, OdhStore* store,
+                   common::ThreadPool* pool = nullptr)
+      : config_(config), store_(store), pool_(pool) {}
+
+  SegmentCompactor(const SegmentCompactor&) = delete;
+  SegmentCompactor& operator=(const SegmentCompactor&) = delete;
+
+  /// Synchronously compacts every sealed hot segment of `schema_type`.
+  /// Safe to run concurrently with ingest and queries.
+  Result<CompactionReport> CompactSealed(int schema_type);
+
+  /// Queues CompactSealed on the thread pool (runs inline without one).
+  /// The result folds into `last_report()` / `last_status()`; callers that
+  /// need the report synchronously use CompactSealed directly.
+  void CompactSealedAsync(int schema_type);
+
+  /// Blocks until every queued async pass has finished.
+  void WaitIdle() const;
+
+  /// Outcome of the most recent pass (sync or async).
+  CompactionReport last_report() const;
+  Status last_status() const;
+
+ private:
+  /// Rewrites one segment; false (with no error) when the swap was aborted
+  /// by a concurrent writer.
+  Result<bool> CompactSegment(int schema_type, int64_t key,
+                              CompactionReport* report);
+
+  ConfigComponent* config_;
+  OdhStore* store_;
+  common::ThreadPool* pool_;  // Not owned; nullptr = synchronous.
+
+  mutable std::mutex mu_;  // Guards the last_* results.
+  CompactionReport last_report_;
+  Status last_status_;
+  std::atomic<int64_t> inflight_{0};
+};
+
+}  // namespace odh::core
+
+#endif  // ODH_CORE_COMPACTOR_H_

@@ -93,6 +93,17 @@ struct OdhOptions {
   /// odh_storage system tables. Off exists for the bench's overhead
   /// ablation — production instances have no reason to disable it.
   bool enable_metrics = true;
+  /// Time-partitioned segments: blobs are routed to the segment covering
+  /// floor(begin_ts / segment_span). Scans consult segment time bounds
+  /// first, so a recent-window query skips cold history with O(segments)
+  /// metadata checks; retention drops whole segments as a metadata
+  /// operation. 0 (the default) keeps the pre-segment layout: one
+  /// unbounded segment per schema type, no pruning, no retention.
+  Timestamp segment_span = 0;
+  /// Compaction merges small cold blobs up to this many points per
+  /// rewritten blob (RTS/IRTS only; MG blobs are left alone so the WAL's
+  /// content-keyed delete cancellation stays valid).
+  int64_t compaction_max_blob_points = 4096;
 };
 
 /// The ODH configuration component (paper §3): owns schema-type and

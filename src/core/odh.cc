@@ -23,6 +23,22 @@ OdhSystem::OdhSystem(OdhOptions options) : config_(options) {
                                         writer_.get(), router_.get(),
                                         read_pool_.get());
   reorganizer_ = std::make_unique<Reorganizer>(&config_, store_.get());
+  compactor_ = std::make_unique<SegmentCompactor>(&config_, store_.get(),
+                                                  read_pool_.get());
+
+  // ALTER TABLE <name>_v RETENTION <interval>: map the view name back to
+  // its schema type, then set + apply the window. Runs under the SQL
+  // engine's write mutex (session layer), same as the other DDL.
+  engine_->set_retention_handler(
+      [this](const std::string& table, int64_t retention_micros) -> Status {
+        std::string name = table;
+        constexpr char kSuffix[] = "_v";
+        if (name.size() > 2 && name.compare(name.size() - 2, 2, kSuffix) == 0) {
+          name.resize(name.size() - 2);
+        }
+        ODH_ASSIGN_OR_RETURN(int type_id, config_.FindSchemaType(name));
+        return SetRetention(type_id, retention_micros).status();
+      });
 
   // Observability wiring: push-style instruments into the hot components
   // (flush/sync granularity), pull-gauges over everything that already
@@ -110,6 +126,18 @@ void OdhSystem::RegisterGauges() {
   m->RegisterGauge("odh.store.blobs_discarded", [store] {
     return static_cast<double>(store->blobs_discarded());
   });
+  m->RegisterGauge("odh.store.segments_pruned", [store] {
+    return static_cast<double>(store->segments_pruned());
+  });
+  m->RegisterGauge("odh.store.segments_compacted", [store] {
+    return static_cast<double>(store->segments_compacted());
+  });
+  m->RegisterGauge("odh.store.segments_dropped", [store] {
+    return static_cast<double>(store->segments_dropped());
+  });
+  m->RegisterGauge("odh.reader.segments_pruned", [reader] {
+    return static_cast<double>(reader->stats().segments_pruned);
+  });
   m->RegisterGauge("odh.wal.records_synced", [store] {
     const Wal* wal = store->wal();
     return wal == nullptr ? 0.0
@@ -169,6 +197,20 @@ Result<std::unique_ptr<RecordCursor>> OdhSystem::SliceQuery(
     int schema_type, Timestamp lo, Timestamp hi,
     const std::vector<int>& wanted_tags) {
   return reader_->OpenSlice(schema_type, lo, hi, wanted_tags);
+}
+
+Result<CompactionReport> OdhSystem::CompactSegments(int schema_type) {
+  // Flush so sealed segments hold everything ingested so far; buffered
+  // points routed to a sealed segment would otherwise race the rewrite
+  // (the version check would abort the swap, which is correct but wasteful).
+  ODH_RETURN_IF_ERROR(writer_->Flush(schema_type));
+  return compactor_->CompactSealed(schema_type);
+}
+
+Result<int64_t> OdhSystem::SetRetention(int schema_type,
+                                        Timestamp retention_micros) {
+  ODH_RETURN_IF_ERROR(store_->SetRetention(schema_type, retention_micros));
+  return store_->ApplyRetention(schema_type);
 }
 
 Result<ReorganizeReport> OdhSystem::Reorganize(int schema_type,

@@ -7,6 +7,7 @@
 
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "core/compactor.h"
 #include "core/config.h"
 #include "core/cost_model.h"
 #include "core/reader.h"
@@ -73,6 +74,23 @@ class OdhSystem {
   /// Runs the MG -> RTS/IRTS reorganizer for a schema type.
   Result<ReorganizeReport> Reorganize(int schema_type, Timestamp up_to);
 
+  /// Compacts every sealed hot segment of a schema type synchronously
+  /// (flushes the writer first so sealed segments hold everything ingested
+  /// so far). No-op with segment_span == 0. The background variant runs
+  /// through compactor()->CompactSealedAsync on the shared thread pool.
+  Result<CompactionReport> CompactSegments(int schema_type);
+
+  /// Sets (or with 0 clears) the retention window of a schema type and
+  /// immediately drops expired segments. Returns the number of segments
+  /// dropped now; later ApplyRetention calls keep enforcing the window.
+  /// SQL equivalent: ALTER TABLE <name>_v RETENTION <interval>.
+  Result<int64_t> SetRetention(int schema_type, Timestamp retention_micros);
+
+  /// Drops segments that expired since the last call (the periodic sweep).
+  Result<int64_t> ApplyRetention(int schema_type) {
+    return store_->ApplyRetention(schema_type);
+  }
+
   /// Replays the store WAL of a crashed instance (the SimDisk returned by
   /// CloneDurable() after a power cut) into this system. Define the same
   /// schema types first; see OdhStore::Recover.
@@ -89,6 +107,7 @@ class OdhSystem {
   OdhReader* reader() { return reader_.get(); }
   DataRouter* router() { return router_.get(); }
   OdhCostModel* cost_model() { return cost_model_.get(); }
+  SegmentCompactor* compactor() { return compactor_.get(); }
   /// The instance's metrics registry, also queryable as the `odh_metrics`
   /// system table (with `odh_queries` and `odh_storage` alongside it).
   common::MetricsRegistry* metrics() { return metrics_.get(); }
@@ -119,6 +138,7 @@ class OdhSystem {
   std::unique_ptr<OdhCostModel> cost_model_;
   std::unique_ptr<OdhReader> reader_;
   std::unique_ptr<Reorganizer> reorganizer_;
+  std::unique_ptr<SegmentCompactor> compactor_;
   std::vector<std::unique_ptr<OdhVirtualTable>> virtual_tables_;
   std::unique_ptr<MetricsSystemTable> metrics_table_;
   std::unique_ptr<QueriesSystemTable> queries_table_;

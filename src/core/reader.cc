@@ -23,10 +23,11 @@ struct QueuedBlob {
 
 /// Implementation shared by historical and slice scans, row and batch
 /// flavors. Historical scans queue the (bounded, per-source) blob lists up
-/// front; slice scans stream the per-source containers with a table
-/// iterator and use the (begin_ts, group) index for MG. Every blob decodes
-/// into one columnar RecordBatch — the batch cursor hands those out
-/// directly, the row cursor drains them one record at a time.
+/// front; slice scans pull the series containers one segment chunk at a
+/// time through OdhStore::NextSliceChunk (so no table iterator outlives
+/// the store mutex) and use the (begin_ts, group) index for MG. Every blob
+/// decodes into one columnar RecordBatch — the batch cursor hands those
+/// out directly, the row cursor drains them one record at a time.
 ///
 /// With a thread pool, the queued blobs are decoded in parallel right
 /// after Init (each pool task decodes into its own slot, so emission order
@@ -52,10 +53,11 @@ class OdhScanCursorImpl : public RecordCursor, public RecordBatchCursor {
         counters_(counters) {}
 
   Status InitHistorical(const RouteDecision& route) {
+    SegmentScanStats seg_stats;
     if (route.scan_rts) {
       ODH_ASSIGN_OR_RETURN(auto blobs,
                            reader_->store_->GetRts(schema_type_, id_, lo_,
-                                                   hi_));
+                                                   hi_, &seg_stats));
       for (auto& b : blobs) {
         queued_.push_back({BlobKind::kRts, std::move(b)});
       }
@@ -63,7 +65,7 @@ class OdhScanCursorImpl : public RecordCursor, public RecordBatchCursor {
     if (route.scan_irts) {
       ODH_ASSIGN_OR_RETURN(auto blobs,
                            reader_->store_->GetIrts(schema_type_, id_, lo_,
-                                                    hi_));
+                                                    hi_, &seg_stats));
       for (auto& b : blobs) {
         queued_.push_back({BlobKind::kIrts, std::move(b)});
       }
@@ -71,34 +73,26 @@ class OdhScanCursorImpl : public RecordCursor, public RecordBatchCursor {
     if (route.scan_mg) {
       ODH_ASSIGN_OR_RETURN(auto blobs,
                            reader_->store_->GetMg(schema_type_,
-                                                  route.mg_group, lo_, hi_));
+                                                  route.mg_group, lo_, hi_,
+                                                  &seg_stats));
       for (auto& b : blobs) {
         queued_.push_back({BlobKind::kMg, std::move(b)});
       }
     }
+    CountSegmentsPruned(seg_stats);
     PredecodeQueued();
     return CollectDirty();
   }
 
   Status InitSlice(const RouteDecision& route) {
-    if (route.scan_rts) {
-      ODH_ASSIGN_OR_RETURN(relational::Table * table,
-                           reader_->store_->RtsTable(schema_type_));
-      rts_stream_ = std::make_unique<relational::Table::Iterator>(
-          table->NewIterator());
-      ODH_RETURN_IF_ERROR(rts_stream_->SeekToFirst());
-    }
-    if (route.scan_irts) {
-      ODH_ASSIGN_OR_RETURN(relational::Table * table,
-                           reader_->store_->IrtsTable(schema_type_));
-      irts_stream_ = std::make_unique<relational::Table::Iterator>(
-          table->NewIterator());
-      ODH_RETURN_IF_ERROR(irts_stream_->SeekToFirst());
-    }
+    rts_stream_.active = route.scan_rts;
+    irts_stream_.active = route.scan_irts;
     if (route.scan_mg) {
+      SegmentScanStats seg_stats;
       ODH_ASSIGN_OR_RETURN(auto blobs,
                            reader_->store_->GetMg(schema_type_, -1, lo_,
-                                                  hi_));
+                                                  hi_, &seg_stats));
+      CountSegmentsPruned(seg_stats);
       for (auto& b : blobs) {
         queued_.push_back({BlobKind::kMg, std::move(b)});
       }
@@ -210,22 +204,42 @@ class OdhScanCursorImpl : public RecordCursor, public RecordBatchCursor {
     });
   }
 
-  /// Pulls the next overlapping blob from the streaming table scans.
+  /// Folds a store segment-elimination count into the reader-global and
+  /// per-query counters.
+  void CountSegmentsPruned(const SegmentScanStats& seg_stats) {
+    if (seg_stats.segments_pruned == 0) return;
+    reader_->segments_pruned_.fetch_add(seg_stats.segments_pruned,
+                                        std::memory_order_relaxed);
+    if (counters_ != nullptr) {
+      counters_->segments_pruned.fetch_add(seg_stats.segments_pruned,
+                                           std::memory_order_relaxed);
+    }
+  }
+
+  /// Pulls the next overlapping blob from the chunked slice scans: RTS
+  /// first, then IRTS, each advancing one segment at a time through the
+  /// store (the chunk is materialized under the store mutex, so a
+  /// concurrent retention drop can never invalidate this cursor).
   Result<bool> RefillFromStreams(RecordBatch* batch) {
     for (auto* stream : {&rts_stream_, &irts_stream_}) {
-      while (*stream != nullptr && (*stream)->Valid()) {
-        ODH_ASSIGN_OR_RETURN(Row row, (*stream)->row());
-        relational::Rid rid = (*stream)->rid();
-        ODH_RETURN_IF_ERROR((*stream)->Next());
-        BlobRecord rec;
-        ODH_RETURN_IF_ERROR(
-            OdhStore::RowToBlobRecord(row, rid, /*is_mg=*/false, &rec));
-        if (rec.end < lo_ || rec.begin > hi_) continue;
-        QueuedBlob blob{stream == &rts_stream_ ? BlobKind::kRts
-                                               : BlobKind::kIrts,
-                        std::move(rec)};
-        ODH_RETURN_IF_ERROR(DecodeBlobToBatch(blob, batch));
-        return true;
+      const bool is_irts = stream == &irts_stream_;
+      if (!stream->active) continue;
+      while (true) {
+        if (!stream->buffered.empty()) {
+          QueuedBlob blob{is_irts ? BlobKind::kIrts : BlobKind::kRts,
+                          std::move(stream->buffered.front())};
+          stream->buffered.pop_front();
+          ODH_RETURN_IF_ERROR(DecodeBlobToBatch(blob, batch));
+          return true;
+        }
+        if (stream->done) break;
+        SegmentScanStats seg_stats;
+        std::vector<BlobRecord> chunk;
+        ODH_RETURN_IF_ERROR(reader_->store_->NextSliceChunk(
+            schema_type_, is_irts, lo_, hi_, &stream->cursor, &chunk,
+            &stream->done, &seg_stats));
+        CountSegmentsPruned(seg_stats);
+        for (auto& rec : chunk) stream->buffered.push_back(std::move(rec));
       }
     }
     return false;
@@ -343,12 +357,22 @@ class OdhScanCursorImpl : public RecordCursor, public RecordBatchCursor {
   ValueBlobCodec codec_;
   common::ScanCounters* counters_;  // Per-query profile; may be null.
 
+  /// Chunked slice-scan state for one series structure: the next segment
+  /// key to ask the store for, plus the not-yet-decoded remainder of the
+  /// last chunk it handed back.
+  struct SliceStream {
+    bool active = false;
+    bool done = false;
+    OdhStore::SliceCursor cursor;
+    std::deque<BlobRecord> buffered;
+  };
+
   std::deque<QueuedBlob> queued_;
   /// Parallel-decode results, aligned slots in queue order.
   std::deque<RecordBatch> decoded_;
   std::deque<Status> decoded_statuses_;
-  std::unique_ptr<relational::Table::Iterator> rts_stream_;
-  std::unique_ptr<relational::Table::Iterator> irts_stream_;
+  SliceStream rts_stream_;
+  SliceStream irts_stream_;
   /// Current batch being drained by the row-at-a-time view.
   RecordBatch batch_;
   size_t row_pos_ = 0;
@@ -546,52 +570,61 @@ Result<AggregateResult> OdhReader::Aggregate(
   for (const TagFilter& f : tag_filters) needed.insert(f.tag);
   const std::vector<int> decode_tags(needed.begin(), needed.end());
 
-  // Candidate blobs, enumerated exactly like the scan paths.
+  // Candidate blobs, enumerated exactly like the scan paths (including the
+  // segment-manifest elimination the Get*/NextSliceChunk entry points do).
   std::vector<QueuedBlob> blobs;
   auto add = [&blobs](BlobKind kind, std::vector<BlobRecord> recs) {
     for (auto& b : recs) blobs.push_back({kind, std::move(b)});
   };
+  SegmentScanStats seg_stats;
   if (id >= 0) {
     ODH_ASSIGN_OR_RETURN(RouteDecision route,
                          router_->RouteHistorical(schema_type, id));
     if (route.scan_rts) {
-      ODH_ASSIGN_OR_RETURN(auto recs, store_->GetRts(schema_type, id, lo, hi));
+      ODH_ASSIGN_OR_RETURN(auto recs,
+                           store_->GetRts(schema_type, id, lo, hi,
+                                          &seg_stats));
       add(BlobKind::kRts, std::move(recs));
     }
     if (route.scan_irts) {
       ODH_ASSIGN_OR_RETURN(auto recs,
-                           store_->GetIrts(schema_type, id, lo, hi));
+                           store_->GetIrts(schema_type, id, lo, hi,
+                                           &seg_stats));
       add(BlobKind::kIrts, std::move(recs));
     }
     if (route.scan_mg) {
       ODH_ASSIGN_OR_RETURN(auto recs,
-                           store_->GetMg(schema_type, route.mg_group, lo, hi));
+                           store_->GetMg(schema_type, route.mg_group, lo, hi,
+                                         &seg_stats));
       add(BlobKind::kMg, std::move(recs));
     }
   } else {
     ODH_ASSIGN_OR_RETURN(RouteDecision route, router_->RouteSlice(schema_type));
     for (bool is_irts : {false, true}) {
       if (is_irts ? !route.scan_irts : !route.scan_rts) continue;
-      ODH_ASSIGN_OR_RETURN(relational::Table * table,
-                           is_irts ? store_->IrtsTable(schema_type)
-                                   : store_->RtsTable(schema_type));
-      auto it = table->NewIterator();
-      ODH_RETURN_IF_ERROR(it.SeekToFirst());
-      while (it.Valid()) {
-        ODH_ASSIGN_OR_RETURN(Row row, it.row());
-        relational::Rid rid = it.rid();
-        ODH_RETURN_IF_ERROR(it.Next());
-        BlobRecord rec;
-        ODH_RETURN_IF_ERROR(
-            OdhStore::RowToBlobRecord(row, rid, /*is_mg=*/false, &rec));
-        if (rec.end < lo || rec.begin > hi) continue;
-        blobs.push_back({is_irts ? BlobKind::kIrts : BlobKind::kRts,
-                         std::move(rec)});
+      OdhStore::SliceCursor seg_cursor;
+      bool done = false;
+      while (!done) {
+        std::vector<BlobRecord> chunk;
+        ODH_RETURN_IF_ERROR(store_->NextSliceChunk(schema_type, is_irts, lo,
+                                                   hi, &seg_cursor, &chunk,
+                                                   &done, &seg_stats));
+        add(is_irts ? BlobKind::kIrts : BlobKind::kRts, std::move(chunk));
       }
     }
     if (route.scan_mg) {
-      ODH_ASSIGN_OR_RETURN(auto recs, store_->GetMg(schema_type, -1, lo, hi));
+      ODH_ASSIGN_OR_RETURN(auto recs,
+                           store_->GetMg(schema_type, -1, lo, hi,
+                                         &seg_stats));
       add(BlobKind::kMg, std::move(recs));
+    }
+  }
+  if (seg_stats.segments_pruned > 0) {
+    segments_pruned_.fetch_add(seg_stats.segments_pruned,
+                               std::memory_order_relaxed);
+    if (counters != nullptr) {
+      counters->segments_pruned.fetch_add(seg_stats.segments_pruned,
+                                          std::memory_order_relaxed);
     }
   }
 

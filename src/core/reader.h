@@ -65,6 +65,8 @@ struct ReadStats {
   int64_t blobs_skipped_by_summary = 0;  // Aggregated without decoding.
   int64_t blob_bytes_read = 0;
   int64_t records_emitted = 0;
+  /// Whole segments skipped by manifest time bounds (no page reads).
+  int64_t segments_pruned = 0;
 };
 
 /// Per-tag accumulator returned by OdhReader::Aggregate. `count`/`sum`
@@ -168,6 +170,7 @@ class OdhReader {
         blobs_skipped_by_summary_.load(std::memory_order_relaxed);
     s.blob_bytes_read = blob_bytes_read_.load(std::memory_order_relaxed);
     s.records_emitted = records_emitted_.load(std::memory_order_relaxed);
+    s.segments_pruned = segments_pruned_.load(std::memory_order_relaxed);
     return s;
   }
   /// Atomically returns the counters accumulated since the last reset and
@@ -184,6 +187,8 @@ class OdhReader {
         blob_bytes_read_.exchange(0, std::memory_order_relaxed);
     s.records_emitted =
         records_emitted_.exchange(0, std::memory_order_relaxed);
+    s.segments_pruned =
+        segments_pruned_.exchange(0, std::memory_order_relaxed);
     return s;
   }
   void ResetStats() { SnapshotAndResetStats(); }
@@ -203,6 +208,7 @@ class OdhReader {
   std::atomic<int64_t> blobs_skipped_by_summary_{0};
   std::atomic<int64_t> blob_bytes_read_{0};
   std::atomic<int64_t> records_emitted_{0};
+  std::atomic<int64_t> segments_pruned_{0};
 };
 
 }  // namespace odh::core

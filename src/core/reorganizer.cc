@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <map>
+#include <utility>
 
 namespace odh::core {
 
@@ -21,7 +22,9 @@ Result<ReorganizeReport> Reorganizer::Reorganize(int schema_type,
                        store_->GetMg(schema_type, -1, kMinTimestamp, up_to));
   // Collect per-source series from all eligible MG blobs.
   std::map<SourceId, SeriesBatch> series;
-  std::vector<relational::Rid> consumed;
+  // Rids are only unique within one segment's table, so remember the
+  // segment each consumed blob came from.
+  std::vector<std::pair<int64_t, relational::Rid>> consumed;
   for (const BlobRecord& blob : blobs) {
     if (blob.end > up_to) continue;
     std::vector<OperationalRecord> records;
@@ -40,7 +43,7 @@ Result<ReorganizeReport> Reorganizer::Reorganize(int schema_type,
       }
       ++report.points_moved;
     }
-    consumed.push_back(blob.rid);
+    consumed.emplace_back(blob.seg, blob.rid);
     ++report.mg_blobs_consumed;
   }
 
@@ -113,8 +116,8 @@ Result<ReorganizeReport> Reorganizer::Reorganize(int schema_type,
     }
   }
 
-  for (const relational::Rid& rid : consumed) {
-    ODH_RETURN_IF_ERROR(store_->DeleteMg(schema_type, rid));
+  for (const auto& [seg, rid] : consumed) {
+    ODH_RETURN_IF_ERROR(store_->DeleteMg(schema_type, seg, rid));
   }
   ODH_RETURN_IF_ERROR(store_->Sync(schema_type));
   return report;

@@ -11,6 +11,8 @@ namespace {
 
 using relational::Column;
 using relational::Schema;
+using storage::SegmentKeyFor;
+using storage::SegmentTier;
 
 // Column positions in the RTS/IRTS tables.
 constexpr int kSeriesId = 0;
@@ -48,7 +50,49 @@ Schema MgSchema() {
                  {"zonemap", DataType::kString}});
 }
 
+bool IsDataRecord(WalRecord::Kind kind) {
+  return kind == WalRecord::Kind::kRts || kind == WalRecord::Kind::kIrts ||
+         kind == WalRecord::Kind::kMg || kind == WalRecord::Kind::kMgDelete;
+}
+
 }  // namespace
+
+std::string OdhStore::SegmentPrefix(const std::string& type_name,
+                                    int64_t key, int generation) const {
+  if (config_->options().segment_span == 0) return "odh$" + type_name + "$";
+  return "odh$" + type_name + "$s" + std::to_string(key) + "$g" +
+         std::to_string(generation) + "$";
+}
+
+Result<OdhStore::Segment> OdhStore::CreateSegment(int schema_type,
+                                                  int64_t key,
+                                                  int generation) {
+  ODH_ASSIGN_OR_RETURN(const SchemaType* type,
+                       config_->GetSchemaType(schema_type));
+  const Timestamp span = config_->options().segment_span;
+  Segment seg;
+  seg.manifest.key = key;
+  if (span == 0) {
+    seg.manifest.lo = kMinTimestamp;
+    seg.manifest.hi = kMaxTimestamp;
+  } else {
+    seg.manifest.lo = key * span;
+    seg.manifest.hi = seg.manifest.lo + span;
+  }
+  seg.manifest.generation = generation;
+  const std::string prefix = SegmentPrefix(type->name, key, generation);
+  // B-tree indexes on the first two fields of each batch structure
+  // (paper §2: "B-tree indices are created on the first two fields").
+  ODH_ASSIGN_OR_RETURN(seg.rts,
+                       db_->CreateTable(prefix + "rts", SeriesSchema()));
+  ODH_RETURN_IF_ERROR(seg.rts->AddIndex({"pk", {kSeriesId, kSeriesBegin}}));
+  ODH_ASSIGN_OR_RETURN(seg.irts,
+                       db_->CreateTable(prefix + "irts", SeriesSchema()));
+  ODH_RETURN_IF_ERROR(seg.irts->AddIndex({"pk", {kSeriesId, kSeriesBegin}}));
+  ODH_ASSIGN_OR_RETURN(seg.mg, db_->CreateTable(prefix + "mg", MgSchema()));
+  ODH_RETURN_IF_ERROR(seg.mg->AddIndex({"pk", {kMgBegin, kMgGroup}}));
+  return seg;
+}
 
 Status OdhStore::CreateContainers(int schema_type) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -58,23 +102,14 @@ Status OdhStore::CreateContainers(int schema_type) {
     return Status::AlreadyExists("containers exist for " + type->name);
   }
   Container container;
-  // B-tree indexes on the first two fields of each batch structure
-  // (paper §2: "B-tree indices are created on the first two fields").
-  ODH_ASSIGN_OR_RETURN(
-      container.rts,
-      db_->CreateTable("odh$" + type->name + "$rts", SeriesSchema()));
-  ODH_RETURN_IF_ERROR(
-      container.rts->AddIndex({"pk", {kSeriesId, kSeriesBegin}}));
-  ODH_ASSIGN_OR_RETURN(
-      container.irts,
-      db_->CreateTable("odh$" + type->name + "$irts", SeriesSchema()));
-  ODH_RETURN_IF_ERROR(
-      container.irts->AddIndex({"pk", {kSeriesId, kSeriesBegin}}));
-  ODH_ASSIGN_OR_RETURN(
-      container.mg,
-      db_->CreateTable("odh$" + type->name + "$mg", MgSchema()));
-  ODH_RETURN_IF_ERROR(container.mg->AddIndex({"pk", {kMgBegin, kMgGroup}}));
-  containers_[schema_type] = container;
+  if (config_->options().segment_span == 0) {
+    // Unsegmented layout: the single unbounded segment exists up front
+    // under the historical flat table names.
+    ODH_ASSIGN_OR_RETURN(Segment seg,
+                         CreateSegment(schema_type, 0, /*generation=*/0));
+    container.segments.emplace(0, std::move(seg));
+  }
+  containers_[schema_type] = std::move(container);
   return Status::OK();
 }
 
@@ -83,6 +118,28 @@ Result<OdhStore::Container*> OdhStore::GetContainer(int schema_type) {
   if (it == containers_.end()) {
     return Status::NotFound("no containers for schema type " +
                             std::to_string(schema_type));
+  }
+  return &it->second;
+}
+
+Result<const OdhStore::Container*> OdhStore::GetContainer(
+    int schema_type) const {
+  auto it = containers_.find(schema_type);
+  if (it == containers_.end()) {
+    return Status::NotFound("no containers for schema type " +
+                            std::to_string(schema_type));
+  }
+  return &it->second;
+}
+
+Result<OdhStore::Segment*> OdhStore::GetSegmentForWrite(
+    int schema_type, Container* container, Timestamp begin) {
+  const int64_t key = SegmentKeyFor(begin, config_->options().segment_span);
+  auto it = container->segments.find(key);
+  if (it == container->segments.end()) {
+    ODH_ASSIGN_OR_RETURN(Segment seg,
+                         CreateSegment(schema_type, key, /*generation=*/0));
+    it = container->segments.emplace(key, std::move(seg)).first;
   }
   return &it->second;
 }
@@ -123,12 +180,15 @@ Status OdhStore::PutRts(int schema_type, SourceId id, Timestamp begin,
   // is replayable even if the table pages never made it to disk.
   ODH_RETURN_IF_ERROR(LogPut(WalRecord::Kind::kRts, schema_type, id, begin,
                              end, interval, n, blob, zone_map));
+  ODH_ASSIGN_OR_RETURN(Segment * seg,
+                       GetSegmentForWrite(schema_type, container, begin));
   Row row = {Datum::Int64(id),       Datum::Time(begin),
              Datum::Time(end),       Datum::Int64(interval),
              Datum::Int64(n),        Datum::String(blob),
              Datum::String(zone_map)};
-  ODH_RETURN_IF_ERROR(container->rts->Insert(row).status());
-  UpdateStats(&container->rts_stats, begin, end, n, blob.size());
+  ODH_RETURN_IF_ERROR(seg->rts->Insert(row).status());
+  UpdateStats(&seg->rts_stats, begin, end, n, blob.size());
+  ++seg->manifest.version;
   return Status::OK();
 }
 
@@ -139,11 +199,14 @@ Status OdhStore::PutIrts(int schema_type, SourceId id, Timestamp begin,
   ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
   ODH_RETURN_IF_ERROR(LogPut(WalRecord::Kind::kIrts, schema_type, id, begin,
                              end, /*interval=*/0, n, blob, zone_map));
+  ODH_ASSIGN_OR_RETURN(Segment * seg,
+                       GetSegmentForWrite(schema_type, container, begin));
   Row row = {Datum::Int64(id), Datum::Time(begin), Datum::Time(end),
              Datum::Int64(0),  Datum::Int64(n),    Datum::String(blob),
              Datum::String(zone_map)};
-  ODH_RETURN_IF_ERROR(container->irts->Insert(row).status());
-  UpdateStats(&container->irts_stats, begin, end, n, blob.size());
+  ODH_RETURN_IF_ERROR(seg->irts->Insert(row).status());
+  UpdateStats(&seg->irts_stats, begin, end, n, blob.size());
+  ++seg->manifest.version;
   return Status::OK();
 }
 
@@ -154,23 +217,24 @@ Status OdhStore::PutMg(int schema_type, int64_t group, Timestamp begin,
   ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
   ODH_RETURN_IF_ERROR(LogPut(WalRecord::Kind::kMg, schema_type, group,
                              begin, end, /*interval=*/0, n, blob, zone_map));
+  ODH_ASSIGN_OR_RETURN(Segment * seg,
+                       GetSegmentForWrite(schema_type, container, begin));
   Row row = {Datum::Time(begin), Datum::Int64(group), Datum::Time(end),
              Datum::Int64(n), Datum::String(blob),
              Datum::String(zone_map)};
-  ODH_RETURN_IF_ERROR(container->mg->Insert(row).status());
-  UpdateStats(&container->mg_stats, begin, end, n, blob.size());
+  ODH_RETURN_IF_ERROR(seg->mg->Insert(row).status());
+  UpdateStats(&seg->mg_stats, begin, end, n, blob.size());
+  ++seg->manifest.version;
   return Status::OK();
 }
 
 namespace {
 
-Result<std::vector<BlobRecord>> ScanSeries(relational::Table* table,
-                                           const ContainerStats& stats,
-                                           SourceId id, Timestamp lo,
-                                           Timestamp hi,
-                                           std::atomic<int64_t>* examined,
-                                           std::atomic<int64_t>* discarded) {
-  std::vector<BlobRecord> out;
+Status ScanSeries(relational::Table* table, const ContainerStats& stats,
+                  int64_t seg_key, SourceId id, Timestamp lo, Timestamp hi,
+                  std::atomic<int64_t>* examined,
+                  std::atomic<int64_t>* discarded,
+                  std::vector<BlobRecord>* out) {
   // Partition elimination: only blobs with begin_ts in
   // [lo - max_span, hi] can overlap [lo, hi].
   Timestamp scan_lo =
@@ -191,80 +255,114 @@ Result<std::vector<BlobRecord>> ScanSeries(relational::Table* table,
     rec.blob = row[5].string_value();
     rec.zone_map = row[6].string_value();
     rec.rid = it.rid();
+    rec.seg = seg_key;
     examined->fetch_add(1, std::memory_order_relaxed);
     if (rec.end >= lo) {
-      out.push_back(std::move(rec));
+      out->push_back(std::move(rec));
     } else {
       discarded->fetch_add(1, std::memory_order_relaxed);
     }
     ODH_RETURN_IF_ERROR(it.Next());
   }
-  return out;
+  return Status::OK();
 }
 
 }  // namespace
 
 Result<std::vector<BlobRecord>> OdhStore::GetRts(int schema_type,
                                                  SourceId id, Timestamp lo,
-                                                 Timestamp hi) {
+                                                 Timestamp hi,
+                                                 SegmentScanStats* stats) {
   std::lock_guard<std::mutex> lock(mu_);
   ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
-  return ScanSeries(container->rts, container->rts_stats, id, lo, hi,
-                    &blobs_examined_, &blobs_discarded_);
-}
-
-Result<std::vector<BlobRecord>> OdhStore::GetIrts(int schema_type,
-                                                  SourceId id, Timestamp lo,
-                                                  Timestamp hi) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
-  return ScanSeries(container->irts, container->irts_stats, id, lo, hi,
-                    &blobs_examined_, &blobs_discarded_);
-}
-
-Result<std::vector<BlobRecord>> OdhStore::GetMg(int schema_type,
-                                                int64_t group, Timestamp lo,
-                                                Timestamp hi) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
-  const ContainerStats& stats = container->mg_stats;
-  Timestamp scan_lo =
-      lo == kMinTimestamp ? kMinTimestamp : lo - stats.max_span;
-  if (scan_lo > lo) scan_lo = kMinTimestamp;
-  std::string lo_key = EncodeKey({Datum::Time(scan_lo)});
-  std::string hi_key = EncodeKey({Datum::Time(hi)});
-  ODH_ASSIGN_OR_RETURN(relational::Table::IndexIterator it,
-                       container->mg->IndexScan(0, lo_key, hi_key));
   std::vector<BlobRecord> out;
-  while (it.Valid()) {
-    ODH_ASSIGN_OR_RETURN(Row row, container->mg->Get(it.rid()));
-    BlobRecord rec;
-    rec.begin = row[0].timestamp_value();
-    rec.group = row[1].int64_value();
-    rec.end = row[2].timestamp_value();
-    rec.n = row[3].int64_value();
-    rec.blob = row[4].string_value();
-    rec.zone_map = row[5].string_value();
-    rec.rid = it.rid();
-    blobs_examined_.fetch_add(1, std::memory_order_relaxed);
-    if (rec.end >= lo && (group < 0 || rec.group == group)) {
-      out.push_back(std::move(rec));
-    } else {
-      blobs_discarded_.fetch_add(1, std::memory_order_relaxed);
+  for (auto& [key, seg] : container->segments) {
+    if (SegmentDisjoint(seg.rts_stats, lo, hi)) {
+      if (seg.rts_stats.blob_count > 0) CountSegmentPruned(stats);
+      continue;
     }
-    ODH_RETURN_IF_ERROR(it.Next());
+    ODH_RETURN_IF_ERROR(ScanSeries(seg.rts, seg.rts_stats, key, id, lo, hi,
+                                   &blobs_examined_, &blobs_discarded_,
+                                   &out));
   }
   return out;
 }
 
-Status OdhStore::DeleteMg(int schema_type, const relational::Rid& rid) {
+Result<std::vector<BlobRecord>> OdhStore::GetIrts(int schema_type,
+                                                  SourceId id, Timestamp lo,
+                                                  Timestamp hi,
+                                                  SegmentScanStats* stats) {
   std::lock_guard<std::mutex> lock(mu_);
   ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
+  std::vector<BlobRecord> out;
+  for (auto& [key, seg] : container->segments) {
+    if (SegmentDisjoint(seg.irts_stats, lo, hi)) {
+      if (seg.irts_stats.blob_count > 0) CountSegmentPruned(stats);
+      continue;
+    }
+    ODH_RETURN_IF_ERROR(ScanSeries(seg.irts, seg.irts_stats, key, id, lo,
+                                   hi, &blobs_examined_, &blobs_discarded_,
+                                   &out));
+  }
+  return out;
+}
+
+Result<std::vector<BlobRecord>> OdhStore::GetMg(int schema_type,
+                                                int64_t group, Timestamp lo,
+                                                Timestamp hi,
+                                                SegmentScanStats* stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
+  std::vector<BlobRecord> out;
+  for (auto& [key, seg] : container->segments) {
+    if (SegmentDisjoint(seg.mg_stats, lo, hi)) {
+      if (seg.mg_stats.blob_count > 0) CountSegmentPruned(stats);
+      continue;
+    }
+    Timestamp scan_lo =
+        lo == kMinTimestamp ? kMinTimestamp : lo - seg.mg_stats.max_span;
+    if (scan_lo > lo) scan_lo = kMinTimestamp;
+    std::string lo_key = EncodeKey({Datum::Time(scan_lo)});
+    std::string hi_key = EncodeKey({Datum::Time(hi)});
+    ODH_ASSIGN_OR_RETURN(relational::Table::IndexIterator it,
+                         seg.mg->IndexScan(0, lo_key, hi_key));
+    while (it.Valid()) {
+      ODH_ASSIGN_OR_RETURN(Row row, seg.mg->Get(it.rid()));
+      BlobRecord rec;
+      rec.begin = row[0].timestamp_value();
+      rec.group = row[1].int64_value();
+      rec.end = row[2].timestamp_value();
+      rec.n = row[3].int64_value();
+      rec.blob = row[4].string_value();
+      rec.zone_map = row[5].string_value();
+      rec.rid = it.rid();
+      rec.seg = key;
+      blobs_examined_.fetch_add(1, std::memory_order_relaxed);
+      if (rec.end >= lo && (group < 0 || rec.group == group)) {
+        out.push_back(std::move(rec));
+      } else {
+        blobs_discarded_.fetch_add(1, std::memory_order_relaxed);
+      }
+      ODH_RETURN_IF_ERROR(it.Next());
+    }
+  }
+  return out;
+}
+
+Status OdhStore::DeleteMg(int schema_type, int64_t seg_key,
+                          const relational::Rid& rid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
+  auto it = container->segments.find(seg_key);
+  if (it == container->segments.end()) {
+    return Status::NotFound("no segment " + std::to_string(seg_key));
+  }
+  Segment& seg = it->second;
   // Keep the count/byte stats honest for the cost model; the min/max/span
   // fields stay conservative.
-  auto row = container->mg->Get(rid);
+  auto row = seg.mg->Get(rid);
   if (row.ok()) {
-    ContainerStats& stats = container->mg_stats;
+    ContainerStats& stats = seg.mg_stats;
     --stats.blob_count;
     stats.point_count -= (*row)[kMgCount].int64_value();
     stats.blob_bytes -=
@@ -278,7 +376,8 @@ Status OdhStore::DeleteMg(int schema_type, const relational::Rid& rid) {
         (*row)[kMgEnd].timestamp_value(), /*interval=*/0,
         (*row)[kMgCount].int64_value(), Slice(), Slice()));
   }
-  return container->mg->Delete(rid);
+  ++seg.manifest.version;
+  return seg.mg->Delete(rid);
 }
 
 Status OdhStore::CompactMg(int schema_type) {
@@ -286,47 +385,392 @@ Status OdhStore::CompactMg(int schema_type) {
   ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
   ODH_ASSIGN_OR_RETURN(const SchemaType* type,
                        config_->GetSchemaType(schema_type));
-  std::string old_name = container->mg->name();
-  std::string new_name = "odh$" + type->name + "$mg$v" +
-                         std::to_string(++mg_version_);
-  ODH_ASSIGN_OR_RETURN(relational::Table * fresh,
-                       db_->CreateTable(new_name, MgSchema()));
-  ODH_RETURN_IF_ERROR(fresh->AddIndex({"pk", {kMgBegin, kMgGroup}}));
+  for (auto& [key, seg] : container->segments) {
+    std::string old_name = seg.mg->name();
+    std::string new_name =
+        SegmentPrefix(type->name, key, seg.manifest.generation) + "mg$v" +
+        std::to_string(++mg_version_);
+    ODH_ASSIGN_OR_RETURN(relational::Table * fresh,
+                         db_->CreateTable(new_name, MgSchema()));
+    ODH_RETURN_IF_ERROR(fresh->AddIndex({"pk", {kMgBegin, kMgGroup}}));
 
-  ContainerStats stats;
-  auto it = container->mg->NewIterator();
-  ODH_RETURN_IF_ERROR(it.SeekToFirst());
-  while (it.Valid()) {
-    ODH_ASSIGN_OR_RETURN(Row row, it.row());
-    ODH_RETURN_IF_ERROR(fresh->Insert(row).status());
-    UpdateStats(&stats, row[kMgBegin].timestamp_value(),
-                row[kMgEnd].timestamp_value(), row[kMgCount].int64_value(),
-                row[kMgBlob].string_value().size());
-    ODH_RETURN_IF_ERROR(it.Next());
+    ContainerStats stats;
+    auto it = seg.mg->NewIterator();
+    ODH_RETURN_IF_ERROR(it.SeekToFirst());
+    while (it.Valid()) {
+      ODH_ASSIGN_OR_RETURN(Row row, it.row());
+      ODH_RETURN_IF_ERROR(fresh->Insert(row).status());
+      UpdateStats(&stats, row[kMgBegin].timestamp_value(),
+                  row[kMgEnd].timestamp_value(),
+                  row[kMgCount].int64_value(),
+                  row[kMgBlob].string_value().size());
+      ODH_RETURN_IF_ERROR(it.Next());
+    }
+    ODH_RETURN_IF_ERROR(fresh->Commit());
+    ODH_RETURN_IF_ERROR(db_->DropTable(old_name));
+    seg.mg = fresh;
+    seg.mg_stats = stats;
+    ++seg.manifest.version;
   }
-  ODH_RETURN_IF_ERROR(fresh->Commit());
-  ODH_RETURN_IF_ERROR(db_->DropTable(old_name));
-  container->mg = fresh;
-  container->mg_stats = stats;
   return Status::OK();
 }
 
-Result<relational::Table*> OdhStore::RtsTable(int schema_type) {
+Status OdhStore::NextSliceChunk(int schema_type, bool irts, Timestamp lo,
+                                Timestamp hi, SliceCursor* cursor,
+                                std::vector<BlobRecord>* out, bool* done,
+                                SegmentScanStats* stats) {
+  out->clear();
+  *done = false;
   std::lock_guard<std::mutex> lock(mu_);
   ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
-  return container->rts;
+  auto it = container->segments.lower_bound(cursor->seg);
+  if (cursor->in_segment &&
+      (it == container->segments.end() || it->first != cursor->seg ||
+       it->second.manifest.generation != cursor->generation)) {
+    // The segment we were mid-way through was dropped or compacted into a
+    // new generation. Its replacement has a different physical layout, so
+    // the resume rid is meaningless — skip the remainder and move on
+    // (same contract as a drop between whole-segment chunks).
+    cursor->in_segment = false;
+    if (cursor->seg == INT64_MAX) {
+      *done = true;
+      return Status::OK();
+    }
+    ++cursor->seg;
+    it = container->segments.lower_bound(cursor->seg);
+  }
+  if (it == container->segments.end()) {
+    *done = true;
+    return Status::OK();
+  }
+  Segment& seg = it->second;
+  const int64_t key = it->first;
+  cursor->seg = key;
+  if (!cursor->in_segment) {
+    const ContainerStats& sstats = irts ? seg.irts_stats : seg.rts_stats;
+    if (SegmentDisjoint(sstats, lo, hi)) {
+      if (sstats.blob_count > 0) CountSegmentPruned(stats);
+      if (key == INT64_MAX) {
+        *done = true;
+      } else {
+        ++cursor->seg;
+      }
+      return Status::OK();
+    }
+  }
+  relational::Table* table = irts ? seg.irts : seg.rts;
+  auto rows = table->NewIterator();
+  if (cursor->in_segment) {
+    ODH_RETURN_IF_ERROR(rows.SeekAfter(cursor->last));
+  } else {
+    ODH_RETURN_IF_ERROR(rows.SeekToFirst());
+  }
+  int consumed = 0;
+  bool more = false;
+  relational::Rid last{};
+  while (rows.Valid()) {
+    ODH_ASSIGN_OR_RETURN(Row row, rows.row());
+    BlobRecord rec;
+    ODH_RETURN_IF_ERROR(
+        RowToBlobRecord(row, rows.rid(), /*is_mg=*/false, &rec));
+    rec.seg = key;
+    last = rows.rid();
+    ++consumed;
+    // Same overlap filter the streaming path applied; deliberately not
+    // counted in blobs_examined/discarded (slice scans never were).
+    if (rec.end >= lo && rec.begin <= hi) out->push_back(std::move(rec));
+    ODH_RETURN_IF_ERROR(rows.Next());
+    if (consumed >= kSliceChunkRows && rows.Valid()) {
+      more = true;
+      break;
+    }
+  }
+  if (more) {
+    cursor->in_segment = true;
+    cursor->generation = seg.manifest.generation;
+    cursor->last = last;
+  } else {
+    cursor->in_segment = false;
+    if (key == INT64_MAX) {
+      *done = true;
+    } else {
+      ++cursor->seg;
+    }
+  }
+  return Status::OK();
 }
 
-Result<relational::Table*> OdhStore::IrtsTable(int schema_type) {
+ContainerStats OdhStore::rts_stats(int schema_type) const {
   std::lock_guard<std::mutex> lock(mu_);
-  ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
-  return container->irts;
+  ContainerStats total;
+  auto it = containers_.find(schema_type);
+  if (it == containers_.end()) return total;
+  for (const auto& [key, seg] : it->second.segments) {
+    (void)key;
+    total.Merge(seg.rts_stats);
+  }
+  return total;
 }
 
-Result<relational::Table*> OdhStore::MgTable(int schema_type) {
+ContainerStats OdhStore::irts_stats(int schema_type) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ContainerStats total;
+  auto it = containers_.find(schema_type);
+  if (it == containers_.end()) return total;
+  for (const auto& [key, seg] : it->second.segments) {
+    (void)key;
+    total.Merge(seg.irts_stats);
+  }
+  return total;
+}
+
+ContainerStats OdhStore::mg_stats(int schema_type) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ContainerStats total;
+  auto it = containers_.find(schema_type);
+  if (it == containers_.end()) return total;
+  for (const auto& [key, seg] : it->second.segments) {
+    (void)key;
+    total.Merge(seg.mg_stats);
+  }
+  return total;
+}
+
+std::vector<SegmentInfo> OdhStore::SegmentInfos(int schema_type) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SegmentInfo> out;
+  auto it = containers_.find(schema_type);
+  if (it == containers_.end()) return out;
+  for (const auto& [key, seg] : it->second.segments) {
+    SegmentInfo info;
+    info.key = key;
+    info.lo = seg.manifest.lo;
+    info.hi = seg.manifest.hi;
+    info.generation = seg.manifest.generation;
+    info.tier = seg.manifest.tier;
+    for (const ContainerStats* s :
+         {&seg.rts_stats, &seg.irts_stats, &seg.mg_stats}) {
+      info.blob_count += s->blob_count;
+      info.point_count += s->point_count;
+      info.blob_bytes += s->blob_bytes;
+      if (s->min_ts < info.min_ts) info.min_ts = s->min_ts;
+      if (s->max_ts > info.max_ts) info.max_ts = s->max_ts;
+    }
+    out.push_back(info);
+  }
+  return out;
+}
+
+Status OdhStore::SetRetention(int schema_type, Timestamp retention_micros) {
+  if (retention_micros < 0) {
+    return Status::InvalidArgument("retention must be non-negative");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (containers_.count(schema_type) == 0) {
+    return Status::NotFound("no containers for schema type " +
+                            std::to_string(schema_type));
+  }
+  if (retention_micros == 0) {
+    retention_.erase(schema_type);
+  } else {
+    retention_[schema_type] = retention_micros;
+  }
+  return Status::OK();
+}
+
+Timestamp OdhStore::retention(int schema_type) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = retention_.find(schema_type);
+  return it == retention_.end() ? 0 : it->second;
+}
+
+Result<int64_t> OdhStore::ApplyRetention(int schema_type) {
   std::lock_guard<std::mutex> lock(mu_);
   ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
-  return container->mg;
+  auto rit = retention_.find(schema_type);
+  if (rit == retention_.end() || config_->options().segment_span == 0 ||
+      container->segments.size() < 2) {
+    return int64_t{0};
+  }
+  // Watermark: the newest ingested timestamp of this schema type.
+  Timestamp watermark = kMinTimestamp;
+  for (const auto& [key, seg] : container->segments) {
+    (void)key;
+    for (const ContainerStats* s :
+         {&seg.rts_stats, &seg.irts_stats, &seg.mg_stats}) {
+      if (s->max_ts > watermark) watermark = s->max_ts;
+    }
+  }
+  if (watermark == kMinTimestamp) return int64_t{0};
+  const Timestamp cutoff = watermark - rit->second;
+  const int64_t newest_key = container->segments.rbegin()->first;
+
+  std::vector<int64_t> expired;
+  for (const auto& [key, seg] : container->segments) {
+    if (key == newest_key) continue;  // Never drop the ingesting segment.
+    if (seg.manifest.hi > cutoff) continue;  // Nominal range not expired.
+    // Data bounds may spill past the nominal hi (a blob beginning near the
+    // boundary ends in the next window); never drop unexpired points.
+    Timestamp data_max = kMinTimestamp;
+    for (const ContainerStats* s :
+         {&seg.rts_stats, &seg.irts_stats, &seg.mg_stats}) {
+      if (s->max_ts > data_max) data_max = s->max_ts;
+    }
+    if (data_max >= cutoff) continue;
+    expired.push_back(key);
+  }
+
+  for (int64_t key : expired) {
+    Segment& seg = container->segments.at(key);
+    // WAL first, synced before any table goes away: recovery must know the
+    // drop happened before it can be allowed to forget the data records.
+    // A crash before the sync merely resurrects the expired segment; the
+    // next ApplyRetention drops it again.
+    ODH_RETURN_IF_ERROR(LogPut(WalRecord::Kind::kSegmentDrop, schema_type,
+                               key, seg.manifest.lo, seg.manifest.hi,
+                               /*interval=*/0, /*n=*/0, Slice(), Slice()));
+    ODH_RETURN_IF_ERROR(wal_->Sync());
+    ODH_RETURN_IF_ERROR(db_->DropTable(seg.rts->name()));
+    ODH_RETURN_IF_ERROR(db_->DropTable(seg.irts->name()));
+    ODH_RETURN_IF_ERROR(db_->DropTable(seg.mg->name()));
+    container->segments.erase(key);
+    segments_dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return static_cast<int64_t>(expired.size());
+}
+
+std::vector<int64_t> OdhStore::SealedHotSegments(int schema_type) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int64_t> out;
+  auto it = containers_.find(schema_type);
+  if (it == containers_.end() || it->second.segments.size() < 2 ||
+      config_->options().segment_span == 0) {
+    return out;
+  }
+  const int64_t newest_key = it->second.segments.rbegin()->first;
+  for (const auto& [key, seg] : it->second.segments) {
+    if (key == newest_key) continue;
+    if (seg.manifest.tier != SegmentTier::kHot) continue;
+    if (seg.rts_stats.blob_count + seg.irts_stats.blob_count == 0) continue;
+    out.push_back(key);
+  }
+  return out;
+}
+
+Result<SegmentSnapshot> OdhStore::SnapshotSegment(int schema_type,
+                                                  int64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ODH_ASSIGN_OR_RETURN(const Container* container,
+                       GetContainer(schema_type));
+  auto it = container->segments.find(key);
+  if (it == container->segments.end()) {
+    return Status::NotFound("no segment " + std::to_string(key));
+  }
+  const Segment& seg = it->second;
+  SegmentSnapshot snap;
+  snap.manifest = seg.manifest;
+  for (bool irts : {false, true}) {
+    relational::Table* table = irts ? seg.irts : seg.rts;
+    std::vector<BlobRecord>* out = irts ? &snap.irts : &snap.rts;
+    auto rows = table->NewIterator();
+    ODH_RETURN_IF_ERROR(rows.SeekToFirst());
+    while (rows.Valid()) {
+      ODH_ASSIGN_OR_RETURN(Row row, rows.row());
+      BlobRecord rec;
+      ODH_RETURN_IF_ERROR(
+          RowToBlobRecord(row, rows.rid(), /*is_mg=*/false, &rec));
+      rec.seg = key;
+      out->push_back(std::move(rec));
+      ODH_RETURN_IF_ERROR(rows.Next());
+    }
+  }
+  return snap;
+}
+
+Status OdhStore::SwapCompactedSegment(int schema_type, int64_t key,
+                                      uint64_t expected_version,
+                                      const std::vector<BlobRecord>& rts,
+                                      const std::vector<BlobRecord>& irts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
+  ODH_ASSIGN_OR_RETURN(const SchemaType* type,
+                       config_->GetSchemaType(schema_type));
+  auto it = container->segments.find(key);
+  if (it == container->segments.end()) {
+    return Status::NotFound("no segment " + std::to_string(key));
+  }
+  Segment& seg = it->second;
+  if (seg.manifest.version != expected_version) {
+    return Status::Aborted("segment " + std::to_string(key) +
+                           " changed during compaction");
+  }
+
+  // One contiguous WAL episode under mu_: Begin (carrying the segment's
+  // nominal bounds so recovery can suppress the superseded records), the
+  // replacement blobs, Commit. Synced before the in-memory swap so a crash
+  // at any later point replays the compacted segment, and a crash before
+  // the Commit frame is durable discards the episode and keeps the old
+  // one — exactly one of the two ever survives.
+  ODH_RETURN_IF_ERROR(LogPut(WalRecord::Kind::kSegmentCompactBegin,
+                             schema_type, key, seg.manifest.lo,
+                             seg.manifest.hi, /*interval=*/0, /*n=*/0,
+                             Slice(), Slice()));
+  for (const BlobRecord& rec : rts) {
+    ODH_RETURN_IF_ERROR(LogPut(WalRecord::Kind::kRts, schema_type, rec.id,
+                               rec.begin, rec.end, rec.interval, rec.n,
+                               rec.blob, rec.zone_map));
+  }
+  for (const BlobRecord& rec : irts) {
+    ODH_RETURN_IF_ERROR(LogPut(WalRecord::Kind::kIrts, schema_type, rec.id,
+                               rec.begin, rec.end, /*interval=*/0, rec.n,
+                               rec.blob, rec.zone_map));
+  }
+  ODH_RETURN_IF_ERROR(LogPut(WalRecord::Kind::kSegmentCompactCommit,
+                             schema_type, key, seg.manifest.lo,
+                             seg.manifest.hi, /*interval=*/0, /*n=*/0,
+                             Slice(), Slice()));
+  ODH_RETURN_IF_ERROR(wal_->Sync());
+
+  // Build the next generation's tables, then swap and drop the old ones.
+  const int next_gen = seg.manifest.generation + 1;
+  const std::string prefix = SegmentPrefix(type->name, key, next_gen);
+  ODH_ASSIGN_OR_RETURN(relational::Table * new_rts,
+                       db_->CreateTable(prefix + "rts", SeriesSchema()));
+  ODH_RETURN_IF_ERROR(new_rts->AddIndex({"pk", {kSeriesId, kSeriesBegin}}));
+  ODH_ASSIGN_OR_RETURN(relational::Table * new_irts,
+                       db_->CreateTable(prefix + "irts", SeriesSchema()));
+  ODH_RETURN_IF_ERROR(
+      new_irts->AddIndex({"pk", {kSeriesId, kSeriesBegin}}));
+  ContainerStats rts_stats, irts_stats;
+  for (const BlobRecord& rec : rts) {
+    Row row = {Datum::Int64(rec.id),       Datum::Time(rec.begin),
+               Datum::Time(rec.end),       Datum::Int64(rec.interval),
+               Datum::Int64(rec.n),        Datum::String(rec.blob),
+               Datum::String(rec.zone_map)};
+    ODH_RETURN_IF_ERROR(new_rts->Insert(row).status());
+    UpdateStats(&rts_stats, rec.begin, rec.end, rec.n, rec.blob.size());
+  }
+  for (const BlobRecord& rec : irts) {
+    Row row = {Datum::Int64(rec.id), Datum::Time(rec.begin),
+               Datum::Time(rec.end), Datum::Int64(0),
+               Datum::Int64(rec.n),  Datum::String(rec.blob),
+               Datum::String(rec.zone_map)};
+    ODH_RETURN_IF_ERROR(new_irts->Insert(row).status());
+    UpdateStats(&irts_stats, rec.begin, rec.end, rec.n, rec.blob.size());
+  }
+  ODH_RETURN_IF_ERROR(new_rts->Commit());
+  ODH_RETURN_IF_ERROR(new_irts->Commit());
+  ODH_RETURN_IF_ERROR(db_->DropTable(seg.rts->name()));
+  ODH_RETURN_IF_ERROR(db_->DropTable(seg.irts->name()));
+  seg.rts = new_rts;
+  seg.irts = new_irts;
+  seg.rts_stats = rts_stats;
+  seg.irts_stats = irts_stats;
+  seg.manifest.generation = next_gen;
+  seg.manifest.tier = SegmentTier::kCold;
+  ++seg.manifest.version;
+  segments_compacted_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
 }
 
 Status OdhStore::RowToBlobRecord(const Row& row, const relational::Rid& rid,
@@ -357,9 +801,13 @@ Status OdhStore::Sync(int schema_type) {
   // Write-ahead: the log reaches disk before the table pages, so any blob
   // visible in the flushed containers is also replayable.
   if (wal_ != nullptr) ODH_RETURN_IF_ERROR(wal_->Sync());
-  ODH_RETURN_IF_ERROR(container->rts->Commit());
-  ODH_RETURN_IF_ERROR(container->irts->Commit());
-  return container->mg->Commit();
+  for (auto& [key, seg] : container->segments) {
+    (void)key;
+    ODH_RETURN_IF_ERROR(seg.rts->Commit());
+    ODH_RETURN_IF_ERROR(seg.irts->Commit());
+    ODH_RETURN_IF_ERROR(seg.mg->Commit());
+  }
+  return Status::OK();
 }
 
 Result<RecoveryReport> OdhStore::Recover(storage::SimDisk* crashed_disk) {
@@ -371,24 +819,87 @@ Result<RecoveryReport> OdhStore::Recover(storage::SimDisk* crashed_disk) {
 
   std::vector<WalRecord> records;
   records.reserve(log.records.size());
-  // MG deletions cancel one matching earlier Put each; collect them first
-  // (rids are not stable across recovery, so matching is by content key).
-  using MgKey = std::tuple<int, int64_t, Timestamp, Timestamp, int64_t>;
-  std::multiset<MgKey> mg_deletes;
   for (const std::string& payload : log.records) {
     WalRecord rec;
     if (!WalRecord::Decode(payload, &rec)) {
       ++report.undecodable_records;
       continue;
     }
+    records.push_back(std::move(rec));
+  }
+
+  // Pass 1: classify segment ops. A committed compaction episode
+  // (Begin..Commit, appended contiguously under the store mutex) or a
+  // retention drop supersedes every EARLIER data record of its schema type
+  // whose begin lies inside the logged segment bounds; an episode whose
+  // Commit never made it to the log is discarded wholesale.
+  struct Supersede {
+    int schema_type;
+    Timestamp lo, hi;  // hi exclusive.
+    size_t cutoff;     // Records before this index are superseded.
+  };
+  std::vector<Supersede> supersedes;
+  std::vector<bool> skip(records.size(), false);
+  size_t open_begin = records.size();  // == size: no open episode.
+  for (size_t i = 0; i < records.size(); ++i) {
+    const WalRecord& rec = records[i];
+    if (rec.kind == WalRecord::Kind::kSegmentCompactBegin) {
+      skip[i] = true;
+      open_begin = i;
+    } else if (rec.kind == WalRecord::Kind::kSegmentCompactCommit) {
+      skip[i] = true;
+      if (open_begin < i) {
+        supersedes.push_back(
+            {rec.schema_type, rec.begin, rec.end, open_begin});
+      }
+      open_begin = records.size();
+    } else if (rec.kind == WalRecord::Kind::kSegmentDrop) {
+      skip[i] = true;
+      supersedes.push_back({rec.schema_type, rec.begin, rec.end, i});
+    }
+  }
+  if (open_begin < records.size()) {
+    // Crash mid-episode: the suffix from Begin on is the half-written
+    // rewrite. Drop it; the superseded originals replay normally.
+    for (size_t i = open_begin; i < records.size(); ++i) {
+      if (!skip[i]) {
+        skip[i] = true;
+        ++report.uncommitted_episode_records;
+      }
+    }
+  }
+  for (const Supersede& s : supersedes) {
+    for (size_t i = 0; i < s.cutoff; ++i) {
+      if (skip[i]) continue;
+      const WalRecord& rec = records[i];
+      if (rec.schema_type != s.schema_type || !IsDataRecord(rec.kind)) {
+        continue;
+      }
+      if (rec.begin >= s.lo && rec.begin < s.hi) {
+        skip[i] = true;
+        ++report.records_superseded;
+      }
+    }
+  }
+
+  // MG deletions cancel one matching earlier Put each; collect the
+  // surviving ones (rids are not stable across recovery, so matching is
+  // by content key).
+  using MgKey = std::tuple<int, int64_t, Timestamp, Timestamp, int64_t>;
+  std::multiset<MgKey> mg_deletes;
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (skip[i]) continue;
+    const WalRecord& rec = records[i];
     if (rec.kind == WalRecord::Kind::kMgDelete) {
       mg_deletes.insert(
           {rec.schema_type, rec.id_or_group, rec.begin, rec.end, rec.n});
     }
-    records.push_back(std::move(rec));
   }
 
-  for (const WalRecord& rec : records) {
+  // Pass 2: replay the survivors in log order through the normal Puts.
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (skip[i]) continue;
+    const WalRecord& rec = records[i];
     switch (rec.kind) {
       case WalRecord::Kind::kRts:
         ODH_RETURN_IF_ERROR(PutRts(rec.schema_type, rec.id_or_group,
@@ -417,6 +928,10 @@ Result<RecoveryReport> OdhStore::Recover(storage::SimDisk* crashed_disk) {
       }
       case WalRecord::Kind::kMgDelete:
         break;  // Applied via the skip above.
+      case WalRecord::Kind::kSegmentCompactBegin:
+      case WalRecord::Kind::kSegmentCompactCommit:
+      case WalRecord::Kind::kSegmentDrop:
+        break;  // Control records, consumed in pass 1.
     }
   }
   report.records_replayed =

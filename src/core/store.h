@@ -12,6 +12,7 @@
 #include "core/config.h"
 #include "core/wal.h"
 #include "relational/database.h"
+#include "storage/segment.h"
 
 namespace odh::core {
 
@@ -27,6 +28,12 @@ struct RecoveryReport {
   uint64_t torn_bytes_dropped = 0;  // Bytes after the first torn frame.
   uint64_t undecodable_records = 0;  // CRC-valid but unparseable (never
                                      // expected; counted, not fatal).
+  /// Data records suppressed because a later committed compaction episode
+  /// or retention drop superseded them.
+  uint64_t records_superseded = 0;
+  /// Records of a compaction episode whose Commit never reached the log:
+  /// discarded wholesale, the pre-compaction segment survives.
+  uint64_t uncommitted_episode_records = 0;
 };
 
 /// Aggregate statistics per container, maintained on every Put. The cost
@@ -48,6 +55,16 @@ struct ContainerStats {
   double AvgPointsPerBlob() const {
     return blob_count > 0 ? static_cast<double>(point_count) / blob_count : 0;
   }
+
+  /// Folds `other` in (segment stats -> schema-type aggregate).
+  void Merge(const ContainerStats& other) {
+    blob_count += other.blob_count;
+    point_count += other.point_count;
+    blob_bytes += other.blob_bytes;
+    if (other.min_ts < min_ts) min_ts = other.min_ts;
+    if (other.max_ts > max_ts) max_ts = other.max_ts;
+    if (other.max_span > max_span) max_span = other.max_span;
+  }
 };
 
 /// A fetched batch record.
@@ -61,23 +78,75 @@ struct BlobRecord {
   std::string blob;
   std::string zone_map;   // Encoded ZoneMap (may be empty on old rows).
   relational::Rid rid;
+  /// Key of the segment the record came from (0 in the unsegmented
+  /// layout). A rid is only meaningful together with its segment.
+  int64_t seg = 0;
 };
 
-/// The ODH storage component: one container triple (RTS / IRTS / MG
-/// tables) per schema type, stored in the embedded relational engine with
-/// B-tree indexes on the first two fields of each structure — exactly the
-/// paper's Figure 1 layout. Time-range scans do partition elimination via
-/// the (id|begin_ts, begin_ts|group) index plus the max-span widening.
+/// Per-scan segment-elimination counters, filled by the Get*/slice entry
+/// points when the caller passes one (the reader threads them into the
+/// per-query ScanCounters so EXPLAIN PROFILE can report segment pruning
+/// next to blob pruning without double counting: blobs inside a pruned
+/// segment are never examined, so they appear in neither blob counter).
+struct SegmentScanStats {
+  int64_t segments_pruned = 0;
+};
+
+/// One row of the odh_storage per-segment listing.
+struct SegmentInfo {
+  int64_t key = 0;
+  Timestamp lo = 0;
+  Timestamp hi = 0;
+  int generation = 0;
+  storage::SegmentTier tier = storage::SegmentTier::kHot;
+  int64_t blob_count = 0;
+  int64_t point_count = 0;
+  int64_t blob_bytes = 0;
+  Timestamp min_ts = kMaxTimestamp;  // Data bounds (kMax/kMin when empty).
+  Timestamp max_ts = kMinTimestamp;
+};
+
+/// Snapshot of one segment's series blobs, taken under the store mutex for
+/// the compactor to rewrite outside it. `version` is the manifest version
+/// at snapshot time; SwapCompactedSegment refuses the swap when the
+/// segment changed since (a racing Put or drop).
+struct SegmentSnapshot {
+  storage::SegmentManifest manifest;
+  std::vector<BlobRecord> rts;
+  std::vector<BlobRecord> irts;
+};
+
+/// The ODH storage component: containers per schema type, each split into
+/// time-partitioned segments. A segment owns a contiguous nominal time
+/// range [lo, hi) of blobs — routed by floor(begin_ts / segment_span) — as
+/// its own RTS / IRTS / MG table triple in the embedded relational engine,
+/// with B-tree indexes on the first two fields of each structure (the
+/// paper's Figure 1 layout, now per segment). A per-segment manifest keeps
+/// the time bounds, tier, generation and per-structure stats; every scan
+/// consults the manifests first, so a recent-window query skips cold
+/// history with O(segments) metadata checks and zero page reads
+/// (segments_pruned counts those skips). With segment_span == 0 (the
+/// default) there is exactly one unbounded segment per schema type and
+/// behavior is identical to the pre-segment store.
+///
+/// Segments are the unit of compaction (SnapshotSegment /
+/// SwapCompactedSegment, driven by core::SegmentCompactor) and of
+/// retention (SetRetention / ApplyRetention): an expired segment is
+/// dropped as an O(1) metadata operation — one WAL record, table drops,
+/// map erase — never a scan-and-delete. Both are WAL-logged so Recover()
+/// replays a committed rewrite/drop and rolls back an uncommitted one.
 ///
 /// Thread-safe: one store mutex serializes table mutations, index scans,
 /// stats updates and WAL appends (the relational tables underneath are not
 /// concurrent). Writer shards do their buffering and blob encoding outside
 /// this lock, so the store is the serialization point, not the whole write
 /// path. Lock order: writer shard -> store -> WAL -> disk; the store never
-/// calls back into the writer. Exceptions: Recover() takes no lock itself
+/// calls back into the writer. Exception: Recover() takes no lock itself
 /// (it replays through the locked Put/Sync entry points and runs on a
-/// quiescent store), and the Table* accessors hand out iterators whose use
-/// requires external quiescence (slice streaming).
+/// quiescent store). Slice scans materialize one bounded chunk of rows per
+/// call under the mutex (NextSliceChunk), so no table pointer or iterator
+/// ever leaves the lock — a concurrent retention drop can never invalidate
+/// a cursor mid-scan.
 class OdhStore {
  public:
   /// Name of the store's write-ahead log file on the database disk. (The
@@ -91,7 +160,9 @@ class OdhStore {
   OdhStore(const OdhStore&) = delete;
   OdhStore& operator=(const OdhStore&) = delete;
 
-  /// Creates the three internal tables for a schema type.
+  /// Creates the container for a schema type. With segment_span == 0 this
+  /// creates the single unbounded segment's tables immediately; otherwise
+  /// segments materialize lazily at the first Put that routes to them.
   Status CreateContainers(int schema_type);
 
   Status PutRts(int schema_type, SourceId id, Timestamp begin, Timestamp end,
@@ -104,36 +175,106 @@ class OdhStore {
                Timestamp end, int64_t n, const std::string& blob,
                const std::string& zone_map = {});
 
-  /// Blobs of `id` overlapping [lo, hi], in begin_ts order.
+  /// Blobs of `id` overlapping [lo, hi], in begin_ts order. Segments whose
+  /// data bounds are disjoint from [lo, hi] are skipped without touching
+  /// their tables (`stats->segments_pruned` counts the skips).
   Result<std::vector<BlobRecord>> GetRts(int schema_type, SourceId id,
-                                         Timestamp lo, Timestamp hi);
+                                         Timestamp lo, Timestamp hi,
+                                         SegmentScanStats* stats = nullptr);
   Result<std::vector<BlobRecord>> GetIrts(int schema_type, SourceId id,
-                                          Timestamp lo, Timestamp hi);
+                                          Timestamp lo, Timestamp hi,
+                                          SegmentScanStats* stats = nullptr);
 
   /// MG blobs overlapping [lo, hi]; `group` < 0 means all groups.
   Result<std::vector<BlobRecord>> GetMg(int schema_type, int64_t group,
-                                        Timestamp lo, Timestamp hi);
+                                        Timestamp lo, Timestamp hi,
+                                        SegmentScanStats* stats = nullptr);
 
-  /// Removes an MG blob (used by the reorganizer after conversion).
-  Status DeleteMg(int schema_type, const relational::Rid& rid);
+  /// Removes an MG blob (used by the reorganizer after conversion). `seg`
+  /// is the BlobRecord::seg the blob was fetched with — rids are only
+  /// unique within one segment's table.
+  Status DeleteMg(int schema_type, int64_t seg, const relational::Rid& rid);
 
-  /// Rebuilds the MG container, reclaiming the space of deleted blobs
-  /// (run after reorganization; heap pages are never compacted in place).
+  /// Rebuilds every segment's MG table, reclaiming the space of deleted
+  /// blobs (run after reorganization; heap pages are never compacted in
+  /// place).
   Status CompactMg(int schema_type);
 
-  /// Stats snapshots (copied under the store mutex; safe during ingest).
-  ContainerStats rts_stats(int schema_type) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return containers_.at(schema_type).rts_stats;
-  }
-  ContainerStats irts_stats(int schema_type) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return containers_.at(schema_type).irts_stats;
-  }
-  ContainerStats mg_stats(int schema_type) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return containers_.at(schema_type).mg_stats;
-  }
+  /// Resume point of a chunked slice scan. Value-type state only: no
+  /// table pointer or iterator survives between calls, so a concurrent
+  /// segment drop or compaction can never invalidate a cursor — the next
+  /// chunk just skips the vanished rows.
+  struct SliceCursor {
+    int64_t seg = INT64_MIN;  // Next segment key to visit (or current).
+    bool in_segment = false;  // Resuming inside `seg` after `last`.
+    int generation = 0;       // Generation `last` was read from.
+    relational::Rid last;     // Physically last row already returned.
+  };
+
+  /// Chunked slice scan: materializes up to kSliceChunkRows blob rows of
+  /// one segment's RTS or IRTS table overlapping [lo, hi] per call, under
+  /// the store mutex — a scan over years of history never holds more than
+  /// one chunk of blob rows. Start with a default SliceCursor; the call
+  /// advances it. `*done` turns true when no rows remain (out may be
+  /// empty on any call — keep calling until done). Chunks arrive in
+  /// segment-key then physical order, so concatenated results are
+  /// begin_ts-ordered per source. If the current segment is compacted or
+  /// dropped between chunks (generation mismatch), its remaining rows are
+  /// skipped rather than re-read from a different layout.
+  static constexpr int kSliceChunkRows = 8;
+  Status NextSliceChunk(int schema_type, bool irts, Timestamp lo,
+                        Timestamp hi, SliceCursor* cursor,
+                        std::vector<BlobRecord>* out, bool* done,
+                        SegmentScanStats* stats = nullptr);
+
+  /// Stats snapshots, aggregated across segments (copied under the store
+  /// mutex; safe during ingest).
+  ContainerStats rts_stats(int schema_type) const;
+  ContainerStats irts_stats(int schema_type) const;
+  ContainerStats mg_stats(int schema_type) const;
+
+  /// Per-segment manifest + stats listing, key order (odh_storage rows).
+  std::vector<SegmentInfo> SegmentInfos(int schema_type) const;
+
+  // --- Retention -------------------------------------------------------
+
+  /// Sets (or with 0 clears) the retention interval for a schema type.
+  /// Takes effect at the next ApplyRetention call. Fails on a negative
+  /// interval or an unknown schema type.
+  Status SetRetention(int schema_type, Timestamp retention_micros);
+  Timestamp retention(int schema_type) const;
+
+  /// Drops every expired segment of `schema_type`: nominal bounds AND data
+  /// bounds entirely before (max ingested ts - retention). The newest
+  /// segment never drops, segment_span == 0 never drops, no retention set
+  /// never drops. Each drop is one WAL record (synced before the tables
+  /// go away) plus table drops and a map erase — O(1) in the number of
+  /// dropped points, no page reads of dropped data. Returns the number of
+  /// segments dropped.
+  Result<int64_t> ApplyRetention(int schema_type);
+
+  // --- Compaction (driven by core::SegmentCompactor) -------------------
+
+  /// Keys of sealed hot segments: every hot segment except the
+  /// highest-keyed one (still ingesting). Empty when segment_span == 0.
+  std::vector<int64_t> SealedHotSegments(int schema_type) const;
+
+  /// Copies one segment's manifest and series blobs out under the mutex.
+  Result<SegmentSnapshot> SnapshotSegment(int schema_type, int64_t key) const;
+
+  /// Atomically replaces a segment's RTS/IRTS tables with the compacted
+  /// blobs. Aborted when the segment's version moved past
+  /// `expected_version` (a Put or drop raced the rewrite — retry later).
+  /// The swap WAL-logs one kSegmentCompactBegin, the replacement blob
+  /// records, and one kSegmentCompactCommit contiguously, then syncs the
+  /// log before the in-memory swap: recovery replays the episode if the
+  /// Commit made it to disk and discards it (keeping the old segment)
+  /// otherwise. The MG table is never rewritten — merging MG blobs would
+  /// break the WAL's content-keyed kMgDelete cancellation.
+  Status SwapCompactedSegment(int schema_type, int64_t key,
+                              uint64_t expected_version,
+                              const std::vector<BlobRecord>& rts,
+                              const std::vector<BlobRecord>& irts);
 
   /// Flushes buffered table writes (ODH ingestion has no transactions; this
   /// is a page flush, not a commit). The store WAL is synced first, so every
@@ -147,6 +288,14 @@ class OdhStore {
   /// Put path, so heap rows, B-tree entries, container stats and this
   /// store's own WAL are all rebuilt. The torn tail (an interrupted Sync)
   /// is detected via per-record CRC32C and dropped.
+  ///
+  /// Segment ops replay in two passes: pass one classifies compaction
+  /// episodes (Begin..Commit) and retention drops, pass two replays every
+  /// surviving data record in log order. A committed episode or a drop
+  /// suppresses all earlier data records of its schema type whose begin
+  /// falls inside the logged segment bounds; an episode without a Commit
+  /// is discarded wholesale, so exactly one of {old segment, compacted
+  /// segment} survives any crash point.
   Result<RecoveryReport> Recover(storage::SimDisk* crashed_disk);
 
   /// The store's write-ahead log, nullptr until the first Put. Exposed for
@@ -190,20 +339,25 @@ class OdhStore {
   int64_t blobs_discarded() const {
     return blobs_discarded_.load(std::memory_order_relaxed);
   }
-
-  /// Direct access to the container tables for streaming full scans (slice
-  /// queries over per-source structures have no index to use). Internal to
-  /// the core module.
-  Result<relational::Table*> RtsTable(int schema_type);
-  Result<relational::Table*> IrtsTable(int schema_type);
-  Result<relational::Table*> MgTable(int schema_type);
+  /// Segment-level elimination and lifecycle counters (store-global; the
+  /// per-query twin lives in common::ScanCounters).
+  int64_t segments_pruned() const {
+    return segments_pruned_.load(std::memory_order_relaxed);
+  }
+  int64_t segments_compacted() const {
+    return segments_compacted_.load(std::memory_order_relaxed);
+  }
+  int64_t segments_dropped() const {
+    return segments_dropped_.load(std::memory_order_relaxed);
+  }
 
   /// Decodes a series-container row fetched by a streaming scan.
   static Status RowToBlobRecord(const Row& row, const relational::Rid& rid,
                                 bool is_mg, BlobRecord* rec);
 
  private:
-  struct Container {
+  struct Segment {
+    storage::SegmentManifest manifest;
     relational::Table* rts = nullptr;
     relational::Table* irts = nullptr;
     relational::Table* mg = nullptr;
@@ -212,7 +366,37 @@ class OdhStore {
     ContainerStats mg_stats;
   };
 
+  struct Container {
+    std::map<int64_t, Segment> segments;  // Key order == time order.
+  };
+
   Result<Container*> GetContainer(int schema_type);
+  Result<const Container*> GetContainer(int schema_type) const;
+
+  /// Finds or lazily creates the segment covering `begin`.
+  Result<Segment*> GetSegmentForWrite(int schema_type, Container* container,
+                                      Timestamp begin);
+
+  /// Creates a segment's three tables (+ pk indexes) and manifest.
+  Result<Segment> CreateSegment(int schema_type, int64_t key,
+                                int generation);
+
+  /// Table-name prefix for one segment generation. The unsegmented layout
+  /// keeps the historical flat names ("odh$<type>$rts").
+  std::string SegmentPrefix(const std::string& type_name, int64_t key,
+                            int generation) const;
+
+  /// True when the segment cannot contain any blob overlapping [lo, hi]
+  /// for the structure described by `stats` (data bounds, not nominal).
+  static bool SegmentDisjoint(const ContainerStats& stats, Timestamp lo,
+                              Timestamp hi) {
+    return stats.blob_count == 0 || stats.max_ts < lo || stats.min_ts > hi;
+  }
+
+  void CountSegmentPruned(SegmentScanStats* stats) {
+    segments_pruned_.fetch_add(1, std::memory_order_relaxed);
+    if (stats != nullptr) ++stats->segments_pruned;
+  }
 
   /// Lazily creates the WAL file and appends one record to it. Called
   /// before the corresponding heap/index write.
@@ -227,9 +411,11 @@ class OdhStore {
 
   relational::Database* db_;
   ConfigComponent* config_;
-  /// Guards containers_, their stats, wal_ creation and mg_version_.
+  /// Guards containers_, their segments and stats, retention_, wal_
+  /// creation and mg_version_.
   mutable std::mutex mu_;
   std::map<int, Container> containers_;
+  std::map<int, Timestamp> retention_;
   std::unique_ptr<Wal> wal_;
   /// Pre-resolved WAL instruments (guarded by mu_), handed to the Wal at
   /// its lazy creation without touching the registry.
@@ -238,6 +424,9 @@ class OdhStore {
   common::Counter* wal_piggybacked_ = nullptr;
   mutable std::atomic<int64_t> blobs_examined_{0};
   mutable std::atomic<int64_t> blobs_discarded_{0};
+  mutable std::atomic<int64_t> segments_pruned_{0};
+  std::atomic<int64_t> segments_compacted_{0};
+  std::atomic<int64_t> segments_dropped_{0};
 };
 
 }  // namespace odh::core

@@ -72,7 +72,8 @@ QueriesSystemTable::QueriesSystemTable(const sql::SqlEngine* engine)
                {"blobs_skipped_by_summary", DataType::kInt64},
                {"blob_bytes_read", DataType::kInt64},
                {"plan_micros", DataType::kDouble},
-               {"total_micros", DataType::kDouble}}) {}
+               {"total_micros", DataType::kDouble},
+               {"segments_pruned", DataType::kInt64}}) {}
 
 Result<std::unique_ptr<sql::RowCursor>> QueriesSystemTable::Scan(
     const sql::ScanSpec& spec) {
@@ -86,7 +87,8 @@ Result<std::unique_ptr<sql::RowCursor>> QueriesSystemTable::Scan(
                     Datum::Int64(p.blobs_skipped_by_summary),
                     Datum::Int64(p.blob_bytes_read),
                     Datum::Double(p.plan_micros),
-                    Datum::Double(p.total_micros)});
+                    Datum::Double(p.total_micros),
+                    Datum::Int64(p.segments_pruned)});
   }
   return MakeCursor(std::move(rows), spec);
 }
@@ -108,7 +110,14 @@ StorageSystemTable::StorageSystemTable(const ConfigComponent* config,
                {"point_count", DataType::kInt64},
                {"blob_bytes", DataType::kInt64},
                {"raw_bytes", DataType::kInt64},
-               {"compression_ratio", DataType::kDouble}}) {}
+               {"compression_ratio", DataType::kDouble},
+               // Segment columns (appended; NULL on the aggregate
+               // 'rts'/'irts'/'mg' rows, filled on 'segment' rows).
+               {"segment_key", DataType::kInt64},
+               {"generation", DataType::kInt64},
+               {"tier", DataType::kString},
+               {"lo_ts", DataType::kInt64},
+               {"hi_ts", DataType::kInt64}}) {}
 
 Result<std::unique_ptr<sql::RowCursor>> StorageSystemTable::Scan(
     const sql::ScanSpec& spec) {
@@ -135,7 +144,29 @@ Result<std::unique_ptr<sql::RowCursor>> StorageSystemTable::Scan(
                       Datum::Int64(stats.blob_count),
                       Datum::Int64(stats.point_count),
                       Datum::Int64(stats.blob_bytes),
-                      Datum::Int64(raw_bytes), Datum::Double(ratio)});
+                      Datum::Int64(raw_bytes), Datum::Double(ratio),
+                      Datum::Null(), Datum::Null(), Datum::Null(),
+                      Datum::Null(), Datum::Null()});
+    }
+    // One row per segment, key (= time) order: the partition-level view
+    // behind the aggregates. container = 'segment' keeps the aggregate
+    // rows' consumers (WHERE container = 'rts') unaffected.
+    for (const SegmentInfo& seg : store_->SegmentInfos(t)) {
+      const int64_t raw_bytes = seg.point_count * value_width;
+      const double ratio =
+          seg.blob_bytes > 0
+              ? static_cast<double>(raw_bytes) / seg.blob_bytes
+              : 0.0;
+      rows.push_back({Datum::Int64(t), Datum::String(type->name),
+                      Datum::String("segment"),
+                      Datum::Int64(seg.blob_count),
+                      Datum::Int64(seg.point_count),
+                      Datum::Int64(seg.blob_bytes),
+                      Datum::Int64(raw_bytes), Datum::Double(ratio),
+                      Datum::Int64(seg.key),
+                      Datum::Int64(seg.generation),
+                      Datum::String(storage::SegmentTierName(seg.tier)),
+                      Datum::Int64(seg.lo), Datum::Int64(seg.hi)});
     }
   }
   return MakeCursor(std::move(rows), spec);

@@ -51,7 +51,7 @@ void WalRecord::EncodeTo(std::string* dst) const {
 bool WalRecord::Decode(Slice input, WalRecord* record) {
   if (input.empty()) return false;
   uint8_t kind = static_cast<uint8_t>(input[0]);
-  if (kind < 1 || kind > 4) return false;
+  if (kind < 1 || kind > 7) return false;
   record->kind = static_cast<Kind>(kind);
   input.remove_prefix(1);
   uint32_t schema_type;

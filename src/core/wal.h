@@ -30,6 +30,19 @@ struct WalRecord {
     /// (schema_type, group, begin, end, n); rids are not stable across
     /// recovery, so the match is by content key.
     kMgDelete = 4,
+    /// Segment compaction episode. Begin carries the compacted segment's
+    /// nominal time bounds in begin/end and its key in id_or_group; the
+    /// replacement kRts/kIrts records follow contiguously, then Commit
+    /// closes the episode. Recovery replays a committed episode's
+    /// replacement blobs and suppresses every earlier data record of that
+    /// schema type whose begin falls inside the bounds; an episode with no
+    /// Commit is discarded wholesale (the old segment survives untouched).
+    kSegmentCompactBegin = 5,
+    kSegmentCompactCommit = 6,
+    /// Retention dropped a whole segment: same bounds-in-record layout as
+    /// kSegmentCompactBegin. Recovery suppresses every earlier data record
+    /// of that schema type whose begin falls inside [begin, end].
+    kSegmentDrop = 7,
   };
 
   Kind kind = Kind::kRts;

@@ -207,6 +207,16 @@ Status HeapFile::Iterator::SeekToFirst() {
   return FindNext();
 }
 
+Status HeapFile::Iterator::SeekAfter(const Rid& rid) {
+  page_ = rid.page;
+  // An overflow head is the only record on its page chain; resuming with
+  // slot 1 makes FindNext skip it and move past the chain. Slotted pages
+  // resume at the next slot.
+  slot_ = rid.slot == kOverflowSlot ? 1 : rid.slot + 1;
+  valid_ = false;
+  return FindNext();
+}
+
 Status HeapFile::Iterator::Next() {
   if (!valid_) return Status::FailedPrecondition("iterator not valid");
   ++slot_;

@@ -55,6 +55,10 @@ class HeapFile {
    public:
     /// Positions on the first record; check Valid() afterwards.
     Status SeekToFirst();
+    /// Positions on the first live record physically after `rid` (the
+    /// resume point of a chunked scan; physical order is stable for
+    /// insert-only tables). Check Valid() afterwards.
+    Status SeekAfter(const Rid& rid);
     bool Valid() const { return valid_; }
     Status Next();
     const std::string& record() const { return record_; }

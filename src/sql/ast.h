@@ -240,13 +240,29 @@ struct CreateIndexStmt {
   std::vector<std::string> columns;
 };
 
+/// ALTER TABLE <name> RETENTION <interval>: sets (or with 0 clears) the
+/// table's retention window. The interval is normalized to microseconds by
+/// the parser; enforcement is a registered handler (the historian maps the
+/// view name to its schema type and drops expired segments).
+struct AlterRetentionStmt {
+  std::string table;
+  int64_t retention_micros = 0;
+};
+
 struct Statement {
-  enum class Kind { kSelect, kInsert, kCreateTable, kCreateIndex };
+  enum class Kind {
+    kSelect,
+    kInsert,
+    kCreateTable,
+    kCreateIndex,
+    kAlterRetention,
+  };
   Kind kind;
   std::unique_ptr<SelectStmt> select;
   std::unique_ptr<InsertStmt> insert;
   std::unique_ptr<CreateTableStmt> create_table;
   std::unique_ptr<CreateIndexStmt> create_index;
+  std::unique_ptr<AlterRetentionStmt> alter_retention;
   int param_count = 0;  // Number of `?` placeholders in the statement.
 };
 

@@ -2,6 +2,7 @@
 #define ODH_SQL_ENGINE_H_
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -32,6 +33,10 @@ struct QueryProfile {
   int64_t blobs_pruned = 0;
   int64_t blobs_skipped_by_summary = 0;
   int64_t blob_bytes_read = 0;
+  /// Whole segments eliminated by manifest time bounds before any blob of
+  /// theirs was examined (disjoint from the blob counters above: a pruned
+  /// segment's blobs appear in none of them).
+  int64_t segments_pruned = 0;
   double plan_micros = 0;
   double total_micros = 0;
 };
@@ -106,10 +111,24 @@ class SqlEngine {
   /// historian's normal operating mode.
   std::mutex* write_mutex() { return &write_mu_; }
 
+  /// Handler for ALTER TABLE ... RETENTION: (table name as written in the
+  /// statement, interval in microseconds). The historian registers one
+  /// that maps its "<type>_v" views to schema types; without a handler the
+  /// statement fails as unsupported. Called under the write mutex.
+  using RetentionHandler =
+      std::function<Status(const std::string&, int64_t)>;
+  void set_retention_handler(RetentionHandler handler) {
+    retention_handler_ = std::move(handler);
+  }
+  const RetentionHandler& retention_handler() const {
+    return retention_handler_;
+  }
+
  private:
   static constexpr size_t kRecentQueryCapacity = 128;
 
   Catalog catalog_;
+  RetentionHandler retention_handler_;
   std::mutex write_mu_;
   mutable std::mutex queries_mu_;
   std::deque<QueryProfile> recent_queries_;

@@ -59,6 +59,7 @@ class Parser {
   Result<std::unique_ptr<SelectStmt>> ParseSelect();
   Result<std::unique_ptr<InsertStmt>> ParseInsert();
   Result<Statement> ParseCreate();
+  Result<Statement> ParseAlter();
   Result<ExprPtr> ParseExpr() { return ParseOr(); }
   Result<ExprPtr> ParseOr();
   Result<ExprPtr> ParseAnd();
@@ -98,8 +99,11 @@ Result<Statement> Parser::ParseStatement() {
     stmt.kind = Statement::Kind::kInsert;
   } else if (IsKeyword("CREATE")) {
     ODH_ASSIGN_OR_RETURN(stmt, ParseCreate());
+  } else if (IsKeyword("ALTER")) {
+    ODH_ASSIGN_OR_RETURN(stmt, ParseAlter());
   } else {
-    return Status::InvalidArgument("expected SELECT, INSERT or CREATE");
+    return Status::InvalidArgument(
+        "expected SELECT, INSERT, CREATE or ALTER");
   }
   AcceptSymbol(";");
   if (Peek().type != TokenType::kEof) {
@@ -277,6 +281,47 @@ Result<Statement> Parser::ParseCreate() {
     return stmt;
   }
   return Status::InvalidArgument("expected TABLE or INDEX after CREATE");
+}
+
+Result<Statement> Parser::ParseAlter() {
+  ODH_RETURN_IF_ERROR(ExpectKeyword("ALTER"));
+  ODH_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+  Statement stmt;
+  stmt.kind = Statement::Kind::kAlterRetention;
+  stmt.alter_retention = std::make_unique<AlterRetentionStmt>();
+  ODH_ASSIGN_OR_RETURN(stmt.alter_retention->table, ExpectIdentifier());
+  ODH_RETURN_IF_ERROR(ExpectKeyword("RETENTION"));
+  if (Peek().type != TokenType::kInteger) {
+    return Status::InvalidArgument("RETENTION expects an integer interval");
+  }
+  int64_t amount = std::strtoll(Advance().text.c_str(), nullptr, 10);
+  if (amount < 0) {
+    return Status::InvalidArgument("RETENTION interval must be >= 0");
+  }
+  // Optional unit, normalized to microseconds (bare number = microseconds).
+  int64_t scale = 1;
+  if (Peek().type == TokenType::kIdentifier) {
+    const std::string& unit = Peek().upper;
+    if (unit == "MICROSECONDS" || unit == "MICROSECOND") {
+      scale = 1;
+    } else if (unit == "MILLISECONDS" || unit == "MILLISECOND") {
+      scale = 1000;
+    } else if (unit == "SECONDS" || unit == "SECOND") {
+      scale = 1000000;
+    } else if (unit == "MINUTES" || unit == "MINUTE") {
+      scale = 60LL * 1000000;
+    } else if (unit == "HOURS" || unit == "HOUR") {
+      scale = 3600LL * 1000000;
+    } else if (unit == "DAYS" || unit == "DAY") {
+      scale = 86400LL * 1000000;
+    } else {
+      return Status::InvalidArgument("unknown RETENTION unit: " +
+                                     Peek().text);
+    }
+    Advance();
+  }
+  stmt.alter_retention->retention_micros = amount * scale;
+  return stmt;
 }
 
 Result<ExprPtr> Parser::ParseOr() {

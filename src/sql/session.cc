@@ -189,6 +189,7 @@ QueryResult ProfileToResult(QueryResult inner) {
   add("blobs_pruned", Datum::Int64(p.blobs_pruned));
   add("blobs_skipped_by_summary", Datum::Int64(p.blobs_skipped_by_summary));
   add("blob_bytes_read", Datum::Int64(p.blob_bytes_read));
+  add("segments_pruned", Datum::Int64(p.segments_pruned));
   add("plan_micros", Datum::Double(p.plan_micros));
   add("total_micros", Datum::Double(p.total_micros));
   out.explain = std::move(inner.explain);
@@ -520,6 +521,8 @@ void QueryStream::Finish() {
       counters_.blobs_skipped_by_summary.load(std::memory_order_relaxed);
   profile_.blob_bytes_read =
       counters_.blob_bytes_read.load(std::memory_order_relaxed);
+  profile_.segments_pruned =
+      counters_.segments_pruned.load(std::memory_order_relaxed);
   profile_.total_micros = static_cast<double>(timer_.ElapsedMicros());
   // The executed-path label comes from runtime evidence, not the plan:
   // Init stamps the aggregate fast paths; otherwise batches flowing
@@ -555,6 +558,9 @@ Result<std::shared_ptr<const PreparedStatement>> Session::PrepareInternal(
       break;
     case Statement::Kind::kCreateIndex:
       stmt->create_index_ = std::move(parsed.create_index);
+      break;
+    case Statement::Kind::kAlterRetention:
+      stmt->alter_retention_ = std::move(parsed.alter_retention);
       break;
   }
   return std::shared_ptr<const PreparedStatement>(std::move(stmt));
@@ -731,6 +737,16 @@ Result<QueryResult> Session::ExecuteNonSelect(
         def.columns.push_back(pos);
       }
       ODH_RETURN_IF_ERROR(table->AddIndex(def));
+      return QueryResult{};
+    }
+    case Statement::Kind::kAlterRetention: {
+      const auto& handler = engine_->retention_handler();
+      if (handler == nullptr) {
+        return Status::Unimplemented(
+            "no retention handler registered for ALTER TABLE ... RETENTION");
+      }
+      ODH_RETURN_IF_ERROR(handler(stmt.alter_retention_->table,
+                                  stmt.alter_retention_->retention_micros));
       return QueryResult{};
     }
     case Statement::Kind::kSelect:

@@ -44,6 +44,7 @@ class PreparedStatement {
   std::unique_ptr<InsertStmt> insert_;
   std::unique_ptr<CreateTableStmt> create_table_;
   std::unique_ptr<CreateIndexStmt> create_index_;
+  std::unique_ptr<AlterRetentionStmt> alter_retention_;
 };
 
 /// Counters of one session's lifetime (single-threaded, plain ints).

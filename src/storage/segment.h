@@ -1,0 +1,49 @@
+#ifndef ODH_STORAGE_SEGMENT_H_
+#define ODH_STORAGE_SEGMENT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace odh::storage {
+
+/// Storage tier of a time-partitioned segment. Hot segments accept writes
+/// and keep the writer's original small blobs; the compactor rewrites
+/// sealed segments into the cold tier (merged blobs, heavier codec,
+/// widened zone maps).
+enum class SegmentTier : uint8_t {
+  kHot = 0,
+  kCold = 1,
+};
+
+inline const char* SegmentTierName(SegmentTier tier) {
+  return tier == SegmentTier::kCold ? "cold" : "hot";
+}
+
+/// Per-segment manifest: the metadata record the scan path consults before
+/// touching any of the segment's tables. `key` is floor(begin_ts / span);
+/// [lo, hi) are the segment's nominal time bounds (hi exclusive). The key
+/// and bounds never change over a segment's life; `generation` bumps on
+/// every compaction rewrite (the rewritten tables carry the generation in
+/// their names so old and new never collide), and `version` bumps on every
+/// mutation so the compactor can detect writes that raced its snapshot.
+struct SegmentManifest {
+  int64_t key = 0;
+  int64_t lo = 0;
+  int64_t hi = 0;  // Exclusive; INT64_MAX for the unbounded segment.
+  int generation = 0;
+  SegmentTier tier = SegmentTier::kHot;
+  uint64_t version = 0;
+};
+
+/// Floor division routing a blob's begin timestamp to its segment key
+/// (correct for negative timestamps, unlike operator/).
+inline int64_t SegmentKeyFor(int64_t begin_ts, int64_t span) {
+  if (span <= 0) return 0;
+  int64_t q = begin_ts / span;
+  if ((begin_ts % span) != 0 && begin_ts < 0) --q;
+  return q;
+}
+
+}  // namespace odh::storage
+
+#endif  // ODH_STORAGE_SEGMENT_H_

@@ -155,7 +155,7 @@ TEST_F(SystemTablesTest, ExplainProfileReturnsMetricRows) {
       "explain profile SELECT COUNT(*) FROM env_v WHERE id = 1");
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(r->columns, (std::vector<std::string>{"metric", "value"}));
-  ASSERT_EQ(r->rows.size(), 10u);
+  ASSERT_EQ(r->rows.size(), 11u);
   EXPECT_EQ(r->rows[0][0], Datum::String("path"));
   EXPECT_EQ(r->rows[0][1], Datum::String("summary-pushdown"));
   bool saw_total = false;

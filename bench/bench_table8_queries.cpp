@@ -342,6 +342,175 @@ void RunReadScalingCurve(int max_threads, double scale, JsonWriter* json) {
   table.Print("Parallel blob-decode scaling (TQ1 on TD(5,2))");
 }
 
+/// Segment-parallel scans and the decoded-blob cache on one multi-segment
+/// TD dataset (8 segments of 5 s): serial vs parallel latency at 1/2/4/8
+/// segments of history depth with exact result verification, then cold vs
+/// warm latency and hit rate with the cache enabled. Parallel speedup is
+/// hardware-dependent (it needs real cores: the fan-out is capped by the
+/// shared decode pool); the cache comparison holds on any machine.
+void RunParallelCacheSection(double scale, int queries_per_depth,
+                             JsonWriter* json) {
+  const int64_t account_unit =
+      std::max<int64_t>(1, static_cast<int64_t>(20 * scale));
+  constexpr double kDurationSeconds = 40;
+  constexpr Timestamp kSegmentSpan = 5 * kMicrosPerSecond;
+  TdConfig td = TdConfig::Of(5, 2, account_unit, kDurationSeconds);
+  const int64_t num_accounts = td.num_accounts;
+  const Timestamp end_ts =
+      static_cast<Timestamp>(kDurationSeconds * kMicrosPerSecond);
+
+  json->Key("parallel_cache");
+  json->BeginObject();
+  json->KeyValue("segment_span_seconds", 5);
+  json->KeyValue("num_segments", 8);
+
+  // Serial vs parallel at increasing history depth, cache off.
+  core::OdhOptions options = OdhTarget::DefaultOptions();
+  options.segment_span = kSegmentSpan;
+  options.query_parallelism = 8;
+  OdhTarget odh(options);
+  {
+    TdGenerator stream(td);
+    ODH_CHECK_OK(odh.Setup(stream.info()));
+    ODH_CHECK_OK(benchfw::RunIngest(&stream, &odh).status());
+  }
+  core::OdhSystem* sys = odh.odh();
+  ODH_CHECK_OK(sys->FlushAll());
+
+  TablePrinter table({"Segments", "Serial p50 ms", "Parallel p50 ms",
+                      "Speedup", "Parallel tasks"});
+  json->Key("parallel_scan");
+  json->BeginArray();
+  for (int depth : {1, 2, 4, 8}) {
+    const Timestamp lo = end_ts - depth * kSegmentSpan;
+    // Parallel answers must equal serial exactly — same rows, same order.
+    const std::string probe =
+        "SELECT * FROM TD_v WHERE id = 1 AND ts >= " + TsLiteral(lo);
+    sys->config()->SetQueryParallelism(0);
+    auto serial_probe = sys->engine()->Execute(probe);
+    sys->config()->SetQueryParallelism(8);
+    auto parallel_probe = sys->engine()->Execute(probe);
+    ODH_CHECK_OK(serial_probe.status());
+    ODH_CHECK_OK(parallel_probe.status());
+    bool same = serial_probe->rows.size() == parallel_probe->rows.size();
+    for (size_t r = 0; same && r < serial_probe->rows.size(); ++r) {
+      for (size_t c = 0; same && c < serial_probe->rows[r].size(); ++c) {
+        same = DatumsClose(serial_probe->rows[r][c],
+                           parallel_probe->rows[r][c]);
+      }
+    }
+    if (!same) {
+      std::fprintf(stderr,
+                   "FATAL: parallel scan mismatch at depth %d segments\n",
+                   depth);
+      std::exit(1);
+    }
+
+    auto run_pass = [&](int parallelism) {
+      sys->config()->SetQueryParallelism(parallelism);
+      Random rng(0xBEEF);
+      return benchfw::RunQueryWorkload(
+          sys->engine(), queries_per_depth, [&](int) {
+            return "SELECT * FROM TD_v WHERE id = " +
+                   std::to_string(1 + rng.Uniform(num_accounts)) +
+                   " AND ts >= " + TsLiteral(lo);
+          });
+    };
+    auto serial = run_pass(0);
+    ODH_CHECK_OK(serial.status());
+    sys->reader()->ResetStats();
+    auto parallel = run_pass(8);
+    ODH_CHECK_OK(parallel.status());
+    const core::ReadStats stats = sys->reader()->SnapshotAndResetStats();
+    const double speedup = parallel->P50LatencyMs() > 0
+                               ? serial->P50LatencyMs() /
+                                     parallel->P50LatencyMs()
+                               : 0;
+    table.AddRow({std::to_string(depth),
+                  Fmt("%.3f", serial->P50LatencyMs()),
+                  Fmt("%.3f", parallel->P50LatencyMs()),
+                  Fmt("%.2fx", speedup),
+                  std::to_string(stats.parallel_tasks)});
+    json->BeginObject();
+    json->KeyValue("segments", depth);
+    json->KeyValue("serial_p50_ms", serial->P50LatencyMs());
+    json->KeyValue("parallel_p50_ms", parallel->P50LatencyMs());
+    json->KeyValue("serial_p95_ms", serial->P95LatencyMs());
+    json->KeyValue("parallel_p95_ms", parallel->P95LatencyMs());
+    json->KeyValue("speedup", speedup);
+    json->KeyValue("parallel_tasks", stats.parallel_tasks);
+    json->KeyValue("segments_scanned_parallel",
+                   stats.segments_scanned_parallel);
+    json->EndObject();
+  }
+  json->EndArray();
+  table.Print("Segment-parallel scan — serial vs parallel by history depth");
+
+  // Cold vs warm with the decoded-blob cache on (fresh instance so the
+  // timing section above stayed cache-free).
+  core::OdhOptions cache_options = OdhTarget::DefaultOptions();
+  cache_options.segment_span = kSegmentSpan;
+  cache_options.query_parallelism = 8;
+  cache_options.blob_cache_bytes = 64u << 20;
+  OdhTarget cached(cache_options);
+  {
+    TdGenerator stream(td);
+    ODH_CHECK_OK(cached.Setup(stream.info()));
+    ODH_CHECK_OK(benchfw::RunIngest(&stream, &cached).status());
+  }
+  core::OdhSystem* csys = cached.odh();
+  ODH_CHECK_OK(csys->FlushAll());
+  auto cache_pass = [&]() {
+    Random rng(0xFEED);  // Same seed each pass: the warm pass repeats the
+                         // cold pass's query set so every blob re-occurs.
+    return benchfw::RunQueryWorkload(
+        csys->engine(), queries_per_depth, [&](int) {
+          return "SELECT * FROM TD_v WHERE id = " +
+                 std::to_string(1 + rng.Uniform(num_accounts));
+        });
+  };
+  csys->reader()->ResetStats();
+  auto cold = cache_pass();
+  ODH_CHECK_OK(cold.status());
+  const core::ReadStats cold_stats = csys->reader()->SnapshotAndResetStats();
+  auto warm = cache_pass();
+  ODH_CHECK_OK(warm.status());
+  const core::ReadStats warm_stats = csys->reader()->SnapshotAndResetStats();
+  const double warm_lookups = static_cast<double>(
+      warm_stats.blob_cache_hits + warm_stats.blobs_decoded);
+  const double hit_rate =
+      warm_lookups > 0 ? warm_stats.blob_cache_hits / warm_lookups : 0;
+  const double cache_speedup = warm->P50LatencyMs() > 0
+                                   ? cold->P50LatencyMs() /
+                                         warm->P50LatencyMs()
+                                   : 0;
+  TablePrinter cache_table({"Pass", "p50 ms", "dp/s", "Blobs decoded",
+                            "Cache hits", "Hit rate"});
+  cache_table.AddRow({"cold", Fmt("%.3f", cold->P50LatencyMs()),
+                      TablePrinter::FormatCount(cold->DataPointsPerSecond()),
+                      std::to_string(cold_stats.blobs_decoded),
+                      std::to_string(cold_stats.blob_cache_hits), "-"});
+  cache_table.AddRow({"warm", Fmt("%.3f", warm->P50LatencyMs()),
+                      TablePrinter::FormatCount(warm->DataPointsPerSecond()),
+                      std::to_string(warm_stats.blobs_decoded),
+                      std::to_string(warm_stats.blob_cache_hits),
+                      TablePrinter::FormatPercent(hit_rate)});
+  cache_table.Print("Decoded-blob cache — cold vs warm (TQ1 over 8 segments)");
+  json->Key("cache");
+  json->BeginObject();
+  json->KeyValue("capacity_bytes",
+                 static_cast<int64_t>(cache_options.blob_cache_bytes));
+  json->KeyValue("cold_p50_ms", cold->P50LatencyMs());
+  json->KeyValue("warm_p50_ms", warm->P50LatencyMs());
+  json->KeyValue("cold_blobs_decoded", cold_stats.blobs_decoded);
+  json->KeyValue("warm_blobs_decoded", warm_stats.blobs_decoded);
+  json->KeyValue("warm_cache_hits", warm_stats.blob_cache_hits);
+  json->KeyValue("warm_hit_rate", hit_rate);
+  json->KeyValue("warm_speedup", cache_speedup);
+  json->EndObject();
+  json->EndObject();
+}
+
 int Run(int argc, char** argv) {
   double scale = ScaleFromArgs(argc, argv);
   int max_threads = ThreadsFromArgs(argc, argv, 1);
@@ -368,6 +537,7 @@ int Run(int argc, char** argv) {
         odh.odh->odh(), td.num_accounts,
         static_cast<Timestamp>(td.duration_seconds * kMicrosPerSecond),
         /*queries_per_template=*/5, &json);
+    RunParallelCacheSection(scale, /*queries_per_depth=*/5, &json);
     json.EndObject();
     if (json.WriteFile("BENCH_queries.json")) {
       std::printf("Query data written to BENCH_queries.json\n");
@@ -545,6 +715,7 @@ int Run(int argc, char** argv) {
   RunAggregateComparison(candidates[0].odh->odh(), num_accounts, td_span,
                          kQueriesPerTemplate, &json);
   RunReadScalingCurve(max_threads, scale, &json);
+  RunParallelCacheSection(scale, kQueriesPerTemplate, &json);
   json.EndObject();
   if (json.WriteFile("BENCH_queries.json")) {
     std::printf("Query data written to BENCH_queries.json\n");

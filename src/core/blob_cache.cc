@@ -1,0 +1,105 @@
+#include "core/blob_cache.h"
+
+namespace odh::core {
+namespace {
+
+/// splitmix64 finalizer: cheap, well-distributed over the packed fields.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+size_t BlobCache::KeyHash::operator()(const BlobCacheKey& k) const {
+  uint64_t h = Mix(static_cast<uint64_t>(k.schema_type) << 2 |
+                   static_cast<uint64_t>(k.structure));
+  h = Mix(h ^ static_cast<uint64_t>(k.seg));
+  h = Mix(h ^ static_cast<uint64_t>(k.generation));
+  h = Mix(h ^ k.rid);
+  h = Mix(h ^ k.tag_mask);
+  return static_cast<size_t>(h);
+}
+
+BlobCache::BlobCache(size_t capacity_bytes, int num_shards)
+    : capacity_(capacity_bytes) {
+  int shards = 1;
+  while (shards < num_shards) shards <<= 1;  // Power of two for masking.
+  shards_.reserve(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_capacity_ = capacity_ / shards_.size();
+}
+
+BlobCache::Shard* BlobCache::ShardFor(const BlobCacheKey& key) {
+  const size_t h = KeyHash{}(key);
+  // The low hash bits pick the bucket inside the shard map; use high bits
+  // for the shard so the two choices stay independent.
+  return shards_[(h >> 17) & (shards_.size() - 1)].get();
+}
+
+std::shared_ptr<const RecordBatch> BlobCache::Lookup(
+    const BlobCacheKey& key) {
+  Shard* shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard->mu);
+  auto it = shard->map.find(key);
+  if (it == shard->map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard->lru.splice(shard->lru.begin(), shard->lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->value;
+}
+
+void BlobCache::Insert(const BlobCacheKey& key,
+                       std::shared_ptr<const RecordBatch> value,
+                       size_t bytes) {
+  if (bytes > shard_capacity_) return;  // Would evict a whole shard.
+  Shard* shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard->mu);
+  auto it = shard->map.find(key);
+  if (it != shard->map.end()) {
+    // Replace in place (two scans racing the same miss): keep the newer
+    // decode, refresh recency.
+    shard->bytes -= it->second->bytes;
+    bytes_.fetch_sub(static_cast<int64_t>(it->second->bytes),
+                     std::memory_order_relaxed);
+    it->second->value = std::move(value);
+    it->second->bytes = bytes;
+    shard->lru.splice(shard->lru.begin(), shard->lru, it->second);
+  } else {
+    shard->lru.push_front(Entry{key, std::move(value), bytes});
+    shard->map.emplace(key, shard->lru.begin());
+    entries_.fetch_add(1, std::memory_order_relaxed);
+    inserts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard->bytes += bytes;
+  bytes_.fetch_add(static_cast<int64_t>(bytes), std::memory_order_relaxed);
+  while (shard->bytes > shard_capacity_ && !shard->lru.empty()) {
+    Entry& victim = shard->lru.back();
+    shard->bytes -= victim.bytes;
+    bytes_.fetch_sub(static_cast<int64_t>(victim.bytes),
+                     std::memory_order_relaxed);
+    shard->map.erase(victim.key);
+    shard->lru.pop_back();
+    entries_.fetch_sub(1, std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+BlobCacheStats BlobCache::stats() const {
+  BlobCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.bytes = bytes_.load(std::memory_order_relaxed);
+  s.entries = entries_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace odh::core

@@ -1,0 +1,115 @@
+#ifndef ODH_CORE_BLOB_CACHE_H_
+#define ODH_CORE_BLOB_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace odh::core {
+
+struct RecordBatch;
+
+/// Which batch structure a cached decode came from. Part of the cache key:
+/// RTS, IRTS and MG rids live in different tables, so the same {segment,
+/// generation, rid} can name three different blobs.
+enum class BlobStructure : uint8_t { kRts = 0, kIrts = 1, kMg = 2 };
+
+/// Identity of one decoded blob. Correctness never depends on explicit
+/// invalidation: every mutation that could change what a rid points at
+/// also changes the generation component —
+///
+///   - compaction swap bumps the segment's manifest generation (RTS/IRTS),
+///   - an MG table rebuild (CompactMg) bumps the segment's MG epoch,
+///   - a retention drop records max(generation, epoch) + 1 so a re-created
+///     segment starts past every generation the dropped one ever used,
+///
+/// so a stale entry is simply unreachable and ages out of the LRU.
+/// `tag_mask` pins the decoded tag set: the codec materializes unrequested
+/// tags as all-missing, so batches decoded with different tag sets are not
+/// interchangeable.
+struct BlobCacheKey {
+  int schema_type = 0;
+  BlobStructure structure = BlobStructure::kRts;
+  int64_t seg = 0;
+  int64_t generation = 0;
+  uint64_t rid = 0;       // Packed heap address: (page << 32) | slot.
+  uint64_t tag_mask = 0;  // Bit t = tag t decoded; ~0 = all tags.
+
+  bool operator==(const BlobCacheKey&) const = default;
+};
+
+/// Monotonic counters, snapshotted without stopping the world. hits +
+/// misses = lookups; bytes/entries are the current residency.
+struct BlobCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t inserts = 0;
+  int64_t bytes = 0;
+  int64_t entries = 0;
+};
+
+/// A sharded LRU over decoded, untrimmed RecordBatches, shared by every
+/// scan path of one OdhSystem (row, batch, aggregate fallback). Entries
+/// hold the full decode of a blob — callers trim to their time range on
+/// the way out — so one entry serves any query shape over that blob.
+///
+/// Thread-safe: one mutex per shard, chosen by key hash; values are
+/// shared_ptr<const RecordBatch>, so a batch handed out stays alive even
+/// if the entry is evicted mid-scan. Capacity is enforced per shard
+/// (capacity_bytes / num_shards); an entry larger than a whole shard is
+/// refused rather than allowed to thrash the LRU.
+class BlobCache {
+ public:
+  explicit BlobCache(size_t capacity_bytes, int num_shards = 8);
+
+  BlobCache(const BlobCache&) = delete;
+  BlobCache& operator=(const BlobCache&) = delete;
+
+  /// Returns the cached decode (marking it most-recent) or nullptr.
+  std::shared_ptr<const RecordBatch> Lookup(const BlobCacheKey& key);
+
+  /// Inserts (or refreshes) an entry of `bytes` decoded size, evicting
+  /// least-recently-used entries of the shard until it fits.
+  void Insert(const BlobCacheKey& key,
+              std::shared_ptr<const RecordBatch> value, size_t bytes);
+
+  size_t capacity_bytes() const { return capacity_; }
+  BlobCacheStats stats() const;
+
+ private:
+  struct Entry {
+    BlobCacheKey key;
+    std::shared_ptr<const RecordBatch> value;
+    size_t bytes = 0;
+  };
+  struct KeyHash {
+    size_t operator()(const BlobCacheKey& k) const;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // Front = most recently used.
+    std::unordered_map<BlobCacheKey, std::list<Entry>::iterator, KeyHash> map;
+    size_t bytes = 0;
+  };
+
+  Shard* ShardFor(const BlobCacheKey& key);
+
+  size_t capacity_;
+  size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> inserts_{0};
+  std::atomic<int64_t> bytes_{0};
+  std::atomic<int64_t> entries_{0};
+};
+
+}  // namespace odh::core
+
+#endif  // ODH_CORE_BLOB_CACHE_H_

@@ -104,6 +104,18 @@ struct OdhOptions {
   /// rewritten blob (RTS/IRTS only; MG blobs are left alone so the WAL's
   /// content-keyed delete cancellation stays valid).
   int64_t compaction_max_blob_points = 4096;
+  /// Worker cap for segment-parallel query execution: multi-segment scans
+  /// and aggregate pushdowns fan one task per surviving (post-prune)
+  /// segment run across the shared thread pool, merged back in emission
+  /// order. -1 (the default) uses the pool size; 0 or 1 keeps every scan
+  /// on the serial path. The pool itself is created when
+  /// max(read_parallelism, query_parallelism) > 1.
+  int query_parallelism = -1;
+  /// Capacity in bytes of the shared decoded-blob cache (LRU, keyed by
+  /// {segment, generation, blob rid, decoded tag set}); repeated queries
+  /// over immutable cold blobs skip decompression entirely. 0 (the
+  /// default) disables the cache.
+  size_t blob_cache_bytes = 0;
 };
 
 /// The ODH configuration component (paper §3): owns schema-type and
@@ -120,6 +132,14 @@ class ConfigComponent {
   void SetScanPathOptions(bool vectorized, bool aggregate_pushdown) {
     options_.enable_vectorized_scan = vectorized;
     options_.enable_aggregate_pushdown = aggregate_pushdown;
+  }
+
+  /// Flips the segment-parallel scan cap on a live instance (same
+  /// quiesced-toggle contract as SetScanPathOptions): benches and the
+  /// parity tests compare serial vs parallel execution over one store.
+  /// Cannot raise the worker count past the pool created at construction.
+  void SetQueryParallelism(int query_parallelism) {
+    options_.query_parallelism = query_parallelism;
   }
 
   Result<int> DefineSchemaType(SchemaType type);

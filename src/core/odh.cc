@@ -1,5 +1,7 @@
 #include "core/odh.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace odh::core {
@@ -15,13 +17,17 @@ OdhSystem::OdhSystem(OdhOptions options) : config_(options) {
   router_ = std::make_unique<DataRouter>(&config_, engine_.get());
   ODH_CHECK_OK(router_->CreateMetadataTables());
   cost_model_ = std::make_unique<OdhCostModel>(&config_, store_.get());
-  if (options.read_parallelism > 1) {
-    read_pool_ =
-        std::make_unique<common::ThreadPool>(options.read_parallelism);
+  const int pool_threads =
+      std::max(options.read_parallelism, options.query_parallelism);
+  if (pool_threads > 1) {
+    read_pool_ = std::make_unique<common::ThreadPool>(pool_threads);
+  }
+  if (options.blob_cache_bytes > 0) {
+    blob_cache_ = std::make_unique<BlobCache>(options.blob_cache_bytes);
   }
   reader_ = std::make_unique<OdhReader>(&config_, store_.get(),
                                         writer_.get(), router_.get(),
-                                        read_pool_.get());
+                                        read_pool_.get(), blob_cache_.get());
   reorganizer_ = std::make_unique<Reorganizer>(&config_, store_.get());
   compactor_ = std::make_unique<SegmentCompactor>(&config_, store_.get(),
                                                   read_pool_.get());
@@ -137,6 +143,33 @@ void OdhSystem::RegisterGauges() {
   });
   m->RegisterGauge("odh.reader.segments_pruned", [reader] {
     return static_cast<double>(reader->stats().segments_pruned);
+  });
+  m->RegisterGauge("odh.parallel_scan.tasks", [reader] {
+    return static_cast<double>(reader->stats().parallel_tasks);
+  });
+  m->RegisterGauge("odh.parallel_scan.merge_stalls", [reader] {
+    return static_cast<double>(reader->stats().merge_stalls);
+  });
+  m->RegisterGauge("odh.parallel_scan.segments", [reader] {
+    return static_cast<double>(reader->stats().segments_scanned_parallel);
+  });
+  // Null-safe: the gauges read 0 when the cache is disabled, so dashboards
+  // keep a stable metric set across configurations.
+  BlobCache* cache = blob_cache_.get();
+  m->RegisterGauge("odh.blob_cache.hits", [cache] {
+    return cache == nullptr ? 0.0 : static_cast<double>(cache->stats().hits);
+  });
+  m->RegisterGauge("odh.blob_cache.misses", [cache] {
+    return cache == nullptr ? 0.0
+                            : static_cast<double>(cache->stats().misses);
+  });
+  m->RegisterGauge("odh.blob_cache.evictions", [cache] {
+    return cache == nullptr ? 0.0
+                            : static_cast<double>(cache->stats().evictions);
+  });
+  m->RegisterGauge("odh.blob_cache.bytes", [cache] {
+    return cache == nullptr ? 0.0
+                            : static_cast<double>(cache->stats().bytes);
   });
   m->RegisterGauge("odh.wal.records_synced", [store] {
     const Wal* wal = store->wal();

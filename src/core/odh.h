@@ -7,6 +7,7 @@
 
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "core/blob_cache.h"
 #include "core/compactor.h"
 #include "core/config.h"
 #include "core/cost_model.h"
@@ -105,6 +106,8 @@ class OdhSystem {
   OdhStore* store() { return store_.get(); }
   OdhWriter* writer() { return writer_.get(); }
   OdhReader* reader() { return reader_.get(); }
+  /// Decoded-blob cache; nullptr when options.blob_cache_bytes == 0.
+  BlobCache* blob_cache() { return blob_cache_.get(); }
   DataRouter* router() { return router_.get(); }
   OdhCostModel* cost_model() { return cost_model_.get(); }
   SegmentCompactor* compactor() { return compactor_.get(); }
@@ -127,9 +130,13 @@ class OdhSystem {
   /// First member: instruments must outlive the components wired to them.
   std::unique_ptr<common::MetricsRegistry> metrics_;
   std::unique_ptr<relational::Database> db_;
-  /// Decode workers for the read path; created only when
-  /// options.read_parallelism > 1 and shared by every cursor.
+  /// Decode workers for the read path; created when
+  /// max(options.read_parallelism, options.query_parallelism) > 1 (the
+  /// latter counting its -1 "pool size" default as the former) and shared
+  /// by every cursor.
   std::unique_ptr<common::ThreadPool> read_pool_;
+  /// Shared decoded-blob cache; created when options.blob_cache_bytes > 0.
+  std::unique_ptr<BlobCache> blob_cache_;
   std::unique_ptr<sql::SqlEngine> engine_;
   ConfigComponent config_;
   std::unique_ptr<OdhStore> store_;

@@ -15,6 +15,8 @@
 
 namespace odh::core {
 
+class BlobCache;
+
 /// Pull-based stream of decoded operational records. This is the shared
 /// read path: the native query API returns it directly (the paper's
 /// "bypass the SQL interface" fast path), and the VTI adapter wraps it
@@ -67,6 +69,16 @@ struct ReadStats {
   int64_t records_emitted = 0;
   /// Whole segments skipped by manifest time bounds (no page reads).
   int64_t segments_pruned = 0;
+  /// Blobs served from the decoded-blob cache (disjoint from
+  /// blobs_decoded).
+  int64_t blob_cache_hits = 0;
+  /// Scan units handed to pool workers by the segment-parallel driver.
+  int64_t parallel_tasks = 0;
+  /// Times the ordered-merge consumer had to block waiting for the batch
+  /// at the emission frontier (its worker was still decoding it).
+  int64_t merge_stalls = 0;
+  /// Distinct (structure, segment) groups scanned by parallel workers.
+  int64_t segments_scanned_parallel = 0;
 };
 
 /// Per-tag accumulator returned by OdhReader::Aggregate. `count`/`sum`
@@ -101,12 +113,14 @@ struct AggregateResult {
 class OdhReader {
  public:
   OdhReader(ConfigComponent* config, OdhStore* store, OdhWriter* writer,
-            DataRouter* router, common::ThreadPool* pool = nullptr)
+            DataRouter* router, common::ThreadPool* pool = nullptr,
+            BlobCache* cache = nullptr)
       : config_(config),
         store_(store),
         writer_(writer),
         router_(router),
-        pool_(pool) {}
+        pool_(pool),
+        cache_(cache) {}
 
   /// Historical query: all points of `id` in [lo, hi]. `tag_filters`
   /// (optional) lets the reader prune whole blobs via their zone maps; the
@@ -171,6 +185,11 @@ class OdhReader {
     s.blob_bytes_read = blob_bytes_read_.load(std::memory_order_relaxed);
     s.records_emitted = records_emitted_.load(std::memory_order_relaxed);
     s.segments_pruned = segments_pruned_.load(std::memory_order_relaxed);
+    s.blob_cache_hits = blob_cache_hits_.load(std::memory_order_relaxed);
+    s.parallel_tasks = parallel_tasks_.load(std::memory_order_relaxed);
+    s.merge_stalls = merge_stalls_.load(std::memory_order_relaxed);
+    s.segments_scanned_parallel =
+        segments_scanned_parallel_.load(std::memory_order_relaxed);
     return s;
   }
   /// Atomically returns the counters accumulated since the last reset and
@@ -189,11 +208,28 @@ class OdhReader {
         records_emitted_.exchange(0, std::memory_order_relaxed);
     s.segments_pruned =
         segments_pruned_.exchange(0, std::memory_order_relaxed);
+    s.blob_cache_hits =
+        blob_cache_hits_.exchange(0, std::memory_order_relaxed);
+    s.parallel_tasks = parallel_tasks_.exchange(0, std::memory_order_relaxed);
+    s.merge_stalls = merge_stalls_.exchange(0, std::memory_order_relaxed);
+    s.segments_scanned_parallel =
+        segments_scanned_parallel_.exchange(0, std::memory_order_relaxed);
     return s;
   }
   void ResetStats() { SnapshotAndResetStats(); }
 
   common::ThreadPool* pool() const { return pool_; }
+  BlobCache* cache() const { return cache_; }
+
+  /// Worker cap for segment-parallel scans: 1 (serial) without a pool or
+  /// with query_parallelism 0/1, the pool size when query_parallelism is
+  /// negative, the configured cap otherwise.
+  int EffectiveParallelism() const {
+    if (pool_ == nullptr) return 1;
+    const int qp = config_->options().query_parallelism;
+    if (qp < 0) return pool_->num_threads();
+    return qp <= 1 ? 1 : qp;
+  }
 
  private:
   friend class OdhScanCursorImpl;
@@ -203,12 +239,17 @@ class OdhReader {
   OdhWriter* writer_;
   DataRouter* router_;
   common::ThreadPool* pool_;  // Not owned; nullptr = sequential decode.
+  BlobCache* cache_;  // Not owned; nullptr = no decoded-blob cache.
   std::atomic<int64_t> blobs_decoded_{0};
   std::atomic<int64_t> blobs_pruned_{0};
   std::atomic<int64_t> blobs_skipped_by_summary_{0};
   std::atomic<int64_t> blob_bytes_read_{0};
   std::atomic<int64_t> records_emitted_{0};
   std::atomic<int64_t> segments_pruned_{0};
+  std::atomic<int64_t> blob_cache_hits_{0};
+  std::atomic<int64_t> parallel_tasks_{0};
+  std::atomic<int64_t> merge_stalls_{0};
+  std::atomic<int64_t> segments_scanned_parallel_{0};
 };
 
 }  // namespace odh::core

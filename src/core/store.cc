@@ -1,5 +1,6 @@
 #include "core/store.h"
 
+#include <algorithm>
 #include <mutex>
 #include <set>
 #include <tuple>
@@ -80,6 +81,7 @@ Result<OdhStore::Segment> OdhStore::CreateSegment(int schema_type,
     seg.manifest.hi = seg.manifest.lo + span;
   }
   seg.manifest.generation = generation;
+  seg.mg_epoch = generation;
   const std::string prefix = SegmentPrefix(type->name, key, generation);
   // B-tree indexes on the first two fields of each batch structure
   // (paper §2: "B-tree indices are created on the first two fields").
@@ -137,8 +139,14 @@ Result<OdhStore::Segment*> OdhStore::GetSegmentForWrite(
   const int64_t key = SegmentKeyFor(begin, config_->options().segment_span);
   auto it = container->segments.find(key);
   if (it == container->segments.end()) {
+    // A re-created key (late write after a retention drop) starts past
+    // every generation the dropped segment ever used, so stale cached
+    // decodes of the old incarnation stay unreachable.
+    int generation = 0;
+    auto ng = container->next_generation.find(key);
+    if (ng != container->next_generation.end()) generation = ng->second;
     ODH_ASSIGN_OR_RETURN(Segment seg,
-                         CreateSegment(schema_type, key, /*generation=*/0));
+                         CreateSegment(schema_type, key, generation));
     it = container->segments.emplace(key, std::move(seg)).first;
   }
   return &it->second;
@@ -231,7 +239,8 @@ Status OdhStore::PutMg(int schema_type, int64_t group, Timestamp begin,
 namespace {
 
 Status ScanSeries(relational::Table* table, const ContainerStats& stats,
-                  int64_t seg_key, SourceId id, Timestamp lo, Timestamp hi,
+                  int64_t seg_key, int64_t generation, SourceId id,
+                  Timestamp lo, Timestamp hi,
                   std::atomic<int64_t>* examined,
                   std::atomic<int64_t>* discarded,
                   std::vector<BlobRecord>* out) {
@@ -256,6 +265,7 @@ Status ScanSeries(relational::Table* table, const ContainerStats& stats,
     rec.zone_map = row[6].string_value();
     rec.rid = it.rid();
     rec.seg = seg_key;
+    rec.generation = generation;
     examined->fetch_add(1, std::memory_order_relaxed);
     if (rec.end >= lo) {
       out->push_back(std::move(rec));
@@ -281,7 +291,8 @@ Result<std::vector<BlobRecord>> OdhStore::GetRts(int schema_type,
       if (seg.rts_stats.blob_count > 0) CountSegmentPruned(stats);
       continue;
     }
-    ODH_RETURN_IF_ERROR(ScanSeries(seg.rts, seg.rts_stats, key, id, lo, hi,
+    ODH_RETURN_IF_ERROR(ScanSeries(seg.rts, seg.rts_stats, key,
+                                   seg.manifest.generation, id, lo, hi,
                                    &blobs_examined_, &blobs_discarded_,
                                    &out));
   }
@@ -300,8 +311,9 @@ Result<std::vector<BlobRecord>> OdhStore::GetIrts(int schema_type,
       if (seg.irts_stats.blob_count > 0) CountSegmentPruned(stats);
       continue;
     }
-    ODH_RETURN_IF_ERROR(ScanSeries(seg.irts, seg.irts_stats, key, id, lo,
-                                   hi, &blobs_examined_, &blobs_discarded_,
+    ODH_RETURN_IF_ERROR(ScanSeries(seg.irts, seg.irts_stats, key,
+                                   seg.manifest.generation, id, lo, hi,
+                                   &blobs_examined_, &blobs_discarded_,
                                    &out));
   }
   return out;
@@ -337,6 +349,7 @@ Result<std::vector<BlobRecord>> OdhStore::GetMg(int schema_type,
       rec.zone_map = row[5].string_value();
       rec.rid = it.rid();
       rec.seg = key;
+      rec.generation = seg.mg_epoch;
       blobs_examined_.fetch_add(1, std::memory_order_relaxed);
       if (rec.end >= lo && (group < 0 || rec.group == group)) {
         out.push_back(std::move(rec));
@@ -410,6 +423,9 @@ Status OdhStore::CompactMg(int schema_type) {
     ODH_RETURN_IF_ERROR(db_->DropTable(old_name));
     seg.mg = fresh;
     seg.mg_stats = stats;
+    // The rebuild reshuffled rids without a manifest-generation bump;
+    // advance the MG epoch so cached decodes of the old layout expire.
+    ++seg.mg_epoch;
     ++seg.manifest.version;
   }
   return Status::OK();
@@ -432,14 +448,17 @@ Status OdhStore::NextSliceChunk(int schema_type, bool irts, Timestamp lo,
     // the resume rid is meaningless — skip the remainder and move on
     // (same contract as a drop between whole-segment chunks).
     cursor->in_segment = false;
-    if (cursor->seg == INT64_MAX) {
+    if (cursor->pin || cursor->seg == INT64_MAX) {
       *done = true;
       return Status::OK();
     }
     ++cursor->seg;
     it = container->segments.lower_bound(cursor->seg);
   }
-  if (it == container->segments.end()) {
+  if (it == container->segments.end() ||
+      (cursor->pin && it->first != cursor->seg)) {
+    // Pinned cursor whose segment vanished: lower_bound would land on the
+    // NEXT key, which belongs to another worker — report done instead.
     *done = true;
     return Status::OK();
   }
@@ -449,6 +468,12 @@ Status OdhStore::NextSliceChunk(int schema_type, bool irts, Timestamp lo,
   if (!cursor->in_segment) {
     const ContainerStats& sstats = irts ? seg.irts_stats : seg.rts_stats;
     if (SegmentDisjoint(sstats, lo, hi)) {
+      // Pinned cursors never count pruning: the SliceSegments listing that
+      // produced them already did.
+      if (cursor->pin) {
+        *done = true;
+        return Status::OK();
+      }
       if (sstats.blob_count > 0) CountSegmentPruned(stats);
       if (key == INT64_MAX) {
         *done = true;
@@ -474,6 +499,7 @@ Status OdhStore::NextSliceChunk(int schema_type, bool irts, Timestamp lo,
     ODH_RETURN_IF_ERROR(
         RowToBlobRecord(row, rows.rid(), /*is_mg=*/false, &rec));
     rec.seg = key;
+    rec.generation = seg.manifest.generation;
     last = rows.rid();
     ++consumed;
     // Same overlap filter the streaming path applied; deliberately not
@@ -491,13 +517,30 @@ Status OdhStore::NextSliceChunk(int schema_type, bool irts, Timestamp lo,
     cursor->last = last;
   } else {
     cursor->in_segment = false;
-    if (key == INT64_MAX) {
+    if (cursor->pin || key == INT64_MAX) {
       *done = true;
     } else {
       ++cursor->seg;
     }
   }
   return Status::OK();
+}
+
+Result<std::vector<int64_t>> OdhStore::SliceSegments(
+    int schema_type, bool irts, Timestamp lo, Timestamp hi,
+    SegmentScanStats* stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
+  std::vector<int64_t> out;
+  for (auto& [key, seg] : container->segments) {
+    const ContainerStats& sstats = irts ? seg.irts_stats : seg.rts_stats;
+    if (SegmentDisjoint(sstats, lo, hi)) {
+      if (sstats.blob_count > 0) CountSegmentPruned(stats);
+      continue;
+    }
+    out.push_back(key);
+  }
+  return out;
 }
 
 ContainerStats OdhStore::rts_stats(int schema_type) const {
@@ -633,6 +676,10 @@ Result<int64_t> OdhStore::ApplyRetention(int schema_type) {
     ODH_RETURN_IF_ERROR(db_->DropTable(seg.rts->name()));
     ODH_RETURN_IF_ERROR(db_->DropTable(seg.irts->name()));
     ODH_RETURN_IF_ERROR(db_->DropTable(seg.mg->name()));
+    // A later write re-creating this key must start past every generation
+    // the dropped segment used, or cached decodes of it would resurface.
+    container->next_generation[key] =
+        std::max(seg.manifest.generation, seg.mg_epoch) + 1;
     container->segments.erase(key);
     segments_dropped_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -680,6 +727,7 @@ Result<SegmentSnapshot> OdhStore::SnapshotSegment(int schema_type,
       ODH_RETURN_IF_ERROR(
           RowToBlobRecord(row, rows.rid(), /*is_mg=*/false, &rec));
       rec.seg = key;
+      rec.generation = seg.manifest.generation;
       out->push_back(std::move(rec));
       ODH_RETURN_IF_ERROR(rows.Next());
     }

@@ -81,6 +81,11 @@ struct BlobRecord {
   /// Key of the segment the record came from (0 in the unsegmented
   /// layout). A rid is only meaningful together with its segment.
   int64_t seg = 0;
+  /// Generation the rid was read under: the segment manifest generation
+  /// for series records, the MG table epoch for MG records (MG rebuilds
+  /// reshuffle rids without a manifest-generation bump). {seg, generation,
+  /// rid} is a stable identity for the blob cache.
+  int64_t generation = 0;
 };
 
 /// Per-scan segment-elimination counters, filled by the Get*/slice entry
@@ -209,6 +214,12 @@ class OdhStore {
     bool in_segment = false;  // Resuming inside `seg` after `last`.
     int generation = 0;       // Generation `last` was read from.
     relational::Rid last;     // Physically last row already returned.
+    /// Pinned to `seg` only: the cursor finishes (or skips, on a
+    /// generation mismatch or drop) that one segment and reports done
+    /// instead of advancing. Segment-parallel scans use one pinned cursor
+    /// per worker; pinned cursors never count segment pruning (the
+    /// SliceSegments listing already did).
+    bool pin = false;
   };
 
   /// Chunked slice scan: materializes up to kSliceChunkRows blob rows of
@@ -226,6 +237,16 @@ class OdhStore {
                         Timestamp hi, SliceCursor* cursor,
                         std::vector<BlobRecord>* out, bool* done,
                         SegmentScanStats* stats = nullptr);
+
+  /// Keys of segments whose RTS (irts == false) or IRTS data bounds
+  /// overlap [lo, hi], in key order — the fan-out list for a
+  /// segment-parallel slice scan (one pinned SliceCursor per key).
+  /// Disjoint non-empty segments are counted into `stats` exactly like
+  /// the streaming scan, so a scan that lists segments here and then
+  /// visits each with a pinned cursor reports identical pruning totals.
+  Result<std::vector<int64_t>> SliceSegments(int schema_type, bool irts,
+                                             Timestamp lo, Timestamp hi,
+                                             SegmentScanStats* stats = nullptr);
 
   /// Stats snapshots, aggregated across segments (copied under the store
   /// mutex; safe during ingest).
@@ -364,10 +385,20 @@ class OdhStore {
     ContainerStats rts_stats;
     ContainerStats irts_stats;
     ContainerStats mg_stats;
+    /// Generation of the MG table's rids, bumped by CompactMg (which
+    /// rebuilds the table, reshuffling rids, without touching the
+    /// manifest generation). Starts at the manifest generation so a
+    /// re-created segment's epochs are fresh too.
+    int mg_epoch = 0;
   };
 
   struct Container {
     std::map<int64_t, Segment> segments;  // Key order == time order.
+    /// Floor for the generation of a re-created segment: a retention
+    /// drop records max(manifest generation, mg_epoch) + 1 here so a
+    /// late write re-creating the key can never reuse a generation the
+    /// dropped segment's cached blobs were decoded under.
+    std::map<int64_t, int> next_generation;
   };
 
   Result<Container*> GetContainer(int schema_type);

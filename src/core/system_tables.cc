@@ -73,7 +73,9 @@ QueriesSystemTable::QueriesSystemTable(const sql::SqlEngine* engine)
                {"blob_bytes_read", DataType::kInt64},
                {"plan_micros", DataType::kDouble},
                {"total_micros", DataType::kDouble},
-               {"segments_pruned", DataType::kInt64}}) {}
+               {"segments_pruned", DataType::kInt64},
+               {"segments_scanned_parallel", DataType::kInt64},
+               {"blob_cache_hits", DataType::kInt64}}) {}
 
 Result<std::unique_ptr<sql::RowCursor>> QueriesSystemTable::Scan(
     const sql::ScanSpec& spec) {
@@ -88,7 +90,9 @@ Result<std::unique_ptr<sql::RowCursor>> QueriesSystemTable::Scan(
                     Datum::Int64(p.blob_bytes_read),
                     Datum::Double(p.plan_micros),
                     Datum::Double(p.total_micros),
-                    Datum::Int64(p.segments_pruned)});
+                    Datum::Int64(p.segments_pruned),
+                    Datum::Int64(p.segments_scanned_parallel),
+                    Datum::Int64(p.blob_cache_hits)});
   }
   return MakeCursor(std::move(rows), spec);
 }

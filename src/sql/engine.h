@@ -37,6 +37,11 @@ struct QueryProfile {
   /// theirs was examined (disjoint from the blob counters above: a pruned
   /// segment's blobs appear in none of them).
   int64_t segments_pruned = 0;
+  /// Distinct (structure, segment) groups this query's scans fanned out to
+  /// parallel workers (0 = the serial path ran).
+  int64_t segments_scanned_parallel = 0;
+  /// Blobs served from the decoded-blob cache instead of decoding.
+  int64_t blob_cache_hits = 0;
   double plan_micros = 0;
   double total_micros = 0;
 };

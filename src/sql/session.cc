@@ -190,6 +190,8 @@ QueryResult ProfileToResult(QueryResult inner) {
   add("blobs_skipped_by_summary", Datum::Int64(p.blobs_skipped_by_summary));
   add("blob_bytes_read", Datum::Int64(p.blob_bytes_read));
   add("segments_pruned", Datum::Int64(p.segments_pruned));
+  add("segments_scanned_parallel", Datum::Int64(p.segments_scanned_parallel));
+  add("blob_cache_hits", Datum::Int64(p.blob_cache_hits));
   add("plan_micros", Datum::Double(p.plan_micros));
   add("total_micros", Datum::Double(p.total_micros));
   out.explain = std::move(inner.explain);
@@ -523,6 +525,10 @@ void QueryStream::Finish() {
       counters_.blob_bytes_read.load(std::memory_order_relaxed);
   profile_.segments_pruned =
       counters_.segments_pruned.load(std::memory_order_relaxed);
+  profile_.segments_scanned_parallel =
+      counters_.segments_scanned_parallel.load(std::memory_order_relaxed);
+  profile_.blob_cache_hits =
+      counters_.blob_cache_hits.load(std::memory_order_relaxed);
   profile_.total_micros = static_cast<double>(timer_.ElapsedMicros());
   // The executed-path label comes from runtime evidence, not the plan:
   // Init stamps the aggregate fast paths; otherwise batches flowing

@@ -155,10 +155,12 @@ TEST_F(SystemTablesTest, ExplainProfileReturnsMetricRows) {
       "explain profile SELECT COUNT(*) FROM env_v WHERE id = 1");
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(r->columns, (std::vector<std::string>{"metric", "value"}));
-  ASSERT_EQ(r->rows.size(), 11u);
+  ASSERT_EQ(r->rows.size(), 13u);
   EXPECT_EQ(r->rows[0][0], Datum::String("path"));
   EXPECT_EQ(r->rows[0][1], Datum::String("summary-pushdown"));
   bool saw_total = false;
+  bool saw_parallel = false;
+  bool saw_cache = false;
   for (const Row& row : r->rows) {
     if (row[0] == Datum::String("rows_returned")) {
       EXPECT_EQ(row[1], Datum::Int64(1));
@@ -166,12 +168,22 @@ TEST_F(SystemTablesTest, ExplainProfileReturnsMetricRows) {
     if (row[0] == Datum::String("blobs_skipped_by_summary")) {
       EXPECT_EQ(row[1], Datum::Int64(10));
     }
+    if (row[0] == Datum::String("segments_scanned_parallel")) {
+      saw_parallel = true;  // Serial fixture: present but zero.
+      EXPECT_EQ(row[1], Datum::Int64(0));
+    }
+    if (row[0] == Datum::String("blob_cache_hits")) {
+      saw_cache = true;  // Cache disabled here: present but zero.
+      EXPECT_EQ(row[1], Datum::Int64(0));
+    }
     if (row[0] == Datum::String("total_micros")) {
       saw_total = true;
       EXPECT_GT(row[1].double_value(), 0.0);
     }
   }
   EXPECT_TRUE(saw_total);
+  EXPECT_TRUE(saw_parallel);
+  EXPECT_TRUE(saw_cache);
 
   // Only SELECT can be profiled.
   auto bad = odh_->engine()->Execute(
@@ -192,6 +204,126 @@ TEST_F(SystemTablesTest, PerQueryCountersAreScopedToTheStatement) {
   EXPECT_EQ(first->profile.blobs_pruned, second->profile.blobs_pruned);
   EXPECT_EQ(first->profile.rows_scanned, second->profile.rows_scanned);
   EXPECT_GT(first->profile.blobs_decoded, 0);
+}
+
+/// Parallel scans and the decoded-blob cache share the fixture's counters:
+/// these tests pin down the accounting contract — parallel workers feed the
+/// same atomics, per-query counters stay scoped to their statement, and the
+/// pruning/summary counters are counted exactly once no matter which driver
+/// ran the scan.
+class ParallelObservabilityTest : public ::testing::Test {
+ protected:
+  ParallelObservabilityTest() {
+    OdhOptions options;
+    options.batch_size = 25;
+    options.segment_span = 100 * kMicrosPerSecond;  // 5 segments.
+    options.query_parallelism = 4;
+    options.blob_cache_bytes = 8u << 20;
+    options.sql_metadata_router = false;
+    odh_ = std::make_unique<OdhSystem>(options);
+    type_ = odh_->DefineSchemaType("env", {"temp", "load"}).value();
+    for (SourceId id = 1; id <= 2; ++id) {
+      ODH_CHECK_OK(odh_->RegisterSource(id, type_, kMicrosPerSecond, true));
+    }
+    for (int i = 0; i < 500; ++i) {
+      for (SourceId id = 1; id <= 2; ++id) {
+        ODH_CHECK_OK(odh_->Ingest(
+            {id, i * kMicrosPerSecond, {1.0 * i + id, 5.0 * id}}));
+      }
+    }
+    ODH_CHECK_OK(odh_->FlushAll());
+  }
+
+  /// Runs `sql` with the given parallelism cap and returns its profile.
+  sql::QueryProfile Profiled(int parallelism, const std::string& sql) {
+    odh_->config()->SetQueryParallelism(parallelism);
+    auto r = odh_->engine()->Execute(sql);
+    ODH_CHECK_OK(r.status());
+    return r->profile;
+  }
+
+  std::unique_ptr<OdhSystem> odh_;
+  int type_ = 0;
+};
+
+TEST_F(ParallelObservabilityTest, ParallelCountersMatchSerialNoDoubleCount) {
+  // A range query touching 3 of the 5 segments, so both drivers prune the
+  // same two segments; the parallel driver must count each pruned segment
+  // and each decoded blob exactly once even though its workers share the
+  // per-query atomics.
+  const std::string sql =
+      "SELECT ts, temp FROM env_v WHERE id = 1 AND ts >= " +
+      std::to_string(120 * kMicrosPerSecond) + " AND ts <= " +
+      std::to_string(380 * kMicrosPerSecond);
+  const sql::QueryProfile serial = Profiled(0, sql);
+  const sql::QueryProfile parallel = Profiled(4, sql);
+  EXPECT_EQ(serial.rows_returned, parallel.rows_returned);
+  EXPECT_EQ(serial.rows_scanned, parallel.rows_scanned);
+  EXPECT_EQ(serial.blobs_pruned, parallel.blobs_pruned);
+  EXPECT_EQ(serial.segments_pruned, parallel.segments_pruned);
+  EXPECT_EQ(serial.blobs_skipped_by_summary,
+            parallel.blobs_skipped_by_summary);
+  EXPECT_EQ(serial.segments_scanned_parallel, 0);
+  EXPECT_GT(parallel.segments_scanned_parallel, 0);
+}
+
+TEST_F(ParallelObservabilityTest, SliceScanPruningCountedOnceUnderParallel) {
+  // No id constraint: the slice path lists surviving segments up front for
+  // the parallel driver (SliceSegments) instead of streaming; the pruning
+  // count must be identical to the streaming serial scan.
+  const std::string sql =
+      "SELECT ts, id, temp FROM env_v WHERE ts >= " +
+      std::to_string(220 * kMicrosPerSecond) + " AND ts <= " +
+      std::to_string(280 * kMicrosPerSecond);
+  const sql::QueryProfile serial = Profiled(0, sql);
+  const sql::QueryProfile parallel = Profiled(4, sql);
+  EXPECT_EQ(serial.rows_returned, parallel.rows_returned);
+  EXPECT_EQ(serial.segments_pruned, parallel.segments_pruned);
+  EXPECT_GT(serial.segments_pruned, 0);
+  EXPECT_GT(parallel.segments_scanned_parallel, 0);
+}
+
+TEST_F(ParallelObservabilityTest, WarmCacheRepeatDecodesNothing) {
+  const std::string sql =
+      "SELECT ts, temp, load FROM env_v WHERE id = 2 AND ts >= " +
+      std::to_string(50 * kMicrosPerSecond) + " AND ts <= " +
+      std::to_string(450 * kMicrosPerSecond);
+  const sql::QueryProfile cold = Profiled(0, sql);
+  ASSERT_GT(cold.blobs_decoded, 0);
+  // The warm run goes parallel: cache entries are shared across execution
+  // paths, so the parallel workers hit what the serial run decoded.
+  const sql::QueryProfile warm = Profiled(4, sql);
+  EXPECT_EQ(warm.rows_returned, cold.rows_returned);
+  // Every blob the cold run decoded now hits; nothing decodes again.
+  EXPECT_EQ(warm.blobs_decoded, 0);
+  EXPECT_EQ(warm.blob_cache_hits, cold.blobs_decoded);
+
+  // The instance-wide gauges see the same story.
+  auto metrics = odh_->engine()->Execute("SELECT * FROM odh_metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GE(MetricValue(*metrics, "odh.blob_cache.hits"),
+            static_cast<double>(cold.blobs_decoded));
+  EXPECT_GT(MetricValue(*metrics, "odh.blob_cache.bytes"), 0.0);
+  EXPECT_GT(MetricValue(*metrics, "odh.parallel_scan.tasks"), 0.0);
+}
+
+TEST_F(ParallelObservabilityTest, PerQueryCountersScopedUnderParallelism) {
+  // Twin statements under the parallel driver report identical per-query
+  // counters: worker tasks must not leak counts across statements. (The
+  // cache warms on the first run, so compare run 2 against run 3.)
+  const std::string sql =
+      "SELECT ts, temp FROM env_v WHERE id = 1 AND ts >= " +
+      std::to_string(100 * kMicrosPerSecond) + " AND ts <= " +
+      std::to_string(400 * kMicrosPerSecond);
+  (void)Profiled(4, sql);
+  const sql::QueryProfile second = Profiled(4, sql);
+  const sql::QueryProfile third = Profiled(4, sql);
+  EXPECT_EQ(second.rows_scanned, third.rows_scanned);
+  EXPECT_EQ(second.blobs_decoded, third.blobs_decoded);
+  EXPECT_EQ(second.blob_cache_hits, third.blob_cache_hits);
+  EXPECT_EQ(second.segments_scanned_parallel,
+            third.segments_scanned_parallel);
+  EXPECT_GT(second.blob_cache_hits, 0);
 }
 
 /// Satellite 5: the observability surface must be safe to read while other

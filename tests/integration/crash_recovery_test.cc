@@ -212,6 +212,12 @@ TEST(CrashRecoveryTest, CrashAtSampledWalRecordBoundaries) {
           break;
         case WalRecord::Kind::kMgDelete:
           FAIL() << "no reorganizer ran; unexpected delete record";
+          break;
+        case WalRecord::Kind::kSegmentCompactBegin:
+        case WalRecord::Kind::kSegmentCompactCommit:
+        case WalRecord::Kind::kSegmentDrop:
+          FAIL() << "no compaction or retention ran; unexpected segment "
+                    "lifecycle record";
       }
     }
     EXPECT_EQ(QueryAll(&recovered), QueryAll(&expected))

@@ -1,0 +1,208 @@
+// Memory governance: query cost as the per-query budget descends.
+//
+// One historian, one ORDER BY workload, run under a sweep of query
+// budgets from "unbounded" (the whole sort fits in memory) down to a few
+// percent of the working set (dozens of spill runs merged off disk).
+// Reported per budget: rows/s, p50/p95 query latency, spill runs/bytes
+// and the tracked peak — the price curve of bounded memory. A top-N leg
+// (same keys, LIMIT 50) rides along to show that LIMIT queries keep O(n)
+// memory and never enter the spill regime at all.
+//
+//   build/bench/bench_memory [scale] [--smoke]
+//
+// Writes BENCH_memory.json. `--smoke` (CI) shrinks the dataset and the
+// budget sweep.
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "benchfw/json_report.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "core/odh.h"
+#include "sql/session.h"
+
+namespace odh::bench {
+namespace {
+
+using benchfw::JsonWriter;
+
+constexpr int kSources = 8;
+
+struct BudgetResult {
+  int64_t rows = 0;
+  double rows_per_sec = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  int64_t spill_runs = 0;
+  int64_t spill_bytes = 0;
+  int64_t mem_peak_bytes = 0;
+};
+
+double PercentileMs(std::vector<double>* micros, double p) {
+  if (micros->empty()) return 0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(micros->size()));
+  if (idx >= micros->size()) idx = micros->size() - 1;
+  std::nth_element(micros->begin(), micros->begin() + idx, micros->end());
+  return (*micros)[idx] / 1000.0;
+}
+
+std::string FormatBudget(int64_t bytes) {
+  if (bytes == 0) return "unbounded";
+  if (bytes % (1024 * 1024) == 0) {
+    return std::to_string(bytes / (1024 * 1024)) + " MiB";
+  }
+  return std::to_string(bytes / 1024) + " KiB";
+}
+
+/// A fresh historian under the given query budget (budgets are engine
+/// construction-time wiring, so each sweep point gets its own system).
+std::unique_ptr<core::OdhSystem> MakeSystem(int64_t query_budget,
+                                            int points) {
+  core::OdhOptions options;
+  options.query_memory_budget = query_budget;
+  auto odh = std::make_unique<core::OdhSystem>(options);
+  int type = odh->DefineSchemaType("env", {"temperature", "wind"}).value();
+  for (SourceId id = 1; id <= kSources; ++id) {
+    ODH_CHECK_OK(odh->RegisterSource(id, type, kMicrosPerSecond,
+                                     /*regular=*/true));
+  }
+  for (int i = 0; i < points; ++i) {
+    for (SourceId id = 1; id <= kSources; ++id) {
+      ODH_CHECK_OK(odh->Ingest({id, i * kMicrosPerSecond,
+                                {20.0 + id + 0.01 * i, 0.5 * id}}));
+    }
+  }
+  ODH_CHECK_OK(odh->FlushAll());
+  return odh;
+}
+
+/// Streams `sql` to completion `iters` times; the profile of the last
+/// run supplies the memory counters (identical across runs).
+BudgetResult RunWorkload(core::OdhSystem* odh, const std::string& sql,
+                         int iters) {
+  sql::Session session(odh->engine());
+  BudgetResult r;
+  std::vector<double> latencies;
+  latencies.reserve(iters);
+  Stopwatch wall;
+  int64_t total_rows = 0;
+  for (int it = 0; it < iters; ++it) {
+    Stopwatch timer;
+    auto stream = session.ExecuteStreaming(sql);
+    ODH_CHECK_OK(stream.status());
+    Row row;
+    int64_t rows = 0;
+    while (true) {
+      auto more = (*stream)->Next(&row);
+      ODH_CHECK_OK(more.status());
+      if (!*more) break;
+      ++rows;
+    }
+    latencies.push_back(static_cast<double>(timer.ElapsedMicros()));
+    total_rows += rows;
+    r.rows = rows;
+    const sql::QueryProfile& p = (*stream)->profile();
+    r.spill_runs = p.spill_runs;
+    r.spill_bytes = p.spill_bytes;
+    r.mem_peak_bytes = p.mem_peak_bytes;
+  }
+  const double seconds = wall.ElapsedSeconds();
+  r.rows_per_sec =
+      seconds > 0 ? static_cast<double>(total_rows) / seconds : 0;
+  r.p50_ms = PercentileMs(&latencies, 0.50);
+  r.p95_ms = PercentileMs(&latencies, 0.95);
+  return r;
+}
+
+int Run(int argc, char** argv) {
+  const double scale = ScaleFromArgs(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  PrintHeader("Memory governance: ORDER BY under descending query budgets",
+              "memory-governance extension (the paper's historian runs "
+              "inside Informix and inherits its memory manager; this "
+              "measures the standalone engine's budget/spill machinery)",
+              smoke ? "Smoke mode: tiny dataset, short sweep."
+                    : "8 sources; full-sort and top-N shapes; rows/s, "
+                      "latency percentiles and spill counters per budget.");
+
+  const int points =
+      std::max(200, static_cast<int>((smoke ? 400 : 2000) * scale));
+  const int iters = smoke ? 2 : 8;
+  const std::vector<int64_t> budgets =
+      smoke ? std::vector<int64_t>{0, 256 * 1024, 128 * 1024}
+            : std::vector<int64_t>{0, 8 * 1024 * 1024, 2 * 1024 * 1024,
+                                   512 * 1024, 256 * 1024};
+  const std::string sort_sql =
+      "SELECT id, ts, temperature, wind FROM env_v "
+      "ORDER BY temperature DESC, ts";
+  const std::string topn_sql = sort_sql + " LIMIT 50";
+
+  std::printf("Dataset: %d sources x %d points (%d rows sorted)\n\n",
+              kSources, points, kSources * points);
+
+  TablePrinter table({"budget", "shape", "rows/s", "p50 ms", "p95 ms",
+                      "spill runs", "spill MiB", "peak KiB"});
+  JsonWriter json;
+  json.BeginObject();
+  json.KeyValue("bench", "memory");
+  json.KeyValue("smoke", smoke);
+  json.KeyValue("sources", static_cast<int64_t>(kSources));
+  json.KeyValue("points_per_source", static_cast<int64_t>(points));
+  json.KeyValue("iterations", static_cast<int64_t>(iters));
+  json.Key("runs");
+  json.BeginArray();
+  int64_t baseline_rows = -1;
+  for (int64_t budget : budgets) {
+    auto odh = MakeSystem(budget, points);
+    for (const bool topn : {false, true}) {
+      const std::string& sql = topn ? topn_sql : sort_sql;
+      BudgetResult r = RunWorkload(odh.get(), sql, iters);
+      // Every budget must produce the same full-sort answer size; a
+      // budget that silently dropped rows would invalidate the curve.
+      if (!topn) {
+        if (baseline_rows < 0) baseline_rows = r.rows;
+        ODH_CHECK(r.rows == baseline_rows);
+      }
+      table.AddRow({FormatBudget(budget), topn ? "top-50" : "full sort",
+                    TablePrinter::FormatCount(r.rows_per_sec),
+                    TablePrinter::FormatDouble(r.p50_ms, 2),
+                    TablePrinter::FormatDouble(r.p95_ms, 2),
+                    std::to_string(r.spill_runs),
+                    TablePrinter::FormatDouble(
+                        static_cast<double>(r.spill_bytes) / (1024 * 1024),
+                        2),
+                    std::to_string(r.mem_peak_bytes / 1024)});
+      json.BeginObject();
+      json.KeyValue("budget_bytes", budget);
+      json.KeyValue("shape", topn ? "top-50" : "full_sort");
+      json.KeyValue("rows", r.rows);
+      json.KeyValue("rows_per_sec", r.rows_per_sec);
+      json.KeyValue("p50_ms", r.p50_ms);
+      json.KeyValue("p95_ms", r.p95_ms);
+      json.KeyValue("spill_runs", r.spill_runs);
+      json.KeyValue("spill_bytes", r.spill_bytes);
+      json.KeyValue("mem_peak_bytes", r.mem_peak_bytes);
+      json.EndObject();
+    }
+  }
+  json.EndArray();
+  json.EndObject();
+  table.Print("ORDER BY cost vs query memory budget");
+  if (json.WriteFile("BENCH_memory.json")) {
+    std::printf("Memory data written to BENCH_memory.json\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace odh::bench
+
+int main(int argc, char** argv) { return odh::bench::Run(argc, argv); }

@@ -1,0 +1,109 @@
+#include "common/memory.h"
+
+#include <algorithm>
+
+namespace odh::common {
+
+MemoryTracker::~MemoryTracker() {
+  // Return any residual to the ancestors so a leaked reservation in one
+  // query cannot permanently shrink the process budget.
+  const int64_t residual = used_.load(std::memory_order_relaxed);
+  if (residual > 0) {
+    for (MemoryTracker* t = parent_; t != nullptr; t = t->parent_) {
+      t->SubLocal(residual);
+    }
+  }
+}
+
+bool MemoryTracker::AddLocal(int64_t bytes) {
+  const int64_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  const int64_t lim = limit_.load(std::memory_order_relaxed);
+  if (lim > 0 && now > lim) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    return false;
+  }
+  // Peak maintenance: monotone max via CAS; races may briefly publish a
+  // smaller value but the loop converges on the true maximum.
+  int64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+void MemoryTracker::SubLocal(int64_t bytes) {
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+Status MemoryTracker::TryReserve(int64_t bytes) {
+  if (bytes <= 0) return Status::OK();
+  MemoryTracker* t = this;
+  while (t != nullptr) {
+    if (!t->AddLocal(bytes)) {
+      // Roll back the levels already charged (strictly below t).
+      for (MemoryTracker* u = this; u != t; u = u->parent_) {
+        u->SubLocal(bytes);
+      }
+      return Status::ResourceExhausted(
+          "memory budget exceeded at '" + t->name_ + "': " +
+          std::to_string(t->used()) + " bytes used + " +
+          std::to_string(bytes) + " requested > limit " +
+          std::to_string(t->limit()));
+    }
+    t = t->parent_;
+  }
+  return Status::OK();
+}
+
+void MemoryTracker::Release(int64_t bytes) {
+  if (bytes <= 0) return;
+  for (MemoryTracker* t = this; t != nullptr; t = t->parent_) {
+    t->SubLocal(bytes);
+  }
+}
+
+Result<char*> Arena::Allocate(size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  bytes = (bytes + 7) & ~size_t{7};  // 8-align every allocation.
+  if (bytes > remaining_) {
+    // Page-sized-and-up requests get an exact dedicated block, leaving
+    // the bump cursor alone; doubling only serves small allocations.
+    // Spill I/O buffers are exactly one disk page each, and doubling for
+    // them would charge a small query budget ~2x the bytes actually in
+    // use — starving the very spill those buffers fund.
+    if (bytes >= kMinBlock) {
+      if (tracker_ != nullptr) {
+        ODH_RETURN_IF_ERROR(tracker_->TryReserve(static_cast<int64_t>(bytes)));
+      }
+      blocks_.push_back(std::make_unique<char[]>(bytes));
+      bytes_allocated_ += static_cast<int64_t>(bytes);
+      return blocks_.back().get();
+    }
+    size_t block = std::max(bytes, next_block_);
+    if (tracker_ != nullptr) {
+      ODH_RETURN_IF_ERROR(tracker_->TryReserve(static_cast<int64_t>(block)));
+    }
+    blocks_.push_back(std::make_unique<char[]>(block));
+    cursor_ = blocks_.back().get();
+    remaining_ = block;
+    bytes_allocated_ += static_cast<int64_t>(block);
+    next_block_ = std::min(next_block_ * 2, kMaxBlock);
+  }
+  char* out = cursor_;
+  cursor_ += bytes;
+  remaining_ -= bytes;
+  return out;
+}
+
+void Arena::Reset() {
+  if (tracker_ != nullptr && bytes_allocated_ > 0) {
+    tracker_->Release(bytes_allocated_);
+  }
+  blocks_.clear();
+  cursor_ = nullptr;
+  remaining_ = 0;
+  next_block_ = kMinBlock;
+  bytes_allocated_ = 0;
+}
+
+}  // namespace odh::common

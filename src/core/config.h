@@ -116,6 +116,18 @@ struct OdhOptions {
   /// over immutable cold blobs skip decompression entirely. 0 (the
   /// default) disables the cache.
   size_t blob_cache_bytes = 0;
+  /// Memory governance budgets (bytes; 0 = unbounded at that level). The
+  /// hierarchy is process -> session -> query: every buffered execution
+  /// path (ORDER BY working sets, aggregation state, materialized
+  /// results) reserves against all three. An ORDER BY that outgrows
+  /// `query_memory_budget` spills sorted runs to the store's disk and
+  /// merges them on emission; non-spillable paths fail fast with
+  /// ResourceExhausted. `server_memory_budget` additionally arms
+  /// HistorianServer's admission gate: new connections are rejected with
+  /// kMemoryPressure while reserved bytes sit at or above the budget.
+  int64_t query_memory_budget = 0;
+  int64_t session_memory_budget = 0;
+  int64_t server_memory_budget = 0;
 };
 
 /// The ODH configuration component (paper §3): owns schema-type and

@@ -12,6 +12,13 @@ OdhSystem::OdhSystem(OdhOptions options) : config_(options) {
   profile.pool_pages = options.pool_pages;
   db_ = std::make_unique<relational::Database>(profile);
   engine_ = std::make_unique<sql::SqlEngine>(db_.get());
+  // Memory governance: budgets flow into the tracker hierarchy and
+  // over-budget ORDER BY sorts spill to the store's disk.
+  sql::MemoryBudgets budgets;
+  budgets.process_bytes = options.server_memory_budget;
+  budgets.session_bytes = options.session_memory_budget;
+  budgets.query_bytes = options.query_memory_budget;
+  engine_->ConfigureMemory(budgets, db_->disk());
   store_ = std::make_unique<OdhStore>(db_.get(), &config_);
   writer_ = std::make_unique<OdhWriter>(store_.get(), &config_);
   router_ = std::make_unique<DataRouter>(&config_, engine_.get());
@@ -170,6 +177,18 @@ void OdhSystem::RegisterGauges() {
   m->RegisterGauge("odh.blob_cache.bytes", [cache] {
     return cache == nullptr ? 0.0
                             : static_cast<double>(cache->stats().bytes);
+  });
+  // Memory governance: live reserved bytes, the process high-water mark,
+  // and the configured ceiling (0 = unbounded) off the tracker root.
+  common::MemoryTracker* mem = engine_->memory_root();
+  m->RegisterGauge("odh.mem.used_bytes", [mem] {
+    return static_cast<double>(mem->used());
+  });
+  m->RegisterGauge("odh.mem.peak_bytes", [mem] {
+    return static_cast<double>(mem->peak());
+  });
+  m->RegisterGauge("odh.mem.limit_bytes", [mem] {
+    return static_cast<double>(mem->limit());
   });
   m->RegisterGauge("odh.wal.records_synced", [store] {
     const Wal* wal = store->wal();

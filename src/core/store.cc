@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "common/key_codec.h"
+#include "storage/spill_file.h"
 
 namespace odh::core {
 namespace {
@@ -864,6 +865,16 @@ Result<RecoveryReport> OdhStore::Recover(storage::SimDisk* crashed_disk) {
   RecoveryReport report;
   report.wal_valid_bytes = log.valid_bytes;
   report.torn_bytes_dropped = log.torn_bytes_dropped;
+
+  // Queries in flight at the crash may have left spill runs behind; they
+  // are pure temp state (the WAL never references them), so recovery
+  // sweeps them before replay.
+  for (const std::string& name : crashed_disk->ListFiles()) {
+    if (storage::IsSpillFileName(name)) {
+      ODH_RETURN_IF_ERROR(crashed_disk->DeleteFile(name));
+      ++report.spill_files_swept;
+    }
+  }
 
   std::vector<WalRecord> records;
   records.reserve(log.records.size());

@@ -34,6 +34,9 @@ struct RecoveryReport {
   /// Records of a compaction episode whose Commit never reached the log:
   /// discarded wholesale, the pre-compaction segment survives.
   uint64_t uncommitted_episode_records = 0;
+  /// Orphaned query-spill files (odh$spill$*) deleted from the crashed
+  /// disk — temp state of in-flight ORDER BY sorts, never replayed.
+  uint64_t spill_files_swept = 0;
 };
 
 /// Aggregate statistics per container, maintained on every Put. The cost

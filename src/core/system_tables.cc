@@ -75,7 +75,13 @@ QueriesSystemTable::QueriesSystemTable(const sql::SqlEngine* engine)
                {"total_micros", DataType::kDouble},
                {"segments_pruned", DataType::kInt64},
                {"segments_scanned_parallel", DataType::kInt64},
-               {"blob_cache_hits", DataType::kInt64}}) {}
+               {"blob_cache_hits", DataType::kInt64},
+               // Memory-governance columns (appended, like the storage
+               // table's segment columns, so positional readers keep
+               // working).
+               {"mem_peak_bytes", DataType::kInt64},
+               {"spill_runs", DataType::kInt64},
+               {"spill_bytes", DataType::kInt64}}) {}
 
 Result<std::unique_ptr<sql::RowCursor>> QueriesSystemTable::Scan(
     const sql::ScanSpec& spec) {
@@ -92,7 +98,10 @@ Result<std::unique_ptr<sql::RowCursor>> QueriesSystemTable::Scan(
                     Datum::Double(p.total_micros),
                     Datum::Int64(p.segments_pruned),
                     Datum::Int64(p.segments_scanned_parallel),
-                    Datum::Int64(p.blob_cache_hits)});
+                    Datum::Int64(p.blob_cache_hits),
+                    Datum::Int64(p.mem_peak_bytes),
+                    Datum::Int64(p.spill_runs),
+                    Datum::Int64(p.spill_bytes)});
   }
   return MakeCursor(std::move(rows), spec);
 }

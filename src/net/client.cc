@@ -124,6 +124,7 @@ Status Client::ConnectOnce() {
     switch (code) {
       case RejectCode::kTooManySessions:
       case RejectCode::kDraining:
+      case RejectCode::kMemoryPressure:
         return Status::ResourceExhausted("server rejected connection: " +
                                          reason);
       case RejectCode::kIncompatibleVersion:

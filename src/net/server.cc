@@ -30,6 +30,7 @@ HistorianServer::HistorianServer(sql::SqlEngine* engine,
   if (metrics != nullptr) {
     sessions_total_metric_ = metrics->GetCounter("net.sessions_total");
     sessions_rejected_metric_ = metrics->GetCounter("net.sessions_rejected");
+    mem_rejections_metric_ = metrics->GetCounter("net.mem_rejections");
     frames_sent_metric_ = metrics->GetCounter("net.frames_sent");
     rows_streamed_metric_ = metrics->GetCounter("net.rows_streamed");
     read_timeouts_metric_ = metrics->GetCounter("net.read_timeouts");
@@ -178,6 +179,26 @@ void HistorianServer::AcceptLoop() {
       (void)t.SendFrame(FrameType::kRejected,
                         Slice(EncodeRejected(RejectCode::kTooManySessions,
                                              "server at max_sessions")),
+                        reject_dl);
+      continue;
+    }
+    // Memory admission gate: while reserved bytes sit at or above the
+    // gate, new sessions would only deepen the pressure — turn them away
+    // retryably and let in-flight queries release as they finish.
+    const int64_t gate = options_.memory_gate_bytes > 0
+                             ? options_.memory_gate_bytes
+                             : engine_->memory_root()->limit();
+    if (gate > 0 && engine_->memory_root()->used() >= gate) {
+      sessions_rejected_.fetch_add(1, std::memory_order_relaxed);
+      mem_rejections_.fetch_add(1, std::memory_order_relaxed);
+      if (sessions_rejected_metric_ != nullptr) {
+        sessions_rejected_metric_->Add(1);
+      }
+      if (mem_rejections_metric_ != nullptr) mem_rejections_metric_->Add(1);
+      Transport t(fd);
+      (void)t.SendFrame(FrameType::kRejected,
+                        Slice(EncodeRejected(RejectCode::kMemoryPressure,
+                                             "server memory budget full")),
                         reject_dl);
       continue;
     }

@@ -44,6 +44,14 @@ struct ServerOptions {
   /// (net.write_timeouts).
   int write_deadline_ms = 10000;
 
+  /// Memory admission gate: new connections are turned away with
+  /// RejectCode::kMemoryPressure while the engine's reserved bytes sit at
+  /// or above this. 0 derives the gate from the engine's process budget
+  /// (engine->memory_root()->limit()); if that is also 0 (governance
+  /// unconfigured) the gate is disarmed. Admitted sessions are never cut
+  /// by the gate — their queries fail individually via their budgets.
+  int64_t memory_gate_bytes = 0;
+
   /// Test hook: fault policy consulted by every session transport
   /// (shared; must outlive the server). Production leaves this null.
   FaultPolicy* fault_policy = nullptr;
@@ -114,6 +122,10 @@ class HistorianServer {
   int64_t sessions_rejected() const {
     return sessions_rejected_.load(std::memory_order_relaxed);
   }
+  /// Subset of sessions_rejected() turned away by the memory gate.
+  int64_t mem_rejections() const {
+    return mem_rejections_.load(std::memory_order_relaxed);
+  }
   int64_t read_timeouts() const {
     return read_timeouts_.load(std::memory_order_relaxed);
   }
@@ -166,6 +178,7 @@ class HistorianServer {
 
   std::atomic<int> sessions_open_{0};
   std::atomic<int64_t> sessions_rejected_{0};
+  std::atomic<int64_t> mem_rejections_{0};
   std::atomic<int64_t> frames_sent_{0};
   std::atomic<int64_t> rows_streamed_{0};
   std::atomic<int64_t> read_timeouts_{0};
@@ -185,6 +198,7 @@ class HistorianServer {
   // Wired at construction when a registry is provided; null otherwise.
   common::Counter* sessions_total_metric_ = nullptr;
   common::Counter* sessions_rejected_metric_ = nullptr;
+  common::Counter* mem_rejections_metric_ = nullptr;
   common::Counter* frames_sent_metric_ = nullptr;
   common::Counter* rows_streamed_metric_ = nullptr;
   common::Counter* read_timeouts_metric_ = nullptr;

@@ -205,7 +205,7 @@ bool DecodeRejected(const Slice& payload, RejectCode* code,
     reason->assign(payload.data(), payload.size());
     return false;
   }
-  *code = raw > static_cast<uint32_t>(RejectCode::kDraining)
+  *code = raw > static_cast<uint32_t>(RejectCode::kMemoryPressure)
               ? RejectCode::kUnknown
               : static_cast<RejectCode>(raw);
   return true;

@@ -66,6 +66,9 @@ enum class RejectCode : uint32_t {
   kIncompatibleVersion = 2,  // Version skew: never retryable.
   kDraining = 3,             // Server shutting down gracefully: retryable
                              // (against its replacement).
+  kMemoryPressure = 4,       // Memory admission gate: reserved bytes at or
+                             // above the server budget. Retryable — in-
+                             // flight queries release as they finish.
 };
 
 /// One parsed frame: the type plus its raw payload (owned).

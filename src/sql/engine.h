@@ -1,6 +1,8 @@
 #ifndef ODH_SQL_ENGINE_H_
 #define ODH_SQL_ENGINE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -8,10 +10,24 @@
 #include <string>
 #include <vector>
 
+#include "common/memory.h"
 #include "sql/catalog.h"
 #include "sql/planner.h"
 
+namespace odh::storage {
+class SimDisk;
+}  // namespace odh::storage
+
 namespace odh::sql {
+
+/// Memory-governance budgets, all in bytes; 0 = unbounded at that level.
+/// The hierarchy is process -> session -> query: a reservation must fit
+/// every level, so a modest query can still be refused by a full process.
+struct MemoryBudgets {
+  int64_t process_bytes = 0;
+  int64_t session_bytes = 0;
+  int64_t query_bytes = 0;
+};
 
 /// Execution profile of one SELECT: which scan path actually ran and how
 /// much blob I/O it did. `path` is derived from runtime evidence after the
@@ -42,6 +58,14 @@ struct QueryProfile {
   int64_t segments_scanned_parallel = 0;
   /// Blobs served from the decoded-blob cache instead of decoding.
   int64_t blob_cache_hits = 0;
+  /// High-water mark of the query's memory reservations (buffered rows,
+  /// aggregation state, sort working set, spill I/O buffers).
+  int64_t mem_peak_bytes = 0;
+  /// Sorted runs written to disk when the sort working set exceeded the
+  /// query budget (0 = the sort fit in memory).
+  int64_t spill_runs = 0;
+  /// Payload bytes written across those runs.
+  int64_t spill_bytes = 0;
   double plan_micros = 0;
   double total_micros = 0;
 };
@@ -110,6 +134,29 @@ class SqlEngine {
   /// session layer when a statement (or its stream) completes.
   void LogQuery(QueryProfile profile);
 
+  /// Wires memory governance: per-level budgets and the disk ORDER BY
+  /// sorts spill to when a query exceeds its budget. Call once at system
+  /// construction, before any Session exists; sessions created on an
+  /// unconfigured engine run unbounded (and never spill). `spill_disk`
+  /// may be null — budgets are then enforced fail-fast only.
+  void ConfigureMemory(const MemoryBudgets& budgets,
+                       storage::SimDisk* spill_disk) {
+    memory_budgets_ = budgets;
+    memory_root_.set_limit(budgets.process_bytes);
+    spill_disk_ = spill_disk;
+  }
+
+  /// Root of the tracker hierarchy; every session tracker is its child.
+  /// HistorianServer's admission gate reads used() off this.
+  common::MemoryTracker* memory_root() { return &memory_root_; }
+  const MemoryBudgets& memory_budgets() const { return memory_budgets_; }
+  storage::SimDisk* spill_disk() { return spill_disk_; }
+  /// Monotonic id stamped into spill file names so concurrent queries
+  /// never collide.
+  uint64_t NextQueryId() {
+    return next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Serializes mutating statements (INSERT / CREATE) across sessions.
   /// SELECTs never take it: the storage layer is safe for concurrent
   /// reads, and readers running against a committed snapshot is the
@@ -133,6 +180,10 @@ class SqlEngine {
   static constexpr size_t kRecentQueryCapacity = 128;
 
   Catalog catalog_;
+  common::MemoryTracker memory_root_{"process"};
+  MemoryBudgets memory_budgets_;
+  storage::SimDisk* spill_disk_ = nullptr;
+  std::atomic<uint64_t> next_query_id_{1};
   RetentionHandler retention_handler_;
   std::mutex write_mu_;
   mutable std::mutex queries_mu_;

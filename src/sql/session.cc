@@ -7,9 +7,11 @@
 #include <utility>
 
 #include "common/key_codec.h"
+#include "common/memory.h"
 #include "common/types.h"
 #include "sql/parser.h"
 #include "sql/vectorized.h"
+#include "storage/spill_file.h"
 
 namespace odh::sql {
 namespace {
@@ -135,15 +137,37 @@ Result<Datum> CoerceForColumn(const Datum& value, DataType type) {
                                  " to " + DataTypeName(type));
 }
 
-/// Three-way Datum comparison for ORDER BY (NULLs sort first).
-int CompareForSort(const Datum& a, const Datum& b) {
-  if (a.is_null() && b.is_null()) return 0;
-  if (a.is_null()) return -1;
-  if (b.is_null()) return 1;
-  int cmp;
-  bool null_result;
-  if (!a.Compare(b, &cmp, &null_result) || null_result) return 0;
-  return cmp;
+/// Accounting estimate for one ColumnBatch's working set.
+int64_t ApproxBatchBytes(const ColumnBatch& batch) {
+  int64_t n = static_cast<int64_t>(sizeof(ColumnBatch));
+  n += static_cast<int64_t>(batch.ids.capacity() * sizeof(SourceId));
+  n += static_cast<int64_t>(batch.timestamps.capacity() * sizeof(Timestamp));
+  for (const auto& tag : batch.tags) {
+    n += static_cast<int64_t>(sizeof(tag) + tag.capacity() * sizeof(double));
+  }
+  n += static_cast<int64_t>(batch.sel.capacity() * sizeof(int32_t));
+  return n;
+}
+
+/// Builds the budget-governed sorter every ORDER BY runs through. The
+/// spill prefix embeds a process-unique query id so concurrent queries
+/// never collide on run-file names.
+std::unique_ptr<ExternalSorter> MakeSorter(SqlEngine* engine,
+                                           const BoundSelect& bound,
+                                           common::MemoryTracker* mem,
+                                           common::Arena* arena) {
+  ExternalSorter::Options opts;
+  opts.ascending.reserve(bound.order_by.size());
+  for (const auto& item : bound.order_by) {
+    opts.ascending.push_back(item.ascending);
+  }
+  opts.limit = bound.limit;
+  opts.memory = mem;
+  opts.arena = arena;
+  opts.spill_disk = engine->spill_disk();
+  opts.spill_name_prefix = std::string(storage::kSpillFilePrefix) + "q" +
+                           std::to_string(engine->NextQueryId()) + "$";
+  return std::make_unique<ExternalSorter>(std::move(opts));
 }
 
 /// Case-insensitively consumes one leading keyword (plus the whitespace
@@ -192,6 +216,9 @@ QueryResult ProfileToResult(QueryResult inner) {
   add("segments_pruned", Datum::Int64(p.segments_pruned));
   add("segments_scanned_parallel", Datum::Int64(p.segments_scanned_parallel));
   add("blob_cache_hits", Datum::Int64(p.blob_cache_hits));
+  add("mem_peak_bytes", Datum::Int64(p.mem_peak_bytes));
+  add("spill_runs", Datum::Int64(p.spill_runs));
+  add("spill_bytes", Datum::Int64(p.spill_bytes));
   add("plan_micros", Datum::Double(p.plan_micros));
   add("total_micros", Datum::Double(p.total_micros));
   out.explain = std::move(inner.explain);
@@ -237,13 +264,37 @@ QueryStream::~QueryStream() {
   // An abandoned stream still logs what it did (rows emitted so far);
   // errors were already accounted by Poison.
   if (state_ == State::kStreaming || state_ == State::kBuffered) Finish();
+  // Init failures leave state_ == kDone with partial state; idempotent.
+  ReleaseBufferedState();
 }
 
 Status QueryStream::Poison(Status status) {
   state_ = State::kError;
   finished_ = true;  // Errors are not logged, matching one-shot behavior.
+  ReleaseBufferedState();  // A poisoned cursor holds no memory or spill files.
   poison_ = std::move(status);
   return poison_;
+}
+
+Status QueryStream::ReserveBufferedRow(const Row& row) {
+  if (mem_ == nullptr) return Status::OK();
+  const int64_t bytes = common::ApproxRowBytes(row);
+  ODH_RETURN_IF_ERROR(mem_->TryReserve(bytes));
+  buffered_bytes_ += bytes;
+  return Status::OK();
+}
+
+void QueryStream::ReleaseBufferedState() {
+  if (sorter_ != nullptr) {
+    spill_runs_ = sorter_->spill_runs();
+    spill_bytes_ = sorter_->spill_bytes();
+    sorter_.reset();  // Releases its working set and deletes spill files.
+  }
+  buffered_.clear();
+  if (mem_ != nullptr && buffered_bytes_ > 0) mem_->Release(buffered_bytes_);
+  buffered_bytes_ = 0;
+  // Spill I/O buffers go after the sorter whose readers pointed into them.
+  if (arena_ != nullptr) arena_->Reset();
 }
 
 Status QueryStream::Init(double prior_micros, bool prepared) {
@@ -277,10 +328,23 @@ Status QueryStream::Init(double prior_micros, bool prepared) {
       ODH_ASSIGN_OR_RETURN(auto batches,
                            plan_.agg_provider->ScanBatches(plan_.agg_spec));
       BatchAggregator aggregator(plan_.agg_requests);
+      // The vectorized working set — aggregator state plus the reusable
+      // batch at its high-water capacity — is charged to the query budget.
+      common::ScopedReservation batch_reserved(mem_.get());
+      ODH_RETURN_IF_ERROR(batch_reserved.Reserve(
+          static_cast<int64_t>(sizeof(BatchAggregator)) +
+          static_cast<int64_t>(plan_.agg_requests.size()) * 64));
+      int64_t batch_high_water = 0;
       ColumnBatch batch;
       while (true) {
         ODH_ASSIGN_OR_RETURN(bool more, batches->Next(&batch));
         if (!more) break;
+        const int64_t batch_bytes = ApproxBatchBytes(batch);
+        if (batch_bytes > batch_high_water) {
+          ODH_RETURN_IF_ERROR(
+              batch_reserved.Reserve(batch_bytes - batch_high_water));
+          batch_high_water = batch_bytes;
+        }
         aggregator.Accumulate(batch);
       }
       agg_row = aggregator.Finalize();
@@ -298,7 +362,10 @@ Status QueryStream::Init(double prior_micros, bool prepared) {
             Datum v, eval_.Eval(e.get(), representative, &agg_values));
         out_row.push_back(std::move(v));
       }
-      if (bound.limit != 0) buffered_.push_back(std::move(out_row));
+      if (bound.limit != 0) {
+        ODH_RETURN_IF_ERROR(ReserveBufferedRow(out_row));
+        buffered_.push_back(std::move(out_row));
+      }
       state_ = State::kBuffered;
       return Status::OK();
     }
@@ -321,8 +388,11 @@ Status QueryStream::RunBuffered() {
   const BoundSelect& bound = *stmt_->bound_;
 
   if (!bound.has_aggregates) {
-    // ORDER BY (without aggregation): drain, sort, buffer.
-    std::vector<std::pair<std::vector<Datum>, Row>> sortable;
+    // ORDER BY (without aggregation): drain into the budget-governed
+    // sorter — a bounded top-N heap under a LIMIT, spilling sorted runs
+    // to disk when the working set outgrows the query budget otherwise.
+    // Emission happens lazily from the sorter in Next.
+    sorter_ = MakeSorter(engine_, bound, mem_.get(), arena_.get());
     Row combined;
     while (true) {
       ODH_ASSIGN_OR_RETURN(bool more, plan_.root->Next(&combined));
@@ -343,27 +413,9 @@ Status QueryStream::RunBuffered() {
           keys.push_back(std::move(k));
         }
       }
-      sortable.emplace_back(std::move(keys), std::move(out_row));
+      ODH_RETURN_IF_ERROR(sorter_->Add(std::move(keys), std::move(out_row)));
     }
-    std::stable_sort(sortable.begin(), sortable.end(),
-                     [&](const auto& a, const auto& b) {
-                       for (size_t i = 0; i < bound.order_by.size(); ++i) {
-                         int cmp = CompareForSort(a.first[i], b.first[i]);
-                         if (cmp != 0) {
-                           return bound.order_by[i].ascending ? cmp < 0
-                                                              : cmp > 0;
-                         }
-                       }
-                       return false;
-                     });
-    for (auto& [keys, row] : sortable) {
-      buffered_.push_back(std::move(row));
-      if (bound.limit >= 0 &&
-          static_cast<int64_t>(buffered_.size()) >= bound.limit) {
-        break;
-      }
-    }
-    return Status::OK();
+    return sorter_->Finish();
   }
 
   // Aggregation path.
@@ -378,6 +430,18 @@ Status QueryStream::RunBuffered() {
     std::vector<AggState> states;
   };
   std::map<std::string, Group> groups;
+  // Grouped state is charged per distinct group and released wholesale
+  // when this function returns — by then the output rows carry their own
+  // accounting (buffered_ or the sorter). Aggregation cannot spill, so an
+  // over-budget GROUP BY fails fast here.
+  common::ScopedReservation group_reserved(mem_.get());
+  auto reserve_group = [&](const std::string& key, const Group& group) {
+    return group_reserved.Reserve(
+        static_cast<int64_t>(sizeof(Group)) +
+        static_cast<int64_t>(key.capacity()) +
+        common::ApproxRowBytes(group.representative) +
+        static_cast<int64_t>(group.states.size() * sizeof(AggState)));
+  };
 
   Row combined;
   while (true) {
@@ -394,6 +458,7 @@ Status QueryStream::RunBuffered() {
     if (inserted) {
       group.representative = combined;
       group.states.resize(agg_exprs.size());
+      ODH_RETURN_IF_ERROR(reserve_group(it->first, group));
     }
     for (size_t i = 0; i < agg_exprs.size(); ++i) {
       Datum arg;
@@ -409,10 +474,19 @@ Status QueryStream::RunBuffered() {
     Group& group = groups[""];
     group.representative.assign(bound.total_slots, Datum::Null());
     group.states.resize(agg_exprs.size());
+    ODH_RETURN_IF_ERROR(reserve_group("", group));
   }
 
-  std::vector<std::pair<std::vector<Datum>, Row>> sortable;
+  if (!bound.order_by.empty()) {
+    sorter_ = MakeSorter(engine_, bound, mem_.get(), arena_.get());
+  }
   for (auto& [key, group] : groups) {
+    // Aggregate output is unordered: with no ORDER BY, a LIMIT bounds
+    // materialization at the source rather than trimming afterwards.
+    if (sorter_ == nullptr && bound.limit >= 0 &&
+        static_cast<int64_t>(buffered_.size()) >= bound.limit) {
+      break;
+    }
     std::map<const Expr*, Datum> agg_values;
     for (size_t i = 0; i < agg_exprs.size(); ++i) {
       agg_values[agg_exprs[i]] = FinalizeAgg(agg_exprs[i], group.states[i]);
@@ -423,7 +497,8 @@ Status QueryStream::RunBuffered() {
           Datum v, eval_.Eval(e.get(), group.representative, &agg_values));
       out_row.push_back(std::move(v));
     }
-    if (bound.order_by.empty()) {
+    if (sorter_ == nullptr) {
+      ODH_RETURN_IF_ERROR(ReserveBufferedRow(out_row));
       buffered_.push_back(std::move(out_row));
     } else {
       std::vector<Datum> keys;
@@ -437,27 +512,10 @@ Status QueryStream::RunBuffered() {
           keys.push_back(std::move(k));
         }
       }
-      sortable.emplace_back(std::move(keys), std::move(out_row));
+      ODH_RETURN_IF_ERROR(sorter_->Add(std::move(keys), std::move(out_row)));
     }
   }
-  if (!bound.order_by.empty()) {
-    std::stable_sort(sortable.begin(), sortable.end(),
-                     [&](const auto& a, const auto& b) {
-                       for (size_t i = 0; i < bound.order_by.size(); ++i) {
-                         int cmp = CompareForSort(a.first[i], b.first[i]);
-                         if (cmp != 0) {
-                           return bound.order_by[i].ascending ? cmp < 0
-                                                              : cmp > 0;
-                         }
-                       }
-                       return false;
-                     });
-    for (auto& [keys, row] : sortable) buffered_.push_back(std::move(row));
-  }
-  if (bound.limit >= 0 &&
-      static_cast<int64_t>(buffered_.size()) > bound.limit) {
-    buffered_.resize(bound.limit);
-  }
+  if (sorter_ != nullptr) ODH_RETURN_IF_ERROR(sorter_->Finish());
   return Status::OK();
 }
 
@@ -493,10 +551,29 @@ Result<bool> QueryStream::Next(Row* row) {
       break;
     }
     case State::kBuffered: {
+      if (sorter_ != nullptr) {
+        // Spilled sorts read run pages lazily, so a disk fault surfaces
+        // here — mid-stream, with the cursor held — and poisons it.
+        Result<bool> more = sorter_->Next(row);
+        if (!more.ok()) return Poison(more.status());
+        if (!more.value()) {
+          state_ = State::kDone;
+          Finish();
+          return false;
+        }
+        break;
+      }
       if (buffered_.empty()) {
         state_ = State::kDone;
         Finish();
         return false;
+      }
+      // Emitted rows release their reservation as they leave the buffer.
+      if (mem_ != nullptr && buffered_bytes_ > 0) {
+        int64_t bytes = common::ApproxRowBytes(buffered_.front());
+        if (bytes > buffered_bytes_) bytes = buffered_bytes_;
+        mem_->Release(bytes);
+        buffered_bytes_ -= bytes;
       }
       *row = std::move(buffered_.front());
       buffered_.pop_front();
@@ -511,6 +588,10 @@ Result<bool> QueryStream::Next(Row* row) {
 void QueryStream::Finish() {
   if (finished_) return;
   finished_ = true;
+  // Eager release first (harvests spill stats): a drained or abandoned
+  // stream returns its memory and deletes its spill files immediately,
+  // not at destruction.
+  ReleaseBufferedState();
   profile_.rows_returned = emitted_;
   profile_.rows_scanned =
       counters_.rows_scanned.load(std::memory_order_relaxed);
@@ -529,6 +610,9 @@ void QueryStream::Finish() {
       counters_.segments_scanned_parallel.load(std::memory_order_relaxed);
   profile_.blob_cache_hits =
       counters_.blob_cache_hits.load(std::memory_order_relaxed);
+  profile_.mem_peak_bytes = mem_ != nullptr ? mem_->peak() : 0;
+  profile_.spill_runs = spill_runs_;
+  profile_.spill_bytes = spill_bytes_;
   profile_.total_micros = static_cast<double>(timer_.ElapsedMicros());
   // The executed-path label comes from runtime evidence, not the plan:
   // Init stamps the aggregate fast paths; otherwise batches flowing
@@ -572,13 +656,19 @@ Result<std::shared_ptr<const PreparedStatement>> Session::PrepareInternal(
   return std::shared_ptr<const PreparedStatement>(std::move(stmt));
 }
 
+void Session::TouchCacheEntry(CacheEntry* entry) {
+  // O(1) promotion to most-recently-used; the iterator stays valid.
+  cache_order_.splice(cache_order_.end(), cache_order_, entry->order_pos);
+}
+
 Result<std::shared_ptr<const PreparedStatement>> Session::Prepare(
     const std::string& sql) {
   ++stats_.prepares;
   auto it = cache_.find(sql);
   if (it != cache_.end()) {
     ++stats_.prepare_cache_hits;
-    return it->second;
+    TouchCacheEntry(&it->second);
+    return it->second.stmt;
   }
   std::string_view body(sql);
   if (ConsumeKeyword(&body, "EXPLAIN")) {
@@ -587,10 +677,12 @@ Result<std::shared_ptr<const PreparedStatement>> Session::Prepare(
   }
   ODH_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedStatement> stmt,
                        PrepareInternal(sql));
-  cache_[sql] = stmt;
-  cache_order_.push_back(sql);
+  auto pos = cache_order_.insert(cache_order_.end(), sql);
+  cache_[sql] = CacheEntry{stmt, pos};
   while (cache_.size() > kPreparedCacheCapacity) {
-    cache_.erase(cache_order_.front());  // Oldest first; handles stay valid.
+    // Least recently used first; in-flight handles stay valid through
+    // their shared_ptr.
+    cache_.erase(cache_order_.front());
     cache_order_.pop_front();
   }
   return stmt;
@@ -602,6 +694,14 @@ Result<std::unique_ptr<QueryStream>> Session::StartStream(
   ODH_RETURN_IF_ERROR(CheckParamCount(*stmt, params));
   std::unique_ptr<QueryStream> stream(
       new QueryStream(engine_, std::move(stmt), params, &stats_));
+  // Every real query gets its own tracker (child of the session's) and a
+  // query-lifetime arena for spill I/O buffers. A budget of 0 tracks
+  // without refusing, so peak memory is observable even ungoverned.
+  stream->mem_ = std::make_unique<common::MemoryTracker>(
+      "query", engine_->memory_budgets().query_bytes, mem_.get());
+  stream->arena_ = std::make_unique<common::Arena>(stream->mem_.get());
+  // Buffered-path budget errors surface here, before any cursor exists;
+  // the stream's destructor has already released everything it charged.
   ODH_RETURN_IF_ERROR(stream->Init(prior_micros, prepared));
   return stream;
 }
@@ -622,10 +722,18 @@ std::unique_ptr<QueryStream> Session::StreamFromResult(QueryResult result) {
 Result<QueryResult> Session::Materialize(std::unique_ptr<QueryStream> stream) {
   QueryResult result;
   result.columns = stream->columns();
+  // Rows accumulating for the caller are charged to the SESSION tracker
+  // (not the query's): the query budget governs the execution working
+  // set — which spilling can keep bounded — while the materialized result
+  // is session state whose size the query cannot reduce. The reservation
+  // is returned when the result is handed out.
+  common::ScopedReservation reserved(mem_.get());
   Row row;
   while (true) {
     ODH_ASSIGN_OR_RETURN(bool more, stream->Next(&row));
     if (!more) break;
+    Status st = reserved.Reserve(common::ApproxRowBytes(row));
+    if (!st.ok()) return stream->Poison(std::move(st));
     result.rows.push_back(std::move(row));
   }
   result.affected_rows = stream->affected_rows();
@@ -671,6 +779,12 @@ Result<QueryResult> Session::ExecutePrepared(
     const std::vector<Datum>& params) {
   if (stmt == nullptr) return Status::InvalidArgument("null statement");
   ++stats_.statements_executed;
+  // Re-execution is a cache touch: a handle in steady use must not be
+  // the one evicted when the cache fills with one-off statements.
+  auto it = cache_.find(stmt->sql());
+  if (it != cache_.end() && it->second.stmt == stmt) {
+    TouchCacheEntry(&it->second);
+  }
   if (!stmt->is_select()) return ExecuteNonSelect(*stmt, params);
   ODH_ASSIGN_OR_RETURN(
       std::unique_ptr<QueryStream> stream,
@@ -704,6 +818,10 @@ Result<std::unique_ptr<QueryStream>> Session::ExecuteStreamingPrepared(
     const std::vector<Datum>& params) {
   if (stmt == nullptr) return Status::InvalidArgument("null statement");
   ++stats_.statements_executed;
+  auto it = cache_.find(stmt->sql());
+  if (it != cache_.end() && it->second.stmt == stmt) {
+    TouchCacheEntry(&it->second);
+  }
   if (!stmt->is_select()) {
     ODH_ASSIGN_OR_RETURN(QueryResult result, ExecuteNonSelect(*stmt, params));
     return StreamFromResult(std::move(result));

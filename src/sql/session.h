@@ -2,14 +2,17 @@
 #define ODH_SQL_SESSION_H_
 
 #include <deque>
+#include <list>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/memory.h"
 #include "common/stopwatch.h"
 #include "sql/engine.h"
 #include "sql/expr_eval.h"
+#include "sql/sort_spill.h"
 
 namespace odh::sql {
 
@@ -80,6 +83,9 @@ class QueryStream : public RowCursor {
   const std::string& explain() const { return explain_; }
   const QueryProfile& profile() const { return profile_; }
   int64_t affected_rows() const { return affected_rows_; }
+  /// This query's memory tracker (child of the session's); null for
+  /// wrapped pre-materialized results. Tests assert eager release on it.
+  common::MemoryTracker* memory() { return mem_.get(); }
 
  private:
   friend class Session;
@@ -94,12 +100,19 @@ class QueryStream : public RowCursor {
   /// account into plan_micros (zero on prepared re-execution); `prepared`
   /// stamps the profile.
   Status Init(double prior_micros, bool prepared);
-  /// Runs the blocking paths (aggregation / ORDER BY) into buffered_.
+  /// Runs the blocking paths (aggregation / ORDER BY) into buffered_ (or
+  /// the spill-capable sorter_ for ORDER BY).
   Status RunBuffered();
   Result<bool> NextStreaming(Row* row);
   Status Poison(Status status);
   /// Harvests counters into profile_ and logs it (once).
   void Finish();
+  /// Charges one row entering buffered_ to the query budget.
+  Status ReserveBufferedRow(const Row& row);
+  /// Eager release of everything a buffered stream still holds: buffered
+  /// rows, the sorter's working set, spill files. Runs on poison, on
+  /// end-of-stream, and on abandonment — never waits for the destructor.
+  void ReleaseBufferedState();
 
   SqlEngine* engine_;
   std::shared_ptr<const PreparedStatement> stmt_;
@@ -119,6 +132,18 @@ class QueryStream : public RowCursor {
   int64_t emitted_ = 0;
   Status poison_;
   bool finished_ = false;
+
+  /// Query-level tracker (child of the session's) charging buffered rows,
+  /// aggregation state and the sort working set; null when the engine has
+  /// no governance configured or for wrapped pre-materialized results.
+  std::unique_ptr<common::MemoryTracker> mem_;
+  /// Query-lifetime bump allocator; spill I/O page buffers live here.
+  std::unique_ptr<common::Arena> arena_;
+  /// Spill-capable ORDER BY state; buffered_ stays empty while it is set.
+  std::unique_ptr<ExternalSorter> sorter_;
+  int64_t buffered_bytes_ = 0;  // Bytes reserved for buffered_ rows.
+  int64_t spill_runs_ = 0;
+  int64_t spill_bytes_ = 0;
 };
 
 /// Per-connection SQL state — the front door that replaces direct
@@ -132,7 +157,11 @@ class QueryStream : public RowCursor {
 /// the second execution skips parse and bind.
 class Session {
  public:
-  explicit Session(SqlEngine* engine) : engine_(engine) {}
+  explicit Session(SqlEngine* engine)
+      : engine_(engine),
+        mem_(std::make_unique<common::MemoryTracker>(
+            "session", engine->memory_budgets().session_bytes,
+            engine->memory_root())) {}
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
@@ -166,6 +195,9 @@ class Session {
 
   const SessionStats& stats() const { return stats_; }
   SqlEngine* engine() { return engine_; }
+  /// The session-level tracker; parent of every query tracker this session
+  /// starts, child of the engine's process root.
+  common::MemoryTracker* memory() { return mem_.get(); }
 
  private:
   Result<std::shared_ptr<const PreparedStatement>> PrepareInternal(
@@ -183,9 +215,19 @@ class Session {
 
   static constexpr size_t kPreparedCacheCapacity = 64;
 
+  /// A cached handle plus its position in the recency list, so promotion
+  /// on re-use is an O(1) splice.
+  struct CacheEntry {
+    std::shared_ptr<const PreparedStatement> stmt;
+    std::list<std::string>::iterator order_pos;
+  };
+  /// Moves an entry to most-recently-used position.
+  void TouchCacheEntry(CacheEntry* entry);
+
   SqlEngine* engine_;
-  std::map<std::string, std::shared_ptr<const PreparedStatement>> cache_;
-  std::deque<std::string> cache_order_;  // Insertion order, for eviction.
+  std::unique_ptr<common::MemoryTracker> mem_;
+  std::map<std::string, CacheEntry> cache_;
+  std::list<std::string> cache_order_;  // LRU order: front = least recent.
   SessionStats stats_;
 };
 

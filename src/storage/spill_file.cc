@@ -1,0 +1,147 @@
+#include "storage/spill_file.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace odh::storage {
+namespace {
+
+constexpr uint32_t kSpillMagic = 0x4f445350;  // "ODSP"
+constexpr uint32_t kSpillVersion = 1;
+
+}  // namespace
+
+// SpillFileWriter ------------------------------------------------------------
+
+Result<std::unique_ptr<SpillFileWriter>> SpillFileWriter::Create(
+    SimDisk* disk, const std::string& name, common::Arena* arena) {
+  ODH_ASSIGN_OR_RETURN(char* buf, arena->Allocate(disk->page_size()));
+  ODH_ASSIGN_OR_RETURN(FileId file, disk->CreateFile(name));
+  // Page 0 is reserved for the header; written (again) by Finish.
+  Result<PageNo> header = disk->AllocatePage(file);
+  if (!header.ok()) {
+    (void)disk->DeleteFile(name);
+    return header.status();
+  }
+  return std::unique_ptr<SpillFileWriter>(
+      new SpillFileWriter(disk, file, name, buf));
+}
+
+Status SpillFileWriter::FlushPage() {
+  const size_t page_size = disk_->page_size();
+  if (page_used_ < page_size) {
+    std::memset(page_ + page_used_, 0, page_size - page_used_);
+  }
+  ODH_ASSIGN_OR_RETURN(PageNo page, disk_->AllocatePage(file_));
+  ODH_RETURN_IF_ERROR(disk_->WritePage(file_, page, page_));
+  page_used_ = 0;
+  return Status::OK();
+}
+
+Status SpillFileWriter::Append(const Slice& record) {
+  if (finished_) return Status::FailedPrecondition("spill writer finished");
+  std::string framed;
+  PutVarint64(&framed, record.size());
+  framed.append(record.data(), record.size());
+
+  const size_t page_size = disk_->page_size();
+  size_t off = 0;
+  while (off < framed.size()) {
+    const size_t n = std::min(framed.size() - off, page_size - page_used_);
+    std::memcpy(page_ + page_used_, framed.data() + off, n);
+    page_used_ += n;
+    off += n;
+    if (page_used_ == page_size) ODH_RETURN_IF_ERROR(FlushPage());
+  }
+  data_bytes_ += framed.size();
+  ++records_;
+  return Status::OK();
+}
+
+Status SpillFileWriter::Finish() {
+  if (finished_) return Status::OK();
+  if (page_used_ > 0) ODH_RETURN_IF_ERROR(FlushPage());
+  std::string header;
+  PutFixed32(&header, kSpillMagic);
+  PutFixed32(&header, kSpillVersion);
+  PutFixed64(&header, data_bytes_);
+  PutFixed64(&header, records_);
+  const size_t page_size = disk_->page_size();
+  header.resize(page_size, '\0');
+  ODH_RETURN_IF_ERROR(disk_->WritePage(file_, 0, header.data()));
+  finished_ = true;
+  return Status::OK();
+}
+
+// SpillFileReader ------------------------------------------------------------
+
+Result<std::unique_ptr<SpillFileReader>> SpillFileReader::Open(
+    SimDisk* disk, const std::string& name, common::Arena* arena) {
+  ODH_ASSIGN_OR_RETURN(char* buf, arena->Allocate(disk->page_size()));
+  ODH_ASSIGN_OR_RETURN(FileId file, disk->OpenFile(name));
+  std::string header(disk->page_size(), '\0');
+  ODH_RETURN_IF_ERROR(disk->ReadPage(file, 0, header.data()));
+  Slice in(header);
+  uint32_t magic = 0, version = 0;
+  uint64_t data_bytes = 0, records = 0;
+  if (!GetFixed32(&in, &magic) || magic != kSpillMagic ||
+      !GetFixed32(&in, &version) || version != kSpillVersion ||
+      !GetFixed64(&in, &data_bytes) || !GetFixed64(&in, &records)) {
+    return Status::Corruption("bad spill file header: " + name);
+  }
+  auto reader =
+      std::unique_ptr<SpillFileReader>(new SpillFileReader(disk, file, buf));
+  reader->data_bytes_ = data_bytes;
+  reader->records_ = records;
+  return reader;
+}
+
+Result<bool> SpillFileReader::Refill() {
+  if (page_pos_ < page_used_) return true;
+  if (consumed_ >= data_bytes_) return false;
+  ODH_RETURN_IF_ERROR(disk_->ReadPage(file_, next_page_, page_));
+  ++next_page_;
+  const uint64_t left = data_bytes_ - consumed_;
+  page_used_ = static_cast<size_t>(
+      std::min<uint64_t>(left, disk_->page_size()));
+  page_pos_ = 0;
+  return true;
+}
+
+Result<uint8_t> SpillFileReader::NextByte() {
+  ODH_ASSIGN_OR_RETURN(bool more, Refill());
+  if (!more) return Status::Corruption("spill run truncated");
+  ++consumed_;
+  return static_cast<uint8_t>(page_[page_pos_++]);
+}
+
+Result<bool> SpillFileReader::Next(std::string* record) {
+  if (emitted_ >= records_) return false;
+  // Varint length, possibly spanning a page boundary.
+  uint64_t len = 0;
+  int shift = 0;
+  while (true) {
+    ODH_ASSIGN_OR_RETURN(uint8_t byte, NextByte());
+    len |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    if (shift > 63) return Status::Corruption("spill record length overflow");
+  }
+  record->clear();
+  record->reserve(len);
+  while (record->size() < len) {
+    ODH_ASSIGN_OR_RETURN(bool more, Refill());
+    if (!more) return Status::Corruption("spill run truncated");
+    const size_t n = std::min<size_t>(len - record->size(),
+                                      page_used_ - page_pos_);
+    record->append(page_ + page_pos_, n);
+    page_pos_ += n;
+    consumed_ += n;
+  }
+  ++emitted_;
+  return true;
+}
+
+}  // namespace odh::storage

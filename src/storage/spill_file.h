@@ -1,0 +1,109 @@
+#ifndef ODH_STORAGE_SPILL_FILE_H_
+#define ODH_STORAGE_SPILL_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/memory.h"
+#include "common/result.h"
+#include "common/slice.h"
+#include "storage/sim_disk.h"
+
+namespace odh::storage {
+
+/// Name prefix of every query-spill temp file. Spill files are
+/// WAL-adjacent scratch: they live on the store's SimDisk next to
+/// "odh$store.wal", are deleted by their owning query on completion or
+/// abort, and are swept by OdhStore::Recover after a crash (a rebooted
+/// historian has no queries, so any surviving spill file is garbage).
+inline constexpr char kSpillFilePrefix[] = "odh$spill$";
+
+inline bool IsSpillFileName(const std::string& name) {
+  return name.rfind(kSpillFilePrefix, 0) == 0;
+}
+
+/// Sequential record writer for one spill run. Records are opaque byte
+/// strings framed with a varint length and packed back to back across
+/// pages; page 0 is a header (magic, data bytes, record count) written by
+/// Finish, so a crash mid-spill leaves a file Recover can identify by
+/// name alone — no content validity is ever assumed.
+///
+/// Buffering: one page of staging carved from the caller's Arena, so
+/// spill I/O memory is charged to the query that spills.
+class SpillFileWriter {
+ public:
+  static Result<std::unique_ptr<SpillFileWriter>> Create(
+      SimDisk* disk, const std::string& name, common::Arena* arena);
+
+  SpillFileWriter(const SpillFileWriter&) = delete;
+  SpillFileWriter& operator=(const SpillFileWriter&) = delete;
+
+  Status Append(const Slice& record);
+
+  /// Flushes the partial tail page and writes the header. No Appends
+  /// after this.
+  Status Finish();
+
+  const std::string& name() const { return name_; }
+  /// Payload bytes framed so far (excludes header/padding).
+  int64_t data_bytes() const { return static_cast<int64_t>(data_bytes_); }
+  int64_t record_count() const { return static_cast<int64_t>(records_); }
+
+ private:
+  SpillFileWriter(SimDisk* disk, FileId file, std::string name, char* page_buf)
+      : disk_(disk), file_(file), name_(std::move(name)), page_(page_buf) {}
+
+  /// Writes the staged page and resets the cursor.
+  Status FlushPage();
+
+  SimDisk* disk_;
+  FileId file_;
+  std::string name_;
+  char* page_;  // page_size() bytes of arena-backed staging.
+  size_t page_used_ = 0;
+  uint64_t data_bytes_ = 0;
+  uint64_t records_ = 0;
+  bool finished_ = false;
+};
+
+/// Sequential reader over a finished spill run. Reads one page at a time
+/// (arena-backed buffer), so merging K runs costs K pages of memory no
+/// matter how large the runs are.
+class SpillFileReader {
+ public:
+  static Result<std::unique_ptr<SpillFileReader>> Open(
+      SimDisk* disk, const std::string& name, common::Arena* arena);
+
+  SpillFileReader(const SpillFileReader&) = delete;
+  SpillFileReader& operator=(const SpillFileReader&) = delete;
+
+  /// False at end of run. Records come back in Append order.
+  Result<bool> Next(std::string* record);
+
+  int64_t record_count() const { return static_cast<int64_t>(records_); }
+
+ private:
+  SpillFileReader(SimDisk* disk, FileId file, char* page_buf)
+      : disk_(disk), file_(file), page_(page_buf) {}
+
+  /// Ensures >= 1 byte is available in the staging page, reading the next
+  /// page if consumed. False at end of data.
+  Result<bool> Refill();
+  Result<uint8_t> NextByte();
+
+  SimDisk* disk_;
+  FileId file_;
+  char* page_;
+  size_t page_used_ = 0;   // Valid bytes in page_.
+  size_t page_pos_ = 0;    // Read cursor within page_.
+  PageNo next_page_ = 1;   // Data starts after the header page.
+  uint64_t data_bytes_ = 0;
+  uint64_t consumed_ = 0;  // Payload bytes consumed so far.
+  uint64_t records_ = 0;
+  uint64_t emitted_ = 0;
+};
+
+}  // namespace odh::storage
+
+#endif  // ODH_STORAGE_SPILL_FILE_H_

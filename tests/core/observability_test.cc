@@ -155,12 +155,13 @@ TEST_F(SystemTablesTest, ExplainProfileReturnsMetricRows) {
       "explain profile SELECT COUNT(*) FROM env_v WHERE id = 1");
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(r->columns, (std::vector<std::string>{"metric", "value"}));
-  ASSERT_EQ(r->rows.size(), 13u);
+  ASSERT_EQ(r->rows.size(), 16u);
   EXPECT_EQ(r->rows[0][0], Datum::String("path"));
   EXPECT_EQ(r->rows[0][1], Datum::String("summary-pushdown"));
   bool saw_total = false;
   bool saw_parallel = false;
   bool saw_cache = false;
+  bool saw_spill = false;
   for (const Row& row : r->rows) {
     if (row[0] == Datum::String("rows_returned")) {
       EXPECT_EQ(row[1], Datum::Int64(1));
@@ -176,6 +177,10 @@ TEST_F(SystemTablesTest, ExplainProfileReturnsMetricRows) {
       saw_cache = true;  // Cache disabled here: present but zero.
       EXPECT_EQ(row[1], Datum::Int64(0));
     }
+    if (row[0] == Datum::String("spill_runs")) {
+      saw_spill = true;  // Summary pushdown never sorts: present but zero.
+      EXPECT_EQ(row[1], Datum::Int64(0));
+    }
     if (row[0] == Datum::String("total_micros")) {
       saw_total = true;
       EXPECT_GT(row[1].double_value(), 0.0);
@@ -184,6 +189,7 @@ TEST_F(SystemTablesTest, ExplainProfileReturnsMetricRows) {
   EXPECT_TRUE(saw_total);
   EXPECT_TRUE(saw_parallel);
   EXPECT_TRUE(saw_cache);
+  EXPECT_TRUE(saw_spill);
 
   // Only SELECT can be profiled.
   auto bad = odh_->engine()->Execute(

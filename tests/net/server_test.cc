@@ -272,6 +272,53 @@ TEST_F(ServerTest, RejectionCounterVisibleThroughOdhMetrics) {
   server.Stop();
 }
 
+TEST_F(ServerTest, MemoryPressureGatesAdmission) {
+  // The memory admission gate: while the engine's reserved bytes sit at
+  // or above the gate, new sessions are turned away with a retryable
+  // kMemoryPressure rejection and re-admitted once pressure drains.
+  core::OdhSystem tiny;
+  ServerOptions options;
+  options.memory_gate_bytes = 1 << 20;
+  HistorianServer server(tiny.engine(), options, tiny.metrics());
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  // Saturate the process tracker, as a storm of buffered queries would.
+  common::MemoryTracker* root = tiny.engine()->memory_root();
+  ASSERT_TRUE(root->TryReserve(1 << 20).ok());
+
+  ClientOptions one_shot;
+  one_shot.max_connect_attempts = 1;
+  auto refused = Client::Connect("127.0.0.1", *port, one_shot);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsResourceExhausted())
+      << refused.status().ToString();
+  EXPECT_EQ(server.mem_rejections(), 1);
+  EXPECT_EQ(server.sessions_rejected(), 1);
+
+  // Retryable by contract: a patient client with backoff rides out the
+  // pressure and gets in the moment it drains.
+  std::thread releaser([root] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    root->Release(1 << 20);
+  });
+  ClientOptions patient;
+  patient.max_connect_attempts = 200;
+  patient.initial_backoff_ms = 5;
+  patient.max_backoff_ms = 20;
+  auto late = Client::Connect("127.0.0.1", *port, patient);
+  releaser.join();
+  ASSERT_TRUE(late.ok()) << late.status().ToString();
+
+  // The admitted session works, and the gate's counter is SQL-visible.
+  auto metrics = (*late)->Query(
+      "SELECT value FROM odh_metrics WHERE name = 'net.mem_rejections'");
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  ASSERT_EQ(metrics->rows.size(), 1u);
+  EXPECT_GE(metrics->rows[0][0].double_value(), 1.0);
+  server.Stop();
+}
+
 // Satellite: admission rejection must be machine-readable — the client
 // classifies by the RejectCode in the frame, never by the reason text.
 TEST_F(ServerTest, RejectionCodeIsMachineReadableNotMessageText) {

@@ -18,6 +18,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -30,7 +31,9 @@
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
 #include "core/odh.h"
+#include "core/replica.h"
 #include "net/client.h"
+#include "net/replication.h"
 #include "net/server.h"
 
 namespace odh::bench {
@@ -191,6 +194,153 @@ void RunFaultModeSection(core::OdhSystem* odh, JsonWriter* json, bool smoke) {
   json->EndObject();
 }
 
+/// Read-replica scale-out leg: one primary keeps ingesting while 1/2/4
+/// replicas tail its WAL and serve the aggregate shape read-only. Reported
+/// per replica count: aggregate QPS across all replicas (the scale-out
+/// curve) and the staleness distribution sampled from the replicas' lag
+/// watermarks during the run.
+void RunReplicationSection(core::OdhSystem* primary, int points,
+                           JsonWriter* json, bool smoke) {
+  const std::vector<int> replica_counts =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4};
+  const int clients_per_replica = 2;
+  const int per_client = smoke ? 30 : 150;
+  const QueryShape& shape = kShapes[2];  // aggregate: replica-friendly.
+
+  net::ReplicationSource source(primary->store());
+  net::ServerOptions primary_options;
+  primary_options.role = net::ServerRole::kPrimary;
+  primary_options.replication = &source;
+  net::HistorianServer primary_server(primary->engine(), primary_options);
+  auto primary_port = primary_server.Start();
+  ODH_CHECK_OK(primary_port.status());
+
+  TablePrinter table({"replicas", "agg QPS", "stale p50 us", "stale p95 us",
+                      "stale p99 us", "errors"});
+  json->Key("replication");
+  json->BeginArray();
+  for (int replicas : replica_counts) {
+    // Build the fleet: replica system + applier + tailing client + server.
+    struct Replica {
+      std::unique_ptr<core::OdhSystem> odh;
+      std::unique_ptr<core::ReplicaApplier> applier;
+      std::unique_ptr<net::ReplicationClient> tail;
+      std::unique_ptr<net::HistorianServer> server;
+      int port = 0;
+    };
+    std::vector<Replica> fleet(replicas);
+    for (Replica& r : fleet) {
+      r.odh = std::make_unique<core::OdhSystem>();
+      int type =
+          r.odh->DefineSchemaType("env", {"temperature", "wind"}).value();
+      for (SourceId id = 1; id <= kSources; ++id) {
+        ODH_CHECK_OK(r.odh->RegisterSource(id, type, kMicrosPerSecond,
+                                           /*regular=*/true));
+      }
+      r.applier = std::make_unique<core::ReplicaApplier>(r.odh->store());
+      r.tail = std::make_unique<net::ReplicationClient>(
+          "127.0.0.1", *primary_port, r.applier.get());
+      ODH_CHECK_OK(r.tail->Start());
+      net::ExposeReplicationLag(r.applier.get(), r.odh->engine());
+      net::ServerOptions ro;
+      ro.role = net::ServerRole::kReplica;
+      r.server = std::make_unique<net::HistorianServer>(r.odh->engine(), ro);
+      auto port = r.server->Start();
+      ODH_CHECK_OK(port.status());
+      r.port = *port;
+      // Bootstrap before the clock starts: the leg measures steady-state
+      // read scale-out, not snapshot shipping.
+      while (!r.tail->WaitForLsn(primary->store()->durable_lsn(), 100)) {
+      }
+    }
+
+    // Writes keep flowing while the read fleet is hammered, so the
+    // staleness samples reflect a live system, not a quiesced one.
+    std::atomic<bool> stop_ingest{false};
+    std::thread ingester([&] {
+      // Resume past everything already ingested (earlier sections and
+      // earlier fleet sizes share this primary): per-source timestamps
+      // must be non-decreasing.
+      int64_t i =
+          primary->store()->MaxIngestedTimestamp() / kMicrosPerSecond + 1;
+      while (!stop_ingest.load(std::memory_order_relaxed)) {
+        for (SourceId id = 1; id <= kSources; ++id) {
+          ODH_CHECK_OK(primary->Ingest({id, i * kMicrosPerSecond,
+                                        {20.0 + id + 0.01 * i, 0.5 * id}}));
+        }
+        ODH_CHECK_OK(primary->FlushAll());
+        ++i;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+    std::atomic<bool> stop_sampling{false};
+    std::vector<double> staleness_us;
+    std::thread sampler([&] {
+      while (!stop_sampling.load(std::memory_order_relaxed)) {
+        for (const Replica& r : fleet) {
+          staleness_us.push_back(
+              static_cast<double>(r.applier->staleness_micros()));
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+
+    // One RunShape per replica, concurrently: aggregate QPS is total
+    // queries over the longest replica's wall time (the fleet's rate).
+    std::vector<ShapeResult> results(replicas);
+    Stopwatch wall;
+    std::vector<std::thread> runners;
+    for (int i = 0; i < replicas; ++i) {
+      runners.emplace_back([&, i] {
+        results[i] = RunShape(fleet[i].port, shape, clients_per_replica,
+                              per_client);
+      });
+    }
+    for (std::thread& t : runners) t.join();
+    const double seconds = wall.ElapsedSeconds();
+    stop_sampling.store(true, std::memory_order_relaxed);
+    stop_ingest.store(true, std::memory_order_relaxed);
+    sampler.join();
+    ingester.join();
+
+    int64_t queries = 0, errors = 0;
+    for (const ShapeResult& r : results) {
+      queries += r.queries;
+      errors += r.errors;
+    }
+    const double agg_qps =
+        seconds > 0 ? static_cast<double>(queries) / seconds : 0;
+    // PercentileMs reports milliseconds; staleness stays in microseconds.
+    const double p50 = PercentileMs(&staleness_us, 0.50) * 1000.0;
+    const double p95 = PercentileMs(&staleness_us, 0.95) * 1000.0;
+    const double p99 = PercentileMs(&staleness_us, 0.99) * 1000.0;
+
+    table.AddRow({std::to_string(replicas), TablePrinter::FormatCount(agg_qps),
+                  TablePrinter::FormatCount(p50), TablePrinter::FormatCount(p95),
+                  TablePrinter::FormatCount(p99), std::to_string(errors)});
+    json->BeginObject();
+    json->KeyValue("replicas", static_cast<int64_t>(replicas));
+    json->KeyValue("clients_per_replica",
+                   static_cast<int64_t>(clients_per_replica));
+    json->KeyValue("shape", shape.name);
+    json->KeyValue("aggregate_qps", agg_qps);
+    json->KeyValue("staleness_p50_us", p50);
+    json->KeyValue("staleness_p95_us", p95);
+    json->KeyValue("staleness_p99_us", p99);
+    json->KeyValue("queries", queries);
+    json->KeyValue("errors", errors);
+    json->EndObject();
+
+    for (Replica& r : fleet) {
+      r.tail->Stop();
+      r.server->Stop();
+    }
+  }
+  json->EndArray();
+  table.Print("Read-replica scale-out (aggregate shape, live ingest)");
+  primary_server.Stop();
+}
+
 int Run(int argc, char** argv) {
   const double scale = ScaleFromArgs(argc, argv);
   bool smoke = false;
@@ -275,6 +425,10 @@ int Run(int argc, char** argv) {
   // Fault-mode leg: measures what the deadline/fault plumbing costs when
   // nothing goes wrong (the acceptance bar is <= 5% QPS).
   RunFaultModeSection(&odh, &json, smoke);
+
+  // Replica scale-out leg: aggregate QPS at 1/2/4 replicas plus staleness
+  // percentiles under live ingest.
+  RunReplicationSection(&odh, points, &json, smoke);
   json.EndObject();
   if (json.WriteFile("BENCH_server.json")) {
     std::printf("Server data written to BENCH_server.json\n");

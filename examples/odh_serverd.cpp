@@ -146,7 +146,7 @@ int main(int argc, char** argv) {
   // statements already streaming finish (up to 5s) before Stop joins the
   // workers and force-closes whatever is left.
   auto shut_down = [&server] {
-    server.Drain(/*timeout_ms=*/5000);
+    ODH_CHECK_OK(server.Drain(/*timeout_ms=*/5000));
     server.Stop();
     std::printf("shutdown: %lld sessions drained, %lld force-closed\n",
                 static_cast<long long>(server.drained_sessions()),

@@ -859,6 +859,157 @@ Status OdhStore::Sync(int schema_type) {
   return Status::OK();
 }
 
+Result<OdhStore::ReplicationSnapshot> OdhStore::SnapshotForReplication() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ReplicationSnapshot snap;
+  if (wal_ != nullptr) {
+    // Appends are blocked while mu_ is held, so after this Sync the
+    // durable log covers every record any table row below came from.
+    ODH_RETURN_IF_ERROR(wal_->Sync());
+    snap.base_lsn = wal_->synced_bytes();
+  }
+  for (const auto& [schema_type, container] : containers_) {
+    for (const auto& [key, seg] : container.segments) {
+      (void)key;
+      for (bool irts : {false, true}) {
+        relational::Table* table = irts ? seg.irts : seg.rts;
+        auto rows = table->NewIterator();
+        ODH_RETURN_IF_ERROR(rows.SeekToFirst());
+        while (rows.Valid()) {
+          ODH_ASSIGN_OR_RETURN(Row row, rows.row());
+          std::string payload;
+          EncodeWalPayload(
+              irts ? WalRecord::Kind::kIrts : WalRecord::Kind::kRts,
+              schema_type, row[kSeriesId].int64_value(),
+              row[kSeriesBegin].timestamp_value(),
+              row[kSeriesEnd].timestamp_value(),
+              row[kSeriesInterval].int64_value(),
+              row[kSeriesCount].int64_value(),
+              Slice(row[kSeriesBlob].string_value()),
+              Slice(row[kSeriesZone].string_value()), &payload);
+          snap.records.push_back(std::move(payload));
+          ODH_RETURN_IF_ERROR(rows.Next());
+        }
+      }
+      auto rows = seg.mg->NewIterator();
+      ODH_RETURN_IF_ERROR(rows.SeekToFirst());
+      while (rows.Valid()) {
+        ODH_ASSIGN_OR_RETURN(Row row, rows.row());
+        std::string payload;
+        EncodeWalPayload(WalRecord::Kind::kMg, schema_type,
+                         row[kMgGroup].int64_value(),
+                         row[kMgBegin].timestamp_value(),
+                         row[kMgEnd].timestamp_value(), /*interval=*/0,
+                         row[kMgCount].int64_value(),
+                         Slice(row[kMgBlob].string_value()),
+                         Slice(row[kMgZone].string_value()), &payload);
+        snap.records.push_back(std::move(payload));
+        ODH_RETURN_IF_ERROR(rows.Next());
+      }
+    }
+  }
+  return snap;
+}
+
+uint64_t OdhStore::durable_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_ == nullptr ? 0 : wal_->synced_bytes();
+}
+
+Result<Wal::TailChunk> OdhStore::ReadWal(uint64_t from_lsn,
+                                         size_t max_bytes) const {
+  const Wal* log;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    log = wal_.get();
+  }
+  if (log == nullptr) {
+    Wal::TailChunk empty;
+    empty.next_lsn = from_lsn;
+    return empty;
+  }
+  // The Wal lives as long as the store once created; ReadDurable is
+  // thread-safe, so the cursor read runs outside mu_ and never blocks
+  // ingestion.
+  return log->ReadDurable(from_lsn, max_bytes);
+}
+
+Timestamp OdhStore::MaxIngestedTimestamp() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Timestamp watermark = kMinTimestamp;
+  for (const auto& [schema_type, container] : containers_) {
+    (void)schema_type;
+    for (const auto& [key, seg] : container.segments) {
+      (void)key;
+      for (const ContainerStats* s :
+           {&seg.rts_stats, &seg.irts_stats, &seg.mg_stats}) {
+        if (s->max_ts > watermark) watermark = s->max_ts;
+      }
+    }
+  }
+  return watermark;
+}
+
+Status OdhStore::DeleteMgByContent(int schema_type, int64_t group,
+                                   Timestamp begin, Timestamp end,
+                                   int64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
+  const std::string key = EncodeKey({Datum::Time(begin), Datum::Int64(group)});
+  for (auto& [seg_key, seg] : container->segments) {
+    (void)seg_key;
+    if (SegmentDisjoint(seg.mg_stats, begin, begin)) continue;
+    ODH_ASSIGN_OR_RETURN(relational::Table::IndexIterator it,
+                         seg.mg->IndexScan(0, key, key));
+    while (it.Valid()) {
+      ODH_ASSIGN_OR_RETURN(Row row, seg.mg->Get(it.rid()));
+      if (row[kMgEnd].timestamp_value() == end &&
+          row[kMgCount].int64_value() == n) {
+        ContainerStats& stats = seg.mg_stats;
+        --stats.blob_count;
+        stats.point_count -= n;
+        stats.blob_bytes -=
+            static_cast<int64_t>(row[kMgBlob].string_value().size());
+        ODH_RETURN_IF_ERROR(LogPut(WalRecord::Kind::kMgDelete, schema_type,
+                                   group, begin, end, /*interval=*/0, n,
+                                   Slice(), Slice()));
+        ++seg.manifest.version;
+        return seg.mg->Delete(it.rid());
+      }
+      ODH_RETURN_IF_ERROR(it.Next());
+    }
+  }
+  // Already absent: the bootstrap snapshot can precede the delete record
+  // it replicates, so this is convergence, not loss.
+  return Status::OK();
+}
+
+Status OdhStore::ApplyReplicatedDrop(int schema_type, int64_t key,
+                                     Timestamp lo, Timestamp hi) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ODH_ASSIGN_OR_RETURN(Container * container, GetContainer(schema_type));
+  auto it = container->segments.find(key);
+  if (it == container->segments.end()) return Status::OK();  // Idempotent.
+  Segment& seg = it->second;
+  // Log the LOCAL manifest bounds, not the primary's: this record drives
+  // the replica's own recovery, which suppresses data records inside the
+  // logged window. Same OdhOptions make the two identical anyway.
+  (void)lo;
+  (void)hi;
+  ODH_RETURN_IF_ERROR(LogPut(WalRecord::Kind::kSegmentDrop, schema_type, key,
+                             seg.manifest.lo, seg.manifest.hi,
+                             /*interval=*/0, /*n=*/0, Slice(), Slice()));
+  ODH_RETURN_IF_ERROR(wal_->Sync());
+  ODH_RETURN_IF_ERROR(db_->DropTable(seg.rts->name()));
+  ODH_RETURN_IF_ERROR(db_->DropTable(seg.irts->name()));
+  ODH_RETURN_IF_ERROR(db_->DropTable(seg.mg->name()));
+  container->next_generation[key] =
+      std::max(seg.manifest.generation, seg.mg_epoch) + 1;
+  container->segments.erase(key);
+  segments_dropped_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
 Result<RecoveryReport> OdhStore::Recover(storage::SimDisk* crashed_disk) {
   ODH_ASSIGN_OR_RETURN(Wal::ReadResult log,
                        Wal::ReadLog(crashed_disk, kWalFileName));

@@ -329,6 +329,53 @@ class OdhStore {
     return wal_.get();
   }
 
+  // --- Replication (primary side) --------------------------------------
+
+  /// A consistent bootstrap image for a fresh replica: every stored blob,
+  /// re-encoded as WAL record payloads, plus the durable LSN the image is
+  /// exactly as of. Streaming `records` and then tailing the WAL from
+  /// `base_lsn` reproduces this store with no gap and no overlap.
+  struct ReplicationSnapshot {
+    uint64_t base_lsn = 0;
+    std::vector<std::string> records;  // Encoded WalRecord payloads.
+  };
+
+  /// Takes the bootstrap snapshot under the store mutex: the WAL is synced
+  /// first (appends are blocked, so durable == appended), then every
+  /// segment's RTS/IRTS/MG rows are encoded. An empty store (no WAL yet)
+  /// yields base_lsn 0 and no records.
+  Result<ReplicationSnapshot> SnapshotForReplication();
+
+  /// Durable WAL length — the replication LSN watermark. 0 before the
+  /// first Put creates the log.
+  uint64_t durable_lsn() const;
+
+  /// Cursor read over the durable WAL (see Wal::ReadDurable). An empty
+  /// chunk with next_lsn == from_lsn when the log does not exist yet.
+  Result<Wal::TailChunk> ReadWal(uint64_t from_lsn, size_t max_bytes) const;
+
+  /// Newest ingested timestamp across every container (kMinTimestamp when
+  /// empty) — the primary's data watermark carried in replication
+  /// heartbeats, against which replicas compute staleness.
+  Timestamp MaxIngestedTimestamp() const;
+
+  // --- Replication (replica side, driven by core::ReplicaApplier) ------
+
+  /// Applies a replicated kMgDelete: finds the MG blob with this exact
+  /// content key (group, begin, end, n), deletes it and re-logs the
+  /// deletion into this store's own WAL. Rids are not stable across the
+  /// wire, so the match is by content — the same rule Recover() uses. A
+  /// missing blob is OK (the snapshot bootstrap may already reflect the
+  /// deletion).
+  Status DeleteMgByContent(int schema_type, int64_t group, Timestamp begin,
+                           Timestamp end, int64_t n);
+
+  /// Applies a replicated kSegmentDrop: drops segment `key` (nominal
+  /// bounds [lo, hi)) with the same WAL-first discipline ApplyRetention
+  /// uses. Idempotent — a segment this replica never materialized is OK.
+  Status ApplyReplicatedDrop(int schema_type, int64_t key, Timestamp lo,
+                             Timestamp hi);
+
   /// Wires WAL group-commit instruments into `metrics` — immediately when
   /// the WAL already exists, otherwise at its lazy creation. Instruments
   /// are resolved from the registry BEFORE taking mu_: registry gauges

@@ -170,7 +170,9 @@ Status Wal::Sync() {
       result = written;
       break;
     }
-    synced_bytes_.store(synced + n, std::memory_order_relaxed);
+    // Release pairs with ReadDurable's acquire: a cursor that observes the
+    // advanced watermark must also observe the page bytes behind it.
+    synced_bytes_.store(synced + n, std::memory_order_release);
     consumed += n;
   }
 
@@ -193,6 +195,70 @@ Status Wal::Sync() {
   lock.unlock();
   sync_cv_.notify_all();
   return result;
+}
+
+Result<Wal::TailChunk> Wal::ReadDurable(uint64_t from_lsn,
+                                        size_t max_bytes) const {
+  TailChunk out;
+  const uint64_t durable = synced_bytes_.load(std::memory_order_acquire);
+  out.durable_lsn = durable;
+  out.next_lsn = from_lsn;
+  if (from_lsn > durable) {
+    return Status::OutOfRange("lsn " + std::to_string(from_lsn) +
+                              " beyond durable log end " +
+                              std::to_string(durable));
+  }
+  if (from_lsn == durable) return out;
+
+  // Pages are loaded lazily as frames demand them (a blob record may
+  // straddle several); a transient read fault retries with the same
+  // bounded backoff the write path uses.
+  const uint64_t base = (from_lsn / page_size_) * page_size_;
+  std::string buf;
+  uint64_t loaded_end = base;
+  auto ensure = [&](uint64_t upto) -> Status {
+    while (loaded_end < upto) {
+      const auto page = static_cast<storage::PageNo>(loaded_end / page_size_);
+      const size_t off = buf.size();
+      buf.resize(off + page_size_);
+      Status read;
+      for (int attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
+        read = disk_->ReadPage(file_, page, &buf[off]);
+        if (!read.IsUnavailable()) break;
+        Backoff(attempt);
+      }
+      ODH_RETURN_IF_ERROR(read);
+      loaded_end += page_size_;
+    }
+    return Status::OK();
+  };
+
+  uint64_t pos = from_lsn;
+  size_t produced = 0;
+  while (pos + kFrameHeader <= durable && produced < max_bytes) {
+    ODH_RETURN_IF_ERROR(ensure(pos + kFrameHeader));
+    const char* header = buf.data() + (pos - base);
+    const uint32_t len = DecodeFixed32(header);
+    const uint32_t crc = DecodeFixed32(header + 4);
+    if (len == 0) {
+      return Status::DataLoss("zero-length frame below the durable "
+                              "watermark at lsn " + std::to_string(pos));
+    }
+    // A frame straddling the watermark is still being synced; it becomes
+    // readable once the watermark moves past it.
+    if (pos + kFrameHeader + len > durable) break;
+    ODH_RETURN_IF_ERROR(ensure(pos + kFrameHeader + len));
+    const char* payload = buf.data() + (pos - base) + kFrameHeader;
+    if (storage::Crc32c(payload, len) != crc) {
+      return Status::DataLoss("crc mismatch below the durable watermark "
+                              "at lsn " + std::to_string(pos));
+    }
+    out.records.emplace_back(payload, len);
+    produced += len;
+    pos += kFrameHeader + len;
+  }
+  out.next_lsn = pos;
+  return out;
 }
 
 Result<Wal::ReadResult> Wal::ReadLog(storage::SimDisk* disk,

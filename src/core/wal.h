@@ -156,6 +156,27 @@ class Wal {
   static Result<ReadResult> ReadLog(storage::SimDisk* disk,
                                     const std::string& name);
 
+  /// One chunk of the durable log, read by a replication cursor. An LSN is
+  /// a byte offset into the log; LSNs handed out here are always frame
+  /// boundaries, so `next_lsn` can be fed straight back into ReadDurable.
+  struct TailChunk {
+    std::vector<std::string> records;  // Decoded payloads, in log order.
+    uint64_t next_lsn = 0;             // Resume position (frame-aligned).
+    uint64_t durable_lsn = 0;          // Durable log length at read time.
+  };
+
+  /// Cursor read over the live log: decodes complete frames starting at
+  /// byte offset `from_lsn` (0 or a `next_lsn` returned earlier), stopping
+  /// once roughly `max_bytes` of payload have been collected or the
+  /// durable watermark is reached. Only bytes below synced_bytes() are
+  /// trusted — a frame still being written by a concurrent Sync straddles
+  /// the watermark and is left for the next call. Thread-safe against
+  /// concurrent Append/Sync: the durable prefix is immutable (the tail
+  /// page is only ever extended, and page I/O is serialized by the disk).
+  /// A CRC mismatch below the watermark is real corruption, not a torn
+  /// tail, and fails with kDataLoss.
+  Result<TailChunk> ReadDurable(uint64_t from_lsn, size_t max_bytes) const;
+
  private:
   Wal(storage::SimDisk* disk, storage::FileId file);
 

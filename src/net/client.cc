@@ -95,7 +95,7 @@ Status Client::ConnectOnce() {
       return Status::Unavailable("injected connect fault");
     }
   }
-  Deadline dl = Deadline::AfterMillisOrInfinite(options_.connect_timeout_ms);
+  Deadline dl = Deadline::AfterMillisOrInfinite(policy_.connect_timeout_ms);
   Result<int> fd = ConnectWithDeadline(host_, port_, dl);
   if (!fd.ok()) {
     if (fd.status().IsDeadlineExceeded()) ++stats_.deadline_timeouts;
@@ -147,9 +147,9 @@ Status Client::ConnectOnce() {
 }
 
 Status Client::ConnectWithRetry() {
-  ExponentialBackoff backoff(options_.initial_backoff_ms,
-                             options_.max_backoff_ms, options_.backoff_seed);
-  const int attempts = std::max(1, options_.max_connect_attempts);
+  ExponentialBackoff backoff(policy_.initial_backoff_ms,
+                             policy_.max_backoff_ms, policy_.backoff_seed);
+  const int attempts = policy_.ConnectAttempts();
   Status last;
   for (int attempt = 1; attempt <= attempts; ++attempt) {
     last = ConnectOnce();
@@ -168,6 +168,7 @@ Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
   client->host_ = host;
   client->port_ = port;
   client->options_ = options;
+  client->policy_ = options.EffectiveRetryPolicy();
   ODH_RETURN_IF_ERROR(client->ConnectWithRetry());
   return client;
 }
@@ -206,7 +207,7 @@ Result<uint64_t> Client::ResolveStatement(const ClientStatement& stmt) {
   if (remote.generation == generation_) return remote.server_id;
   // Prepared on a dead connection: the server-side handle died with it.
   // Re-prepare the retained SQL on the current connection.
-  Deadline dl = Deadline::AfterMillisOrInfinite(options_.rpc_deadline_ms);
+  Deadline dl = Deadline::AfterMillisOrInfinite(policy_.rpc_deadline_ms);
   ODH_RETURN_IF_ERROR(
       SendFrame(FrameType::kPrepare, [&] {
         std::string payload;
@@ -238,7 +239,7 @@ Result<uint64_t> Client::ResolveStatement(const ClientStatement& stmt) {
 
 Result<std::unique_ptr<ClientCursor>> Client::StartStreamOnce(
     FrameType type, const std::string& payload, bool* fully_sent) {
-  Deadline dl = Deadline::AfterMillisOrInfinite(options_.rpc_deadline_ms);
+  Deadline dl = Deadline::AfterMillisOrInfinite(policy_.rpc_deadline_ms);
   ODH_RETURN_IF_ERROR(SendFrame(type, payload, dl));
   // WriteAll is all-or-error: an OK here means the whole request frame is
   // on the wire, so the server may act on it — the retry policy's
@@ -273,11 +274,10 @@ Result<std::unique_ptr<ClientCursor>> Client::StartStream(
     return Status::FailedPrecondition(
         "a result stream is still open; drain or destroy it first");
   }
-  ExponentialBackoff backoff(options_.initial_backoff_ms,
-                             options_.max_backoff_ms,
-                             options_.backoff_seed + 1);
-  const int attempts =
-      options_.auto_retry ? std::max(1, options_.max_statement_attempts) : 1;
+  ExponentialBackoff backoff(policy_.initial_backoff_ms,
+                             policy_.max_backoff_ms,
+                             policy_.backoff_seed + 1);
+  const int attempts = policy_.StatementAttempts();
   Status last;
   for (int attempt = 1; attempt <= attempts; ++attempt) {
     if (!transport_.valid()) {
@@ -297,7 +297,8 @@ Result<std::unique_ptr<ClientCursor>> Client::StartStream(
     // the caller declared idempotent. A fully sent non-idempotent request
     // may have taken effect without its ack — surface the error instead.
     const bool safe_to_retry =
-        !fully_sent || idempotent || options_.assume_idempotent;
+        !fully_sent || idempotent ||
+        policy_.idempotency == IdempotencyClass::kIdempotent;
     if (!safe_to_retry || attempt == attempts) return last;
     ++stats_.statement_retries;
     std::this_thread::sleep_for(
@@ -307,7 +308,7 @@ Result<std::unique_ptr<ClientCursor>> Client::StartStream(
 }
 
 Status Client::Advance(ClientCursor* cursor) {
-  Deadline dl = Deadline::AfterMillisOrInfinite(options_.rpc_deadline_ms);
+  Deadline dl = Deadline::AfterMillisOrInfinite(policy_.rpc_deadline_ms);
   Frame frame;
   Result<bool> got = ReadInto(&frame, dl);
   if (!got.ok() || !got.value()) {
@@ -394,11 +395,10 @@ Result<ClientStatement> Client::Prepare(const std::string& sql) {
   }
   std::string payload;
   PutString(&payload, sql);
-  ExponentialBackoff backoff(options_.initial_backoff_ms,
-                             options_.max_backoff_ms,
-                             options_.backoff_seed + 2);
-  const int attempts =
-      options_.auto_retry ? std::max(1, options_.max_statement_attempts) : 1;
+  ExponentialBackoff backoff(policy_.initial_backoff_ms,
+                             policy_.max_backoff_ms,
+                             policy_.backoff_seed + 2);
+  const int attempts = policy_.StatementAttempts();
   Status last;
   ClientStatement stmt;
   for (int attempt = 1; attempt <= attempts; ++attempt) {
@@ -406,7 +406,7 @@ Result<ClientStatement> Client::Prepare(const std::string& sql) {
       Status connected = ConnectWithRetry();
       if (!connected.ok()) return connected;
     }
-    Deadline dl = Deadline::AfterMillisOrInfinite(options_.rpc_deadline_ms);
+    Deadline dl = Deadline::AfterMillisOrInfinite(policy_.rpc_deadline_ms);
     last = SendFrame(FrameType::kPrepare, payload, dl);
     if (last.ok()) {
       Frame frame;
@@ -464,11 +464,10 @@ Result<std::unique_ptr<ClientCursor>> Client::ExecuteStream(
   // Like StartStream, but the payload is rebuilt per attempt: after a
   // reconnect the statement has to be re-prepared, which changes its
   // server-side id.
-  ExponentialBackoff backoff(options_.initial_backoff_ms,
-                             options_.max_backoff_ms,
-                             options_.backoff_seed + 3);
-  const int attempts =
-      options_.auto_retry ? std::max(1, options_.max_statement_attempts) : 1;
+  ExponentialBackoff backoff(policy_.initial_backoff_ms,
+                             policy_.max_backoff_ms,
+                             policy_.backoff_seed + 3);
+  const int attempts = policy_.StatementAttempts();
   Status last;
   for (int attempt = 1; attempt <= attempts; ++attempt) {
     if (!transport_.valid()) {
@@ -486,7 +485,8 @@ Result<std::unique_ptr<ClientCursor>> Client::ExecuteStream(
     last = started.status();
     if (!IsRetryable(last)) return last;
     Abandon();
-    const bool safe_to_retry = !fully_sent || options_.assume_idempotent;
+    const bool safe_to_retry =
+        !fully_sent || policy_.idempotency == IdempotencyClass::kIdempotent;
     if (!safe_to_retry || attempt == attempts) return last;
     ++stats_.statement_retries;
     std::this_thread::sleep_for(
@@ -508,7 +508,7 @@ Status Client::CloseStatement(const ClientStatement& stmt) {
   }
   if (!transport_.valid()) return Status::OK();
   return SendFrame(FrameType::kCloseStmt, EncodeStmtId(server_id),
-                   Deadline::AfterMillisOrInfinite(options_.rpc_deadline_ms));
+                   Deadline::AfterMillisOrInfinite(policy_.rpc_deadline_ms));
 }
 
 }  // namespace odh::net

@@ -8,10 +8,13 @@
 #include <string>
 #include <vector>
 
+#include <optional>
+
 #include "common/backoff.h"
 #include "common/datum.h"
 #include "common/result.h"
 #include "net/fault.h"
+#include "net/retry_policy.h"
 #include "net/transport.h"
 #include "net/wire.h"
 
@@ -20,43 +23,54 @@ namespace odh::net {
 /// Knobs for the client's fault tolerance. The defaults suit an
 /// interactive client on a mostly healthy network; ingest daemons on
 /// flaky plant-floor links want more attempts and a larger backoff cap.
+///
+/// Set `retry` to configure resilience; it wins wholesale over the loose
+/// legacy fields below. The retry semantics (what each deadline covers,
+/// when a statement is safe to re-send, the stream poison contract) are
+/// documented on RetryPolicy and IdempotencyClass.
 struct ClientOptions {
-  /// Budget for one TCP connect + protocol handshake (<= 0: no deadline).
-  int connect_timeout_ms = 5000;
-  /// Budget for one request/response exchange — sending the statement and
-  /// reading each reply frame (<= 0: no deadline). A lapse surfaces as
-  /// kDeadlineExceeded and closes the connection (the stream position is
-  /// unknowable afterwards).
-  int rpc_deadline_ms = 10000;
+  /// The one retry/deadline/backoff knob. When unset, the deprecated
+  /// loose fields below are folded into an equivalent policy at Connect
+  /// (see EffectiveRetryPolicy).
+  std::optional<RetryPolicy> retry;
 
-  /// Total connection attempts per logical Connect/reconnect (>= 1).
-  /// Transient failures (refused, timeout, admission rejection, injected
-  /// faults) are retried with exponential backoff + full jitter between
-  /// attempts; fatal ones (bad address, version skew) are not.
+  // --- Deprecated loose fields (one release of grace) -------------------
+  // Kept working for existing callers; ignored entirely when `retry` is
+  // set. `auto_retry=false` maps to IdempotencyClass::kNone,
+  // `assume_idempotent=true` to kIdempotent, the default pair to
+  // kUnstartedOnly.
+  int connect_timeout_ms = 5000;
+  int rpc_deadline_ms = 10000;
   int max_connect_attempts = 4;
-  /// Total attempts per retryable statement (>= 1): the first try plus
-  /// automatic retries on a fresh connection.
   int max_statement_attempts = 3;
   int initial_backoff_ms = 10;
   int max_backoff_ms = 1000;
-  /// Seed for backoff jitter; fix it to make retry schedules replayable.
   uint64_t backoff_seed = 0;
-
-  /// Reconnect-and-retry policy. Handshakes and Prepare are idempotent
-  /// and always retried. Query/Execute are retried only while provably
-  /// unstarted: the request frame never fully reached the wire, so the
-  /// server cannot have acted on it. Once a request is fully sent, a lost
-  /// reply is ambiguous (an INSERT may have applied without its ack) and
-  /// the error is surfaced instead — unless `assume_idempotent` says the
-  /// workload is read-only/idempotent, which extends retry to any
-  /// statement that has not yet yielded a result frame. A stream that has
-  /// produced rows is NEVER retried: it poisons per the cursor contract.
   bool auto_retry = true;
   bool assume_idempotent = false;
+  // ----------------------------------------------------------------------
 
   /// Test hook: fault policy consulted on connect and by the transport
   /// (must outlive the client). Production leaves this null.
   FaultPolicy* fault_policy = nullptr;
+
+  /// The policy the client will actually run: `retry` verbatim when set,
+  /// otherwise the legacy fields translated.
+  RetryPolicy EffectiveRetryPolicy() const {
+    if (retry.has_value()) return *retry;
+    RetryPolicy p;
+    p.connect_timeout_ms = connect_timeout_ms;
+    p.rpc_deadline_ms = rpc_deadline_ms;
+    p.max_connect_attempts = max_connect_attempts;
+    p.max_statement_attempts = max_statement_attempts;
+    p.initial_backoff_ms = initial_backoff_ms;
+    p.max_backoff_ms = max_backoff_ms;
+    p.backoff_seed = backoff_seed;
+    p.idempotency = !auto_retry ? IdempotencyClass::kNone
+                    : assume_idempotent ? IdempotencyClass::kIdempotent
+                                        : IdempotencyClass::kUnstartedOnly;
+    return p;
+  }
 };
 
 /// A prepared statement's client-side handle. The id names the statement
@@ -76,7 +90,10 @@ struct ClientResult {
   DoneInfo done;  // Affected rows, executed path, server-side timings.
 };
 
-/// Client-side fault-tolerance counters (one client's lifetime).
+/// Client-side fault-tolerance counters. Lifetime semantics (uniform with
+/// sql::SessionStats): counters accumulate over the OBJECT's lifetime and
+/// are never reset implicitly — not by Close(), not by an automatic
+/// reconnect. Call Client::ResetStats() to zero them explicitly.
 struct ClientStats {
   int64_t connect_attempts = 0;   // TCP connects tried (incl. successes).
   int64_t reconnects = 0;         // Successful re-handshakes after loss.
@@ -157,6 +174,11 @@ class Client {
 
   uint64_t session_id() const { return session_id_; }
   const ClientStats& stats() const { return stats_; }
+  /// Zeroes the counters. The ONLY way stats reset — Close() and
+  /// reconnects never do (see ClientStats).
+  void ResetStats() { stats_ = {}; }
+  /// The resolved retry policy this client runs (legacy fields folded in).
+  const RetryPolicy& retry_policy() const { return policy_; }
   bool connected() const { return transport_.valid(); }
 
   /// True for errors worth retrying (possibly on a new connection):
@@ -209,6 +231,9 @@ class Client {
   std::string host_;
   int port_ = 0;
   ClientOptions options_;
+  /// Resolved once at Connect from options_ (EffectiveRetryPolicy); every
+  /// deadline/backoff decision reads this, never the loose legacy fields.
+  RetryPolicy policy_;
   Transport transport_;
   uint64_t session_id_ = 0;
   /// Bumped on every successful (re)connect; prepared statements from

@@ -1,0 +1,58 @@
+#ifndef ODH_NET_RETRY_POLICY_H_
+#define ODH_NET_RETRY_POLICY_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace odh::net {
+
+/// What a caller is willing to re-send after an ambiguous failure (the
+/// connection died after the request was fully written, so the server may
+/// or may not have executed it).
+enum class IdempotencyClass {
+  /// Retry only when the request was provably never delivered (default —
+  /// matches the old `auto_retry=true, assume_idempotent=false`).
+  kUnstartedOnly,
+  /// Every request is safe to re-execute; retry even ambiguous failures
+  /// (the old `assume_idempotent=true`).
+  kIdempotent,
+  /// Never retry statements; fail fast (the old `auto_retry=false`).
+  kNone,
+};
+
+/// One value object holding every retry/deadline/backoff knob a network
+/// caller needs, replacing the loose ints and booleans that used to live
+/// on ClientOptions. The replication catch-up loop reuses this verbatim:
+/// a replica's reconnect cadence is governed by the same policy type a
+/// query client uses, so tuning lore transfers.
+///
+/// Backoff is exponential with full jitter: attempt k sleeps a uniform
+/// random duration in [0, min(max_backoff_ms, initial_backoff_ms << k)].
+struct RetryPolicy {
+  /// Deadline for one TCP connect + protocol handshake, milliseconds.
+  int connect_timeout_ms = 5000;
+  /// Deadline for one statement round trip (or one replication-stream
+  /// read), milliseconds. 0 means no deadline.
+  int rpc_deadline_ms = 10000;
+  /// Connection attempts per logical connect (>= 1).
+  int max_connect_attempts = 4;
+  /// Statement attempts including the first (>= 1). Ignored when
+  /// `idempotency` is kNone — that class never retries statements.
+  int max_statement_attempts = 3;
+  int initial_backoff_ms = 10;
+  int max_backoff_ms = 1000;
+  /// Seeds the jitter PRNG; fixed seeds make chaos tests reproducible.
+  uint64_t backoff_seed = 0;
+  IdempotencyClass idempotency = IdempotencyClass::kUnstartedOnly;
+
+  /// Attempts the statement path should make under this policy.
+  int StatementAttempts() const {
+    if (idempotency == IdempotencyClass::kNone) return 1;
+    return std::max(1, max_statement_attempts);
+  }
+  int ConnectAttempts() const { return std::max(1, max_connect_attempts); }
+};
+
+}  // namespace odh::net
+
+#endif  // ODH_NET_RETRY_POLICY_H_

@@ -17,9 +17,35 @@
 #include "net/wire.h"
 #include "sql/session.h"
 
+#include "net/replication.h"
+
 namespace odh::net {
 
 using common::Deadline;
+
+const char* ToString(ServerState state) {
+  switch (state) {
+    case ServerState::kCreated:
+      return "created";
+    case ServerState::kRunning:
+      return "running";
+    case ServerState::kDraining:
+      return "draining";
+    case ServerState::kStopped:
+      return "stopped";
+  }
+  return "unknown";
+}
+
+const char* ToString(ServerRole role) {
+  switch (role) {
+    case ServerRole::kPrimary:
+      return "primary";
+    case ServerRole::kReplica:
+      return "replica";
+  }
+  return "unknown";
+}
 
 HistorianServer::HistorianServer(sql::SqlEngine* engine,
                                  ServerOptions options,
@@ -49,9 +75,10 @@ HistorianServer::~HistorianServer() { Stop(); }
 
 Result<int> HistorianServer::Start() {
   std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
-  if (started_ || stopped_) {
+  if (state() != ServerState::kCreated) {
     return Status::FailedPrecondition(
-        stopped_ ? "server already stopped" : "server already started");
+        std::string("cannot Start a ") + ToString(state()) +
+        " server (only created -> running is legal)");
   }
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
@@ -77,8 +104,11 @@ Result<int> HistorianServer::Start() {
   listen_fd_.store(fd, std::memory_order_release);
 
   workers_ = std::make_unique<common::ThreadPool>(options_.max_sessions);
+  // Publish kRunning before the accept thread exists: AcceptLoop's first
+  // state() check must not be able to observe kCreated and exit, leaving
+  // a listener whose backlog accepts connections nobody ever serves.
+  state_.store(ServerState::kRunning, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
-  started_ = true;
   return port_;
 }
 
@@ -92,10 +122,14 @@ void HistorianServer::ShutdownSessions(bool only_idle) {
   }
 }
 
-void HistorianServer::Drain(int timeout_ms) {
+Status HistorianServer::Drain(int timeout_ms) {
   std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
-  if (!started_ || stopped_) return;  // Nothing running: a clean no-op.
-  draining_.store(true, std::memory_order_release);
+  if (state() != ServerState::kRunning && state() != ServerState::kDraining) {
+    return Status::FailedPrecondition(
+        std::string("cannot Drain a ") + ToString(state()) +
+        " server (legal from running or draining)");
+  }
+  state_.store(ServerState::kDraining, std::memory_order_release);
   // Stop accepting: closing the listener bounces new connections at the
   // TCP layer and ends the accept loop.
   int lfd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
@@ -123,13 +157,13 @@ void HistorianServer::Drain(int timeout_ms) {
       slot->transport.Shutdown();
     }
   }
+  return Status::OK();
 }
 
 void HistorianServer::Stop() {
   std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
-  if (stopped_) return;
-  stopped_ = true;
-  stopping_.store(true, std::memory_order_release);
+  if (state() == ServerState::kStopped) return;
+  state_.store(ServerState::kStopped, std::memory_order_release);
   int lfd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
   if (lfd >= 0) {
     ::shutdown(lfd, SHUT_RDWR);
@@ -144,8 +178,7 @@ void HistorianServer::Stop() {
 }
 
 void HistorianServer::AcceptLoop() {
-  while (!stopping_.load(std::memory_order_relaxed) &&
-         !draining_.load(std::memory_order_relaxed)) {
+  while (state() == ServerState::kRunning) {
     int lfd = listen_fd_.load(std::memory_order_acquire);
     if (lfd < 0) return;  // Stop/Drain already closed the listener.
     int fd = ::accept(lfd, nullptr, nullptr);
@@ -159,7 +192,7 @@ void HistorianServer::AcceptLoop() {
         Deadline::AfterMillisOrInfinite(options_.write_deadline_ms);
     // A connection that raced the start of a drain is turned away with a
     // retryable code: its natural next stop is this server's replacement.
-    if (draining_.load(std::memory_order_relaxed)) {
+    if (state() == ServerState::kDraining) {
       Transport t(fd);
       (void)t.SendFrame(
           FrameType::kRejected,
@@ -214,8 +247,7 @@ void HistorianServer::AcceptLoop() {
     workers_->Submit([this, slot, session_id] {
       ServeConnection(slot.get(), session_id);
       const bool graceful_drain =
-          draining_.load(std::memory_order_relaxed) &&
-          !stopping_.load(std::memory_order_relaxed) &&
+          state() == ServerState::kDraining &&
           !slot->forced.load(std::memory_order_acquire);
       slot->transport.Close();
       {
@@ -287,6 +319,7 @@ void HistorianServer::ServeConnection(SessionSlot* slot,
   }
 
   sql::Session session(engine_);
+  if (options_.role == ServerRole::kReplica) session.set_read_only(true);
   std::map<uint64_t, std::shared_ptr<const sql::PreparedStatement>> stmts;
   uint64_t next_stmt_id = 1;
 
@@ -411,6 +444,35 @@ void HistorianServer::ServeConnection(SessionSlot* slot,
         stmts.erase(id);
         break;
       }
+      case FrameType::kReplSubscribe: {
+        uint64_t from_lsn = 0;
+        if (!DecodeReplSubscribe(Slice(frame.payload), &from_lsn)) {
+          session_over = true;
+          break;
+        }
+        if (options_.role != ServerRole::kPrimary ||
+            options_.replication == nullptr) {
+          send(FrameType::kError,
+               EncodeError(Status::FailedPrecondition(
+                   options_.role != ServerRole::kPrimary
+                       ? "replication subscribe on a replica"
+                       : "server has no replication source")));
+          session_over = true;
+          break;
+        }
+        // The stream is idle-by-design between batches: clear
+        // in_statement so a drain's idle sweep cuts the subscriber
+        // instead of waiting a full drain budget on it.
+        slot->in_statement.store(false, std::memory_order_release);
+        Status served = options_.replication->Serve(
+            &transport, from_lsn,
+            [this] { return state() != ServerState::kRunning; });
+        if (!served.ok() && transport.valid()) {
+          send(FrameType::kError, EncodeError(served));
+        }
+        session_over = true;
+        break;
+      }
       case FrameType::kBye:
         session_over = true;
         break;
@@ -423,8 +485,8 @@ void HistorianServer::ServeConnection(SessionSlot* slot,
       request_micros_metric_->Observe(request_timer.ElapsedMicros());
     }
     if (session_over) return;
-    // Graceful drain: this statement was allowed to finish; now leave.
-    if (draining_.load(std::memory_order_relaxed)) return;
+    // Graceful drain (or stop): this statement was allowed to finish.
+    if (state() != ServerState::kRunning) return;
   }
 }
 

@@ -17,6 +17,39 @@
 
 namespace odh::net {
 
+class ReplicationSource;
+
+/// What a server is FOR. A primary accepts writes and (when wired to a
+/// ReplicationSource) streams its WAL to subscribers; a replica serves
+/// read-only sessions fed by a replication stream and refuses both writes
+/// and replication subscriptions.
+enum class ServerRole {
+  kPrimary,
+  kReplica,
+};
+
+/// Explicit lifecycle states, replacing the started/stopped/draining
+/// boolean tangle. Legal transitions:
+///
+///   kCreated --Start()--> kRunning --Drain()--> kDraining
+///       |                    |                      |
+///       +-------Stop()-------+--------Stop()--------+--> kStopped
+///
+/// Start() from anything but kCreated and Drain() from kCreated/kStopped
+/// fail with kFailedPrecondition naming the offending state. Stop() is the
+/// universal absorbing transition: legal from every state (including
+/// kStopped — it is idempotent), so teardown paths never have to care
+/// where the server currently is.
+enum class ServerState {
+  kCreated,
+  kRunning,
+  kDraining,
+  kStopped,
+};
+
+const char* ToString(ServerState state);
+const char* ToString(ServerRole role);
+
 struct ServerOptions {
   /// TCP port to listen on; 0 picks a free port (see HistorianServer::port).
   int port = 0;
@@ -55,6 +88,18 @@ struct ServerOptions {
   /// Test hook: fault policy consulted by every session transport
   /// (shared; must outlive the server). Production leaves this null.
   FaultPolicy* fault_policy = nullptr;
+
+  /// What this server is for (see ServerRole). A replica marks every
+  /// session read-only: any mutating statement fails with
+  /// kFailedPrecondition instead of forking history from the primary.
+  ServerRole role = ServerRole::kPrimary;
+
+  /// Primary side of WAL shipping: when set (and role is kPrimary), a
+  /// kReplSubscribe frame hands the connection to this source, which
+  /// streams snapshot/batch/heartbeat frames until the subscriber hangs
+  /// up or the server leaves kRunning. Must outlive the server. A replica
+  /// (or a primary without a source) answers kReplSubscribe with kError.
+  ReplicationSource* replication = nullptr;
 };
 
 /// The historian's network front door: a TCP server where each accepted
@@ -92,25 +137,34 @@ class HistorianServer {
   HistorianServer(const HistorianServer&) = delete;
   HistorianServer& operator=(const HistorianServer&) = delete;
 
-  /// Binds, listens and starts the accept loop. Returns the bound port.
-  /// Fails with kFailedPrecondition if already started or stopped — a
-  /// server object runs at most once.
+  /// kCreated -> kRunning: binds, listens and starts the accept loop.
+  /// Returns the bound port. From any other state fails with
+  /// kFailedPrecondition naming the state — a server object runs at most
+  /// once.
   Result<int> Start();
 
-  /// Graceful shutdown: stops accepting, lets each session finish the
-  /// statement it is currently executing (counted as
-  /// net.drained_sessions), closes idle sessions immediately, and after
-  /// `timeout_ms` force-closes whatever is still running
-  /// (net.sessions_force_closed). Safe to call at any lifecycle point and
-  /// from any thread; idempotent. Does not join the worker pool — follow
-  /// with Stop() (the destructor does).
-  void Drain(int timeout_ms);
+  /// kRunning -> kDraining (graceful shutdown): stops accepting, lets
+  /// each session finish the statement it is currently executing (counted
+  /// as net.drained_sessions), closes idle sessions immediately, and
+  /// after `timeout_ms` force-closes whatever is still running
+  /// (net.sessions_force_closed). Calling it again while kDraining runs
+  /// another sweep (legal — a second, shorter budget tightens the first).
+  /// From kCreated or kStopped fails with kFailedPrecondition: there is
+  /// nothing to drain, and pre-state-machine code that relied on the old
+  /// silent no-op should say Stop() instead. Does not join the worker
+  /// pool — follow with Stop() (the destructor does).
+  Status Drain(int timeout_ms);
 
-  /// Stops accepting, shuts down every live session socket and joins all
-  /// workers. Idempotent and safe at every lifecycle edge: before
-  /// Start(), twice in a row, concurrently from two threads, or from the
-  /// destructor while sessions are live.
+  /// -> kStopped, from ANY state: stops accepting, shuts down every live
+  /// session socket and joins all workers. Idempotent and safe at every
+  /// lifecycle edge: before Start(), twice in a row, concurrently from
+  /// two threads, or from the destructor while sessions are live.
   void Stop();
+
+  /// Lock-free state/role observers (exact the instant they are read;
+  /// another thread may transition right after).
+  ServerState state() const { return state_.load(std::memory_order_acquire); }
+  ServerRole role() const { return options_.role; }
 
   /// The bound port (valid after Start).
   int port() const { return port_; }
@@ -167,14 +221,11 @@ class HistorianServer {
   std::atomic<int> listen_fd_{-1};
   int port_ = 0;
 
-  /// Lifecycle. started_/stopped_ are one-way latches guarded by
-  /// lifecycle_mu_; draining_ tells handlers to exit after the statement
-  /// in flight.
+  /// Lifecycle: one explicit state machine (see ServerState). Transitions
+  /// happen under lifecycle_mu_ so they serialize; reads are lock-free
+  /// (the accept loop and session handlers poll it per iteration).
   std::mutex lifecycle_mu_;
-  bool started_ = false;
-  bool stopped_ = false;
-  std::atomic<bool> stopping_{false};
-  std::atomic<bool> draining_{false};
+  std::atomic<ServerState> state_{ServerState::kCreated};
 
   std::atomic<int> sessions_open_{0};
   std::atomic<int64_t> sessions_rejected_{0};

@@ -7,7 +7,8 @@ namespace {
 
 /// The dense range of known frame types, for garbage detection.
 constexpr uint8_t kMinFrameType = static_cast<uint8_t>(FrameType::kHello);
-constexpr uint8_t kMaxFrameType = static_cast<uint8_t>(FrameType::kBye);
+constexpr uint8_t kMaxFrameType =
+    static_cast<uint8_t>(FrameType::kReplHeartbeat);
 
 /// StatusCode values cross the wire as their enum integer; anything out of
 /// range decodes as kInternal rather than failing the frame.
@@ -354,6 +355,119 @@ std::string EncodeStmtId(uint64_t stmt_id) {
 bool DecodeStmtId(const Slice& payload, uint64_t* stmt_id) {
   Slice in = payload;
   return GetFixed64(&in, stmt_id) && in.empty();
+}
+
+namespace {
+
+// Shared by snapshot chunks and WAL batches: u32 count, then that many
+// length-prefixed opaque record payloads.
+void PutRecords(std::string* dst, const std::vector<std::string>& records) {
+  PutFixed32(dst, static_cast<uint32_t>(records.size()));
+  for (const std::string& r : records) PutLengthPrefixed(dst, Slice(r));
+}
+
+bool GetRecords(Slice* input, std::vector<std::string>* records) {
+  uint32_t n;
+  if (!GetFixed32(input, &n)) return false;
+  // Each record costs at least its length prefix; a count above the
+  // remaining bytes is hostile, not short.
+  if (n > input->size()) return false;
+  records->clear();
+  records->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Slice r;
+    if (!GetLengthPrefixed(input, &r)) return false;
+    records->emplace_back(r.data(), r.size());
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeReplSubscribe(uint64_t from_lsn) {
+  std::string out;
+  PutFixed64(&out, from_lsn);
+  return out;
+}
+
+bool DecodeReplSubscribe(const Slice& payload, uint64_t* from_lsn) {
+  Slice in = payload;
+  return GetFixed64(&in, from_lsn) && in.empty();
+}
+
+std::string EncodeReplSnapshotBegin(uint64_t base_lsn,
+                                    uint64_t record_count) {
+  std::string out;
+  PutFixed64(&out, base_lsn);
+  PutFixed64(&out, record_count);
+  return out;
+}
+
+bool DecodeReplSnapshotBegin(const Slice& payload, uint64_t* base_lsn,
+                             uint64_t* record_count) {
+  Slice in = payload;
+  return GetFixed64(&in, base_lsn) && GetFixed64(&in, record_count) &&
+         in.empty();
+}
+
+std::string EncodeReplSnapshotChunk(const std::vector<std::string>& records) {
+  std::string out;
+  PutRecords(&out, records);
+  return out;
+}
+
+bool DecodeReplSnapshotChunk(const Slice& payload,
+                             std::vector<std::string>* records) {
+  Slice in = payload;
+  return GetRecords(&in, records) && in.empty();
+}
+
+std::string EncodeReplSnapshotEnd(uint64_t base_lsn) {
+  std::string out;
+  PutFixed64(&out, base_lsn);
+  return out;
+}
+
+bool DecodeReplSnapshotEnd(const Slice& payload, uint64_t* base_lsn) {
+  Slice in = payload;
+  return GetFixed64(&in, base_lsn) && in.empty();
+}
+
+std::string EncodeReplWalBatch(uint64_t start_lsn, uint64_t end_lsn,
+                               const std::vector<std::string>& records) {
+  std::string out;
+  PutFixed64(&out, start_lsn);
+  PutFixed64(&out, end_lsn);
+  PutRecords(&out, records);
+  return out;
+}
+
+bool DecodeReplWalBatch(const Slice& payload, uint64_t* start_lsn,
+                        uint64_t* end_lsn,
+                        std::vector<std::string>* records) {
+  Slice in = payload;
+  return GetFixed64(&in, start_lsn) && GetFixed64(&in, end_lsn) &&
+         *start_lsn <= *end_lsn && GetRecords(&in, records) && in.empty();
+}
+
+std::string EncodeReplHeartbeat(uint64_t durable_lsn,
+                                int64_t watermark_micros) {
+  std::string out;
+  PutFixed64(&out, durable_lsn);
+  PutFixed64(&out, static_cast<uint64_t>(watermark_micros));
+  return out;
+}
+
+bool DecodeReplHeartbeat(const Slice& payload, uint64_t* durable_lsn,
+                         int64_t* watermark_micros) {
+  Slice in = payload;
+  uint64_t raw;
+  if (!GetFixed64(&in, durable_lsn) || !GetFixed64(&in, &raw) ||
+      !in.empty()) {
+    return false;
+  }
+  *watermark_micros = static_cast<int64_t>(raw);
+  return true;
 }
 
 }  // namespace odh::net

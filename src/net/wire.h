@@ -14,7 +14,8 @@ namespace odh::net {
 /// Protocol version spoken by this build. A server refuses a Hello whose
 /// version it does not know; bump on any incompatible frame change.
 /// v2: Rejected carries a machine-readable RejectCode before the reason.
-inline constexpr uint32_t kProtocolVersion = 2;
+/// v3: replication frames (kReplSubscribe .. kReplHeartbeat).
+inline constexpr uint32_t kProtocolVersion = 3;
 
 /// Upper bound on one frame's payload. Anything larger on the wire is
 /// treated as a corrupt/hostile stream, not a short read — large results
@@ -52,6 +53,23 @@ enum class FrameType : uint8_t {
   kError = 11,        // server: u32 status code, string message
   kCloseStmt = 12,    // client: u64 stmt id (no reply)
   kBye = 13,          // client: empty
+
+  // Replication (v3). A replica subscribes on a fresh connection after the
+  // normal Hello/Welcome handshake; from then on the connection is a one-
+  // way stream of snapshot/batch/heartbeat frames from the primary:
+  //
+  //   kReplSubscribe        ->
+  //                         <- [kReplSnapshotBegin kReplSnapshotChunk*
+  //                             kReplSnapshotEnd]        (from_lsn == 0)
+  //                         <- (kReplWalBatch | kReplHeartbeat)*
+  //                         <- kError                    (stream over)
+  kReplSubscribe = 14,     // replica: u64 from_lsn (0 = bootstrap snapshot)
+  kReplSnapshotBegin = 15, // primary: u64 base_lsn, u64 record_count
+  kReplSnapshotChunk = 16, // primary: u32 n, n length-prefixed WAL payloads
+  kReplSnapshotEnd = 17,   // primary: u64 base_lsn (echoed)
+  kReplWalBatch = 18,      // primary: u64 start_lsn, u64 end_lsn,
+                           //          u32 n, n length-prefixed WAL payloads
+  kReplHeartbeat = 19,     // primary: u64 durable_lsn, i64 watermark_micros
 };
 
 /// Why a server turned a connection away, carried in the Rejected frame
@@ -148,6 +166,39 @@ bool DecodeError(const Slice& payload, Status* status);
 
 std::string EncodeStmtId(uint64_t stmt_id);
 bool DecodeStmtId(const Slice& payload, uint64_t* stmt_id);
+
+// Replication frames (v3) ---------------------------------------------------
+
+std::string EncodeReplSubscribe(uint64_t from_lsn);
+bool DecodeReplSubscribe(const Slice& payload, uint64_t* from_lsn);
+
+std::string EncodeReplSnapshotBegin(uint64_t base_lsn, uint64_t record_count);
+bool DecodeReplSnapshotBegin(const Slice& payload, uint64_t* base_lsn,
+                             uint64_t* record_count);
+
+/// Chunk payloads are opaque encoded core::WalRecord bytes; the wire layer
+/// neither decodes nor validates them (the applier's WalRecord::Decode
+/// does), it only guards the framing against truncation and hostile counts.
+std::string EncodeReplSnapshotChunk(const std::vector<std::string>& records);
+bool DecodeReplSnapshotChunk(const Slice& payload,
+                             std::vector<std::string>* records);
+
+std::string EncodeReplSnapshotEnd(uint64_t base_lsn);
+bool DecodeReplSnapshotEnd(const Slice& payload, uint64_t* base_lsn);
+
+/// [start_lsn, end_lsn) is the byte range of the WAL this batch covers;
+/// a replica applies the batch only when start_lsn matches its applied
+/// position (end_lsn <= applied is a duplicate after reconnect, start_lsn
+/// beyond applied is a gap and fatal).
+std::string EncodeReplWalBatch(uint64_t start_lsn, uint64_t end_lsn,
+                               const std::vector<std::string>& records);
+bool DecodeReplWalBatch(const Slice& payload, uint64_t* start_lsn,
+                        uint64_t* end_lsn, std::vector<std::string>* records);
+
+std::string EncodeReplHeartbeat(uint64_t durable_lsn,
+                                int64_t watermark_micros);
+bool DecodeReplHeartbeat(const Slice& payload, uint64_t* durable_lsn,
+                         int64_t* watermark_micros);
 
 }  // namespace odh::net
 

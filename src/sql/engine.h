@@ -68,6 +68,12 @@ struct QueryProfile {
   int64_t spill_bytes = 0;
   double plan_micros = 0;
   double total_micros = 0;
+  /// Replication lag at execution time, stamped on replicas only: -1 on a
+  /// primary/standalone engine (EXPLAIN PROFILE omits the rows then),
+  /// otherwise the bytes of primary WAL not yet applied locally and the
+  /// staleness of the replica's data watermark.
+  int64_t repl_lag_bytes = -1;
+  int64_t repl_staleness_micros = 0;
 };
 
 /// Result of a SELECT (or row counts for DML/DDL). Move-only: result rows
@@ -176,6 +182,30 @@ class SqlEngine {
     return retention_handler_;
   }
 
+  /// Replication-lag snapshot a replica's wiring exposes to sessions (so
+  /// lag lands in per-query profiles and EXPLAIN PROFILE). is_replica
+  /// stays false on primaries/standalone engines.
+  struct ReplicationInfo {
+    bool is_replica = false;
+    uint64_t applied_lsn = 0;
+    uint64_t primary_durable_lsn = 0;
+    int64_t lag_bytes = 0;
+    int64_t watermark_micros = 0;
+    int64_t staleness_micros = 0;
+  };
+  using ReplicationInfoProvider = std::function<ReplicationInfo()>;
+  /// Installed once by replica wiring (before sessions run queries); the
+  /// provider must be callable from any session thread.
+  void set_replication_info_provider(ReplicationInfoProvider provider) {
+    replication_info_provider_ = std::move(provider);
+  }
+  /// Current lag snapshot; a default (is_replica=false) when no provider
+  /// is installed.
+  ReplicationInfo replication_info() const {
+    return replication_info_provider_ ? replication_info_provider_()
+                                      : ReplicationInfo{};
+  }
+
  private:
   static constexpr size_t kRecentQueryCapacity = 128;
 
@@ -185,6 +215,7 @@ class SqlEngine {
   storage::SimDisk* spill_disk_ = nullptr;
   std::atomic<uint64_t> next_query_id_{1};
   RetentionHandler retention_handler_;
+  ReplicationInfoProvider replication_info_provider_;
   std::mutex write_mu_;
   mutable std::mutex queries_mu_;
   std::deque<QueryProfile> recent_queries_;

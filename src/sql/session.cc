@@ -221,6 +221,12 @@ QueryResult ProfileToResult(QueryResult inner) {
   add("spill_bytes", Datum::Int64(p.spill_bytes));
   add("plan_micros", Datum::Double(p.plan_micros));
   add("total_micros", Datum::Double(p.total_micros));
+  // Replica-only rows: a primary's profile carries the -1 sentinel and
+  // keeps the historical 16-row shape.
+  if (p.repl_lag_bytes >= 0) {
+    add("repl_lag_bytes", Datum::Int64(p.repl_lag_bytes));
+    add("repl_staleness_micros", Datum::Int64(p.repl_staleness_micros));
+  }
   out.explain = std::move(inner.explain);
   out.profile = std::move(inner.profile);
   return out;
@@ -614,6 +620,11 @@ void QueryStream::Finish() {
   profile_.spill_runs = spill_runs_;
   profile_.spill_bytes = spill_bytes_;
   profile_.total_micros = static_cast<double>(timer_.ElapsedMicros());
+  const SqlEngine::ReplicationInfo repl = engine_->replication_info();
+  if (repl.is_replica) {
+    profile_.repl_lag_bytes = repl.lag_bytes;
+    profile_.repl_staleness_micros = repl.staleness_micros;
+  }
   // The executed-path label comes from runtime evidence, not the plan:
   // Init stamps the aggregate fast paths; otherwise batches flowing
   // through the scan prove the vectorized path ran.
@@ -831,6 +842,11 @@ Result<std::unique_ptr<QueryStream>> Session::ExecuteStreamingPrepared(
 
 Result<QueryResult> Session::ExecuteNonSelect(
     const PreparedStatement& stmt, const std::vector<Datum>& params) {
+  if (read_only_) {
+    return Status::FailedPrecondition(
+        "statement mutates data but this session is read-only (served by a "
+        "replica; send writes to the primary)");
+  }
   ODH_RETURN_IF_ERROR(CheckParamCount(stmt, params));
   // Mutating statements serialize across sessions; the storage layer
   // already supports concurrent readers against committed state.

@@ -50,7 +50,10 @@ class PreparedStatement {
   std::unique_ptr<AlterRetentionStmt> alter_retention_;
 };
 
-/// Counters of one session's lifetime (single-threaded, plain ints).
+/// Per-session counters (single-threaded, plain ints). Lifetime semantics
+/// (uniform with net::ClientStats): counters accumulate over the OBJECT's
+/// lifetime and are never reset implicitly — not by errors, not by cache
+/// eviction. Call Session::ResetStats() to zero them explicitly.
 struct SessionStats {
   int64_t statements_executed = 0;
   int64_t prepares = 0;           // Explicit Prepare() calls.
@@ -194,6 +197,16 @@ class Session {
       const std::vector<Datum>& params = {});
 
   const SessionStats& stats() const { return stats_; }
+  /// Zeroes the counters. The ONLY way stats reset (see SessionStats).
+  void ResetStats() { stats_ = {}; }
+
+  /// Read-only sessions reject every mutating statement (INSERT / CREATE /
+  /// ALTER / retention changes) with kFailedPrecondition. HistorianServer
+  /// sets this for sessions served by a replica; queries still run and
+  /// their profiles report the replication-lag watermark.
+  void set_read_only(bool read_only) { read_only_ = read_only; }
+  bool read_only() const { return read_only_; }
+
   SqlEngine* engine() { return engine_; }
   /// The session-level tracker; parent of every query tracker this session
   /// starts, child of the engine's process root.
@@ -229,6 +242,7 @@ class Session {
   std::map<std::string, CacheEntry> cache_;
   std::list<std::string> cache_order_;  // LRU order: front = least recent.
   SessionStats stats_;
+  bool read_only_ = false;
 };
 
 }  // namespace odh::sql

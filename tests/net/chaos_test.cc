@@ -248,7 +248,8 @@ TEST_F(ChaosTest, DrainLetsActiveStreamsFinish) {
   ASSERT_TRUE(first.ok() && *first);
   std::vector<Row> streamed = {row};
 
-  std::thread drainer([&] { server_->Drain(/*timeout_ms=*/5000); });
+  std::thread drainer(
+      [&] { ASSERT_TRUE(server_->Drain(/*timeout_ms=*/5000).ok()); });
   while (true) {
     auto more = (*stream)->Next(&row);
     ASSERT_TRUE(more.ok()) << "drain cut an in-flight stream: "
@@ -290,7 +291,7 @@ TEST_F(ChaosTest, DrainForceClosesStragglersAfterBudget) {
       (*client)->QueryStream("SELECT ts, temperature FROM env_v WHERE id = 1");
   ASSERT_TRUE(stream.ok()) << stream.status().ToString();
 
-  server_->Drain(/*timeout_ms=*/100);
+  ASSERT_TRUE(server_->Drain(/*timeout_ms=*/100).ok());
   EXPECT_EQ(server_->sessions_force_closed(), 1);
   EXPECT_EQ(server_->drained_sessions(), 0);
 

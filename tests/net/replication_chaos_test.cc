@@ -1,0 +1,196 @@
+// Replication chaos: a primary is killed mid-ingest while a replica tails
+// it over a faulty link. The contract under test is the semi-synchronous
+// ack rule — a write counts as acknowledged only once the replica has
+// applied (and locally re-logged) the primary WAL prefix containing it —
+// and the invariant is absolute: after promotion, every acknowledged
+// write is present on the replica exactly once, no matter where in the
+// stream the primary died.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/odh.h"
+#include "core/replica.h"
+#include "net/fault.h"
+#include "net/replication.h"
+#include "net/server.h"
+#include "sql/session.h"
+
+namespace odh::net {
+namespace {
+
+constexpr int kWrites = 120;
+constexpr int kKillAt = 70;  // Primary dies after this many ingest rounds.
+
+TEST(ReplicationChaosTest, PromotedReplicaHasEveryAckedWriteExactlyOnce) {
+  // Primary: historian + replication source behind a primary-role server.
+  core::OdhSystem primary;
+  const int type = primary.DefineSchemaType("env", {"temperature"}).value();
+  ODH_CHECK_OK(
+      primary.RegisterSource(1, type, kMicrosPerSecond, /*regular=*/true));
+  ReplicationSource source(primary.store());
+  ServerOptions server_options;
+  server_options.role = ServerRole::kPrimary;
+  server_options.replication = &source;
+  auto server = std::make_unique<HistorianServer>(primary.engine(),
+                                                  server_options,
+                                                  primary.metrics());
+  auto port = server->Start();
+  ODH_CHECK_OK(port.status());
+
+  // Replica: same schema, tailing through seeded rate faults — the link
+  // drops mid-stream repeatedly and every reconnect must resume cleanly.
+  core::OdhSystem replica;
+  ASSERT_EQ(replica.DefineSchemaType("env", {"temperature"}).value(), type);
+  ODH_CHECK_OK(
+      replica.RegisterSource(1, type, kMicrosPerSecond, /*regular=*/true));
+  core::ReplicaApplier applier(replica.store());
+  FaultPolicy faults(/*seed=*/0xD1CE);
+  faults.set_connect_fault_rate(0.05);
+  faults.set_read_fault_rate(0.03);
+  ReplicationClientOptions client_options;
+  client_options.fault_policy = &faults;
+  client_options.retry.initial_backoff_ms = 1;
+  client_options.retry.max_backoff_ms = 8;
+  client_options.flush_every_batches = 1;  // Max durability: the ack rule.
+  ReplicationClient tail("127.0.0.1", *port, &applier, client_options);
+  ODH_CHECK_OK(tail.Start());
+
+  // Ingest rounds: each round writes one point, makes it durable on the
+  // primary, then acks it only if the replica confirms that durable LSN
+  // within the wait budget. Unconfirmed rounds stay unacknowledged (their
+  // data may or may not survive — that ambiguity is the point).
+  std::set<int> acked;
+  int64_t last_watermark = kMinTimestamp;
+  for (int k = 0; k < kWrites; ++k) {
+    if (k == kKillAt) {
+      // The primary "dies": the server stops abruptly with the stream
+      // live. Nothing written after this point can be acknowledged.
+      server->Stop();
+      server.reset();
+    }
+    Status write = primary.Ingest({1, k * kMicrosPerSecond, {20.0 + k}});
+    if (write.ok()) write = primary.FlushAll();
+    if (write.ok() && server != nullptr) {
+      const uint64_t durable = primary.store()->durable_lsn();
+      if (tail.WaitForLsn(durable, /*timeout_ms=*/5000)) acked.insert(k);
+    }
+    // The replica's data watermark may only move forward, faults or not.
+    const int64_t watermark = applier.applied_watermark();
+    EXPECT_GE(watermark, last_watermark);
+    last_watermark = watermark;
+  }
+  ASSERT_GT(acked.size(), 0u) << "no write was ever acknowledged";
+  ASSERT_LT(acked.size(), static_cast<size_t>(kWrites))
+      << "the kill point acknowledged post-mortem writes";
+
+  // Promote: stop tailing. The replica's state is whatever its own WAL
+  // made durable — no primary needed from here on.
+  tail.Stop();
+
+  // Audit the promoted replica: every acknowledged timestamp exactly
+  // once, and nothing duplicated anywhere in the stream's replay.
+  sql::Session session(replica.engine());
+  auto rows = session.Execute("SELECT ts FROM env_v WHERE id = 1 ORDER BY ts");
+  ODH_CHECK_OK(rows.status());
+  std::map<int64_t, int> present;
+  for (const Row& row : rows->rows) ++present[row[0].timestamp_value()];
+  for (int k : acked) {
+    EXPECT_EQ(present[k * kMicrosPerSecond], 1)
+        << "acked write " << k
+        << (present[k * kMicrosPerSecond] == 0 ? " lost" : " duplicated")
+        << " on the promoted replica";
+  }
+  for (const auto& [ts, count] : present) {
+    EXPECT_EQ(count, 1) << "ts " << ts << " applied " << count << " times";
+  }
+}
+
+// A crashed-and-rebooted replica must rejoin from its own recovered WAL:
+// the applied LSN is re-derived from local durable state, the resumed
+// subscription continues from there, and no acked write is lost through
+// the crash + catch-up.
+TEST(ReplicationChaosTest, ReplicaCrashRecoveryResumesTheStream) {
+  core::OdhSystem primary;
+  const int type = primary.DefineSchemaType("env", {"temperature"}).value();
+  ODH_CHECK_OK(
+      primary.RegisterSource(1, type, kMicrosPerSecond, /*regular=*/true));
+  ReplicationSource source(primary.store());
+  ServerOptions server_options;
+  server_options.role = ServerRole::kPrimary;
+  server_options.replication = &source;
+  HistorianServer server(primary.engine(), server_options, primary.metrics());
+  auto port = server.Start();
+  ODH_CHECK_OK(port.status());
+
+  ReplicationClientOptions client_options;
+  client_options.retry.initial_backoff_ms = 1;
+  client_options.retry.max_backoff_ms = 8;
+
+  // Phase 1: replicate 60 points, then "crash" the replica (drop the
+  // system; its SimDisk survives as the durable image).
+  auto replica = std::make_unique<core::OdhSystem>();
+  ASSERT_EQ(replica->DefineSchemaType("env", {"temperature"}).value(), type);
+  ODH_CHECK_OK(
+      replica->RegisterSource(1, type, kMicrosPerSecond, /*regular=*/true));
+  for (int k = 0; k < 60; ++k) {
+    ODH_CHECK_OK(primary.Ingest({1, k * kMicrosPerSecond, {20.0 + k}}));
+  }
+  ODH_CHECK_OK(primary.FlushAll());
+  uint64_t lsn_before_crash = 0;
+  {
+    core::ReplicaApplier applier(replica->store());
+    ReplicationClient tail("127.0.0.1", *port, &applier, client_options);
+    ODH_CHECK_OK(tail.Start());
+    ASSERT_TRUE(tail.WaitForLsn(primary.store()->durable_lsn(), 10000));
+    ODH_CHECK_OK(tail.fatal_error());
+    tail.Stop();
+    lsn_before_crash = applier.applied_lsn();
+  }
+  auto crashed_disk = replica->database()->disk()->CloneDurable();
+  replica.reset();
+
+  // More writes land while the replica is down.
+  for (int k = 60; k < 100; ++k) {
+    ODH_CHECK_OK(primary.Ingest({1, k * kMicrosPerSecond, {20.0 + k}}));
+  }
+  ODH_CHECK_OK(primary.FlushAll());
+
+  // Phase 2: reboot from the durable image, re-derive the applied LSN,
+  // resume — the stream continues from the crash point, no re-bootstrap.
+  auto rebooted = std::make_unique<core::OdhSystem>();
+  ASSERT_EQ(rebooted->DefineSchemaType("env", {"temperature"}).value(), type);
+  ODH_CHECK_OK(
+      rebooted->RegisterSource(1, type, kMicrosPerSecond, /*regular=*/true));
+  auto recovered = rebooted->Recover(crashed_disk.get());
+  ODH_CHECK_OK(recovered.status());
+  core::ReplicaApplier applier(rebooted->store());
+  applier.ResumeAt(lsn_before_crash);
+  ReplicationClient tail("127.0.0.1", *port, &applier, client_options);
+  ODH_CHECK_OK(tail.Start());
+  ASSERT_TRUE(tail.WaitForLsn(primary.store()->durable_lsn(), 10000));
+  ODH_CHECK_OK(tail.fatal_error());
+  tail.Stop();
+
+  sql::Session mine(rebooted->engine());
+  sql::Session theirs(primary.engine());
+  const std::string q =
+      "SELECT COUNT(*), SUM(temperature) FROM env_v WHERE id = 1";
+  auto a = mine.Execute(q);
+  auto b = theirs.Execute(q);
+  ODH_CHECK_OK(a.status());
+  ODH_CHECK_OK(b.status());
+  EXPECT_EQ(a->rows, b->rows);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace odh::net

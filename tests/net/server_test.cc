@@ -453,13 +453,26 @@ TEST(ServerLifecycleTest, DestructorWithLiveSessionsIsSafe) {
   EXPECT_FALSE(r.ok());
 }
 
-TEST(ServerLifecycleTest, DrainBeforeStartAndAfterStopAreNoOps) {
+TEST(ServerLifecycleTest, IllegalTransitionsAreErrors) {
   core::OdhSystem odh;
   HistorianServer server(odh.engine(), ServerOptions{});
-  server.Drain(100);  // Not started.
+  EXPECT_EQ(server.state(), ServerState::kCreated);
+  // Drain before Start: illegal (the old API silently no-opped here).
+  EXPECT_TRUE(server.Drain(100).IsFailedPrecondition());
   ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.state(), ServerState::kRunning);
+  // Second Start on a running server is illegal.
+  EXPECT_TRUE(server.Start().status().IsFailedPrecondition());
+  // Drain while running is legal, and so is re-draining.
+  EXPECT_TRUE(server.Drain(100).ok());
+  EXPECT_EQ(server.state(), ServerState::kDraining);
+  EXPECT_TRUE(server.Drain(100).ok());
   server.Stop();
-  server.Drain(100);  // Already stopped.
+  EXPECT_EQ(server.state(), ServerState::kStopped);
+  // Drain after Stop: illegal. Restarting a stopped server: also illegal
+  // (construct a new one instead).
+  EXPECT_TRUE(server.Drain(100).IsFailedPrecondition());
+  EXPECT_TRUE(server.Start().status().IsFailedPrecondition());
 }
 
 // Satellite: a connected-but-silent peer (slow loris) must not pin its
@@ -486,6 +499,86 @@ TEST(ServerLifecycleTest, SilentPeerIsReapedByReadDeadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   EXPECT_EQ(server.sessions_open(), 0) << "silent peer pinned its slot";
+  server.Stop();
+}
+
+
+// Satellite: the RetryPolicy value object and the deprecated loose-field
+// shim. One knob, folded deterministically; `retry` wins wholesale.
+
+TEST(RetryPolicyTest, LegacyLooseFieldsFoldIntoAnEquivalentPolicy) {
+  ClientOptions legacy;
+  legacy.connect_timeout_ms = 123;
+  legacy.rpc_deadline_ms = 456;
+  legacy.max_connect_attempts = 7;
+  legacy.max_statement_attempts = 5;
+  legacy.initial_backoff_ms = 2;
+  legacy.max_backoff_ms = 64;
+  legacy.backoff_seed = 99;
+  RetryPolicy p = legacy.EffectiveRetryPolicy();
+  EXPECT_EQ(p.connect_timeout_ms, 123);
+  EXPECT_EQ(p.rpc_deadline_ms, 456);
+  EXPECT_EQ(p.max_connect_attempts, 7);
+  EXPECT_EQ(p.max_statement_attempts, 5);
+  EXPECT_EQ(p.initial_backoff_ms, 2);
+  EXPECT_EQ(p.max_backoff_ms, 64);
+  EXPECT_EQ(p.backoff_seed, 99u);
+  EXPECT_EQ(p.idempotency, IdempotencyClass::kUnstartedOnly);
+
+  legacy.auto_retry = false;
+  EXPECT_EQ(legacy.EffectiveRetryPolicy().idempotency,
+            IdempotencyClass::kNone);
+  legacy.auto_retry = true;
+  legacy.assume_idempotent = true;
+  EXPECT_EQ(legacy.EffectiveRetryPolicy().idempotency,
+            IdempotencyClass::kIdempotent);
+}
+
+TEST(RetryPolicyTest, ExplicitPolicyWinsOverLooseFields) {
+  ClientOptions options;
+  options.max_connect_attempts = 99;  // Loose field, to be ignored.
+  RetryPolicy p;
+  p.max_connect_attempts = 2;
+  p.idempotency = IdempotencyClass::kNone;
+  options.retry = p;
+  EXPECT_EQ(options.EffectiveRetryPolicy().max_connect_attempts, 2);
+  EXPECT_EQ(options.EffectiveRetryPolicy().idempotency,
+            IdempotencyClass::kNone);
+  // kNone means one attempt per statement, whatever the attempt knob says.
+  RetryPolicy none = options.EffectiveRetryPolicy();
+  none.max_statement_attempts = 5;
+  EXPECT_EQ(none.StatementAttempts(), 1);
+}
+
+TEST(RetryPolicyTest, ClientRunsTheResolvedPolicy) {
+  core::OdhSystem odh;
+  HistorianServer server(odh.engine(), ServerOptions{});
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+  ClientOptions options;
+  options.rpc_deadline_ms = 2222;  // Legacy field, folded at Connect.
+  auto client = Client::Connect("127.0.0.1", *port, options);
+  ASSERT_TRUE(client.ok());
+  EXPECT_EQ((*client)->retry_policy().rpc_deadline_ms, 2222);
+  server.Stop();
+}
+
+// Satellite: ClientStats lifetime semantics — counters survive Close()
+// and only ResetStats() zeroes them.
+TEST(ClientStatsTest, StatsSurviveCloseAndResetExplicitly) {
+  core::OdhSystem odh;
+  HistorianServer server(odh.engine(), ServerOptions{});
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+  auto client = Client::Connect("127.0.0.1", *port);
+  ASSERT_TRUE(client.ok());
+  EXPECT_GE((*client)->stats().connect_attempts, 1);
+  (*client)->Close();
+  EXPECT_GE((*client)->stats().connect_attempts, 1)
+      << "Close() must not reset stats";
+  (*client)->ResetStats();
+  EXPECT_EQ((*client)->stats().connect_attempts, 0);
+  EXPECT_EQ((*client)->stats().reconnects, 0);
   server.Stop();
 }
 

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -254,6 +255,152 @@ TEST(WireTest, RejectedOutOfRangeCodeDegradesToUnknown) {
   std::string reason;
   ASSERT_TRUE(DecodeRejected(Slice(payload), &code, &reason));
   EXPECT_EQ(code, RejectCode::kUnknown);
+}
+
+
+// --- v3 replication frames -------------------------------------------------
+
+TEST(WireTest, ReplSubscribeRoundTrip) {
+  Frame f = RoundTrip(FrameType::kReplSubscribe,
+                      EncodeReplSubscribe(0x1122334455667788ull));
+  uint64_t from_lsn = 0;
+  ASSERT_TRUE(DecodeReplSubscribe(f.payload, &from_lsn));
+  EXPECT_EQ(from_lsn, 0x1122334455667788ull);
+}
+
+TEST(WireTest, ReplSnapshotFramesRoundTrip) {
+  Frame begin = RoundTrip(FrameType::kReplSnapshotBegin,
+                          EncodeReplSnapshotBegin(4096, 17));
+  uint64_t base_lsn = 0, record_count = 0;
+  ASSERT_TRUE(DecodeReplSnapshotBegin(begin.payload, &base_lsn,
+                                      &record_count));
+  EXPECT_EQ(base_lsn, 4096u);
+  EXPECT_EQ(record_count, 17u);
+
+  // Chunk payloads are opaque bytes — including embedded NULs and
+  // empties; the wire layer must carry them byte-exact.
+  const std::vector<std::string> records = {
+      std::string("\x00\x01\x02", 3), "", std::string(1000, 'x')};
+  Frame chunk = RoundTrip(FrameType::kReplSnapshotChunk,
+                          EncodeReplSnapshotChunk(records));
+  std::vector<std::string> back;
+  ASSERT_TRUE(DecodeReplSnapshotChunk(chunk.payload, &back));
+  EXPECT_EQ(back, records);
+
+  Frame end = RoundTrip(FrameType::kReplSnapshotEnd,
+                        EncodeReplSnapshotEnd(4096));
+  base_lsn = 0;
+  ASSERT_TRUE(DecodeReplSnapshotEnd(end.payload, &base_lsn));
+  EXPECT_EQ(base_lsn, 4096u);
+}
+
+TEST(WireTest, ReplWalBatchRoundTrip) {
+  const std::vector<std::string> payloads = {"record-a", "record-b"};
+  Frame f = RoundTrip(FrameType::kReplWalBatch,
+                      EncodeReplWalBatch(100, 260, payloads));
+  uint64_t start = 0, end = 0;
+  std::vector<std::string> back;
+  ASSERT_TRUE(DecodeReplWalBatch(f.payload, &start, &end, &back));
+  EXPECT_EQ(start, 100u);
+  EXPECT_EQ(end, 260u);
+  EXPECT_EQ(back, payloads);
+}
+
+TEST(WireTest, ReplWalBatchRejectsInvertedRange) {
+  // end_lsn < start_lsn can only come from corruption or a hostile peer.
+  std::string wire = EncodeReplWalBatch(260, 100, {});
+  uint64_t start = 0, end = 0;
+  std::vector<std::string> back;
+  EXPECT_FALSE(DecodeReplWalBatch(wire, &start, &end, &back));
+}
+
+TEST(WireTest, ReplHeartbeatRoundTripIncludingNegativeWatermark) {
+  // kMinTimestamp (a negative sentinel) must survive the trip — a fresh
+  // primary with no data heartbeats exactly that.
+  Frame f = RoundTrip(FrameType::kReplHeartbeat,
+                      EncodeReplHeartbeat(8192, -1234567890123456789ll));
+  uint64_t durable = 0;
+  int64_t watermark = 0;
+  ASSERT_TRUE(DecodeReplHeartbeat(f.payload, &durable, &watermark));
+  EXPECT_EQ(durable, 8192u);
+  EXPECT_EQ(watermark, -1234567890123456789ll);
+}
+
+TEST(WireTest, TruncatedReplPayloadsAreRejected) {
+  // Every truncation point of every v3 frame must decode to false, never
+  // over-read. Mirrors TruncatedFramesWantMoreBytes for the frame layer.
+  struct Case {
+    std::string wire;
+    std::function<bool(const Slice&)> decode;
+  };
+  uint64_t u64a = 0, u64b = 0;
+  int64_t i64 = 0;
+  std::vector<std::string> recs;
+  std::vector<Case> cases;
+  cases.push_back({EncodeReplSubscribe(7), [&](const Slice& in) {
+                     return DecodeReplSubscribe(in, &u64a);
+                   }});
+  cases.push_back({EncodeReplSnapshotBegin(7, 9), [&](const Slice& in) {
+                     return DecodeReplSnapshotBegin(in, &u64a, &u64b);
+                   }});
+  cases.push_back(
+      {EncodeReplSnapshotChunk({"abc", "defgh"}), [&](const Slice& in) {
+         recs.clear();
+         return DecodeReplSnapshotChunk(in, &recs);
+       }});
+  cases.push_back({EncodeReplSnapshotEnd(7), [&](const Slice& in) {
+                     return DecodeReplSnapshotEnd(in, &u64a);
+                   }});
+  cases.push_back(
+      {EncodeReplWalBatch(10, 20, {"abc"}), [&](const Slice& in) {
+         recs.clear();
+         return DecodeReplWalBatch(in, &u64a, &u64b, &recs);
+       }});
+  cases.push_back({EncodeReplHeartbeat(7, 9), [&](const Slice& in) {
+                     return DecodeReplHeartbeat(in, &u64a, &i64);
+                   }});
+  for (const Case& c : cases) {
+    ASSERT_TRUE(c.decode(Slice(c.wire)));  // Sanity: whole payload decodes.
+    for (size_t cut = 0; cut < c.wire.size(); ++cut) {
+      EXPECT_FALSE(c.decode(Slice(c.wire.data(), cut)))
+          << "truncation at byte " << cut << " of " << c.wire.size()
+          << " was accepted";
+    }
+  }
+}
+
+TEST(WireTest, GarbageReplPayloadsAreRejectedNotOverread) {
+  // A chunk whose count field promises far more records than the payload
+  // holds: the hostile-count guard must reject it without allocating.
+  std::string lying;
+  PutFixed32(&lying, 0x7fffffff);
+  std::vector<std::string> recs;
+  EXPECT_FALSE(DecodeReplSnapshotChunk(lying, &recs));
+
+  // Same through the batch decoder (count lives after the two LSNs).
+  std::string batch;
+  PutFixed64(&batch, 0);
+  PutFixed64(&batch, 100);
+  PutFixed32(&batch, 0x7fffffff);
+  uint64_t start = 0, end = 0;
+  EXPECT_FALSE(DecodeReplWalBatch(batch, &start, &end, &recs));
+
+  // Trailing junk after a well-formed payload is a protocol error.
+  std::string padded = EncodeReplSubscribe(1);
+  padded += "junk";
+  uint64_t from = 0;
+  EXPECT_FALSE(DecodeReplSubscribe(padded, &from));
+
+  // Short noise through every v3 decoder.
+  const std::string noise = "\x07\x93g\xff\x01";
+  uint64_t u64a = 0, u64b = 0;
+  int64_t i64 = 0;
+  EXPECT_FALSE(DecodeReplSubscribe(noise, &u64a));
+  EXPECT_FALSE(DecodeReplSnapshotBegin(noise, &u64a, &u64b));
+  EXPECT_FALSE(DecodeReplSnapshotChunk(noise, &recs));
+  EXPECT_FALSE(DecodeReplSnapshotEnd(noise, &u64a));
+  EXPECT_FALSE(DecodeReplWalBatch(noise, &u64a, &u64b, &recs));
+  EXPECT_FALSE(DecodeReplHeartbeat(noise, &u64a, &i64));
 }
 
 }  // namespace

@@ -269,5 +269,29 @@ TEST_F(SessionTest, SessionStatsCountWork) {
   EXPECT_EQ(session_.stats().rows_streamed, before.rows_streamed + 10);
 }
 
+
+TEST_F(SessionTest, StatsResetOnlyExplicitly) {
+  ASSERT_TRUE(session_.Execute("SELECT COUNT(*) FROM env_v").ok());
+  // An error does not reset the counters (uniform with net::ClientStats).
+  EXPECT_FALSE(session_.Execute("SELECT nope FROM nowhere").ok());
+  EXPECT_GE(session_.stats().statements_executed, 1);
+  session_.ResetStats();
+  EXPECT_EQ(session_.stats().statements_executed, 0);
+  EXPECT_EQ(session_.stats().prepares, 0);
+  EXPECT_EQ(session_.stats().rows_streamed, 0);
+}
+
+TEST_F(SessionTest, ReadOnlySessionRejectsMutations) {
+  session_.set_read_only(true);
+  auto insert = session_.Execute("CREATE TABLE ro_nope (k BIGINT)");
+  ASSERT_FALSE(insert.ok());
+  EXPECT_TRUE(insert.status().IsFailedPrecondition())
+      << insert.status().ToString();
+  // Reads still work, and turning the flag off restores writes.
+  EXPECT_TRUE(session_.Execute("SELECT COUNT(*) FROM env_v").ok());
+  session_.set_read_only(false);
+  EXPECT_TRUE(session_.Execute("CREATE TABLE ro_yes (k BIGINT)").ok());
+}
+
 }  // namespace
 }  // namespace odh::sql
